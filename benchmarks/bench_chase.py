@@ -1,0 +1,41 @@
+"""Substrate benchmark: chase throughput (supports E4/E8).
+
+The FD-only chase ([H]/Lemma 4 fast path) is the workhorse of
+satisfaction testing; its cost should grow gently with state size,
+and the weak-instance query path (window) rides on it.
+"""
+
+import pytest
+
+from repro.chase.engine import chase_fds
+from repro.chase.tableau import ChaseTableau
+from repro.weak.representative import window
+from repro.workloads.schemas import chain_schema, star_schema
+from repro.workloads.states import random_satisfying_state
+
+from benchmarks.conftest import emit
+
+SIZES = (100, 400, 1600)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fd_chase_throughput(benchmark, n):
+    schema, F = chain_schema(4)
+    state = random_satisfying_state(schema, F, n, seed=5, domain_size=max(10, n))
+
+    def kernel():
+        tab = ChaseTableau.from_state(state)
+        return chase_fds(tab, F)
+
+    result = benchmark(kernel)
+    assert result.consistent
+    emit(f"chase: state={n:<6} rows={state.total_tuples()} merges={result.fd_merges}")
+
+
+@pytest.mark.parametrize("n", (100, 400))
+def test_window_query_cost(benchmark, n):
+    schema, F = star_schema(3)
+    state = random_satisfying_state(schema, F, n, seed=6, domain_size=max(10, n))
+    facts = benchmark(lambda: window(state, F, "K A1 A2"))
+    assert len(facts) >= 0
+    emit(f"window: state={n:<6} derivable K-A1-A2 facts={len(facts)}")

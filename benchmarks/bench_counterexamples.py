@@ -1,0 +1,63 @@
+"""Counterexample pipeline: construction + chase verification cost,
+and the guarantee that every non-independent verdict ships a verified
+witness (the library's answer to "trust me" — it never says 'not
+independent' without a state you can check yourself)."""
+
+import pytest
+
+from repro.core.independence import analyze
+from repro.report import TextTable, banner
+from repro.workloads.paper import example1, example2_extended, example3
+from repro.workloads.schemas import random_schema, triangle_schema
+
+from benchmarks.conftest import emit
+
+CASES = [
+    ("Example 1", example1, "lemma7"),
+    ("Example 2 + SH→R", example2_extended, "lemma3"),
+    ("Example 3", example3, "theorem4"),
+]
+
+
+@pytest.mark.parametrize("name,make,construction", CASES)
+def test_counterexample_pipeline(benchmark, name, make, construction):
+    ex = make()
+    report = benchmark(lambda: analyze(ex.schema, ex.fds))
+    ce = report.counterexample
+    assert ce is not None and ce.verified
+    assert ce.construction == construction
+    emit(
+        f"counterexample {name:<18} construction={ce.construction:<9} "
+        f"tuples={ce.state.total_tuples()} verified={ce.verified}"
+    )
+
+
+def test_witness_coverage_on_random_schemas(benchmark):
+    """Every 'not independent' on a random sample carries a verified
+    witness; count constructions used."""
+    counts = {"lemma3": 0, "lemma7": 0, "theorem4": 0}
+    independent = 0
+    total = 0
+    for seed in range(50):
+        schema, F = random_schema(seed, n_attrs=5, n_schemes=3, n_fds=3)
+        report = analyze(schema, F)
+        total += 1
+        if report.independent:
+            independent += 1
+            continue
+        assert report.counterexample is not None
+        assert report.counterexample.verified, seed
+        counts[report.counterexample.construction] += 1
+
+    benchmark(lambda: analyze(*_triangle()))
+    table = TextTable(["outcome", "count"])
+    table.add_row("independent", independent)
+    for k, v in counts.items():
+        table.add_row(f"not independent via {k}", v)
+    emit(banner("counterexample coverage on 50 random schemas"))
+    emit(table.render())
+    emit(f"total analyzed: {total}; every rejection carried a verified witness")
+
+
+def _triangle():
+    return triangle_schema(2)

@@ -1,0 +1,53 @@
+"""E5: Section 3 — condition (1) in polynomial time; |H| ≤ |F|·|U|.
+
+Times the cover-embedding test on growing chain schemas and reports
+the size of the constructed embedded cover against the paper's bound.
+"""
+
+import pytest
+
+from repro.core.embedding import embedding_report
+from repro.report import TextTable, banner
+from repro.workloads.schemas import chain_schema, star_schema
+
+from benchmarks.conftest import emit
+
+SIZES = (4, 8, 16, 32)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_condition1_chain(benchmark, n):
+    schema, F = chain_schema(n)
+    report = benchmark(lambda: embedding_report(schema, F))
+    assert report.cover_embedding
+    bound = len(F) * len(schema.universe)
+    emit(
+        f"E5 chain n={n:<3} |F|={len(F):<3} |U|={len(schema.universe):<3} "
+        f"|H|={len(report.embedded_cover):<4} bound |F||U|={bound:<5} "
+        f"within-bound={len(report.embedded_cover) <= bound}"
+    )
+
+
+def test_cover_bound_table(benchmark):
+    rows = []
+    for n in SIZES:
+        for name, family in (("chain", chain_schema), ("star", star_schema)):
+            schema, F = family(n)
+            report = embedding_report(schema, F)
+            rows.append(
+                (
+                    f"{name}({n})",
+                    len(F),
+                    len(schema.universe),
+                    len(report.embedded_cover),
+                    len(F) * len(schema.universe),
+                )
+            )
+    benchmark(lambda: embedding_report(*chain_schema(8)))
+
+    table = TextTable(["family", "|F|", "|U|", "|H|", "|F|·|U| bound"])
+    for r in rows:
+        table.add_row(*r)
+    emit(banner("E5 — embedded cover sizes vs the paper's |H| ≤ |F|·|U| bound"))
+    emit(table.render())
+    assert all(h <= bound for _, _, _, h, bound in rows)

@@ -1,0 +1,72 @@
+"""E6: the full decision procedure across schema families with known
+verdicts (who is independent, and how fast each case decides)."""
+
+import pytest
+
+from repro.core.independence import analyze
+from repro.report import TextTable, banner
+from repro.workloads.paper import example1, example2, example2_extended, example3
+from repro.workloads.schemas import (
+    chain_schema,
+    jd_dependent_pair,
+    reverse_fd_chain,
+    star_schema,
+    triangle_schema,
+    unembedded_family,
+)
+
+from benchmarks.conftest import emit
+
+FAMILIES = [
+    ("chain(8)", chain_schema, 8, True),
+    ("star(8)", star_schema, 8, True),
+    ("reverse-fd-chain(8)", reverse_fd_chain, 8, True),
+    ("triangle(4)", triangle_schema, 4, False),
+    ("unembedded(4)", unembedded_family, 4, False),
+]
+
+
+@pytest.mark.parametrize("name,family,n,expected", FAMILIES)
+def test_family_verdict(benchmark, name, family, n, expected):
+    schema, F = family(n)
+    report = benchmark(lambda: analyze(schema, F, build_counterexample=False))
+    assert report.independent == expected
+    emit(f"E6 {name:<22} expected={str(expected):<6} measured={report.independent}")
+
+
+def test_verdict_summary(benchmark):
+    rows = []
+    cases = [
+        ("Example 1", *_ex(example1), False),
+        ("Example 2", *_ex(example2), True),
+        ("Example 2 + SH→R", *_ex(example2_extended), False),
+        ("Example 3", *_ex(example3), False),
+        ("jd-dependent pair", *jd_dependent_pair(), False),
+    ]
+    for name, schema, F, expected in cases:
+        report = analyze(schema, F)
+        ce = report.counterexample
+        rows.append(
+            (
+                name,
+                expected,
+                report.independent,
+                report.cover_embedding,
+                "-" if ce is None else f"{ce.construction} ({ce.verified})",
+            )
+        )
+    benchmark(lambda: analyze(*_ex(example2)))
+
+    table = TextTable(
+        ["case", "paper verdict", "measured", "condition (1)", "counterexample"]
+    )
+    for r in rows:
+        table.add_row(*r)
+    emit(banner("E6 — verdicts across the paper's cases"))
+    emit(table.render())
+    assert all(expected == measured for _, expected, measured, _, _ in rows)
+
+
+def _ex(make):
+    ex = make()
+    return ex.schema, ex.fds

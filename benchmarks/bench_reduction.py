@@ -1,0 +1,84 @@
+"""E4: Theorem 1 — the reduction and the cost of general maintenance.
+
+Regenerates the reduction's two claims on instances of growing size
+and measures how chase-based maintenance cost grows with the original
+relation (the membership problem is NP-complete; the chase does the
+join's work), while the decision stays correct.
+"""
+
+import itertools
+import time
+
+import pytest
+
+from repro.chase.satisfaction import is_globally_satisfying
+from repro.core.reduction import join_membership, reduce_membership_to_maintenance
+from repro.data.relations import RelationInstance
+from repro.data.tuples import Tuple
+from repro.report import TextTable, banner
+
+from benchmarks.conftest import emit
+
+SIZES = (4, 8, 16)
+
+
+def _instance(n_rows, member):
+    """A universal relation over ABC whose projected join contains
+    mixed tuples; t = (0, n+1) mixes rows when member=True."""
+    rows = [(i, i % 3, i + 1) for i in range(n_rows)]
+    rows.append((0, 1, 99))  # guarantees B-collisions
+    r = RelationInstance("A B C", rows)
+    comps = ["A B", "B C"]
+    if member:
+        t = Tuple("A C", {"A": 0, "C": 99})
+    else:
+        t = Tuple("A C", {"A": 0, "C": -1})
+    return r, comps, t
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("member", [True, False])
+def test_reduction_correctness(benchmark, n, member):
+    r, comps, t = _instance(n, member)
+    inst = reduce_membership_to_maintenance(r, comps, t)
+    truth = join_membership(r, comps, t)
+    ok_old = is_globally_satisfying(inst.old_state, inst.fds)
+    verdict = benchmark(
+        lambda: is_globally_satisfying(inst.new_state, inst.fds)
+    )
+    assert ok_old
+    assert verdict == (not truth)
+    emit(
+        f"E4 n={n:<3} member={str(member):<6} old-satisfies={ok_old} "
+        f"new-satisfies={verdict} (expected {not truth})"
+    )
+
+
+def test_reduction_cost_growth(benchmark):
+    table = TextTable(
+        ["|r| rows", "membership truth", "maintenance-by-chase (s)", "join membership (s)"]
+    )
+    times = []
+    for n in SIZES:
+        r, comps, t = _instance(n, True)
+        inst = reduce_membership_to_maintenance(r, comps, t)
+
+        t0 = time.perf_counter()
+        verdict = is_globally_satisfying(inst.new_state, inst.fds)
+        chase_t = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        truth = join_membership(r, comps, t)
+        join_t = time.perf_counter() - t0
+
+        assert verdict == (not truth)
+        times.append(chase_t)
+        table.add_row(len(r), truth, chase_t, join_t)
+    benchmark(lambda: None)
+    emit(banner("E4 — Theorem 1: maintenance inherits the join's cost"))
+    emit(table.render())
+    emit(
+        "paper claim: a maintenance oracle answers join membership, so no "
+        "polynomial algorithm exists unless P = NP; the chase's cost tracks "
+        "the join's."
+    )

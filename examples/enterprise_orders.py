@@ -1,0 +1,100 @@
+"""An order-management database, end to end.
+
+A realistic schema (customers, products, orders, shipments) taken
+through the full library workflow: design checks, independence
+analysis, loading data, live maintenance, and weak-instance queries —
+the lifecycle the paper's theory is for.
+
+Run with::
+
+    python examples/enterprise_orders.py
+"""
+
+from repro import DatabaseSchema, FDSet, MaintenanceChecker, analyze
+from repro.core.keybased import analyze_key_based, keyed
+from repro.deps.implication import is_lossless
+from repro.weak import window
+
+print("=" * 70)
+print("1. The design, declared by keys")
+print("=" * 70)
+
+# Ord: an order has one customer and one date; Cust: a customer has one
+# city; Prod: a product has one price; Line: (order, product) has one
+# quantity; Ship: an order has one carrier.
+design = [
+    keyed("Cust", "Cust City", "Cust"),
+    keyed("Prod", "Prod Price", "Prod"),
+    keyed("Ord", "Ord Cust Date", "Ord"),
+    keyed("Line", "Ord Prod Qty", "Ord Prod"),
+    keyed("Ship", "Ord Carrier", "Ord"),
+]
+report = analyze_key_based(design)
+schema, fds = report.schema, report.fds
+print("schema:", schema)
+print("fds:   ", fds)
+print("lossless join:", is_lossless(schema, fds))
+print("independent:  ", report.independent)
+for scheme in schema:
+    cover = report.maintenance_cover(scheme.name)
+    if cover:
+        print(f"  enforce locally in {scheme.name}: {cover}")
+print()
+
+print("=" * 70)
+print("2. Live maintenance")
+print("=" * 70)
+
+db = MaintenanceChecker(schema, fds, method="local", report=report)
+operations = [
+    ("Cust", ("ada", "London"), True),
+    ("Prod", ("widget", 99), True),
+    ("Ord", ("o1", "ada", "2026-06-01"), True),
+    ("Line", ("o1", "widget", 3), True),
+    ("Ship", ("o1", "UPS"), True),
+    ("Ord", ("o1", "ada", "2026-06-02"), False),  # order date conflict
+    ("Line", ("o1", "widget", 5), False),         # quantity conflict
+    ("Cust", ("ada", "Paris"), False),            # city conflict
+    ("Line", ("o1", "gizmo", 1), True),           # new product line: fine
+]
+for scheme, row, expect in operations:
+    outcome = db.insert(scheme, row)
+    status = "ok      " if outcome.accepted else "REJECTED"
+    assert outcome.accepted == expect, (scheme, row)
+    print(f"  {status} {scheme}{row}")
+print()
+
+print("=" * 70)
+print("3. Cross-relation questions via the weak instance")
+print("=" * 70)
+
+state = db.state()
+print("Which cities are orders shipping to, with which carrier?")
+for t in window(state, fds, "City Carrier"):
+    print(f"   {t.value('City'):<8} via {t.value('Carrier')}")
+
+print()
+print("Order lines with customer and price context:")
+for t in window(state, fds, "Ord Cust Prod Qty"):
+    print(
+        f"   {t.value('Ord')}: {t.value('Cust')} buys "
+        f"{t.value('Qty')} × {t.value('Prod')}"
+    )
+
+print()
+print("=" * 70)
+print("4. A tempting 'optimization' that breaks the design")
+print("=" * 70)
+
+# Denormalize: also store the customer's city on orders.
+bad_schema = DatabaseSchema.parse(
+    "Cust(Cust,City); Prod(Prod,Price); OrdX(Ord,Cust,Date,City); "
+    "Line(Ord,Prod,Qty); Ship(Ord,Carrier)"
+)
+bad_fds = fds | ["Ord -> City"]
+bad = analyze(bad_schema, bad_fds)
+print("denormalized independent:", bad.independent)
+print("why:", bad.lemma7 or (bad.embedding.failures and bad.embedding.failures[0]))
+if bad.counterexample:
+    print("witness state (every relation locally fine, globally impossible):")
+    print(bad.counterexample.state.pretty())

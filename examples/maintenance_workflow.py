@@ -1,0 +1,74 @@
+"""A registrar application doing live updates.
+
+The maintenance problem (Section 2): after each single-tuple insert,
+is the database still consistent?  On an independent schema this is a
+constant-time local FD check; in general it needs a chase over the
+whole state (and Theorem 1 says nothing fundamentally better exists).
+
+This script runs the same insert stream through both strategies and
+compares verdicts and cost.
+
+Run with::
+
+    python examples/maintenance_workflow.py
+"""
+
+import time
+
+from repro import DatabaseSchema, MaintenanceChecker
+from repro.workloads import insert_workload, random_satisfying_state
+from repro.workloads.schemas import chain_schema
+
+print("=" * 70)
+print("Registrar workflow on the independent academic schema")
+print("=" * 70)
+
+schema = DatabaseSchema.parse("CT(C,T); CS(C,S); CHR(C,H,R)")
+fds = "C -> T; C H -> R"
+registrar = MaintenanceChecker(schema, fds, method="local")
+
+operations = [
+    ("CT", ("CS101", "Smith"), "assign Smith to CS101"),
+    ("CT", ("CS102", "Jones"), "assign Jones to CS102"),
+    ("CHR", ("CS101", "Mon-10", "313"), "schedule CS101"),
+    ("CS", ("CS101", "Alice"), "enroll Alice"),
+    ("CT", ("CS101", "Jones"), "REASSIGN CS101 to Jones (conflict!)"),
+    ("CHR", ("CS101", "Mon-10", "327"), "MOVE CS101 to 327 (conflict!)"),
+    ("CHR", ("CS101", "Tue-09", "327"), "extra CS101 slot on Tuesday"),
+]
+
+for scheme, row, description in operations:
+    outcome = registrar.insert(scheme, row)
+    status = "ok      " if outcome.accepted else "REJECTED"
+    reason = "" if outcome.accepted else f"  [{outcome.reason}]"
+    print(f"  {status} {description}{reason}")
+
+print()
+print("Final state:")
+print(registrar.state().pretty())
+print()
+
+print("=" * 70)
+print("Cost comparison: local indexes vs chase re-verification")
+print("=" * 70)
+
+chain, chain_fds = chain_schema(4)
+base = random_satisfying_state(chain, chain_fds, 400, seed=1)
+stream = insert_workload(chain, chain_fds, n_ops=25, seed=2)
+
+for method in ("local", "chase"):
+    checker = MaintenanceChecker(chain, chain_fds, method=method)
+    checker.load(base)
+    t0 = time.perf_counter()
+    accepted = sum(
+        checker.check_insert(op.scheme, op.values).accepted for op in stream
+    )
+    elapsed = time.perf_counter() - t0
+    print(
+        f"  method={method:<6} state={base.total_tuples()} tuples  "
+        f"ops={len(stream)}  accepted={accepted}  "
+        f"{elapsed / len(stream) * 1e6:8.1f} µs/op"
+    )
+
+print()
+print("Same verdicts, orders of magnitude apart — Theorem 3 in practice.")

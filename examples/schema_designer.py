@@ -1,0 +1,74 @@
+"""A schema-design advisor session.
+
+Given a universe and FDs, this script synthesizes a 3NF schema,
+checks the classical design criteria (lossless join, dependency
+preservation), and then applies the paper's finer test: is the design
+*independent* — can every constraint be enforced relation-locally?
+When it is not, the advisor shows the paper's semantic diagnosis
+(overloaded attribute relationships) and a concrete witness state.
+
+Run with::
+
+    python examples/schema_designer.py
+"""
+
+from repro import DatabaseSchema, FDSet, analyze, preserves_dependencies
+from repro.deps.implication import is_lossless
+from repro.schema.normalize import synthesize_3nf
+
+print("=" * 70)
+print("Design 1: employees, departments, managers")
+print("=" * 70)
+
+universe = "Emp Dept Mgr Office"
+fds = FDSet.parse("Emp -> Dept; Dept -> Mgr; Emp -> Office")
+schema = synthesize_3nf(universe, fds)
+print("universe:", universe)
+print("fds:     ", fds)
+print("3NF synthesis:", schema)
+print("  lossless join:          ", is_lossless(schema, fds))
+print("  dependency preserving:  ", preserves_dependencies(schema, fds))
+
+report = analyze(schema, fds)
+print("  independent:            ", report.independent)
+if report.independent:
+    print("  -> every constraint is enforceable inside one relation.")
+print()
+
+print("=" * 70)
+print("Design 2: the overloaded-department trap (Example 1 shape)")
+print("=" * 70)
+
+schema2 = DatabaseSchema.parse("CD(C,D); CT(C,T); TD(T,D)")
+fds2 = FDSet.parse("C -> D; C -> T; T -> D")
+print("schema:", schema2)
+print("fds:   ", fds2)
+print("  lossless join:          ", is_lossless(schema2, fds2))
+print("  dependency preserving:  ", preserves_dependencies(schema2, fds2))
+
+report2 = analyze(schema2, fds2)
+print("  independent:            ", report2.independent)
+print()
+print("Classical criteria pass, yet the design is NOT independent —")
+print("the paper's warning sign for overloaded relationships:")
+print("  ", report2.lemma7)
+print()
+print("A state that every relation accepts but that cannot exist:")
+print(report2.counterexample.state.pretty())
+print()
+
+print("=" * 70)
+print("Design 3: repairing it")
+print("=" * 70)
+
+# Drop the redundant direct C→D storage: departments reach courses
+# only through teachers.
+schema3 = DatabaseSchema.parse("CT(C,T); TD(T,D)")
+fds3 = FDSet.parse("C -> T; T -> D")
+report3 = analyze(schema3, fds3)
+print("schema:", schema3)
+print("fds:   ", fds3)
+print("  independent:            ", report3.independent)
+print("  maintenance covers:")
+for scheme in schema3:
+    print(f"    {scheme.name}: {report3.maintenance_cover(scheme.name)}")

@@ -1,0 +1,88 @@
+"""The paper's running example, end to end.
+
+Walks the full story of Sections 1–2:
+
+1. the weak-instance deduction ("Smith is in room 313 on Monday 10"),
+2. Example 1's locally-consistent-but-globally-contradictory state,
+3. the chase discovering the contradiction,
+4. the independence diagnosis ("two different course→department
+   relationships") with the Lemma 7 witness.
+
+Run with::
+
+    python examples/university_scheduling.py
+"""
+
+from repro import DatabaseSchema, analyze, parse_scenario
+from repro.chase import chase_state, is_globally_satisfying, is_locally_satisfying
+from repro.weak import window
+
+print("=" * 70)
+print("1. Weak-instance deduction (Section 2)")
+print("=" * 70)
+
+scenario = parse_scenario(
+    """
+    schema: CT(C,T); CHR(C,H,R); SC(S,C)
+    fds: C -> T; C H -> R
+    state:
+      CT: (CS101, Smith)
+      CHR: (CS101, Mon-10, 313)
+    """
+)
+print(scenario.state.pretty())
+print()
+print("Derivable teacher/hour/room facts (the paper's deduction):")
+facts = window(scenario.state, scenario.fds, "T H R")
+for t in facts:
+    print("  ", {a: t.value(a) for a in ("T", "H", "R")})
+print()
+
+print("=" * 70)
+print("2. Example 1: a state that looks fine locally but cannot exist")
+print("=" * 70)
+
+ex1 = parse_scenario(
+    """
+    schema: CD(C,D); CT(C,T); TD(T,D)
+    fds: C -> D; C -> T; T -> D
+    state:
+      CD: (CS402, CS)
+      CT: (CS402, Jones)
+      TD: (Jones, EE)
+    """
+)
+print(ex1.state.pretty())
+print()
+print("locally satisfying: ", is_locally_satisfying(ex1.state, ex1.fds))
+print("globally satisfying:", is_globally_satisfying(ex1.state, ex1.fds))
+
+result = chase_state(ex1.state, ex1.fds)
+print("chase verdict:      ", result.contradiction)
+print()
+
+print("=" * 70)
+print("3. Why: the schema is not independent")
+print("=" * 70)
+
+report = analyze(ex1.schema, ex1.fds)
+print("independent:", report.independent)
+print()
+print("The paper's diagnosis — two different functions from courses to")
+print("departments (C -> D directly, and C -> T -> D through teachers):")
+print(" ", report.lemma7)
+print()
+print("Witness state built from that derivation (verified by the chase):")
+print(report.counterexample.state.pretty())
+print()
+
+print("=" * 70)
+print("4. The repaired design (Example 2) is independent")
+print("=" * 70)
+
+schema2 = DatabaseSchema.parse("CT(C,T); CS(C,S); CHR(C,H,R)")
+report2 = analyze(schema2, "C -> T; C H -> R")
+print("independent:", report2.independent)
+print("maintenance covers:")
+for scheme in schema2:
+    print(f"  {scheme.name}: {report2.maintenance_cover(scheme.name)}")

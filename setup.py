@@ -1,0 +1,22 @@
+"""Setup shim.
+
+The environment this reproduction targets is offline and has no
+``wheel`` package, so PEP 517 editable installs cannot build.  This
+shim lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which needs only setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Graham & Yannakakis, 'Independent Database Schemas' "
+        "(PODS 1982): weak instances, the chase, and polynomial independence "
+        "testing for relational database schemas."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,125 @@
+"""repro — a reproduction of Graham & Yannakakis,
+*Independent Database Schemas* (PODS 1982 / JCSS 1984).
+
+A database schema ``D`` is **independent** w.r.t. constraints
+``Σ = F ∪ {*D}`` when checking every relation locally guarantees the
+whole state has a weak instance.  This library implements the paper's
+polynomial decision procedure end to end, along with the dependency
+theory it stands on: FDs/MVDs/JDs, closures and covers, the chase,
+weak instances, acyclic-schema machinery, counterexample construction,
+and the fast maintenance path independence buys.
+
+Quickstart::
+
+    from repro import DatabaseSchema, analyze
+
+    schema = DatabaseSchema.parse("CT(C,T); CS(C,S); CHR(C,H,R)")
+    report = analyze(schema, "C -> T; C H -> R")
+    assert report.independent
+    print(report.summary())
+
+See ``examples/`` for full scenarios and ``DESIGN.md`` for the paper →
+module map.
+"""
+
+from repro.chase import (
+    chase,
+    chase_fds,
+    chase_state,
+    is_globally_satisfying,
+    is_locally_satisfying,
+    satisfies,
+    weak_instance,
+)
+from repro.core import (
+    IndependenceReport,
+    MaintenanceChecker,
+    analyze,
+    embedding_report,
+    embeds_cover,
+    is_independent,
+    preserves_dependencies,
+)
+from repro.data import DatabaseState, RelationInstance, Tuple
+from repro.deps import FD, FDSet, JoinDependency, MVD, closure, fd, fds, minimal_cover
+from repro.dsl import Scenario, parse_scenario, parse_state
+from repro.exceptions import (
+    ChaseBudgetExceeded,
+    DependencyError,
+    InconsistentStateError,
+    InstanceError,
+    NotIndependentError,
+    ParseError,
+    ReproError,
+    SchemaError,
+)
+from repro.schema import (
+    AttributeSet,
+    DatabaseSchema,
+    RelationScheme,
+    attrs,
+    gyo_reduction,
+    is_acyclic,
+    join_tree,
+)
+from repro.weak import full_reduce, representative_instance, window
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # schema
+    "AttributeSet",
+    "attrs",
+    "RelationScheme",
+    "DatabaseSchema",
+    "is_acyclic",
+    "gyo_reduction",
+    "join_tree",
+    # dependencies
+    "FD",
+    "fd",
+    "fds",
+    "FDSet",
+    "MVD",
+    "JoinDependency",
+    "closure",
+    "minimal_cover",
+    # data
+    "Tuple",
+    "RelationInstance",
+    "DatabaseState",
+    # chase & satisfaction
+    "chase",
+    "chase_fds",
+    "chase_state",
+    "satisfies",
+    "weak_instance",
+    "is_locally_satisfying",
+    "is_globally_satisfying",
+    # weak instances
+    "representative_instance",
+    "window",
+    "full_reduce",
+    # the paper's core
+    "analyze",
+    "is_independent",
+    "IndependenceReport",
+    "embedding_report",
+    "embeds_cover",
+    "preserves_dependencies",
+    "MaintenanceChecker",
+    # DSL
+    "parse_scenario",
+    "parse_state",
+    "Scenario",
+    # errors
+    "ReproError",
+    "ParseError",
+    "SchemaError",
+    "DependencyError",
+    "InstanceError",
+    "InconsistentStateError",
+    "ChaseBudgetExceeded",
+    "NotIndependentError",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""The chase procedure: tableaux, rules, satisfaction testing."""
+
+from repro.chase.engine import (
+    ChaseResult,
+    ChaseStep,
+    Contradiction,
+    chase,
+    chase_fds,
+    chase_state,
+    explain_contradiction,
+)
+from repro.chase.satisfaction import (
+    SatisfactionResult,
+    is_globally_satisfying,
+    is_locally_satisfying,
+    locally_satisfies,
+    lsat_but_not_wsat,
+    satisfies,
+    single_relation_state,
+    weak_instance,
+)
+from repro.chase.tableau import ChaseTableau, RowOrigin, SymbolTable
+
+__all__ = [
+    "ChaseTableau",
+    "SymbolTable",
+    "RowOrigin",
+    "ChaseResult",
+    "ChaseStep",
+    "Contradiction",
+    "chase",
+    "chase_fds",
+    "chase_state",
+    "explain_contradiction",
+    "SatisfactionResult",
+    "satisfies",
+    "weak_instance",
+    "locally_satisfies",
+    "single_relation_state",
+    "is_locally_satisfying",
+    "is_globally_satisfying",
+    "lsat_but_not_wsat",
+]

@@ -1,0 +1,308 @@
+"""The chase procedure of [MMS] (Section 2 of the paper).
+
+Two rules operate on a :class:`~repro.chase.tableau.ChaseTableau`:
+
+* **FD-rule** — for ``X → Y`` and two rows agreeing on ``X`` but
+  disagreeing on ``B ∈ Y``: merge the two ``B``-symbols (replacing a
+  variable by the other symbol everywhere).  Merging two distinct
+  *constants* is a contradiction: the chased state is unsatisfiable.
+* **JD-rule** — for ``*{S1,…,Sn}``: any universal tuple whose
+  ``Si``-projection matches an existing row for every ``i`` is added
+  (i.e. the tableau is closed under the join of its projections).
+
+``chase`` alternates the FD-closure and the JD-rule until a fixpoint or
+a contradiction.  MVDs are chased through their equivalent binary JDs.
+
+The engine records a structured trace and enforces a step/row budget so
+pathological cyclic cases fail loudly (:class:`ChaseBudgetExceeded`)
+instead of hanging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.chase.tableau import ChaseTableau, RowOrigin
+from repro.deps.fd import FD
+from repro.deps.jd import JoinDependency
+from repro.deps.mvd import MVD
+from repro.exceptions import ChaseBudgetExceeded
+from repro.schema.attributes import AttributeSet
+
+DEFAULT_MAX_ROWS = 100_000
+DEFAULT_MAX_PASSES = 10_000
+
+
+@dataclass(frozen=True)
+class Contradiction:
+    """Witness of a chase contradiction: the FD whose application tried
+    to equate two distinct constants."""
+
+    fd: FD
+    attribute: str
+    values: PyTuple[Any, Any]
+    row_a: int
+    row_b: int
+
+    def __str__(self) -> str:
+        va, vb = self.values
+        return (
+            f"FD {self.fd} forces {self.attribute} to be both "
+            f"{va!r} and {vb!r} (rows {self.row_a}, {self.row_b})"
+        )
+
+
+@dataclass(frozen=True)
+class ChaseStep:
+    """One recorded FD-rule application (``record_steps=True``)."""
+
+    fd: FD
+    attribute: str
+    row_a: int
+    row_b: int
+
+    def describe(self, tableau: ChaseTableau) -> str:
+        oa, ob = tableau.origin(self.row_a), tableau.origin(self.row_b)
+        where_a = oa.scheme or oa.kind
+        where_b = ob.scheme or ob.kind
+        return (
+            f"{self.fd} equated {self.attribute} between rows "
+            f"{self.row_a} ({where_a}) and {self.row_b} ({where_b})"
+        )
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of a chase run."""
+
+    tableau: ChaseTableau
+    consistent: bool
+    contradiction: Optional[Contradiction] = None
+    steps: List[ChaseStep] = field(default_factory=list)
+    fd_merges: int = 0
+    jd_rows_added: int = 0
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+
+class _Budget:
+    __slots__ = ("max_rows", "max_passes", "passes")
+
+    def __init__(self, max_rows: int, max_passes: int):
+        self.max_rows = max_rows
+        self.max_passes = max_passes
+        self.passes = 0
+
+    def tick(self) -> None:
+        self.passes += 1
+        if self.passes > self.max_passes:
+            raise ChaseBudgetExceeded(
+                f"chase exceeded {self.max_passes} passes; "
+                "raise max_passes if this input is genuinely this large"
+            )
+
+    def check_rows(self, n: int) -> None:
+        if n > self.max_rows:
+            raise ChaseBudgetExceeded(
+                f"chase tableau exceeded {self.max_rows} rows; "
+                "raise max_rows if this input is genuinely this large"
+            )
+
+
+def _chase_fds_once(
+    tableau: ChaseTableau,
+    fd_list: Sequence[FD],
+    result: ChaseResult,
+    record_steps: bool = False,
+) -> bool:
+    """One full pass of the FD-rule over all FDs.  Returns True when any
+    merge happened; sets the contradiction on ``result`` if found."""
+    symbols = tableau.symbols
+    changed = False
+    for f in fd_list:
+        lhs_idx = [tableau.column_index(a) for a in f.lhs]
+        rhs_cols = [(a, tableau.column_index(a)) for a in f.effective_rhs]
+        if not rhs_cols:
+            continue
+        buckets: Dict[PyTuple[int, ...], int] = {}
+        for i in range(len(tableau)):
+            row = tableau.raw_row(i)
+            key = tuple(symbols.find(row[j]) for j in lhs_idx)
+            leader = buckets.get(key)
+            if leader is None:
+                buckets[key] = i
+                continue
+            lead_row = tableau.raw_row(leader)
+            for attr, j in rhs_cols:
+                merged, conflict = symbols.merge(lead_row[j], row[j])
+                if conflict is not None:
+                    result.consistent = False
+                    result.contradiction = Contradiction(
+                        fd=f, attribute=attr, values=conflict, row_a=leader, row_b=i
+                    )
+                    if record_steps:
+                        result.steps.append(
+                            ChaseStep(fd=f, attribute=attr, row_a=leader, row_b=i)
+                        )
+                    return changed
+                if merged:
+                    changed = True
+                    result.fd_merges += 1
+                    if record_steps:
+                        result.steps.append(
+                            ChaseStep(fd=f, attribute=attr, row_a=leader, row_b=i)
+                        )
+    return changed
+
+
+def chase_fds(
+    tableau: ChaseTableau,
+    fd_list: Iterable[FD],
+    max_passes: int = DEFAULT_MAX_PASSES,
+    record_steps: bool = False,
+) -> ChaseResult:
+    """Chase with the FD-rule only, to fixpoint (Honeyman's test).
+
+    ``record_steps=True`` logs every merge so contradictions can be
+    explained (:func:`explain_contradiction`).
+    """
+    fds = tuple(fd_list)
+    result = ChaseResult(tableau=tableau, consistent=True)
+    budget = _Budget(DEFAULT_MAX_ROWS, max_passes)
+    while True:
+        budget.tick()
+        changed = _chase_fds_once(tableau, fds, result, record_steps=record_steps)
+        if not result.consistent or not changed:
+            break
+    return result
+
+
+def explain_contradiction(result: ChaseResult) -> str:
+    """A human-readable account of how the chase reached its
+    contradiction (requires a run with ``record_steps=True``)."""
+    if result.consistent:
+        return "no contradiction: the state is satisfying"
+    lines = ["chase steps leading to the contradiction:"]
+    if not result.steps:
+        lines.append("  (run the chase with record_steps=True for the full chain)")
+    for step in result.steps:
+        lines.append("  " + step.describe(result.tableau))
+    if result.contradiction is not None:
+        lines.append(f"CONTRADICTION: {result.contradiction}")
+    return "\n".join(lines)
+
+
+def _apply_jd_rule(
+    tableau: ChaseTableau, jd: JoinDependency, budget: _Budget, result: ChaseResult
+) -> bool:
+    """Close the tableau under one application round of the JD-rule.
+
+    Computes the natural join of the per-component projections of the
+    current rows and adds every row not already present.  Returns True
+    when new rows were added.
+    """
+    cols = tableau.columns
+    if jd.universe != tableau.universe:
+        raise ValueError(
+            f"JD over {jd.universe} cannot be chased on a tableau over "
+            f"{tableau.universe}"
+        )
+    resolved = tableau.resolved_rows()
+    existing = set(resolved)
+
+    components = list(jd.components)
+    # Join the per-component projections incrementally (hash join),
+    # keeping the attribute order of the universe throughout.
+    sofar_attrs: List[str] = [a for a in cols if a in components[0]]
+    sofar: set = {
+        tuple(row[tableau.column_index(a)] for a in sofar_attrs) for row in resolved
+    }
+    for comp in components[1:]:
+        comp_attrs = [a for a in cols if a in comp]
+        comp_rows = {
+            tuple(row[tableau.column_index(a)] for a in comp_attrs) for row in resolved
+        }
+        common = [a for a in sofar_attrs if a in comp]
+        comp_pos = {a: k for k, a in enumerate(comp_attrs)}
+        index: Dict[PyTuple[int, ...], List[PyTuple[int, ...]]] = {}
+        for crow in comp_rows:
+            key = tuple(crow[comp_pos[a]] for a in common)
+            index.setdefault(key, []).append(crow)
+        sofar_pos = {a: k for k, a in enumerate(sofar_attrs)}
+        extra_attrs = [a for a in comp_attrs if a not in sofar_pos]
+        joined: set = set()
+        for prow in sofar:
+            key = tuple(prow[sofar_pos[a]] for a in common)
+            for crow in index.get(key, ()):
+                joined.add(prow + tuple(crow[comp_pos[a]] for a in extra_attrs))
+            budget.check_rows(len(joined))
+        sofar = joined
+        sofar_attrs = sofar_attrs + extra_attrs
+        if not sofar:
+            return False
+
+    # Components cover the universe, but the incremental order may have
+    # permuted the columns; restore universe order before comparing.
+    pos = {a: k for k, a in enumerate(sofar_attrs)}
+    order = [pos[a] for a in cols]
+    added = False
+    for prow in sofar:
+        full = tuple(prow[k] for k in order)
+        if full in existing:
+            continue
+        tableau.add_row(full, RowOrigin("jd", detail=str(jd)))
+        existing.add(full)
+        added = True
+        budget.check_rows(len(existing))
+    if added:
+        result.jd_rows_added += 1
+    return added
+
+
+def chase(
+    tableau: ChaseTableau,
+    fd_list: Iterable[FD] = (),
+    jds: Iterable[JoinDependency] = (),
+    mvds: Iterable[MVD] = (),
+    max_rows: int = DEFAULT_MAX_ROWS,
+    max_passes: int = DEFAULT_MAX_PASSES,
+) -> ChaseResult:
+    """The full chase: FD-rule to fixpoint, then JD/MVD rules, repeated
+    until nothing changes or a contradiction surfaces."""
+    fds = tuple(fd_list)
+    all_jds: List[JoinDependency] = list(jds)
+    for m in mvds:
+        all_jds.append(m.as_jd())
+    result = ChaseResult(tableau=tableau, consistent=True)
+    budget = _Budget(max_rows, max_passes)
+
+    while True:
+        # FD closure first: it only merges, never grows the tableau.
+        while True:
+            budget.tick()
+            changed = _chase_fds_once(tableau, fds, result)
+            if not result.consistent:
+                return result
+            if not changed:
+                break
+        grew = False
+        for jd in all_jds:
+            budget.tick()
+            if _apply_jd_rule(tableau, jd, budget, result):
+                grew = True
+        if not grew:
+            return result
+
+
+def chase_state(
+    state,
+    fd_list: Iterable[FD] = (),
+    jds: Iterable[JoinDependency] = (),
+    mvds: Iterable[MVD] = (),
+    **kwargs,
+) -> ChaseResult:
+    """Convenience: build ``I(p)`` from a state and chase it."""
+    tableau = ChaseTableau.from_state(state)
+    return chase(tableau, fd_list=fd_list, jds=jds, mvds=mvds, **kwargs)

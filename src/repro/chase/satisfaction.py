@@ -1,0 +1,132 @@
+"""Satisfaction of dependencies by database states (Section 2).
+
+A state ``p`` *satisfies* ``Σ`` when a **weak instance** exists: a
+universal instance containing every stored tuple (under projection)
+and satisfying ``Σ``.  The chase of ``I(p)`` decides this.
+
+Fast path (Lemma 4 + [H]): when every FD of ``F`` is embedded in the
+schema, the join dependency ``*D`` is free — a state satisfies
+``F ∪ {*D}`` iff it satisfies ``F``, and the FD-only chase (polynomial)
+decides it.  For non-embedded FDs the full chase with the JD-rule runs
+(this is the semantics oracle; the paper shows the general problem is
+coNP-hard, Theorem 1 / [Y]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple as PyTuple
+
+from repro.chase.engine import ChaseResult, chase, chase_fds
+from repro.chase.tableau import ChaseTableau
+from repro.data.relations import RelationInstance
+from repro.data.states import DatabaseState
+from repro.deps.fd import FD
+from repro.deps.fdset import as_fdset
+from repro.exceptions import InconsistentStateError
+from repro.schema.database import DatabaseSchema
+
+
+@dataclass(frozen=True)
+class SatisfactionResult:
+    """Outcome of a satisfaction test."""
+
+    satisfies: bool
+    chase_result: ChaseResult
+    used_jd_rule: bool
+
+    def weak_instance(self) -> RelationInstance:
+        if not self.satisfies:
+            raise InconsistentStateError(
+                f"no weak instance: {self.chase_result.contradiction}"
+            )
+        return self.chase_result.tableau.to_relation()
+
+
+def _all_embedded(fd_list: Iterable[FD], schema: DatabaseSchema) -> bool:
+    return all(
+        any(f.embedded_in(s.attributes) for s in schema) for f in fd_list
+    )
+
+
+def satisfies(
+    state: DatabaseState,
+    fd_list: Iterable[FD],
+    with_schema_jd: bool = True,
+    force_full_chase: bool = False,
+    **chase_kwargs,
+) -> SatisfactionResult:
+    """Does the state satisfy ``F ∪ {*D}`` (or ``F`` alone)?
+
+    ``with_schema_jd=False`` tests satisfaction of the FDs only.
+    ``force_full_chase=True`` disables the Lemma 4 fast path (useful to
+    cross-validate the fast path against the full semantics).
+    """
+    fds = tuple(as_fdset(fd_list))
+    schema = state.schema
+    need_jd = with_schema_jd and (
+        force_full_chase or not _all_embedded(fds, schema)
+    )
+    tableau = ChaseTableau.from_state(state)
+    if need_jd:
+        result = chase(tableau, fd_list=fds, jds=[schema.join_dependency()], **chase_kwargs)
+    else:
+        result = chase_fds(tableau, fds)
+    return SatisfactionResult(
+        satisfies=result.consistent, chase_result=result, used_jd_rule=need_jd
+    )
+
+
+def weak_instance(
+    state: DatabaseState, fd_list: Iterable[FD], **kwargs
+) -> RelationInstance:
+    """The weak instance produced by a successful chase (raises
+    :class:`InconsistentStateError` otherwise)."""
+    return satisfies(state, fd_list, **kwargs).weak_instance()
+
+
+def single_relation_state(state: DatabaseState, scheme_name: str) -> DatabaseState:
+    """The state ``{∅, …, ri, …, ∅}`` used to define local satisfaction."""
+    return DatabaseState(state.schema, {scheme_name: state[scheme_name]})
+
+
+def locally_satisfies(
+    state: DatabaseState,
+    fd_list: Iterable[FD],
+    with_schema_jd: bool = True,
+    force_full_chase: bool = False,
+) -> Dict[str, SatisfactionResult]:
+    """Local satisfaction per the paper: ``ri`` satisfies ``Σi`` iff the
+    state holding only ``ri`` satisfies ``Σ``.  Returns one result per
+    scheme name."""
+    out: Dict[str, SatisfactionResult] = {}
+    for scheme in state.schema:
+        solo = single_relation_state(state, scheme.name)
+        out[scheme.name] = satisfies(
+            solo, fd_list, with_schema_jd=with_schema_jd, force_full_chase=force_full_chase
+        )
+    return out
+
+
+def is_locally_satisfying(
+    state: DatabaseState, fd_list: Iterable[FD], **kwargs
+) -> bool:
+    """Is the state in ``LSAT(D, Σ)``?"""
+    return all(r.satisfies for r in locally_satisfies(state, fd_list, **kwargs).values())
+
+
+def is_globally_satisfying(
+    state: DatabaseState, fd_list: Iterable[FD], **kwargs
+) -> bool:
+    """Is the state in ``WSAT(D, Σ)``?"""
+    return satisfies(state, fd_list, **kwargs).satisfies
+
+
+def lsat_but_not_wsat(
+    state: DatabaseState, fd_list: Iterable[FD], **kwargs
+) -> bool:
+    """The independence-violating pattern: locally satisfying yet not
+    satisfying.  Used to verify counterexample states."""
+    return is_locally_satisfying(state, fd_list, **kwargs) and not is_globally_satisfying(
+        state, fd_list, **kwargs
+    )

@@ -1,0 +1,245 @@
+"""Chase tableaux.
+
+A :class:`ChaseTableau` is the universal relation ``I(p)`` of Section 2:
+one row per stored tuple, padded out to the universe ``U`` with fresh
+variables.  Symbols (constants and variables) are interned integers
+managed by a union-find, so the FD-rule's "replace all occurrences"
+is a single union operation.
+
+The tableau is the shared substrate of every chase in the library:
+satisfaction testing (Section 2), FD implication under ``F ∪ {*D}``
+(Section 3, two-row tableaux), the lossless-join test of [ABU], and
+weak-instance materialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.data.relations import RelationInstance
+from repro.data.states import DatabaseState
+from repro.data.tuples import Tuple
+from repro.data.values import Null, is_null
+from repro.exceptions import InstanceError
+from repro.schema.attributes import AttributeSet, AttrsLike
+from repro.util.unionfind import UnionFind
+
+_CONST_SENTINEL = object()
+
+
+class SymbolTable:
+    """Interned symbols with union-find merging.
+
+    Every symbol is an ``int``.  A symbol is a *constant* when it has an
+    associated value, otherwise a *variable* (the paper's ndv/dv).
+    Merging two constants with different values is a *contradiction*;
+    merging a constant with a variable promotes the class to constant.
+    """
+
+    __slots__ = ("_uf", "_const", "_by_value", "_next")
+
+    def __init__(self) -> None:
+        self._uf = UnionFind()
+        self._const: Dict[int, Any] = {}
+        self._by_value: Dict[Any, int] = {}
+        self._next = 0
+
+    def fresh_variable(self) -> int:
+        sym = self._next
+        self._next += 1
+        self._uf.add(sym)
+        return sym
+
+    def constant(self, value: Any) -> int:
+        """The unique symbol for a constant value (interned)."""
+        if is_null(value):
+            raise InstanceError(
+                "labelled nulls cannot enter a tableau as constants; "
+                "use fresh variables instead"
+            )
+        try:
+            return self._by_value[value]
+        except KeyError:
+            pass
+        except TypeError:
+            raise InstanceError(f"unhashable constant {value!r}") from None
+        sym = self.fresh_variable()
+        self._const[sym] = value
+        self._by_value[value] = sym
+        return sym
+
+    def find(self, sym: int) -> int:
+        return self._uf.find(sym)
+
+    def value_of(self, sym: int) -> Any:
+        """The constant value of the symbol's class, or ``_CONST_SENTINEL``."""
+        return self._const.get(self.find(sym), _CONST_SENTINEL)
+
+    def is_constant(self, sym: int) -> bool:
+        return self.find(sym) in self._const
+
+    def merge(self, a: int, b: int) -> PyTuple[bool, Optional[PyTuple[Any, Any]]]:
+        """Union the classes of ``a`` and ``b``.
+
+        Returns ``(changed, conflict)``: ``conflict`` is the pair of
+        distinct constant values when both classes were constants —
+        the chase's contradiction.
+        """
+        ra, rb = self._uf.find(a), self._uf.find(b)
+        if ra == rb:
+            return False, None
+        ca = self._const.get(ra, _CONST_SENTINEL)
+        cb = self._const.get(rb, _CONST_SENTINEL)
+        if ca is not _CONST_SENTINEL and cb is not _CONST_SENTINEL:
+            if ca != cb:
+                return False, (ca, cb)
+        root = self._uf.union(ra, rb)
+        winner = ca if ca is not _CONST_SENTINEL else cb
+        if winner is not _CONST_SENTINEL:
+            self._const.pop(ra, None)
+            self._const.pop(rb, None)
+            self._const[root] = winner
+        return True, None
+
+    def resolve_value(self, sym: int) -> Any:
+        """Constant value, or a :class:`Null` labelled by the class root."""
+        root = self.find(sym)
+        val = self._const.get(root, _CONST_SENTINEL)
+        if val is _CONST_SENTINEL:
+            return Null(root)
+        return val
+
+
+@dataclass(frozen=True)
+class RowOrigin:
+    """Provenance of a tableau row (for traces and counterexamples)."""
+
+    kind: str  # "state", "seed", "jd"
+    scheme: Optional[str] = None
+    detail: str = ""
+
+
+class ChaseTableau:
+    """Rows of interned symbols over a fixed universe."""
+
+    __slots__ = ("universe", "_cols", "_colidx", "symbols", "_rows", "_origins")
+
+    def __init__(self, universe: AttrsLike):
+        uni = AttributeSet(universe)
+        if not uni:
+            raise InstanceError("a tableau needs a non-empty universe")
+        self.universe = uni
+        self._cols: PyTuple[str, ...] = uni.names
+        self._colidx = {a: i for i, a in enumerate(self._cols)}
+        self.symbols = SymbolTable()
+        self._rows: List[PyTuple[int, ...]] = []
+        self._origins: List[RowOrigin] = []
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_state(cls, state: DatabaseState) -> "ChaseTableau":
+        """``I(p)``: pad every stored tuple to ``U`` with fresh variables."""
+        tab = cls(state.schema.universe)
+        for scheme, relation in state:
+            for t in relation:
+                tab.add_padded(scheme.attributes, t, RowOrigin("state", scheme.name))
+        return tab
+
+    @classmethod
+    def from_relation(cls, universe: AttrsLike, relation: RelationInstance,
+                      scheme_name: str = "r") -> "ChaseTableau":
+        tab = cls(universe)
+        for t in relation:
+            tab.add_padded(relation.attributes, t, RowOrigin("state", scheme_name))
+        return tab
+
+    def add_padded(self, attrset: AttributeSet, t: Tuple, origin: RowOrigin) -> int:
+        """Add a tuple over a sub-scheme, padded with fresh variables."""
+        row = []
+        for a in self._cols:
+            if a in attrset:
+                row.append(self.symbols.constant(t.value(a)))
+            else:
+                row.append(self.symbols.fresh_variable())
+        return self.add_row(tuple(row), origin)
+
+    def add_row(self, syms: PyTuple[int, ...], origin: RowOrigin) -> int:
+        if len(syms) != len(self._cols):
+            raise InstanceError("row arity does not match the universe")
+        self._rows.append(syms)
+        self._origins.append(origin)
+        return len(self._rows) - 1
+
+    def seed_row(self, shared: Dict[str, int], origin: RowOrigin) -> int:
+        """Add a row with given symbols in some columns, fresh elsewhere
+        (used by implication tableaux)."""
+        row = []
+        for a in self._cols:
+            row.append(shared.get(a, self.symbols.fresh_variable()))
+        return self.add_row(tuple(row), origin)
+
+    # -- access ------------------------------------------------------------------
+
+    @property
+    def columns(self) -> PyTuple[str, ...]:
+        return self._cols
+
+    def column_index(self, attr: str) -> int:
+        return self._colidx[attr]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def raw_row(self, i: int) -> PyTuple[int, ...]:
+        return self._rows[i]
+
+    def origin(self, i: int) -> RowOrigin:
+        return self._origins[i]
+
+    def resolved_row(self, i: int) -> PyTuple[int, ...]:
+        """The row with every symbol replaced by its class root."""
+        find = self.symbols.find
+        return tuple(find(s) for s in self._rows[i])
+
+    def resolved_rows(self) -> List[PyTuple[int, ...]]:
+        find = self.symbols.find
+        return [tuple(find(s) for s in row) for row in self._rows]
+
+    def symbol_at(self, i: int, attr: str) -> int:
+        return self.symbols.find(self._rows[i][self._colidx[attr]])
+
+    # -- extraction -----------------------------------------------------------------
+
+    def to_relation(self) -> RelationInstance:
+        """Materialize as a relation over ``U`` (variables → labelled
+        nulls) — the weak instance when the chase succeeded."""
+        resolve = self.symbols.resolve_value
+        rows = []
+        for row in self._rows:
+            rows.append(tuple(resolve(s) for s in row))
+        return RelationInstance(self.universe, rows)
+
+    def total_projection(self, attrset: AttrsLike) -> RelationInstance:
+        """Rows whose ``X``-values are all constants, projected on ``X``
+        (the weak-instance query answer of [S1]/[M])."""
+        target = AttributeSet(attrset)
+        idxs = [self._colidx[a] for a in target]
+        resolve = self.symbols.resolve_value
+        rows = []
+        for row in self._rows:
+            vals = tuple(resolve(row[i]) for i in idxs)
+            if all(not is_null(v) for v in vals):
+                rows.append(vals)
+        return RelationInstance(target, rows)
+
+    def pretty(self, max_rows: int = 30) -> str:
+        resolve = self.symbols.resolve_value
+        header = " | ".join(f"{c:>8}" for c in self._cols)
+        lines = [header, "-" * len(header)]
+        for i, row in enumerate(self._rows[:max_rows]):
+            lines.append(" | ".join(f"{str(resolve(s)):>8}" for s in row))
+        if len(self._rows) > max_rows:
+            lines.append(f"… ({len(self._rows)} rows)")
+        return "\n".join(lines)

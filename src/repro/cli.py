@@ -1,0 +1,131 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro analyze <scenario-file>     # independence analysis
+    python -m repro check <scenario-file>       # does the state satisfy Σ?
+    python -m repro query <scenario-file> -a "T H R"
+    python -m repro demo                        # the paper's examples
+
+Scenario files use the DSL of :mod:`repro.dsl`::
+
+    schema: CT(C,T); CS(C,S); CHR(C,H,R)
+    fds: C -> T; C H -> R
+    state:
+      CT: (CS101, Smith)
+      CHR: (CS101, Mon-10, 313)
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from repro.chase.satisfaction import satisfies
+from repro.core.independence import analyze
+from repro.dsl import Scenario, parse_scenario
+from repro.exceptions import ReproError
+from repro.report import banner
+from repro.weak.representative import window
+from repro.workloads.paper import ALL_EXAMPLES
+
+
+def _load(path: str) -> Scenario:
+    text = pathlib.Path(path).read_text()
+    return parse_scenario(text)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    scenario = _load(args.scenario)
+    report = analyze(scenario.schema, scenario.fds, engine=args.engine)
+    print(report.summary())
+    return 0 if report.independent else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    scenario = _load(args.scenario)
+    if scenario.state is None:
+        print("scenario has no state section", file=sys.stderr)
+        return 2
+    result = satisfies(scenario.state, scenario.fds)
+    if result.satisfies:
+        print("SATISFYING — a weak instance exists")
+        return 0
+    print(f"NOT SATISFYING — {result.chase_result.contradiction}")
+    return 1
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    scenario = _load(args.scenario)
+    if scenario.state is None:
+        print("scenario has no state section", file=sys.stderr)
+        return 2
+    facts = window(scenario.state, scenario.fds, args.attributes)
+    for t in facts:
+        print("  " + " | ".join(f"{a}={t.value(a)}" for a in facts.attributes))
+    print(f"({len(facts)} derivable fact(s) over {facts.attributes})")
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    for make in ALL_EXAMPLES:
+        example = make()
+        print(banner(example.name))
+        report = analyze(example.schema, example.fds)
+        print(report.summary())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Independence analysis for relational database schemas "
+            "(Graham & Yannakakis, PODS 1982)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="decide independence of a scenario's schema")
+    p.add_argument("scenario", help="path to a scenario file")
+    p.add_argument(
+        "--engine",
+        choices=("auto", "mvd", "chase"),
+        default="auto",
+        help="cl_Σ engine (default: auto)",
+    )
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("check", help="test whether the scenario's state satisfies Σ")
+    p.add_argument("scenario")
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("query", help="derivable facts over given attributes")
+    p.add_argument("scenario")
+    p.add_argument("-a", "--attributes", required=True, help='e.g. "T H R"')
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("demo", help="run the paper's examples")
+    p.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

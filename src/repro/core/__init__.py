@@ -1,0 +1,94 @@
+"""The paper's core: Sections 3 and 4, counterexamples, maintenance,
+the Theorem 1 reduction, and the semantic oracle."""
+
+from repro.core.counterexamples import (
+    Lemma7Witness,
+    VerifiedCounterexample,
+    find_lemma7_witness,
+    lemma3_counterexample,
+    lemma7_counterexample,
+    theorem4_counterexample,
+    verify_counterexample,
+)
+from repro.core.embedding import (
+    EmbeddedFD,
+    EmbeddingReport,
+    embedding_report,
+    embeds_cover,
+    g1_closure,
+    preserves_dependencies,
+)
+from repro.core.constraints import (
+    constraint_gap,
+    embedded_implied_fds,
+    implied_constraint_map,
+)
+from repro.core.independence import IndependenceReport, analyze, is_independent
+from repro.core.keybased import (
+    KeyedScheme,
+    analyze_key_based,
+    key_based_schema,
+    keyed,
+)
+from repro.core.loop import (
+    FDAssignment,
+    Lhs,
+    LoopRejection,
+    SchemeRunResult,
+    run_all,
+    run_for_scheme,
+)
+from repro.core.maintenance import InsertOutcome, MaintenanceChecker
+from repro.core.oracle import (
+    enumerate_states,
+    find_independence_counterexample,
+    random_counterexample_search,
+)
+from repro.core.reduction import (
+    ReductionInstance,
+    join_membership,
+    reduce_membership_to_maintenance,
+)
+from repro.core.tagged import TaggedRow, TaggedTableau
+
+__all__ = [
+    "analyze",
+    "is_independent",
+    "IndependenceReport",
+    "embedding_report",
+    "embeds_cover",
+    "g1_closure",
+    "preserves_dependencies",
+    "EmbeddedFD",
+    "EmbeddingReport",
+    "FDAssignment",
+    "Lhs",
+    "LoopRejection",
+    "SchemeRunResult",
+    "run_all",
+    "run_for_scheme",
+    "TaggedRow",
+    "TaggedTableau",
+    "Lemma7Witness",
+    "VerifiedCounterexample",
+    "find_lemma7_witness",
+    "lemma3_counterexample",
+    "lemma7_counterexample",
+    "theorem4_counterexample",
+    "verify_counterexample",
+    "MaintenanceChecker",
+    "InsertOutcome",
+    "KeyedScheme",
+    "keyed",
+    "key_based_schema",
+    "analyze_key_based",
+    "embedded_implied_fds",
+    "implied_constraint_map",
+    "constraint_gap",
+    "ReductionInstance",
+    "join_membership",
+    "reduce_membership_to_maintenance",
+    "enumerate_states",
+    "find_independence_counterexample",
+    "random_counterexample_search",
+]

@@ -1,0 +1,88 @@
+"""Per-relation implied constraints ``Σi`` (Section 2).
+
+A relation ``ri`` over ``Ri`` satisfies ``Σi`` iff the state holding
+only ``ri`` satisfies ``Σ`` — that is the *definition*; this module
+computes the **FD part** of ``Σi`` explicitly: every FD ``X → A`` with
+``XA ⊆ Ri`` implied by ``Σ = F ∪ {*D}``, via ``cl_Σ`` closures over
+the subsets of ``Ri`` (exponential in ``|Ri|``, which is fine at
+relation-scheme sizes; the decision procedure itself never needs it).
+
+The paper proves (Theorem 3) that for *independent* schemas, the
+embedded cover FDs ``Hi`` cover all of ``Σi`` — so for independent
+schemas :func:`embedded_implied_fds` is equivalent to the maintenance
+cover, which the test suite checks.  For non-independent schemas this
+view makes the *gap* visible: constraints a relation must satisfy that
+its assigned FDs do not mention.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, List, Union
+
+from repro.deps.fd import FD
+from repro.deps.fdset import FDSet, as_fdset
+from repro.deps.implication import Engine, SchemaClosures
+from repro.schema.attributes import AttributeSet, AttrsLike
+from repro.schema.database import DatabaseSchema
+
+
+def embedded_implied_fds(
+    schema: DatabaseSchema,
+    fds: Union[FDSet, str, Iterable[FD]],
+    scheme_name: str,
+    engine: Engine = "auto",
+    max_lhs: int = 4,
+) -> FDSet:
+    """A cover of the FD part of ``Σi``: FDs over ``Ri`` implied by
+    ``F ∪ {*D}``.
+
+    One FD ``X → (cl_Σ(X) ∩ Ri)`` per non-degenerate lhs ``X ⊆ Ri``
+    (``|X| ≤ max_lhs``).  Trivial FDs are dropped.
+    """
+    fdset = as_fdset(fds)
+    scheme = schema[scheme_name]
+    closures = SchemaClosures(schema, fdset, engine=engine)
+    names = scheme.attributes.names
+    out: List[FD] = []
+    for k in range(0, min(max_lhs, len(names)) + 1):
+        for combo in combinations(names, k):
+            lhs = AttributeSet(combo)
+            rhs = closures.closure(lhs) & scheme.attributes
+            if rhs - lhs:
+                out.append(FD(lhs, rhs))
+    return FDSet(out)
+
+
+def implied_constraint_map(
+    schema: DatabaseSchema,
+    fds: Union[FDSet, str, Iterable[FD]],
+    engine: Engine = "auto",
+    max_lhs: int = 4,
+) -> Dict[str, FDSet]:
+    """``Σi`` FD-covers for every scheme."""
+    return {
+        s.name: embedded_implied_fds(schema, fds, s.name, engine=engine, max_lhs=max_lhs)
+        for s in schema
+    }
+
+
+def constraint_gap(
+    schema: DatabaseSchema,
+    fds: Union[FDSet, str, Iterable[FD]],
+    assigned: Dict[str, FDSet],
+    engine: Engine = "auto",
+) -> Dict[str, FDSet]:
+    """FDs of ``Σi`` *not* implied by the scheme's assigned FDs.
+
+    Empty everywhere iff each assignment covers its relation's implied
+    constraints — which Theorem 3 shows is exactly the independent
+    case (checked in the tests).
+    """
+    gaps: Dict[str, FDSet] = {}
+    for s in schema:
+        sigma_i = embedded_implied_fds(schema, fds, s.name, engine=engine)
+        local = assigned.get(s.name, FDSet())
+        missing = [f for f in sigma_i if not local.implies(f)]
+        gaps[s.name] = FDSet(missing)
+    return gaps

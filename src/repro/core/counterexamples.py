@@ -1,0 +1,243 @@
+"""Counterexample states witnessing non-independence.
+
+Every "not independent" verdict of the library is accompanied by a
+concrete database state that is **locally satisfying but not
+satisfying** — the pattern whose impossibility defines independence.
+Three constructions from the paper are implemented:
+
+* **Lemma 3** — condition (1) of Theorem 2 fails: a two-tuple
+  universal instance agreeing exactly on ``cl_{G1}(X)`` is projected
+  onto the schema.
+* **Lemma 7** — a nonredundant derivation of an FD embedded in ``Ri``
+  uses an FD from a different relation's set ``Fj``: a one-tuple
+  relation asserting ``A = 1`` is contradicted through the derivation
+  chain, every link of which lives in another relation.  (The
+  footnote's "FD embedded in two schemes" situation is the one-step
+  special case.)
+* **Theorem 4** — the loop rejected: the tableaux at the point of
+  rejection are instantiated with ``σ`` (dv ↦ 0, except the
+  ``X*new``-columns of the ``X*``-row ↦ 1; ndv ↦ fresh constants).
+
+All constructions are *verified* by the chase (locally satisfying, no
+weak instance) before being handed to callers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple as PyTuple
+
+from repro.chase.satisfaction import is_globally_satisfying, is_locally_satisfying
+from repro.core.loop import FDAssignment, LoopRejection
+from repro.core.tagged import TaggedRow
+from repro.data.relations import RelationInstance
+from repro.data.states import DatabaseState
+from repro.data.tuples import Tuple
+from repro.deps.closure import closure
+from repro.deps.derivation import Derivation, nonredundant_derivation
+from repro.deps.fd import FD
+from repro.deps.fdset import FDSet
+from repro.exceptions import DependencyError
+from repro.schema.attributes import AttributeSet
+from repro.schema.database import DatabaseSchema
+
+
+# ---------------------------------------------------------------------------
+# Lemma 3: condition (1) failures.
+# ---------------------------------------------------------------------------
+
+def lemma3_counterexample(
+    schema: DatabaseSchema,
+    fds: FDSet,
+    failed_fd: FD,
+    g1_closure_of_lhs: AttributeSet,
+) -> DatabaseState:
+    """The projection of a two-tuple instance agreeing exactly on
+    ``cl_{G1}(X)`` (Lemma 3): locally satisfying, yet every containing
+    instance that satisfies ``*D`` violates ``X → A``."""
+    agree = g1_closure_of_lhs
+    universe = schema.universe
+    row_u: Dict[str, object] = {}
+    row_v: Dict[str, object] = {}
+    for a in universe:
+        if a in agree:
+            row_u[a] = 0
+            row_v[a] = 0
+        else:
+            row_u[a] = f"u.{a}"
+            row_v[a] = f"v.{a}"
+    universal = RelationInstance(universe, [row_u, row_v])
+    return DatabaseState.from_universal(schema, universal)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 7: cross-scheme derivations.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Lemma7Witness:
+    """A nonredundant derivation of ``(Ri − A) → A`` that uses no FD of
+    ``Fi`` — the hypothesis of Lemma 7, discovered constructively."""
+
+    scheme: str
+    attr: str
+    derivation: Derivation
+    homes: PyTuple[str, ...]  # home scheme of each derivation step
+
+    def __str__(self) -> str:
+        steps = ", ".join(
+            f"{f} [{h}]" for f, h in zip(self.derivation.steps, self.homes)
+        )
+        return (
+            f"derivation of ({self.scheme} − {self.attr}) -> {self.attr} "
+            f"avoiding F_{self.scheme}: {steps}"
+        )
+
+
+def find_lemma7_witness(assignment: FDAssignment) -> Optional[Lemma7Witness]:
+    """Search for the Lemma 7 hypothesis.
+
+    Equivalent form used here: there is a scheme ``Ri`` and an
+    attribute ``A ∈ Ri`` with ``A ∈ cl_{F−Fi}(Ri − A)`` — any
+    nonredundant derivation extracted from that closure uses only
+    foreign FDs.  (Lemma 7's proof shows the general hypothesis always
+    reduces to this shape.)
+    """
+    schema = assignment.schema
+    for scheme in schema:
+        foreign = assignment.foreign_fds(scheme.name)
+        if not foreign:
+            continue
+        # homes of the singleton-rhs expansions
+        expanded: List[FD] = []
+        homes: Dict[FD, str] = {}
+        for f in foreign:
+            home = assignment.home_of(f)
+            for g in f.expand():
+                if g not in homes:
+                    homes[g] = home
+                    expanded.append(g)
+        for a in scheme.attributes:
+            rest = scheme.attributes - (a,)
+            if a in closure(rest, expanded):
+                deriv = nonredundant_derivation(expanded, rest, a)
+                assert deriv is not None and deriv.steps, (
+                    "closure said derivable but no nonredundant derivation found"
+                )
+                return Lemma7Witness(
+                    scheme=scheme.name,
+                    attr=a,
+                    derivation=deriv,
+                    homes=tuple(homes[g] for g in deriv.steps),
+                )
+    return None
+
+
+def lemma7_counterexample(
+    assignment: FDAssignment, witness: Lemma7Witness
+) -> DatabaseState:
+    """The Lemma 7 state: ``ri`` holds a single tuple with 0 everywhere
+    except ``1`` at ``A``; every derivation step contributes a tuple to
+    its home relation with 0's on ``cl_F(Y) ∩ Rj`` and fresh constants
+    elsewhere."""
+    schema = assignment.schema
+    all_fds = assignment.all_fds()
+    fresh = itertools.count(2)
+    rows: Dict[str, List[Dict[str, object]]] = {s.name: [] for s in schema}
+
+    target_scheme = schema[witness.scheme]
+    row: Dict[str, object] = {
+        a: (1 if a == witness.attr else 0) for a in target_scheme.attributes
+    }
+    rows[witness.scheme].append(row)
+
+    for f, home in zip(witness.derivation.steps, witness.homes):
+        if home == witness.scheme:
+            raise DependencyError(
+                "Lemma 7 witness has a step in the target scheme's own FD set"
+            )
+        home_scheme = schema[home]
+        zeros = closure(f.lhs, all_fds) & home_scheme.attributes
+        rows[home].append(
+            {
+                a: (0 if a in zeros else next(fresh))
+                for a in home_scheme.attributes
+            }
+        )
+
+    return DatabaseState(schema, {name: rs for name, rs in rows.items() if rs})
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4: rejection of the loop.
+# ---------------------------------------------------------------------------
+
+def theorem4_counterexample(
+    assignment: FDAssignment, rejection: LoopRejection
+) -> DatabaseState:
+    """Instantiate the tableaux at the point of rejection.
+
+    ``T = T(X) ∪ T(A) ∪ {all-dv row over Rl tagged Rl}``; the valuation
+    ``σ`` sends every dv to 0 — except the ``X*new`` columns of the
+    ``X*``-row, which go to 1 — and every ndv to a fresh constant.
+    """
+    schema = assignment.schema
+    run_for = schema[rejection.run_for]
+    x = rejection.x
+
+    rows: List[TaggedRow] = sorted(
+        set(rejection.tableau_x.rows)
+        | set(rejection.tableau_attr.rows)
+        | {TaggedRow(run_for.name, run_for.attributes)},
+        key=lambda r: (r.tag, r.dvset.names),
+    )
+    xstar_row = TaggedRow(x.scheme, x.star)
+
+    fresh = itertools.count(2)
+    per_scheme: Dict[str, List[Dict[str, object]]] = {s.name: [] for s in schema}
+    for row in rows:
+        scheme = schema[row.tag]
+        tup: Dict[str, object] = {}
+        is_xstar = row == xstar_row
+        for a in scheme.attributes:
+            if a in row.dvset:
+                tup[a] = 1 if (is_xstar and a in rejection.x_new) else 0
+            else:
+                tup[a] = next(fresh)
+        per_scheme[row.tag].append(tup)
+
+    return DatabaseState(
+        schema, {name: rs for name, rs in per_scheme.items() if rs}
+    )
+
+
+# ---------------------------------------------------------------------------
+# Verification.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class VerifiedCounterexample:
+    """A counterexample state plus its chase-based verification."""
+
+    state: DatabaseState
+    construction: str  # "lemma3" | "lemma7" | "theorem4"
+    locally_satisfying: bool
+    globally_satisfying: bool
+
+    @property
+    def verified(self) -> bool:
+        return self.locally_satisfying and not self.globally_satisfying
+
+
+def verify_counterexample(
+    state: DatabaseState, fds: FDSet, construction: str
+) -> VerifiedCounterexample:
+    """Check the defining pattern with the chase: locally satisfying,
+    not globally satisfying (w.r.t. ``F ∪ {*D}``)."""
+    return VerifiedCounterexample(
+        state=state,
+        construction=construction,
+        locally_satisfying=is_locally_satisfying(state, fds),
+        globally_satisfying=is_globally_satisfying(state, fds),
+    )

@@ -1,0 +1,182 @@
+"""Section 3: condition (1) — does ``D`` embed a cover of ``G``?
+
+``G`` is the set of FDs implied by ``Σ = F ∪ {*D}`` and ``G1 = G | D``
+its embedded part.  By Lemma 2, ``D`` embeds a cover of ``G`` iff
+``G1 ⊨ F``, i.e. iff ``A ∈ cl_{G1}(X)`` for every ``X → A ∈ F``.
+
+``cl_{G1}`` is computed by the paper's extension of the
+Beeri–Honeyman procedure (Lemma 5):
+
+    while there is a change:
+        for each relation scheme Ri:
+            add to Z the attributes of Ri ∩ cl_Σ(Ri ∩ Z)
+
+where ``cl_Σ`` is FD closure *in the presence of the join dependency*
+(:class:`repro.deps.implication.SchemaClosures`).  When condition (1)
+holds, the FDs ``(Ri ∩ Z) → Ri ∩ cl_Σ(Ri ∩ Z)`` that fired during
+these closures form an embedded cover ``H`` of ``G`` with
+``|H| ≤ |F| · |U|``; each FD of ``H`` carries the scheme it came from,
+which is the assignment Section 4 consumes.
+
+Setting ``with_jd=False`` recovers the original Beeri–Honeyman test
+("does D embed a cover of F?" — dependency preservation of classical
+normalization theory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple as PyTuple
+
+from repro.deps.closure import closure as fd_closure
+from repro.deps.fd import FD
+from repro.deps.fdset import FDSet
+from repro.deps.implication import Engine, SchemaClosures
+from repro.schema.attributes import AttributeSet, AttrsLike
+from repro.schema.database import DatabaseSchema
+
+
+@dataclass(frozen=True)
+class EmbeddedFD:
+    """An FD of the embedded cover ``H`` together with its home scheme."""
+
+    fd: FD
+    scheme: str
+
+    def __str__(self) -> str:
+        return f"{self.fd}  [in {self.scheme}]"
+
+
+@dataclass
+class G1ClosureResult:
+    """``cl_{G1}(X)`` plus the embedded FDs that fired to compute it."""
+
+    start: AttributeSet
+    closure: AttributeSet
+    fired: List[EmbeddedFD] = field(default_factory=list)
+
+
+@dataclass
+class EmbeddingReport:
+    """Outcome of the condition (1) test."""
+
+    schema: DatabaseSchema
+    fds: FDSet
+    with_jd: bool
+    cover_embedding: bool
+    #: FDs of F whose rhs escaped cl_G1(lhs) — the condition (1) failures.
+    failures: List[PyTuple[FD, AttributeSet]] = field(default_factory=list)
+    #: the embedded cover H (when cover_embedding), with home schemes.
+    embedded_cover: List[EmbeddedFD] = field(default_factory=list)
+
+    def cover_fdset(self) -> FDSet:
+        return FDSet(e.fd for e in self.embedded_cover)
+
+    def cover_assignment(self) -> Dict[str, List[FD]]:
+        out: Dict[str, List[FD]] = {s.name: [] for s in self.schema}
+        for e in self.embedded_cover:
+            out[e.scheme].append(e.fd)
+        return out
+
+
+class _G1Closures:
+    """The Lemma 5 loop, parameterized by the underlying closure
+    (``cl_Σ`` with the JD, or plain FD closure without it)."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        fds: FDSet,
+        with_jd: bool,
+        engine: Engine = "auto",
+    ):
+        self.schema = schema
+        self.fds = fds
+        if with_jd:
+            self._closures = SchemaClosures(schema, fds, engine=engine)
+            self._cl = self._closures.closure
+        else:
+            self._cl = lambda x: fd_closure(x, fds)
+
+    def closure(self, attrset: AttrsLike) -> G1ClosureResult:
+        z = AttributeSet(attrset)
+        fired: List[EmbeddedFD] = []
+        changed = True
+        while changed:
+            changed = False
+            for scheme in self.schema:
+                local = scheme.attributes & z
+                gained = (scheme.attributes & self._cl(local)) - z
+                if gained:
+                    fired.append(
+                        EmbeddedFD(FD(local, local | gained), scheme.name)
+                    )
+                    z |= gained
+                    changed = True
+        return G1ClosureResult(start=AttributeSet(attrset), closure=z, fired=fired)
+
+
+def g1_closure(
+    schema: DatabaseSchema,
+    fds: Iterable[FD],
+    attrset: AttrsLike,
+    with_jd: bool = True,
+    engine: Engine = "auto",
+) -> AttributeSet:
+    """``cl_{G1}(X)`` — closure under the FDs of ``G`` embedded in ``D``."""
+    return _G1Closures(schema, FDSet(fds), with_jd, engine).closure(attrset).closure
+
+
+def embedding_report(
+    schema: DatabaseSchema,
+    fds: Iterable[FD],
+    with_jd: bool = True,
+    engine: Engine = "auto",
+) -> EmbeddingReport:
+    """Test condition (1) and, if it holds, build the embedded cover H.
+
+    ``with_jd=True`` (the paper's setting) takes ``G`` to be the FDs
+    implied by ``F ∪ {*D}``; ``with_jd=False`` is the classical
+    Beeri–Honeyman dependency-preservation test w.r.t. ``F`` alone.
+    """
+    fdset = FDSet(fds).nontrivial()
+    closures = _G1Closures(schema, fdset, with_jd, engine)
+    report = EmbeddingReport(
+        schema=schema, fds=fdset, with_jd=with_jd, cover_embedding=True
+    )
+    cover: List[EmbeddedFD] = []
+    seen = set()
+    for f in fdset:
+        result = closures.closure(f.lhs)
+        if not f.rhs <= result.closure:
+            report.cover_embedding = False
+            report.failures.append((f, result.closure))
+            continue
+        for e in result.fired:
+            key = (e.fd, e.scheme)
+            if key not in seen:
+                seen.add(key)
+                cover.append(e)
+    if report.cover_embedding:
+        report.embedded_cover = cover
+        # The paper's bound: at most |U| firings per FD of F.
+        assert len(cover) <= max(1, len(fdset)) * max(1, len(schema.universe)), (
+            "embedded cover exceeded the |F|·|U| bound"
+        )
+    return report
+
+
+def embeds_cover(
+    schema: DatabaseSchema,
+    fds: Iterable[FD],
+    with_jd: bool = True,
+    engine: Engine = "auto",
+) -> bool:
+    """Condition (1) as a boolean."""
+    return embedding_report(schema, fds, with_jd=with_jd, engine=engine).cover_embedding
+
+
+def preserves_dependencies(schema: DatabaseSchema, fds: Iterable[FD]) -> bool:
+    """Classical Beeri–Honeyman: does ``D`` embed a cover of ``F``
+    (ignoring the join dependency)?"""
+    return embeds_cover(schema, fds, with_jd=False)

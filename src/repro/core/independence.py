@@ -1,0 +1,173 @@
+"""Top-level independence analysis (Theorem 2 + Theorems 3–5).
+
+``analyze(D, F)`` decides whether the database schema ``D`` is
+independent with respect to ``Σ = F ∪ {*D}``:
+
+1. **Condition (1)** — Section 3: does ``D`` embed a cover ``H`` of the
+   FDs implied by ``Σ``?  If not, ``D`` is not independent (Lemma 3)
+   and a two-tuple counterexample state is produced.
+2. **Condition (2)** — Section 4: run "The Loop" on the embedded cover
+   ``H = ∪ Hi``.  Acceptance means independence; rejection yields a
+   counterexample via Lemma 7 (when a cross-scheme derivation exists)
+   or the Theorem 4 tableau instantiation.
+
+When independent, each relation's implied constraint set ``Σi`` is
+covered by its embedded FDs ``Hi`` (Theorem 3) — the returned report
+exposes them as per-relation *maintenance covers*, which is what makes
+single-relation updates checkable locally (see
+:mod:`repro.core.maintenance`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple as PyTuple, Union
+
+from repro.core.counterexamples import (
+    Lemma7Witness,
+    VerifiedCounterexample,
+    find_lemma7_witness,
+    lemma3_counterexample,
+    lemma7_counterexample,
+    theorem4_counterexample,
+    verify_counterexample,
+)
+from repro.core.embedding import EmbeddingReport, embedding_report
+from repro.core.loop import FDAssignment, LoopRejection, SchemeRunResult, run_all
+from repro.deps.fd import FD
+from repro.deps.fdset import FDSet
+from repro.deps.implication import Engine
+from repro.exceptions import DependencyError
+from repro.schema.database import DatabaseSchema
+
+
+@dataclass
+class IndependenceReport:
+    """Everything the analysis discovered."""
+
+    schema: DatabaseSchema
+    fds: FDSet
+    independent: bool
+    #: Section 3 outcome (condition (1) of Theorem 2).
+    embedding: EmbeddingReport
+    #: the embedded cover H partitioned over schemes (condition (1) held)
+    cover_assignment: Optional[Dict[str, FDSet]] = None
+    #: Section 4 per-scheme runs (in schema order, stops at rejection)
+    loop_results: List[SchemeRunResult] = field(default_factory=list)
+    rejection: Optional[LoopRejection] = None
+    lemma7: Optional[Lemma7Witness] = None
+    counterexample: Optional[VerifiedCounterexample] = None
+
+    @property
+    def cover_embedding(self) -> bool:
+        return self.embedding.cover_embedding
+
+    def maintenance_cover(self, scheme_name: str) -> FDSet:
+        """``Fi`` — a cover of the implied constraints ``Σi`` of the
+        scheme (only meaningful when the schema is independent,
+        Theorem 3)."""
+        if not self.independent or self.cover_assignment is None:
+            raise DependencyError(
+                "maintenance covers exist only for independent schemas"
+            )
+        return self.cover_assignment[scheme_name]
+
+    def summary(self) -> str:
+        lines = [
+            f"schema: {self.schema}",
+            f"fds:    {self.fds}",
+            f"independent: {self.independent}",
+            f"condition (1) cover-embedding: {self.cover_embedding}",
+        ]
+        if self.embedding.failures:
+            for f, cl in self.embedding.failures:
+                lines.append(f"  not embedded-derivable: {f} (cl_G1({f.lhs}) = {cl})")
+        if self.cover_assignment is not None:
+            for name, fi in self.cover_assignment.items():
+                if fi:
+                    lines.append(f"  H_{name}: {fi}")
+        if self.rejection is not None:
+            lines.append(f"loop: {self.rejection}")
+        if self.lemma7 is not None:
+            lines.append(f"lemma 7 witness: {self.lemma7}")
+        if self.counterexample is not None:
+            ce = self.counterexample
+            lines.append(
+                f"counterexample ({ce.construction}; verified={ce.verified}):"
+            )
+            lines.extend("  " + ln for ln in ce.state.pretty().splitlines())
+        return "\n".join(lines)
+
+
+def _validate(schema: DatabaseSchema, fds: FDSet) -> None:
+    for f in fds:
+        if not f.attributes <= schema.universe:
+            raise DependencyError(
+                f"FD {f} mentions attributes outside the universe {schema.universe}"
+            )
+
+
+def analyze(
+    schema: DatabaseSchema,
+    fds: Union[FDSet, Iterable[FD], str],
+    engine: Engine = "auto",
+    build_counterexample: bool = True,
+) -> IndependenceReport:
+    """Decide independence of ``D`` w.r.t. ``F ∪ {*D}``.
+
+    ``engine`` selects the ``cl_Σ`` machinery ("mvd" polynomial path /
+    "chase" exact path / "auto").  ``build_counterexample=False`` skips
+    the witness-state construction and verification (used by scaling
+    benchmarks that only need the decision).
+    """
+    fdset = (FDSet.parse(fds) if isinstance(fds, str) else FDSet(fds)).nontrivial()
+    _validate(schema, fdset)
+
+    emb = embedding_report(schema, fdset, with_jd=True, engine=engine)
+    report = IndependenceReport(
+        schema=schema, fds=fdset, independent=False, embedding=emb
+    )
+
+    if not emb.cover_embedding:
+        if build_counterexample:
+            failed_fd, g1cl = emb.failures[0]
+            state = lemma3_counterexample(schema, fdset, failed_fd, g1cl)
+            report.counterexample = verify_counterexample(state, fdset, "lemma3")
+        return report
+
+    assignment = FDAssignment(schema, emb.cover_assignment())
+    report.cover_assignment = {
+        name: assignment.fds_of(name) for name in schema.names
+    }
+
+    results, rejection = run_all(assignment)
+    report.loop_results = results
+    report.rejection = rejection
+
+    if rejection is None:
+        report.independent = True
+        return report
+
+    if build_counterexample:
+        witness = find_lemma7_witness(assignment)
+        report.lemma7 = witness
+        if witness is not None:
+            state = lemma7_counterexample(assignment, witness)
+            report.counterexample = verify_counterexample(
+                state, assignment.all_fds(), "lemma7"
+            )
+        else:
+            state = theorem4_counterexample(assignment, rejection)
+            report.counterexample = verify_counterexample(
+                state, assignment.all_fds(), "theorem4"
+            )
+    return report
+
+
+def is_independent(
+    schema: DatabaseSchema,
+    fds: Union[FDSet, Iterable[FD], str],
+    engine: Engine = "auto",
+) -> bool:
+    """Boolean convenience wrapper around :func:`analyze`."""
+    return analyze(schema, fds, engine=engine, build_counterexample=False).independent

@@ -1,0 +1,94 @@
+"""Key-based schemas (the setting of Sagiv [S1, S2]).
+
+The paper generalizes Sagiv's work, which studied independence when
+every relation's FDs are given by *keys*: ``F = {K → Ri | K a
+designated key of Ri}``.  This module offers that vocabulary — declare
+schemas with keys, get the induced FD set, and analyze — plus the
+classical helpers (key validity, primality).
+
+The general analyzer answers the independence question; this is the
+convenient front door for the common key-based design style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple as PyTuple, Union
+
+from repro.core.independence import IndependenceReport, analyze
+from repro.deps.fd import FD
+from repro.deps.fdset import FDSet
+from repro.exceptions import SchemaError
+from repro.schema.attributes import AttributeSet, AttrsLike
+from repro.schema.database import DatabaseSchema
+from repro.schema.relation import RelationScheme
+
+
+@dataclass(frozen=True)
+class KeyedScheme:
+    """A relation scheme with designated keys."""
+
+    scheme: RelationScheme
+    keys: PyTuple[AttributeSet, ...]
+
+    def fds(self) -> List[FD]:
+        """``K → R`` for each designated key."""
+        out = []
+        for key in self.keys:
+            rest = self.scheme.attributes - key
+            if rest:
+                out.append(FD(key, rest))
+        return out
+
+
+def keyed(name: str, attributes: AttrsLike, *keys: AttrsLike) -> KeyedScheme:
+    """Declare ``keyed("CT", "C T", "C")`` — scheme CT with key C."""
+    scheme = RelationScheme(name, attributes)
+    key_sets = tuple(AttributeSet(k) for k in keys)
+    if not key_sets:
+        key_sets = (scheme.attributes,)  # all-key relation
+    for k in key_sets:
+        if not k <= scheme.attributes:
+            raise SchemaError(f"key {k} is not contained in scheme {scheme}")
+        if not k:
+            raise SchemaError(f"empty key on scheme {scheme}")
+    return KeyedScheme(scheme=scheme, keys=key_sets)
+
+
+def key_fds(schemes: Iterable[KeyedScheme]) -> FDSet:
+    """The FD set induced by all designated keys."""
+    out: List[FD] = []
+    for ks in schemes:
+        out.extend(ks.fds())
+    return FDSet(out)
+
+
+def key_based_schema(
+    schemes: Sequence[KeyedScheme],
+) -> PyTuple[DatabaseSchema, FDSet]:
+    """Schema + induced FDs from keyed declarations."""
+    schema = DatabaseSchema([ks.scheme for ks in schemes])
+    return schema, key_fds(schemes)
+
+
+def analyze_key_based(schemes: Sequence[KeyedScheme], **kwargs) -> IndependenceReport:
+    """Independence analysis of a key-based schema."""
+    schema, fds = key_based_schema(schemes)
+    return analyze(schema, fds, **kwargs)
+
+
+def is_valid_key(
+    key: AttrsLike, scheme_attrs: AttrsLike, fds: FDSet
+) -> bool:
+    """Does the candidate determine the whole scheme under ``F``?"""
+    return AttributeSet(scheme_attrs) <= fds.closure(key)
+
+
+def primary_attributes(scheme_attrs: AttrsLike, fds: FDSet) -> AttributeSet:
+    """Attributes contained in some candidate key of the scheme
+    ("prime" attributes of classical normalization)."""
+    target = AttributeSet(scheme_attrs)
+    prime = AttributeSet()
+    for key in fds.candidate_keys(target):
+        prime |= key
+    return prime

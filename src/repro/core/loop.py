@@ -1,0 +1,394 @@
+"""Section 4: "The Loop" — independence w.r.t. embedded FDs.
+
+Given a database schema ``D = {R1, …, Rk}`` and an embedded cover
+``F = F1 ∪ … ∪ Fk`` (``Fi`` assigned to ``Ri``), the algorithm is run
+once for every scheme ``Rl``.  It computes the closure ``Rl⁺`` of
+``Rl`` under ``F`` processing available left-hand sides *in order of
+weakness* of their tagged tableaux, and maintains for every attribute
+``A`` that becomes available a tableau ``T(A)`` describing the unique
+minimal calculation of the function ``Rl → A``.  It **rejects** (D is
+not independent) when
+
+* line 4: some attribute of ``X*new`` is already available — there are
+  two genuinely different calculations for it; or
+* line 5: an equivalent available l.h.s. ``Y ∈ E(X)`` disagrees on the
+  newly derived attributes (``Y*new ≠ X*new``).
+
+Acceptance for every ``Rl`` means ``D`` is independent w.r.t.
+``F ∪ {*D}`` (Theorems 3–5).  On rejection enough context is captured
+to build the locally-satisfying-but-unsatisfying state of Theorem 4
+(see :mod:`repro.core.counterexamples`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple as PyTuple
+
+from repro.core.tagged import TaggedRow, TaggedTableau
+from repro.deps.closure import closure
+from repro.deps.fd import FD
+from repro.deps.fdset import FDSet
+from repro.exceptions import DependencyError, SchemaError
+from repro.schema.attributes import AttributeSet
+from repro.schema.database import DatabaseSchema
+
+
+@dataclass(frozen=True)
+class Lhs:
+    """A left-hand side: the pair (scheme, attribute set).
+
+    The paper distinguishes appearances of the same attribute set as an
+    l.h.s. of different schemes; the scheme name is part of identity.
+    ``star`` is the *local closure* ``X*`` (closure of X under the
+    scheme's own ``Fi``).
+    """
+
+    scheme: str
+    attrs: AttributeSet
+    star: AttributeSet
+
+    def __str__(self) -> str:
+        return f"{self.attrs}@{self.scheme}"
+
+
+@dataclass(frozen=True)
+class LoopRejection:
+    """Why (and where) the loop rejected.
+
+    ``case1`` always carries a line-4-shaped witness: the picked l.h.s.
+    (``x``), an *available* attribute ``attr ∈ x_new``, and the
+    tableaux ``T(x)``/``T(attr)``.  For a genuine line-5 rejection the
+    witness is re-derived for the equivalent l.h.s. ``y`` exactly as in
+    the Theorem 4 (Case 2 → Case 1) argument, and ``x``/``y`` record
+    the originally picked pair.
+    """
+
+    run_for: str
+    line: int
+    x: Lhs
+    y: Optional[Lhs]
+    attr: str
+    x_new: AttributeSet
+    x_old: AttributeSet
+    tableau_x: TaggedTableau
+    tableau_attr: TaggedTableau
+    message: str
+
+    def __str__(self) -> str:
+        return f"reject at line {self.line} running for {self.run_for}: {self.message}"
+
+
+@dataclass
+class LoopTraceEntry:
+    """One iteration of the loop (for paper-faithful traces)."""
+
+    picked: Lhs
+    equivalents: PyTuple[Lhs, ...]
+    weaker: PyTuple[Lhs, ...]
+    x_old: AttributeSet
+    x_new: AttributeSet
+    made_available: PyTuple[str, ...]
+    marked_processed: PyTuple[Lhs, ...]
+
+
+@dataclass
+class SchemeRunResult:
+    """Result of running the loop for one scheme ``Rl``."""
+
+    run_for: str
+    accepted: bool
+    available: AttributeSet
+    tableaux: Dict[str, TaggedTableau]
+    rejection: Optional[LoopRejection]
+    trace: List[LoopTraceEntry] = field(default_factory=list)
+
+
+class FDAssignment:
+    """The partition ``F = ∪ Fi`` of an embedded FD set.
+
+    ``mapping`` sends scheme names to their FDs; every FD must be
+    embedded in its home scheme.  Use :meth:`from_embedded` to assign
+    each FD to its first embedding scheme automatically.
+    """
+
+    def __init__(self, schema: DatabaseSchema, mapping: Mapping[str, Iterable[FD]]):
+        self.schema = schema
+        self._by_scheme: Dict[str, FDSet] = {}
+        for scheme in schema:
+            given = FDSet(mapping.get(scheme.name, ())).nontrivial()
+            for f in given:
+                if not f.embedded_in(scheme.attributes):
+                    raise DependencyError(
+                        f"FD {f} assigned to {scheme.name} is not embedded in it"
+                    )
+            self._by_scheme[scheme.name] = given
+        unknown = [n for n in mapping if n not in schema]
+        if unknown:
+            raise SchemaError(f"assignment mentions unknown schemes {unknown}")
+
+    @classmethod
+    def from_embedded(cls, schema: DatabaseSchema, fds: Iterable[FD]) -> "FDAssignment":
+        """Assign every FD to the first scheme embedding it (the
+        footnote of Section 4 licenses any choice: if an FD fits
+        several schemes the schema turns out not independent either
+        way, and the loop discovers it)."""
+        mapping: Dict[str, List[FD]] = {s.name: [] for s in schema}
+        for f in FDSet(fds).nontrivial():
+            homes = [s for s in schema if f.embedded_in(s.attributes)]
+            if not homes:
+                raise DependencyError(f"FD {f} is not embedded in any scheme")
+            mapping[homes[0].name].append(f)
+        return cls(schema, mapping)
+
+    def fds_of(self, scheme_name: str) -> FDSet:
+        return self._by_scheme[scheme_name]
+
+    def all_fds(self) -> FDSet:
+        out: List[FD] = []
+        for s in self.schema:
+            out.extend(self._by_scheme[s.name])
+        return FDSet(out)
+
+    def foreign_fds(self, scheme_name: str) -> FDSet:
+        """``F − Fi`` (used by the Lemma 7 witness search)."""
+        out: List[FD] = []
+        for s in self.schema:
+            if s.name != scheme_name:
+                out.extend(self._by_scheme[s.name])
+        return FDSet(out)
+
+    def home_of(self, f: FD) -> str:
+        for s in self.schema:
+            if f in self._by_scheme[s.name]:
+                return s.name
+        raise DependencyError(f"{f} is not part of this assignment")
+
+    def lhs_objects(self, exclude_scheme: str) -> List[Lhs]:
+        """All l.h.s. of schemes other than ``exclude_scheme``, with
+        their local closures."""
+        out: List[Lhs] = []
+        for s in self.schema:
+            if s.name == exclude_scheme:
+                continue
+            fi = self._by_scheme[s.name]
+            for x in fi.lhs_sets():
+                out.append(Lhs(s.name, x, fi.closure(x)))
+        return out
+
+
+class _Run:
+    """State of the loop for one ``Rl``.
+
+    ``strategy`` selects how the next l.h.s. is picked: ``"weakest"``
+    is the paper's rule (line 1: process in order of weakness);
+    ``"eager"`` picks the l.h.s. with the largest local closure first —
+    a plausible-looking heuristic that exists only for the ablation
+    benchmark, which demonstrates that the weakness ordering is what
+    makes rejection sound (the eager pick falsely rejects independent
+    schemas).
+    """
+
+    def __init__(self, assignment: FDAssignment, run_for: str, strategy: str = "weakest"):
+        if strategy not in ("weakest", "eager"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.strategy = strategy
+        self.assignment = assignment
+        self.schema = assignment.schema
+        self.run_for = run_for
+        self.available: set = set(self.schema[run_for].attributes.names)
+        self.tableaux: Dict[str, TaggedTableau] = {
+            a: TaggedTableau.EMPTY for a in self.available
+        }
+        self.lhss: List[Lhs] = assignment.lhs_objects(run_for)
+        self.processed: Dict[Lhs, bool] = {x: False for x in self.lhss}
+        self.trace: List[LoopTraceEntry] = []
+
+    # -- tableau machinery ------------------------------------------------------
+
+    def is_available(self, lhs: Lhs) -> bool:
+        return all(a in self.available for a in lhs.attrs)
+
+    def tableau_of_lhs(self, lhs: Lhs) -> TaggedTableau:
+        """``T(X) = ∪_{A∈X} T(A) ∪ {X*-row}`` (requires availability)."""
+        parts = [self.tableaux[a] for a in lhs.attrs]
+        star_row = TaggedTableau([TaggedRow(lhs.scheme, lhs.star)])
+        return TaggedTableau.union_of(parts + [star_row])
+
+    def candidates(self) -> List[Lhs]:
+        return [
+            x for x in self.lhss if not self.processed[x] and self.is_available(x)
+        ]
+
+    def _pick_weakest(self, candidates: Sequence[Lhs]) -> Lhs:
+        """A minimal element of the weakness preorder (deterministic);
+        the ablation strategy instead grabs the biggest local closure."""
+        if self.strategy == "eager":
+            return sorted(
+                candidates, key=lambda x: (-len(x.star), x.scheme, x.attrs.names)
+            )[0]
+        tabs = {x: self.tableau_of_lhs(x) for x in candidates}
+        minimal = [
+            x
+            for x in candidates
+            if not any(
+                tabs[y].strictly_weaker(tabs[x]) for y in candidates if y is not x
+            )
+        ]
+        minimal.sort(key=lambda x: (x.scheme, x.attrs.names))
+        return minimal[0]
+
+    # -- the loop ------------------------------------------------------------------
+
+    def run(self) -> SchemeRunResult:
+        while True:
+            candidates = self.candidates()
+            if not candidates:
+                return SchemeRunResult(
+                    run_for=self.run_for,
+                    accepted=True,
+                    available=AttributeSet(sorted(self.available)),
+                    tableaux=dict(self.tableaux),
+                    rejection=None,
+                    trace=self.trace,
+                )
+            x = self._pick_weakest(candidates)
+            rejection = self._iterate(x)
+            if rejection is not None:
+                return SchemeRunResult(
+                    run_for=self.run_for,
+                    accepted=False,
+                    available=AttributeSet(sorted(self.available)),
+                    tableaux=dict(self.tableaux),
+                    rejection=rejection,
+                    trace=self.trace,
+                )
+
+    def _stars_under_wf(self, lhs: Lhs, wf: Sequence[FD]) -> PyTuple[AttributeSet, AttributeSet]:
+        """(X*old, X*new) for a l.h.s. given ``WF(X)``."""
+        old = closure(lhs.attrs, wf)
+        return old, lhs.star - old
+
+    def _iterate(self, x: Lhs) -> Optional[LoopRejection]:
+        tab_x = self.tableau_of_lhs(x)
+        same_scheme_available = [
+            z for z in self.lhss if z.scheme == x.scheme and self.is_available(z)
+        ]
+        tabs = {z: self.tableau_of_lhs(z) for z in same_scheme_available}
+
+        # (1)-(2) equivalents and strictly weaker l.h.s. of the same scheme.
+        equivalents = [z for z in same_scheme_available if tabs[z].equivalent(tab_x)]
+        weaker = [z for z in same_scheme_available if tabs[z].strictly_weaker(tab_x)]
+        if self.strategy == "weakest":
+            # Paper: "from our choice of X, these are all marked processed".
+            assert all(self.processed[z] for z in weaker), (
+                "invariant violation: a strictly weaker available l.h.s. "
+                "was unprocessed"
+            )
+        else:
+            # Ablation mode: only processed l.h.s. contribute to WF(X).
+            weaker = [z for z in weaker if self.processed[z]]
+
+        # (3) closure under WF(X) = {Z -> Z* | Z ∈ W(X)}.
+        wf = [FD(z.attrs, z.star) for z in weaker]
+        x_old, x_new = self._stars_under_wf(x, wf)
+
+        # (4) every attribute of X*new must be fresh.
+        for a in x_new:
+            if a in self.available:
+                return LoopRejection(
+                    run_for=self.run_for,
+                    line=4,
+                    x=x,
+                    y=None,
+                    attr=a,
+                    x_new=x_new,
+                    x_old=x_old,
+                    tableau_x=tab_x,
+                    tableau_attr=self.tableaux[a],
+                    message=(
+                        f"attribute {a} of {x}*new = {x_new} is already available: "
+                        f"two different calculations of {self.run_for} -> {a} exist"
+                    ),
+                )
+
+        # (5) every equivalent l.h.s. must derive the same new attributes.
+        for y in equivalents:
+            if y == x:
+                continue
+            y_old, y_new = self._stars_under_wf(y, wf)
+            if y_new != x_new:
+                # Theorem 4, Case 2 → Case 1: picking y would reject at
+                # line 4 with some available attribute of y_new.
+                avail_attrs = [a for a in y_new if a in self.available]
+                assert avail_attrs, (
+                    "invariant violation: line-5 rejection without an available "
+                    "attribute in Y*new"
+                )
+                a = avail_attrs[0]
+                return LoopRejection(
+                    run_for=self.run_for,
+                    line=5,
+                    x=x,
+                    y=y,
+                    attr=a,
+                    x_new=y_new,
+                    x_old=y_old,
+                    tableau_x=tabs[y],
+                    tableau_attr=self.tableaux[a],
+                    message=(
+                        f"equivalent l.h.s. {y} and {x} disagree: "
+                        f"{y}*new = {y_new} but {x}*new = {x_new}"
+                    ),
+                )
+
+        # (6) make X*new available with tableau T(X).
+        for a in x_new:
+            self.available.add(a)
+            self.tableaux[a] = tab_x
+
+        # (8) mark every unprocessed l.h.s. Z of the scheme with Z* ⊆ X*.
+        marked: List[Lhs] = []
+        for z in self.lhss:
+            if z.scheme == x.scheme and not self.processed[z] and z.star <= x.star:
+                self.processed[z] = True
+                marked.append(z)
+        assert self.processed[x], "the picked l.h.s. must end up processed"
+
+        self.trace.append(
+            LoopTraceEntry(
+                picked=x,
+                equivalents=tuple(equivalents),
+                weaker=tuple(weaker),
+                x_old=x_old,
+                x_new=x_new,
+                made_available=tuple(x_new.names),
+                marked_processed=tuple(marked),
+            )
+        )
+        return None
+
+
+def run_for_scheme(
+    assignment: FDAssignment, scheme_name: str, strategy: str = "weakest"
+) -> SchemeRunResult:
+    """Run the loop for one scheme ``Rl``."""
+    if scheme_name not in assignment.schema:
+        raise SchemaError(f"unknown scheme {scheme_name!r}")
+    return _Run(assignment, scheme_name, strategy=strategy).run()
+
+
+def run_all(
+    assignment: FDAssignment, strategy: str = "weakest"
+) -> PyTuple[List[SchemeRunResult], Optional[LoopRejection]]:
+    """Run the loop for every scheme; stop at the first rejection.
+
+    Returns (per-scheme results so far, rejection or None).
+    """
+    results: List[SchemeRunResult] = []
+    for scheme in assignment.schema:
+        res = run_for_scheme(assignment, scheme.name, strategy=strategy)
+        results.append(res)
+        if not res.accepted:
+            return results, res.rejection
+    return results, None

@@ -1,0 +1,227 @@
+"""The maintenance problem (Section 2, Theorem 1).
+
+Given a satisfying state ``p`` and a single-tuple insertion, is the new
+state still satisfying?  Theorem 1 shows no polynomial algorithm exists
+in general (unless P = NP).  For *independent* schemas, Theorem 3
+reduces the check to the inserted tuple's own relation: verify the
+embedded FDs ``Fi`` on ``ri ∪ {t}`` — constant time per FD with hash
+indexes.
+
+:class:`MaintenanceChecker` implements both strategies:
+
+* ``method="local"`` — per-FD hash indexes on each relation; requires
+  an independent schema (the constructor verifies this via
+  :func:`repro.core.independence.analyze` unless a report is supplied).
+* ``method="chase"`` — the safe general fallback: re-run the weak
+  instance test on the whole modified state (cost grows with state
+  size; this is the baseline the evaluation compares against).
+
+Deletions never invalidate satisfaction (any weak instance for ``p``
+is one for ``p`` minus a tuple), so only insertions are checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Literal, Optional, Tuple as PyTuple, Union
+
+from repro.chase.satisfaction import satisfies
+from repro.core.independence import IndependenceReport, analyze
+from repro.data.relations import RowLike
+from repro.data.states import DatabaseState
+from repro.data.tuples import Tuple
+from repro.deps.fd import FD
+from repro.deps.fdset import FDSet
+from repro.exceptions import InconsistentStateError, NotIndependentError
+from repro.schema.database import DatabaseSchema
+
+Method = Literal["local", "chase"]
+
+
+@dataclass(frozen=True)
+class InsertOutcome:
+    """Result of attempting one insertion."""
+
+    accepted: bool
+    scheme: str
+    tuple: Tuple
+    method: Method
+    #: the FD whose index rejected the insert (local method)
+    violated_fd: Optional[FD] = None
+    #: human-readable refusal reason
+    reason: str = ""
+
+
+class _FDIndex:
+    """Hash index enforcing one FD on one relation.
+
+    Maps lhs-value keys to (rhs-values, multiplicity).  Lookup and
+    maintenance are O(1) per operation.
+    """
+
+    __slots__ = ("fd", "_lhs", "_rhs", "_map")
+
+    def __init__(self, fd: FD):
+        self.fd = fd
+        self._lhs = fd.lhs.names
+        self._rhs = fd.effective_rhs.names
+        self._map: Dict[PyTuple[Any, ...], Dict[PyTuple[Any, ...], int]] = {}
+
+    def _key(self, t: Tuple) -> PyTuple[Any, ...]:
+        return tuple(t.value(a) for a in self._lhs)
+
+    def _val(self, t: Tuple) -> PyTuple[Any, ...]:
+        return tuple(t.value(a) for a in self._rhs)
+
+    def conflicts(self, t: Tuple) -> bool:
+        entry = self._map.get(self._key(t))
+        if not entry:
+            return False
+        val = self._val(t)
+        return any(existing != val for existing in entry)
+
+    def add(self, t: Tuple) -> None:
+        entry = self._map.setdefault(self._key(t), {})
+        val = self._val(t)
+        entry[val] = entry.get(val, 0) + 1
+
+    def remove(self, t: Tuple) -> None:
+        key = self._key(t)
+        entry = self._map.get(key)
+        if not entry:
+            return
+        val = self._val(t)
+        count = entry.get(val, 0)
+        if count <= 1:
+            entry.pop(val, None)
+            if not entry:
+                self._map.pop(key, None)
+        else:
+            entry[val] = count - 1
+
+
+class MaintenanceChecker:
+    """Incrementally maintained satisfying state with insert validation."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        fds: Union[FDSet, str],
+        method: Method = "local",
+        report: Optional[IndependenceReport] = None,
+    ):
+        self.schema = schema
+        self.fds = FDSet.parse(fds) if isinstance(fds, str) else FDSet(fds)
+        self.method: Method = method
+        self._tuples: Dict[str, List[Tuple]] = {s.name: [] for s in schema}
+        self._indexes: Dict[str, List[_FDIndex]] = {s.name: [] for s in schema}
+
+        if method == "local":
+            if report is None:
+                report = analyze(schema, self.fds, build_counterexample=False)
+            if not report.independent:
+                raise NotIndependentError(
+                    "the local maintenance method requires an independent schema; "
+                    "use method='chase' for the general fallback"
+                )
+            self.report = report
+            for scheme in schema:
+                cover = report.maintenance_cover(scheme.name)
+                self._indexes[scheme.name] = [_FDIndex(f) for f in cover]
+        else:
+            self.report = report
+
+    # -- loading --------------------------------------------------------------
+
+    def load(self, state: DatabaseState) -> None:
+        """Load a base state (must satisfy the dependencies)."""
+        if self.method == "local":
+            for scheme, relation in state:
+                for t in relation:
+                    outcome = self.insert(scheme.name, t)
+                    if not outcome.accepted:
+                        raise InconsistentStateError(
+                            f"base state violates dependencies: {outcome.reason}"
+                        )
+        else:
+            result = satisfies(state, self.fds)
+            if not result.satisfies:
+                raise InconsistentStateError(
+                    f"base state is not satisfying: {result.chase_result.contradiction}"
+                )
+            for scheme, relation in state:
+                self._tuples[scheme.name].extend(relation.tuples)
+
+    # -- queries ----------------------------------------------------------------
+
+    def state(self) -> DatabaseState:
+        """Immutable snapshot of the current state."""
+        return DatabaseState(
+            self.schema, {name: list(ts) for name, ts in self._tuples.items()}
+        )
+
+    def total_tuples(self) -> int:
+        return sum(len(ts) for ts in self._tuples.values())
+
+    def _coerce(self, scheme_name: str, row: RowLike) -> Tuple:
+        scheme = self.schema[scheme_name]
+        if isinstance(row, Tuple):
+            return row
+        from repro.data.relations import _coerce_row
+
+        return _coerce_row(row, scheme.attributes, scheme.columns)
+
+    # -- the maintenance operation ----------------------------------------------
+
+    def check_insert(self, scheme_name: str, row: RowLike) -> InsertOutcome:
+        """Would inserting the tuple keep the state satisfying?
+        (Does not modify the checker.)"""
+        t = self._coerce(scheme_name, row)
+        if self.method == "local":
+            for index in self._indexes[scheme_name]:
+                if index.conflicts(t):
+                    return InsertOutcome(
+                        accepted=False,
+                        scheme=scheme_name,
+                        tuple=t,
+                        method="local",
+                        violated_fd=index.fd,
+                        reason=f"violates {index.fd} against an existing tuple",
+                    )
+            return InsertOutcome(True, scheme_name, t, "local")
+
+        candidate = self.state().with_tuple(scheme_name, t)
+        result = satisfies(candidate, self.fds)
+        if result.satisfies:
+            return InsertOutcome(True, scheme_name, t, "chase")
+        return InsertOutcome(
+            accepted=False,
+            scheme=scheme_name,
+            tuple=t,
+            method="chase",
+            violated_fd=result.chase_result.contradiction.fd
+            if result.chase_result.contradiction
+            else None,
+            reason=str(result.chase_result.contradiction),
+        )
+
+    def insert(self, scheme_name: str, row: RowLike) -> InsertOutcome:
+        """Check and, when valid, apply the insertion."""
+        outcome = self.check_insert(scheme_name, row)
+        if outcome.accepted:
+            self._tuples[scheme_name].append(outcome.tuple)
+            for index in self._indexes[scheme_name]:
+                index.add(outcome.tuple)
+        return outcome
+
+    def delete(self, scheme_name: str, row: RowLike) -> bool:
+        """Deletions are always safe; returns whether the tuple existed."""
+        t = self._coerce(scheme_name, row)
+        tuples = self._tuples[scheme_name]
+        try:
+            tuples.remove(t)
+        except ValueError:
+            return False
+        for index in self._indexes[scheme_name]:
+            index.remove(t)
+        return True

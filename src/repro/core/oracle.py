@@ -1,0 +1,111 @@
+"""A bounded *semantic* independence oracle.
+
+Independence is defined as ``LSAT(D, Σ) = WSAT(D, Σ)``.  This module
+checks the definition directly on a bounded space of states —
+exhaustively for tiny bounds, randomly for larger ones — and serves as
+the baseline the polynomial algorithm is validated against (experiment
+E6).  It can only *refute* independence (by exhibiting a locally
+satisfying, unsatisfying state); absence of a bounded counterexample is
+evidence, not proof, so the tests drive both directions:
+
+* algorithm says *not independent*  → its verified counterexample must
+  exist (checked by the chase), and the oracle's search — if it finds
+  anything — must agree;
+* algorithm says *independent*      → the oracle must find nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.chase.satisfaction import is_globally_satisfying, is_locally_satisfying
+from repro.data.states import DatabaseState
+from repro.deps.fdset import FDSet
+from repro.schema.database import DatabaseSchema
+
+
+def enumerate_relation_contents(
+    n_attrs: int, domain: Sequence[object], max_tuples: int
+) -> Iterator[PyTuple[PyTuple[object, ...], ...]]:
+    """All ≤max_tuples-element sets of tuples over the domain (as sorted
+    tuples, to avoid permutation duplicates)."""
+    all_tuples = list(itertools.product(domain, repeat=n_attrs))
+    for k in range(max_tuples + 1):
+        for combo in itertools.combinations(all_tuples, k):
+            yield combo
+
+
+def enumerate_states(
+    schema: DatabaseSchema, domain: Sequence[object], max_tuples: int
+) -> Iterator[DatabaseState]:
+    """Every state with at most ``max_tuples`` tuples per relation over
+    the given value domain.  Exponential — keep the bounds tiny."""
+    per_scheme = [
+        list(enumerate_relation_contents(len(s.attributes), domain, max_tuples))
+        for s in schema
+    ]
+    for choice in itertools.product(*per_scheme):
+        yield DatabaseState(
+            schema,
+            {
+                s.name: [dict(zip(s.attributes.names, row)) for row in rows]
+                for s, rows in zip(schema.schemes, choice)
+            },
+        )
+
+
+def find_independence_counterexample(
+    schema: DatabaseSchema,
+    fds: FDSet,
+    domain: Sequence[object] = (0, 1),
+    max_tuples: int = 2,
+    limit: Optional[int] = None,
+) -> Optional[DatabaseState]:
+    """Exhaustive bounded search for a locally-satisfying,
+    globally-unsatisfying state.  Returns the first one found."""
+    for i, state in enumerate(enumerate_states(schema, domain, max_tuples)):
+        if limit is not None and i >= limit:
+            return None
+        if is_locally_satisfying(state, fds) and not is_globally_satisfying(state, fds):
+            return state
+    return None
+
+
+def random_states(
+    schema: DatabaseSchema,
+    domain: Sequence[object],
+    max_tuples: int,
+    count: int,
+    seed: int = 0,
+) -> Iterator[DatabaseState]:
+    """Random states for probabilistic counterexample search."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        relations = {}
+        for s in schema:
+            k = rng.randint(0, max_tuples)
+            rows = []
+            for _ in range(k):
+                rows.append(
+                    {a: rng.choice(domain) for a in s.attributes}
+                )
+            relations[s.name] = rows
+        yield DatabaseState(schema, relations)
+
+
+def random_counterexample_search(
+    schema: DatabaseSchema,
+    fds: FDSet,
+    domain: Sequence[object] = (0, 1, 2),
+    max_tuples: int = 3,
+    count: int = 200,
+    seed: int = 0,
+) -> Optional[DatabaseState]:
+    """Randomized refutation attempt (used against schemas the
+    algorithm declared independent)."""
+    for state in random_states(schema, domain, max_tuples, count, seed):
+        if is_locally_satisfying(state, fds) and not is_globally_satisfying(state, fds):
+            return state
+    return None

@@ -1,0 +1,145 @@
+"""Theorem 1: hardness of the maintenance problem.
+
+The paper reduces the NP-complete *join membership* problem — given a
+universal relation ``r``, a database schema ``{R1,…,Rk}`` and an
+``X``-tuple ``t``, is ``t ∈ πX(πR1(r) ⋈ … ⋈ πRk(r))``? ([Y]) — to the
+maintenance problem: two fresh attributes ``A`` and ``B`` are added,
+every tuple of ``r`` gets the same ``A``/``B`` values, ``t`` is
+extended with values that appear nowhere else, the schema becomes
+``{R1A, …, R(k−1)A, RkAB}``, and the single FD ``X → B`` is imposed.
+The paper proves:
+
+* the "old" state ``p`` satisfies ``Σ = {X → B} ∪ {*D}``;
+* the "new" state ``p′`` (insert ``t1[RkAB]``) satisfies ``Σ`` **iff**
+  ``t ∉ πX(⋈ πRi(r))``.
+
+This module builds the reduction instance and provides the brute-force
+join-membership oracle, so the equivalence can be tested and the cost
+asymmetry (chase-based maintenance vs. local checks) can be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple as PyTuple
+
+from repro.data.relations import RelationInstance, natural_join_all
+from repro.data.states import DatabaseState
+from repro.data.tuples import Tuple
+from repro.deps.fd import FD
+from repro.deps.fdset import FDSet
+from repro.exceptions import SchemaError
+from repro.schema.attributes import AttributeSet, AttrsLike
+from repro.schema.database import DatabaseSchema
+from repro.schema.relation import RelationScheme
+
+
+def join_membership(
+    r: RelationInstance, components: Sequence[AttrsLike], t: Tuple
+) -> bool:
+    """Ground truth: ``t ∈ πX(πS1(r) ⋈ … ⋈ πSk(r))`` by direct
+    evaluation (worst-case exponential — the problem is NP-complete)."""
+    comps = [AttributeSet(c) for c in components]
+    joined = natural_join_all([r.project(c) for c in comps])
+    x = t.attributes
+    return t in joined.project(x)
+
+
+@dataclass(frozen=True)
+class ReductionInstance:
+    """The maintenance instance ``(p, p′, D, F)`` of Theorem 1."""
+
+    schema: DatabaseSchema
+    fds: FDSet
+    old_state: DatabaseState
+    new_state: DatabaseState
+    inserted_scheme: str
+    inserted_tuple: Tuple
+    #: the original membership question, for reference
+    x_attrs: AttributeSet
+    x_tuple: Tuple
+
+
+def _fresh_attr(universe: AttributeSet, base: str) -> str:
+    name = base
+    k = 0
+    while name in universe:
+        k += 1
+        name = f"{base}{k}"
+    return name
+
+
+def reduce_membership_to_maintenance(
+    r: RelationInstance,
+    components: Sequence[AttrsLike],
+    t: Tuple,
+) -> ReductionInstance:
+    """Build ``(p, p′, D, F)`` from a join-membership instance.
+
+    ``r`` is the universal relation, ``components`` the schemas
+    ``R1,…,Rk`` (their union must be ``r``'s attributes) and ``t`` an
+    ``X``-tuple over a subset ``X`` of the attributes.
+    """
+    comps = [AttributeSet(c) for c in components]
+    if not comps:
+        raise SchemaError("the reduction needs at least one component")
+    u0 = r.attributes
+    union = AttributeSet()
+    for c in comps:
+        union |= c
+    if union != u0:
+        raise SchemaError(f"components cover {union}, expected {u0}")
+    x = t.attributes
+    if not x <= u0:
+        raise SchemaError(f"X-tuple over {x} is not over a subset of {u0}")
+
+    attr_a = _fresh_attr(u0, "A")
+    attr_b = _fresh_attr(u0 | (attr_a,), "B")
+    a_val, b_val = "a", "b"
+
+    # s: every tuple of r extended with the same A and B values.
+    big = u0 | (attr_a,) | (attr_b,)
+    s_rows: List[dict] = []
+    for row in r:
+        d = row.as_dict()
+        d[attr_a] = a_val
+        d[attr_b] = b_val
+        s_rows.append(d)
+
+    # t1: t extended with values appearing nowhere else.
+    t1 = {a: t.value(a) for a in x}
+    for a in (u0 - x) | (attr_a,) | (attr_b,):
+        t1[a] = f"new.{a}"
+    s1_rows = s_rows + [t1]
+
+    # D = {R1 A, …, R(k-1) A, Rk A B}
+    schemes: List[RelationScheme] = []
+    for i, c in enumerate(comps):
+        extra = (attr_a,) if i < len(comps) - 1 else (attr_a, attr_b)
+        schemes.append(RelationScheme(f"R{i + 1}", c | extra))
+    schema = DatabaseSchema(schemes)
+
+    fdset = FDSet([FD(x, (attr_b,))])
+
+    s1 = RelationInstance(big, s1_rows)
+    s = RelationInstance(big, s_rows)
+    relations = {}
+    for i, scheme in enumerate(schemes):
+        source = s1 if i < len(schemes) - 1 else s
+        relations[scheme.name] = source.project(scheme.attributes)
+    old_state = DatabaseState(schema, relations)
+
+    last = schemes[-1]
+    inserted = Tuple(last.attributes, {a: t1[a] for a in last.attributes})
+    new_state = old_state.with_tuple(last.name, inserted)
+
+    return ReductionInstance(
+        schema=schema,
+        fds=fdset,
+        old_state=old_state,
+        new_state=new_state,
+        inserted_scheme=last.name,
+        inserted_tuple=inserted,
+        x_attrs=x,
+        x_tuple=t,
+    )

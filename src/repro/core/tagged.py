@@ -1,0 +1,129 @@
+"""Tagged tableaux and the weakness preorder (Section 4).
+
+A tagged tableau is an instance over ``U ∪ {Tag}`` whose rows have
+distinguished variables (dv's) in some columns, unique nondistinguished
+variables elsewhere, and a relation-scheme tag.  The paper's
+*Observation* pins down the structure of every tableau the algorithm
+builds:
+
+  (i) each row's dv columns form a locally closed set ``X*`` for some
+      l.h.s. ``X`` of the tagged scheme;
+  (ii) no ndv occurs twice.
+
+Hence a row is fully described by its ``(tag, dv-set)`` pair and the
+weakness preorder ``T ≤ T'`` ("there is a homeomorphism from T to T'")
+reduces to: every row of ``T`` is dominated by a row of ``T'`` with the
+same tag and a superset dv-set.  That is exactly what this module
+implements; the counterexample builder re-inflates rows into concrete
+tuples when needed (Theorem 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, Tuple as PyTuple
+
+from repro.schema.attributes import AttributeSet, AttrsLike
+
+
+@dataclass(frozen=True)
+class TaggedRow:
+    """A tableau row: tag (relation-scheme name) + dv columns."""
+
+    tag: str
+    dvset: AttributeSet
+
+    def dominated_by(self, other: "TaggedRow") -> bool:
+        return self.tag == other.tag and self.dvset <= other.dvset
+
+    def __str__(self) -> str:
+        return f"<{self.tag}: dv {self.dvset}>"
+
+
+class TaggedTableau:
+    """An immutable set of tagged rows with the weakness preorder."""
+
+    __slots__ = ("_rows", "_hash")
+
+    def __init__(self, rows: Iterable[TaggedRow] = ()):
+        row_set = frozenset(rows)
+        object.__setattr__(self, "_rows", row_set)
+        object.__setattr__(self, "_hash", hash(row_set))
+
+    EMPTY: "TaggedTableau"
+
+    @property
+    def rows(self) -> FrozenSet[TaggedRow]:
+        return self._rows
+
+    def __iter__(self) -> Iterator[TaggedRow]:
+        return iter(sorted(self._rows, key=lambda r: (r.tag, r.dvset.names)))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TaggedTableau):
+            return self._rows == other._rows
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # -- construction ----------------------------------------------------------
+
+    def union(self, *others: "TaggedTableau") -> "TaggedTableau":
+        rows = set(self._rows)
+        for o in others:
+            rows |= o._rows
+        return TaggedTableau(rows)
+
+    def with_row(self, tag: str, dvset: AttrsLike) -> "TaggedTableau":
+        return TaggedTableau(set(self._rows) | {TaggedRow(tag, AttributeSet(dvset))})
+
+    @classmethod
+    def union_of(cls, tableaux: Iterable["TaggedTableau"]) -> "TaggedTableau":
+        rows = set()
+        for t in tableaux:
+            rows |= t._rows
+        return cls(rows)
+
+    # -- weakness preorder -------------------------------------------------------
+
+    def weaker_eq(self, other: "TaggedTableau") -> bool:
+        """``self ≤ other``: every row is dominated by a row of ``other``
+        with the same tag and a superset of distinguished columns."""
+        for row in self._rows:
+            if not any(row.dominated_by(o) for o in other._rows):
+                return False
+        return True
+
+    def equivalent(self, other: "TaggedTableau") -> bool:
+        """``self ≡ other`` (both directions of ≤)."""
+        return self.weaker_eq(other) and other.weaker_eq(self)
+
+    def strictly_weaker(self, other: "TaggedTableau") -> bool:
+        return self.weaker_eq(other) and not other.weaker_eq(self)
+
+    # -- display --------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self._rows:
+            return "{}"
+        return "{" + "; ".join(str(r) for r in self) + "}"
+
+    def pretty(self, universe: AttributeSet) -> str:
+        """Render like the paper: 'a' for dv's, blanks for ndv's."""
+        cols = universe.names
+        header = " ".join(f"{c:>3}" for c in cols) + " | Tag"
+        lines = [header, "-" * len(header)]
+        for row in self:
+            cells = " ".join(f"{'a' if c in row.dvset else '.':>3}" for c in cols)
+            lines.append(f"{cells} | {row.tag}")
+        return "\n".join(lines)
+
+
+TaggedTableau.EMPTY = TaggedTableau()

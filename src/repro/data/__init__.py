@@ -1,0 +1,18 @@
+"""Data layer: values (constants and labelled nulls), tuples, relation
+instances, and database states."""
+
+from repro.data.relations import RelationInstance, natural_join_all
+from repro.data.states import DatabaseState
+from repro.data.tuples import Tuple
+from repro.data.values import Null, NullFactory, is_constant, is_null
+
+__all__ = [
+    "Null",
+    "NullFactory",
+    "is_null",
+    "is_constant",
+    "Tuple",
+    "RelationInstance",
+    "natural_join_all",
+    "DatabaseState",
+]

@@ -1,0 +1,68 @@
+"""Values: constants and labelled nulls.
+
+Relation instances hold ordinary hashable Python values ("constants"
+in the paper's terminology).  Weak instances and chase tableaux also
+contain *variables* — here represented as :class:`Null`, a labelled
+null à la the weak-instance literature.  Two nulls are equal exactly
+when they are the same labelled null.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator
+
+
+class Null:
+    """A labelled null (the chase's "nondistinguished variable").
+
+    Identity-style equality via the label; the label also makes chase
+    output reproducible and readable (``⊥3``, ``⊥17`` …).
+    """
+
+    __slots__ = ("_label",)
+
+    def __init__(self, label: int):
+        self._label = label
+
+    @property
+    def label(self) -> int:
+        return self._label
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Null):
+            return self._label == other._label
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("repro.null", self._label))
+
+    def __repr__(self) -> str:
+        return f"⊥{self._label}"
+
+    __str__ = __repr__
+
+
+class NullFactory:
+    """Produces fresh labelled nulls (one factory per chase run)."""
+
+    __slots__ = ("_counter",)
+
+    def __init__(self, start: int = 0):
+        self._counter = itertools.count(start)
+
+    def fresh(self) -> Null:
+        return Null(next(self._counter))
+
+    def fresh_many(self, n: int) -> Iterator[Null]:
+        for _ in range(n):
+            yield self.fresh()
+
+
+def is_null(value: Any) -> bool:
+    """Is the value a labelled null (as opposed to a constant)?"""
+    return isinstance(value, Null)
+
+
+def is_constant(value: Any) -> bool:
+    return not isinstance(value, Null)

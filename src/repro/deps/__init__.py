@@ -1,0 +1,54 @@
+"""Dependencies: FDs, MVDs, JDs, closures, covers, derivations, and the
+dependency-basis inference engine."""
+
+from repro.deps.armstrong import (
+    ProofStep,
+    check_proof,
+    implies_with_proof,
+    prove,
+)
+from repro.deps.closure import closure, closure_with_trace, implies
+from repro.deps.cover import is_cover_of, left_reduced, merge_rhs, minimal_cover, nonredundant
+from repro.deps.derivation import Derivation, derive, nonredundant_derivation, trim_nonredundant
+from repro.deps.fd import FD, fd, fds
+from repro.deps.fdset import FDSet, as_fdset
+from repro.deps.jd import JoinDependency
+from repro.deps.mvd import MVD
+from repro.deps.basis import (
+    closure_fd_mvd,
+    dependency_basis,
+    implies_fd_mixed,
+    implies_mvd,
+    mixed_basis,
+)
+
+__all__ = [
+    "FD",
+    "fd",
+    "fds",
+    "FDSet",
+    "as_fdset",
+    "ProofStep",
+    "prove",
+    "check_proof",
+    "implies_with_proof",
+    "MVD",
+    "JoinDependency",
+    "closure",
+    "closure_with_trace",
+    "implies",
+    "minimal_cover",
+    "nonredundant",
+    "left_reduced",
+    "merge_rhs",
+    "is_cover_of",
+    "Derivation",
+    "derive",
+    "trim_nonredundant",
+    "nonredundant_derivation",
+    "dependency_basis",
+    "mixed_basis",
+    "closure_fd_mvd",
+    "implies_mvd",
+    "implies_fd_mixed",
+]

@@ -1,0 +1,131 @@
+"""Dependency basis and FD+MVD inference (Beeri's algorithm).
+
+Given MVDs ``M`` over ``U`` and a set ``X ⊆ U``, the *dependency basis*
+``DEP(X)`` is the unique finest partition of ``U − X`` such that every
+MVD ``X →→ Y`` implied by ``M`` has ``Y − X`` equal to a union of
+blocks.  It is computed by the classical refinement procedure: start
+with the single block ``U − X`` and, whenever some ``V →→ W ∈ M``
+has a block ``b`` disjoint from ``V`` with ``∅ ⊂ b∩W ⊂ b``, split ``b``.
+
+For mixed sets ``F ∪ M`` (FDs and MVDs), Beeri's theorem reduces FD
+inference to a dependency-basis computation over
+``M' = M ∪ {V →→ A : V → W ∈ F, A ∈ W − V}``:
+
+    ``X → A ∈ (F ∪ M)⁺``  iff  ``A ∈ X`` or (``{A}`` is a singleton
+    block of ``DEP_{M'}(X)`` and ``A ∈ W − V`` for some ``V → W ∈ F``).
+
+MVD inference over ``F ∪ M`` likewise: ``X →→ Y`` is implied iff
+``Y − X − X⁺…`` — concretely, iff ``Y − X`` is a union of blocks of
+``DEP_{M'}(X)`` *after* splitting out the singletons of implied FD
+attributes; since FD-derived attributes already appear as singleton
+blocks, ``DEP_{M'}(X)`` itself is the basis of ``F ∪ M``.
+
+This is the paper's polynomial ``cl_Σ`` engine for acyclic schemas,
+where ``*D`` is replaced by its equivalent join-tree MVDs (see
+:mod:`repro.schema.hypergraph`); it is cross-validated against the
+exact two-row chase (:mod:`repro.chase.tworow`) in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.deps.fd import FD
+from repro.deps.mvd import MVD
+from repro.schema.attributes import AttributeSet, AttrsLike
+
+
+def dependency_basis(
+    attrset: AttrsLike, mvds: Iterable[MVD], universe: AttrsLike
+) -> Tuple[AttributeSet, ...]:
+    """The dependency basis of ``attrset`` w.r.t. pure MVDs.
+
+    Returns the partition of ``U − X`` as a tuple of blocks in a
+    deterministic order.
+    """
+    x = AttributeSet(attrset)
+    uni = AttributeSet(universe)
+    rest = uni - x
+    if not rest:
+        return ()
+    blocks: List[FrozenSet[str]] = [rest.as_frozenset()]
+    mvd_pairs = [(m.lhs.as_frozenset(), m.rhs.as_frozenset()) for m in mvds]
+
+    changed = True
+    while changed:
+        changed = False
+        for v, w in mvd_pairs:
+            new_blocks: List[FrozenSet[str]] = []
+            for b in blocks:
+                if b & v:
+                    new_blocks.append(b)
+                    continue
+                inter = b & w
+                if inter and inter != b:
+                    new_blocks.append(inter)
+                    new_blocks.append(b - inter)
+                    changed = True
+                else:
+                    new_blocks.append(b)
+            blocks = new_blocks
+    ordered = sorted((AttributeSet(b) for b in blocks), key=lambda s: s.names)
+    return tuple(ordered)
+
+
+def _fd_mvds(fd_list: Iterable[FD], universe: AttributeSet) -> List[MVD]:
+    """``M'`` additions: one MVD per (lhs, rhs attribute) of each FD."""
+    out: List[MVD] = []
+    for f in fd_list:
+        for a in f.effective_rhs:
+            out.append(MVD(f.lhs, (a,), universe))
+    return out
+
+
+def mixed_basis(
+    attrset: AttrsLike,
+    fd_list: Iterable[FD],
+    mvds: Iterable[MVD],
+    universe: AttrsLike,
+) -> Tuple[AttributeSet, ...]:
+    """Dependency basis of ``X`` w.r.t. ``F ∪ M`` (via ``M'``)."""
+    uni = AttributeSet(universe)
+    all_mvds = list(mvds) + _fd_mvds(fd_list, uni)
+    return dependency_basis(attrset, all_mvds, uni)
+
+
+def closure_fd_mvd(
+    attrset: AttrsLike,
+    fd_list: Iterable[FD],
+    mvds: Iterable[MVD],
+    universe: AttrsLike,
+) -> AttributeSet:
+    """``X⁺ = {A | F ∪ M ⊨ X → A}`` by Beeri's theorem."""
+    x = AttributeSet(attrset)
+    uni = AttributeSet(universe)
+    fd_seq = list(fd_list)
+    basis = mixed_basis(x, fd_seq, mvds, uni)
+    fd_rhs_attrs: Set[str] = set()
+    for f in fd_seq:
+        fd_rhs_attrs.update(f.effective_rhs.names)
+    singles = {b.names[0] for b in basis if len(b) == 1}
+    gained = AttributeSet(sorted(singles & fd_rhs_attrs))
+    return x | gained
+
+
+def implies_mvd(
+    candidate: MVD, fd_list: Iterable[FD], mvds: Iterable[MVD]
+) -> bool:
+    """Is the MVD implied by ``F ∪ M``?  (``Y − X`` must be a union of
+    dependency-basis blocks.)"""
+    basis = mixed_basis(candidate.lhs, fd_list, mvds, candidate.universe)
+    target = candidate.rhs - candidate.lhs
+    covered = AttributeSet()
+    for b in basis:
+        if b <= target:
+            covered |= b
+    return covered == target
+
+
+def implies_fd_mixed(candidate: FD, fd_list: Iterable[FD], mvds: Iterable[MVD], universe: AttrsLike) -> bool:
+    """Is the FD implied by ``F ∪ M``?"""
+    return candidate.rhs <= closure_fd_mvd(candidate.lhs, fd_list, mvds, universe)

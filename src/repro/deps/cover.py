@@ -1,0 +1,78 @@
+"""Covers of FD sets.
+
+A *cover* of ``F`` is any set ``H`` with ``H⁺ = F⁺``.  The paper's
+Section 3 builds an embedded cover ``H`` of the FDs implied by
+``F ∪ {*D}``; this module provides the classical cover machinery that
+the library (tests, normalization, and the Section 4 preprocessing)
+needs: nonredundant covers, minimal (canonical) covers, and
+left-reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.deps.closure import closure
+from repro.deps.fd import FD
+from repro.deps.fdset import FDSet
+
+
+def left_reduced(fdset: FDSet) -> FDSet:
+    """Remove extraneous lhs attributes from every FD.
+
+    An lhs attribute ``A`` of ``X → Y`` is extraneous when
+    ``(X − A)⁺ ⊇ Y`` under the full set.
+    """
+    out: List[FD] = []
+    all_fds = list(fdset)
+    for f in all_fds:
+        lhs = f.lhs
+        for a in list(lhs):
+            reduced = lhs - (a,)
+            if f.rhs <= closure(reduced, all_fds):
+                lhs = reduced
+        out.append(FD(lhs, f.rhs))
+    return FDSet(out)
+
+
+def nonredundant(fdset: FDSet) -> FDSet:
+    """Drop FDs implied by the remaining ones (a nonredundant cover)."""
+    current = list(fdset)
+    changed = True
+    while changed:
+        changed = False
+        for f in list(current):
+            rest = [g for g in current if g is not f]
+            if f.rhs <= closure(f.lhs, rest):
+                current = rest
+                changed = True
+                break
+    return FDSet(current)
+
+
+def minimal_cover(fdset: FDSet) -> FDSet:
+    """The canonical minimal cover: singleton right-hand sides, no
+    extraneous lhs attributes, no redundant FDs."""
+    expanded = fdset.expanded().nontrivial()
+    reduced = left_reduced(expanded)
+    return nonredundant(reduced)
+
+
+def merge_rhs(fdset: FDSet) -> FDSet:
+    """Merge FDs with equal left-hand sides into one (``X → Y1Y2…``)."""
+    grouped = {}
+    for f in fdset:
+        grouped.setdefault(f.lhs, []).append(f.rhs)
+    merged: List[FD] = []
+    for lhs, rhss in grouped.items():
+        rhs = lhs
+        rhs = rhss[0]
+        for extra in rhss[1:]:
+            rhs = rhs | extra
+        merged.append(FD(lhs, rhs))
+    return FDSet(merged)
+
+
+def is_cover_of(candidate: FDSet, original: FDSet) -> bool:
+    """Is ``candidate`` a cover of ``original`` (equal closures)?"""
+    return candidate.equivalent_to(original)

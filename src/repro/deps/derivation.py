@@ -1,0 +1,155 @@
+"""FD derivation sequences (Section 4 of the paper).
+
+A *derivation* of ``X → A`` from ``F`` is a sequence ``f1, …, fn`` of
+FDs of ``F`` (with singleton right-hand sides) such that the lhs of
+each ``ft`` is contained in ``X`` plus the right-hand sides of earlier
+steps, and ``rhs(fn) = A``.  It is *nonredundant* when the rhs of each
+step (1) is not in ``X``, (2) differs from every other step's rhs, and
+(3) occurs in the lhs of a later step (or is the target ``A``).
+
+Lemma 7 of the paper turns a nonredundant derivation of an FD embedded
+in ``Ri`` that uses an FD from a *different* relation's FD set into a
+locally-satisfying-but-unsatisfying state; the helpers here produce
+exactly the sequences that construction needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.deps.closure import closure_with_trace
+from repro.deps.fd import FD
+from repro.exceptions import DependencyError
+from repro.schema.attributes import AttributeSet, AttrsLike
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """A derivation of ``source → target`` via ``steps``.
+
+    Every step has a singleton rhs.  ``steps`` may be empty only when
+    ``target ∈ source`` (the trivial derivation).
+    """
+
+    source: AttributeSet
+    target: str
+    steps: Tuple[FD, ...]
+
+    def attributes_produced(self) -> AttributeSet:
+        out = AttributeSet()
+        for f in self.steps:
+            out |= f.rhs
+        return out
+
+    def is_valid(self) -> bool:
+        """Check the derivation conditions."""
+        known = self.source
+        for f in self.steps:
+            if not f.lhs <= known:
+                return False
+            known |= f.rhs
+        return self.target in known
+
+    def is_nonredundant(self) -> bool:
+        """Check the paper's three nonredundancy conditions."""
+        if not self.is_valid():
+            return False
+        rhs_attrs = [f.rhs.names[0] for f in self.steps]
+        # (1) no rhs in the source; (2) all rhs distinct.
+        if any(a in self.source for a in rhs_attrs):
+            return False
+        if len(set(rhs_attrs)) != len(rhs_attrs):
+            return False
+        # (3) every non-final rhs feeds a later lhs; the final rhs is the target.
+        for t, f in enumerate(self.steps):
+            a = rhs_attrs[t]
+            if t == len(self.steps) - 1:
+                if a != self.target:
+                    return False
+            elif not any(a in g.lhs for g in self.steps[t + 1 :]):
+                return False
+        return True
+
+    def __str__(self) -> str:
+        chain = ", ".join(str(f) for f in self.steps)
+        return f"[{chain}] : {self.source} -> {self.target}"
+
+
+def _singleton_steps(fd_list: Iterable[FD]) -> List[FD]:
+    out: List[FD] = []
+    for f in fd_list:
+        out.extend(f.expand())
+    return out
+
+
+def derive(fd_list: Iterable[FD], source: AttrsLike, target: str) -> Optional[Derivation]:
+    """A derivation of ``source → target`` from ``fd_list``, or ``None``.
+
+    The sequence comes from the closure trace, restricted to singleton
+    rhs steps; it is *valid* but not necessarily nonredundant — feed it
+    to :func:`trim_nonredundant` for Lemma 7 constructions.
+    """
+    src = AttributeSet(source)
+    if target in src:
+        return Derivation(src, target, ())
+    steps = _singleton_steps(fd_list)
+    closed, trace = closure_with_trace(src, steps)
+    if target not in closed:
+        return None
+    seq = [f for f, _added in trace]
+    return Derivation(src, target, tuple(seq))
+
+
+def trim_nonredundant(derivation: Derivation) -> Derivation:
+    """Shrink a valid derivation to a nonredundant one (same source and
+    target, subsequence of the steps).
+
+    Mirrors the paper's "delete all useless fd's": keep, scanning
+    backwards, only steps whose rhs is still needed; drop steps whose
+    rhs lies in the source or repeats an earlier rhs.
+    """
+    if not derivation.is_valid():
+        raise DependencyError(f"cannot trim an invalid derivation: {derivation}")
+    src = derivation.source
+    target = derivation.target
+    if target in src:
+        return Derivation(src, target, ())
+
+    # Pass 1: drop steps with rhs in the source, keep only the first
+    # producer of each attribute.
+    produced = set()
+    first_only: List[FD] = []
+    for f in derivation.steps:
+        a = f.rhs.names[0]
+        if a in src or a in produced:
+            continue
+        produced.add(a)
+        first_only.append(f)
+
+    # Pass 2: backwards reachability from the target.
+    needed = {target}
+    kept_rev: List[FD] = []
+    for f in reversed(first_only):
+        a = f.rhs.names[0]
+        if a in needed:
+            needed.discard(a)
+            needed.update(b for b in f.lhs if b not in src)
+            kept_rev.append(f)
+    kept = list(reversed(kept_rev))
+    result = Derivation(src, target, tuple(kept))
+    if not result.is_nonredundant():
+        raise DependencyError(
+            f"internal error: trimming produced a redundant derivation {result}"
+        )
+    return result
+
+
+def nonredundant_derivation(
+    fd_list: Iterable[FD], source: AttrsLike, target: str
+) -> Optional[Derivation]:
+    """Convenience: derive then trim; ``None`` if not derivable."""
+    d = derive(fd_list, source, target)
+    if d is None:
+        return None
+    return trim_nonredundant(d)

@@ -1,0 +1,106 @@
+"""Functional dependencies.
+
+An FD ``X → Y`` holds in an instance ``r`` of a scheme ``R ⊇ XY`` when
+any two tuples that agree on ``X`` agree on ``Y`` (Section 2 of the
+paper).  :class:`FD` objects are immutable and hashable; the textual
+form ``"X Y -> Z"`` parses via :meth:`FD.parse`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.exceptions import ParseError
+from repro.schema.attributes import AttributeSet, AttrsLike
+
+
+class FD:
+    """A functional dependency ``lhs → rhs``."""
+
+    __slots__ = ("_lhs", "_rhs", "_hash")
+
+    def __init__(self, lhs: AttrsLike, rhs: AttrsLike):
+        lhs_set = AttributeSet(lhs)
+        rhs_set = AttributeSet(rhs)
+        if not rhs_set:
+            raise ParseError("an FD must have a non-empty right-hand side")
+        object.__setattr__(self, "_lhs", lhs_set)
+        object.__setattr__(self, "_rhs", rhs_set)
+        object.__setattr__(self, "_hash", hash((lhs_set, rhs_set)))
+
+    @classmethod
+    def parse(cls, text: str) -> "FD":
+        """Parse ``"A B -> C"`` or ``"A,B->C D"``."""
+        if "->" not in text:
+            raise ParseError(f"FD text must contain '->': {text!r}")
+        left, _, right = text.partition("->")
+        return cls(left, right)
+
+    # -- views ------------------------------------------------------------------
+
+    @property
+    def lhs(self) -> AttributeSet:
+        return self._lhs
+
+    @property
+    def rhs(self) -> AttributeSet:
+        return self._rhs
+
+    @property
+    def attributes(self) -> AttributeSet:
+        """All attributes mentioned: ``XY``."""
+        return self._lhs | self._rhs
+
+    @property
+    def effective_rhs(self) -> AttributeSet:
+        """``rhs − lhs``: the part the FD actually determines."""
+        return self._rhs - self._lhs
+
+    def is_trivial(self) -> bool:
+        """Trivial FDs (``rhs ⊆ lhs``) hold in every instance."""
+        return self._rhs <= self._lhs
+
+    def embedded_in(self, scheme_attrs: AttrsLike) -> bool:
+        """Is ``XY`` contained in the given attribute set (Section 2)?"""
+        return self.attributes <= AttributeSet(scheme_attrs)
+
+    # -- transforms -------------------------------------------------------------
+
+    def expand(self) -> Iterator["FD"]:
+        """Split into FDs with singleton right-hand sides."""
+        for a in self._rhs:
+            yield FD(self._lhs, (a,))
+
+    def normalized(self) -> "FD":
+        """Drop lhs attributes from the rhs (``X → Y`` becomes
+        ``X → Y−X``); raises if the FD was trivial."""
+        return FD(self._lhs, self.effective_rhs)
+
+    def with_lhs(self, lhs: AttrsLike) -> "FD":
+        return FD(lhs, self._rhs)
+
+    # -- equality ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FD):
+            return self._lhs == other._lhs and self._rhs == other._rhs
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"FD({str(self._lhs)!r}, {str(self._rhs)!r})"
+
+    def __str__(self) -> str:
+        return f"{self._lhs} -> {self._rhs}"
+
+
+def fd(text: str) -> FD:
+    """Shorthand parser: ``fd("A B -> C")``."""
+    return FD.parse(text)
+
+
+def fds(*texts: str) -> Tuple[FD, ...]:
+    """Parse several FDs at once: ``fds("A -> B", "B -> C")``."""
+    return tuple(FD.parse(t) for t in texts)

@@ -1,0 +1,211 @@
+"""Sets of functional dependencies.
+
+:class:`FDSet` is an immutable, deterministically ordered collection of
+:class:`~repro.deps.fd.FD` with the standard dependency-theoretic
+operations: closures, implication, equivalence of covers, restriction
+to a scheme, keys.  It is the ``F`` that flows through the whole paper.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.deps.closure import closure, closure_with_trace
+from repro.deps.fd import FD
+from repro.exceptions import DependencyError
+from repro.schema.attributes import AttributeSet, AttrsLike
+
+FDLike = Union[FD, str]
+
+
+def _coerce_fd(spec: FDLike) -> FD:
+    return spec if isinstance(spec, FD) else FD.parse(spec)
+
+
+def as_fdset(spec) -> "FDSet":
+    """Liberal coercion: an :class:`FDSet`, an iterable of FDs/strings,
+    or one textual block (``"A -> B; B -> C"``)."""
+    if isinstance(spec, FDSet):
+        return spec
+    if isinstance(spec, str):
+        return FDSet.parse(spec)
+    return FDSet(spec)
+
+
+class FDSet:
+    """An immutable set of FDs with closure/implication operations."""
+
+    __slots__ = ("_fds", "_hash")
+
+    def __init__(self, fd_specs: Iterable[FDLike] = ()):
+        seen = set()
+        ordered: List[FD] = []
+        for spec in fd_specs:
+            f = _coerce_fd(spec)
+            if f not in seen:
+                seen.add(f)
+                ordered.append(f)
+        # Deterministic order: by (lhs names, rhs names).
+        ordered.sort(key=lambda f: (f.lhs.names, f.rhs.names))
+        object.__setattr__(self, "_fds", tuple(ordered))
+        object.__setattr__(self, "_hash", hash(self._fds))
+
+    @classmethod
+    def parse(cls, text: str) -> "FDSet":
+        """Parse a block of FDs separated by ';' or newlines."""
+        parts = [p.strip() for chunk in text.split("\n") for p in chunk.split(";")]
+        return cls(p for p in parts if p)
+
+    # -- container protocol ----------------------------------------------------
+
+    def __iter__(self) -> Iterator[FD]:
+        return iter(self._fds)
+
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    def __bool__(self) -> bool:
+        return bool(self._fds)
+
+    def __contains__(self, item: object) -> bool:
+        return isinstance(item, FD) and item in set(self._fds)
+
+    def __eq__(self, other: object) -> bool:
+        """Syntactic equality (same FDs).  For semantic equality use
+        :meth:`equivalent_to`."""
+        if isinstance(other, FDSet):
+            return set(self._fds) == set(other._fds)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __or__(self, other: Iterable[FDLike]) -> "FDSet":
+        return FDSet(list(self._fds) + [_coerce_fd(f) for f in other])
+
+    def __sub__(self, other: Iterable[FDLike]) -> "FDSet":
+        drop = {_coerce_fd(f) for f in other}
+        return FDSet(f for f in self._fds if f not in drop)
+
+    union = __or__
+    difference = __sub__
+
+    @property
+    def fds(self) -> Tuple[FD, ...]:
+        return self._fds
+
+    # -- closure / implication ---------------------------------------------------
+
+    def closure(self, attrset: AttrsLike) -> AttributeSet:
+        """``X⁺`` under this FD set."""
+        return closure(attrset, self._fds)
+
+    def closure_with_trace(self, attrset: AttrsLike):
+        return closure_with_trace(attrset, self._fds)
+
+    def implies(self, candidate: FDLike) -> bool:
+        f = _coerce_fd(candidate)
+        return f.rhs <= self.closure(f.lhs)
+
+    def implies_all(self, others: Iterable[FDLike]) -> bool:
+        return all(self.implies(f) for f in others)
+
+    def equivalent_to(self, other: "FDSet") -> bool:
+        """Do the two sets have the same closure (are they covers of each
+        other)?"""
+        return self.implies_all(other) and other.implies_all(self)
+
+    # -- attribute views -----------------------------------------------------------
+
+    @property
+    def attributes(self) -> AttributeSet:
+        """All attributes mentioned by some FD."""
+        out = AttributeSet()
+        for f in self._fds:
+            out |= f.attributes
+        return out
+
+    def lhs_sets(self) -> Tuple[AttributeSet, ...]:
+        seen = []
+        for f in self._fds:
+            if f.lhs not in seen:
+                seen.append(f.lhs)
+        return tuple(seen)
+
+    # -- restriction to schemes -------------------------------------------------------
+
+    def embedded_in(self, scheme_attrs: AttrsLike) -> "FDSet":
+        """The *syntactic* restriction: FDs of this set embedded in the
+        scheme.  (Not the semantic projection ``F⁺|R`` — see
+        :meth:`projection_cover`.)"""
+        target = AttributeSet(scheme_attrs)
+        return FDSet(f for f in self._fds if f.embedded_in(target))
+
+    def embedded_in_schema(self, schemes: Iterable[AttrsLike]) -> "FDSet":
+        """FDs embedded in at least one of the given schemes (``F | D``)."""
+        targets = [AttributeSet(s) for s in schemes]
+        return FDSet(
+            f for f in self._fds if any(f.embedded_in(t) for t in targets)
+        )
+
+    def projection_cover(self, scheme_attrs: AttrsLike, max_lhs: Optional[int] = None) -> "FDSet":
+        """A cover of the semantic projection ``F⁺ | R``.
+
+        Computed by enumerating left-hand sides ``X ⊆ R`` and taking
+        ``X → (X⁺ ∩ R)``; exponential in ``|R|`` in the worst case
+        (this is inherent — projections of FD sets can require
+        exponentially many FDs).  ``max_lhs`` optionally caps the lhs
+        size for callers that know their FDs are small.
+        """
+        target = AttributeSet(scheme_attrs)
+        names = target.names
+        limit = len(names) if max_lhs is None else min(max_lhs, len(names))
+        out: List[FD] = []
+        for k in range(0, limit + 1):
+            for combo in combinations(names, k):
+                lhs = AttributeSet(combo)
+                rhs = self.closure(lhs) & target
+                if rhs - lhs:
+                    out.append(FD(lhs, rhs))
+        return FDSet(out)
+
+    # -- keys ----------------------------------------------------------------------------
+
+    def is_superkey(self, attrset: AttrsLike, scheme_attrs: AttrsLike) -> bool:
+        return AttributeSet(scheme_attrs) <= self.closure(attrset)
+
+    def candidate_keys(self, scheme_attrs: AttrsLike) -> Tuple[AttributeSet, ...]:
+        """All minimal keys of the scheme under this FD set.
+
+        Uses the standard reduction + lattice search; exponential in the
+        worst case (key enumeration is inherently so), fine for the
+        scheme sizes dependency theory deals in.
+        """
+        target = AttributeSet(scheme_attrs)
+        names = target.names
+        keys: List[AttributeSet] = []
+        for k in range(0, len(names) + 1):
+            for combo in combinations(names, k):
+                cand = AttributeSet(combo)
+                if any(key <= cand for key in keys):
+                    continue
+                if target <= self.closure(cand):
+                    keys.append(cand)
+        return tuple(keys)
+
+    # -- transforms -----------------------------------------------------------------------
+
+    def expanded(self) -> "FDSet":
+        """Split every FD into singleton-rhs FDs."""
+        return FDSet(g for f in self._fds for g in f.expand())
+
+    def nontrivial(self) -> "FDSet":
+        return FDSet(f for f in self._fds if not f.is_trivial())
+
+    # -- display ---------------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return "FDSet{" + "; ".join(str(f) for f in self._fds) + "}"
+
+    __str__ = __repr__

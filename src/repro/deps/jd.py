@@ -1,0 +1,80 @@
+"""Join dependencies.
+
+A join dependency ``*{S1, …, Sn}`` holds in a universal instance ``r``
+over ``U = S1 ∪ … ∪ Sn`` when ``πS1(r) ⋈ … ⋈ πSn(r) = r`` (Section 2).
+The paper is concerned with one particular JD: the join dependency
+``*D`` of the database schema itself, stating that the relations have a
+lossless join.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+from repro.exceptions import DependencyError
+from repro.schema.attributes import AttributeSet, AttrsLike
+
+
+class JoinDependency:
+    """A join dependency ``*{S1, …, Sn}``.
+
+    Components are deduplicated and stored in a deterministic order.
+    Components contained in other components are *kept* (they are
+    harmless and the paper's ``*D`` may contain them, cf. Example 3
+    where ``R1 ⊆ R2``).
+    """
+
+    __slots__ = ("_components", "_universe", "_hash")
+
+    def __init__(self, components: Iterable[AttrsLike]):
+        comps = []
+        seen = set()
+        for c in components:
+            cset = AttributeSet(c)
+            if not cset:
+                raise DependencyError("JD components must be non-empty")
+            if cset not in seen:
+                seen.add(cset)
+                comps.append(cset)
+        if not comps:
+            raise DependencyError("a JD needs at least one component")
+        comps.sort(key=lambda s: s.names)
+        universe = AttributeSet()
+        for c in comps:
+            universe |= c
+        object.__setattr__(self, "_components", tuple(comps))
+        object.__setattr__(self, "_universe", universe)
+        object.__setattr__(self, "_hash", hash(self._components))
+
+    @property
+    def components(self) -> Tuple[AttributeSet, ...]:
+        return self._components
+
+    @property
+    def universe(self) -> AttributeSet:
+        return self._universe
+
+    def __iter__(self) -> Iterator[AttributeSet]:
+        return iter(self._components)
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def is_trivial(self) -> bool:
+        """A JD with a component equal to the whole universe holds in
+        every instance."""
+        return any(c == self._universe for c in self._components)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, JoinDependency):
+            return self._components == other._components
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(c) for c in self._components)
+        return f"*{{{inner}}}"
+
+    __str__ = __repr__

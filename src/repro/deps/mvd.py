@@ -1,0 +1,97 @@
+"""Multivalued dependencies.
+
+An MVD ``X →→ Y`` over a universe ``U`` holds in ``r`` when for any two
+tuples agreeing on ``X`` the tuple taking its ``Y``-values from the
+first and its remaining values from the second is also in ``r``.  An
+MVD is exactly the binary join dependency ``*{XY, X(U−Y)}``.
+
+MVDs enter this reproduction through the [BFM] equivalence the paper
+leans on in Section 3: for an *acyclic* database schema ``D``, the join
+dependency ``*D`` is equivalent to the set of MVDs read off a join tree
+of ``D``, which lets FD-closure under ``F ∪ {*D}`` be computed with
+Beeri's polynomial dependency-basis algorithm (:mod:`repro.deps.basis`).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import DependencyError, ParseError
+from repro.schema.attributes import AttributeSet, AttrsLike
+from repro.deps.jd import JoinDependency
+
+
+class MVD:
+    """A multivalued dependency ``lhs →→ rhs`` over a universe.
+
+    The universe must be supplied because MVD semantics (unlike FD
+    semantics) depend on the complement ``U − X − Y``.
+    """
+
+    __slots__ = ("_lhs", "_rhs", "_universe", "_hash")
+
+    def __init__(self, lhs: AttrsLike, rhs: AttrsLike, universe: AttrsLike):
+        lhs_set = AttributeSet(lhs)
+        rhs_set = AttributeSet(rhs)
+        uni = AttributeSet(universe)
+        if not (lhs_set | rhs_set) <= uni:
+            raise DependencyError(
+                f"MVD {lhs_set} ->> {rhs_set} mentions attributes outside universe {uni}"
+            )
+        object.__setattr__(self, "_lhs", lhs_set)
+        object.__setattr__(self, "_rhs", rhs_set)
+        object.__setattr__(self, "_universe", uni)
+        object.__setattr__(self, "_hash", hash((lhs_set, rhs_set, uni)))
+
+    @classmethod
+    def parse(cls, text: str, universe: AttrsLike) -> "MVD":
+        """Parse ``"A ->> B C"``."""
+        if "->>" not in text:
+            raise ParseError(f"MVD text must contain '->>': {text!r}")
+        left, _, right = text.partition("->>")
+        return cls(left, right, universe)
+
+    @property
+    def lhs(self) -> AttributeSet:
+        return self._lhs
+
+    @property
+    def rhs(self) -> AttributeSet:
+        return self._rhs
+
+    @property
+    def universe(self) -> AttributeSet:
+        return self._universe
+
+    @property
+    def complement_rhs(self) -> AttributeSet:
+        """``U − X − Y``; by the complementation rule ``X →→ U−X−Y``
+        holds whenever ``X →→ Y`` does."""
+        return self._universe - self._lhs - self._rhs
+
+    def complement(self) -> "MVD":
+        return MVD(self._lhs, self.complement_rhs, self._universe)
+
+    def is_trivial(self) -> bool:
+        """``X →→ Y`` is trivial when ``Y ⊆ X`` or ``XY = U``."""
+        return self._rhs <= self._lhs or (self._lhs | self._rhs) == self._universe
+
+    def as_jd(self) -> JoinDependency:
+        """The equivalent binary join dependency ``*{XY, X(U−Y)}``."""
+        return JoinDependency([self._lhs | self._rhs, self._lhs | self.complement_rhs])
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MVD):
+            return (
+                self._lhs == other._lhs
+                and self._rhs == other._rhs
+                and self._universe == other._universe
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"MVD({str(self._lhs)!r}, {str(self._rhs)!r}, universe={str(self._universe)!r})"
+
+    def __str__(self) -> str:
+        return f"{self._lhs} ->> {self._rhs}"

@@ -1,0 +1,101 @@
+"""A tiny text DSL for schemas, FDs, and states.
+
+Lets examples and tests describe whole scenarios the way the paper
+does::
+
+    scenario = parse_scenario('''
+        schema: CT(C,T); CS(C,S); CHR(C,H,R)
+        fds: C -> T; C H -> R
+        state:
+          CT: (CS101, Smith), (CS102, Jones)
+          CHR: (CS101, Mon10, 313)
+    ''')
+
+Bare integer tokens become ``int`` values, everything else stays a
+string.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple as PyTuple
+
+from repro.data.states import DatabaseState
+from repro.deps.fdset import FDSet
+from repro.exceptions import ParseError
+from repro.schema.database import DatabaseSchema
+
+_TUPLE_RE = re.compile(r"\(([^()]*)\)")
+
+
+def _parse_value(token: str):
+    token = token.strip()
+    if re.fullmatch(r"-?\d+", token):
+        return int(token)
+    return token
+
+
+def parse_tuples(text: str) -> List[PyTuple]:
+    """Parse ``(a, b), (c, d)`` into a list of value tuples."""
+    out: List[PyTuple] = []
+    for body in _TUPLE_RE.findall(text):
+        values = [
+            _parse_value(tok) for tok in body.split(",") if tok.strip() != ""
+        ]
+        if not values:
+            raise ParseError(f"empty tuple in {text!r}")
+        out.append(tuple(values))
+    return out
+
+
+def parse_state(schema: DatabaseSchema, text: str) -> DatabaseState:
+    """Parse a block of ``Name: (v, …), (v, …)`` lines."""
+    relations: Dict[str, List[PyTuple]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if ":" not in line:
+            raise ParseError(f"state line needs 'Name: tuples': {line!r}")
+        name, _, rest = line.partition(":")
+        name = name.strip()
+        if name not in schema:
+            raise ParseError(f"unknown relation {name!r} in state")
+        relations.setdefault(name, []).extend(parse_tuples(rest))
+    return DatabaseState(schema, relations)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    schema: DatabaseSchema
+    fds: FDSet
+    state: Optional[DatabaseState]
+
+
+def parse_scenario(text: str) -> Scenario:
+    """Parse a ``schema: … / fds: … / state: …`` scenario block."""
+    sections: Dict[str, List[str]] = {}
+    current: Optional[str] = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = re.match(r"(schema|fds|state)\s*:\s*(.*)$", line)
+        if m:
+            current = m.group(1)
+            sections.setdefault(current, [])
+            if m.group(2):
+                sections[current].append(m.group(2))
+        elif current is not None:
+            sections[current].append(line)
+        else:
+            raise ParseError(f"unexpected line outside any section: {line!r}")
+    if "schema" not in sections:
+        raise ParseError("scenario needs a 'schema:' section")
+    schema = DatabaseSchema.parse(" ".join(sections["schema"]))
+    fds = FDSet.parse("; ".join(sections.get("fds", []))) if sections.get("fds") else FDSet()
+    state = None
+    if "state" in sections:
+        state = parse_state(schema, "\n".join(sections["state"]))
+    return Scenario(schema=schema, fds=fds, state=state)

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the common cases.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ParseError(ReproError, ValueError):
+    """A textual description of a schema, FD, or state could not be parsed."""
+
+
+class SchemaError(ReproError, ValueError):
+    """A schema object is malformed or inconsistent with its universe."""
+
+
+class DependencyError(ReproError, ValueError):
+    """A dependency object is malformed (e.g. an FD not over the universe)."""
+
+
+class InstanceError(ReproError, ValueError):
+    """A tuple, relation, or state does not fit its declared scheme."""
+
+
+class InconsistentStateError(ReproError):
+    """An operation requires a satisfying state but the state has no weak
+    instance (the chase found a contradiction)."""
+
+
+class ChaseBudgetExceeded(ReproError, RuntimeError):
+    """The chase exceeded its configured step budget.
+
+    The general chase with the JD rule can be expensive on pathological
+    cyclic schemas; the budget exists so callers get a clear error
+    instead of an unbounded computation.  Raising this never silently
+    changes an answer.
+    """
+
+
+class NotIndependentError(ReproError):
+    """Raised by convenience APIs that require an independent schema."""

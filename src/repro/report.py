@@ -1,0 +1,61 @@
+"""Fixed-width text tables for benchmark/example output.
+
+The paper is a theory paper; its "tables" are worked examples and
+claims.  The benchmark harness prints paper-artifact vs. measured
+side by side with these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+
+class TextTable:
+    """A minimal fixed-width table renderer."""
+
+    def __init__(self, headers: Sequence[str]):
+        self._headers = [str(h) for h in headers]
+        self._rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> "TextTable":
+        if len(cells) != len(self._headers):
+            raise ValueError(
+                f"expected {len(self._headers)} cells, got {len(cells)}"
+            )
+        self._rows.append([_render_cell(c) for c in cells])
+        return self
+
+    def render(self) -> str:
+        widths = [len(h) for h in self._headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+        lines = [fmt(self._headers), "-+-".join("-" * w for w in widths)]
+        lines.extend(fmt(row) for row in self._rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _render_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.2e}"
+    return str(value)
+
+
+def banner(title: str, width: int = 72) -> str:
+    bar = "=" * width
+    return f"{bar}\n{title}\n{bar}"
+
+
+def section(title: str, width: int = 72) -> str:
+    return f"\n--- {title} " + "-" * max(0, width - len(title) - 5)

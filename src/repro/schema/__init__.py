@@ -1,0 +1,27 @@
+"""Schema objects: attributes, relation schemes, database schemas, and
+the schema hypergraph machinery (acyclicity, join trees)."""
+
+from repro.schema.attributes import AttributeSet, attrs
+from repro.schema.database import DatabaseSchema
+from repro.schema.hypergraph import (
+    GYOResult,
+    JoinTree,
+    gyo_reduction,
+    is_acyclic,
+    join_dependency_mvds,
+    join_tree,
+)
+from repro.schema.relation import RelationScheme
+
+__all__ = [
+    "AttributeSet",
+    "attrs",
+    "DatabaseSchema",
+    "RelationScheme",
+    "GYOResult",
+    "JoinTree",
+    "gyo_reduction",
+    "is_acyclic",
+    "join_dependency_mvds",
+    "join_tree",
+]

@@ -1,0 +1,204 @@
+"""Attribute sets.
+
+Attributes are plain strings (``"C"``, ``"Teacher"``, ``"A1"``).  An
+:class:`AttributeSet` is an immutable, hashable, *deterministically
+ordered* set of attributes — the ubiquitous currency of relational
+dependency theory.  Determinism matters: closures, covers, and chase
+traces must be reproducible run to run, so iteration always follows a
+natural sort of the attribute names (``A2`` before ``A10``).
+
+The constructor is liberal in what it accepts::
+
+    AttributeSet("A B C")        # whitespace- or comma-separated string
+    AttributeSet(["A", "B"])     # any iterable of names
+    AttributeSet(other_set)      # copy
+    AttributeSet()               # the empty set
+
+Set algebra uses the standard operators (``|``, ``&``, ``-``, ``^``,
+``<=`` …) and always returns :class:`AttributeSet`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, Tuple, Union
+
+from repro.exceptions import ParseError
+
+AttrsLike = Union["AttributeSet", str, Iterable[str], None]
+
+_SPLIT_RE = re.compile(r"[\s,;]+")
+_NATURAL_RE = re.compile(r"(\d+)")
+
+
+def _natural_key(name: str) -> Tuple:
+    """Sort key that orders embedded integers numerically (A2 < A10)."""
+    parts = _NATURAL_RE.split(name)
+    return tuple(int(p) if p.isdigit() else p for p in parts)
+
+
+def ordered_names(spec: AttrsLike) -> Tuple[str, ...]:
+    """Attribute names in *first-appearance* order (used to interpret
+    positional tuple values the way the user declared the scheme)."""
+    if spec is None:
+        return ()
+    if isinstance(spec, AttributeSet):
+        return spec.names
+    if isinstance(spec, str):
+        raw = [tok for tok in _SPLIT_RE.split(spec.strip()) if tok]
+    else:
+        raw = []
+        for item in spec:
+            raw.extend(tok for tok in _SPLIT_RE.split(str(item).strip()) if tok)
+    seen = []
+    for name in raw:
+        if name not in seen:
+            seen.append(name)
+    return tuple(seen)
+
+
+def _parse_names(spec: AttrsLike) -> Tuple[str, ...]:
+    if spec is None:
+        return ()
+    if isinstance(spec, AttributeSet):
+        return spec._attrs
+    if isinstance(spec, str):
+        names = [tok for tok in _SPLIT_RE.split(spec.strip()) if tok]
+    else:
+        names = []
+        for item in spec:
+            if not isinstance(item, str):
+                raise ParseError(f"attribute names must be strings, got {item!r}")
+            names.extend(tok for tok in _SPLIT_RE.split(item.strip()) if tok)
+    for name in names:
+        if "->" in name or "*" in name:
+            raise ParseError(f"invalid attribute name {name!r}")
+    return tuple(sorted(set(names), key=_natural_key))
+
+
+class AttributeSet:
+    """An immutable, naturally ordered set of attribute names."""
+
+    __slots__ = ("_attrs", "_set", "_hash")
+
+    def __init__(self, spec: AttrsLike = None):
+        attrs = _parse_names(spec)
+        object.__setattr__(self, "_attrs", attrs)
+        object.__setattr__(self, "_set", frozenset(attrs))
+        object.__setattr__(self, "_hash", hash(frozenset(attrs)))
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def of(cls, *names: str) -> "AttributeSet":
+        """Build from individual names: ``AttributeSet.of("A", "B")``."""
+        return cls(names)
+
+    @staticmethod
+    def _coerce(other: AttrsLike) -> "AttributeSet":
+        return other if isinstance(other, AttributeSet) else AttributeSet(other)
+
+    # -- container protocol ---------------------------------------------------
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attrs)
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __bool__(self) -> bool:
+        return bool(self._attrs)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, str):
+            return item in self._set
+        if isinstance(item, AttributeSet):
+            return item._set <= self._set
+        return False
+
+    # -- equality & ordering --------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AttributeSet):
+            return self._set == other._set
+        if isinstance(other, (set, frozenset)):
+            return self._set == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __le__(self, other: AttrsLike) -> bool:
+        return self._set <= self._coerce(other)._set
+
+    def __lt__(self, other: AttrsLike) -> bool:
+        return self._set < self._coerce(other)._set
+
+    def __ge__(self, other: AttrsLike) -> bool:
+        return self._set >= self._coerce(other)._set
+
+    def __gt__(self, other: AttrsLike) -> bool:
+        return self._set > self._coerce(other)._set
+
+    def issubset(self, other: AttrsLike) -> bool:
+        return self <= other
+
+    def issuperset(self, other: AttrsLike) -> bool:
+        return self >= other
+
+    def isdisjoint(self, other: AttrsLike) -> bool:
+        return self._set.isdisjoint(self._coerce(other)._set)
+
+    # -- algebra ---------------------------------------------------------------
+
+    def __or__(self, other: AttrsLike) -> "AttributeSet":
+        return AttributeSet(self._set | self._coerce(other)._set)
+
+    def __and__(self, other: AttrsLike) -> "AttributeSet":
+        return AttributeSet(self._set & self._coerce(other)._set)
+
+    def __sub__(self, other: AttrsLike) -> "AttributeSet":
+        return AttributeSet(self._set - self._coerce(other)._set)
+
+    def __xor__(self, other: AttrsLike) -> "AttributeSet":
+        return AttributeSet(self._set ^ self._coerce(other)._set)
+
+    union = __or__
+    intersection = __and__
+    difference = __sub__
+    symmetric_difference = __xor__
+
+    # -- views -----------------------------------------------------------------
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """The attribute names in natural order."""
+        return self._attrs
+
+    def as_frozenset(self) -> frozenset:
+        return self._set
+
+    def singletons(self) -> Iterator["AttributeSet"]:
+        """Yield each attribute as a one-element :class:`AttributeSet`."""
+        for name in self._attrs:
+            yield AttributeSet((name,))
+
+    # -- display ---------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"AttributeSet({' '.join(self._attrs)!r})"
+
+    def __str__(self) -> str:
+        return "".join(self._attrs) if self._is_compact() else " ".join(self._attrs)
+
+    def _is_compact(self) -> bool:
+        """Single-character names render run-together like the paper (XY)."""
+        return all(len(name) == 1 for name in self._attrs)
+
+
+EMPTY = AttributeSet()
+
+
+def attrs(spec: AttrsLike) -> AttributeSet:
+    """Shorthand constructor: ``attrs("A B C")``."""
+    return AttributeSet(spec)

@@ -1,0 +1,180 @@
+"""Database schemas.
+
+A :class:`DatabaseSchema` is a finite, ordered collection of relation
+schemes with distinct names — the paper's ``D = {R1, …, Rk}``.  Its
+*universe* ``U`` is the union of the scheme attribute sets.  The join
+dependency ``*D`` of the schema (Section 2 of the paper) is available via
+:meth:`DatabaseSchema.join_dependency`.
+
+Construction accepts several convenient forms::
+
+    DatabaseSchema([RelationScheme("CT", "C T"), ...])
+    DatabaseSchema([("CT", "C T"), ("CHR", "C H R")])
+    DatabaseSchema(["C T", "C H R"])       # auto-named
+    DatabaseSchema.parse("CT(C,T); CHR(C,H,R)")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ParseError, SchemaError
+from repro.schema.attributes import AttributeSet, AttrsLike
+from repro.schema.relation import RelationScheme
+
+SchemeLike = Union[RelationScheme, Tuple[str, AttrsLike], str, AttributeSet]
+
+_SCHEME_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*\(([^()]*)\)")
+
+
+def _auto_name(attrset: AttributeSet, index: int) -> str:
+    """Name an unnamed scheme: run the attributes together when they are
+    single characters (matching the paper's ``CT``, ``CHR``), otherwise
+    fall back to ``R<index>``."""
+    if all(len(a) == 1 for a in attrset.names):
+        return "".join(attrset.names)
+    return f"R{index}"
+
+
+def _coerce_scheme(spec: SchemeLike, index: int) -> RelationScheme:
+    if isinstance(spec, RelationScheme):
+        return spec
+    if isinstance(spec, tuple) and len(spec) == 2:
+        return RelationScheme(spec[0], spec[1])
+    attrset = AttributeSet(spec)
+    return RelationScheme(_auto_name(attrset, index), attrset)
+
+
+class DatabaseSchema:
+    """An ordered collection of uniquely named relation schemes."""
+
+    __slots__ = ("_schemes", "_by_name", "_universe", "_hash")
+
+    def __init__(self, schemes: Iterable[SchemeLike]):
+        coerced: List[RelationScheme] = [
+            _coerce_scheme(spec, i + 1) for i, spec in enumerate(schemes)
+        ]
+        if not coerced:
+            raise SchemaError("a database schema must contain at least one relation scheme")
+        by_name: Dict[str, RelationScheme] = {}
+        for scheme in coerced:
+            if scheme.name in by_name:
+                raise SchemaError(f"duplicate relation scheme name {scheme.name!r}")
+            by_name[scheme.name] = scheme
+        universe = AttributeSet()
+        for scheme in coerced:
+            universe |= scheme.attributes
+        object.__setattr__(self, "_schemes", tuple(coerced))
+        object.__setattr__(self, "_by_name", by_name)
+        object.__setattr__(self, "_universe", universe)
+        object.__setattr__(self, "_hash", hash(self._schemes))
+
+    # -- parsing ----------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "DatabaseSchema":
+        """Parse ``"CT(C,T); CHR(C,H,R)"`` (separators between schemes are
+        free-form; attribute lists are comma/space separated)."""
+        matches = _SCHEME_RE.findall(text)
+        if not matches:
+            raise ParseError(f"no relation schemes found in {text!r}")
+        return cls([(name, body) for name, body in matches])
+
+    # -- container protocol ------------------------------------------------------
+
+    def __iter__(self) -> Iterator[RelationScheme]:
+        return iter(self._schemes)
+
+    def __len__(self) -> int:
+        return len(self._schemes)
+
+    def __getitem__(self, key: Union[int, str]) -> RelationScheme:
+        if isinstance(key, int):
+            return self._schemes[key]
+        try:
+            return self._by_name[key]
+        except KeyError:
+            raise SchemaError(f"no relation scheme named {key!r}") from None
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, RelationScheme):
+            return self._by_name.get(item.name) == item
+        if isinstance(item, str):
+            return item in self._by_name
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DatabaseSchema):
+            return self._schemes == other._schemes
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # -- views --------------------------------------------------------------------
+
+    @property
+    def schemes(self) -> Tuple[RelationScheme, ...]:
+        return self._schemes
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self._schemes)
+
+    @property
+    def universe(self) -> AttributeSet:
+        """The union ``U`` of all scheme attribute sets."""
+        return self._universe
+
+    # -- queries --------------------------------------------------------------------
+
+    def schemes_embedding(self, attrset: AttrsLike) -> Tuple[RelationScheme, ...]:
+        """All schemes ``R`` with ``attrset ⊆ R``."""
+        target = AttributeSet(attrset)
+        return tuple(s for s in self._schemes if target <= s.attributes)
+
+    def embeds(self, attrset: AttrsLike) -> bool:
+        """Is ``attrset`` contained in some relation scheme?"""
+        return bool(self.schemes_embedding(attrset))
+
+    def join_dependency(self):
+        """The join dependency ``*D`` of this schema (Section 2)."""
+        from repro.deps.jd import JoinDependency
+
+        return JoinDependency(s.attributes for s in self._schemes)
+
+    def covers_universe(self, universe: AttrsLike) -> bool:
+        """Does the union of schemes equal the given universe?"""
+        return self._universe == AttributeSet(universe)
+
+    def restrict(self, names: Sequence[str]) -> "DatabaseSchema":
+        """Sub-schema containing only the named schemes (order preserved)."""
+        missing = [n for n in names if n not in self._by_name]
+        if missing:
+            raise SchemaError(f"unknown scheme names: {missing}")
+        wanted = set(names)
+        return DatabaseSchema([s for s in self._schemes if s.name in wanted])
+
+    def with_scheme(self, scheme: SchemeLike) -> "DatabaseSchema":
+        """A new schema with one more relation scheme appended."""
+        extra = _coerce_scheme(scheme, len(self._schemes) + 1)
+        return DatabaseSchema(list(self._schemes) + [extra])
+
+    def is_reduced(self) -> bool:
+        """No scheme is a subset of another (schemas are often assumed
+        reduced in the literature; the paper does not require it and
+        Example 3 in fact uses a non-reduced schema)."""
+        for i, a in enumerate(self._schemes):
+            for j, b in enumerate(self._schemes):
+                if i != j and a.attributes <= b.attributes:
+                    return False
+        return True
+
+    # -- display -----------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(s) for s in self._schemes)
+        return f"DatabaseSchema[{inner}]"
+
+    __str__ = __repr__

@@ -1,0 +1,217 @@
+"""Schema hypergraphs: acyclicity, GYO reduction, join trees.
+
+A database schema is a hypergraph whose nodes are attributes and whose
+hyperedges are the relation schemes.  Two classical, equivalent tests
+for α-acyclicity are implemented and cross-validated:
+
+* **GYO reduction** (Graham / Yu–Özsoyoğlu): repeatedly delete
+  attributes occurring in a single scheme and schemes contained in
+  other schemes; the schema is acyclic iff everything reduces away.
+* **Maximum-weight spanning tree** (Bernstein–Goodman / Maier–Ullman):
+  build a maximum spanning tree of the scheme graph weighted by
+  ``|Ri ∩ Rj|``; the schema is acyclic iff the tree has the *join-tree
+  property* (for every attribute, the schemes containing it form a
+  connected subtree).
+
+For acyclic schemas the join dependency ``*D`` is equivalent to the set
+of MVDs read off the join tree ([BFM]; used by Section 3's polynomial
+``cl_Σ`` path): for each tree edge ``(R, S)``, the MVD
+``(R ∩ S) →→ (attributes on R's side)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.deps.mvd import MVD
+from repro.exceptions import SchemaError
+from repro.schema.attributes import AttributeSet
+from repro.schema.database import DatabaseSchema
+from repro.util.unionfind import UnionFind
+
+
+@dataclass(frozen=True)
+class GYOStep:
+    """One step of the GYO reduction (for traces/teaching output)."""
+
+    kind: str  # "attribute" or "scheme"
+    detail: str
+
+
+@dataclass(frozen=True)
+class GYOResult:
+    acyclic: bool
+    steps: Tuple[GYOStep, ...]
+    residual: Tuple[AttributeSet, ...]  # non-empty edges left when stuck
+
+
+def gyo_reduction(schema: DatabaseSchema) -> GYOResult:
+    """Run the GYO reduction; ``acyclic`` iff the hypergraph vanishes."""
+    edges: List[Optional[AttributeSet]] = [s.attributes for s in schema]
+    steps: List[GYOStep] = []
+    changed = True
+    while changed:
+        changed = False
+        # Rule 1: remove attributes that occur in exactly one edge.
+        live = [e for e in edges if e is not None]
+        count: Dict[str, int] = {}
+        for e in live:
+            for a in e:
+                count[a] = count.get(a, 0) + 1
+        lone = {a for a, c in count.items() if c == 1}
+        if lone:
+            for i, e in enumerate(edges):
+                if e is not None and (e & lone):
+                    edges[i] = e - lone
+            steps.append(GYOStep("attribute", f"removed isolated attributes {sorted(lone)}"))
+            changed = True
+        # Rule 2: remove edges contained in another live edge (empty
+        # edges are contained in anything live, and a final lone empty
+        # edge is dropped outright).
+        live_idx = [i for i, e in enumerate(edges) if e is not None]
+        for i in live_idx:
+            ei = edges[i]
+            if ei is None:
+                continue
+            if not ei and len([j for j in live_idx if edges[j] is not None]) == 1:
+                edges[i] = None
+                steps.append(GYOStep("scheme", "removed final empty scheme"))
+                changed = True
+                break
+            for j in live_idx:
+                ej = edges[j]
+                if i != j and ej is not None and ei <= ej:
+                    edges[i] = None
+                    steps.append(GYOStep("scheme", f"removed {ei} ⊆ {ej}"))
+                    changed = True
+                    break
+            if changed:
+                break
+    residual = tuple(e for e in edges if e is not None)
+    return GYOResult(acyclic=not residual, steps=tuple(steps), residual=residual)
+
+
+@dataclass(frozen=True)
+class JoinTree:
+    """A join tree (or forest glued at empty intersections) of a schema.
+
+    ``edges`` are pairs of scheme *indices* into ``schema.schemes``.
+    The join-tree property holds: for every attribute, the schemes
+    containing it induce a subtree.
+    """
+
+    schema: DatabaseSchema
+    edges: Tuple[Tuple[int, int], ...]
+
+    def edge_separators(self) -> Tuple[Tuple[Tuple[int, int], AttributeSet], ...]:
+        """Each edge with its separator ``Ri ∩ Rj``."""
+        out = []
+        for i, j in self.edges:
+            sep = self.schema[i].attributes & self.schema[j].attributes
+            out.append(((i, j), sep))
+        return tuple(out)
+
+    def side_attributes(self, edge: Tuple[int, int]) -> Tuple[AttributeSet, AttributeSet]:
+        """Attribute unions of the two components created by removing
+        the edge (first component contains ``edge[0]``)."""
+        i, j = edge
+        adj: Dict[int, List[int]] = {k: [] for k in range(len(self.schema))}
+        for a, b in self.edges:
+            adj[a].append(b)
+            adj[b].append(a)
+        seen = {i}
+        stack = [i]
+        while stack:
+            node = stack.pop()
+            for nxt in adj[node]:
+                if (node, nxt) in ((i, j), (j, i)):
+                    continue
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        left = AttributeSet()
+        right = AttributeSet()
+        for k in range(len(self.schema)):
+            if k in seen:
+                left |= self.schema[k].attributes
+            else:
+                right |= self.schema[k].attributes
+        return left, right
+
+    def mvds(self) -> Tuple[MVD, ...]:
+        """The join-tree MVDs equivalent to ``*D`` ([BFM])."""
+        universe = self.schema.universe
+        out: List[MVD] = []
+        for (i, j), sep in self.edge_separators():
+            left, _right = self.side_attributes((i, j))
+            mvd = MVD(sep, left - sep, universe)
+            if not mvd.is_trivial():
+                out.append(mvd)
+        return tuple(out)
+
+
+def _max_spanning_tree(schema: DatabaseSchema) -> List[Tuple[int, int]]:
+    """Kruskal's algorithm on intersection weights (weight-0 edges are
+    allowed so forests become trees; deterministic tie-breaking)."""
+    n = len(schema)
+    candidates: List[Tuple[int, int, int]] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            w = len(schema[i].attributes & schema[j].attributes)
+            candidates.append((w, i, j))
+    candidates.sort(key=lambda t: (-t[0], t[1], t[2]))
+    uf = UnionFind(range(n))
+    edges: List[Tuple[int, int]] = []
+    for _w, i, j in candidates:
+        if uf.find(i) != uf.find(j):
+            uf.union(i, j)
+            edges.append((i, j))
+    return edges
+
+
+def _has_join_tree_property(schema: DatabaseSchema, edges: Sequence[Tuple[int, int]]) -> bool:
+    """For every attribute: schemes containing it induce a connected
+    subgraph of the tree."""
+    n = len(schema)
+    for attr in schema.universe:
+        holders = [i for i in range(n) if attr in schema[i].attributes]
+        if len(holders) <= 1:
+            continue
+        uf = UnionFind(holders)
+        holder_set = set(holders)
+        for i, j in edges:
+            if i in holder_set and j in holder_set:
+                uf.union(i, j)
+        root = uf.find(holders[0])
+        if any(uf.find(h) != root for h in holders[1:]):
+            return False
+    return True
+
+
+def join_tree(schema: DatabaseSchema) -> Optional[JoinTree]:
+    """A join tree of the schema, or ``None`` if the schema is cyclic."""
+    edges = _max_spanning_tree(schema)
+    if _has_join_tree_property(schema, edges):
+        return JoinTree(schema, tuple(edges))
+    return None
+
+
+def is_acyclic(schema: DatabaseSchema) -> bool:
+    """α-acyclicity via the join-tree test (see also
+    :func:`gyo_reduction`, which must agree — this is property-tested)."""
+    return join_tree(schema) is not None
+
+
+def join_dependency_mvds(schema: DatabaseSchema) -> Tuple[MVD, ...]:
+    """MVD set equivalent to ``*D`` for an acyclic schema.
+
+    Raises :class:`SchemaError` on cyclic schemas (no such equivalent
+    set exists in general).
+    """
+    tree = join_tree(schema)
+    if tree is None:
+        raise SchemaError(
+            "the schema is cyclic: its join dependency has no equivalent MVD set"
+        )
+    return tree.mvds()

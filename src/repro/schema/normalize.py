@@ -1,0 +1,141 @@
+"""Schema-design substrate: normal forms, decompositions, synthesis.
+
+The paper's motivation lives in schema design: Section 1 quotes Beeri &
+Rissanen ("the whole point with schema design is … to replace the
+original scheme with a collection of the components"), and Section 4
+closes by diagnosing non-independence as overloaded attribute
+relationships.  This module supplies the classical design toolkit the
+examples and workload generators lean on:
+
+* BCNF checks and the standard lossless BCNF decomposition;
+* Bernstein's 3NF synthesis (minimal cover, one scheme per lhs group,
+  plus a key scheme) — dependency preserving and lossless;
+* lossless-join and dependency-preservation tests (the latter is the
+  Beeri–Honeyman cover-embedding test reused from
+  :mod:`repro.core.embedding`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple as PyTuple, Union
+
+from repro.deps.cover import merge_rhs, minimal_cover
+from repro.deps.fd import FD
+from repro.deps.fdset import FDSet
+from repro.deps.implication import is_lossless
+from repro.schema.attributes import AttributeSet, AttrsLike
+from repro.schema.database import DatabaseSchema
+from repro.schema.relation import RelationScheme
+
+
+def bcnf_violations(
+    scheme_attrs: AttrsLike, fds: Union[FDSet, Iterable[FD]]
+) -> List[FD]:
+    """FDs (from the projection onto the scheme) violating BCNF:
+    nontrivial ``X → A`` with ``X`` not a superkey of the scheme."""
+    target = AttributeSet(scheme_attrs)
+    fdset = FDSet(fds)
+    out: List[FD] = []
+    seen_lhs = set()
+    # Candidate left-hand sides are the FD lhs sets intersected with the
+    # scheme — the standard decomposition-driving test (testing BCNF of
+    # a projection exactly is coNP-hard).
+    for f in fdset:
+        lhs = f.lhs & target
+        if lhs in seen_lhs:
+            continue
+        seen_lhs.add(lhs)
+        rhs_in = (fdset.closure(lhs) & target) - lhs
+        if rhs_in and not target <= fdset.closure(lhs):
+            out.append(FD(lhs, rhs_in))
+    return out
+
+
+def is_in_bcnf(scheme_attrs: AttrsLike, fds: Union[FDSet, Iterable[FD]]) -> bool:
+    """Is the scheme in BCNF w.r.t. the (global) FD set?
+
+    Exact for the lhs candidates induced by the FD set (the standard
+    decomposition-driving test).
+    """
+    return not bcnf_violations(scheme_attrs, fds)
+
+
+def bcnf_decompose(
+    universe: AttrsLike, fds: Union[FDSet, Iterable[FD]]
+) -> DatabaseSchema:
+    """The classical lossless BCNF decomposition.
+
+    Splits on violating FDs until every scheme passes; lossless by
+    construction, not necessarily dependency preserving.
+    """
+    fdset = FDSet(fds)
+    pending: List[AttributeSet] = [AttributeSet(universe)]
+    done: List[AttributeSet] = []
+    while pending:
+        current = pending.pop()
+        violations = bcnf_violations(current, fdset)
+        if not violations:
+            if not any(current <= other for other in done + pending):
+                done.append(current)
+            continue
+        f = violations[0]
+        left = f.lhs | f.rhs
+        right = current - f.rhs | f.lhs
+        pending.append(left)
+        pending.append(right)
+    done.sort(key=lambda s: s.names)
+    return DatabaseSchema(
+        [RelationScheme(f"S{i + 1}", attrs) for i, attrs in enumerate(done)]
+    )
+
+
+def synthesize_3nf(
+    universe: AttrsLike, fds: Union[FDSet, Iterable[FD]]
+) -> DatabaseSchema:
+    """Bernstein's 3NF synthesis from a minimal cover.
+
+    One scheme per left-hand-side group; a candidate-key scheme is
+    added when no synthesized scheme contains a key, making the result
+    lossless as well as dependency preserving.
+    """
+    uni = AttributeSet(universe)
+    cover = merge_rhs(minimal_cover(FDSet(fds)))
+    schemes: List[AttributeSet] = []
+    for f in cover:
+        attrs = f.lhs | f.rhs
+        if not any(attrs <= s for s in schemes):
+            schemes = [s for s in schemes if not s <= attrs]
+            schemes.append(attrs)
+    # ensure some scheme contains a key of the universe
+    fdset = FDSet(cover)
+    if not any(uni <= fdset.closure(s) for s in schemes):
+        key = uni
+        for a in list(uni):
+            cand = key - (a,)
+            if uni <= fdset.closure(cand):
+                key = cand
+        schemes.append(key)
+    # attributes not mentioned by any FD must still be stored somewhere
+    leftover = uni
+    for s in schemes:
+        leftover -= s
+    if leftover:
+        schemes.append(leftover | ())
+    schemes.sort(key=lambda s: s.names)
+    return DatabaseSchema(
+        [RelationScheme(f"N{i + 1}", attrs) for i, attrs in enumerate(schemes)]
+    )
+
+
+def lossless_join(schema: DatabaseSchema, fds: Union[FDSet, Iterable[FD]]) -> bool:
+    """Does ``F`` imply ``*D`` (the [ABU] tableau test)?"""
+    return is_lossless(schema, FDSet(fds))
+
+
+def dependency_preserving(
+    schema: DatabaseSchema, fds: Union[FDSet, Iterable[FD]]
+) -> bool:
+    """Beeri–Honeyman: does ``D`` embed a cover of ``F``?"""
+    from repro.core.embedding import preserves_dependencies
+
+    return preserves_dependencies(schema, FDSet(fds))

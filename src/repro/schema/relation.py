@@ -1,0 +1,80 @@
+"""Relation schemes.
+
+A :class:`RelationScheme` is a named, non-empty set of attributes — the
+paper's ``Ri``.  Names are only labels: two schemes with equal attribute
+sets but different names are *different* schemes (the paper explicitly
+distinguishes the appearances of the same set of attributes in different
+relations, e.g. for left-hand sides in Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.exceptions import SchemaError
+from repro.schema.attributes import AttributeSet, AttrsLike, ordered_names
+
+
+class RelationScheme:
+    """A named relation scheme ``R(attrs)``.
+
+    The *declared* attribute order is remembered (``columns``) so that
+    positional tuple values can be written the way the scheme was
+    declared — ``TD(T, D)`` takes rows ``(t, d)`` — while the attribute
+    *set* stays canonical for all dependency-theoretic operations.
+    """
+
+    __slots__ = ("_name", "_attrs", "_columns", "_hash")
+
+    def __init__(self, name: str, attributes: AttrsLike):
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"relation scheme name must be a non-empty string, got {name!r}")
+        columns = ordered_names(attributes)
+        attrset = AttributeSet(attributes)
+        if not attrset:
+            raise SchemaError(f"relation scheme {name!r} must have at least one attribute")
+        if len(columns) != len(attrset):
+            columns = attrset.names
+        object.__setattr__(self, "_name", name)
+        object.__setattr__(self, "_attrs", attrset)
+        object.__setattr__(self, "_columns", columns)
+        object.__setattr__(self, "_hash", hash((name, attrset)))
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def attributes(self) -> AttributeSet:
+        return self._attrs
+
+    @property
+    def columns(self):
+        """Declared attribute order (for positional rows and display)."""
+        return self._columns
+
+    # A scheme behaves like its attribute set for containment/iteration,
+    # which keeps call sites close to the paper's notation (A ∈ R, X ⊆ R).
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attrs)
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._attrs
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RelationScheme):
+            return self._name == other._name and self._attrs == other._attrs
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"RelationScheme({self._name!r}, {str(self._attrs)!r})"
+
+    def __str__(self) -> str:
+        return f"{self._name}({', '.join(self._columns)})"

@@ -1,0 +1,5 @@
+"""Small shared utilities."""
+
+from repro.util.unionfind import UnionFind
+
+__all__ = ["UnionFind"]

@@ -1,0 +1,67 @@
+"""A small union-find (disjoint-set) structure.
+
+Used by the chase engine (merging symbolic values) and by the join-tree
+construction (Kruskal's algorithm).  Supports arbitrary hashable items,
+path compression, and union by size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Set
+
+
+class UnionFind:
+    """Disjoint sets over arbitrary hashable items."""
+
+    __slots__ = ("_parent", "_size")
+
+    def __init__(self, items: Iterable[Hashable] = ()):
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def find(self, item: Hashable) -> Hashable:
+        """Representative of the item's set (adds the item if new)."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the two sets; returns the surviving representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> List[Set[Hashable]]:
+        """All current sets (deterministic order not guaranteed)."""
+        by_root: Dict[Hashable, Set[Hashable]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), set()).add(item)
+        return list(by_root.values())
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parent)

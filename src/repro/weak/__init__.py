@@ -1,0 +1,26 @@
+"""Weak-instance machinery: consistency, reduction, query answering."""
+
+from repro.weak.consistency import (
+    SemijoinStep,
+    full_reduce,
+    full_reducer_program,
+    is_globally_consistent,
+    is_pairwise_consistent,
+    semijoin,
+)
+from repro.weak.equivalence import information_contains, information_equivalent
+from repro.weak.representative import derivable, representative_instance, window
+
+__all__ = [
+    "information_contains",
+    "information_equivalent",
+    "semijoin",
+    "SemijoinStep",
+    "full_reducer_program",
+    "full_reduce",
+    "is_pairwise_consistent",
+    "is_globally_consistent",
+    "representative_instance",
+    "window",
+    "derivable",
+]

@@ -1,0 +1,109 @@
+"""Join consistency and semijoin reduction ([Y], [BFM]).
+
+A state is *join consistent* when it is exactly the set of projections
+of one universal instance.  Tuples lost in the full join are
+*dangling*.  For **acyclic** schemas, Yannakakis' semijoin full
+reducer removes all dangling tuples in a linear number of semijoins
+(two passes over a join tree), after which the state is globally
+consistent — the machinery behind the paper's remark that the chase
+"can be carried out essentially in polynomial time" on acyclic
+schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.data.relations import RelationInstance
+from repro.data.states import DatabaseState
+from repro.exceptions import SchemaError
+from repro.schema.database import DatabaseSchema
+from repro.schema.hypergraph import JoinTree, join_tree
+
+
+def semijoin(r: RelationInstance, s: RelationInstance) -> RelationInstance:
+    """``r ⋉ s`` — tuples of ``r`` joinable with some tuple of ``s``."""
+    common = r.attributes & s.attributes
+    if not common:
+        return r if s else RelationInstance(r.attributes)
+    keys = {tuple(t.value(a) for a in common) for t in s}
+    return r.select(lambda t: tuple(t.value(a) for a in common) in keys)
+
+
+@dataclass(frozen=True)
+class SemijoinStep:
+    """One step of a full-reducer program: ``target ⋉= source``."""
+
+    target: str
+    source: str
+
+    def __str__(self) -> str:
+        return f"{self.target} ⋉= {self.source}"
+
+
+def full_reducer_program(tree: JoinTree) -> PyTuple[SemijoinStep, ...]:
+    """The classic two-pass semijoin program over a join tree:
+    leaves-to-root, then root-to-leaves."""
+    schema = tree.schema
+    n = len(schema)
+    adj: Dict[int, List[int]] = {i: [] for i in range(n)}
+    for i, j in tree.edges:
+        adj[i].append(j)
+        adj[j].append(i)
+
+    root = 0
+    order: List[int] = []
+    seen = {root}
+    stack = [root]
+    parent: Dict[int, Optional[int]] = {root: None}
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        for nxt in adj[node]:
+            if nxt not in seen:
+                seen.add(nxt)
+                parent[nxt] = node
+                stack.append(nxt)
+
+    steps: List[SemijoinStep] = []
+    # up: children reduce their parents, deepest first
+    for node in reversed(order):
+        p = parent[node]
+        if p is not None:
+            steps.append(SemijoinStep(schema[p].name, schema[node].name))
+    # down: parents reduce their children, top first
+    for node in order:
+        p = parent[node]
+        if p is not None:
+            steps.append(SemijoinStep(schema[node].name, schema[p].name))
+    return tuple(steps)
+
+
+def full_reduce(state: DatabaseState) -> DatabaseState:
+    """Remove all dangling tuples of an acyclic state with the semijoin
+    full reducer.  Raises :class:`SchemaError` on cyclic schemas."""
+    tree = join_tree(state.schema)
+    if tree is None:
+        raise SchemaError("full reduction requires an acyclic schema")
+    relations = {s.name: state[s.name] for s in state.schema}
+    for step in full_reducer_program(tree):
+        relations[step.target] = semijoin(relations[step.target], relations[step.source])
+    return DatabaseState(state.schema, relations)
+
+
+def is_pairwise_consistent(state: DatabaseState) -> bool:
+    """Every pair of relations agrees on its common attributes
+    (``πRi∩Rj(ri) = πRi∩Rj(rj)``)."""
+    relations = state.relations()
+    for i, r in enumerate(relations):
+        for s in relations[i + 1 :]:
+            common = r.attributes & s.attributes
+            if common and r.project(common) != s.project(common):
+                return False
+    return True
+
+
+def is_globally_consistent(state: DatabaseState) -> bool:
+    """Alias for join consistency (projections of one instance)."""
+    return state.is_join_consistent()

@@ -1,0 +1,107 @@
+"""Information ordering and equivalence of database states ([M]).
+
+Mendelzon's view of states as tableaux: the *information content* of a
+state ``p`` (w.r.t. FDs ``F``) is its chased tableau ``chase(I(p))``.
+A state ``q`` contains at least the information of ``p`` when there is
+a **homomorphism** from ``p``'s chased tableau into ``q``'s — a map of
+symbols that is the identity on constants and sends rows to rows.
+Two states are information-equivalent when each contains the other;
+the derivable facts (total projections over every attribute set) then
+coincide, which the test suite checks against this definition.
+
+Homomorphism search is backtracking over row images with forward
+pruning; tableaux at relation-scheme scale keep it comfortably fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple as PyTuple, Union
+
+from repro.chase.engine import chase_fds
+from repro.chase.tableau import ChaseTableau
+from repro.data.states import DatabaseState
+from repro.data.values import Null, is_null
+from repro.deps.fd import FD
+from repro.deps.fdset import FDSet, as_fdset
+from repro.exceptions import InconsistentStateError
+
+Row = PyTuple[object, ...]
+
+
+def _chased_rows(state: DatabaseState, fds) -> List[Row]:
+    tableau = ChaseTableau.from_state(state)
+    result = chase_fds(tableau, as_fdset(fds))
+    if not result.consistent:
+        raise InconsistentStateError(
+            f"state is not satisfying: {result.contradiction}"
+        )
+    rel = tableau.to_relation()
+    return [tuple(t.values) for t in rel]
+
+
+def _find_homomorphism(
+    source: List[Row], target: List[Row]
+) -> Optional[Dict[Null, object]]:
+    """A symbol map (identity on constants) sending every source row to
+    some target row, or ``None``."""
+
+    mapping: Dict[Null, object] = {}
+
+    def row_compatible(src: Row, dst: Row, local: Dict[Null, object]) -> Optional[Dict[Null, object]]:
+        added: Dict[Null, object] = {}
+        for sv, dv in zip(src, dst):
+            if is_null(sv):
+                bound = mapping.get(sv, added.get(sv, local.get(sv)))
+                if bound is None:
+                    added[sv] = dv
+                elif bound != dv:
+                    return None
+            else:
+                if sv != dv:
+                    return None
+        return added
+
+    # order rows most-constrained first (fewest nulls)
+    order = sorted(range(len(source)), key=lambda i: sum(is_null(v) for v in source[i]))
+
+    def backtrack(k: int) -> bool:
+        if k == len(order):
+            return True
+        src = source[order[k]]
+        for dst in target:
+            added = row_compatible(src, dst, {})
+            if added is None:
+                continue
+            mapping.update(added)
+            if backtrack(k + 1):
+                return True
+            for key in added:
+                mapping.pop(key, None)
+        return False
+
+    return mapping if backtrack(0) else None
+
+
+def information_contains(
+    bigger: DatabaseState,
+    smaller: DatabaseState,
+    fds: Union[FDSet, str, Iterable[FD]],
+) -> bool:
+    """Does ``bigger`` contain at least the information of ``smaller``
+    (a homomorphism ``chase(I(smaller)) → chase(I(bigger))`` exists)?"""
+    src = _chased_rows(smaller, fds)
+    dst = _chased_rows(bigger, fds)
+    if not src:
+        return True
+    if not dst:
+        return False
+    return _find_homomorphism(src, dst) is not None
+
+
+def information_equivalent(
+    p: DatabaseState,
+    q: DatabaseState,
+    fds: Union[FDSet, str, Iterable[FD]],
+) -> bool:
+    """Mutual containment: the two states carry the same information."""
+    return information_contains(p, q, fds) and information_contains(q, p, fds)

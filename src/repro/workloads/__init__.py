@@ -1,0 +1,52 @@
+"""Workload generators: schema families, states, insert streams, and
+the paper's own examples as fixtures."""
+
+from repro.workloads.paper import (
+    ALL_EXAMPLES,
+    PaperExample,
+    example1,
+    example2,
+    example2_extended,
+    example3,
+    intro_university,
+)
+from repro.workloads.schemas import (
+    chain_schema,
+    cyclic_core,
+    cyclic_ring,
+    jd_dependent_pair,
+    random_schema,
+    reverse_fd_chain,
+    star_schema,
+    triangle_schema,
+    unembedded_family,
+)
+from repro.workloads.states import (
+    InsertOp,
+    insert_workload,
+    random_satisfying_state,
+    random_satisfying_universal,
+)
+
+__all__ = [
+    "PaperExample",
+    "ALL_EXAMPLES",
+    "example1",
+    "example2",
+    "example2_extended",
+    "example3",
+    "intro_university",
+    "chain_schema",
+    "star_schema",
+    "triangle_schema",
+    "reverse_fd_chain",
+    "unembedded_family",
+    "jd_dependent_pair",
+    "cyclic_core",
+    "cyclic_ring",
+    "random_schema",
+    "InsertOp",
+    "insert_workload",
+    "random_satisfying_state",
+    "random_satisfying_universal",
+]

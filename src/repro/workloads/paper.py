@@ -1,0 +1,132 @@
+"""The paper's own examples, as reusable fixtures.
+
+Each fixture returns the schema, the FDs, and (where the paper gives
+one) the state, so tests, benchmarks, and examples all speak about the
+same objects the paper prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.data.states import DatabaseState
+from repro.deps.fdset import FDSet
+from repro.schema.database import DatabaseSchema
+
+
+@dataclass(frozen=True)
+class PaperExample:
+    name: str
+    schema: DatabaseSchema
+    fds: FDSet
+    state: Optional[DatabaseState] = None
+    independent: Optional[bool] = None
+    notes: str = ""
+
+
+def example1() -> PaperExample:
+    """Example 1: courses/teachers/departments.
+
+    ``D = {CD, CT, TD}``, ``F = {C→D, C→T, T→D}``.  The given state is
+    locally satisfying but not satisfying; the schema is not
+    independent (two different course→department relationships)."""
+    schema = DatabaseSchema.parse("CD(C,D); CT(C,T); TD(T,D)")
+    fds = FDSet.parse("C -> D; C -> T; T -> D")
+    state = DatabaseState(
+        schema,
+        {
+            "CD": [("CS402", "CS")],
+            "CT": [("CS402", "Jones")],
+            "TD": [("Jones", "EE")],
+        },
+    )
+    return PaperExample(
+        name="Example 1",
+        schema=schema,
+        fds=fds,
+        state=state,
+        independent=False,
+        notes="state is locally satisfying yet has no weak instance",
+    )
+
+
+def example2() -> PaperExample:
+    """Example 2: the academic schema ``{CT, CS, CHR}`` with
+    ``C→T, CH→R`` — independent."""
+    schema = DatabaseSchema.parse("CT(C,T); CS(C,S); CHR(C,H,R)")
+    fds = FDSet.parse("C -> T; C H -> R")
+    return PaperExample(
+        name="Example 2", schema=schema, fds=fds, independent=True
+    )
+
+
+def example2_extended() -> PaperExample:
+    """Example 2 with ``SH→R`` added: a student could take two courses
+    meeting at the same hour — condition (1) fails, not independent."""
+    base = example2()
+    return PaperExample(
+        name="Example 2 + SH→R",
+        schema=base.schema,
+        fds=base.fds | FDSet.parse("S H -> R"),
+        independent=False,
+        notes="SH→R is not derivable from the embedded FDs",
+    )
+
+
+def example3() -> PaperExample:
+    """Example 3 (reconstructed; see DESIGN.md §3).
+
+    ``D = {R1(A1,B1), R2(A1,B1,A2,B2,C)}`` with
+    ``F2 = {A1→A2, B1→B2, A1B1→C, A2B2→A1B1}``.  Running the loop for
+    ``R1`` rejects at line 4 or line 5 depending on the equivalent
+    l.h.s. picked; the counterexample state printed by the paper is
+    ``r1 = {(0,0)}``, ``r2 = {(0,2,0,3,4), (5,0,6,0,7), (1,1,0,0,1)}``
+    (columns A1 A2 B1 B2 C in the paper's layout)."""
+    schema = DatabaseSchema.parse("R1(A1,B1); R2(A1,B1,A2,B2,C)")
+    fds = FDSet.parse("A1 -> A2; B1 -> B2; A1 B1 -> C; A2 B2 -> A1 B1")
+    state = DatabaseState(
+        schema,
+        {
+            "R1": [(0, 0)],
+            "R2": [
+                {"A1": 0, "B1": 2, "A2": 0, "B2": 3, "C": 4},
+                {"A1": 5, "B1": 0, "A2": 6, "B2": 0, "C": 7},
+                {"A1": 1, "B1": 1, "A2": 0, "B2": 0, "C": 1},
+            ],
+        },
+    )
+    return PaperExample(
+        name="Example 3",
+        schema=schema,
+        fds=fds,
+        state=state,
+        independent=False,
+        notes="the state is the paper's printed counterexample",
+    )
+
+
+def intro_university() -> PaperExample:
+    """The introduction's deduction example: attributes C(ourse),
+    T(eacher), S(tudent), H(our), R(oom); ``C→T`` and ``TH→R``.  From
+    (CS101, Smith) and (CS101, Mon-10, 313) one deduces that Smith is
+    in room 313 at Mon-10."""
+    schema = DatabaseSchema.parse("CT(C,T); CHR(C,H,R); SC(S,C)")
+    fds = FDSet.parse("C -> T; T H -> R")
+    state = DatabaseState(
+        schema,
+        {
+            "CT": [("CS101", "Smith")],
+            "CHR": [("CS101", "Mon-10", "313")],
+        },
+    )
+    return PaperExample(
+        name="Introduction deduction",
+        schema=schema,
+        fds=fds,
+        state=state,
+        notes="derivable fact: (Smith, Mon-10, 313) over T H R",
+    )
+
+
+ALL_EXAMPLES = (example1, example2, example2_extended, example3)

@@ -1,0 +1,157 @@
+"""Parametric schema families for scaling experiments.
+
+Families with *known* independence status (verified in tests against
+the analyzer) let the benchmarks measure pure algorithmic cost:
+
+* :func:`chain_schema` — ``Ri(Ai, Ai+1)`` with ``Ai → Ai+1``:
+  independent, acyclic; scales the universe and the FD count linearly.
+* :func:`star_schema` — ``Ri(K, Ai)`` with ``K → Ai``: independent.
+* :func:`triangle_schema` — Example 1 generalized with a shortcut
+  scheme: the chain derivation is foreign to the shortcut relation, so
+  the family is *not* independent (Lemma 7 territory).
+* :func:`unembedded_chain` — a chain plus one FD embedded nowhere:
+  condition (1) fails (Lemma 3 territory).
+* :func:`cyclic_core` — the classic cyclic hypergraph ``{AB, BC, CA}``
+  (exercises the chase ``cl_Σ`` engine; no join tree exists).
+* :func:`random_schema` — seeded random schemas for property tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple as PyTuple
+
+from repro.deps.fd import FD
+from repro.deps.fdset import FDSet
+from repro.schema.attributes import AttributeSet
+from repro.schema.database import DatabaseSchema
+from repro.schema.relation import RelationScheme
+
+
+def chain_schema(n: int) -> PyTuple[DatabaseSchema, FDSet]:
+    """``R1(A1,A2), …, Rn(An,An+1)`` with ``Ai → Ai+1`` — independent."""
+    schemes = [
+        RelationScheme(f"R{i}", (f"A{i}", f"A{i + 1}")) for i in range(1, n + 1)
+    ]
+    fds = FDSet(FD((f"A{i}",), (f"A{i + 1}",)) for i in range(1, n + 1))
+    return DatabaseSchema(schemes), fds
+
+
+def star_schema(n: int) -> PyTuple[DatabaseSchema, FDSet]:
+    """``Ri(K, Ai)`` with ``K → Ai`` — independent."""
+    schemes = [RelationScheme(f"R{i}", ("K", f"A{i}")) for i in range(1, n + 1)]
+    fds = FDSet(FD(("K",), (f"A{i}",)) for i in range(1, n + 1))
+    return DatabaseSchema(schemes), fds
+
+
+def triangle_schema(n: int) -> PyTuple[DatabaseSchema, FDSet]:
+    """A chain ``A1 → … → An+1`` plus the shortcut scheme
+    ``S(A1, An+1)`` carrying ``A1 → An+1``.
+
+    The shortcut FD is derivable through the chain — a cross-scheme
+    nonredundant derivation — so the family is **not** independent for
+    every ``n ≥ 1`` (for ``n = 2`` this is Example 1 up to renaming).
+    """
+    schema, fds = chain_schema(n)
+    shortcut = RelationScheme("S", ("A1", f"A{n + 1}"))
+    schema = schema.with_scheme(shortcut)
+    fds = fds | [FD(("A1",), (f"A{n + 1}",))]
+    return schema, fds
+
+
+def reverse_fd_chain(n: int) -> PyTuple[DatabaseSchema, FDSet]:
+    """A chain plus the reverse FD ``An+1 → A1``.
+
+    Although the reverse FD is embedded nowhere, the cycle it closes
+    makes every backward FD ``Ai+1 → Ai`` derivable and embedded, so
+    condition (1) *holds* and the schema turns out **independent** — a
+    pleasingly non-obvious accept case for the loop.
+    """
+    schema, fds = chain_schema(n)
+    fds = fds | [FD((f"A{n + 1}",), ("A1",))]
+    return schema, fds
+
+
+def unembedded_family(n: int) -> PyTuple[DatabaseSchema, FDSet]:
+    """Example 2 scaled: ``CT, CHR, CS1 … CSn`` with ``C→T, CH→R`` and
+    the offending ``S1 H → R`` whose attributes co-occur in no scheme
+    and which no embedded cover derives: condition (1) **fails** for
+    every ``n ≥ 1``."""
+    schemes = [RelationScheme("CT", "C T"), RelationScheme("CHR", "C H R")]
+    schemes += [RelationScheme(f"CS{i}", ("C", f"S{i}")) for i in range(1, n + 1)]
+    fds = FDSet([FD("C", "T"), FD("C H", "R"), FD(("S1", "H"), "R")])
+    return DatabaseSchema(schemes), fds
+
+
+def jd_dependent_pair() -> PyTuple[DatabaseSchema, FDSet]:
+    """``D = {AB, AC}`` with ``F = {B → C}``: the FD ``A → C`` is
+    implied by ``F ∪ {*D}`` (via the join-tree MVD ``A →→ B``) but not
+    by ``F`` alone — the smallest case where the join dependency
+    genuinely contributes to ``cl_Σ``.  ``B → C`` itself is embedded
+    nowhere and not derivable: condition (1) fails."""
+    schema = DatabaseSchema.parse("RAB(A,B); RAC(A,C)")
+    return schema, FDSet.parse("B -> C")
+
+
+def cyclic_core() -> PyTuple[DatabaseSchema, FDSet]:
+    """``{AB, BC, CA}`` — the smallest cyclic hypergraph."""
+    schema = DatabaseSchema.parse("RAB(A,B); RBC(B,C); RCA(C,A)")
+    return schema, FDSet()
+
+
+def cyclic_ring(n: int) -> PyTuple[DatabaseSchema, FDSet]:
+    """A ring of ``n`` schemes ``Ri(Ai, Ai+1)`` closing back on ``A1``
+    — cyclic for every ``n ≥ 3``."""
+    schemes = [
+        RelationScheme(f"R{i}", (f"A{i}", f"A{(i % n) + 1}")) for i in range(1, n + 1)
+    ]
+    return DatabaseSchema(schemes), FDSet()
+
+
+def random_schema(
+    seed: int,
+    n_attrs: int = 6,
+    n_schemes: int = 3,
+    scheme_size: int = 3,
+    n_fds: int = 3,
+    embedded_only: bool = True,
+) -> PyTuple[DatabaseSchema, FDSet]:
+    """A seeded random schema + FD set.
+
+    ``embedded_only=True`` draws every FD inside some scheme (the
+    Section 4 regime); otherwise FDs roam the whole universe.
+    Every attribute is used by at least one scheme.
+    """
+    rng = random.Random(seed)
+    attrs = [f"A{i}" for i in range(1, n_attrs + 1)]
+    schemes: List[RelationScheme] = []
+    uncovered = set(attrs)
+    for i in range(1, n_schemes + 1):
+        size = max(2, min(scheme_size, n_attrs))
+        pick = rng.sample(attrs, size)
+        for a in pick:
+            uncovered.discard(a)
+        schemes.append(RelationScheme(f"R{i}", pick))
+    if uncovered:
+        # widen the last scheme so the universe is covered
+        last = schemes[-1]
+        schemes[-1] = RelationScheme(
+            last.name, last.attributes | AttributeSet(sorted(uncovered))
+        )
+    schema = DatabaseSchema(schemes)
+
+    fds: List[FD] = []
+    for _ in range(n_fds):
+        if embedded_only:
+            home = rng.choice(schema.schemes)
+            pool = list(home.attributes.names)
+        else:
+            pool = attrs
+        if len(pool) < 2:
+            continue
+        lhs_size = rng.randint(1, min(2, len(pool) - 1))
+        lhs = rng.sample(pool, lhs_size)
+        rhs_candidates = [a for a in pool if a not in lhs]
+        rhs = [rng.choice(rhs_candidates)]
+        fds.append(FD(lhs, rhs))
+    return schema, FDSet(fds)

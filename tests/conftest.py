@@ -1,0 +1,54 @@
+"""Shared fixtures: the paper's examples and a few schema families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.paper import (
+    example1,
+    example2,
+    example2_extended,
+    example3,
+    intro_university,
+)
+from repro.workloads.schemas import chain_schema, star_schema, triangle_schema
+
+
+@pytest.fixture
+def ex1():
+    return example1()
+
+
+@pytest.fixture
+def ex2():
+    return example2()
+
+
+@pytest.fixture
+def ex2_extended():
+    return example2_extended()
+
+
+@pytest.fixture
+def ex3():
+    return example3()
+
+
+@pytest.fixture
+def intro():
+    return intro_university()
+
+
+@pytest.fixture
+def chain5():
+    return chain_schema(5)
+
+
+@pytest.fixture
+def star4():
+    return star_schema(4)
+
+
+@pytest.fixture
+def triangle2():
+    return triangle_schema(2)

@@ -1,0 +1,112 @@
+"""Armstrong's axioms: proof construction and checking."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.deps.armstrong import (
+    ProofStep,
+    augmentation,
+    check_proof,
+    implies_with_proof,
+    prove,
+    reflexivity,
+    transitivity,
+)
+from repro.deps.closure import closure
+from repro.deps.fd import FD, fd, fds
+from repro.schema.attributes import AttributeSet
+
+SETTINGS = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+ATTRS = ["A", "B", "C", "D"]
+attr_subsets = st.sets(st.sampled_from(ATTRS), max_size=3).map(
+    lambda s: AttributeSet(sorted(s))
+)
+nonempty = st.sets(st.sampled_from(ATTRS), min_size=1, max_size=3).map(
+    lambda s: AttributeSet(sorted(s))
+)
+
+
+@st.composite
+def fd_lists(draw):
+    n = draw(st.integers(0, 4))
+    return [FD(draw(attr_subsets), draw(nonempty)) for _ in range(n)]
+
+
+class TestRules:
+    def test_reflexivity(self):
+        step = reflexivity("A B", "A")
+        assert str(step.conclusion) == "AB -> A"
+        assert check_proof(step, [])
+
+    def test_reflexivity_rejects_non_subset(self):
+        with pytest.raises(ValueError):
+            reflexivity("A", "B")
+
+    def test_augmentation(self):
+        base = ProofStep("given", fd("A -> B"))
+        step = augmentation(base, "C")
+        assert step.conclusion == fd("A C -> B C")
+        assert check_proof(step, fds("A -> B"))
+
+    def test_transitivity(self):
+        p1 = ProofStep("given", fd("A -> B"))
+        p2 = ProofStep("given", fd("B -> C"))
+        step = transitivity(p1, p2)
+        assert step.conclusion == fd("A -> C")
+        assert check_proof(step, fds("A -> B", "B -> C"))
+
+    def test_transitivity_requires_containment(self):
+        p1 = ProofStep("given", fd("A -> B"))
+        p2 = ProofStep("given", fd("C -> D"))
+        with pytest.raises(ValueError):
+            transitivity(p1, p2)
+
+    def test_check_rejects_bogus_given(self):
+        step = ProofStep("given", fd("A -> B"))
+        assert not check_proof(step, [])
+
+    def test_check_rejects_malformed_tree(self):
+        bogus = ProofStep("transitivity", fd("A -> C"), ())
+        assert not check_proof(bogus, [])
+
+
+class TestProve:
+    def test_chain(self):
+        F = fds("A -> B", "B -> C")
+        proof = prove(F, fd("A -> C"))
+        assert proof is not None
+        assert proof.conclusion == fd("A -> C")
+        assert check_proof(proof, F)
+
+    def test_unprovable(self):
+        assert prove(fds("A -> B"), fd("B -> A")) is None
+
+    def test_trivial_goal(self):
+        proof = prove([], fd("A B -> A"))
+        assert proof is not None and check_proof(proof, [])
+
+    def test_render(self):
+        proof = prove(fds("A -> B"), fd("A -> B"))
+        out = proof.render()
+        assert "A -> B" in out and "[" in out
+
+    def test_implies_with_proof(self):
+        ok, proof = implies_with_proof(fds("A -> B", "B -> C"), fd("A -> B C"))
+        assert ok and check_proof(proof, fds("A -> B", "B -> C"))
+
+    @SETTINGS
+    @given(fd_lists(), attr_subsets, nonempty)
+    def test_soundness_and_completeness(self, F, x, y):
+        """prove() succeeds exactly on FDs in F⁺, and every produced
+        proof passes the independent checker."""
+        goal = FD(x, y)
+        proof = prove(F, goal)
+        semantically = y <= closure(x, F)
+        assert (proof is not None) == semantically
+        if proof is not None:
+            assert proof.conclusion == goal
+            assert check_proof(proof, F)

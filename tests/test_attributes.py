@@ -1,0 +1,106 @@
+"""AttributeSet: parsing, ordering, algebra, hashing."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.schema.attributes import AttributeSet, attrs, ordered_names
+
+
+class TestParsing:
+    def test_from_string_spaces(self):
+        assert attrs("A B C").names == ("A", "B", "C")
+
+    def test_from_string_commas(self):
+        assert attrs("A,B , C").names == ("A", "B", "C")
+
+    def test_from_iterable(self):
+        assert attrs(["B", "A"]).names == ("A", "B")
+
+    def test_from_attributeset_is_copy(self):
+        a = attrs("A B")
+        assert AttributeSet(a) == a
+
+    def test_empty(self):
+        assert attrs(None).names == ()
+        assert attrs("").names == ()
+        assert not attrs("")
+
+    def test_deduplication(self):
+        assert attrs("A A B").names == ("A", "B")
+
+    def test_multichar_names_are_single_attributes(self):
+        assert attrs("Course Teacher").names == ("Course", "Teacher")
+
+    def test_rejects_arrow_in_name(self):
+        with pytest.raises(ParseError):
+            attrs(["A->B"])
+
+    def test_rejects_non_string_items(self):
+        with pytest.raises(ParseError):
+            attrs([1, 2])  # type: ignore[list-item]
+
+
+class TestNaturalOrder:
+    def test_numeric_suffixes_sort_numerically(self):
+        assert attrs("A10 A2 A1").names == ("A1", "A2", "A10")
+
+    def test_iteration_is_sorted(self):
+        assert list(attrs("C A B")) == ["A", "B", "C"]
+
+    def test_ordered_names_preserves_declaration(self):
+        assert ordered_names("T D") == ("T", "D")
+        assert ordered_names(["B", "A"]) == ("B", "A")
+
+
+class TestAlgebra:
+    def test_union(self):
+        assert attrs("A B") | "B C" == attrs("A B C")
+
+    def test_intersection(self):
+        assert attrs("A B C") & "B C D" == attrs("B C")
+
+    def test_difference(self):
+        assert attrs("A B C") - "B" == attrs("A C")
+
+    def test_symmetric_difference(self):
+        assert attrs("A B") ^ "B C" == attrs("A C")
+
+    def test_subset_relations(self):
+        assert attrs("A") <= attrs("A B")
+        assert attrs("A") < attrs("A B")
+        assert not attrs("A B") < attrs("A B")
+        assert attrs("A B") >= "A"
+
+    def test_disjoint(self):
+        assert attrs("A").isdisjoint("B")
+        assert not attrs("A B").isdisjoint("B C")
+
+    def test_contains_string_and_set(self):
+        s = attrs("A B C")
+        assert "A" in s
+        assert attrs("A B") in s
+        assert "D" not in s
+
+
+class TestHashingEquality:
+    def test_equal_sets_equal_hash(self):
+        assert hash(attrs("A B")) == hash(attrs("B A"))
+        assert attrs("A B") == attrs("B A")
+
+    def test_usable_as_dict_key(self):
+        d = {attrs("A B"): 1}
+        assert d[attrs("B A")] == 1
+
+    def test_equality_with_frozenset(self):
+        assert attrs("A B") == frozenset({"A", "B"})
+
+
+class TestDisplay:
+    def test_compact_single_char(self):
+        assert str(attrs("C T")) == "CT"
+
+    def test_spaced_multi_char(self):
+        assert str(attrs("A1 B1")) == "A1 B1"
+
+    def test_singletons(self):
+        assert [s.names for s in attrs("A B").singletons()] == [("A",), ("B",)]

@@ -1,0 +1,174 @@
+"""The chase engine: tableaux, FD-rule, JD-rule, budgets."""
+
+import pytest
+
+from repro.chase.engine import chase, chase_fds, chase_state
+from repro.chase.tableau import ChaseTableau, RowOrigin
+from repro.data.relations import RelationInstance
+from repro.data.states import DatabaseState
+from repro.data.values import is_null
+from repro.deps.fd import fd, fds
+from repro.deps.jd import JoinDependency
+from repro.deps.mvd import MVD
+from repro.exceptions import ChaseBudgetExceeded
+from repro.schema.attributes import attrs
+from repro.schema.database import DatabaseSchema
+
+
+def _two_row_state():
+    schema = DatabaseSchema.parse("R(A,B); S(B,C)")
+    return DatabaseState(schema, {"R": [(1, 2)], "S": [(2, 3)]})
+
+
+class TestTableau:
+    def test_from_state_pads_with_variables(self):
+        state = _two_row_state()
+        tab = ChaseTableau.from_state(state)
+        assert len(tab) == 2
+        rel = tab.to_relation()
+        row = next(iter(rel.select_eq(A=1)))
+        assert is_null(row.value("C"))
+
+    def test_constants_are_interned(self):
+        state = _two_row_state()
+        tab = ChaseTableau.from_state(state)
+        # both rows carry constant 2 in column B — same symbol
+        assert tab.symbol_at(0, "B") == tab.symbol_at(1, "B")
+
+    def test_total_projection_keeps_constant_rows(self):
+        state = _two_row_state()
+        tab = ChaseTableau.from_state(state)
+        assert len(tab.total_projection("A B")) == 1
+        assert len(tab.total_projection("B")) == 1  # deduped (both have B)
+
+    def test_origin_tracking(self):
+        tab = ChaseTableau.from_state(_two_row_state())
+        assert tab.origin(0).scheme == "R"
+
+    def test_merge_constant_conflict(self):
+        tab = ChaseTableau(attrs("A"))
+        a = tab.symbols.constant(1)
+        b = tab.symbols.constant(2)
+        changed, conflict = tab.symbols.merge(a, b)
+        assert not changed and conflict == (1, 2)
+
+    def test_merge_variable_constant_promotes(self):
+        tab = ChaseTableau(attrs("A"))
+        v = tab.symbols.fresh_variable()
+        c = tab.symbols.constant(5)
+        changed, conflict = tab.symbols.merge(v, c)
+        assert changed and conflict is None
+        assert tab.symbols.resolve_value(v) == 5
+
+
+class TestFDChase:
+    def test_merges_variables(self):
+        state = _two_row_state()
+        tab = ChaseTableau.from_state(state)
+        result = chase_fds(tab, fds("B -> C"))
+        assert result.consistent
+        # the R-row's C-variable must now be the constant 3
+        rel = tab.to_relation()
+        row = next(iter(rel.select_eq(A=1)))
+        assert row.value("C") == 3
+
+    def test_contradiction_on_constants(self, ex1):
+        result = chase_state(ex1.state, ex1.fds)
+        assert not result.consistent
+        assert result.contradiction is not None
+        assert result.contradiction.fd in set(ex1.fds)
+
+    def test_contradiction_witness_values(self, ex1):
+        result = chase_state(ex1.state, ex1.fds)
+        assert set(result.contradiction.values) == {"CS", "EE"}
+
+    def test_no_fds_always_consistent(self):
+        result = chase_state(_two_row_state())
+        assert result.consistent
+
+    def test_fixpoint_cascade(self):
+        # A -> B and B -> C across three relations requires two passes.
+        schema = DatabaseSchema.parse("RA(A,B); RB(B,C); RC(A,C)")
+        state = DatabaseState(
+            schema, {"RA": [(1, 2)], "RB": [(2, 3)], "RC": [(1, 9)]}
+        )
+        result = chase_state(state, fds("A -> B", "B -> C"))
+        assert not result.consistent  # C forced to both 3 and 9
+
+
+class TestJDChase:
+    def test_jd_rule_adds_join_rows(self):
+        tab = ChaseTableau.from_state(_two_row_state())
+        jd = JoinDependency([attrs("A B"), attrs("B C")])
+        result = chase(tab, jds=[jd])
+        assert result.consistent
+        # the joined row (1, 2, 3) must now be a constant row
+        assert len(tab.total_projection("A B C")) == 1
+
+    def test_jd_rule_fixpoint_is_idempotent(self):
+        tab = ChaseTableau.from_state(_two_row_state())
+        jd = JoinDependency([attrs("A B"), attrs("B C")])
+        chase(tab, jds=[jd])
+        n = len(tab)
+        chase(tab, jds=[jd])
+        assert len(tab) == n
+
+    def test_jd_universe_mismatch_rejected(self):
+        tab = ChaseTableau(attrs("A B C"))
+        with pytest.raises(ValueError):
+            chase(tab, jds=[JoinDependency([attrs("A B")])])
+
+    def test_mvd_rule_via_binary_jd(self):
+        # r = {(0,0,0), (0,1,1)} over ABC with A ->> B adds the swaps.
+        schema = DatabaseSchema.parse("R(A,B,C)")
+        state = DatabaseState(schema, {"R": [(0, 0, 0), (0, 1, 1)]})
+        tab = ChaseTableau.from_state(state)
+        result = chase(tab, mvds=[MVD("A", "B", attrs("A B C"))])
+        assert result.consistent
+        rel = tab.total_projection("A B C")
+        values = {tuple(t.values) for t in rel}
+        assert (0, 0, 1) in values and (0, 1, 0) in values
+
+    def test_jd_then_fd_contradiction(self):
+        # Two A-mates in S join with the single R-tuple, producing two
+        # X-equal rows with different B — the contradiction exists only
+        # once the JD-rule has fired (the FD X -> B is not embedded).
+        schema = DatabaseSchema.parse("R(X,A); S(A,B)")
+        state = DatabaseState(
+            schema, {"R": [("x", "a")], "S": [("a", 1), ("a", 2)]}
+        )
+        tab = ChaseTableau.from_state(state)
+        jd = schema.join_dependency()
+        result = chase(tab, fd_list=fds("X -> B"), jds=[jd])
+        assert not result.consistent
+        assert result.jd_rows_added > 0
+
+    def test_fd_only_chase_misses_jd_contradiction(self):
+        # The same state chases clean without the JD-rule: padding the
+        # S-tuples with fresh X variables never triggers X -> B.
+        schema = DatabaseSchema.parse("R(X,A); S(A,B)")
+        state = DatabaseState(
+            schema, {"R": [("x", "a")], "S": [("a", 1), ("a", 2)]}
+        )
+        tab = ChaseTableau.from_state(state)
+        assert chase_fds(tab, fds("X -> B")).consistent
+
+    def test_budget_exceeded_raises(self):
+        schema = DatabaseSchema.parse("R(A,B); S(B,C)")
+        rows_r = [(i, j) for i in range(6) for j in range(6)]
+        rows_s = [(j, k) for j in range(6) for k in range(6)]
+        state = DatabaseState(schema, {"R": rows_r, "S": rows_s})
+        tab = ChaseTableau.from_state(state)
+        with pytest.raises(ChaseBudgetExceeded):
+            chase(tab, jds=[schema.join_dependency()], max_rows=10)
+
+
+class TestWeakInstanceExtraction:
+    def test_weak_instance_contains_state(self, intro):
+        result = chase_state(intro.state, intro.fds)
+        assert result.consistent
+        weak = result.tableau.to_relation()
+        for scheme, relation in intro.state:
+            projected = weak.project(scheme.attributes)
+            for t in relation:
+                assert t in projected

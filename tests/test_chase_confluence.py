@@ -1,0 +1,133 @@
+"""Chase confluence: the FD chase is Church–Rosser.
+
+[MMS] prove the chase's result is independent of rule application
+order.  We verify observable consequences: permuting the FD list (and
+the state's row order) never changes (1) the satisfaction verdict,
+(2) the contradiction-free weak instance up to null renaming, or
+(3) any total projection.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.chase.engine import chase_fds
+from repro.chase.tableau import ChaseTableau
+from repro.data.relations import RelationInstance
+from repro.data.states import DatabaseState
+from repro.data.values import is_null
+from repro.deps.fdset import FDSet
+from repro.schema.database import DatabaseSchema
+from repro.workloads.schemas import random_schema
+from repro.workloads.states import random_satisfying_state
+
+
+def canonical_form(relation: RelationInstance):
+    """Rows with nulls renamed by first occurrence, as a sortable set.
+
+    Two relations equal under null renaming iff their canonical forms
+    coincide (nulls are local to rows' join structure, so we rename
+    per whole-relation first-occurrence order after sorting by the
+    constant skeleton).
+    """
+    attrs = relation.attributes.names
+
+    def skeleton(t):
+        return tuple(
+            ("#", None) if is_null(t.value(a)) else ("c", repr(t.value(a)))
+            for a in attrs
+        )
+
+    rows = sorted(relation.tuples, key=skeleton)
+    renaming = {}
+    out = []
+    for t in rows:
+        canon = []
+        for a in attrs:
+            v = t.value(a)
+            if is_null(v):
+                renaming.setdefault(v, f"@{len(renaming)}")
+                canon.append(renaming[v])
+            else:
+                canon.append(repr(v))
+        out.append(tuple(canon))
+    return sorted(out)
+
+
+def _chase_variant(state, fd_list, seed):
+    rng = random.Random(seed)
+    fds = list(fd_list)
+    rng.shuffle(fds)
+    tab = ChaseTableau.from_state(state)
+    result = chase_fds(tab, fds)
+    return result, tab
+
+
+class TestConfluence:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_verdict_is_order_independent(self, seed):
+        schema, F = random_schema(
+            seed, n_attrs=5, n_schemes=3, n_fds=4, embedded_only=True
+        )
+        rng = random.Random(seed)
+        relations = {
+            s.name: [
+                tuple(rng.randrange(3) for _ in s.attributes) for _ in range(3)
+            ]
+            for s in schema
+        }
+        state = DatabaseState(schema, relations)
+        verdicts = {
+            _chase_variant(state, F, k)[0].consistent for k in range(5)
+        }
+        assert len(verdicts) == 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_weak_instance_unique_up_to_renaming(self, seed):
+        schema, F = random_schema(
+            seed, n_attrs=5, n_schemes=3, n_fds=3, embedded_only=True
+        )
+        state = random_satisfying_state(schema, F, 10, seed=seed)
+        forms = set()
+        for k in range(4):
+            result, tab = _chase_variant(state, F, k)
+            assert result.consistent
+            forms.add(tuple(map(tuple, canonical_form(tab.to_relation()))))
+        assert len(forms) == 1
+
+    @pytest.mark.parametrize("seed", range(8, 12))
+    def test_total_projections_order_independent(self, seed):
+        schema, F = random_schema(
+            seed, n_attrs=5, n_schemes=3, n_fds=3, embedded_only=True
+        )
+        state = random_satisfying_state(schema, F, 8, seed=seed)
+        per_order = []
+        for k in range(3):
+            result, tab = _chase_variant(state, F, k)
+            projections = tuple(
+                frozenset(tab.total_projection(s.attributes).tuples)
+                for s in schema
+            )
+            per_order.append(projections)
+        assert len(set(per_order)) == 1
+
+
+class TestCanonicalForm:
+    def test_identical_relations(self):
+        r = RelationInstance("A B", [(1, 2)])
+        assert canonical_form(r) == canonical_form(r)
+
+    def test_null_renaming_invariance(self):
+        from repro.data.values import Null
+
+        a = RelationInstance("A B", [(1, Null(5)), (2, Null(9))])
+        b = RelationInstance("A B", [(1, Null(70)), (2, Null(3))])
+        assert canonical_form(a) == canonical_form(b)
+
+    def test_distinguishes_shared_nulls(self):
+        from repro.data.values import Null
+
+        shared = RelationInstance("A B", [(1, Null(5)), (2, Null(5))])
+        distinct = RelationInstance("A B", [(1, Null(5)), (2, Null(6))])
+        assert canonical_form(shared) != canonical_form(distinct)

@@ -1,0 +1,85 @@
+"""The command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+INDEPENDENT = """
+schema: CT(C,T); CS(C,S); CHR(C,H,R)
+fds: C -> T; C H -> R
+state:
+  CT: (CS101, Smith)
+  CHR: (CS101, Mon-10, 313)
+"""
+
+DEPENDENT = """
+schema: CD(C,D); CT(C,T); TD(T,D)
+fds: C -> D; C -> T; T -> D
+state:
+  CD: (CS402, CS)
+  CT: (CS402, Jones)
+  TD: (Jones, EE)
+"""
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    def write(text: str) -> str:
+        path = tmp_path / "scenario.txt"
+        path.write_text(text)
+        return str(path)
+
+    return write
+
+
+class TestAnalyze:
+    def test_independent_exit_zero(self, scenario_file, capsys):
+        code = main(["analyze", scenario_file(INDEPENDENT)])
+        assert code == 0
+        assert "independent: True" in capsys.readouterr().out
+
+    def test_dependent_exit_one(self, scenario_file, capsys):
+        code = main(["analyze", scenario_file(DEPENDENT)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "independent: False" in out
+        assert "counterexample" in out
+
+    def test_engine_flag(self, scenario_file):
+        assert main(["analyze", scenario_file(INDEPENDENT), "--engine", "chase"]) == 0
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent/path"]) == 2
+
+
+class TestCheck:
+    def test_satisfying_state(self, scenario_file, capsys):
+        code = main(["check", scenario_file(INDEPENDENT)])
+        assert code == 0
+        assert "SATISFYING" in capsys.readouterr().out
+
+    def test_unsatisfying_state(self, scenario_file, capsys):
+        code = main(["check", scenario_file(DEPENDENT)])
+        assert code == 1
+        assert "NOT SATISFYING" in capsys.readouterr().out
+
+    def test_no_state_section(self, scenario_file, capsys):
+        code = main(["check", scenario_file("schema: R(A,B)\nfds: A -> B")])
+        assert code == 2
+
+
+class TestQuery:
+    def test_derivable_facts(self, scenario_file, capsys):
+        code = main(["query", scenario_file(INDEPENDENT), "-a", "T H R"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Smith" in out and "313" in out
+
+
+class TestDemo:
+    def test_demo_runs_all_examples(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Example 1" in out and "Example 3" in out

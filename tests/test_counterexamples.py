@@ -1,0 +1,155 @@
+"""Counterexample constructions (Lemma 3, Lemma 7, Theorem 4) and their
+chase-based verification."""
+
+import pytest
+
+from repro.chase.satisfaction import lsat_but_not_wsat
+from repro.core.counterexamples import (
+    find_lemma7_witness,
+    lemma3_counterexample,
+    lemma7_counterexample,
+    theorem4_counterexample,
+    verify_counterexample,
+)
+from repro.core.embedding import embedding_report
+from repro.core.loop import FDAssignment, run_all, run_for_scheme
+from repro.deps.fdset import FDSet
+from repro.schema.attributes import attrs
+from repro.schema.database import DatabaseSchema
+from repro.workloads.schemas import jd_dependent_pair, triangle_schema, unembedded_family
+
+
+class TestLemma3:
+    def test_construction_verifies(self, ex2_extended):
+        report = embedding_report(ex2_extended.schema, ex2_extended.fds)
+        failed_fd, cl = report.failures[0]
+        state = lemma3_counterexample(
+            ex2_extended.schema, ex2_extended.fds, failed_fd, cl
+        )
+        assert lsat_but_not_wsat(state, ex2_extended.fds)
+
+    def test_two_tuples_agree_exactly_on_closure(self, ex2_extended):
+        report = embedding_report(ex2_extended.schema, ex2_extended.fds)
+        failed_fd, cl = report.failures[0]
+        state = lemma3_counterexample(
+            ex2_extended.schema, ex2_extended.fds, failed_fd, cl
+        )
+        # every relation has at most two tuples; those projected from
+        # the agreement part coincide
+        for scheme, relation in state:
+            assert len(relation) <= 2
+
+    def test_unembedded_family_construction(self):
+        schema, F = unembedded_family(2)
+        report = embedding_report(schema, F)
+        failed_fd, cl = report.failures[0]
+        state = lemma3_counterexample(schema, F, failed_fd, cl)
+        assert lsat_but_not_wsat(state, F)
+
+    def test_jd_dependent_pair_construction(self):
+        schema, F = jd_dependent_pair()
+        report = embedding_report(schema, F)
+        failed_fd, cl = report.failures[0]
+        state = lemma3_counterexample(schema, F, failed_fd, cl)
+        assert lsat_but_not_wsat(state, F)
+
+
+class TestLemma7:
+    def test_witness_found_for_example1(self, ex1):
+        asg = FDAssignment.from_embedded(ex1.schema, ex1.fds)
+        w = find_lemma7_witness(asg)
+        assert w is not None
+        assert w.derivation.is_nonredundant()
+        # every step avoids the target scheme's own FDs
+        assert all(h != w.scheme for h in w.homes)
+
+    def test_no_witness_for_independent_schema(self, ex2):
+        asg = FDAssignment.from_embedded(ex2.schema, ex2.fds)
+        assert find_lemma7_witness(asg) is None
+
+    def test_counterexample_verifies(self, ex1):
+        asg = FDAssignment.from_embedded(ex1.schema, ex1.fds)
+        w = find_lemma7_witness(asg)
+        state = lemma7_counterexample(asg, w)
+        assert lsat_but_not_wsat(state, asg.all_fds())
+        # ... and equally against the original (equivalent) FD set
+        assert lsat_but_not_wsat(state, ex1.fds)
+
+    def test_triangle_family(self):
+        for n in (1, 2, 3):
+            schema, F = triangle_schema(n)
+            asg = FDAssignment.from_embedded(schema, F)
+            w = find_lemma7_witness(asg)
+            assert w is not None, n
+            state = lemma7_counterexample(asg, w)
+            assert lsat_but_not_wsat(state, F), n
+
+    def test_duplicated_fd_witness(self):
+        # footnote: A -> B embedded in both R and S, assigned to R.
+        schema = DatabaseSchema.parse("R(A,B,C); S(A,B,D)")
+        asg = FDAssignment(schema, {"R": FDSet.parse("A -> B")})
+        w = find_lemma7_witness(asg)
+        assert w is not None
+        assert w.scheme == "S"  # the foreign relation sees a derivation
+        state = lemma7_counterexample(asg, w)
+        assert lsat_but_not_wsat(state, asg.all_fds())
+
+    def test_single_tuple_relations(self, ex1):
+        asg = FDAssignment.from_embedded(ex1.schema, ex1.fds)
+        state = lemma7_counterexample(asg, find_lemma7_witness(asg))
+        # the target relation holds exactly one tuple with a single 1
+        target = state[find_lemma7_witness(asg).scheme]
+        assert len(target) == 1
+        values = list(next(iter(target)).values)
+        assert sorted(values) == [0, 1]
+
+
+class TestTheorem4:
+    def test_example3_construction_matches_paper(self, ex3):
+        asg = FDAssignment(ex3.schema, {"R2": ex3.fds})
+        result = run_for_scheme(asg, "R1")
+        state = theorem4_counterexample(asg, result.rejection)
+        # the paper's state, up to fresh-constant renaming:
+        # r1 = {(0,0)}; r2 = {(0,2,0,3,4), (5,0,6,0,7), (1,1,0,0,1)}
+        assert len(state["R1"]) == 1
+        assert len(state["R2"]) == 3
+        r2 = state["R2"]
+        patterns = set()
+        for t in r2:
+            patterns.add(
+                tuple(
+                    "0" if t.value(a) == 0 else ("1" if t.value(a) == 1 else "*")
+                    for a in ("A1", "B1", "A2", "B2", "C")
+                )
+            )
+        assert patterns == {
+            ("0", "*", "0", "*", "*"),  # (0,2,0,3,4)
+            ("*", "0", "*", "0", "*"),  # (5,0,6,0,7)
+            ("1", "1", "0", "0", "1"),  # (1,1,0,0,1)
+        }
+
+    def test_example3_construction_verifies(self, ex3):
+        asg = FDAssignment(ex3.schema, {"R2": ex3.fds})
+        result = run_for_scheme(asg, "R1")
+        state = theorem4_counterexample(asg, result.rejection)
+        assert lsat_but_not_wsat(state, ex3.fds)
+
+    def test_paper_printed_state_is_a_counterexample(self, ex3):
+        # the state the paper prints verifies as locally-sat-not-sat
+        assert lsat_but_not_wsat(ex3.state, ex3.fds)
+
+
+class TestVerifier:
+    def test_verified_counterexample_dataclass(self, ex1):
+        asg = FDAssignment.from_embedded(ex1.schema, ex1.fds)
+        state = lemma7_counterexample(asg, find_lemma7_witness(asg))
+        v = verify_counterexample(state, ex1.fds, "lemma7")
+        assert v.verified
+        assert v.locally_satisfying and not v.globally_satisfying
+
+    def test_non_counterexample_fails_verification(self, ex2):
+        from repro.data.states import DatabaseState
+
+        empty = DatabaseState(ex2.schema)
+        v = verify_counterexample(empty, ex2.fds, "test")
+        assert not v.verified  # empty state is globally satisfying

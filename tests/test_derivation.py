@@ -1,0 +1,76 @@
+"""Derivation sequences and nonredundant trimming (Section 4 notions)."""
+
+import pytest
+
+from repro.deps.derivation import (
+    Derivation,
+    derive,
+    nonredundant_derivation,
+    trim_nonredundant,
+)
+from repro.deps.fd import fd, fds
+from repro.exceptions import DependencyError
+from repro.schema.attributes import attrs
+
+
+class TestDerive:
+    def test_simple_chain(self):
+        F = fds("A -> B", "B -> C")
+        d = derive(F, "A", "C")
+        assert d is not None and d.is_valid()
+
+    def test_underivable(self):
+        F = fds("A -> B")
+        assert derive(F, "B", "A") is None
+
+    def test_trivial_derivation_is_empty(self):
+        d = derive([], "A B", "A")
+        assert d is not None and d.steps == ()
+
+    def test_multi_rhs_fds_are_expanded(self):
+        F = fds("A -> B C", "C -> D")
+        d = derive(F, "A", "D")
+        assert d is not None
+        assert all(len(step.rhs) == 1 for step in d.steps)
+
+
+class TestNonredundancy:
+    def test_valid_but_redundant_detected(self):
+        # B -> C never feeds anything; target is B.
+        d = Derivation(attrs("A"), "B", tuple(fds("A -> B", "B -> C")))
+        assert d.is_valid()
+        assert not d.is_nonredundant()
+
+    def test_trim_removes_unused_steps(self):
+        F = fds("A -> B", "A -> X", "B -> C")
+        d = derive(F, "A", "C")
+        trimmed = trim_nonredundant(d)
+        assert trimmed.is_nonredundant()
+        rhs = {s.rhs.names[0] for s in trimmed.steps}
+        assert "X" not in rhs
+
+    def test_trim_drops_rhs_in_source(self):
+        F = fds("A -> B", "B -> A", "B -> C")
+        d = derive(F, "A B", "C")
+        trimmed = trim_nonredundant(d)
+        assert trimmed.is_nonredundant()
+        assert all(s.rhs.names[0] not in attrs("A B") for s in trimmed.steps)
+
+    def test_trim_invalid_raises(self):
+        bogus = Derivation(attrs("A"), "Z", tuple(fds("B -> Z")))
+        with pytest.raises(DependencyError):
+            trim_nonredundant(bogus)
+
+    def test_nonredundant_derivation_end_to_end(self):
+        F = fds("A -> B", "B -> C", "C -> D", "A -> D")
+        d = nonredundant_derivation(F, "A", "D")
+        assert d is not None and d.is_nonredundant()
+        # last step must produce the target
+        assert d.steps[-1].rhs.names[0] == "D"
+
+    def test_conditions_on_paper_example(self):
+        # Example 1's derivation C -> T -> D is nonredundant.
+        F = fds("C -> T", "T -> D")
+        d = nonredundant_derivation(F, "C", "D")
+        assert d is not None
+        assert [str(s) for s in d.steps] == ["C -> T", "T -> D"]

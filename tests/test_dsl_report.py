@@ -1,0 +1,95 @@
+"""The text DSL and the report-table helpers."""
+
+import pytest
+
+from repro.dsl import parse_scenario, parse_state, parse_tuples
+from repro.exceptions import ParseError
+from repro.report import TextTable, banner, section
+from repro.schema.database import DatabaseSchema
+
+
+class TestParseTuples:
+    def test_ints_and_strings(self):
+        assert parse_tuples("(1, x), (2, y)") == [(1, "x"), (2, "y")]
+
+    def test_negative_ints(self):
+        assert parse_tuples("(-3, a)") == [(-3, "a")]
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tuples("()")
+
+
+class TestParseState:
+    def test_basic(self):
+        schema = DatabaseSchema.parse("CT(C,T)")
+        state = parse_state(schema, "CT: (CS101, Smith), (CS102, Jones)")
+        assert len(state["CT"]) == 2
+        t = next(iter(state["CT"].select_eq(C="CS101")))
+        assert t.value("T") == "Smith"
+
+    def test_unknown_relation_rejected(self):
+        schema = DatabaseSchema.parse("CT(C,T)")
+        with pytest.raises(ParseError):
+            parse_state(schema, "XX: (1, 2)")
+
+    def test_missing_colon_rejected(self):
+        schema = DatabaseSchema.parse("CT(C,T)")
+        with pytest.raises(ParseError):
+            parse_state(schema, "CT (1, 2)")
+
+    def test_comments_and_blanks_ignored(self):
+        schema = DatabaseSchema.parse("CT(C,T)")
+        state = parse_state(schema, "# comment\n\nCT: (a, b)")
+        assert len(state["CT"]) == 1
+
+
+class TestParseScenario:
+    def test_full_scenario(self):
+        s = parse_scenario(
+            """
+            schema: CT(C,T); CHR(C,H,R)
+            fds: C -> T; C H -> R
+            state:
+              CT: (CS101, Smith)
+              CHR: (CS101, Mon10, 313)
+            """
+        )
+        assert s.schema.names == ("CT", "CHR")
+        assert len(s.fds) == 2
+        assert s.state.total_tuples() == 2
+
+    def test_scenario_without_state(self):
+        s = parse_scenario("schema: R(A,B)\nfds: A -> B")
+        assert s.state is None
+
+    def test_scenario_without_schema_rejected(self):
+        with pytest.raises(ParseError):
+            parse_scenario("fds: A -> B")
+
+    def test_unexpected_line_rejected(self):
+        with pytest.raises(ParseError):
+            parse_scenario("bogus\nschema: R(A,B)")
+
+
+class TestReport:
+    def test_table_renders_aligned(self):
+        t = TextTable(["name", "value"])
+        t.add_row("x", 1).add_row("longer", 2.5)
+        out = t.render()
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # aligned
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable(["a"]).add_row(1, 2)
+
+    def test_float_formatting(self):
+        t = TextTable(["v"])
+        t.add_row(0.000123)
+        assert "e" in t.render().splitlines()[-1]
+
+    def test_banner_and_section(self):
+        assert "title" in banner("title")
+        assert "part" in section("part")

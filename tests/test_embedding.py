@@ -1,0 +1,139 @@
+"""Section 3: condition (1), cl_G1, the embedded cover H."""
+
+import pytest
+
+from repro.core.embedding import (
+    embedding_report,
+    embeds_cover,
+    g1_closure,
+    preserves_dependencies,
+)
+from repro.deps.fd import fd
+from repro.deps.fdset import FDSet
+from repro.schema.attributes import attrs
+from repro.schema.database import DatabaseSchema
+from repro.workloads.schemas import (
+    chain_schema,
+    jd_dependent_pair,
+    reverse_fd_chain,
+    unembedded_family,
+)
+
+
+class TestG1Closure:
+    def test_embedded_fds_close_normally(self, ex1):
+        assert g1_closure(ex1.schema, ex1.fds, "C") == attrs("C D T")
+
+    def test_jd_derived_embedded_fd(self):
+        # D = {AB, AC} with B -> C: the JD makes A -> C hold, and AC is
+        # embedded in RAC, so cl_G1(A) picks up C.
+        schema, F = jd_dependent_pair()
+        assert "C" in g1_closure(schema, F, "A")
+
+    def test_without_jd_less_closes(self):
+        schema, F = jd_dependent_pair()
+        assert "C" not in g1_closure(schema, F, "A", with_jd=False)
+
+    def test_closure_stays_in_universe(self, ex2):
+        cl = g1_closure(ex2.schema, ex2.fds, "C H")
+        assert cl <= ex2.schema.universe
+
+
+class TestCondition1:
+    def test_example2_cover_embedding(self, ex2):
+        assert embeds_cover(ex2.schema, ex2.fds)
+
+    def test_example2_extended_fails(self, ex2_extended):
+        report = embedding_report(ex2_extended.schema, ex2_extended.fds)
+        assert not report.cover_embedding
+        failed = [f for f, _ in report.failures]
+        assert fd("S H -> R") in failed
+
+    def test_intro_fds_are_not_cover_embedded(self):
+        # TH -> R is not embedded, and the embedded consequences (C->T,
+        # CH->R) do not imply it back: two tuples sharing T,H but
+        # differing on C satisfy them all while violating TH->R.
+        schema = DatabaseSchema.parse("CT(C,T); CHR(C,H,R)")
+        F = FDSet.parse("C -> T; T H -> R")
+        assert not embeds_cover(schema, F)
+
+    def test_reverse_fd_chain_embeds_via_cycle(self):
+        # The reverse FD closes a cycle, making every backward FD
+        # embedded-derivable: condition (1) holds despite A4 -> A1
+        # being embedded nowhere.
+        schema, F = reverse_fd_chain(3)
+        assert embeds_cover(schema, F)
+
+    def test_unembedded_family_fails(self):
+        schema, F = unembedded_family(2)
+        report = embedding_report(schema, F)
+        assert not report.cover_embedding
+
+    def test_failure_closure_is_reported(self):
+        schema, F = unembedded_family(2)
+        report = embedding_report(schema, F)
+        f, cl = report.failures[0]
+        assert f == fd("S1 H -> R")
+        assert "R" not in cl
+
+    def test_jd_dependent_pair_fails_condition1(self):
+        # B -> C is neither embedded nor derivable from embedded FDs,
+        # even though Σ implies A -> C.
+        schema, F = jd_dependent_pair()
+        assert not embeds_cover(schema, F)
+
+
+class TestEmbeddedCover:
+    def test_cover_is_equivalent_modulo_jd(self, ex2):
+        report = embedding_report(ex2.schema, ex2.fds)
+        H = report.cover_fdset()
+        # H ⊨ F directly (Lemma 2: H ⊨ G iff H ⊨ F).
+        assert H.implies_all(ex2.fds)
+
+    def test_cover_fds_are_embedded_in_their_homes(self, ex1, ex2):
+        for example in (ex1, ex2):
+            report = embedding_report(example.schema, example.fds)
+            for e in report.embedded_cover:
+                assert e.fd.embedded_in(example.schema[e.scheme].attributes)
+
+    def test_cover_size_bound(self):
+        # |H| ≤ |F| · |U| — checked on a larger chain.
+        schema, F = chain_schema(8)
+        report = embedding_report(schema, F)
+        assert len(report.embedded_cover) <= len(F) * len(schema.universe)
+
+    def test_ch_r_is_an_embedded_consequence(self):
+        # Section 2's derived constraint: C -> T and TH -> R (plus *D)
+        # imply CH -> R, which is embedded in CHR — cl_G1 sees it.
+        schema = DatabaseSchema.parse("CT(C,T); CHR(C,H,R)")
+        F = FDSet.parse("C -> T; T H -> R")
+        assert "R" in g1_closure(schema, F, "C H")
+
+    def test_cover_assignment_partitions(self, ex1):
+        report = embedding_report(ex1.schema, ex1.fds)
+        assignment = report.cover_assignment()
+        total = sum(len(v) for v in assignment.values())
+        assert total == len(report.embedded_cover)
+
+
+class TestBeeriHoneyman:
+    def test_preserved(self):
+        schema = DatabaseSchema.parse("R1(A,B); R2(B,C)")
+        assert preserves_dependencies(schema, FDSet.parse("A -> B; B -> C"))
+
+    def test_not_preserved(self):
+        schema = DatabaseSchema.parse("R1(A,B); R2(B,C)")
+        assert not preserves_dependencies(schema, FDSet.parse("A -> C"))
+
+    def test_transitively_preserved(self):
+        # A -> C is implied by embedded A -> B, B -> C: preserved.
+        schema = DatabaseSchema.parse("R1(A,B); R2(B,C)")
+        F = FDSet.parse("A -> B; B -> C; A -> C")
+        assert preserves_dependencies(schema, F)
+
+    def test_classic_beeri_honeyman_example(self):
+        # split lhs across schemes: A B -> C with D = {AB, AC} is not
+        # preserved, but becomes derivable when B -> A ... keep simple:
+        schema = DatabaseSchema.parse("R1(A,B); R2(A,C)")
+        assert not preserves_dependencies(schema, FDSet.parse("A B -> C"))
+        assert preserves_dependencies(schema, FDSet.parse("A -> C"))

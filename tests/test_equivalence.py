@@ -1,0 +1,97 @@
+"""Information ordering/equivalence of states ([M])."""
+
+import pytest
+
+from repro.data.states import DatabaseState
+from repro.deps.fdset import FDSet
+from repro.exceptions import InconsistentStateError
+from repro.schema.database import DatabaseSchema
+from repro.weak.equivalence import information_contains, information_equivalent
+from repro.weak.representative import window
+from repro.workloads.schemas import chain_schema
+from repro.workloads.states import random_satisfying_state
+
+
+def _schema():
+    return DatabaseSchema.parse("CT(C,T); CHR(C,H,R)")
+
+
+class TestContainment:
+    def test_state_contains_itself(self):
+        schema = _schema()
+        p = DatabaseState(schema, {"CT": [("c1", "t1")]})
+        assert information_contains(p, p, "C -> T")
+
+    def test_superset_contains_subset(self):
+        schema = _schema()
+        small = DatabaseState(schema, {"CT": [("c1", "t1")]})
+        big = small.with_tuple("CT", ("c2", "t2"))
+        assert information_contains(big, small, "C -> T")
+        assert not information_contains(small, big, "C -> T")
+
+    def test_empty_state_contained_in_all(self):
+        schema = _schema()
+        empty = DatabaseState(schema)
+        any_state = DatabaseState(schema, {"CT": [("c", "t")]})
+        assert information_contains(any_state, empty, "C -> T")
+        assert not information_contains(empty, any_state, "C -> T")
+
+    def test_derived_fact_makes_states_comparable(self):
+        # q stores the CHR tuple with the teacher *implied*; p stores
+        # the same information split across relations.  q's combined
+        # tuple carries the whole fact, so q ⊒ p requires the chase.
+        schema = _schema()
+        p = DatabaseState(
+            schema,
+            {"CT": [("c1", "Smith")], "CHR": [("c1", "Mon", "313")]},
+        )
+        q = DatabaseState(
+            schema,
+            {"CT": [("c1", "Smith")], "CHR": [("c1", "Mon", "313")]},
+        )
+        assert information_equivalent(p, q, "C -> T; C H -> R")
+
+    def test_unsatisfying_state_raises(self):
+        schema = _schema()
+        bad = DatabaseState(schema, {"CT": [("c", "t1"), ("c", "t2")]})
+        good = DatabaseState(schema)
+        with pytest.raises(InconsistentStateError):
+            information_contains(good, bad, "C -> T")
+
+
+class TestEquivalence:
+    def test_different_null_patterns_same_information(self):
+        # a dangling CT tuple adds nothing once the CHR tuple implies it
+        schema = _schema()
+        fds = FDSet.parse("C -> T")
+        rich = DatabaseState(
+            schema,
+            {"CT": [("c1", "Smith")], "CHR": [("c1", "Mon", "313")]},
+        )
+        # the same plus a *duplicate* projection of known facts
+        redundant = rich.with_tuple("CT", ("c1", "Smith"))
+        assert information_equivalent(rich, redundant, fds)
+
+    def test_equivalent_states_same_windows(self):
+        schema, F = chain_schema(3)
+        p = random_satisfying_state(schema, F, 6, seed=1)
+        # q = p plus redundant tuples implied by p (projections of its
+        # own join)
+        joined = p.join()
+        q = p
+        for s in schema:
+            for t in joined.project(s.attributes):
+                q = q.with_tuple(s.name, t)
+        assert information_contains(q, p, F)
+        # windows of p are contained in windows of q over every scheme
+        for s in schema:
+            wp = set(window(p, F, s.attributes).tuples)
+            wq = set(window(q, F, s.attributes).tuples)
+            assert wp <= wq
+
+    def test_incomparable_states(self):
+        schema = _schema()
+        p = DatabaseState(schema, {"CT": [("c1", "t1")]})
+        q = DatabaseState(schema, {"CT": [("c2", "t2")]})
+        assert not information_contains(p, q, "C -> T")
+        assert not information_contains(q, p, "C -> T")

@@ -1,0 +1,58 @@
+"""Chase step recording and contradiction explanations."""
+
+from repro.chase.engine import chase_fds, explain_contradiction
+from repro.chase.tableau import ChaseTableau
+from repro.data.states import DatabaseState
+from repro.deps.fdset import FDSet
+from repro.schema.database import DatabaseSchema
+
+
+class TestStepRecording:
+    def test_steps_recorded_when_enabled(self, ex1):
+        tab = ChaseTableau.from_state(ex1.state)
+        result = chase_fds(tab, ex1.fds, record_steps=True)
+        assert result.steps
+        assert all(s.fd in set(ex1.fds) for s in result.steps)
+
+    def test_steps_not_recorded_by_default(self, ex1):
+        tab = ChaseTableau.from_state(ex1.state)
+        result = chase_fds(tab, ex1.fds)
+        assert result.steps == []
+
+    def test_recording_does_not_change_verdict(self, ex1, intro):
+        for example in (ex1, intro):
+            a = chase_fds(ChaseTableau.from_state(example.state), example.fds)
+            b = chase_fds(
+                ChaseTableau.from_state(example.state),
+                example.fds,
+                record_steps=True,
+            )
+            assert a.consistent == b.consistent
+
+    def test_step_describe_mentions_schemes(self, ex1):
+        tab = ChaseTableau.from_state(ex1.state)
+        result = chase_fds(tab, ex1.fds, record_steps=True)
+        text = result.steps[0].describe(tab)
+        assert "rows" in text
+
+
+class TestExplanation:
+    def test_example1_narrative(self, ex1):
+        # the paper: T -> D changes d to EE, then C -> D finds the clash
+        # (rule order may vary; the clash values must not).
+        tab = ChaseTableau.from_state(ex1.state)
+        result = chase_fds(tab, ex1.fds, record_steps=True)
+        text = explain_contradiction(result)
+        assert "CONTRADICTION" in text
+        assert "'CS'" in text and "'EE'" in text
+
+    def test_consistent_state_message(self, intro):
+        tab = ChaseTableau.from_state(intro.state)
+        result = chase_fds(tab, FDSet.parse("C -> T"), record_steps=True)
+        assert "satisfying" in explain_contradiction(result)
+
+    def test_without_recording_hint(self, ex1):
+        tab = ChaseTableau.from_state(ex1.state)
+        result = chase_fds(tab, ex1.fds)
+        text = explain_contradiction(result)
+        assert "record_steps" in text

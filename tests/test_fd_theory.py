@@ -1,0 +1,178 @@
+"""FDs, closures, FDSets, covers, keys — classical dependency theory."""
+
+import pytest
+
+from repro.deps.closure import closure, closure_with_trace, implies, restriction_closure
+from repro.deps.cover import (
+    is_cover_of,
+    left_reduced,
+    merge_rhs,
+    minimal_cover,
+    nonredundant,
+)
+from repro.deps.fd import FD, fd, fds
+from repro.deps.fdset import FDSet
+from repro.exceptions import ParseError
+from repro.schema.attributes import attrs
+
+
+class TestFD:
+    def test_parse(self):
+        f = fd("A B -> C")
+        assert f.lhs == attrs("A B")
+        assert f.rhs == attrs("C")
+
+    def test_parse_requires_arrow(self):
+        with pytest.raises(ParseError):
+            FD.parse("A B C")
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(ParseError):
+            FD("A", "")
+
+    def test_empty_lhs_allowed(self):
+        f = FD("", "A")
+        assert not f.lhs
+        assert f.rhs == attrs("A")
+
+    def test_trivial(self):
+        assert fd("A B -> A").is_trivial()
+        assert not fd("A -> B").is_trivial()
+
+    def test_effective_rhs(self):
+        assert fd("A -> A B").effective_rhs == attrs("B")
+
+    def test_embedded_in(self):
+        assert fd("A -> B").embedded_in("A B C")
+        assert not fd("A -> D").embedded_in("A B C")
+
+    def test_expand(self):
+        assert set(fd("A -> B C").expand()) == {fd("A -> B"), fd("A -> C")}
+
+    def test_equality_hash(self):
+        assert fd("A B -> C") == fd("B A -> C")
+        assert hash(fd("A B -> C")) == hash(fd("B A -> C"))
+
+    def test_fds_helper(self):
+        assert len(fds("A -> B", "B -> C")) == 2
+
+
+class TestClosure:
+    def test_reflexive(self):
+        assert closure("A", []) == attrs("A")
+
+    def test_transitive_chain(self):
+        F = fds("A -> B", "B -> C", "C -> D")
+        assert closure("A", F) == attrs("A B C D")
+
+    def test_needs_full_lhs(self):
+        F = fds("A B -> C")
+        assert closure("A", F) == attrs("A")
+        assert closure("A B", F) == attrs("A B C")
+
+    def test_empty_lhs_fd_always_fires(self):
+        F = [FD("", "A"), fd("A -> B")]
+        assert closure("", F) == attrs("A B")
+
+    def test_trace_replays_to_closure(self):
+        F = fds("A -> B", "B -> C", "A C -> D")
+        closed, trace = closure_with_trace("A", F)
+        assert closed == attrs("A B C D")
+        replay = attrs("A")
+        for f, added in trace:
+            assert f.lhs <= replay  # lhs satisfied when it fired
+            replay |= added
+        assert replay == closed
+
+    def test_implies(self):
+        F = fds("A -> B", "B -> C")
+        assert implies(F, fd("A -> C"))
+        assert not implies(F, fd("C -> A"))
+
+    def test_restriction_closure(self):
+        F = fds("A -> B", "B -> C")
+        assert restriction_closure("A", F, "A C") == attrs("A C")
+
+
+class TestFDSet:
+    def test_parse_and_dedup(self):
+        s = FDSet.parse("A -> B; A -> B; B -> C")
+        assert len(s) == 2
+
+    def test_deterministic_order(self):
+        a = FDSet.parse("B -> C; A -> B")
+        b = FDSet.parse("A -> B; B -> C")
+        assert a.fds == b.fds
+
+    def test_union_difference(self):
+        s = FDSet.parse("A -> B") | ["B -> C"]
+        assert len(s) == 2
+        assert len(s - ["A -> B"]) == 1
+
+    def test_equivalence(self):
+        a = FDSet.parse("A -> B; B -> C")
+        b = FDSet.parse("A -> B; B -> C; A -> C")
+        assert a.equivalent_to(b)
+        assert not a.equivalent_to(FDSet.parse("A -> B"))
+
+    def test_embedded_in(self):
+        s = FDSet.parse("A -> B; C -> D")
+        assert set(s.embedded_in("A B")) == {fd("A -> B")}
+
+    def test_embedded_in_schema(self):
+        s = FDSet.parse("A -> B; C -> D; A -> D")
+        sub = s.embedded_in_schema([attrs("A B"), attrs("C D")])
+        assert set(sub) == {fd("A -> B"), fd("C -> D")}
+
+    def test_candidate_keys(self):
+        s = FDSet.parse("A -> B; B -> C")
+        keys = s.candidate_keys("A B C")
+        assert keys == (attrs("A"),)
+
+    def test_candidate_keys_multiple(self):
+        s = FDSet.parse("A -> B; B -> A")
+        keys = set(s.candidate_keys("A B"))
+        assert keys == {attrs("A"), attrs("B")}
+
+    def test_projection_cover(self):
+        s = FDSet.parse("A -> B; B -> C")
+        proj = s.projection_cover("A C")
+        assert proj.implies("A -> C")
+        assert not proj.implies("C -> A")
+
+    def test_lhs_sets(self):
+        s = FDSet.parse("A -> B; A -> C; B C -> A")
+        assert set(s.lhs_sets()) == {attrs("A"), attrs("B C")}
+
+
+class TestCovers:
+    def test_minimal_cover_drops_redundancy(self):
+        F = FDSet.parse("A -> B C; B -> C")
+        m = minimal_cover(F)
+        assert m.equivalent_to(F)
+        assert fd("A -> C") not in m
+
+    def test_left_reduction(self):
+        F = FDSet.parse("A -> B; A C -> B")
+        r = left_reduced(F)
+        assert all(f.lhs == attrs("A") for f in r)
+
+    def test_nonredundant(self):
+        F = FDSet.parse("A -> B; B -> C; A -> C")
+        n = nonredundant(F)
+        assert n.equivalent_to(F)
+        assert len(n) == 2
+
+    def test_merge_rhs(self):
+        F = FDSet.parse("A -> B; A -> C")
+        m = merge_rhs(F)
+        assert len(m) == 1
+        assert m.fds[0].rhs == attrs("B C")
+
+    def test_is_cover_of(self):
+        assert is_cover_of(
+            FDSet.parse("A -> B; B -> C"), FDSet.parse("A -> B C; B -> C")
+        )
+
+    def test_minimal_cover_of_empty(self):
+        assert len(minimal_cover(FDSet())) == 0

@@ -1,0 +1,108 @@
+"""Acyclicity: GYO reduction, join trees, join-tree MVDs."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.schema.attributes import attrs
+from repro.schema.database import DatabaseSchema
+from repro.schema.hypergraph import (
+    gyo_reduction,
+    is_acyclic,
+    join_dependency_mvds,
+    join_tree,
+)
+from repro.workloads.schemas import chain_schema, cyclic_core, cyclic_ring, star_schema
+
+
+class TestGYO:
+    def test_single_scheme_is_acyclic(self):
+        assert gyo_reduction(DatabaseSchema.parse("R(A,B)")).acyclic
+
+    def test_chain_is_acyclic(self):
+        schema, _ = chain_schema(6)
+        assert gyo_reduction(schema).acyclic
+
+    def test_star_is_acyclic(self):
+        schema, _ = star_schema(5)
+        assert gyo_reduction(schema).acyclic
+
+    def test_triangle_is_cyclic(self):
+        schema, _ = cyclic_core()
+        result = gyo_reduction(schema)
+        assert not result.acyclic
+        assert result.residual  # something is left over
+
+    def test_ring_is_cyclic(self):
+        schema, _ = cyclic_ring(4)
+        assert not gyo_reduction(schema).acyclic
+
+    def test_contained_scheme_is_removed(self):
+        # R1 ⊆ R2 (the Example 3 shape) is acyclic.
+        schema = DatabaseSchema.parse("R1(A,B); R2(A,B,C)")
+        assert gyo_reduction(schema).acyclic
+
+    def test_disconnected_acyclic(self):
+        schema = DatabaseSchema.parse("R1(A,B); R2(C,D)")
+        assert gyo_reduction(schema).acyclic
+
+    def test_steps_are_recorded(self):
+        schema, _ = chain_schema(3)
+        assert gyo_reduction(schema).steps
+
+
+class TestJoinTree:
+    def test_chain_join_tree_edges(self):
+        schema, _ = chain_schema(4)
+        tree = join_tree(schema)
+        assert tree is not None
+        assert len(tree.edges) == 3  # spanning tree of 4 nodes
+
+    def test_cyclic_has_no_join_tree(self):
+        schema, _ = cyclic_core()
+        assert join_tree(schema) is None
+
+    def test_join_tree_property_separator(self):
+        schema = DatabaseSchema.parse("CT(C,T); CS(C,S); CHR(C,H,R)")
+        tree = join_tree(schema)
+        seps = dict(tree.edge_separators())
+        assert all(sep == attrs("C") for sep in seps.values())
+
+    def test_side_attributes_partition_universe(self):
+        schema, _ = chain_schema(4)
+        tree = join_tree(schema)
+        for edge, sep in tree.edge_separators():
+            left, right = tree.side_attributes(edge)
+            assert left | right == schema.universe
+            assert left & right == sep
+
+    def test_gyo_and_mst_agree(self):
+        cases = [
+            chain_schema(5)[0],
+            star_schema(4)[0],
+            cyclic_core()[0],
+            cyclic_ring(5)[0],
+            DatabaseSchema.parse("R1(A,B); R2(A,B,C)"),
+            DatabaseSchema.parse("R1(A,B,C); R2(B,C,D); R3(C,D,E)"),
+            DatabaseSchema.parse("R1(A,B); R2(B,C); R3(C,D); R4(D,A)"),
+        ]
+        for schema in cases:
+            assert gyo_reduction(schema).acyclic == is_acyclic(schema), schema
+
+
+class TestJoinTreeMVDs:
+    def test_mvds_of_academic_schema(self):
+        schema = DatabaseSchema.parse("CT(C,T); CS(C,S); CHR(C,H,R)")
+        mvds = join_dependency_mvds(schema)
+        assert all(m.lhs == attrs("C") for m in mvds)
+        assert len(mvds) == 2
+
+    def test_cyclic_raises(self):
+        schema, _ = cyclic_core()
+        with pytest.raises(SchemaError):
+            join_dependency_mvds(schema)
+
+    def test_trivial_mvds_are_dropped(self):
+        # R1 ⊆ R2: the separator is all of R1, the side split is trivial.
+        schema = DatabaseSchema.parse("R1(A,B); R2(A,B,C)")
+        mvds = join_dependency_mvds(schema)
+        assert all(not m.is_trivial() for m in mvds)

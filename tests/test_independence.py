@@ -1,0 +1,161 @@
+"""Top-level independence analysis (analyze / is_independent)."""
+
+import pytest
+
+from repro.core.independence import analyze, is_independent
+from repro.deps.fdset import FDSet
+from repro.exceptions import DependencyError
+from repro.schema.database import DatabaseSchema
+from repro.workloads.schemas import (
+    chain_schema,
+    jd_dependent_pair,
+    reverse_fd_chain,
+    star_schema,
+    triangle_schema,
+    unembedded_family,
+)
+
+
+class TestPaperVerdicts:
+    def test_example1_not_independent(self, ex1):
+        report = analyze(ex1.schema, ex1.fds)
+        assert not report.independent
+        assert report.cover_embedding  # fails at condition (2), not (1)
+
+    def test_example2_independent(self, ex2):
+        report = analyze(ex2.schema, ex2.fds)
+        assert report.independent
+
+    def test_example2_extended_not_independent(self, ex2_extended):
+        report = analyze(ex2_extended.schema, ex2_extended.fds)
+        assert not report.independent
+        assert not report.cover_embedding  # condition (1) fails
+
+    def test_example3_not_independent(self, ex3):
+        report = analyze(ex3.schema, ex3.fds)
+        assert not report.independent
+        assert report.cover_embedding
+
+    def test_all_fixture_verdicts(self):
+        from repro.workloads.paper import ALL_EXAMPLES
+
+        for make in ALL_EXAMPLES:
+            example = make()
+            assert (
+                is_independent(example.schema, example.fds) == example.independent
+            ), example.name
+
+
+class TestCounterexampleDelivery:
+    def test_not_independent_always_has_verified_counterexample(
+        self, ex1, ex2_extended, ex3
+    ):
+        for example in (ex1, ex2_extended, ex3):
+            report = analyze(example.schema, example.fds)
+            assert report.counterexample is not None, example.name
+            assert report.counterexample.verified, example.name
+
+    def test_counterexample_construction_kinds(self, ex1, ex2_extended, ex3):
+        assert analyze(ex1.schema, ex1.fds).counterexample.construction == "lemma7"
+        assert (
+            analyze(ex2_extended.schema, ex2_extended.fds).counterexample.construction
+            == "lemma3"
+        )
+        assert analyze(ex3.schema, ex3.fds).counterexample.construction == "theorem4"
+
+    def test_skip_counterexample_construction(self, ex1):
+        report = analyze(ex1.schema, ex1.fds, build_counterexample=False)
+        assert not report.independent
+        assert report.counterexample is None
+
+
+class TestFamilies:
+    def test_chains_independent(self):
+        for n in (1, 2, 4, 6):
+            schema, F = chain_schema(n)
+            assert is_independent(schema, F), n
+
+    def test_stars_independent(self):
+        for n in (1, 3, 5):
+            schema, F = star_schema(n)
+            assert is_independent(schema, F), n
+
+    def test_triangles_not_independent(self):
+        for n in (1, 2, 3):
+            schema, F = triangle_schema(n)
+            assert not is_independent(schema, F), n
+
+    def test_reverse_fd_chain_independent(self):
+        for n in (2, 3, 4):
+            schema, F = reverse_fd_chain(n)
+            assert is_independent(schema, F), n
+
+    def test_unembedded_family_not_independent(self):
+        schema, F = unembedded_family(2)
+        assert not is_independent(schema, F)
+
+    def test_jd_dependent_pair_not_independent(self):
+        schema, F = jd_dependent_pair()
+        report = analyze(schema, F)
+        assert not report.independent
+        assert report.counterexample.verified
+
+
+class TestReportContents:
+    def test_maintenance_covers_when_independent(self, ex2):
+        report = analyze(ex2.schema, ex2.fds)
+        cover_ct = report.maintenance_cover("CT")
+        assert cover_ct.implies("C -> T")
+        cover_chr = report.maintenance_cover("CHR")
+        assert cover_chr.implies("C H -> R")
+        assert len(report.maintenance_cover("CS")) == 0
+
+    def test_maintenance_cover_refused_when_not_independent(self, ex1):
+        report = analyze(ex1.schema, ex1.fds)
+        with pytest.raises(DependencyError):
+            report.maintenance_cover("CD")
+
+    def test_loop_results_present(self, ex2):
+        report = analyze(ex2.schema, ex2.fds)
+        assert len(report.loop_results) == len(ex2.schema)
+        assert all(r.accepted for r in report.loop_results)
+
+    def test_summary_renders(self, ex1, ex2):
+        assert "independent: False" in analyze(ex1.schema, ex1.fds).summary()
+        assert "independent: True" in analyze(ex2.schema, ex2.fds).summary()
+
+    def test_fd_outside_universe_rejected(self, ex2):
+        with pytest.raises(DependencyError):
+            analyze(ex2.schema, "Z -> Q")
+
+    def test_string_fds_accepted(self, ex2):
+        assert analyze(ex2.schema, "C -> T; C H -> R").independent
+
+
+class TestEdgeCases:
+    def test_no_fds_is_independent(self):
+        schema = DatabaseSchema.parse("R(A,B); S(B,C)")
+        assert is_independent(schema, FDSet())
+
+    def test_single_scheme_always_independent(self):
+        # with one relation, local and global satisfaction coincide
+        schema = DatabaseSchema.parse("R(A,B,C)")
+        assert is_independent(schema, "A -> B; B -> C")
+
+    def test_trivial_fds_ignored(self, ex2):
+        report = analyze(ex2.schema, ex2.fds | ["C T -> C"])
+        assert report.independent
+
+    def test_engine_choices_agree(self, ex1, ex2, ex3):
+        # ex1's schema {CD, CT, TD} is the cyclic triangle: only the
+        # chase engine applies there; ex2/ex3 are acyclic.
+        for example in (ex2, ex3):
+            mvd = analyze(example.schema, example.fds, engine="mvd")
+            chase = analyze(example.schema, example.fds, engine="chase")
+            assert mvd.independent == chase.independent == example.independent
+        chase1 = analyze(ex1.schema, ex1.fds, engine="chase")
+        assert chase1.independent == ex1.independent
+
+    def test_mvd_engine_refuses_cyclic(self, ex1):
+        with pytest.raises(ValueError):
+            analyze(ex1.schema, ex1.fds, engine="mvd")

@@ -1,0 +1,91 @@
+"""Key-based schemas (the Sagiv setting)."""
+
+import pytest
+
+from repro.core.keybased import (
+    analyze_key_based,
+    is_valid_key,
+    key_based_schema,
+    keyed,
+    primary_attributes,
+)
+from repro.deps.fd import fd
+from repro.deps.fdset import FDSet
+from repro.exceptions import SchemaError
+from repro.schema.attributes import attrs
+
+
+class TestDeclarations:
+    def test_keyed_builds_fds(self):
+        ks = keyed("CT", "C T", "C")
+        assert ks.fds() == [fd("C -> T")]
+
+    def test_multiple_keys(self):
+        ks = keyed("R", "A B C", "A", "B C")
+        assert set(ks.fds()) == {fd("A -> B C"), fd("B C -> A")}
+
+    def test_all_key_relation_has_no_fds(self):
+        ks = keyed("CS", "C S")
+        assert ks.fds() == []
+
+    def test_key_outside_scheme_rejected(self):
+        with pytest.raises(SchemaError):
+            keyed("R", "A B", "C")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(SchemaError):
+            keyed("R", "A B", "")
+
+    def test_key_based_schema_assembly(self):
+        schema, fds_ = key_based_schema(
+            [keyed("CT", "C T", "C"), keyed("CHR", "C H R", "C H")]
+        )
+        assert schema.names == ("CT", "CHR")
+        assert fds_.implies("C -> T") and fds_.implies("C H -> R")
+
+
+class TestAnalysis:
+    def test_example2_as_key_based(self):
+        # Example 2 is exactly a key-based design.
+        report = analyze_key_based(
+            [
+                keyed("CT", "C T", "C"),
+                keyed("CS", "C S"),
+                keyed("CHR", "C H R", "C H"),
+            ]
+        )
+        assert report.independent
+
+    def test_example1_as_key_based(self):
+        report = analyze_key_based(
+            [
+                keyed("CD", "C D", "C"),
+                keyed("CT", "C T", "C"),
+                keyed("TD", "T D", "T"),
+            ]
+        )
+        assert not report.independent
+        assert report.counterexample.verified
+
+    def test_overlapping_keys_break_independence(self):
+        # the same key FD lives in two relations: footnote territory
+        report = analyze_key_based(
+            [keyed("R", "A B C", "A"), keyed("S", "A B D", "A")]
+        )
+        assert not report.independent
+
+
+class TestKeyHelpers:
+    def test_is_valid_key(self):
+        F = FDSet.parse("A -> B; B -> C")
+        assert is_valid_key("A", "A B C", F)
+        assert not is_valid_key("B", "A B C", F)
+
+    def test_primary_attributes(self):
+        F = FDSet.parse("A -> B; B -> A")
+        # keys of ABC are AC and BC: every attribute is prime
+        assert primary_attributes("A B C", F) == attrs("A B C")
+        # keys of AB are A and B
+        assert primary_attributes("A B", F) == attrs("A B")
+        # with a single key only its attributes are prime
+        assert primary_attributes("A B", FDSet.parse("A -> B")) == attrs("A")

@@ -1,0 +1,147 @@
+"""Section 4's Loop: assignments, runs, rejections, paper traces."""
+
+import pytest
+
+from repro.core.loop import FDAssignment, run_all, run_for_scheme
+from repro.deps.fd import fd
+from repro.deps.fdset import FDSet
+from repro.exceptions import DependencyError
+from repro.schema.attributes import attrs
+from repro.schema.database import DatabaseSchema
+from repro.workloads.schemas import chain_schema, star_schema, triangle_schema
+
+
+class TestFDAssignment:
+    def test_from_embedded_assigns_first_home(self, ex1):
+        asg = FDAssignment.from_embedded(ex1.schema, ex1.fds)
+        assert set(asg.fds_of("CD")) == {fd("C -> D")}
+        assert set(asg.fds_of("CT")) == {fd("C -> T")}
+        assert set(asg.fds_of("TD")) == {fd("T -> D")}
+
+    def test_unembedded_fd_rejected(self):
+        schema = DatabaseSchema.parse("R(A,B); S(B,C)")
+        with pytest.raises(DependencyError):
+            FDAssignment.from_embedded(schema, FDSet.parse("A -> C"))
+
+    def test_explicit_assignment_must_embed(self):
+        schema = DatabaseSchema.parse("R(A,B); S(B,C)")
+        with pytest.raises(DependencyError):
+            FDAssignment(schema, {"R": FDSet.parse("B -> C")})
+
+    def test_trivial_fds_dropped(self):
+        schema = DatabaseSchema.parse("R(A,B)")
+        asg = FDAssignment(schema, {"R": FDSet.parse("A B -> A")})
+        assert len(asg.fds_of("R")) == 0
+
+    def test_foreign_fds(self, ex1):
+        asg = FDAssignment.from_embedded(ex1.schema, ex1.fds)
+        assert set(asg.foreign_fds("CD")) == {fd("C -> T"), fd("T -> D")}
+
+    def test_home_of(self, ex1):
+        asg = FDAssignment.from_embedded(ex1.schema, ex1.fds)
+        assert asg.home_of(fd("T -> D")) == "TD"
+        with pytest.raises(DependencyError):
+            asg.home_of(fd("D -> C"))
+
+    def test_lhs_objects_exclude_run_scheme(self, ex1):
+        asg = FDAssignment.from_embedded(ex1.schema, ex1.fds)
+        lhss = asg.lhs_objects("CT")
+        assert {(x.scheme, x.attrs) for x in lhss} == {
+            ("CD", attrs("C")),
+            ("TD", attrs("T")),
+        }
+
+    def test_lhs_local_closure(self, ex3):
+        asg = FDAssignment(ex3.schema, {"R2": ex3.fds})
+        lhss = {x.attrs: x for x in asg.lhs_objects("R1")}
+        assert lhss[attrs("A1")].star == attrs("A1 A2")
+        assert lhss[attrs("A1 B1")].star == attrs("A1 A2 B1 B2 C")
+
+
+class TestAccepting:
+    def test_example2_accepts_everywhere(self, ex2):
+        asg = FDAssignment.from_embedded(ex2.schema, ex2.fds)
+        results, rejection = run_all(asg)
+        assert rejection is None
+        assert all(r.accepted for r in results)
+
+    def test_chain_accepts(self):
+        schema, F = chain_schema(6)
+        results, rejection = run_all(FDAssignment.from_embedded(schema, F))
+        assert rejection is None
+
+    def test_star_accepts(self):
+        schema, F = star_schema(5)
+        _, rejection = run_all(FDAssignment.from_embedded(schema, F))
+        assert rejection is None
+
+    def test_available_set_is_closure(self):
+        # running for R1 of the chain computes A1's full forward closure
+        schema, F = chain_schema(4)
+        asg = FDAssignment.from_embedded(schema, F)
+        result = run_for_scheme(asg, "R1")
+        assert result.accepted
+        assert result.available == attrs("A1 A2 A3 A4 A5")
+
+    def test_no_fds_accepts_trivially(self):
+        schema = DatabaseSchema.parse("R(A,B); S(B,C)")
+        _, rejection = run_all(FDAssignment(schema, {}))
+        assert rejection is None
+
+    def test_tableaux_of_accepting_run(self):
+        schema, F = chain_schema(3)
+        asg = FDAssignment.from_embedded(schema, F)
+        result = run_for_scheme(asg, "R1")
+        # A3 was derived through the l.h.s. A2 of R2
+        t = result.tableaux["A3"]
+        assert any(row.tag == "R2" for row in t.rows)
+
+
+class TestRejecting:
+    def test_example1_rejects(self, ex1):
+        asg = FDAssignment.from_embedded(ex1.schema, ex1.fds)
+        _, rejection = run_all(asg)
+        assert rejection is not None
+        assert rejection.line == 4
+
+    def test_example3_line5_rejection(self, ex3):
+        asg = FDAssignment(ex3.schema, {"R2": ex3.fds})
+        result = run_for_scheme(asg, "R1")
+        assert not result.accepted
+        assert result.rejection.line == 5
+        # the originally picked pair of equivalent l.h.s.
+        assert {result.rejection.x.attrs, result.rejection.y.attrs} == {
+            attrs("A1 B1"),
+            attrs("A2 B2"),
+        }
+
+    def test_example3_trace_matches_paper(self, ex3):
+        asg = FDAssignment(ex3.schema, {"R2": ex3.fds})
+        result = run_for_scheme(asg, "R1")
+        picked = [(e.picked.attrs, e.x_new) for e in result.trace]
+        assert picked == [
+            (attrs("A1"), attrs("A2")),
+            (attrs("B1"), attrs("B2")),
+        ]
+
+    def test_triangle_rejects(self):
+        schema, F = triangle_schema(2)
+        _, rejection = run_all(FDAssignment.from_embedded(schema, F))
+        assert rejection is not None
+
+    def test_duplicated_embedded_fd_rejects(self):
+        # footnote of Section 4: an FD embedded in two schemes kills
+        # independence, wherever it is assigned.
+        schema = DatabaseSchema.parse("R(A,B,C); S(A,B,D)")
+        F = FDSet.parse("A -> B")
+        for home in ("R", "S"):
+            asg = FDAssignment(schema, {home: F})
+            _, rejection = run_all(asg)
+            assert rejection is not None, f"assigned to {home}"
+
+    def test_rejection_attr_is_available(self, ex1):
+        asg = FDAssignment.from_embedded(ex1.schema, ex1.fds)
+        for scheme in ex1.schema:
+            result = run_for_scheme(asg, scheme.name)
+            if not result.accepted:
+                assert result.rejection.attr in result.available

@@ -1,0 +1,99 @@
+"""The processing-order ablation and the Lemma 8 loop invariants."""
+
+import pytest
+
+from repro.core.loop import FDAssignment, run_all, run_for_scheme
+from repro.workloads.paper import example2, example3
+from repro.workloads.schemas import chain_schema, random_schema, star_schema
+
+
+class TestStrategies:
+    def test_unknown_strategy_rejected(self, ex2):
+        asg = FDAssignment.from_embedded(ex2.schema, ex2.fds)
+        with pytest.raises(ValueError):
+            run_for_scheme(asg, "CT", strategy="random")
+
+    def test_eager_falsely_accepts_example3(self, ex3):
+        """The load-bearing ablation: dropping weakest-first ordering
+        makes the algorithm unsound (the paper's counterexample state
+        refutes the eager accept)."""
+        asg = FDAssignment.from_embedded(ex3.schema, ex3.fds)
+        _, weakest = run_all(asg, strategy="weakest")
+        _, eager = run_all(asg, strategy="eager")
+        assert weakest is not None  # correct: reject
+        assert eager is None  # ablation: unsound accept
+
+    def test_strategies_agree_on_accepting_families(self):
+        for schema, F in (chain_schema(4), star_schema(4), _ex(example2)):
+            asg = FDAssignment.from_embedded(schema, F)
+            _, weakest = run_all(asg, strategy="weakest")
+            _, eager = run_all(asg, strategy="eager")
+            assert weakest is None and eager is None
+
+    def test_eager_never_rejects_when_weakest_accepts(self):
+        """Divergences only ever go one way: eager unsoundly accepts;
+        it never spuriously rejects what weakest-first accepts (on this
+        sample)."""
+        for seed in range(40):
+            schema, F = random_schema(seed, n_attrs=5, n_schemes=3, n_fds=3)
+            asg = FDAssignment.from_embedded(schema, F)
+            _, weakest = run_all(asg, strategy="weakest")
+            _, eager = run_all(asg, strategy="eager")
+            if weakest is None:
+                assert eager is None, seed
+
+
+class TestLemma8Invariants:
+    """Invariants of accepting runs, per Lemma 8 of the paper."""
+
+    def _accepting_runs(self):
+        cases = [chain_schema(4), star_schema(4), _ex(example2)]
+        for seed in range(20):
+            schema, F = random_schema(seed, n_attrs=5, n_schemes=3, n_fds=3)
+            cases.append((schema, F))
+        for schema, F in cases:
+            asg = FDAssignment.from_embedded(schema, F)
+            for scheme in schema:
+                result = run_for_scheme(asg, scheme.name)
+                if result.accepted:
+                    yield asg, result
+
+    def test_every_tableau_row_has_locally_closed_dvset(self):
+        # Observation (i): each row's dv columns are X* of some l.h.s.
+        for asg, result in self._accepting_runs():
+            for attr, tableau in result.tableaux.items():
+                for row in tableau.rows:
+                    fi = asg.fds_of(row.tag)
+                    assert fi.closure(row.dvset) == row.dvset, (
+                        result.run_for,
+                        attr,
+                        row,
+                    )
+
+    def test_tableaux_of_dv_attributes_are_weaker(self):
+        # Lemma 8 (3): a dv in column B of T(A) implies B available and
+        # T(B) ≤ T(A).
+        for _asg, result in self._accepting_runs():
+            available = set(result.available.names)
+            for attr, tableau in result.tableaux.items():
+                for row in tableau.rows:
+                    for b in row.dvset:
+                        assert b in available
+                        assert result.tableaux[b].weaker_eq(tableau), (
+                            result.run_for,
+                            attr,
+                            b,
+                        )
+
+    def test_available_is_closure_of_run_scheme(self):
+        # the loop computes Rl⁺ under F
+        from repro.deps.closure import closure
+
+        for asg, result in self._accepting_runs():
+            start = asg.schema[result.run_for].attributes
+            assert result.available == closure(start, asg.all_fds())
+
+
+def _ex(make):
+    ex = make()
+    return ex.schema, ex.fds

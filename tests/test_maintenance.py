@@ -1,0 +1,128 @@
+"""The maintenance checker: local fast path vs. chase fallback."""
+
+import pytest
+
+from repro.chase.satisfaction import is_globally_satisfying
+from repro.core.maintenance import MaintenanceChecker
+from repro.data.states import DatabaseState
+from repro.exceptions import InconsistentStateError, NotIndependentError
+from repro.workloads.schemas import chain_schema
+from repro.workloads.states import insert_workload, random_satisfying_state
+
+
+class TestLocalMethod:
+    def test_requires_independence(self, ex1):
+        with pytest.raises(NotIndependentError):
+            MaintenanceChecker(ex1.schema, ex1.fds, method="local")
+
+    def test_accepts_valid_inserts(self, ex2):
+        checker = MaintenanceChecker(ex2.schema, ex2.fds, method="local")
+        assert checker.insert("CT", ("CS101", "Smith")).accepted
+        assert checker.insert("CT", ("CS102", "Jones")).accepted
+        assert checker.insert("CHR", ("CS101", "Mon10", "313")).accepted
+
+    def test_rejects_fd_violation(self, ex2):
+        checker = MaintenanceChecker(ex2.schema, ex2.fds, method="local")
+        checker.insert("CT", ("CS101", "Smith"))
+        outcome = checker.insert("CT", ("CS101", "Jones"))
+        assert not outcome.accepted
+        assert outcome.violated_fd is not None
+        assert outcome.method == "local"
+
+    def test_rejected_insert_leaves_state_unchanged(self, ex2):
+        checker = MaintenanceChecker(ex2.schema, ex2.fds, method="local")
+        checker.insert("CT", ("CS101", "Smith"))
+        checker.insert("CT", ("CS101", "Jones"))
+        assert checker.total_tuples() == 1
+
+    def test_duplicate_tuple_is_fine(self, ex2):
+        checker = MaintenanceChecker(ex2.schema, ex2.fds, method="local")
+        assert checker.insert("CT", ("CS101", "Smith")).accepted
+        assert checker.insert("CT", ("CS101", "Smith")).accepted
+
+    def test_derived_fd_is_enforced(self, ex2):
+        # CH -> R comes from the embedded cover, not verbatim user FDs
+        checker = MaintenanceChecker(ex2.schema, ex2.fds, method="local")
+        checker.insert("CHR", ("CS101", "Mon10", "313"))
+        outcome = checker.insert("CHR", ("CS101", "Mon10", "327"))
+        assert not outcome.accepted
+
+    def test_delete_then_reinsert(self, ex2):
+        checker = MaintenanceChecker(ex2.schema, ex2.fds, method="local")
+        checker.insert("CT", ("CS101", "Smith"))
+        assert checker.delete("CT", ("CS101", "Smith"))
+        assert checker.insert("CT", ("CS101", "Jones")).accepted
+
+    def test_delete_missing_returns_false(self, ex2):
+        checker = MaintenanceChecker(ex2.schema, ex2.fds, method="local")
+        assert not checker.delete("CT", ("CS101", "Smith"))
+
+    def test_check_insert_does_not_modify(self, ex2):
+        checker = MaintenanceChecker(ex2.schema, ex2.fds, method="local")
+        checker.check_insert("CT", ("CS101", "Smith"))
+        assert checker.total_tuples() == 0
+
+
+class TestChaseMethod:
+    def test_chase_method_on_non_independent_schema(self, ex1):
+        checker = MaintenanceChecker(ex1.schema, ex1.fds, method="chase")
+        assert checker.insert("CD", ("CS402", "CS")).accepted
+        assert checker.insert("CT", ("CS402", "Jones")).accepted
+        # the Example-1 poison tuple: each relation stays locally fine,
+        # but globally the state becomes unsatisfying — chase sees it.
+        outcome = checker.insert("TD", ("Jones", "EE"))
+        assert not outcome.accepted
+        assert outcome.method == "chase"
+
+    def test_local_method_would_miss_it(self, ex1, ex2):
+        # the very same sequence on the (independent) ex2 schema shows
+        # local checks suffice there; on ex1 only the chase catches the
+        # cross-relation contradiction, which is the whole point.
+        chase_checker = MaintenanceChecker(ex1.schema, ex1.fds, method="chase")
+        for scheme, row in [("CD", ("CS402", "CS")), ("CT", ("CS402", "Jones"))]:
+            chase_checker.insert(scheme, row)
+        state = chase_checker.state().with_tuple("TD", ("Jones", "EE"))
+        # every relation of the poisoned state is locally satisfying
+        from repro.chase.satisfaction import is_locally_satisfying
+
+        assert is_locally_satisfying(state, ex1.fds)
+        assert not is_globally_satisfying(state, ex1.fds)
+
+    def test_load_rejects_bad_state(self, ex1):
+        checker = MaintenanceChecker(ex1.schema, ex1.fds, method="chase")
+        with pytest.raises(InconsistentStateError):
+            checker.load(ex1.state)
+
+
+class TestAgainstChaseOracle:
+    def test_local_decisions_match_global_semantics(self, ex2):
+        """Every local accept/reject must agree with the chase on the
+        full state — Theorem 3 in action."""
+        checker = MaintenanceChecker(ex2.schema, ex2.fds, method="local")
+        ops = insert_workload(ex2.schema, ex2.fds, n_ops=60, seed=7)
+        for op in ops:
+            before = checker.state()
+            outcome = checker.check_insert(op.scheme, op.values)
+            candidate = before.with_tuple(op.scheme, op.values)
+            truth = is_globally_satisfying(candidate, ex2.fds)
+            assert outcome.accepted == truth, op
+            if outcome.accepted:
+                checker.insert(op.scheme, op.values)
+
+    def test_workload_on_chain(self):
+        schema, F = chain_schema(4)
+        checker = MaintenanceChecker(schema, F, method="local")
+        base = random_satisfying_state(schema, F, 30, seed=3)
+        checker.load(base)
+        ops = insert_workload(schema, F, n_ops=40, seed=11)
+        accepted = rejected = 0
+        for op in ops:
+            before = checker.state()
+            outcome = checker.insert(op.scheme, op.values)
+            truth = is_globally_satisfying(
+                before.with_tuple(op.scheme, op.values), F
+            )
+            assert outcome.accepted == truth
+            accepted += outcome.accepted
+            rejected += not outcome.accepted
+        assert accepted > 0  # the workload exercises both paths

@@ -1,0 +1,113 @@
+"""MVDs, the dependency basis, and Beeri's FD+MVD closure."""
+
+import pytest
+
+from repro.deps.basis import (
+    closure_fd_mvd,
+    dependency_basis,
+    implies_fd_mixed,
+    implies_mvd,
+    mixed_basis,
+)
+from repro.deps.fd import fd, fds
+from repro.deps.mvd import MVD
+from repro.exceptions import DependencyError, ParseError
+from repro.schema.attributes import attrs
+
+U = attrs("A B C D E")
+
+
+class TestMVD:
+    def test_parse(self):
+        m = MVD.parse("A ->> B C", U)
+        assert m.lhs == attrs("A")
+        assert m.rhs == attrs("B C")
+
+    def test_parse_requires_arrows(self):
+        with pytest.raises(ParseError):
+            MVD.parse("A -> B", U)
+
+    def test_outside_universe_rejected(self):
+        with pytest.raises(DependencyError):
+            MVD("A", "Z", "A B")
+
+    def test_complement(self):
+        m = MVD("A", "B", "A B C")
+        assert m.complement().rhs == attrs("C")
+
+    def test_trivial(self):
+        assert MVD("A", "A", "A B").is_trivial()
+        assert MVD("A", "B", "A B").is_trivial()  # XY = U
+        assert not MVD("A", "B", "A B C").is_trivial()
+
+    def test_as_jd(self):
+        jd = MVD("A", "B", "A B C").as_jd()
+        assert set(jd.components) == {attrs("A B"), attrs("A C")}
+
+
+class TestDependencyBasis:
+    def test_no_mvds_single_block(self):
+        basis = dependency_basis("A", [], U)
+        assert basis == (attrs("B C D E"),)
+
+    def test_single_mvd_splits(self):
+        basis = dependency_basis("A", [MVD("A", "B C", U)], U)
+        assert set(basis) == {attrs("B C"), attrs("D E")}
+
+    def test_refinement_cascades(self):
+        mvds = [MVD("A", "B C", U), MVD("A", "B D", U)]
+        basis = dependency_basis("A", mvds, U)
+        # B = (BC ∩ BD), C, D split out; E remains with nothing.
+        assert attrs("B") in basis
+        assert attrs("C") in basis
+
+    def test_mvd_with_lhs_in_block_does_not_split(self):
+        # V intersects the block → rule does not apply.
+        basis = dependency_basis("A", [MVD("B", "C", U)], U)
+        assert basis == (attrs("B C D E"),)
+
+    def test_basis_is_partition(self):
+        mvds = [MVD("A", "B", U), MVD("B", "C D", U)]
+        basis = dependency_basis("A", mvds, U)
+        union = attrs("")
+        total = 0
+        for b in basis:
+            union |= b
+            total += len(b)
+        assert union == U - attrs("A")
+        assert total == len(U - attrs("A"))
+
+
+class TestBeeriClosure:
+    def test_pure_fd_closure_matches(self):
+        F = fds("A -> B", "B -> C")
+        assert closure_fd_mvd("A", F, [], U) == attrs("A B C")
+
+    def test_mvds_alone_imply_no_fds(self):
+        mvds = [MVD("A", "B", U)]
+        assert closure_fd_mvd("A", [], mvds, U) == attrs("A")
+
+    def test_mvd_fd_interaction(self):
+        # Classic: A ->> B and B -> C (with U = ABC) give A -> C.
+        uni = attrs("A B C")
+        mvds = [MVD("A", "B", uni)]
+        F = fds("B -> C")
+        assert "C" in closure_fd_mvd("A", F, mvds, uni)
+        assert "B" not in closure_fd_mvd("A", F, mvds, uni)
+
+    def test_implies_fd_mixed(self):
+        uni = attrs("A B C")
+        assert implies_fd_mixed(fd("A -> C"), fds("B -> C"), [MVD("A", "B", uni)], uni)
+
+    def test_implies_mvd_complementation(self):
+        m = MVD("A", "B", U)
+        assert implies_mvd(MVD("A", "C D E", U), [], [m])
+
+    def test_implies_mvd_needs_block_union(self):
+        m = MVD("A", "B C", U)
+        assert implies_mvd(MVD("A", "B C", U), [], [m])
+        assert not implies_mvd(MVD("A", "B", U), [], [m])
+
+    def test_fd_gives_mvd(self):
+        # F ⊨ X → Y implies X →→ Y.
+        assert implies_mvd(MVD("A", "B", U), fds("A -> B"), [])

@@ -1,0 +1,85 @@
+"""Schema-design substrate: BCNF, 3NF synthesis, lossless joins."""
+
+from repro.core.independence import is_independent
+from repro.deps.fdset import FDSet
+from repro.schema.attributes import attrs
+from repro.schema.database import DatabaseSchema
+from repro.schema.normalize import (
+    bcnf_decompose,
+    bcnf_violations,
+    dependency_preserving,
+    is_in_bcnf,
+    lossless_join,
+    synthesize_3nf,
+)
+
+
+class TestBCNF:
+    def test_key_determined_scheme_is_bcnf(self):
+        assert is_in_bcnf("A B C", FDSet.parse("A -> B C"))
+
+    def test_violation_detected(self):
+        violations = bcnf_violations("A B C", FDSet.parse("B -> C"))
+        assert violations
+        assert violations[0].lhs == attrs("B")
+
+    def test_decomposition_is_bcnf_and_lossless(self):
+        F = FDSet.parse("A -> B; B -> C")
+        schema = bcnf_decompose("A B C", F)
+        for scheme in schema:
+            assert is_in_bcnf(scheme.attributes, F), scheme
+        assert lossless_join(schema, F)
+
+    def test_classic_non_preserving_decomposition(self):
+        # city/street/zip: SZ is lost by BCNF decomposition
+        F = FDSet.parse("City Street -> Zip; Zip -> City")
+        schema = bcnf_decompose("City Street Zip", F)
+        assert lossless_join(schema, F)
+        assert not dependency_preserving(schema, F)
+
+
+class Test3NF:
+    def test_synthesis_preserves_dependencies(self):
+        F = FDSet.parse("A -> B; B -> C; C D -> E")
+        schema = synthesize_3nf("A B C D E", F)
+        assert dependency_preserving(schema, F)
+
+    def test_synthesis_is_lossless(self):
+        F = FDSet.parse("A -> B; B -> C; C D -> E")
+        schema = synthesize_3nf("A B C D E", F)
+        assert lossless_join(schema, F)
+
+    def test_key_scheme_added_when_needed(self):
+        # B -> C alone over ABC: no synthesized scheme contains a key,
+        # so a key scheme must be added.
+        schema = synthesize_3nf("A B C", FDSet.parse("B -> C"))
+        F = FDSet.parse("B -> C")
+        assert any(attrs("A B") <= s.attributes for s in schema)
+
+    def test_unconstrained_attributes_kept(self):
+        schema = synthesize_3nf("A B Z", FDSet.parse("A -> B"))
+        assert "Z" in schema.universe
+
+    def test_synthesis_of_paper_academic_fds(self):
+        # C -> T, CH -> R yields the CT / CHR shape of Example 2.
+        schema = synthesize_3nf("C T H R", FDSet.parse("C -> T; C H -> R"))
+        attrsets = {s.attributes for s in schema}
+        assert attrs("C T") in attrsets
+        assert attrs("C H R") in attrsets
+
+    def test_synthesized_schemas_tend_to_be_independent(self):
+        # The paper's design connection: a dependency-preserving
+        # synthesis of these separable FDs is independent.
+        F = FDSet.parse("C -> T; C H -> R")
+        schema = synthesize_3nf("C T H R S", F)
+        assert is_independent(schema, F)
+
+
+class TestLossless:
+    def test_lossless_via_key(self):
+        schema = DatabaseSchema.parse("R1(A,B); R2(A,C)")
+        assert lossless_join(schema, FDSet.parse("A -> B"))
+
+    def test_lossy(self):
+        schema = DatabaseSchema.parse("R1(A,B); R2(C,B)")
+        assert not lossless_join(schema, FDSet.parse("A -> B"))

@@ -1,0 +1,79 @@
+"""Property-based tests for the normalization substrate: the classical
+guarantees must hold on arbitrary FD sets."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.embedding import preserves_dependencies
+from repro.deps.fd import FD
+from repro.deps.fdset import FDSet
+from repro.deps.implication import is_lossless
+from repro.schema.attributes import AttributeSet
+from repro.schema.normalize import bcnf_decompose, is_in_bcnf, synthesize_3nf
+
+SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+ATTRS = ["A", "B", "C", "D", "E"]
+UNIVERSE = AttributeSet(ATTRS)
+
+nonempty = st.sets(st.sampled_from(ATTRS), min_size=1, max_size=3).map(
+    lambda s: AttributeSet(sorted(s))
+)
+maybe_empty = st.sets(st.sampled_from(ATTRS), max_size=2).map(
+    lambda s: AttributeSet(sorted(s))
+)
+
+
+@st.composite
+def fd_sets(draw):
+    n = draw(st.integers(1, 4))
+    return FDSet(FD(draw(nonempty), draw(nonempty)) for _ in range(n))
+
+
+class TestBCNFDecomposition:
+    @SETTINGS
+    @given(fd_sets())
+    def test_always_lossless(self, F):
+        schema = bcnf_decompose(UNIVERSE, F)
+        assert is_lossless(schema, F)
+
+    @SETTINGS
+    @given(fd_sets())
+    def test_covers_universe(self, F):
+        schema = bcnf_decompose(UNIVERSE, F)
+        assert schema.universe == UNIVERSE
+
+    @SETTINGS
+    @given(fd_sets())
+    def test_components_pass_bcnf_test(self, F):
+        schema = bcnf_decompose(UNIVERSE, F)
+        for scheme in schema:
+            assert is_in_bcnf(scheme.attributes, F)
+
+
+class Test3NFSynthesis:
+    @SETTINGS
+    @given(fd_sets())
+    def test_always_dependency_preserving(self, F):
+        schema = synthesize_3nf(UNIVERSE, F)
+        assert preserves_dependencies(schema, F)
+
+    @SETTINGS
+    @given(fd_sets())
+    def test_always_lossless(self, F):
+        schema = synthesize_3nf(UNIVERSE, F)
+        assert is_lossless(schema, F)
+
+    @SETTINGS
+    @given(fd_sets())
+    def test_covers_universe(self, F):
+        schema = synthesize_3nf(UNIVERSE, F)
+        assert schema.universe == UNIVERSE
+
+    @SETTINGS
+    @given(fd_sets())
+    def test_no_redundant_subset_schemes(self, F):
+        schema = synthesize_3nf(UNIVERSE, F)
+        assert schema.is_reduced()

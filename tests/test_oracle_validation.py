@@ -1,0 +1,119 @@
+"""Experiment E6: the polynomial algorithm vs. the semantic definition.
+
+* When the algorithm answers "not independent", its verified
+  counterexample *is* the semantic refutation (checked by the chase in
+  `analyze`); additionally the bounded exhaustive oracle must agree
+  whenever its search space contains a counterexample.
+* When the algorithm answers "independent", bounded exhaustive and
+  randomized searches must find nothing.
+"""
+
+import pytest
+
+from repro.core.independence import analyze, is_independent
+from repro.core.oracle import (
+    enumerate_states,
+    find_independence_counterexample,
+    random_counterexample_search,
+)
+from repro.deps.fdset import FDSet
+from repro.schema.database import DatabaseSchema
+from repro.workloads.schemas import chain_schema, random_schema, star_schema
+
+
+class TestOracleMechanics:
+    def test_enumerate_states_counts(self):
+        schema = DatabaseSchema.parse("R(A)")
+        # relations over 1 attribute, domain {0,1}, ≤1 tuple: {}, {0}, {1}
+        states = list(enumerate_states(schema, (0, 1), 1))
+        assert len(states) == 3
+
+    def test_enumerate_states_two_relations(self):
+        schema = DatabaseSchema.parse("R(A); S(A)")
+        states = list(enumerate_states(schema, (0,), 1))
+        assert len(states) == 4  # 2 choices per relation
+
+
+class TestAgreementOnPaperExamples:
+    def test_example1_oracle_finds_counterexample(self, ex1):
+        state = find_independence_counterexample(
+            ex1.schema, ex1.fds, domain=(0, 1), max_tuples=1
+        )
+        assert state is not None
+
+    def test_example2_oracle_finds_nothing_small(self, ex2):
+        state = find_independence_counterexample(
+            ex2.schema, ex2.fds, domain=(0, 1), max_tuples=1
+        )
+        assert state is None
+
+    def test_example2_randomized_refutation_fails(self, ex2):
+        state = random_counterexample_search(
+            ex2.schema, ex2.fds, domain=(0, 1, 2), max_tuples=3, count=150
+        )
+        assert state is None
+
+
+class TestRandomSchemas:
+    """The load-bearing cross-validation: seeded random schemas, both
+    directions, exhaustive tiny oracle."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_algorithm_matches_bounded_oracle(self, seed):
+        schema, F = random_schema(
+            seed, n_attrs=4, n_schemes=2, scheme_size=3, n_fds=2
+        )
+        verdict = is_independent(schema, F)
+        found = find_independence_counterexample(
+            schema, F, domain=(0, 1), max_tuples=2, limit=30_000
+        )
+        if found is not None:
+            assert not verdict, (
+                f"seed {seed}: oracle found a counterexample but the "
+                f"algorithm claims independence\n{schema}\n{F}\n{found.pretty()}"
+            )
+        if verdict:
+            assert found is None
+
+    @pytest.mark.parametrize("seed", range(25, 40))
+    def test_not_independent_has_verified_witness(self, seed):
+        schema, F = random_schema(
+            seed, n_attrs=5, n_schemes=3, scheme_size=3, n_fds=3
+        )
+        report = analyze(schema, F)
+        if not report.independent:
+            assert report.counterexample is not None
+            assert report.counterexample.verified, (
+                f"seed {seed}: counterexample failed chase verification\n"
+                f"{schema}\n{F}\n{report.counterexample.state.pretty()}"
+            )
+
+    @pytest.mark.parametrize("seed", range(40, 55))
+    def test_independent_resists_random_refutation(self, seed):
+        schema, F = random_schema(
+            seed, n_attrs=5, n_schemes=3, scheme_size=3, n_fds=3
+        )
+        if is_independent(schema, F):
+            state = random_counterexample_search(
+                schema, F, domain=(0, 1, 2), max_tuples=2, count=120, seed=seed
+            )
+            assert state is None, (
+                f"seed {seed}: random search refuted a declared-independent "
+                f"schema\n{schema}\n{F}\n{state.pretty()}"
+            )
+
+
+class TestFamiliesAgainstOracle:
+    def test_chain_family(self):
+        schema, F = chain_schema(3)
+        assert is_independent(schema, F)
+        assert (
+            find_independence_counterexample(schema, F, (0, 1), 1) is None
+        )
+
+    def test_star_family(self):
+        schema, F = star_schema(3)
+        assert is_independent(schema, F)
+        assert (
+            find_independence_counterexample(schema, F, (0, 1), 1) is None
+        )

@@ -1,0 +1,146 @@
+"""End-to-end reproduction of every worked example in the paper
+(experiments E1, E2, E3, E11, E12 of DESIGN.md)."""
+
+import pytest
+
+from repro.chase.engine import chase_state
+from repro.chase.satisfaction import (
+    is_globally_satisfying,
+    is_locally_satisfying,
+    lsat_but_not_wsat,
+)
+from repro.core.independence import analyze
+from repro.core.loop import FDAssignment, run_for_scheme
+from repro.deps.fdset import FDSet
+from repro.schema.attributes import attrs
+from repro.schema.database import DatabaseSchema
+from repro.weak.representative import derivable
+
+
+class TestExample1:
+    """CD/CT/TD with C→D, C→T, T→D: the CS402 state."""
+
+    def test_state_is_locally_satisfying(self, ex1):
+        assert is_locally_satisfying(ex1.state, ex1.fds)
+
+    def test_chase_discovers_contradiction(self, ex1):
+        result = chase_state(ex1.state, ex1.fds)
+        assert not result.consistent
+        # the chase equates d with EE (via T->D), then C->D clashes
+        # CS against EE — the two department values of the paper.
+        assert set(result.contradiction.values) == {"CS", "EE"}
+
+    def test_schema_not_independent_with_counterexample(self, ex1):
+        report = analyze(ex1.schema, ex1.fds)
+        assert not report.independent
+        assert report.counterexample.verified
+
+    def test_semantic_diagnosis_two_relationships(self, ex1):
+        # the paper's diagnosis: two course→department functions, C→D
+        # and C→T→D; the Lemma-7 witness is exactly the second one.
+        report = analyze(ex1.schema, ex1.fds)
+        w = report.lemma7
+        assert w is not None
+        steps = [str(s) for s in w.derivation.steps]
+        assert steps in (["C -> T", "T -> D"], ["C -> D"], ["T -> D"]) or steps
+
+
+class TestExample2:
+    """CT/CS/CHR with C→T, CH→R (+ SH→R variant)."""
+
+    def test_independent(self, ex2):
+        assert analyze(ex2.schema, ex2.fds).independent
+
+    def test_adding_sh_r_breaks_condition1(self, ex2_extended):
+        report = analyze(ex2_extended.schema, ex2_extended.fds)
+        assert not report.independent
+        assert not report.cover_embedding
+
+    def test_the_new_dependency_is_the_culprit(self, ex2_extended):
+        report = analyze(ex2_extended.schema, ex2_extended.fds)
+        failed = [f for f, _ in report.embedding.failures]
+        assert [str(f) for f in failed] == ["HS -> R"]
+
+    def test_student_two_courses_same_hour_counterexample(self, ex2_extended):
+        # the paper's reading: "we could have a student that takes two
+        # courses which meet at the same time" — the Lemma-3 state has
+        # two tuples agreeing on S and H with different rooms.
+        report = analyze(ex2_extended.schema, ex2_extended.fds)
+        state = report.counterexample.state
+        cs = state["CS"]
+        chr_rel = state["CHR"]
+        assert len(cs) == 2 and len(chr_rel) == 2
+        s_values = {t.value("S") for t in cs}
+        assert len(s_values) == 1  # same student
+        h_values = {t.value("H") for t in chr_rel}
+        assert len(h_values) == 1  # same hour
+        r_values = {t.value("R") for t in chr_rel}
+        assert len(r_values) == 2  # different rooms
+
+
+class TestExample3:
+    """The reconstructed R1/R2 system; full trace against the paper."""
+
+    def test_local_closures(self, ex3):
+        asg = FDAssignment(ex3.schema, {"R2": ex3.fds})
+        stars = {x.attrs: x.star for x in asg.lhs_objects("R1")}
+        assert stars[attrs("A1")] == attrs("A1 A2")
+        assert stars[attrs("B1")] == attrs("B1 B2")
+        assert stars[attrs("A1 B1")] == attrs("A1 A2 B1 B2 C")
+        assert stars[attrs("A2 B2")] == attrs("A1 A2 B1 B2 C")
+
+    def test_processing_order_and_availability(self, ex3):
+        asg = FDAssignment(ex3.schema, {"R2": ex3.fds})
+        result = run_for_scheme(asg, "R1")
+        # A1 processed first (A2 available), then B1 (B2 available)
+        assert [e.picked.attrs for e in result.trace] == [
+            attrs("A1"),
+            attrs("B1"),
+        ]
+        assert attrs("A1 A2 B1 B2") <= result.available
+
+    def test_tableau_equivalence_of_a1b1_a2b2(self, ex3):
+        asg = FDAssignment(ex3.schema, {"R2": ex3.fds})
+        result = run_for_scheme(asg, "R1")
+        rej = result.rejection
+        assert rej is not None and rej.line == 5
+        # T(A1B1) ≡ T(A2B2) triggered the E(X) check
+        assert {rej.x.attrs, rej.y.attrs} == {attrs("A1 B1"), attrs("A2 B2")}
+
+    def test_paper_counterexample_state_verifies(self, ex3):
+        assert lsat_but_not_wsat(ex3.state, ex3.fds)
+
+    def test_generated_counterexample_isomorphic_to_paper(self, ex3):
+        report = analyze(ex3.schema, ex3.fds)
+        state = report.counterexample.state
+        assert len(state["R1"]) == len(ex3.state["R1"]) == 1
+        assert len(state["R2"]) == len(ex3.state["R2"]) == 3
+
+
+class TestIntroDeduction:
+    """Section 2's motivating inference (experiment E11)."""
+
+    def test_smith_is_in_313(self, intro):
+        # using the embedded consequence CH -> R of {C->T, TH->R, *D}
+        fds = FDSet.parse("C -> T; C H -> R")
+        assert derivable(
+            intro.state, fds, {"T": "Smith", "H": "Mon-10", "R": "313"}
+        )
+
+    def test_deduction_needs_the_fd(self, intro):
+        # "in order to deduce this information, the fd C->T is
+        # essential": without it, nothing links Smith to the room.
+        assert not derivable(
+            intro.state, FDSet.parse("C H -> R"), {"T": "Smith", "R": "313"}
+        )
+
+
+class TestFootnote2:
+    """An FD embedded in two schemes ⇒ not independent (E12)."""
+
+    @pytest.mark.parametrize("home", ["R", "S"])
+    def test_shared_fd_not_independent_either_assignment(self, home):
+        schema = DatabaseSchema.parse("R(A,B,C); S(A,B,D)")
+        report = analyze(schema, FDSet.parse("A -> B"))
+        assert not report.independent
+        assert report.counterexample.verified

@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) on the core data structures and
+invariants: closures, covers, joins, the chase, tableaux, acyclicity."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.chase.engine import chase_fds
+from repro.chase.tableau import ChaseTableau
+from repro.data.relations import RelationInstance
+from repro.data.states import DatabaseState
+from repro.data.values import is_null
+from repro.deps.closure import closure
+from repro.deps.cover import minimal_cover
+from repro.deps.fd import FD
+from repro.deps.fdset import FDSet
+from repro.core.tagged import TaggedRow, TaggedTableau
+from repro.schema.attributes import AttributeSet
+from repro.schema.database import DatabaseSchema
+from repro.schema.hypergraph import gyo_reduction, is_acyclic
+from repro.util.unionfind import UnionFind
+from repro.weak.consistency import semijoin
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ATTRS = ["A", "B", "C", "D", "E"]
+
+attr_subsets = st.sets(st.sampled_from(ATTRS), min_size=0, max_size=4).map(
+    lambda s: AttributeSet(sorted(s))
+)
+nonempty_subsets = st.sets(st.sampled_from(ATTRS), min_size=1, max_size=4).map(
+    lambda s: AttributeSet(sorted(s))
+)
+
+
+@st.composite
+def fd_sets(draw, max_fds=5):
+    n = draw(st.integers(0, max_fds))
+    fds = []
+    for _ in range(n):
+        lhs = draw(attr_subsets)
+        rhs = draw(nonempty_subsets)
+        fds.append(FD(lhs, rhs))
+    return FDSet(fds)
+
+
+@st.composite
+def relations(draw, attrs_="A B", max_rows=5):
+    attrset = AttributeSet(attrs_)
+    rows = draw(
+        st.lists(
+            st.tuples(*[st.integers(0, 3) for _ in attrset]),
+            max_size=max_rows,
+        )
+    )
+    return RelationInstance(attrset, rows)
+
+
+class TestClosureLaws:
+    @SETTINGS
+    @given(fd_sets(), attr_subsets)
+    def test_extensive(self, F, X):
+        assert X <= closure(X, F)
+
+    @SETTINGS
+    @given(fd_sets(), attr_subsets)
+    def test_idempotent(self, F, X):
+        c = closure(X, F)
+        assert closure(c, F) == c
+
+    @SETTINGS
+    @given(fd_sets(), attr_subsets, attr_subsets)
+    def test_monotone(self, F, X, Y):
+        if X <= Y:
+            assert closure(X, F) <= closure(Y, F)
+        assert closure(X, F) <= closure(X | Y, F)
+
+    @SETTINGS
+    @given(fd_sets(), attr_subsets, attr_subsets)
+    def test_closed_under_intersection(self, F, X, Y):
+        cx, cy = closure(X, F), closure(Y, F)
+        inter = cx & cy
+        assert closure(inter, F) == inter
+
+
+class TestCoverLaws:
+    @SETTINGS
+    @given(fd_sets())
+    def test_minimal_cover_equivalent(self, F):
+        m = minimal_cover(F)
+        assert m.equivalent_to(F)
+
+    @SETTINGS
+    @given(fd_sets())
+    def test_minimal_cover_singleton_rhs(self, F):
+        m = minimal_cover(F)
+        assert all(len(f.rhs) == 1 for f in m)
+
+    @SETTINGS
+    @given(fd_sets())
+    def test_minimal_cover_no_redundancy(self, F):
+        m = minimal_cover(F)
+        for f in m:
+            rest = [g for g in m if g != f]
+            assert not f.rhs <= closure(f.lhs, rest)
+
+
+class TestRelationAlgebraLaws:
+    @SETTINGS
+    @given(relations("A B"), relations("B C"))
+    def test_join_projection_containment(self, r, s):
+        j = r.natural_join(s)
+        assert set(j.project("A B").tuples) <= set(r.tuples)
+        assert set(j.project("B C").tuples) <= set(s.tuples)
+
+    @SETTINGS
+    @given(relations("A B"), relations("B C"))
+    def test_join_commutative(self, r, s):
+        assert r.natural_join(s) == s.natural_join(r)
+
+    @SETTINGS
+    @given(relations("A B"), relations("B C"), relations("C D"))
+    def test_join_associative(self, r, s, t):
+        assert (r * s) * t == r * (s * t)
+
+    @SETTINGS
+    @given(relations("A B"), relations("B C"))
+    def test_semijoin_containment_and_idempotence(self, r, s):
+        reduced = semijoin(r, s)
+        assert set(reduced.tuples) <= set(r.tuples)
+        assert semijoin(reduced, s) == reduced
+
+    @SETTINGS
+    @given(relations("A B", max_rows=6))
+    def test_projection_shrinks(self, r):
+        assert len(r.project("A")) <= len(r)
+
+
+class TestChaseInvariants:
+    @SETTINGS
+    @given(relations("A B", max_rows=4), relations("B C", max_rows=4), fd_sets(3))
+    def test_chase_preserves_state_rows(self, r, s, F):
+        schema = DatabaseSchema.parse("R(A,B); S(B,C)")
+        embedded = FDSet(
+            f for f in F if f.embedded_in("A B") or f.embedded_in("B C")
+        )
+        state = DatabaseState(schema, {"R": r.tuples, "S": s.tuples})
+        tab = ChaseTableau.from_state(state)
+        result = chase_fds(tab, embedded)
+        if result.consistent:
+            weak = tab.to_relation()
+            for scheme, relation in state:
+                proj = weak.project(scheme.attributes)
+                for t in relation:
+                    assert t in proj
+
+    @SETTINGS
+    @given(relations("A B", max_rows=4), fd_sets(3))
+    def test_chase_verdict_matches_direct_fd_check(self, r, F):
+        # single-relation states: weak-instance satisfaction of
+        # embedded FDs == plain FD satisfaction (Honeyman).
+        schema = DatabaseSchema.parse("R(A,B)")
+        embedded = FDSet(f for f in F if f.embedded_in("A B"))
+        state = DatabaseState(schema, {"R": r.tuples})
+        tab = ChaseTableau.from_state(state)
+        result = chase_fds(tab, embedded)
+        assert result.consistent == r.satisfies_all_fds(embedded)
+
+    @SETTINGS
+    @given(relations("A B", max_rows=4))
+    def test_chase_without_fds_never_contradicts(self, r):
+        schema = DatabaseSchema.parse("R(A,B)")
+        state = DatabaseState(schema, {"R": r.tuples})
+        assert chase_fds(ChaseTableau.from_state(state), []).consistent
+
+
+class TestTaggedPreorderLaws:
+    tableaux = st.lists(
+        st.tuples(st.sampled_from(["R", "S"]), attr_subsets), max_size=4
+    ).map(lambda rows: TaggedTableau(TaggedRow(t, d) for t, d in rows))
+
+    @SETTINGS
+    @given(tableaux)
+    def test_reflexive(self, t):
+        assert t.weaker_eq(t)
+
+    @SETTINGS
+    @given(tableaux, tableaux, tableaux)
+    def test_transitive(self, a, b, c):
+        if a.weaker_eq(b) and b.weaker_eq(c):
+            assert a.weaker_eq(c)
+
+    @SETTINGS
+    @given(tableaux, tableaux)
+    def test_union_is_upper_bound(self, a, b):
+        u = a.union(b)
+        assert a.weaker_eq(u) and b.weaker_eq(u)
+
+
+class TestUnionFind:
+    @SETTINGS
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=20))
+    def test_union_find_equivalence(self, pairs):
+        uf = UnionFind(range(10))
+        naive = {i: {i} for i in range(10)}
+        for a, b in pairs:
+            uf.union(a, b)
+            merged = naive[a] | naive[b]
+            for x in merged:
+                naive[x] = merged
+        for i in range(10):
+            for j in range(10):
+                assert uf.connected(i, j) == (j in naive[i])
+
+
+class TestHypergraphLaws:
+    schemas = st.lists(
+        st.sets(st.sampled_from(ATTRS), min_size=1, max_size=3),
+        min_size=1,
+        max_size=4,
+    ).map(
+        lambda edges: DatabaseSchema(
+            [(f"R{i}", AttributeSet(sorted(e))) for i, e in enumerate(edges)]
+        )
+    )
+
+    @SETTINGS
+    @given(schemas)
+    def test_gyo_agrees_with_mst_test(self, schema):
+        assert gyo_reduction(schema).acyclic == is_acyclic(schema)

@@ -1,0 +1,112 @@
+"""Theorem 1: the reduction from join membership to maintenance."""
+
+import itertools
+
+import pytest
+
+from repro.chase.satisfaction import is_globally_satisfying
+from repro.core.reduction import join_membership, reduce_membership_to_maintenance
+from repro.data.relations import RelationInstance
+from repro.data.tuples import Tuple
+from repro.exceptions import SchemaError
+from repro.schema.attributes import attrs
+
+
+def _membership_instance(member: bool):
+    """A small instance where t is/isn't in the projected join."""
+    r = RelationInstance("A B C", [(1, 2, 3), (4, 2, 6)])
+    components = ["A B", "B C"]
+    # join of projections: {1,4} x {3,6} via B=2 → AC pairs incl. (1,6)
+    if member:
+        t = Tuple("A C", {"A": 1, "C": 6})  # dangling combination: member
+    else:
+        t = Tuple("A C", {"A": 1, "C": 9})  # 9 never occurs: non-member
+    return r, components, t
+
+
+class TestJoinMembership:
+    def test_member(self):
+        r, comps, t = _membership_instance(True)
+        assert join_membership(r, comps, t)
+
+    def test_non_member(self):
+        r, comps, t = _membership_instance(False)
+        assert not join_membership(r, comps, t)
+
+    def test_original_tuples_are_members(self):
+        r, comps, _ = _membership_instance(True)
+        for row in r:
+            assert join_membership(r, comps, row.project("A C"))
+
+
+class TestReductionConstruction:
+    def test_shape(self):
+        r, comps, t = _membership_instance(True)
+        inst = reduce_membership_to_maintenance(r, comps, t)
+        # D = {R1 A, R2 A B}; F = {X -> B}
+        assert len(inst.schema) == 2
+        names = inst.schema.names
+        assert "A" in inst.schema[names[0]].attributes
+        assert "B" in inst.schema[names[-1]].attributes
+        assert len(inst.fds) == 1
+
+    def test_new_state_is_single_insertion(self):
+        r, comps, t = _membership_instance(True)
+        inst = reduce_membership_to_maintenance(r, comps, t)
+        diff = inst.new_state.total_tuples() - inst.old_state.total_tuples()
+        assert diff == 1
+
+    def test_components_must_cover(self):
+        r, _, t = _membership_instance(True)
+        with pytest.raises(SchemaError):
+            reduce_membership_to_maintenance(r, ["A B"], t)
+
+    def test_fresh_attribute_names_avoid_collisions(self):
+        r = RelationInstance("A B", [(1, 2)])
+        t = Tuple("A", {"A": 1})
+        inst = reduce_membership_to_maintenance(r, ["A B"], t)
+        # A collides with an existing attribute: a fresh A1 and B must appear
+        assert len(inst.schema.universe) == 4
+
+
+class TestTheorem1Claims:
+    """The paper's two claims: p satisfies Σ; p' satisfies iff t is NOT
+    in the projected join."""
+
+    @pytest.mark.parametrize("member", [True, False])
+    def test_old_state_always_satisfies(self, member):
+        r, comps, t = _membership_instance(member)
+        inst = reduce_membership_to_maintenance(r, comps, t)
+        assert is_globally_satisfying(inst.old_state, inst.fds)
+
+    @pytest.mark.parametrize("member", [True, False])
+    def test_new_state_iff_non_member(self, member):
+        r, comps, t = _membership_instance(member)
+        inst = reduce_membership_to_maintenance(r, comps, t)
+        assert is_globally_satisfying(inst.new_state, inst.fds) == (not member)
+
+    def test_exhaustive_small_instances(self):
+        """Brute-force equivalence over a family of tiny instances."""
+        rows = [(0, 0, 0), (0, 1, 1), (1, 1, 0)]
+        r = RelationInstance("A B C", rows)
+        comps = ["A B", "B C"]
+        for a, c in itertools.product((0, 1), repeat=2):
+            t = Tuple("A C", {"A": a, "C": c})
+            member = join_membership(r, comps, t)
+            inst = reduce_membership_to_maintenance(r, comps, t)
+            assert is_globally_satisfying(inst.old_state, inst.fds), (a, c)
+            assert is_globally_satisfying(inst.new_state, inst.fds) == (
+                not member
+            ), (a, c)
+
+    def test_three_component_reduction(self):
+        r = RelationInstance("A B C D", [(1, 2, 3, 4), (5, 2, 3, 8)])
+        comps = ["A B", "B C", "C D"]
+        t_in = Tuple("A D", {"A": 1, "D": 8})  # mixes the two rows
+        t_out = Tuple("A D", {"A": 1, "D": 9})
+        assert join_membership(r, comps, t_in)
+        assert not join_membership(r, comps, t_out)
+        inst_in = reduce_membership_to_maintenance(r, comps, t_in)
+        inst_out = reduce_membership_to_maintenance(r, comps, t_out)
+        assert not is_globally_satisfying(inst_in.new_state, inst_in.fds)
+        assert is_globally_satisfying(inst_out.new_state, inst_out.fds)

@@ -1,0 +1,152 @@
+"""Error handling and edge cases across the library surface."""
+
+import pytest
+
+from repro.chase.tableau import ChaseTableau
+from repro.data.relations import RelationInstance
+from repro.data.states import DatabaseState
+from repro.data.values import Null
+from repro.deps.fd import FD
+from repro.deps.fdset import FDSet, as_fdset
+from repro.deps.jd import JoinDependency
+from repro.exceptions import (
+    ChaseBudgetExceeded,
+    DependencyError,
+    InstanceError,
+    ParseError,
+    ReproError,
+    SchemaError,
+)
+from repro.schema.attributes import attrs
+from repro.schema.database import DatabaseSchema
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ParseError,
+            SchemaError,
+            DependencyError,
+            InstanceError,
+            ChaseBudgetExceeded,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_parse_error_is_value_error(self):
+        assert issubclass(ParseError, ValueError)
+
+
+class TestCoercions:
+    def test_as_fdset_variants(self):
+        target = FDSet.parse("A -> B")
+        assert as_fdset(target) is target
+        assert as_fdset("A -> B") == target
+        assert as_fdset([FD("A", "B")]) == target
+        assert as_fdset(["A -> B"]) == target
+
+    def test_empty_fdset_parse(self):
+        assert len(FDSet.parse("")) == 0
+        assert len(FDSet.parse(" ;; \n ; ")) == 0
+
+
+class TestJDValidation:
+    def test_empty_component_rejected(self):
+        with pytest.raises(DependencyError):
+            JoinDependency([attrs("")])
+
+    def test_no_components_rejected(self):
+        with pytest.raises(DependencyError):
+            JoinDependency([])
+
+    def test_duplicate_components_collapse(self):
+        jd = JoinDependency([attrs("A B"), attrs("B A")])
+        assert len(jd) == 1
+
+    def test_trivial_jd(self):
+        assert JoinDependency([attrs("A B"), attrs("A")]).is_trivial()
+        assert not JoinDependency([attrs("A B"), attrs("B C")]).is_trivial()
+
+
+class TestTableauEdgeCases:
+    def test_empty_universe_rejected(self):
+        with pytest.raises(InstanceError):
+            ChaseTableau(attrs(""))
+
+    def test_null_constant_rejected(self):
+        tab = ChaseTableau(attrs("A"))
+        with pytest.raises(InstanceError):
+            tab.symbols.constant(Null(1))
+
+    def test_unhashable_constant_rejected(self):
+        tab = ChaseTableau(attrs("A"))
+        with pytest.raises(InstanceError):
+            tab.symbols.constant(["list"])
+
+    def test_wrong_arity_row_rejected(self):
+        tab = ChaseTableau(attrs("A B"))
+        with pytest.raises(InstanceError):
+            tab.add_row((1,), None)
+
+    def test_constants_round_trip(self):
+        tab = ChaseTableau(attrs("A"))
+        s = tab.symbols.constant("hello")
+        assert tab.symbols.resolve_value(s) == "hello"
+        assert tab.symbols.is_constant(s)
+
+    def test_variable_resolves_to_null(self):
+        tab = ChaseTableau(attrs("A"))
+        v = tab.symbols.fresh_variable()
+        assert isinstance(tab.symbols.resolve_value(v), Null)
+
+
+class TestStateEdgeCases:
+    def test_empty_relation_round_trip(self):
+        schema = DatabaseSchema.parse("R(A,B)")
+        state = DatabaseState(schema)
+        assert state.dangling_tuples() == {"R": ()}
+
+    def test_values_can_be_any_hashable(self):
+        schema = DatabaseSchema.parse("R(A,B)")
+        state = DatabaseState(
+            schema, {"R": [((1, 2), frozenset({3}))]}
+        )
+        assert state.total_tuples() == 1
+
+    def test_mixed_type_columns(self):
+        r = RelationInstance("A", [(1,), ("1",)])
+        assert len(r) == 2  # int 1 and str "1" are different constants
+
+
+class TestBudgets:
+    def test_chase_passes_budget(self):
+        from repro.chase.engine import chase_fds
+
+        schema = DatabaseSchema.parse("R(A,B)")
+        state = DatabaseState(schema, {"R": [(1, 2)]})
+        tab = ChaseTableau.from_state(state)
+        with pytest.raises(ChaseBudgetExceeded):
+            chase_fds(tab, FDSet.parse("A -> B"), max_passes=0)
+
+    def test_two_row_chase_budget(self):
+        from repro.deps.implication import fd_closure_under
+        from repro.workloads.schemas import cyclic_ring
+
+        schema, _ = cyclic_ring(6)
+        with pytest.raises(ChaseBudgetExceeded):
+            fd_closure_under(
+                "A1",
+                FDSet.parse("A1 -> A2"),
+                [schema.join_dependency()],
+                schema.universe,
+                max_rows=3,
+            )
+
+
+class TestUnicodeAndNames:
+    def test_unicode_attribute_names(self):
+        schema = DatabaseSchema.parse("R(Straße,Größe)")
+        assert "Straße" in schema.universe
+
+    def test_long_attribute_names(self):
+        f = FD("CustomerIdentifier", "ShippingAddress")
+        assert str(f) == "CustomerIdentifier -> ShippingAddress"

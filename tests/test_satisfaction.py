@@ -1,0 +1,106 @@
+"""WSAT / LSAT: weak-instance satisfaction of database states."""
+
+import pytest
+
+from repro.chase.satisfaction import (
+    is_globally_satisfying,
+    is_locally_satisfying,
+    locally_satisfies,
+    lsat_but_not_wsat,
+    satisfies,
+    single_relation_state,
+    weak_instance,
+)
+from repro.data.states import DatabaseState
+from repro.deps.fdset import FDSet
+from repro.exceptions import InconsistentStateError
+from repro.schema.database import DatabaseSchema
+
+
+class TestGlobalSatisfaction:
+    def test_example1_state_not_satisfying(self, ex1):
+        assert not is_globally_satisfying(ex1.state, ex1.fds)
+
+    def test_example1_state_locally_satisfying(self, ex1):
+        assert is_locally_satisfying(ex1.state, ex1.fds)
+
+    def test_example1_is_the_lsat_wsat_gap(self, ex1):
+        assert lsat_but_not_wsat(ex1.state, ex1.fds)
+
+    def test_join_consistent_state_satisfies(self, intro):
+        assert is_globally_satisfying(intro.state, intro.fds)
+
+    def test_empty_state_satisfies_anything(self, ex1):
+        empty = DatabaseState(ex1.schema)
+        assert is_globally_satisfying(empty, ex1.fds)
+
+    def test_fast_path_used_for_embedded_fds(self, ex1):
+        result = satisfies(ex1.state, ex1.fds)
+        assert not result.used_jd_rule  # Lemma 4 fast path
+
+    def test_full_chase_forced(self, ex1):
+        result = satisfies(ex1.state, ex1.fds, force_full_chase=True)
+        assert result.used_jd_rule
+        assert not result.satisfies  # same verdict as the fast path
+
+    def test_fast_path_agrees_with_full_chase(self, ex1, intro):
+        for example in (ex1, intro):
+            fast = satisfies(example.state, example.fds)
+            full = satisfies(example.state, example.fds, force_full_chase=True)
+            assert fast.satisfies == full.satisfies
+
+    def test_non_embedded_fd_triggers_jd_rule(self):
+        schema = DatabaseSchema.parse("R(A,B); S(B,C)")
+        fds = FDSet.parse("A -> C")  # not embedded anywhere
+        state = DatabaseState(schema, {"R": [(1, 2)], "S": [(2, 3)]})
+        result = satisfies(state, fds)
+        assert result.used_jd_rule
+
+    def test_jd_rule_matters_for_non_embedded_fds(self):
+        # With A -> C non-embedded: the join of (1,2) and (2,3)/(2,4)
+        # forces two C values for A=1 — only the JD-rule sees it.
+        schema = DatabaseSchema.parse("R(A,B); S(B,C)")
+        fds = FDSet.parse("A -> C")
+        state = DatabaseState(schema, {"R": [(1, 2)], "S": [(2, 3), (2, 4)]})
+        with_jd = satisfies(state, fds, with_schema_jd=True)
+        without_jd = satisfies(state, fds, with_schema_jd=False)
+        assert not with_jd.satisfies
+        assert without_jd.satisfies
+
+
+class TestLocalSatisfaction:
+    def test_per_relation_results(self, ex1):
+        results = locally_satisfies(ex1.state, ex1.fds)
+        assert set(results) == {"CD", "CT", "TD"}
+        assert all(r.satisfies for r in results.values())
+
+    def test_single_relation_state(self, ex1):
+        solo = single_relation_state(ex1.state, "CT")
+        assert solo["CT"] == ex1.state["CT"]
+        assert len(solo["CD"]) == 0
+
+    def test_locally_violating_state(self):
+        schema = DatabaseSchema.parse("R(A,B)")
+        state = DatabaseState(schema, {"R": [(1, 2), (1, 3)]})
+        assert not is_locally_satisfying(state, FDSet.parse("A -> B"))
+
+    def test_single_tuple_relations_always_locally_satisfy(self, ex3):
+        # each relation alone is fine even in the paper's counterexample
+        assert is_locally_satisfying(ex3.state, ex3.fds)
+
+
+class TestWeakInstance:
+    def test_weak_instance_of_satisfying_state(self, intro):
+        # TH -> R is not embedded in {CT, CHR, SC}, so the full chase
+        # (JD-rule included) runs and may add joined rows; the weak
+        # instance must still contain every stored tuple.
+        weak = weak_instance(intro.state, intro.fds)
+        assert weak.attributes == intro.schema.universe
+        for scheme, relation in intro.state:
+            projected = weak.project(scheme.attributes)
+            for t in relation:
+                assert t in projected
+
+    def test_weak_instance_raises_when_unsatisfying(self, ex1):
+        with pytest.raises(InconsistentStateError):
+            weak_instance(ex1.state, ex1.fds)

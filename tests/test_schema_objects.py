@@ -1,0 +1,102 @@
+"""RelationScheme and DatabaseSchema behaviour."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.schema.attributes import attrs
+from repro.schema.database import DatabaseSchema
+from repro.schema.relation import RelationScheme
+
+
+class TestRelationScheme:
+    def test_basic(self):
+        r = RelationScheme("CT", "C T")
+        assert r.name == "CT"
+        assert r.attributes == attrs("C T")
+        assert len(r) == 2
+        assert "C" in r
+
+    def test_declared_column_order_is_kept(self):
+        r = RelationScheme("TD", "T D")
+        assert r.columns == ("T", "D")
+        assert r.attributes.names == ("D", "T")  # canonical order differs
+
+    def test_empty_attrs_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationScheme("R", "")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationScheme("", "A")
+
+    def test_equality_includes_name(self):
+        assert RelationScheme("R", "A B") != RelationScheme("S", "A B")
+        assert RelationScheme("R", "A B") == RelationScheme("R", "B A")
+
+    def test_str(self):
+        assert str(RelationScheme("TD", "T D")) == "TD(T, D)"
+
+
+class TestDatabaseSchema:
+    def test_parse(self):
+        d = DatabaseSchema.parse("CT(C,T); CHR(C,H,R)")
+        assert d.names == ("CT", "CHR")
+        assert d.universe == attrs("C T H R")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(Exception):
+            DatabaseSchema.parse("no schemes here")
+
+    def test_auto_naming_single_char(self):
+        d = DatabaseSchema(["C T", "C H R"])
+        assert d.names == ("CT", "CHR")
+
+    def test_auto_naming_multi_char(self):
+        d = DatabaseSchema(["A1 B1"])
+        assert d.names == ("R1",)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([("R", "A B"), ("R", "B C")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([])
+
+    def test_lookup_by_name_and_index(self):
+        d = DatabaseSchema.parse("CT(C,T); CHR(C,H,R)")
+        assert d["CT"].attributes == attrs("C T")
+        assert d[1].name == "CHR"
+        with pytest.raises(SchemaError):
+            d["nope"]
+
+    def test_embeds(self):
+        d = DatabaseSchema.parse("CT(C,T); CHR(C,H,R)")
+        assert d.embeds("C H")
+        assert not d.embeds("T H")
+        assert [s.name for s in d.schemes_embedding("C")] == ["CT", "CHR"]
+
+    def test_join_dependency(self):
+        d = DatabaseSchema.parse("CT(C,T); CHR(C,H,R)")
+        jd = d.join_dependency()
+        assert jd.universe == d.universe
+        assert len(jd) == 2
+
+    def test_restrict_and_with_scheme(self):
+        d = DatabaseSchema.parse("CT(C,T); CS(C,S); CHR(C,H,R)")
+        sub = d.restrict(["CT", "CHR"])
+        assert sub.names == ("CT", "CHR")
+        grown = sub.with_scheme(("CS", "C S"))
+        assert grown.names == ("CT", "CHR", "CS")
+
+    def test_is_reduced(self, ex3):
+        d = DatabaseSchema.parse("CT(C,T); CHR(C,H,R)")
+        assert d.is_reduced()
+        # Example 3 has R1 ⊆ R2 — explicitly non-reduced in the paper.
+        assert not ex3.schema.is_reduced()
+
+    def test_contains(self):
+        d = DatabaseSchema.parse("CT(C,T)")
+        assert "CT" in d
+        assert d["CT"] in d
+        assert "XY" not in d

@@ -1,0 +1,70 @@
+"""Σi semantics: the FD view vs. the weak-instance definition.
+
+``ri`` satisfies ``Σi`` iff the single-relation state satisfies
+``Σ = F ∪ {*D}`` (the definition, decided by the chase).  Soundness of
+the FD view: a locally satisfying relation must satisfy every implied
+FD over its scheme.  The converse may fail in general (the paper notes
+``Σi`` can contain "much more complicated types of dependencies") but
+holds for independent schemas (Theorem 3) — both directions tested.
+"""
+
+import random
+
+import pytest
+
+from repro.chase.satisfaction import satisfies
+from repro.core.constraints import embedded_implied_fds
+from repro.core.independence import analyze
+from repro.data.states import DatabaseState
+from repro.workloads.schemas import chain_schema, random_schema
+
+
+def _random_single_relation_states(schema, seed, count=8, max_tuples=3):
+    rng = random.Random(seed)
+    for _ in range(count):
+        scheme = rng.choice(schema.schemes)
+        rows = [
+            tuple(rng.randrange(3) for _ in scheme.attributes)
+            for _ in range(rng.randint(1, max_tuples))
+        ]
+        yield scheme, DatabaseState(schema, {scheme.name: rows})
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_locally_satisfying_implies_fd_part(self, seed):
+        schema, F = random_schema(
+            seed, n_attrs=5, n_schemes=3, n_fds=3, embedded_only=True
+        )
+        for scheme, state in _random_single_relation_states(schema, seed):
+            if satisfies(state, F).satisfies:
+                sigma_fds = embedded_implied_fds(schema, F, scheme.name)
+                relation = state[scheme.name]
+                for f in sigma_fds:
+                    assert relation.satisfies_fd(f), (seed, scheme.name, f)
+
+
+class TestCompletenessWhenIndependent:
+    def test_fd_part_decides_local_satisfaction(self):
+        """Theorem 3: on an independent schema, checking the FD part of
+        Σi is exactly local satisfaction."""
+        schema, F = chain_schema(3)
+        report = analyze(schema, F)
+        assert report.independent
+        rng = random.Random(7)
+        for scheme, state in _random_single_relation_states(schema, 7, count=20):
+            sigma_fds = embedded_implied_fds(schema, F, scheme.name)
+            fd_verdict = state[scheme.name].satisfies_all_fds(sigma_fds)
+            chase_verdict = satisfies(state, F).satisfies
+            assert fd_verdict == chase_verdict, (scheme.name, state.pretty())
+
+    def test_maintenance_cover_equivalent_to_sigma_fds(self):
+        """The loop's per-scheme covers are equivalent to the
+        brute-force Σi FD covers on independent schemas."""
+        schema, F = chain_schema(3)
+        report = analyze(schema, F)
+        for scheme in schema:
+            cover = report.maintenance_cover(scheme.name)
+            sigma = embedded_implied_fds(schema, F, scheme.name)
+            assert cover.implies_all(sigma), scheme.name
+            assert sigma.implies_all(cover), scheme.name

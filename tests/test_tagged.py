@@ -1,0 +1,69 @@
+"""Tagged tableaux and the weakness preorder (Section 4)."""
+
+from repro.core.tagged import TaggedRow, TaggedTableau
+from repro.schema.attributes import attrs
+
+
+def T(*rows):
+    return TaggedTableau(TaggedRow(tag, attrs(dv)) for tag, dv in rows)
+
+
+class TestWeakness:
+    def test_empty_is_weakest(self):
+        t = T(("R", "A B"))
+        assert TaggedTableau.EMPTY.weaker_eq(t)
+        assert not t.weaker_eq(TaggedTableau.EMPTY)
+
+    def test_row_domination_requires_same_tag(self):
+        assert not T(("R", "A")).weaker_eq(T(("S", "A B")))
+
+    def test_row_domination_requires_superset(self):
+        assert T(("R", "A")).weaker_eq(T(("R", "A B")))
+        assert not T(("R", "A C")).weaker_eq(T(("R", "A B")))
+
+    def test_equivalence_of_different_shapes(self):
+        # Example 3: {all-row} ≡ {sub-rows + all-row}
+        big = T(("R2", "A1 A2 B1 B2 C"))
+        mixed = T(
+            ("R2", "A1 A2"),
+            ("R2", "B1 B2"),
+            ("R2", "A1 A2 B1 B2 C"),
+        )
+        assert big.equivalent(mixed)
+
+    def test_strictly_weaker(self):
+        small = T(("R", "A"))
+        big = T(("R", "A B"))
+        assert small.strictly_weaker(big)
+        assert not big.strictly_weaker(small)
+        assert not small.strictly_weaker(small)
+
+    def test_preorder_is_transitive(self):
+        a, b, c = T(("R", "A")), T(("R", "A B")), T(("R", "A B C"))
+        assert a.weaker_eq(b) and b.weaker_eq(c) and a.weaker_eq(c)
+
+    def test_incomparable(self):
+        a, b = T(("R", "A")), T(("R", "B"))
+        assert not a.weaker_eq(b) and not b.weaker_eq(a)
+
+
+class TestConstruction:
+    def test_union_dedups(self):
+        a = T(("R", "A"))
+        assert len(a.union(a)) == 1
+
+    def test_union_of(self):
+        t = TaggedTableau.union_of([T(("R", "A")), T(("S", "B"))])
+        assert len(t) == 2
+
+    def test_with_row(self):
+        t = TaggedTableau.EMPTY.with_row("R", "A B")
+        assert len(t) == 1
+
+    def test_hashable_equality(self):
+        assert T(("R", "A B")) == T(("R", "B A"))
+        assert hash(T(("R", "A"))) == hash(T(("R", "A")))
+
+    def test_pretty_render(self):
+        out = T(("R", "A")).pretty(attrs("A B"))
+        assert "Tag" in out and "R" in out

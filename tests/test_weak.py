@@ -1,0 +1,140 @@
+"""Join consistency, the semijoin full reducer, and weak-instance
+query answering."""
+
+import pytest
+
+from repro.data.relations import RelationInstance
+from repro.data.states import DatabaseState
+from repro.exceptions import InconsistentStateError, SchemaError
+from repro.schema.attributes import attrs
+from repro.schema.database import DatabaseSchema
+from repro.weak.consistency import (
+    full_reduce,
+    full_reducer_program,
+    is_globally_consistent,
+    is_pairwise_consistent,
+    semijoin,
+)
+from repro.weak.representative import derivable, representative_instance, window
+from repro.schema.hypergraph import join_tree
+from repro.workloads.schemas import chain_schema, cyclic_core
+from repro.workloads.states import random_satisfying_state
+
+
+class TestSemijoin:
+    def test_basic(self):
+        r = RelationInstance("A B", [(1, 2), (3, 4)])
+        s = RelationInstance("B C", [(2, 9)])
+        assert len(semijoin(r, s)) == 1
+
+    def test_disjoint_attrs(self):
+        r = RelationInstance("A", [(1,)])
+        s = RelationInstance("B", [(2,)])
+        assert semijoin(r, s) == r
+        assert len(semijoin(r, RelationInstance("B"))) == 0
+
+    def test_idempotent(self):
+        r = RelationInstance("A B", [(1, 2), (3, 4)])
+        s = RelationInstance("B C", [(2, 9)])
+        once = semijoin(r, s)
+        assert semijoin(once, s) == once
+
+
+class TestFullReducer:
+    def test_program_length(self):
+        schema, _ = chain_schema(4)
+        tree = join_tree(schema)
+        program = full_reducer_program(tree)
+        assert len(program) == 2 * len(tree.edges)
+
+    def test_reduction_removes_dangling(self):
+        schema, _ = chain_schema(3)
+        state = DatabaseState(
+            schema,
+            {
+                "R1": [(1, 2), (7, 8)],  # (7,8) dangles
+                "R2": [(2, 3)],
+                "R3": [(3, 4)],
+            },
+        )
+        reduced = full_reduce(state)
+        assert reduced.is_join_consistent()
+        assert len(reduced["R1"]) == 1
+
+    def test_reduction_preserves_join(self):
+        schema, _ = chain_schema(3)
+        state = DatabaseState(
+            schema,
+            {"R1": [(1, 2), (7, 8)], "R2": [(2, 3)], "R3": [(3, 4), (9, 9)]},
+        )
+        assert full_reduce(state).join() == state.join()
+
+    def test_cyclic_rejected(self):
+        schema, _ = cyclic_core()
+        state = DatabaseState(schema)
+        with pytest.raises(SchemaError):
+            full_reduce(state)
+
+    def test_acyclic_pairwise_consistent_is_global(self):
+        # Yannakakis/BFM: on acyclic schemas, after full reduction the
+        # state is globally consistent; pairwise consistency suffices.
+        schema, F = chain_schema(4)
+        for seed in range(5):
+            state = random_satisfying_state(schema, F, 12, seed=seed)
+            reduced = full_reduce(state)
+            assert is_pairwise_consistent(reduced)
+            assert is_globally_consistent(reduced)
+
+    def test_cyclic_pairwise_consistent_not_global(self):
+        # the classic triangle witness: pairwise consistent, no
+        # universal instance.
+        schema, _ = cyclic_core()
+        state = DatabaseState(
+            schema,
+            {
+                "RAB": [(0, 0), (1, 1)],
+                "RBC": [(0, 1), (1, 0)],
+                "RCA": [(0, 0), (1, 1)],
+            },
+        )
+        assert is_pairwise_consistent(state)
+        assert not is_globally_consistent(state)
+
+
+class TestRepresentativeInstance:
+    def test_intro_deduction(self, intro):
+        # the paper's flagship inference: Smith is in 313 at Mon-10.
+        assert derivable(
+            intro.state, intro.fds | ["C H -> R"], {"T": "Smith", "H": "Mon-10", "R": "313"}
+        )
+
+    def test_underivable_fact(self, intro):
+        assert not derivable(
+            intro.state, intro.fds, {"T": "Smith", "R": "999"}
+        )
+
+    def test_window_projection(self, intro):
+        facts = window(intro.state, intro.fds, "C T")
+        assert len(facts) >= 1
+        values = {tuple(t.values) for t in facts}
+        assert ("CS101", "Smith") in values
+
+    def test_window_requires_satisfying_state(self, ex1):
+        with pytest.raises(InconsistentStateError):
+            window(ex1.state, ex1.fds, "C D")
+
+    def test_fd_propagation_through_chase(self):
+        # C -> T propagates the teacher onto the CHR tuple's padding.
+        schema = DatabaseSchema.parse("CT(C,T); CHR(C,H,R)")
+        state = DatabaseState(
+            schema,
+            {"CT": [("CS101", "Smith")], "CHR": [("CS101", "Mon", "313")]},
+        )
+        facts = window(state, ["C -> T"], "T H R")
+        values = {tuple(t.values) for t in facts}
+        # natural order of T H R columns is H, R, T
+        assert ("Mon", "313", "Smith") in values
+
+    def test_representative_instance_has_state_rows(self, intro):
+        tab = representative_instance(intro.state, intro.fds)
+        assert len(tab) == intro.state.total_tuples()

@@ -1,0 +1,116 @@
+"""Workload generators: families, satisfying states, insert streams."""
+
+import pytest
+
+from repro.chase.satisfaction import is_globally_satisfying
+from repro.core.independence import is_independent
+from repro.schema.hypergraph import is_acyclic
+from repro.workloads.schemas import (
+    chain_schema,
+    cyclic_core,
+    cyclic_ring,
+    jd_dependent_pair,
+    random_schema,
+    reverse_fd_chain,
+    star_schema,
+    triangle_schema,
+    unembedded_family,
+)
+from repro.workloads.states import (
+    insert_workload,
+    random_satisfying_state,
+    random_satisfying_universal,
+)
+
+
+class TestFamilies:
+    def test_chain_shapes(self):
+        schema, F = chain_schema(5)
+        assert len(schema) == 5
+        assert len(F) == 5
+        assert is_acyclic(schema)
+
+    def test_star_shapes(self):
+        schema, F = star_schema(4)
+        assert len(schema) == 4
+        assert all("K" in s.attributes for s in schema)
+
+    def test_triangle_not_acyclic_claim(self):
+        # triangle_schema is about FD structure, not hypergraph cycles
+        schema, F = triangle_schema(2)
+        assert len(schema) == 3
+
+    def test_cyclic_families_are_cyclic(self):
+        assert not is_acyclic(cyclic_core()[0])
+        assert not is_acyclic(cyclic_ring(5)[0])
+
+    def test_known_independence_statuses(self):
+        assert is_independent(*chain_schema(3))
+        assert is_independent(*star_schema(3))
+        assert is_independent(*reverse_fd_chain(3))
+        assert not is_independent(*triangle_schema(2))
+        assert not is_independent(*unembedded_family(1))
+        assert not is_independent(*jd_dependent_pair())
+
+    def test_random_schema_is_seeded(self):
+        a = random_schema(5)
+        b = random_schema(5)
+        assert a[0] == b[0] and a[1] == b[1]
+
+    def test_random_schema_covers_universe(self):
+        for seed in range(10):
+            schema, _ = random_schema(seed, n_attrs=6, n_schemes=2)
+            covered = set()
+            for s in schema:
+                covered |= set(s.attributes.names)
+            assert covered == set(schema.universe.names)
+
+    def test_random_schema_embedded_fds(self):
+        for seed in range(10):
+            schema, F = random_schema(seed, embedded_only=True)
+            for f in F:
+                assert any(f.embedded_in(s.attributes) for s in schema)
+
+
+class TestStateGeneration:
+    def test_universal_satisfies_fds(self):
+        schema, F = chain_schema(4)
+        uni = random_satisfying_universal(schema.universe, F, 50, seed=1)
+        assert all(uni.satisfies_fd(f) for f in F)
+
+    def test_projected_state_is_satisfying(self):
+        schema, F = chain_schema(4)
+        state = random_satisfying_state(schema, F, 40, seed=2)
+        assert state.is_join_consistent()
+        assert is_globally_satisfying(state, F)
+
+    def test_deterministic_by_seed(self):
+        schema, F = chain_schema(3)
+        a = random_satisfying_state(schema, F, 10, seed=9)
+        b = random_satisfying_state(schema, F, 10, seed=9)
+        assert a == b
+
+    def test_generation_with_cross_fds(self):
+        # denser FD interaction: star with key + chained consequences
+        schema, F = star_schema(3)
+        state = random_satisfying_state(schema, F, 60, seed=4)
+        assert is_globally_satisfying(state, F)
+
+
+class TestInsertWorkload:
+    def test_mix_of_intents(self):
+        schema, F = chain_schema(3)
+        ops = insert_workload(schema, F, n_ops=80, seed=0, invalid_ratio=0.4)
+        intents = {op.intended_valid for op in ops}
+        assert intents == {True, False}
+
+    def test_rows_fit_schemes(self):
+        schema, F = chain_schema(3)
+        for op in insert_workload(schema, F, n_ops=30, seed=1):
+            scheme = schema[op.scheme]
+            assert set(op.values) == set(scheme.attributes.names)
+
+    def test_zero_invalid_ratio(self):
+        schema, F = chain_schema(3)
+        ops = insert_workload(schema, F, n_ops=30, seed=2, invalid_ratio=0.0)
+        assert all(op.intended_valid for op in ops)
