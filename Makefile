@@ -1,0 +1,38 @@
+# Development targets.  Everything runs from the repo root with no
+# installation step: PYTHONPATH=src is injected here.
+
+PYTHON    ?= python
+PYTHONPATH := $(CURDIR)/src
+export PYTHONPATH
+
+.PHONY: help test bench docs clean
+
+help:
+	@echo "targets:"
+	@echo "  test   - tier-1 test suite (pytest -x -q over tests/)"
+	@echo "  bench  - all benchmarks; regenerates BENCH_chase.json and benchmarks/results.txt"
+	@echo "  docs   - render the API reference with pydoc into docs/api/"
+	@echo "  clean  - remove caches and generated docs"
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# bench_* files are not collected by the default pytest run, so name them.
+bench:
+	$(PYTHON) -m pytest benchmarks/bench_chase.py benchmarks/bench_scaling.py -q
+	$(PYTHON) -m pytest $(filter-out benchmarks/bench_chase.py benchmarks/bench_scaling.py,$(wildcard benchmarks/bench_*.py)) -q
+
+docs:
+	rm -rf docs/api
+	mkdir -p docs/api
+	cd docs/api && $(PYTHON) -m pydoc -w repro \
+		repro.schema repro.data repro.deps repro.deps.closure repro.deps.fdset \
+		repro.chase repro.chase.tableau repro.chase.engine repro.chase.reference \
+		repro.chase.satisfaction repro.core repro.core.embedding repro.core.loop \
+		repro.core.independence repro.core.maintenance repro.core.counterexamples \
+		repro.weak repro.workloads >/dev/null
+	@echo "API reference written to docs/api/ (open docs/api/repro.html)"
+
+clean:
+	rm -rf docs/api .pytest_cache benchmarks/__pycache__ tests/__pycache__
+	find . -name '__pycache__' -type d -prune -exec rm -rf {} +

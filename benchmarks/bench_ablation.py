@@ -18,7 +18,7 @@ from repro.report import TextTable, banner
 from repro.workloads.paper import example1, example2, example3
 from repro.workloads.schemas import random_schema
 
-from benchmarks.conftest import emit
+from benchmarks.reporting import emit
 
 
 def test_example3_false_accept(benchmark):

@@ -3,17 +3,25 @@
 The FD-only chase ([H]/Lemma 4 fast path) is the workhorse of
 satisfaction testing; its cost should grow gently with state size,
 and the weak-instance query path (window) rides on it.
+
+``test_indexed_vs_naive_large`` is the headline benchmark of the
+indexed incremental engine: a 50-scheme / 10k-row cascade workload
+chased once by the indexed engine and once by the naive (seed)
+reference, with the speedup recorded in ``BENCH_chase.json``.
 """
+
+import time
 
 import pytest
 
 from repro.chase.engine import chase_fds
+from repro.chase.reference import chase_fds_naive
 from repro.chase.tableau import ChaseTableau
 from repro.weak.representative import window
 from repro.workloads.schemas import chain_schema, star_schema
-from repro.workloads.states import random_satisfying_state
+from repro.workloads.states import cascade_chain_workload, random_satisfying_state
 
-from benchmarks.conftest import emit
+from benchmarks.reporting import emit, emit_bench_json
 
 SIZES = (100, 400, 1600)
 
@@ -30,6 +38,58 @@ def test_fd_chase_throughput(benchmark, n):
     result = benchmark(kernel)
     assert result.consistent
     emit(f"chase: state={n:<6} rows={state.total_tuples()} merges={result.fd_merges}")
+
+
+def test_indexed_vs_naive_large():
+    """Indexed incremental chase vs the naive seed engine on the large
+    cascade workload (≥50 schemes, ≥10k tableau rows).
+
+    Single-shot wall-clock timing on purpose: the naive engine takes
+    tens of seconds here, and pytest-benchmark's repeated rounds would
+    multiply that without changing the verdict.  Results (and the
+    speedup the acceptance tracks) go to ``BENCH_chase.json``.
+    """
+    n_schemes, n_chains = 50, 201
+    schema, F, state = cascade_chain_workload(n_schemes, n_chains)
+
+    tab_indexed = ChaseTableau.from_state(state)
+    assert len(tab_indexed) >= 10_000
+    t0 = time.perf_counter()
+    indexed = chase_fds(tab_indexed, F)
+    t_indexed = time.perf_counter() - t0
+
+    tab_naive = ChaseTableau.from_state(state)
+    t0 = time.perf_counter()
+    naive = chase_fds_naive(tab_naive, F)
+    t_naive = time.perf_counter() - t0
+
+    assert indexed.consistent and naive.consistent
+    assert indexed.fd_merges == naive.fd_merges
+    speedup = t_naive / t_indexed
+
+    emit(
+        f"chase-large: schemes={n_schemes} rows={len(tab_indexed)} "
+        f"merges={indexed.fd_merges} indexed={t_indexed:.2f}s "
+        f"naive={t_naive:.2f}s speedup={speedup:.1f}x"
+    )
+    emit_bench_json(
+        "indexed_vs_naive",
+        {
+            "workload": "cascade_chain_workload",
+            "schemes": n_schemes,
+            "tableau_rows": len(tab_indexed),
+            "fd_merges": indexed.fd_merges,
+            # coarse rounding on purpose: this file is committed, and
+            # millisecond noise should not dirty it on every re-run
+            "indexed_seconds": round(t_indexed, 1),
+            "naive_seconds": round(t_naive, 1),
+            "speedup": round(speedup),
+        },
+    )
+    assert speedup >= 5.0, (
+        f"indexed engine only {speedup:.1f}x over the naive reference "
+        f"(indexed={t_indexed:.2f}s naive={t_naive:.2f}s)"
+    )
 
 
 @pytest.mark.parametrize("n", (100, 400))

@@ -17,7 +17,7 @@ from repro.report import TextTable, banner
 from repro.schema.hypergraph import is_acyclic
 from repro.workloads.schemas import chain_schema, random_schema
 
-from benchmarks.conftest import emit
+from benchmarks.reporting import emit
 
 SIZES = (4, 8, 16)
 

@@ -10,7 +10,7 @@ from repro.report import TextTable, banner
 from repro.workloads.paper import example1, example2_extended, example3
 from repro.workloads.schemas import random_schema, triangle_schema
 
-from benchmarks.conftest import emit
+from benchmarks.reporting import emit
 
 CASES = [
     ("Example 1", example1, "lemma7"),

@@ -10,7 +10,7 @@ from repro.core.embedding import embedding_report
 from repro.report import TextTable, banner
 from repro.workloads.schemas import chain_schema, star_schema
 
-from benchmarks.conftest import emit
+from benchmarks.reporting import emit
 
 SIZES = (4, 8, 16, 32)
 

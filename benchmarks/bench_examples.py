@@ -11,7 +11,7 @@ from repro.core.loop import FDAssignment, run_for_scheme
 from repro.report import TextTable, banner
 from repro.workloads.paper import example1, example2, example2_extended, example3
 
-from benchmarks.conftest import emit
+from benchmarks.reporting import emit
 
 
 def test_example1_artifacts(benchmark):

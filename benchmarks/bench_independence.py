@@ -15,7 +15,7 @@ from repro.workloads.schemas import (
     unembedded_family,
 )
 
-from benchmarks.conftest import emit
+from benchmarks.reporting import emit
 
 FAMILIES = [
     ("chain(8)", chain_schema, 8, True),

@@ -16,7 +16,7 @@ from repro.report import TextTable, banner
 from repro.workloads.schemas import chain_schema
 from repro.workloads.states import insert_workload, random_satisfying_state
 
-from benchmarks.conftest import emit
+from benchmarks.reporting import emit
 
 STATE_SIZES = (50, 200, 800)
 N_OPS = 30

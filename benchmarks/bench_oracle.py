@@ -15,7 +15,7 @@ from repro.core.oracle import find_independence_counterexample
 from repro.report import TextTable, banner
 from repro.workloads.schemas import chain_schema, triangle_schema
 
-from benchmarks.conftest import emit
+from benchmarks.reporting import emit
 
 
 @pytest.mark.parametrize("n", (2, 3))

@@ -17,7 +17,7 @@ from repro.data.relations import RelationInstance
 from repro.data.tuples import Tuple
 from repro.report import TextTable, banner
 
-from benchmarks.conftest import emit
+from benchmarks.reporting import emit
 
 SIZES = (4, 8, 16)
 

@@ -5,6 +5,11 @@ Times ``analyze`` on growing chain and star families and fits the
 log–log slope (empirical polynomial degree).  The paper's testbed does
 not exist; the *shape* claim is what must hold: the fitted exponent is
 a small constant, nowhere near exponential growth.
+
+``test_incremental_chase_scaling`` adds the large-workload curve for
+the indexed chase engine (cascade workloads up to ≥50 schemes / ≥10k
+tableau rows) and records it in ``BENCH_chase.json`` next to the
+speedup headline from ``bench_chase.py``.
 """
 
 import time
@@ -12,11 +17,14 @@ import time
 import numpy as np
 import pytest
 
+from repro.chase.engine import chase_fds
+from repro.chase.tableau import ChaseTableau
 from repro.core.independence import analyze
 from repro.report import TextTable, banner
 from repro.workloads.schemas import chain_schema, star_schema
+from repro.workloads.states import cascade_chain_workload
 
-from benchmarks.conftest import emit
+from benchmarks.reporting import emit, emit_bench_json
 
 SIZES = (2, 4, 8, 16, 32)
 
@@ -66,3 +74,39 @@ def test_fitted_exponent(benchmark):
     # generous bound: genuinely exponential growth over 2→32 would blow this up
     assert chain_slope < 5.0
     assert star_slope < 5.0
+
+
+CASCADE_POINTS = ((10, 100), (25, 160), (50, 201))  # (schemes, chains)
+
+
+def test_incremental_chase_scaling():
+    """Indexed-chase wall clock across growing cascade workloads.
+
+    The largest point is the 50-scheme / 10k-row headline workload of
+    ``bench_chase.py``; the smaller points show the growth shape.  The
+    curve lands in ``BENCH_chase.json`` so regressions in the
+    incremental engine are visible across PRs.
+    """
+    table = TextTable(["schemes", "tableau rows", "fd merges", "indexed (s)"])
+    points = []
+    for n_schemes, n_chains in CASCADE_POINTS:
+        schema, F, state = cascade_chain_workload(n_schemes, n_chains)
+        tab = ChaseTableau.from_state(state)
+        t0 = time.perf_counter()
+        result = chase_fds(tab, F)
+        elapsed = time.perf_counter() - t0
+        assert result.consistent
+        table.add_row(n_schemes, len(tab), result.fd_merges, round(elapsed, 3))
+        points.append(
+            {
+                "schemes": n_schemes,
+                "tableau_rows": len(tab),
+                "fd_merges": result.fd_merges,
+                # coarse rounding: committed artifact, keep re-run noise out
+                "indexed_seconds": round(elapsed, 2),
+            }
+        )
+    assert points[-1]["tableau_rows"] >= 10_000
+    emit(banner("incremental chase — cascade workload scaling"))
+    emit(table.render())
+    emit_bench_json("incremental_scaling", {"points": points})

@@ -1,26 +1,19 @@
-"""Shared benchmark reporting.
+"""Shared benchmark reporting hooks.
 
-pytest captures stdout at the file-descriptor level, so benchmark
-tables are *collected* during the run and printed in the terminal
-summary (after pytest-benchmark's timing table).  They are also
-persisted to ``benchmarks/results.txt`` so a teed run keeps the
-artifacts either way.
+The collection state lives in :mod:`benchmarks.reporting` (a plain
+module imported the same way by every bench file — see its docstring
+for why it must not live here).  pytest captures stdout at the
+file-descriptor level, so benchmark tables are *collected* during the
+run and printed in the terminal summary (after pytest-benchmark's
+timing table), and persisted to ``benchmarks/results.txt`` so a teed
+run keeps the artifacts either way.
 """
 
 from __future__ import annotations
 
-import pathlib
-from typing import List
-
 import pytest
 
-_LINES: List[str] = []
-_RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
-
-
-def emit(text: str) -> None:
-    """Queue a line for the end-of-run artifact report."""
-    _LINES.append(text)
+from benchmarks.reporting import LINES, RESULTS_PATH, emit
 
 
 @pytest.fixture(scope="session")
@@ -29,10 +22,10 @@ def reporter():
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if not _LINES:
+    if not LINES:
         return
     terminalreporter.section("paper artifacts (regenerated)")
-    for line in _LINES:
+    for line in LINES:
         terminalreporter.write_line(line)
-    _RESULTS_PATH.write_text("\n".join(_LINES) + "\n")
-    terminalreporter.write_line(f"\n[artifact tables saved to {_RESULTS_PATH}]")
+    RESULTS_PATH.write_text("\n".join(LINES) + "\n")
+    terminalreporter.write_line(f"\n[artifact tables saved to {RESULTS_PATH}]")

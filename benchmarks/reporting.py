@@ -1,0 +1,52 @@
+"""Benchmark result collection, shared by all bench files.
+
+This lives outside ``conftest.py`` on purpose: pytest loads a conftest
+as the top-level module ``conftest`` while bench files would import it
+as ``benchmarks.conftest`` — two module instances with two line
+buffers, and emitted lines never reach the terminal-summary hook.  A
+plain module is imported identically everywhere, so there is exactly
+one buffer.
+
+Chase-engine benchmarks additionally record machine-readable results
+in ``BENCH_chase.json`` at the repository root (via
+:func:`emit_bench_json`), which is committed so the indexed engine's
+speedup over the naive reference is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+from typing import List
+
+LINES: List[str] = []
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+BENCH_JSON_PATH = pathlib.Path(__file__).parent.parent / "BENCH_chase.json"
+
+
+def emit(text: str) -> None:
+    """Queue a line for the end-of-run artifact report."""
+    LINES.append(text)
+
+
+def emit_bench_json(section: str, payload: dict) -> None:
+    """Merge one section into ``BENCH_chase.json`` (repo root).
+
+    Each section is overwritten wholesale by the benchmark that owns
+    it, so re-running any subset of the benchmarks keeps the file
+    coherent.  No timestamp on purpose: the committed artifact should
+    only change when the measurements do.
+    """
+    data = {}
+    if BENCH_JSON_PATH.exists():
+        try:
+            data = json.loads(BENCH_JSON_PATH.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data[section] = payload
+    data["meta"] = {
+        "python": platform.python_version(),
+        "note": "regenerate with: make bench (or pytest benchmarks/bench_chase.py benchmarks/bench_scaling.py)",
+    }
+    BENCH_JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

@@ -18,12 +18,11 @@ Quickstart::
     assert report.independent
     print(report.summary())
 
-See ``examples/`` for full scenarios and ``DESIGN.md`` for the paper →
-module map.
+See ``examples/`` for full scenarios, ``README.md`` for the paper →
+module map, and ``docs/architecture.md`` for the pipeline walkthrough.
 """
 
 from repro.chase import (
-    chase,
     chase_fds,
     chase_state,
     is_globally_satisfying,
@@ -31,6 +30,12 @@ from repro.chase import (
     satisfies,
     weak_instance,
 )
+
+# ``repro.chase`` stays bound to the subpackage: re-exporting the
+# *function* of the same name here used to shadow it, breaking dotted
+# access and ``python -m pydoc repro.chase.engine``.  The full chase is
+# ``repro.chase.chase`` (or ``chase_state`` for build-and-chase).
+import repro.chase as chase  # noqa: E402,F401
 from repro.core import (
     IndependenceReport,
     MaintenanceChecker,

@@ -1,4 +1,10 @@
-"""The chase procedure: tableaux, rules, satisfaction testing."""
+"""The chase procedure: tableaux, rules, satisfaction testing.
+
+Two engines live here: the indexed incremental engine
+(:mod:`repro.chase.engine`, the default) and the naive reference
+engine (:mod:`repro.chase.reference`) it is validated and benchmarked
+against.
+"""
 
 from repro.chase.engine import (
     ChaseResult,
@@ -9,6 +15,7 @@ from repro.chase.engine import (
     chase_state,
     explain_contradiction,
 )
+from repro.chase.reference import chase_fds_naive, chase_naive
 from repro.chase.satisfaction import (
     SatisfactionResult,
     is_globally_satisfying,
@@ -31,6 +38,8 @@ __all__ = [
     "chase",
     "chase_fds",
     "chase_state",
+    "chase_naive",
+    "chase_fds_naive",
     "explain_contradiction",
     "SatisfactionResult",
     "satisfies",

@@ -1,4 +1,4 @@
-"""The chase procedure of [MMS] (Section 2 of the paper).
+"""The chase procedure of [MMS] (Section 2 of the paper), incremental.
 
 Two rules operate on a :class:`~repro.chase.tableau.ChaseTableau`:
 
@@ -13,6 +13,19 @@ Two rules operate on a :class:`~repro.chase.tableau.ChaseTableau`:
 ``chase`` alternates the FD-closure and the JD-rule until a fixpoint or
 a contradiction.  MVDs are chased through their equivalent binary JDs.
 
+Unlike the naive engine (preserved in :mod:`repro.chase.reference`),
+fixpoint passes here are **incremental**: the first pass builds a
+persistent partition of the rows by resolved left-hand-side key for
+every FD (:class:`_FDRuleIndex`), and every later pass touches only
+the rows the tableau's dirty worklist reports as changed — and only
+under the FDs whose left-hand side mentions a changed column.
+Single-attribute left-hand sides read the tableau's per-attribute
+value index (:meth:`~repro.chase.tableau.ChaseTableau.value_index`)
+directly, so rows with an unshared key are skipped without touching
+any per-FD state.  The JD-rule keeps per-component projections in a
+version-keyed cache (:class:`_ProjectionCache`) and is skipped
+entirely when the tableau has not changed since its last application.
+
 The engine records a structured trace and enforces a step/row budget so
 pathological cyclic cases fail loudly (:class:`ChaseBudgetExceeded`)
 instead of hanging.
@@ -21,7 +34,16 @@ instead of hanging.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple as PyTuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple as PyTuple,
+)
 
 from repro.chase.tableau import ChaseTableau, RowOrigin
 from repro.deps.fd import FD
@@ -111,50 +133,233 @@ class _Budget:
             )
 
 
-def _chase_fds_once(
-    tableau: ChaseTableau,
-    fd_list: Sequence[FD],
-    result: ChaseResult,
-    record_steps: bool = False,
-) -> bool:
-    """One full pass of the FD-rule over all FDs.  Returns True when any
-    merge happened; sets the contradiction on ``result`` if found."""
-    symbols = tableau.symbols
-    changed = False
-    for f in fd_list:
-        lhs_idx = [tableau.column_index(a) for a in f.lhs]
-        rhs_cols = [(a, tableau.column_index(a)) for a in f.effective_rhs]
-        if not rhs_cols:
-            continue
-        buckets: Dict[PyTuple[int, ...], int] = {}
-        for i in range(len(tableau)):
-            row = tableau.raw_row(i)
-            key = tuple(symbols.find(row[j]) for j in lhs_idx)
-            leader = buckets.get(key)
-            if leader is None:
-                buckets[key] = i
-                continue
-            lead_row = tableau.raw_row(leader)
-            for attr, j in rhs_cols:
-                merged, conflict = symbols.merge(lead_row[j], row[j])
-                if conflict is not None:
-                    result.consistent = False
-                    result.contradiction = Contradiction(
-                        fd=f, attribute=attr, values=conflict, row_a=leader, row_b=i
+class _FDRuleIndex:
+    """Persistent per-FD partition of the rows by resolved lhs key.
+
+    For each FD the partition maps the resolved key of a row's
+    left-hand side — a single class root for one-attribute lhs, a
+    tuple of roots otherwise — to the *leader* row all same-key rows
+    merge their rhs symbols into.  A bucket entry, once written, never
+    goes stale: a key is looked up only while every root in it is
+    alive, and while those roots are alive the leader's symbols remain
+    in exactly those classes (union-find classes never shrink), so the
+    leader's key cannot have drifted.  Dead keys merely occupy memory.
+
+    Single-attribute FDs do not even keep private buckets on the fast
+    path: the tableau's per-attribute value index already *is* the
+    partition, so a dirty row whose class holds no other row in that
+    column is dismissed with one set lookup.
+    """
+
+    __slots__ = ("tableau", "fds", "_lhs_idx", "_rhs_cols", "_single_col",
+                 "_buckets", "_fds_by_col", "_value_index", "_shared")
+
+    def __init__(self, tableau: ChaseTableau, fds: Sequence[FD]):
+        self.tableau = tableau
+        self.fds = fds
+        self._lhs_idx: List[PyTuple[int, ...]] = []
+        self._rhs_cols: List[PyTuple[PyTuple[str, int], ...]] = []
+        self._single_col: List[Optional[int]] = []
+        self._buckets: List[Dict[Any, int]] = []
+        self._fds_by_col: Dict[int, List[int]] = {}
+        self._value_index: Dict[int, Dict[int, Set[int]]] = {}
+        single_attrs: List[str] = []
+        for k, f in enumerate(fds):
+            lhs_idx = tuple(tableau.column_index(a) for a in f.lhs)
+            rhs_cols = tuple((a, tableau.column_index(a)) for a in f.effective_rhs)
+            self._lhs_idx.append(lhs_idx)
+            self._rhs_cols.append(rhs_cols)
+            single = lhs_idx[0] if len(lhs_idx) == 1 and rhs_cols else None
+            self._single_col.append(single)
+            self._buckets.append({})
+            if rhs_cols:
+                for c in lhs_idx:
+                    self._fds_by_col.setdefault(c, []).append(k)
+                if single is not None:
+                    single_attrs.append(tableau.columns[single])
+        # materialize (and from then on share) the tableau's
+        # per-attribute partitions, all in one row scan
+        self._shared: Dict[int, Set[int]] = {}
+        tableau.materialize_value_indexes(single_attrs)
+        for attr in single_attrs:
+            c = tableau.column_index(attr)
+            self._value_index[c] = tableau.value_index(attr)
+            self._shared[c] = tableau.shared_classes(attr)
+
+    # -- merging helpers -------------------------------------------------------
+
+    def _merge_pair(
+        self,
+        k: int,
+        leader: int,
+        i: int,
+        result: ChaseResult,
+        record_steps: bool,
+    ) -> bool:
+        """Apply the FD-rule to one row pair; returns False on
+        contradiction (recorded on ``result``)."""
+        tableau = self.tableau
+        lead_row = tableau.raw_row(leader)
+        row = tableau.raw_row(i)
+        f = self.fds[k]
+        for attr, j in self._rhs_cols[k]:
+            merged, conflict = tableau.merge(lead_row[j], row[j])
+            if conflict is not None:
+                result.consistent = False
+                result.contradiction = Contradiction(
+                    fd=f, attribute=attr, values=conflict, row_a=leader, row_b=i
+                )
+                if record_steps:
+                    result.steps.append(
+                        ChaseStep(fd=f, attribute=attr, row_a=leader, row_b=i)
                     )
-                    if record_steps:
-                        result.steps.append(
-                            ChaseStep(fd=f, attribute=attr, row_a=leader, row_b=i)
-                        )
-                    return changed
-                if merged:
-                    changed = True
-                    result.fd_merges += 1
-                    if record_steps:
-                        result.steps.append(
-                            ChaseStep(fd=f, attribute=attr, row_a=leader, row_b=i)
-                        )
-    return changed
+                return False
+            if merged:
+                result.fd_merges += 1
+                if record_steps:
+                    result.steps.append(
+                        ChaseStep(fd=f, attribute=attr, row_a=leader, row_b=i)
+                    )
+        return True
+
+    # -- the initial full pass -------------------------------------------------
+
+    def process_all(self, result: ChaseResult, record_steps: bool = False) -> None:
+        """Seed the partitions with every current row (one full pass)."""
+        tableau = self.tableau
+        find = tableau.symbols.find
+        for k in range(len(self.fds)):
+            if not self._rhs_cols[k]:
+                continue
+            single = self._single_col[k]
+            buckets = self._buckets[k]
+            if single is not None:
+                # read the shared-class partition directly: only classes
+                # held by ≥2 rows can violate the FD, and the tableau
+                # tracks exactly those
+                vi = self._value_index[single]
+                for root in sorted(self._shared[single]):
+                    members = vi.get(root)
+                    if members is None or len(members) < 2:
+                        continue
+                    ordered = sorted(members)
+                    leader = ordered[0]
+                    buckets[root] = leader
+                    for i in ordered[1:]:
+                        if not self._merge_pair(k, leader, i, result, record_steps):
+                            return
+                continue
+            lhs_idx = self._lhs_idx[k]
+            for i in range(len(tableau)):
+                row = tableau.raw_row(i)
+                key = tuple(find(row[j]) for j in lhs_idx)
+                leader = buckets.get(key)
+                if leader is None:
+                    buckets[key] = i
+                    continue
+                if not self._merge_pair(k, leader, i, result, record_steps):
+                    return
+
+    # -- incremental passes ----------------------------------------------------
+
+    def process_dirty(
+        self,
+        dirty: Dict[int, Optional[Set[int]]],
+        result: ChaseResult,
+        record_steps: bool = False,
+    ) -> None:
+        """Re-examine only the dirty rows, and only under the FDs whose
+        lhs mentions a changed column."""
+        tableau = self.tableau
+        find = tableau.symbols.find
+        fds_by_col = self._fds_by_col
+        n_fds = len(self.fds)
+        empty: PyTuple[int, ...] = ()
+        for i, cols in dirty.items():
+            if cols is None:
+                affected: Iterable[int] = range(n_fds)
+            elif len(cols) == 1:
+                # the overwhelmingly common event: one column moved
+                (c,) = cols
+                affected = fds_by_col.get(c, empty)
+            else:
+                seen: Set[int] = set()
+                merged: List[int] = []
+                for c in cols:
+                    for k in fds_by_col.get(c, empty):
+                        if k not in seen:
+                            seen.add(k)
+                            merged.append(k)
+                merged.sort()
+                affected = merged
+            if not affected:
+                continue
+            row = tableau.raw_row(i)
+            for k in affected:
+                rhs_cols = self._rhs_cols[k]
+                if not rhs_cols:
+                    continue
+                single = self._single_col[k]
+                buckets = self._buckets[k]
+                if single is not None:
+                    root = find(row[single])
+                    members = self._value_index[single].get(root)
+                    if members is None or len(members) < 2:
+                        continue
+                    leader = buckets.get(root)
+                    if leader == i:
+                        continue
+                    if leader is None:
+                        # First touch of this class under this FD: the
+                        # initial pass only seeds classes that already
+                        # had ≥2 rows, so the bucket may hold a clean
+                        # row this one has never been compared against.
+                        # Sweep the whole (snapshotted) class once,
+                        # then lead it.
+                        buckets[root] = i
+                        for m in sorted(members):
+                            if m == i:
+                                continue
+                            if not self._merge_pair(k, i, m, result, record_steps):
+                                return
+                        continue
+                    if not self._merge_pair(k, leader, i, result, record_steps):
+                        return
+                    continue
+                key = tuple(find(row[j]) for j in self._lhs_idx[k])
+                leader = buckets.get(key)
+                if leader is None:
+                    buckets[key] = i
+                    continue
+                if leader == i:
+                    continue
+                if not self._merge_pair(k, leader, i, result, record_steps):
+                    return
+
+
+def _run_fd_fixpoint(
+    tableau: ChaseTableau,
+    chaser: _FDRuleIndex,
+    result: ChaseResult,
+    budget: _Budget,
+    record_steps: bool = False,
+    initial: bool = False,
+) -> None:
+    """Drive the FD-rule to fixpoint through the dirty worklist."""
+    if initial:
+        budget.tick()
+        tableau.drain_dirty()
+        chaser.process_all(result, record_steps=record_steps)
+        if not result.consistent:
+            return
+    while True:
+        dirty = tableau.drain_dirty()
+        if not dirty:
+            return
+        budget.tick()
+        chaser.process_dirty(dirty, result, record_steps=record_steps)
+        if not result.consistent:
+            return
 
 
 def chase_fds(
@@ -171,11 +376,10 @@ def chase_fds(
     fds = tuple(fd_list)
     result = ChaseResult(tableau=tableau, consistent=True)
     budget = _Budget(DEFAULT_MAX_ROWS, max_passes)
-    while True:
-        budget.tick()
-        changed = _chase_fds_once(tableau, fds, result, record_steps=record_steps)
-        if not result.consistent or not changed:
-            break
+    chaser = _FDRuleIndex(tableau, fds)
+    _run_fd_fixpoint(
+        tableau, chaser, result, budget, record_steps=record_steps, initial=True
+    )
     return result
 
 
@@ -194,14 +398,62 @@ def explain_contradiction(result: ChaseResult) -> str:
     return "\n".join(lines)
 
 
+class _ProjectionCache:
+    """Version-keyed cache of resolved projections for the JD-rule.
+
+    All entries are valid exactly for one tableau version; the first
+    access after the tableau changed resets the cache.  Binary-JD
+    (MVD) chases hit the same component projections many times per
+    pass, so sharing them across JDs is the main saving.
+    """
+
+    __slots__ = ("tableau", "_version", "_proj", "_existing")
+
+    def __init__(self, tableau: ChaseTableau):
+        self.tableau = tableau
+        self._version: Optional[PyTuple[int, int]] = None
+        self._proj: Dict[PyTuple[str, ...], Set[PyTuple[int, ...]]] = {}
+        self._existing: Optional[Set[PyTuple[int, ...]]] = None
+
+    def _sync(self) -> None:
+        v = self.tableau.version
+        if v != self._version:
+            self._version = v
+            self._proj = {}
+            self._existing = None
+
+    def existing_rows(self) -> Set[PyTuple[int, ...]]:
+        """The set of resolved full rows (JD-rule duplicate check)."""
+        self._sync()
+        if self._existing is None:
+            self._existing = set(self.tableau.resolved_rows())
+        return self._existing
+
+    def projection(self, attrs: PyTuple[str, ...]) -> Set[PyTuple[int, ...]]:
+        """Distinct resolved rows projected on the given columns."""
+        self._sync()
+        cached = self._proj.get(attrs)
+        if cached is None:
+            idx = [self.tableau.column_index(a) for a in attrs]
+            cached = {
+                tuple(row[j] for j in idx) for row in self.tableau.resolved_rows()
+            }
+            self._proj[attrs] = cached
+        return cached
+
+
 def _apply_jd_rule(
-    tableau: ChaseTableau, jd: JoinDependency, budget: _Budget, result: ChaseResult
+    tableau: ChaseTableau,
+    jd: JoinDependency,
+    budget: _Budget,
+    result: ChaseResult,
+    projections: _ProjectionCache,
 ) -> bool:
     """Close the tableau under one application round of the JD-rule.
 
-    Computes the natural join of the per-component projections of the
-    current rows and adds every row not already present.  Returns True
-    when new rows were added.
+    Joins the per-component projections incrementally (hash join) from
+    the version-keyed projection cache and adds every row not already
+    present.  Returns True when new rows were added.
     """
     cols = tableau.columns
     if jd.universe != tableau.universe:
@@ -209,21 +461,16 @@ def _apply_jd_rule(
             f"JD over {jd.universe} cannot be chased on a tableau over "
             f"{tableau.universe}"
         )
-    resolved = tableau.resolved_rows()
-    existing = set(resolved)
+    existing = projections.existing_rows()
 
     components = list(jd.components)
     # Join the per-component projections incrementally (hash join),
     # keeping the attribute order of the universe throughout.
     sofar_attrs: List[str] = [a for a in cols if a in components[0]]
-    sofar: set = {
-        tuple(row[tableau.column_index(a)] for a in sofar_attrs) for row in resolved
-    }
+    sofar: Set[PyTuple[int, ...]] = projections.projection(tuple(sofar_attrs))
     for comp in components[1:]:
         comp_attrs = [a for a in cols if a in comp]
-        comp_rows = {
-            tuple(row[tableau.column_index(a)] for a in comp_attrs) for row in resolved
-        }
+        comp_rows = projections.projection(tuple(comp_attrs))
         common = [a for a in sofar_attrs if a in comp]
         comp_pos = {a: k for k, a in enumerate(comp_attrs)}
         index: Dict[PyTuple[int, ...], List[PyTuple[int, ...]]] = {}
@@ -232,7 +479,7 @@ def _apply_jd_rule(
             index.setdefault(key, []).append(crow)
         sofar_pos = {a: k for k, a in enumerate(sofar_attrs)}
         extra_attrs = [a for a in comp_attrs if a not in sofar_pos]
-        joined: set = set()
+        joined: Set[PyTuple[int, ...]] = set()
         for prow in sofar:
             key = tuple(prow[sofar_pos[a]] for a in common)
             for crow in index.get(key, ()):
@@ -248,14 +495,18 @@ def _apply_jd_rule(
     pos = {a: k for k, a in enumerate(sofar_attrs)}
     order = [pos[a] for a in cols]
     added = False
+    new_rows = []
     for prow in sofar:
         full = tuple(prow[k] for k in order)
         if full in existing:
             continue
-        tableau.add_row(full, RowOrigin("jd", detail=str(jd)))
-        existing.add(full)
+        new_rows.append(full)
         added = True
-        budget.check_rows(len(existing))
+        budget.check_rows(len(existing) + len(new_rows))
+    # Adding rows invalidates the cache `existing` came from, so defer
+    # mutation until membership testing is over.
+    for full in new_rows:
+        tableau.add_row(full, RowOrigin("jd", detail=str(jd)))
     if added:
         result.jd_rows_added += 1
     return added
@@ -270,28 +521,44 @@ def chase(
     max_passes: int = DEFAULT_MAX_PASSES,
 ) -> ChaseResult:
     """The full chase: FD-rule to fixpoint, then JD/MVD rules, repeated
-    until nothing changes or a contradiction surfaces."""
+    until nothing changes or a contradiction surfaces.
+
+    Each JD remembers the tableau version it last ran against and is
+    skipped while the tableau is unchanged — a fixpoint round over n
+    JDs that adds nothing costs n version comparisons, not n joins.
+    """
     fds = tuple(fd_list)
     all_jds: List[JoinDependency] = list(jds)
     for m in mvds:
         all_jds.append(m.as_jd())
     result = ChaseResult(tableau=tableau, consistent=True)
     budget = _Budget(max_rows, max_passes)
+    chaser = _FDRuleIndex(tableau, fds)
+    projections = _ProjectionCache(tableau)
+    jd_seen: Dict[int, PyTuple[int, int]] = {}
+
+    _run_fd_fixpoint(tableau, chaser, result, budget, initial=True)
+    if not result.consistent:
+        return result
 
     while True:
-        # FD closure first: it only merges, never grows the tableau.
-        while True:
-            budget.tick()
-            changed = _chase_fds_once(tableau, fds, result)
-            if not result.consistent:
-                return result
-            if not changed:
-                break
         grew = False
-        for jd in all_jds:
+        for k, jd in enumerate(all_jds):
+            if jd_seen.get(k) == tableau.version:
+                continue
             budget.tick()
-            if _apply_jd_rule(tableau, jd, budget, result):
+            if _apply_jd_rule(tableau, jd, budget, result, projections):
                 grew = True
+                # Re-close under the FDs right away: merging only ever
+                # shrinks the joins the remaining JDs are about to see.
+                _run_fd_fixpoint(tableau, chaser, result, budget)
+                if not result.consistent:
+                    return result
+            else:
+                # Only a no-op application proves this JD is at fixpoint
+                # for the current version; after adding rows it must run
+                # again once every other rule has caught up.
+                jd_seen[k] = tableau.version
         if not grew:
             return result
 

@@ -1,0 +1,203 @@
+"""The naive (seed) chase engine, kept as a reference oracle.
+
+This module preserves the original, un-indexed implementation of the
+chase: every fixpoint pass of the FD-rule re-buckets **all** rows for
+**every** FD, and every application of the JD-rule recomputes the full
+per-component projections.  :mod:`repro.chase.engine` replaced it with
+an incremental engine driven by the tableau's persistent indexes and
+dirty-row worklist; the naive engine remains for two reasons:
+
+* **equivalence testing** — the indexed engine must produce the same
+  verdicts and (up to symbol renaming) the same tableaux on every
+  input (``tests/test_chase_indexed.py``);
+* **benchmarking** — ``benchmarks/bench_chase.py`` measures the
+  indexed engine's speedup against this baseline and records it in
+  ``BENCH_chase.json``.
+
+The naive engine merges through ``tableau.symbols`` directly and does
+**not** maintain the tableau's incremental indexes; do not run the
+indexed engine on a tableau this module has already chased — build a
+fresh tableau instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple as PyTuple
+
+from repro.chase.engine import (
+    ChaseResult,
+    ChaseStep,
+    Contradiction,
+    DEFAULT_MAX_PASSES,
+    DEFAULT_MAX_ROWS,
+    _Budget,
+)
+from repro.chase.tableau import ChaseTableau, RowOrigin
+from repro.deps.fd import FD
+from repro.deps.jd import JoinDependency
+from repro.deps.mvd import MVD
+
+
+def _resolved_rows(tableau: ChaseTableau) -> List[PyTuple[int, ...]]:
+    """Resolve without the tableau's version-keyed memo (naive merges
+    bypass the version counter, which would poison the cache)."""
+    find = tableau.symbols.find
+    return [
+        tuple(find(s) for s in tableau.raw_row(i)) for i in range(len(tableau))
+    ]
+
+
+def _chase_fds_once_naive(
+    tableau: ChaseTableau,
+    fd_list: Sequence[FD],
+    result: ChaseResult,
+    record_steps: bool = False,
+) -> bool:
+    """One full pass of the FD-rule over all FDs and all rows."""
+    symbols = tableau.symbols
+    changed = False
+    for f in fd_list:
+        lhs_idx = [tableau.column_index(a) for a in f.lhs]
+        rhs_cols = [(a, tableau.column_index(a)) for a in f.effective_rhs]
+        if not rhs_cols:
+            continue
+        buckets: Dict[PyTuple[int, ...], int] = {}
+        for i in range(len(tableau)):
+            row = tableau.raw_row(i)
+            key = tuple(symbols.find(row[j]) for j in lhs_idx)
+            leader = buckets.get(key)
+            if leader is None:
+                buckets[key] = i
+                continue
+            lead_row = tableau.raw_row(leader)
+            for attr, j in rhs_cols:
+                merged, conflict = symbols.merge(lead_row[j], row[j])
+                if conflict is not None:
+                    result.consistent = False
+                    result.contradiction = Contradiction(
+                        fd=f, attribute=attr, values=conflict, row_a=leader, row_b=i
+                    )
+                    if record_steps:
+                        result.steps.append(
+                            ChaseStep(fd=f, attribute=attr, row_a=leader, row_b=i)
+                        )
+                    return changed
+                if merged:
+                    changed = True
+                    result.fd_merges += 1
+                    if record_steps:
+                        result.steps.append(
+                            ChaseStep(fd=f, attribute=attr, row_a=leader, row_b=i)
+                        )
+    return changed
+
+
+def chase_fds_naive(
+    tableau: ChaseTableau,
+    fd_list: Iterable[FD],
+    max_passes: int = DEFAULT_MAX_PASSES,
+    record_steps: bool = False,
+) -> ChaseResult:
+    """FD-only chase to fixpoint by full re-scanning passes."""
+    fds = tuple(fd_list)
+    result = ChaseResult(tableau=tableau, consistent=True)
+    budget = _Budget(DEFAULT_MAX_ROWS, max_passes)
+    while True:
+        budget.tick()
+        changed = _chase_fds_once_naive(tableau, fds, result, record_steps=record_steps)
+        if not result.consistent or not changed:
+            break
+    return result
+
+
+def _apply_jd_rule_naive(
+    tableau: ChaseTableau, jd: JoinDependency, budget: _Budget, result: ChaseResult
+) -> bool:
+    """One application round of the JD-rule, recomputing all
+    projections from scratch."""
+    cols = tableau.columns
+    if jd.universe != tableau.universe:
+        raise ValueError(
+            f"JD over {jd.universe} cannot be chased on a tableau over "
+            f"{tableau.universe}"
+        )
+    resolved = _resolved_rows(tableau)
+    existing = set(resolved)
+
+    components = list(jd.components)
+    sofar_attrs: List[str] = [a for a in cols if a in components[0]]
+    sofar: set = {
+        tuple(row[tableau.column_index(a)] for a in sofar_attrs) for row in resolved
+    }
+    for comp in components[1:]:
+        comp_attrs = [a for a in cols if a in comp]
+        comp_rows = {
+            tuple(row[tableau.column_index(a)] for a in comp_attrs) for row in resolved
+        }
+        common = [a for a in sofar_attrs if a in comp]
+        comp_pos = {a: k for k, a in enumerate(comp_attrs)}
+        index: Dict[PyTuple[int, ...], List[PyTuple[int, ...]]] = {}
+        for crow in comp_rows:
+            key = tuple(crow[comp_pos[a]] for a in common)
+            index.setdefault(key, []).append(crow)
+        sofar_pos = {a: k for k, a in enumerate(sofar_attrs)}
+        extra_attrs = [a for a in comp_attrs if a not in sofar_pos]
+        joined: set = set()
+        for prow in sofar:
+            key = tuple(prow[sofar_pos[a]] for a in common)
+            for crow in index.get(key, ()):
+                joined.add(prow + tuple(crow[comp_pos[a]] for a in extra_attrs))
+            budget.check_rows(len(joined))
+        sofar = joined
+        sofar_attrs = sofar_attrs + extra_attrs
+        if not sofar:
+            return False
+
+    pos = {a: k for k, a in enumerate(sofar_attrs)}
+    order = [pos[a] for a in cols]
+    added = False
+    for prow in sofar:
+        full = tuple(prow[k] for k in order)
+        if full in existing:
+            continue
+        tableau.add_row(full, RowOrigin("jd", detail=str(jd)))
+        existing.add(full)
+        added = True
+        budget.check_rows(len(existing))
+    if added:
+        result.jd_rows_added += 1
+    return added
+
+
+def chase_naive(
+    tableau: ChaseTableau,
+    fd_list: Iterable[FD] = (),
+    jds: Iterable[JoinDependency] = (),
+    mvds: Iterable[MVD] = (),
+    max_rows: int = DEFAULT_MAX_ROWS,
+    max_passes: int = DEFAULT_MAX_PASSES,
+) -> ChaseResult:
+    """The full naive chase: FD-rule to fixpoint, then JD/MVD rules,
+    repeated until nothing changes or a contradiction surfaces."""
+    fds = tuple(fd_list)
+    all_jds: List[JoinDependency] = list(jds)
+    for m in mvds:
+        all_jds.append(m.as_jd())
+    result = ChaseResult(tableau=tableau, consistent=True)
+    budget = _Budget(max_rows, max_passes)
+
+    while True:
+        while True:
+            budget.tick()
+            changed = _chase_fds_once_naive(tableau, fds, result)
+            if not result.consistent:
+                return result
+            if not changed:
+                break
+        grew = False
+        for jd in all_jds:
+            budget.tick()
+            if _apply_jd_rule_naive(tableau, jd, budget, result):
+                grew = True
+        if not grew:
+            return result

@@ -1,10 +1,33 @@
-"""Chase tableaux.
+"""Chase tableaux with persistent incremental indexes.
 
 A :class:`ChaseTableau` is the universal relation ``I(p)`` of Section 2:
 one row per stored tuple, padded out to the universe ``U`` with fresh
 variables.  Symbols (constants and variables) are interned integers
 managed by a union-find, so the FD-rule's "replace all occurrences"
 is a single union operation.
+
+Beyond the rows themselves, the tableau maintains the index structures
+the incremental chase engine (:mod:`repro.chase.engine`) is built on:
+
+* an **occurrence index** mapping each symbol class root to the set of
+  ``(row, column)`` positions holding a member of that class, so a
+  merge knows exactly which rows it touched;
+* a **dirty-row worklist**: every row changed since the last
+  :meth:`drain_dirty` call, together with the columns that changed, so
+  a chase fixpoint pass revisits only rows whose symbols moved;
+* a lazily materialized **per-attribute value index**
+  (:meth:`value_index`): for a column, the partition of rows by their
+  current symbol class — the FD-rule's row-pair lookup for
+  single-attribute left-hand sides;
+* a **version stamp** (:attr:`version`) bumped on every row addition
+  and merge, keying memoized derived data such as
+  :meth:`resolved_rows` and the engine's projection caches.
+
+All indexes are maintained through :meth:`ChaseTableau.merge`; calling
+``tableau.symbols.merge`` directly still works but bypasses index
+maintenance, so only do that on tableaux you will not chase afterwards
+(the naive reference engine in :mod:`repro.chase.reference` does this
+deliberately, to preserve the un-indexed baseline).
 
 The tableau is the shared substrate of every chase in the library:
 satisfaction testing (Section 2), FD implication under ``F ∪ {*D}``
@@ -15,7 +38,7 @@ weak-instance materialization.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple as PyTuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
 
 from repro.data.relations import RelationInstance
 from repro.data.states import DatabaseState
@@ -23,9 +46,10 @@ from repro.data.tuples import Tuple
 from repro.data.values import Null, is_null
 from repro.exceptions import InstanceError
 from repro.schema.attributes import AttributeSet, AttrsLike
-from repro.util.unionfind import UnionFind
+from repro.util.unionfind import IntUnionFind
 
 _CONST_SENTINEL = object()
+_ABSENT = object()
 
 
 class SymbolTable:
@@ -37,19 +61,18 @@ class SymbolTable:
     merging a constant with a variable promotes the class to constant.
     """
 
-    __slots__ = ("_uf", "_const", "_by_value", "_next")
+    __slots__ = ("_uf", "_const", "_by_value", "find")
 
     def __init__(self) -> None:
-        self._uf = UnionFind()
+        self._uf = IntUnionFind()
         self._const: Dict[int, Any] = {}
         self._by_value: Dict[Any, int] = {}
-        self._next = 0
+        # bound method, so hot loops resolve symbols without an extra
+        # attribute hop (`find = tableau.symbols.find` is pervasive)
+        self.find = self._uf.find
 
     def fresh_variable(self) -> int:
-        sym = self._next
-        self._next += 1
-        self._uf.add(sym)
-        return sym
+        return self._uf.add_next()
 
     def constant(self, value: Any) -> int:
         """The unique symbol for a constant value (interned)."""
@@ -69,9 +92,6 @@ class SymbolTable:
         self._by_value[value] = sym
         return sym
 
-    def find(self, sym: int) -> int:
-        return self._uf.find(sym)
-
     def value_of(self, sym: int) -> Any:
         """The constant value of the symbol's class, or ``_CONST_SENTINEL``."""
         return self._const.get(self.find(sym), _CONST_SENTINEL)
@@ -86,21 +106,36 @@ class SymbolTable:
         distinct constant values when both classes were constants —
         the chase's contradiction.
         """
+        changed, conflict, _, _ = self.merge_roots(a, b)
+        return changed, conflict
+
+    def merge_roots(
+        self, a: int, b: int
+    ) -> PyTuple[bool, Optional[PyTuple[Any, Any]], int, int]:
+        """Union with full merge provenance.
+
+        Returns ``(changed, conflict, survivor, absorbed)``: the class
+        root that survived the union and the root whose class was
+        folded into it.  Index maintenance
+        (:meth:`ChaseTableau.merge`) needs the absorbed root to know
+        which positions changed class.
+        """
         ra, rb = self._uf.find(a), self._uf.find(b)
         if ra == rb:
-            return False, None
+            return False, None, ra, ra
         ca = self._const.get(ra, _CONST_SENTINEL)
         cb = self._const.get(rb, _CONST_SENTINEL)
         if ca is not _CONST_SENTINEL and cb is not _CONST_SENTINEL:
             if ca != cb:
-                return False, (ca, cb)
+                return False, (ca, cb), ra, rb
         root = self._uf.union(ra, rb)
+        absorbed = rb if root == ra else ra
         winner = ca if ca is not _CONST_SENTINEL else cb
         if winner is not _CONST_SENTINEL:
             self._const.pop(ra, None)
             self._const.pop(rb, None)
             self._const[root] = winner
-        return True, None
+        return True, None, root, absorbed
 
     def resolve_value(self, sym: int) -> Any:
         """Constant value, or a :class:`Null` labelled by the class root."""
@@ -121,9 +156,23 @@ class RowOrigin:
 
 
 class ChaseTableau:
-    """Rows of interned symbols over a fixed universe."""
+    """Rows of interned symbols over a fixed universe, with incremental
+    indexes (see the module docstring for the index inventory)."""
 
-    __slots__ = ("universe", "_cols", "_colidx", "symbols", "_rows", "_origins")
+    __slots__ = (
+        "universe",
+        "_cols",
+        "_colidx",
+        "symbols",
+        "_rows",
+        "_origins",
+        "_occ",
+        "_dirty",
+        "_attr_index",
+        "_shared",
+        "_merge_count",
+        "_resolved_cache",
+    )
 
     def __init__(self, universe: AttrsLike):
         uni = AttributeSet(universe)
@@ -135,6 +184,17 @@ class ChaseTableau:
         self.symbols = SymbolTable()
         self._rows: List[PyTuple[int, ...]] = []
         self._origins: List[RowOrigin] = []
+        # root -> list of positions (row * ncols + col) held by the class.
+        self._occ: Dict[int, List[int]] = {}
+        # dirty worklist: row -> set of changed columns, or None = all.
+        self._dirty: Dict[int, Optional[Set[int]]] = {}
+        # lazily materialized per-column value index: col -> root -> rows.
+        self._attr_index: Dict[int, Dict[int, Set[int]]] = {}
+        # for each materialized column, the roots shared by ≥2 rows —
+        # the only classes the FD-rule can ever fire on.
+        self._shared: Dict[int, Set[int]] = {}
+        self._merge_count = 0
+        self._resolved_cache: Optional[PyTuple[PyTuple[int, int], List]] = None
 
     # -- construction ---------------------------------------------------------
 
@@ -166,11 +226,33 @@ class ChaseTableau:
         return self.add_row(tuple(row), origin)
 
     def add_row(self, syms: PyTuple[int, ...], origin: RowOrigin) -> int:
-        if len(syms) != len(self._cols):
+        ncols = len(self._cols)
+        if len(syms) != ncols:
             raise InstanceError("row arity does not match the universe")
+        i = len(self._rows)
         self._rows.append(syms)
         self._origins.append(origin)
-        return len(self._rows) - 1
+        find = self.symbols.find
+        base = i * ncols
+        occ = self._occ
+        for c, sym in enumerate(syms):
+            root = find(sym)
+            bucket = occ.get(root)
+            if bucket is None:
+                occ[root] = [base + c]
+            else:
+                bucket.append(base + c)
+            col_index = self._attr_index.get(c)
+            if col_index is not None:
+                members = col_index.get(root)
+                if members is None:
+                    col_index[root] = {i}
+                else:
+                    members.add(i)
+                    if len(members) == 2:
+                        self._shared[c].add(root)
+        self._dirty[i] = None  # new rows are dirty in every column
+        return i
 
     def seed_row(self, shared: Dict[str, int], origin: RowOrigin) -> int:
         """Add a row with given symbols in some columns, fresh elsewhere
@@ -180,6 +262,87 @@ class ChaseTableau:
             row.append(shared.get(a, self.symbols.fresh_variable()))
         return self.add_row(tuple(row), origin)
 
+    # -- merging (index-maintaining) ------------------------------------------
+
+    def merge(self, a: int, b: int) -> PyTuple[bool, Optional[PyTuple[Any, Any]]]:
+        """Union two symbol classes, keeping every index current.
+
+        The rows holding a member of the absorbed class are marked
+        dirty with the exact columns that changed; the occurrence and
+        value indexes are rebucketed under the surviving root (whole
+        absorbed buckets move at once — never row by row).  Returns
+        ``(changed, conflict)`` exactly like :meth:`SymbolTable.merge`.
+        """
+        changed, conflict, survivor, absorbed = self.symbols.merge_roots(a, b)
+        if not changed:
+            return False, conflict
+        self._merge_count += 1
+        moved = self._occ.pop(absorbed, None)
+        if moved:
+            occ = self._occ
+            bucket = occ.get(survivor)
+            if bucket is None:
+                occ[survivor] = moved
+            else:
+                bucket.extend(moved)
+            ncols = len(self._cols)
+            dirty = self._dirty
+            attr_index = self._attr_index
+            touched_cols: Set[int]
+            if len(moved) == 1:
+                r, c = divmod(moved[0], ncols)
+                cols = dirty.get(r, _ABSENT)
+                if cols is _ABSENT:
+                    dirty[r] = {c}
+                elif cols is not None:
+                    cols.add(c)
+                touched_cols = {c}
+            else:
+                touched_cols = set()
+                for pos in moved:
+                    r, c = divmod(pos, ncols)
+                    cols = dirty.get(r, _ABSENT)
+                    if cols is _ABSENT:
+                        dirty[r] = {c}
+                    elif cols is not None:
+                        cols.add(c)
+                    touched_cols.add(c)
+            for c in touched_cols:
+                col_index = attr_index.get(c)
+                if col_index is None:
+                    continue
+                members = col_index.pop(absorbed, None)
+                if members is None:
+                    continue
+                shared = self._shared[c]
+                shared.discard(absorbed)
+                existing = col_index.get(survivor)
+                if existing is None:
+                    col_index[survivor] = members
+                    if len(members) >= 2:
+                        shared.add(survivor)
+                else:
+                    existing.update(members)
+                    if len(existing) >= 2:
+                        shared.add(survivor)
+        return True, None
+
+    # -- dirty worklist ---------------------------------------------------------
+
+    def drain_dirty(self) -> Dict[int, Optional[Set[int]]]:
+        """Return and clear the dirty worklist.
+
+        The result maps row index to the set of columns whose symbol
+        class changed since the last drain; ``None`` means "all
+        columns" (freshly added rows).
+        """
+        out = self._dirty
+        self._dirty = {}
+        return out
+
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
     # -- access ------------------------------------------------------------------
 
     @property
@@ -188,6 +351,12 @@ class ChaseTableau:
 
     def column_index(self, attr: str) -> int:
         return self._colidx[attr]
+
+    @property
+    def version(self) -> PyTuple[int, int]:
+        """``(rows, merges)`` — changes iff the tableau changed.  Used
+        as the key of every memoized derived structure."""
+        return (len(self._rows), self._merge_count)
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -204,11 +373,92 @@ class ChaseTableau:
         return tuple(find(s) for s in self._rows[i])
 
     def resolved_rows(self) -> List[PyTuple[int, ...]]:
+        """All rows resolved to class roots, memoized per :attr:`version`."""
+        v = self.version
+        cached = self._resolved_cache
+        if cached is not None and cached[0] == v:
+            return cached[1]
         find = self.symbols.find
-        return [tuple(find(s) for s in row) for row in self._rows]
+        rows = [tuple(find(s) for s in row) for row in self._rows]
+        self._resolved_cache = (v, rows)
+        return rows
 
     def symbol_at(self, i: int, attr: str) -> int:
         return self.symbols.find(self._rows[i][self._colidx[attr]])
+
+    # -- value index --------------------------------------------------------------
+
+    def value_index(self, attr: str) -> Dict[int, Set[int]]:
+        """The partition of rows by their symbol class in ``attr``.
+
+        Materialized on first use for the column and maintained
+        incrementally by :meth:`merge`/:meth:`add_row` from then on:
+        the FD-rule reads it on every pass, so it must never be
+        rebuilt from scratch once built.
+        """
+        c = self._colidx[attr]
+        col_index = self._attr_index.get(c)
+        if col_index is None:
+            self.materialize_value_indexes([attr])
+            col_index = self._attr_index[c]
+        return col_index
+
+    def materialize_value_indexes(self, attr_list: Iterable[str]) -> None:
+        """Build the value indexes for several columns in one row scan
+        (the FD-rule index wants one per distinct lhs attribute)."""
+        targets = [
+            (c, {})
+            for c in {self._colidx[a] for a in attr_list}
+            if c not in self._attr_index
+        ]
+        if not targets:
+            return
+        find = self.symbols.find
+        for i, row in enumerate(self._rows):
+            for c, col_index in targets:
+                root = find(row[c])
+                members = col_index.get(root)
+                if members is None:
+                    col_index[root] = {i}
+                else:
+                    members.add(i)
+        for c, col_index in targets:
+            self._attr_index[c] = col_index
+            self._shared[c] = {
+                root for root, members in col_index.items() if len(members) >= 2
+            }
+
+    def shared_classes(self, attr: str) -> Set[int]:
+        """The symbol classes held by ≥2 rows in ``attr`` — the only
+        candidates for an FD-rule firing on that column (materializes
+        the column's value index on first use)."""
+        c = self._colidx[attr]
+        if c not in self._attr_index:
+            self.materialize_value_indexes([attr])
+        return self._shared[c]
+
+    def check_index_invariants(self) -> None:
+        """Verify every index against a from-scratch recomputation
+        (test hook; O(rows × columns))."""
+        find = self.symbols.find
+        ncols = len(self._cols)
+        expected_occ: Dict[int, Set[int]] = {}
+        for i, row in enumerate(self._rows):
+            for c, sym in enumerate(row):
+                expected_occ.setdefault(find(sym), set()).add(i * ncols + c)
+        actual = {root: set(ps) for root, ps in self._occ.items() if ps}
+        assert actual == expected_occ, "occurrence index out of sync"
+        for c, col_index in self._attr_index.items():
+            expected: Dict[int, Set[int]] = {}
+            for i, row in enumerate(self._rows):
+                expected.setdefault(find(row[c]), set()).add(i)
+            assert col_index == expected, f"value index for column {c} out of sync"
+            expected_shared = {
+                root for root, members in expected.items() if len(members) >= 2
+            }
+            assert self._shared[c] == expected_shared, (
+                f"shared-class set for column {c} out of sync"
+            )
 
     # -- extraction -----------------------------------------------------------------
 

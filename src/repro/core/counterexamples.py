@@ -34,7 +34,7 @@ from repro.core.tagged import TaggedRow
 from repro.data.relations import RelationInstance
 from repro.data.states import DatabaseState
 from repro.data.tuples import Tuple
-from repro.deps.closure import closure
+from repro.deps.closure import ClosureIndex
 from repro.deps.derivation import Derivation, nonredundant_derivation
 from repro.deps.fd import FD
 from repro.deps.fdset import FDSet
@@ -118,9 +118,10 @@ def find_lemma7_witness(assignment: FDAssignment) -> Optional[Lemma7Witness]:
                 if g not in homes:
                     homes[g] = home
                     expanded.append(g)
+        foreign_index = ClosureIndex(expanded)
         for a in scheme.attributes:
             rest = scheme.attributes - (a,)
-            if a in closure(rest, expanded):
+            if a in foreign_index.closure(rest):
                 deriv = nonredundant_derivation(expanded, rest, a)
                 assert deriv is not None and deriv.steps, (
                     "closure said derivable but no nonredundant derivation found"
@@ -158,7 +159,7 @@ def lemma7_counterexample(
                 "Lemma 7 witness has a step in the target scheme's own FD set"
             )
         home_scheme = schema[home]
-        zeros = closure(f.lhs, all_fds) & home_scheme.attributes
+        zeros = all_fds.closure(f.lhs) & home_scheme.attributes
         rows[home].append(
             {
                 a: (0 if a in zeros else next(fresh))

@@ -28,7 +28,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple as PyTuple
 
-from repro.deps.closure import closure as fd_closure
 from repro.deps.fd import FD
 from repro.deps.fdset import FDSet
 from repro.deps.implication import Engine, SchemaClosures
@@ -96,7 +95,9 @@ class _G1Closures:
             self._closures = SchemaClosures(schema, fds, engine=engine)
             self._cl = self._closures.closure
         else:
-            self._cl = lambda x: fd_closure(x, fds)
+            # the Lemma 5 loop closes |D| starting sets per fixpoint
+            # round — share the FD set's memoized ClosureIndex
+            self._cl = fds.closure_index().closure
 
     def closure(self, attrset: AttrsLike) -> G1ClosureResult:
         z = AttributeSet(attrset)

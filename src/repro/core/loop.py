@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple as PyTuple
 
 from repro.core.tagged import TaggedRow, TaggedTableau
-from repro.deps.closure import closure
+from repro.deps.closure import ClosureIndex
 from repro.deps.fd import FD
 from repro.deps.fdset import FDSet
 from repro.exceptions import DependencyError, SchemaError
@@ -264,9 +264,11 @@ class _Run:
                     trace=self.trace,
                 )
 
-    def _stars_under_wf(self, lhs: Lhs, wf: Sequence[FD]) -> PyTuple[AttributeSet, AttributeSet]:
-        """(X*old, X*new) for a l.h.s. given ``WF(X)``."""
-        old = closure(lhs.attrs, wf)
+    def _stars_under_wf(
+        self, lhs: Lhs, wf_index: ClosureIndex
+    ) -> PyTuple[AttributeSet, AttributeSet]:
+        """(X*old, X*new) for a l.h.s. given an index over ``WF(X)``."""
+        old = wf_index.closure(lhs.attrs)
         return old, lhs.star - old
 
     def _iterate(self, x: Lhs) -> Optional[LoopRejection]:
@@ -289,9 +291,10 @@ class _Run:
             # Ablation mode: only processed l.h.s. contribute to WF(X).
             weaker = [z for z in weaker if self.processed[z]]
 
-        # (3) closure under WF(X) = {Z -> Z* | Z ∈ W(X)}.
-        wf = [FD(z.attrs, z.star) for z in weaker]
-        x_old, x_new = self._stars_under_wf(x, wf)
+        # (3) closure under WF(X) = {Z -> Z* | Z ∈ W(X)}; one index
+        # serves the picked l.h.s. and every equivalent checked below.
+        wf_index = ClosureIndex(FD(z.attrs, z.star) for z in weaker)
+        x_old, x_new = self._stars_under_wf(x, wf_index)
 
         # (4) every attribute of X*new must be fresh.
         for a in x_new:
@@ -316,7 +319,7 @@ class _Run:
         for y in equivalents:
             if y == x:
                 continue
-            y_old, y_new = self._stars_under_wf(y, wf)
+            y_old, y_new = self._stars_under_wf(y, wf_index)
             if y_new != x_new:
                 # Theorem 4, Case 2 → Case 1: picking y would reject at
                 # line 4 with some available attribute of y_new.

@@ -11,10 +11,13 @@ indexes.
 
 * ``method="local"`` — per-FD hash indexes on each relation; requires
   an independent schema (the constructor verifies this via
-  :func:`repro.core.independence.analyze` unless a report is supplied).
+  :func:`repro.core.independence.analyze` unless a report is supplied —
+  an analysis whose many attribute closures now run through the shared
+  :class:`repro.deps.closure.ClosureIndex`).
 * ``method="chase"`` — the safe general fallback: re-run the weak
-  instance test on the whole modified state (cost grows with state
-  size; this is the baseline the evaluation compares against).
+  instance test on the whole modified state via the incremental engine
+  of :mod:`repro.chase.engine` (cost still grows with state size; this
+  is the baseline the evaluation compares against).
 
 Deletions never invalidate satisfaction (any weak instance for ``p``
 is one for ``p`` minus a tuple), so only insertions are checked.
@@ -31,7 +34,7 @@ from repro.data.relations import RowLike
 from repro.data.states import DatabaseState
 from repro.data.tuples import Tuple
 from repro.deps.fd import FD
-from repro.deps.fdset import FDSet
+from repro.deps.fdset import FDSet, as_fdset
 from repro.exceptions import InconsistentStateError, NotIndependentError
 from repro.schema.database import DatabaseSchema
 
@@ -111,7 +114,7 @@ class MaintenanceChecker:
         report: Optional[IndependenceReport] = None,
     ):
         self.schema = schema
-        self.fds = FDSet.parse(fds) if isinstance(fds, str) else FDSet(fds)
+        self.fds = as_fdset(fds)
         self.method: Method = method
         self._tuples: Dict[str, List[Tuple]] = {s.name: [] for s in schema}
         self._indexes: Dict[str, List[_FDIndex]] = {s.name: [] for s in schema}

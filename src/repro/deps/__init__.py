@@ -7,7 +7,7 @@ from repro.deps.armstrong import (
     implies_with_proof,
     prove,
 )
-from repro.deps.closure import closure, closure_with_trace, implies
+from repro.deps.closure import ClosureIndex, closure, closure_with_trace, implies
 from repro.deps.cover import is_cover_of, left_reduced, merge_rhs, minimal_cover, nonredundant
 from repro.deps.derivation import Derivation, derive, nonredundant_derivation, trim_nonredundant
 from repro.deps.fd import FD, fd, fds
@@ -35,6 +35,7 @@ __all__ = [
     "MVD",
     "JoinDependency",
     "closure",
+    "ClosureIndex",
     "closure_with_trace",
     "implies",
     "minimal_cover",

@@ -7,6 +7,16 @@ workhorse of the whole library: Section 3's loop, Section 4's local
 closures, covers, key finding and the maintenance fast path all bottom
 out here.
 
+Because the same FD set is typically closed over many different
+starting sets — "The Loop" (:mod:`repro.core.loop`), the embedded
+cover construction (:mod:`repro.core.embedding`), cover reduction
+(:mod:`repro.deps.cover`) and key enumeration all call ``closure`` in
+tight loops — the counter structures are packaged as a reusable
+:class:`ClosureIndex`: build once per FD sequence, then every closure
+reuses the prebuilt attribute→FD adjacency and memoizes its result.
+:class:`~repro.deps.fdset.FDSet` keeps one index per instance, so any
+closure through an ``FDSet`` is automatically indexed and memoized.
+
 :func:`closure_with_trace` additionally records *which* FD fired to add
 each attribute, which is what derivation extraction (Lemma 7) and the
 embedded-cover construction (end of Section 3) need.
@@ -14,16 +24,123 @@ embedded-cover construction (end of Section 3) need.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.deps.fd import FD
 from repro.schema.attributes import AttributeSet, AttrsLike
 
+_NO_EXCLUDE: FrozenSet[int] = frozenset()
+
+
+class ClosureIndex:
+    """Prebuilt Beeri–Bernstein counter structures for a fixed FD
+    sequence, with memoized closures.
+
+    The per-closure state (the counters) is cheap — a list copy — but
+    the adjacency ``attribute → FDs whose lhs needs it`` is built once
+    and shared by every call.  Results are memoized by (start set,
+    excluded FDs); FD sets are immutable wherever this index is held,
+    so the cache never needs invalidation.
+
+    ``exclude`` (a frozenset of positions into the FD sequence) computes
+    the closure under a sub-sequence without rebuilding anything —
+    exactly what nonredundant-cover extraction needs when it asks
+    "do the *other* FDs already imply this one?" for every member.
+    """
+
+    __slots__ = ("fds", "_lhs_sizes", "_by_attr", "_cache", "_trace_cache")
+
+    def __init__(self, fd_list: Iterable[FD]):
+        self.fds: Tuple[FD, ...] = tuple(fd_list)
+        self._lhs_sizes: List[int] = []
+        self._by_attr: Dict[str, List[int]] = {}
+        for i, f in enumerate(self.fds):
+            self._lhs_sizes.append(len(f.lhs))
+            for a in f.lhs.names:
+                self._by_attr.setdefault(a, []).append(i)
+        self._cache: Dict[Tuple[FrozenSet[str], FrozenSet[int]], AttributeSet] = {}
+        self._trace_cache: Dict[
+            Tuple[FrozenSet[str], FrozenSet[int]],
+            Tuple[AttributeSet, List[Tuple[FD, AttributeSet]]],
+        ] = {}
+
+    def _run(
+        self,
+        start_names: FrozenSet[str],
+        exclude: FrozenSet[int],
+        want_trace: bool,
+    ) -> Tuple[AttributeSet, List[Tuple[FD, AttributeSet]]]:
+        fds = self.fds
+        closed = set(start_names)
+        by_attr = self._by_attr
+        # counters[i] = lhs attributes of fds[i] not yet in the closure;
+        # seeded in enumeration order so queue (and trace) order is
+        # deterministic and identical to the classic one-shot algorithm.
+        counters: List[int] = []
+        queue: List[int] = []
+        for i, f in enumerate(fds):
+            cnt = 0
+            for a in f.lhs.names:
+                if a not in closed:
+                    cnt += 1
+            counters.append(cnt)
+            if cnt == 0 and i not in exclude:
+                queue.append(i)
+
+        trace: List[Tuple[FD, AttributeSet]] = []
+        while queue:
+            i = queue.pop()
+            f = fds[i]
+            added = [a for a in f.rhs if a not in closed]
+            if not added:
+                continue
+            if want_trace:
+                trace.append((f, AttributeSet(added)))
+            for a in added:
+                closed.add(a)
+                for j in by_attr.get(a, ()):
+                    counters[j] -= 1
+                    if counters[j] == 0 and j not in exclude:
+                        queue.append(j)
+        return AttributeSet(closed), trace
+
+    def closure(
+        self, start: AttrsLike, exclude: FrozenSet[int] = _NO_EXCLUDE
+    ) -> AttributeSet:
+        """``start⁺`` under the indexed FDs (minus ``exclude``)."""
+        start_set = AttributeSet(start)
+        key = (frozenset(start_set.names), exclude)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached, _ = self._run(key[0], exclude, want_trace=False)
+            self._cache[key] = cached
+        return cached
+
+    def closure_with_trace(
+        self, start: AttrsLike, exclude: FrozenSet[int] = _NO_EXCLUDE
+    ) -> Tuple[AttributeSet, List[Tuple[FD, AttributeSet]]]:
+        """Closure plus the firing trace (see :func:`closure_with_trace`)."""
+        start_set = AttributeSet(start)
+        key = (frozenset(start_set.names), exclude)
+        cached = self._trace_cache.get(key)
+        if cached is None:
+            cached = self._run(key[0], exclude, want_trace=True)
+            self._trace_cache[key] = cached
+        return cached
+
+    def implies(self, candidate: FD, exclude: FrozenSet[int] = _NO_EXCLUDE) -> bool:
+        """Does the indexed set (minus ``exclude``) imply ``candidate``?"""
+        return candidate.rhs <= self.closure(candidate.lhs, exclude)
+
 
 def closure(start: AttrsLike, fd_list: Iterable[FD]) -> AttributeSet:
-    """The closure ``start⁺`` under the given FDs."""
-    closed, _ = _closure_impl(start, tuple(fd_list), want_trace=False)
-    return closed
+    """The closure ``start⁺`` under the given FDs.
+
+    One-shot form: builds a throwaway :class:`ClosureIndex`.  Callers
+    closing the same FDs repeatedly should hold a :class:`ClosureIndex`
+    (or go through :class:`~repro.deps.fdset.FDSet`, which caches one).
+    """
+    return ClosureIndex(fd_list).closure(start)
 
 
 def closure_with_trace(
@@ -38,45 +155,7 @@ def closure_with_trace(
     (Section 4): each fired FD's lhs is covered by ``start`` plus the
     previously added attributes.
     """
-    return _closure_impl(start, tuple(fd_list), want_trace=True)
-
-
-def _closure_impl(
-    start: AttrsLike, fd_list: Sequence[FD], want_trace: bool
-) -> Tuple[AttributeSet, List[Tuple[FD, AttributeSet]]]:
-    start_set = AttributeSet(start)
-    closed = set(start_set.names)
-
-    # counters[i] = number of lhs attributes of fd_list[i] not yet in the
-    # closure; by_attr[A] = indices of FDs with A on the lhs.
-    counters: List[int] = []
-    by_attr: Dict[str, List[int]] = {}
-    queue: List[int] = []  # FDs whose lhs is already satisfied
-    for i, f in enumerate(fd_list):
-        missing = [a for a in f.lhs if a not in closed]
-        counters.append(len(missing))
-        if missing:
-            for a in missing:
-                by_attr.setdefault(a, []).append(i)
-        else:
-            queue.append(i)
-
-    trace: List[Tuple[FD, AttributeSet]] = []
-    while queue:
-        i = queue.pop()
-        f = fd_list[i]
-        added = [a for a in f.rhs if a not in closed]
-        if not added:
-            continue
-        if want_trace:
-            trace.append((f, AttributeSet(added)))
-        for a in added:
-            closed.add(a)
-            for j in by_attr.get(a, ()):
-                counters[j] -= 1
-                if counters[j] == 0:
-                    queue.append(j)
-    return AttributeSet(closed), trace
+    return ClosureIndex(fd_list).closure_with_trace(start)
 
 
 def implies(fd_list: Iterable[FD], candidate: FD) -> bool:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable, List
 
-from repro.deps.closure import closure
+from repro.deps.closure import ClosureIndex
 from repro.deps.fd import FD
 from repro.deps.fdset import FDSet
 
@@ -21,33 +21,44 @@ def left_reduced(fdset: FDSet) -> FDSet:
     """Remove extraneous lhs attributes from every FD.
 
     An lhs attribute ``A`` of ``X → Y`` is extraneous when
-    ``(X − A)⁺ ⊇ Y`` under the full set.
+    ``(X − A)⁺ ⊇ Y`` under the full set.  Every candidate reduction is
+    checked against the *same* full set, so one
+    :class:`~repro.deps.closure.ClosureIndex` serves the whole sweep.
     """
     out: List[FD] = []
-    all_fds = list(fdset)
-    for f in all_fds:
+    index = fdset.closure_index()
+    for f in fdset:
         lhs = f.lhs
         for a in list(lhs):
             reduced = lhs - (a,)
-            if f.rhs <= closure(reduced, all_fds):
+            if f.rhs <= index.closure(reduced):
                 lhs = reduced
         out.append(FD(lhs, f.rhs))
     return FDSet(out)
 
 
 def nonredundant(fdset: FDSet) -> FDSet:
-    """Drop FDs implied by the remaining ones (a nonredundant cover)."""
-    current = list(fdset)
+    """Drop FDs implied by the remaining ones (a nonredundant cover).
+
+    Implemented over one :class:`~repro.deps.closure.ClosureIndex` of
+    the original set: "the remaining ones" is expressed through the
+    index's ``exclude`` parameter instead of materializing a new FD
+    list (and rebuilding the counter adjacency) per membership test.
+    """
+    fds = list(fdset)
+    index = ClosureIndex(fds)
+    dropped: set = set()
     changed = True
     while changed:
         changed = False
-        for f in list(current):
-            rest = [g for g in current if g is not f]
-            if f.rhs <= closure(f.lhs, rest):
-                current = rest
+        for i, f in enumerate(fds):
+            if i in dropped:
+                continue
+            if f.rhs <= index.closure(f.lhs, exclude=frozenset(dropped | {i})):
+                dropped.add(i)
                 changed = True
                 break
-    return FDSet(current)
+    return FDSet(f for i, f in enumerate(fds) if i not in dropped)
 
 
 def minimal_cover(fdset: FDSet) -> FDSet:

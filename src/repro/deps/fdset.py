@@ -11,7 +11,7 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
-from repro.deps.closure import closure, closure_with_trace
+from repro.deps.closure import ClosureIndex
 from repro.deps.fd import FD
 from repro.exceptions import DependencyError
 from repro.schema.attributes import AttributeSet, AttrsLike
@@ -36,7 +36,7 @@ def as_fdset(spec) -> "FDSet":
 class FDSet:
     """An immutable set of FDs with closure/implication operations."""
 
-    __slots__ = ("_fds", "_hash")
+    __slots__ = ("_fds", "_hash", "_closure_index")
 
     def __init__(self, fd_specs: Iterable[FDLike] = ()):
         seen = set()
@@ -50,6 +50,7 @@ class FDSet:
         ordered.sort(key=lambda f: (f.lhs.names, f.rhs.names))
         object.__setattr__(self, "_fds", tuple(ordered))
         object.__setattr__(self, "_hash", hash(self._fds))
+        object.__setattr__(self, "_closure_index", None)
 
     @classmethod
     def parse(cls, text: str) -> "FDSet":
@@ -97,12 +98,26 @@ class FDSet:
 
     # -- closure / implication ---------------------------------------------------
 
+    def closure_index(self) -> ClosureIndex:
+        """The set's shared :class:`~repro.deps.closure.ClosureIndex`.
+
+        Built on first use and kept for the lifetime of the (immutable)
+        set, so every closure through this ``FDSet`` — and through any
+        caller that fetches the index — reuses one prebuilt adjacency
+        and one memo table.
+        """
+        index = self._closure_index
+        if index is None:
+            index = ClosureIndex(self._fds)
+            object.__setattr__(self, "_closure_index", index)
+        return index
+
     def closure(self, attrset: AttrsLike) -> AttributeSet:
-        """``X⁺`` under this FD set."""
-        return closure(attrset, self._fds)
+        """``X⁺`` under this FD set (indexed and memoized)."""
+        return self.closure_index().closure(attrset)
 
     def closure_with_trace(self, attrset: AttrsLike):
-        return closure_with_trace(attrset, self._fds)
+        return self.closure_index().closure_with_trace(attrset)
 
     def implies(self, candidate: FDLike) -> bool:
         f = _coerce_fd(candidate)

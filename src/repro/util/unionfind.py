@@ -1,8 +1,10 @@
-"""A small union-find (disjoint-set) structure.
+"""Union-find (disjoint-set) structures.
 
-Used by the chase engine (merging symbolic values) and by the join-tree
-construction (Kruskal's algorithm).  Supports arbitrary hashable items,
-path compression, and union by size.
+:class:`UnionFind` supports arbitrary hashable items (join-tree
+construction, Kruskal's algorithm); :class:`IntUnionFind` is the
+array-backed variant for densely numbered items — the chase's symbol
+classes, where ``find`` is the single hottest operation of the whole
+library.  Both use path compression and union by size.
 """
 
 from __future__ import annotations
@@ -65,3 +67,55 @@ class UnionFind:
 
     def __iter__(self) -> Iterator[Hashable]:
         return iter(self._parent)
+
+
+class IntUnionFind:
+    """Disjoint sets over the integers ``0 … n-1``, array-backed.
+
+    Items must be allocated densely through :meth:`add_next` (or
+    :meth:`ensure`); list indexing replaces the generic structure's
+    per-step dict lookups, which is what makes the chase's
+    resolve-heavy inner loops affordable.
+    """
+
+    __slots__ = ("_parent", "_size")
+
+    def __init__(self) -> None:
+        self._parent: List[int] = []
+        self._size: List[int] = []
+
+    def add_next(self) -> int:
+        """Allocate the next integer as a fresh singleton set."""
+        item = len(self._parent)
+        self._parent.append(item)
+        self._size.append(1)
+        return item
+
+    def ensure(self, item: int) -> None:
+        """Make sure ``0 … item`` all exist."""
+        while len(self._parent) <= item:
+            self.add_next()
+
+    def find(self, item: int) -> int:
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:  # path compression
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the two sets; returns the surviving representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        size = self._size
+        if size[ra] < size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        size[ra] += size[rb]
+        return ra
+
+    def __len__(self) -> int:
+        return len(self._parent)

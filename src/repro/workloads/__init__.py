@@ -23,6 +23,7 @@ from repro.workloads.schemas import (
 )
 from repro.workloads.states import (
     InsertOp,
+    cascade_chain_workload,
     insert_workload,
     random_satisfying_state,
     random_satisfying_universal,
@@ -47,6 +48,7 @@ __all__ = [
     "random_schema",
     "InsertOp",
     "insert_workload",
+    "cascade_chain_workload",
     "random_satisfying_state",
     "random_satisfying_universal",
 ]

@@ -75,7 +75,7 @@ def example2_extended() -> PaperExample:
 
 
 def example3() -> PaperExample:
-    """Example 3 (reconstructed; see DESIGN.md §3).
+    """Example 3 (reconstructed; see ``docs/architecture.md``).
 
     ``D = {R1(A1,B1), R2(A1,B1,A2,B2,C)}`` with
     ``F2 = {A1→A2, B1→B2, A1B1→C, A2B2→A1B1}``.  Running the loop for

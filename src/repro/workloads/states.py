@@ -26,6 +26,7 @@ from repro.deps.fdset import FDSet
 from repro.exceptions import ReproError
 from repro.schema.attributes import AttributeSet
 from repro.schema.database import DatabaseSchema
+from repro.schema.relation import RelationScheme
 
 
 class _UniversalGenerator:
@@ -106,6 +107,45 @@ def random_satisfying_state(
         schema.universe, fds, n_tuples, seed=seed, domain_size=domain_size
     )
     return DatabaseState.from_universal(schema, universal)
+
+
+def cascade_chain_workload(
+    n_schemes: int = 50,
+    n_chains: int = 201,
+) -> PyTuple[DatabaseSchema, FDSet, DatabaseState]:
+    """A large chase workload with deep merge cascades.
+
+    ``n_schemes`` relation schemes ``Ri(Ai, Ai+1)`` carry the *backward*
+    FDs ``Ai+1 → Ai``, and the state stores ``n_chains`` disjoint value
+    chains ``v(c,1) … v(c,n+1)`` threaded through consecutive schemes
+    (one tuple per scheme per chain, so the tableau has exactly
+    ``n_schemes × n_chains`` rows).  Chasing ``I(p)`` makes every row
+    of ``Ri`` gradually recover the constants ``A1 … Ai-1`` of its
+    chain: each FD application enables the next one *against* the FD
+    processing order, so a pass-based engine needs about one full pass
+    per chain level (≈ ``n_schemes`` passes over everything), while
+    the incremental engine revisits just the rows whose symbols moved.
+    The state is satisfying — values are unique per (chain, level), so
+    no two constants ever collide.
+
+    This is the headline workload of ``benchmarks/bench_chase.py``
+    (``BENCH_chase.json``).
+    """
+    schemes = [
+        RelationScheme(f"R{i}", (f"A{i}", f"A{i + 1}"))
+        for i in range(1, n_schemes + 1)
+    ]
+    schema = DatabaseSchema(schemes)
+    fds = FDSet(
+        FD((f"A{i + 1}",), (f"A{i}",)) for i in range(1, n_schemes + 1)
+    )
+    width = n_schemes + 2
+    tuples: Dict[str, List[PyTuple[object, ...]]] = {}
+    for i in range(1, n_schemes + 1):
+        tuples[f"R{i}"] = [
+            (c * width + i, c * width + i + 1) for c in range(n_chains)
+        ]
+    return schema, fds, DatabaseState(schema, tuples)
 
 
 @dataclass(frozen=True)

@@ -1,5 +1,5 @@
 """End-to-end reproduction of every worked example in the paper
-(experiments E1, E2, E3, E11, E12 of DESIGN.md)."""
+(experiments E1, E2, E3, E11, E12 of the evaluation plan)."""
 
 import pytest
 
