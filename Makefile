@@ -5,14 +5,16 @@ PYTHON    ?= python
 PYTHONPATH := $(CURDIR)/src
 export PYTHONPATH
 
-.PHONY: help test bench docs clean
+.PHONY: help test bench bench-weak bench-weak-tiny docs clean
 
 help:
 	@echo "targets:"
-	@echo "  test   - tier-1 test suite (pytest -x -q over tests/)"
-	@echo "  bench  - all benchmarks; regenerates BENCH_chase.json and benchmarks/results.txt"
-	@echo "  docs   - render the API reference with pydoc into docs/api/"
-	@echo "  clean  - remove caches and generated docs"
+	@echo "  test            - tier-1 test suite (pytest -x -q over tests/)"
+	@echo "  bench           - all benchmarks; regenerates BENCH_chase.json, BENCH_weak.json and benchmarks/results.txt"
+	@echo "  bench-weak      - weak-instance query service vs rebuild-per-query; regenerates BENCH_weak.json"
+	@echo "  bench-weak-tiny - the same benchmark at smoke scale (CI: equivalence only, no artifact)"
+	@echo "  docs            - render the API reference with pydoc into docs/api/"
+	@echo "  clean           - remove caches and generated docs"
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,6 +24,12 @@ bench:
 	$(PYTHON) -m pytest benchmarks/bench_chase.py benchmarks/bench_scaling.py -q
 	$(PYTHON) -m pytest $(filter-out benchmarks/bench_chase.py benchmarks/bench_scaling.py,$(wildcard benchmarks/bench_*.py)) -q
 
+bench-weak:
+	$(PYTHON) -m pytest benchmarks/bench_weak_queries.py -q
+
+bench-weak-tiny:
+	REPRO_BENCH_WEAK_TINY=1 $(PYTHON) -m pytest benchmarks/bench_weak_queries.py -q
+
 docs:
 	rm -rf docs/api
 	mkdir -p docs/api
@@ -30,7 +38,8 @@ docs:
 		repro.chase repro.chase.tableau repro.chase.engine repro.chase.reference \
 		repro.chase.satisfaction repro.core repro.core.embedding repro.core.loop \
 		repro.core.independence repro.core.maintenance repro.core.counterexamples \
-		repro.weak repro.workloads >/dev/null
+		repro.weak repro.weak.representative repro.weak.service \
+		repro.workloads >/dev/null
 	@echo "API reference written to docs/api/ (open docs/api/repro.html)"
 
 clean:

@@ -7,10 +7,11 @@ buffers, and emitted lines never reach the terminal-summary hook.  A
 plain module is imported identically everywhere, so there is exactly
 one buffer.
 
-Chase-engine benchmarks additionally record machine-readable results
-in ``BENCH_chase.json`` at the repository root (via
-:func:`emit_bench_json`), which is committed so the indexed engine's
-speedup over the naive reference is tracked across PRs.
+Headline benchmarks additionally record machine-readable results in
+committed JSON artifacts at the repository root (via
+:func:`emit_bench_json`): ``BENCH_chase.json`` for the chase engine
+and ``BENCH_weak.json`` for the weak-instance query service, so their
+speedups over the naive/rebuild baselines are tracked across PRs.
 """
 
 from __future__ import annotations
@@ -18,11 +19,24 @@ from __future__ import annotations
 import json
 import pathlib
 import platform
-from typing import List
+from typing import List, Optional
 
 LINES: List[str] = []
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
-BENCH_JSON_PATH = pathlib.Path(__file__).parent.parent / "BENCH_chase.json"
+_ROOT = pathlib.Path(__file__).parent.parent
+BENCH_JSON_PATH = _ROOT / "BENCH_chase.json"
+BENCH_WEAK_JSON_PATH = _ROOT / "BENCH_weak.json"
+
+_NOTES = {
+    "BENCH_chase.json": (
+        "regenerate with: make bench (or pytest benchmarks/bench_chase.py "
+        "benchmarks/bench_scaling.py)"
+    ),
+    "BENCH_weak.json": (
+        "regenerate with: make bench-weak (or pytest "
+        "benchmarks/bench_weak_queries.py)"
+    ),
+}
 
 
 def emit(text: str) -> None:
@@ -30,23 +44,28 @@ def emit(text: str) -> None:
     LINES.append(text)
 
 
-def emit_bench_json(section: str, payload: dict) -> None:
-    """Merge one section into ``BENCH_chase.json`` (repo root).
+def emit_bench_json(
+    section: str, payload: dict, path: Optional[pathlib.Path] = None
+) -> None:
+    """Merge one section into a committed JSON artifact at the repo
+    root (default ``BENCH_chase.json``; pass ``BENCH_WEAK_JSON_PATH``
+    for the weak-query-service file).
 
     Each section is overwritten wholesale by the benchmark that owns
     it, so re-running any subset of the benchmarks keeps the file
     coherent.  No timestamp on purpose: the committed artifact should
     only change when the measurements do.
     """
+    target = BENCH_JSON_PATH if path is None else path
     data = {}
-    if BENCH_JSON_PATH.exists():
+    if target.exists():
         try:
-            data = json.loads(BENCH_JSON_PATH.read_text())
+            data = json.loads(target.read_text())
         except (ValueError, OSError):
             data = {}
     data[section] = payload
     data["meta"] = {
         "python": platform.python_version(),
-        "note": "regenerate with: make bench (or pytest benchmarks/bench_chase.py benchmarks/bench_scaling.py)",
+        "note": _NOTES.get(target.name, "regenerate with: make bench"),
     }
-    BENCH_JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

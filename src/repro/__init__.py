@@ -67,7 +67,12 @@ from repro.schema import (
     is_acyclic,
     join_tree,
 )
-from repro.weak import full_reduce, representative_instance, window
+from repro.weak import (
+    WeakInstanceService,
+    full_reduce,
+    representative_instance,
+    window,
+)
 
 __version__ = "1.0.0"
 
@@ -105,6 +110,7 @@ __all__ = [
     "representative_instance",
     "window",
     "full_reduce",
+    "WeakInstanceService",
     # the paper's core
     "analyze",
     "is_independent",

@@ -10,6 +10,7 @@ from repro.chase.engine import (
     ChaseResult,
     ChaseStep,
     Contradiction,
+    IncrementalFDChaser,
     chase,
     chase_fds,
     chase_state,
@@ -35,6 +36,7 @@ __all__ = [
     "ChaseResult",
     "ChaseStep",
     "Contradiction",
+    "IncrementalFDChaser",
     "chase",
     "chase_fds",
     "chase_state",

@@ -49,7 +49,7 @@ from repro.chase.tableau import ChaseTableau, RowOrigin
 from repro.deps.fd import FD
 from repro.deps.jd import JoinDependency
 from repro.deps.mvd import MVD
-from repro.exceptions import ChaseBudgetExceeded
+from repro.exceptions import ChaseBudgetExceeded, InconsistentStateError
 from repro.schema.attributes import AttributeSet
 
 DEFAULT_MAX_ROWS = 100_000
@@ -381,6 +381,80 @@ def chase_fds(
         tableau, chaser, result, budget, record_steps=record_steps, initial=True
     )
     return result
+
+
+class IncrementalFDChaser:
+    """Persistent FD-chase driver for one tableau across many updates.
+
+    :func:`chase_fds` builds its per-FD partitions, runs to fixpoint,
+    and throws the partitions away.  A query service that appends rows
+    one at a time would pay the full seeding pass again on every
+    update.  This driver keeps the :class:`_FDRuleIndex` (and with it
+    the tableau's value indexes) alive between calls:
+
+    * the **first** :meth:`run` performs the full seeding pass and
+      drives the fixpoint, exactly like :func:`chase_fds`;
+    * every **later** :meth:`run` drives only the dirty-row worklist —
+      rows appended via :meth:`~repro.chase.tableau.ChaseTableau.add_row`
+      / ``add_padded`` or touched by merges since the previous call —
+      so chasing one inserted tuple against an already-chased tableau
+      costs the cascade it actually triggers, not a rescan.
+
+    The soundness argument is the engine's usual pair of invariants
+    (bucket leaders never go stale; any row whose key changed is
+    dirty): they hold across calls because the index and the tableau
+    share one union-find whose classes never shrink.
+
+    A contradiction **poisons** the tableau: merges up to the point of
+    failure have already been applied, so the pair can no longer serve
+    queries.  :attr:`poisoned` latches and every later :meth:`run`
+    raises ``InconsistentStateError`` — rebuild a fresh tableau (and a
+    fresh driver) from the underlying state instead.
+    """
+
+    __slots__ = ("tableau", "fds", "max_passes", "_index", "_seeded", "_poisoned")
+
+    def __init__(
+        self,
+        tableau: ChaseTableau,
+        fd_list: Iterable[FD],
+        max_passes: int = DEFAULT_MAX_PASSES,
+    ):
+        self.tableau = tableau
+        self.fds = tuple(fd_list)
+        self.max_passes = max_passes
+        self._index = _FDRuleIndex(tableau, self.fds)
+        self._seeded = False
+        self._poisoned = False
+
+    @property
+    def poisoned(self) -> bool:
+        """True once a run hit a contradiction; the tableau holds
+        partial merges and must be rebuilt."""
+        return self._poisoned
+
+    def run(self, record_steps: bool = False) -> ChaseResult:
+        """Drive the FD-rule to fixpoint (full pass on the first call,
+        dirty worklist only afterwards)."""
+        if self._poisoned:
+            raise InconsistentStateError(
+                "tableau was poisoned by an earlier contradiction; "
+                "rebuild it from the state before chasing again"
+            )
+        result = ChaseResult(tableau=self.tableau, consistent=True)
+        budget = _Budget(DEFAULT_MAX_ROWS, self.max_passes)
+        _run_fd_fixpoint(
+            self.tableau,
+            self._index,
+            result,
+            budget,
+            record_steps=record_steps,
+            initial=not self._seeded,
+        )
+        self._seeded = True
+        if not result.consistent:
+            self._poisoned = True
+        return result
 
 
 def explain_contradiction(result: ChaseResult) -> str:

@@ -473,14 +473,23 @@ class ChaseTableau:
 
     def total_projection(self, attrset: AttrsLike) -> RelationInstance:
         """Rows whose ``X``-values are all constants, projected on ``X``
-        (the weak-instance query answer of [S1]/[M])."""
+        (the weak-instance query answer of [S1]/[M]).
+
+        The result is a set: distinct rows only, even when many tableau
+        rows resolve to the same constants (``RelationInstance`` would
+        dedupe anyway — dropping duplicates here skips building the
+        redundant tuples, which matters once a chased tableau has many
+        rows grounded to the same facts).
+        """
         target = AttributeSet(attrset)
         idxs = [self._colidx[a] for a in target]
         resolve = self.symbols.resolve_value
         rows = []
+        seen: Set[PyTuple[Any, ...]] = set()
         for row in self._rows:
             vals = tuple(resolve(row[i]) for i in idxs)
-            if all(not is_null(v) for v in vals):
+            if vals not in seen and all(not is_null(v) for v in vals):
+                seen.add(vals)
                 rows.append(vals)
         return RelationInstance(target, rows)
 

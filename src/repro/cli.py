@@ -5,7 +5,17 @@ Usage::
     python -m repro analyze <scenario-file>     # independence analysis
     python -m repro check <scenario-file>       # does the state satisfy Σ?
     python -m repro query <scenario-file> -a "T H R"
+    python -m repro serve <scenario-file> --ops <ops-file>
     python -m repro demo                        # the paper's examples
+
+``serve`` keeps a live :class:`~repro.weak.service.WeakInstanceService`
+over the scenario's state and runs an operation script (from ``--ops``
+or stdin), one op per line::
+
+    insert CHR (CS101, Tue-9, 313)
+    delete CT (CS102, Jones)
+    query T H R
+    derivable T=Smith H=Mon-10 R=313
 
 Scenario files use the DSL of :mod:`repro.dsl`::
 
@@ -25,10 +35,11 @@ from typing import Optional, Sequence
 
 from repro.chase.satisfaction import satisfies
 from repro.core.independence import analyze
-from repro.dsl import Scenario, parse_scenario
-from repro.exceptions import ReproError
+from repro.dsl import Scenario, parse_scenario, parse_tuples, parse_value
+from repro.exceptions import ParseError, ReproError
 from repro.report import banner
 from repro.weak.representative import window
+from repro.weak.service import WeakInstanceService
 from repro.workloads.paper import ALL_EXAMPLES
 
 
@@ -66,6 +77,75 @@ def _cmd_query(args: argparse.Namespace) -> int:
     for t in facts:
         print("  " + " | ".join(f"{a}={t.value(a)}" for a in facts.attributes))
     print(f"({len(facts)} derivable fact(s) over {facts.attributes})")
+    return 0
+
+
+def _serve_one(service: WeakInstanceService, line: str) -> str:
+    """Execute one ops-script line against the service; returns the
+    line to print."""
+    parts = line.split(None, 1)
+    op, rest = parts[0].lower(), parts[1] if len(parts) > 1 else ""
+    if op in ("insert", "delete"):
+        scheme, _, spec = rest.partition(" ")
+        if not scheme or not spec.strip():
+            raise ParseError(f"{op} needs a scheme and a tuple: {line!r}")
+        rows = parse_tuples(spec)
+        if len(rows) != 1:
+            raise ParseError(f"{op} takes exactly one tuple: {line!r}")
+        if op == "delete":
+            existed = service.delete(scheme, rows[0])
+            return f"delete {scheme} {rows[0]}: {'ok' if existed else 'absent'}"
+        outcome = service.insert(scheme, rows[0])
+        verdict = "accepted" if outcome.accepted else "REJECTED"
+        suffix = f" — {outcome.reason}" if outcome.reason else ""
+        return f"insert {scheme} {rows[0]}: {verdict}{suffix}"
+    if op == "query":
+        if not rest.strip():
+            raise ParseError(f"query needs attributes: {line!r}")
+        facts = service.window(rest)
+        lines = [
+            "  " + " | ".join(f"{a}={t.value(a)}" for a in facts.attributes)
+            for t in facts
+        ]
+        lines.append(f"query {rest}: {len(facts)} derivable fact(s)")
+        return "\n".join(lines)
+    if op == "derivable":
+        fact = {}
+        for token in rest.split():
+            attr, eq, value = token.partition("=")
+            if not eq:
+                raise ParseError(f"derivable needs Attr=value pairs: {line!r}")
+            fact[attr] = parse_value(value)
+        if not fact:
+            raise ParseError(f"derivable needs at least one Attr=value: {line!r}")
+        return f"derivable {rest}: {'yes' if service.derivable(fact) else 'no'}"
+    raise ParseError(f"unknown op {op!r} (insert/delete/query/derivable)")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    scenario = _load(args.scenario)
+    service = WeakInstanceService(scenario.schema, scenario.fds, method=args.method)
+    if scenario.state is not None:
+        service.load(scenario.state)
+    if args.ops:
+        lines = pathlib.Path(args.ops).read_text().splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        print(_serve_one(service, line))
+    stats = service.stats
+    print(
+        f"served: {stats.window_queries} queries "
+        f"({stats.window_cache_hits} cached), "
+        f"{stats.inserts_accepted} inserts accepted "
+        f"({stats.duplicate_inserts} duplicate), "
+        f"{stats.inserts_rejected} rejected, {stats.deletes} deletes, "
+        f"{stats.incremental_chases} incremental chases, "
+        f"{stats.rebuilds} rebuilds"
+    )
     return 0
 
 
@@ -107,6 +187,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("scenario")
     p.add_argument("-a", "--attributes", required=True, help='e.g. "T H R"')
     p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser(
+        "serve",
+        help="run an insert/delete/query ops script against a live "
+        "weak-instance service",
+    )
+    p.add_argument("scenario")
+    p.add_argument(
+        "--ops",
+        help="path to the ops script (default: read ops from stdin)",
+    )
+    p.add_argument(
+        "--method",
+        choices=("local", "chase"),
+        default="chase",
+        help="insert validation: 'local' needs an independent schema "
+        "(Theorem 3, O(1) per insert); 'chase' works for any schema "
+        "(default)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("demo", help="run the paper's examples")
     p.set_defaults(func=_cmd_demo)

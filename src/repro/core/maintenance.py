@@ -25,8 +25,8 @@ is one for ``p`` minus a tuple), so only insertions are checked.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Literal, Optional, Tuple as PyTuple, Union
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Literal, Optional, Set, Tuple as PyTuple, Union
 
 from repro.chase.satisfaction import satisfies
 from repro.core.independence import IndependenceReport, analyze
@@ -76,6 +76,12 @@ class _FDIndex:
     def _val(self, t: Tuple) -> PyTuple[Any, ...]:
         return tuple(t.value(a) for a in self._rhs)
 
+    def clone(self) -> "_FDIndex":
+        """An independent copy (staging area for atomic loads)."""
+        other = _FDIndex(self.fd)
+        other._map = {key: dict(entry) for key, entry in self._map.items()}
+        return other
+
     def conflicts(self, t: Tuple) -> bool:
         entry = self._map.get(self._key(t))
         if not entry:
@@ -104,7 +110,13 @@ class _FDIndex:
 
 
 class MaintenanceChecker:
-    """Incrementally maintained satisfying state with insert validation."""
+    """Incrementally maintained satisfying state with insert validation.
+
+    The state is a *set* of tuples per relation: re-inserting a tuple
+    that is already present is accepted but changes nothing, so
+    :meth:`total_tuples` always agrees with the :meth:`state`
+    snapshot (which has set semantics by construction).
+    """
 
     def __init__(
         self,
@@ -117,6 +129,7 @@ class MaintenanceChecker:
         self.fds = as_fdset(fds)
         self.method: Method = method
         self._tuples: Dict[str, List[Tuple]] = {s.name: [] for s in schema}
+        self._present: Dict[str, Set[Tuple]] = {s.name: set() for s in schema}
         self._indexes: Dict[str, List[_FDIndex]] = {s.name: [] for s in schema}
 
         if method == "local":
@@ -136,24 +149,68 @@ class MaintenanceChecker:
 
     # -- loading --------------------------------------------------------------
 
-    def load(self, state: DatabaseState) -> None:
-        """Load a base state (must satisfy the dependencies)."""
+    def load(self, state: DatabaseState, assume_valid: bool = False) -> None:
+        """Load a base state atomically (must satisfy the dependencies).
+
+        The state is validated into a staging area first and committed
+        only when every tuple passes, so a violating base state raises
+        :class:`InconsistentStateError` and leaves the checker exactly
+        as it was — never partially loaded.  Tuples already present are
+        skipped (inserts are set semantics, see :meth:`insert`).
+
+        ``assume_valid=True`` skips the chase-method satisfaction
+        check, for callers that have already validated the combined
+        state by other means (the weak-instance service validates
+        through its own live chase).  The local method always
+        validates: its per-tuple index checks are cheap and double as
+        the staging pass.
+        """
+        staged: Dict[str, List[Tuple]] = {}
+        for scheme, relation in state:
+            present = self._present[scheme.name]
+            fresh: List[Tuple] = []
+            seen: Set[Tuple] = set()
+            for t in relation:
+                if t in present or t in seen:
+                    continue
+                seen.add(t)
+                fresh.append(t)
+            staged[scheme.name] = fresh
+
         if self.method == "local":
-            for scheme, relation in state:
-                for t in relation:
-                    outcome = self.insert(scheme.name, t)
-                    if not outcome.accepted:
-                        raise InconsistentStateError(
-                            f"base state violates dependencies: {outcome.reason}"
-                        )
-        else:
-            result = satisfies(state, self.fds)
+            staged_indexes: Dict[str, List[_FDIndex]] = {}
+            for name, fresh in staged.items():
+                if not fresh:  # untouched scheme: keep its live indexes
+                    continue
+                indexes = [index.clone() for index in self._indexes[name]]
+                for t in fresh:
+                    for index in indexes:
+                        if index.conflicts(t):
+                            raise InconsistentStateError(
+                                f"base state violates dependencies: tuple {t} in "
+                                f"{name} violates {index.fd} (nothing was loaded)"
+                            )
+                    for index in indexes:
+                        index.add(t)
+                staged_indexes[name] = indexes
+            self._indexes.update(staged_indexes)
+        elif not assume_valid:
+            combined = DatabaseState(
+                self.schema,
+                {
+                    name: self._tuples[name] + fresh
+                    for name, fresh in staged.items()
+                },
+            )
+            result = satisfies(combined, self.fds)
             if not result.satisfies:
                 raise InconsistentStateError(
                     f"base state is not satisfying: {result.chase_result.contradiction}"
                 )
-            for scheme, relation in state:
-                self._tuples[scheme.name].extend(relation.tuples)
+
+        for name, fresh in staged.items():
+            self._tuples[name].extend(fresh)
+            self._present[name].update(fresh)
 
     # -- queries ----------------------------------------------------------------
 
@@ -173,6 +230,10 @@ class MaintenanceChecker:
         from repro.data.relations import _coerce_row
 
         return _coerce_row(row, scheme.attributes, scheme.columns)
+
+    def coerce_tuple(self, scheme_name: str, row: RowLike) -> Tuple:
+        """Interpret a row against the scheme's declared column order."""
+        return self._coerce(scheme_name, row)
 
     # -- the maintenance operation ----------------------------------------------
 
@@ -208,23 +269,45 @@ class MaintenanceChecker:
             reason=str(result.chase_result.contradiction),
         )
 
+    def contains(self, scheme_name: str, row: RowLike) -> bool:
+        """Is the tuple currently stored in the relation?"""
+        return self._coerce(scheme_name, row) in self._present[scheme_name]
+
     def insert(self, scheme_name: str, row: RowLike) -> InsertOutcome:
-        """Check and, when valid, apply the insertion."""
+        """Check and, when valid, apply the insertion.
+
+        Set semantics: re-inserting a tuple already in the state is
+        accepted (it trivially keeps the state satisfying) but changes
+        nothing — the outcome's ``reason`` notes the duplicate.
+        """
         outcome = self.check_insert(scheme_name, row)
-        if outcome.accepted:
-            self._tuples[scheme_name].append(outcome.tuple)
-            for index in self._indexes[scheme_name]:
-                index.add(outcome.tuple)
+        if outcome.accepted and not self.apply_insert(scheme_name, outcome.tuple):
+            outcome = replace(
+                outcome, reason="duplicate tuple: state unchanged (set semantics)"
+            )
         return outcome
+
+    def apply_insert(self, scheme_name: str, row: RowLike) -> bool:
+        """Commit a tuple the caller has already validated, bypassing
+        the dependency check (the weak-instance service validates
+        through its own live chase).  Returns whether the state changed
+        (False for a duplicate)."""
+        t = self._coerce(scheme_name, row)
+        if t in self._present[scheme_name]:
+            return False
+        self._tuples[scheme_name].append(t)
+        self._present[scheme_name].add(t)
+        for index in self._indexes[scheme_name]:
+            index.add(t)
+        return True
 
     def delete(self, scheme_name: str, row: RowLike) -> bool:
         """Deletions are always safe; returns whether the tuple existed."""
         t = self._coerce(scheme_name, row)
-        tuples = self._tuples[scheme_name]
-        try:
-            tuples.remove(t)
-        except ValueError:
+        if t not in self._present[scheme_name]:
             return False
+        self._tuples[scheme_name].remove(t)
+        self._present[scheme_name].discard(t)
         for index in self._indexes[scheme_name]:
             index.remove(t)
         return True

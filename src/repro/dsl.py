@@ -36,6 +36,12 @@ def _parse_value(token: str):
     return token
 
 
+def parse_value(token: str):
+    """Parse one value token the way state tuples do (bare integers
+    become ``int``, everything else stays a string)."""
+    return _parse_value(token)
+
+
 def parse_tuples(text: str) -> List[PyTuple]:
     """Parse ``(a, b), (c, d)`` into a list of value tuples."""
     out: List[PyTuple] = []

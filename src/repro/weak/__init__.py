@@ -1,4 +1,6 @@
-"""Weak-instance machinery: consistency, reduction, query answering."""
+"""Weak-instance machinery: consistency, reduction, query answering —
+one-shot (:mod:`repro.weak.representative`) and served live across
+updates (:mod:`repro.weak.service`)."""
 
 from repro.weak.consistency import (
     SemijoinStep,
@@ -10,6 +12,7 @@ from repro.weak.consistency import (
 )
 from repro.weak.equivalence import information_contains, information_equivalent
 from repro.weak.representative import derivable, representative_instance, window
+from repro.weak.service import ServiceStats, WeakInstanceService
 
 __all__ = [
     "information_contains",
@@ -23,4 +26,6 @@ __all__ = [
     "representative_instance",
     "window",
     "derivable",
+    "WeakInstanceService",
+    "ServiceStats",
 ]

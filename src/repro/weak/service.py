@@ -1,0 +1,412 @@
+"""A live weak-instance query service.
+
+The one-shot functions of :mod:`repro.weak.representative` rebuild and
+re-chase the whole tableau ``I(p)`` on every query — fine for a single
+question, hopeless for serving traffic.  :class:`WeakInstanceService`
+keeps the chased representative instance **live** across updates:
+
+* **Inserts** are validated by a wrapped
+  :class:`~repro.core.maintenance.MaintenanceChecker` and then chased
+  *incrementally*: the new row is appended to the already-chased
+  tableau and only the dirty-row worklist it seeds is driven to
+  fixpoint (:class:`~repro.chase.engine.IncrementalFDChaser`), reusing
+  the engine's per-FD partitions and the tableau's occurrence/value
+  indexes.  Cost per insert is the cascade the tuple actually
+  triggers, not a rescan of the state.
+* **Deletes** are always safe for satisfaction (any weak instance for
+  ``p`` is one for ``p`` minus a tuple) but can retract derived facts,
+  so they invalidate the live tableau; the next query rebuilds it from
+  the checker's current state.  Deletions are therefore the one
+  operation that is not incremental — the paper gives no locality
+  result for them.
+* **Queries** (:meth:`window`, :meth:`derivable`) read the live
+  tableau's total projection through a per-``AttributeSet`` cache
+  keyed by the tableau's version stamp, so repeated queries between
+  updates are O(1).
+
+Validation semantics follow :func:`repro.weak.representative.window`:
+consistency means *a weak instance for the FDs exists*, decided by the
+FD-only chase — which coincides with full ``F ∪ {*D}`` satisfaction
+whenever every FD is embedded in the schema (Lemma 4), the paper's
+setting.  For non-embedded FDs this is deliberately weaker than
+``MaintenanceChecker(method="chase").check_insert`` (which also chases
+the schema's join dependency); use the checker directly when you need
+the full ``Σ`` maintenance test.  With ``method="local"`` (independent
+schemas, Theorem 3) insert validation is O(1) per embedded-cover FD;
+with ``method="chase"`` the incremental chase itself is the validator
+— a contradiction rejects the tuple and rebuilds the tableau from the
+(uncommitted) state.  Both :meth:`load` paths (empty and incremental)
+validate through the same FD-only chase, so acceptance never depends
+on how the data was batched.
+
+Batch entry points (:meth:`insert_many`, :meth:`window_many`,
+:meth:`derivable_many`) amortize fixpoint drives and cache lookups
+over a whole stream of operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple as PyTuple,
+    Union,
+)
+
+from repro.chase.engine import IncrementalFDChaser
+from repro.chase.tableau import ChaseTableau, RowOrigin
+from repro.core.independence import IndependenceReport
+from repro.core.maintenance import InsertOutcome, MaintenanceChecker, Method
+from repro.data.relations import RelationInstance, RowLike
+from repro.data.states import DatabaseState
+from repro.deps.fd import FD
+from repro.deps.fdset import FDSet, as_fdset
+from repro.exceptions import InconsistentStateError
+from repro.schema.attributes import AttributeSet, AttrsLike
+from repro.schema.database import DatabaseSchema
+
+
+@dataclass
+class ServiceStats:
+    """Operation counters (benchmark and test introspection)."""
+
+    inserts_accepted: int = 0
+    inserts_rejected: int = 0
+    duplicate_inserts: int = 0
+    deletes: int = 0
+    rebuilds: int = 0
+    incremental_chases: int = 0
+    window_queries: int = 0
+    window_cache_hits: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class WeakInstanceService:
+    """Keeps the chased representative instance live across updates.
+
+    See the module docstring for the design.  Construct over a schema
+    and FDs, :meth:`load` a base state, then interleave
+    :meth:`insert`/:meth:`delete` with :meth:`window`/:meth:`derivable`
+    freely — every answer is identical to re-deriving from scratch
+    with :func:`repro.weak.representative.window` on the current
+    state (the randomized equivalence suite pins this).
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        fds: Union[FDSet, Iterable[FD], str],
+        method: Method = "chase",
+        report: Optional[IndependenceReport] = None,
+    ):
+        self.schema = schema
+        self.fds = as_fdset(fds)
+        self.checker = MaintenanceChecker(schema, self.fds, method=method, report=report)
+        self._fd_tuple: PyTuple[FD, ...] = tuple(self.fds)
+        self._tableau: Optional[ChaseTableau] = None
+        self._chaser: Optional[IncrementalFDChaser] = None
+        self._stale = True
+        # AttributeSet -> (tableau version at computation, result)
+        self._window_cache: Dict[
+            AttributeSet, PyTuple[PyTuple[int, int], RelationInstance]
+        ] = {}
+        self.stats = ServiceStats()
+
+    @classmethod
+    def from_state(
+        cls,
+        state: DatabaseState,
+        fds: Union[FDSet, Iterable[FD], str],
+        method: Method = "chase",
+        report: Optional[IndependenceReport] = None,
+    ) -> "WeakInstanceService":
+        """Build a service over the state's schema and load the state."""
+        service = cls(state.schema, fds, method=method, report=report)
+        service.load(state)
+        return service
+
+    @property
+    def method(self) -> Method:
+        return self.checker.method
+
+    # -- loading ---------------------------------------------------------------
+
+    def load(self, state: DatabaseState) -> None:
+        """Load a base state (atomic: a violating state changes nothing).
+
+        With ``method="chase"`` the validating chase *is* the next live
+        tableau, so loading costs exactly one chase of the combined
+        state — on an empty service, the same as one from-scratch
+        query.  Loading onto a non-empty service validates the
+        *combination* of the stored and incoming tuples, through the
+        same FD-only chase as every other entry point.
+        """
+        if self.method != "chase":
+            self.checker.load(state)
+            self._invalidate()
+            return
+        if self.checker.total_tuples() == 0:
+            tableau = ChaseTableau.from_state(state)
+        else:
+            tableau = ChaseTableau.from_state(self.checker.state())
+            seen = set()
+            for scheme, relation in state:
+                for t in relation:
+                    if (scheme.name, t) in seen or self.checker.contains(
+                        scheme.name, t
+                    ):
+                        continue
+                    seen.add((scheme.name, t))
+                    tableau.add_padded(
+                        scheme.attributes, t, RowOrigin("state", scheme.name)
+                    )
+        chaser = IncrementalFDChaser(tableau, self._fd_tuple)
+        result = chaser.run()
+        if not result.consistent:
+            # the candidate tableau is discarded; the previous live
+            # tableau (if any) and the checker are untouched
+            raise InconsistentStateError(
+                f"state is not satisfying: {result.contradiction}"
+            )
+        self.checker.load(state, assume_valid=True)
+        self._adopt(tableau, chaser)
+
+    # -- live tableau management -----------------------------------------------
+
+    def _adopt(self, tableau: ChaseTableau, chaser: IncrementalFDChaser) -> None:
+        self._tableau = tableau
+        self._chaser = chaser
+        self._stale = False
+        # never reuse windows across tableaux: a rebuilt tableau can
+        # coincidentally reproduce an old version stamp
+        self._window_cache.clear()
+
+    def _invalidate(self) -> None:
+        self._tableau = None
+        self._chaser = None
+        self._stale = True
+        self._window_cache.clear()
+
+    def _ensure_live(self) -> ChaseTableau:
+        """The chased live tableau, rebuilding from the checker's state
+        when an update invalidated it."""
+        if not self._stale and self._tableau is not None:
+            return self._tableau
+        tableau = ChaseTableau.from_state(self.checker.state())
+        chaser = IncrementalFDChaser(tableau, self._fd_tuple)
+        result = chaser.run()
+        if not result.consistent:  # pragma: no cover - checker-validated state
+            raise InconsistentStateError(
+                f"checker state stopped satisfying the FDs: {result.contradiction}"
+            )
+        self._adopt(tableau, chaser)
+        self.stats.rebuilds += 1
+        return tableau
+
+    def _chase_appended(self) -> bool:
+        """Drive the fixpoint over rows appended since the last drive.
+
+        Returns False (and invalidates the poisoned tableau) on a
+        contradiction.
+        """
+        assert self._chaser is not None
+        self.stats.incremental_chases += 1
+        result = self._chaser.run()
+        if not result.consistent:
+            self._invalidate()
+            return False
+        return True
+
+    # -- updates -----------------------------------------------------------------
+
+    def insert(self, scheme_name: str, row: RowLike) -> InsertOutcome:
+        """Validate, commit, and incrementally chase one insertion."""
+        if self.method != "local":
+            return self._insert_via_chase(scheme_name, row)
+        outcome = self._insert_no_chase(scheme_name, row)
+        if outcome.accepted and not outcome.reason and not self._stale:
+            if not self._chase_appended():  # pragma: no cover - defensive
+                # The checker accepted, so the FD-chase cannot contradict
+                # (a weak instance exists); recover anyway by undoing the
+                # commit and reporting the rejection.
+                self.checker.delete(scheme_name, outcome.tuple)
+                self.stats.inserts_accepted -= 1
+                self.stats.inserts_rejected += 1
+                return InsertOutcome(
+                    accepted=False,
+                    scheme=scheme_name,
+                    tuple=outcome.tuple,
+                    method=self.method,
+                    reason="incremental chase contradicted the checker's verdict",
+                )
+        return outcome
+
+    def _insert_no_chase(self, scheme_name: str, row: RowLike) -> InsertOutcome:
+        """Local-method path: validate via the checker's O(1) index
+        check, commit, and append the accepted row to the live tableau
+        *without* driving the fixpoint (the caller batches that)."""
+        assert self.method == "local"
+        outcome = self.checker.insert(scheme_name, row)
+        if not outcome.accepted:
+            self.stats.inserts_rejected += 1
+            return outcome
+        self.stats.inserts_accepted += 1
+        if outcome.reason:  # duplicate: nothing new to chase
+            self.stats.duplicate_inserts += 1
+            return outcome
+        self._append_row(scheme_name, outcome.tuple)
+        return outcome
+
+    def _insert_via_chase(self, scheme_name: str, row: RowLike) -> InsertOutcome:
+        """Chase-method insert: the incremental chase is the validator,
+        so acceptance costs the triggered cascade instead of the full
+        re-chase ``MaintenanceChecker.check_insert`` would run."""
+        t = self.checker.coerce_tuple(scheme_name, row)
+        if self.checker.contains(scheme_name, t):
+            self.stats.inserts_accepted += 1
+            self.stats.duplicate_inserts += 1
+            return InsertOutcome(
+                accepted=True,
+                scheme=scheme_name,
+                tuple=t,
+                method="chase",
+                reason="duplicate tuple: state unchanged (set semantics)",
+            )
+        self._ensure_live()
+        self._append_row(scheme_name, t)
+        assert self._chaser is not None
+        self.stats.incremental_chases += 1
+        result = self._chaser.run()
+        if not result.consistent:
+            # the appended row poisoned the tableau; drop it (the tuple
+            # was never committed to the checker) and rebuild lazily
+            self._invalidate()
+            self.stats.inserts_rejected += 1
+            return InsertOutcome(
+                accepted=False,
+                scheme=scheme_name,
+                tuple=t,
+                method="chase",
+                violated_fd=result.contradiction.fd if result.contradiction else None,
+                reason=str(result.contradiction),
+            )
+        self.checker.apply_insert(scheme_name, t)
+        self.stats.inserts_accepted += 1
+        return InsertOutcome(accepted=True, scheme=scheme_name, tuple=t, method="chase")
+
+    def _append_row(self, scheme_name: str, t) -> None:
+        if self._stale or self._tableau is None:
+            return
+        scheme = self.schema[scheme_name]
+        self._tableau.add_padded(
+            scheme.attributes, t, RowOrigin("state", scheme.name)
+        )
+
+    def delete(self, scheme_name: str, row: RowLike) -> bool:
+        """Delete a tuple; returns whether it existed.  Satisfaction
+        survives any deletion, but derived facts may not, so the live
+        tableau is invalidated and rebuilt on the next query."""
+        existed = self.checker.delete(scheme_name, row)
+        if existed:
+            self.stats.deletes += 1
+            self._invalidate()
+        return existed
+
+    # -- queries ------------------------------------------------------------------
+
+    def window(self, attrset: AttrsLike) -> RelationInstance:
+        """The derivable ``X``-facts of the *current* state: the
+        ``X``-total projection of the live representative instance."""
+        target = AttributeSet(attrset)
+        self.stats.window_queries += 1
+        tableau = self._ensure_live()
+        version = tableau.version
+        cached = self._window_cache.get(target)
+        if cached is not None and cached[0] == version:
+            self.stats.window_cache_hits += 1
+            return cached[1]
+        facts = tableau.total_projection(target)
+        self._window_cache[target] = (version, facts)
+        return facts
+
+    def derivable(self, fact: Mapping[str, object]) -> bool:
+        """Is the fact (attribute → value mapping) derivable from the
+        current state under the dependencies?"""
+        target = AttributeSet(list(fact))
+        facts = self.window(target)
+        wanted = tuple(fact[a] for a in target)
+        return any(tuple(t.value(a) for a in target) == wanted for t in facts)
+
+    def representative(self) -> ChaseTableau:
+        """The live chased tableau ``I(p)`` (read-only: mutate it and
+        the service's answers are undefined)."""
+        return self._ensure_live()
+
+    # -- batch APIs ----------------------------------------------------------------
+
+    def insert_many(
+        self, ops: Iterable[PyTuple[str, RowLike]]
+    ) -> List[InsertOutcome]:
+        """Insert a batch, driving one fixpoint over all appended rows.
+
+        With ``method="local"`` every row is validated by the O(1)
+        index check before any chase work, so the whole batch needs a
+        single worklist drive; with ``method="chase"`` validation *is*
+        the chase and rows are processed one by one.
+        """
+        outcomes: List[InsertOutcome] = []
+        if self.method != "local":
+            for scheme_name, row in ops:
+                outcomes.append(self.insert(scheme_name, row))
+            return outcomes
+        appended = False
+        for scheme_name, row in ops:
+            outcome = self._insert_no_chase(scheme_name, row)
+            outcomes.append(outcome)
+            if outcome.accepted and not outcome.reason and not self._stale:
+                appended = True
+        if appended:
+            self._chase_appended()
+        return outcomes
+
+    def window_many(
+        self, attrsets: Iterable[AttrsLike]
+    ) -> List[RelationInstance]:
+        """Answer several window queries against one live tableau."""
+        return [self.window(a) for a in attrsets]
+
+    def derivable_many(
+        self, facts: Sequence[Mapping[str, object]]
+    ) -> List[bool]:
+        """Batch :meth:`derivable`; facts over the same attributes
+        share one window lookup (and the cache)."""
+        return [self.derivable(fact) for fact in facts]
+
+    # -- introspection ----------------------------------------------------------------
+
+    def state(self) -> DatabaseState:
+        """Immutable snapshot of the current state."""
+        return self.checker.state()
+
+    def total_tuples(self) -> int:
+        return self.checker.total_tuples()
+
+    @property
+    def live(self) -> bool:
+        """Is the chased tableau current (no rebuild pending)?"""
+        return not self._stale
+
+    def __repr__(self) -> str:
+        rows = len(self._tableau) if self._tableau is not None else "∅"
+        return (
+            f"WeakInstanceService<method={self.method}, "
+            f"tuples={self.total_tuples()}, tableau_rows={rows}, "
+            f"live={self.live}>"
+        )

@@ -23,8 +23,11 @@ from repro.workloads.schemas import (
 )
 from repro.workloads.states import (
     InsertOp,
+    StreamOp,
     cascade_chain_workload,
+    default_query_pool,
     insert_workload,
+    mixed_stream_workload,
     random_satisfying_state,
     random_satisfying_universal,
 )
@@ -47,7 +50,10 @@ __all__ = [
     "cyclic_ring",
     "random_schema",
     "InsertOp",
+    "StreamOp",
     "insert_workload",
+    "mixed_stream_workload",
+    "default_query_pool",
     "cascade_chain_workload",
     "random_satisfying_state",
     "random_satisfying_universal",

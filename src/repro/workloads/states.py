@@ -158,6 +158,96 @@ class InsertOp:
     intended_valid: bool
 
 
+@dataclass(frozen=True)
+class StreamOp:
+    """One operation of a mixed service stream.
+
+    ``kind`` is ``"insert"``, ``"delete"``, or ``"query"``.  Inserts
+    and deletes carry ``scheme``/``values``; queries carry the target
+    ``attributes``.  ``intended_valid`` records how an insert was
+    generated (the checker decides actual validity).
+    """
+
+    kind: str
+    scheme: Optional[str] = None
+    values: Optional[Dict[str, object]] = None
+    attributes: Optional[PyTuple[str, ...]] = None
+    intended_valid: bool = True
+
+
+def default_query_pool(schema: DatabaseSchema, width: int = 3) -> List[PyTuple[str, ...]]:
+    """Sliding attribute windows over the universe (declared order),
+    sized to straddle scheme boundaries so answering them genuinely
+    needs chase-derived padding, plus every scheme's own attribute
+    set."""
+    universe = list(schema.universe.names)
+    pool: List[PyTuple[str, ...]] = []
+    for i in range(0, max(1, len(universe) - width + 1)):
+        pool.append(tuple(universe[i : i + width]))
+    for scheme in schema:
+        pool.append(scheme.attributes.names)
+    return pool
+
+
+def mixed_stream_workload(
+    schema: DatabaseSchema,
+    fds: FDSet,
+    n_base: int = 100,
+    n_inserts: int = 40,
+    n_deletes: int = 5,
+    n_queries: int = 40,
+    seed: int = 0,
+    domain_size: int = 1000,
+    invalid_ratio: float = 0.2,
+    query_pool: Optional[Sequence[PyTuple[str, ...]]] = None,
+) -> PyTuple[DatabaseState, List[StreamOp]]:
+    """A satisfying base state plus a shuffled insert/delete/query
+    stream — the workload a live weak-instance query service faces.
+
+    The base state projects ``n_base`` FD-respecting universal tuples
+    (so the per-relation row count scales with ``n_base × schemes``);
+    inserts mix valid and corrupted tuples exactly like
+    :func:`insert_workload`; deletes pick stored base tuples; queries
+    draw from ``query_pool`` (default: :func:`default_query_pool`).
+    The stream order is a seeded shuffle, so insert/delete/query
+    operations genuinely interleave.
+    """
+    rng = random.Random(seed)
+    base = random_satisfying_state(
+        schema, fds, n_base, seed=seed, domain_size=domain_size
+    )
+    ops: List[StreamOp] = []
+    for op in insert_workload(
+        schema,
+        fds,
+        n_ops=n_inserts,
+        seed=seed + 1,
+        domain_size=domain_size,
+        invalid_ratio=invalid_ratio,
+    ):
+        ops.append(
+            StreamOp(
+                kind="insert",
+                scheme=op.scheme,
+                values=op.values,
+                intended_valid=op.intended_valid,
+            )
+        )
+    stored = [
+        (scheme.name, {a: t.value(a) for a in scheme.attributes})
+        for scheme, relation in base
+        for t in relation
+    ]
+    for _ in range(min(n_deletes, len(stored))):
+        name, values = stored.pop(rng.randrange(len(stored)))
+        ops.append(StreamOp(kind="delete", scheme=name, values=values))
+    pool = list(query_pool) if query_pool is not None else default_query_pool(schema)
+    for _ in range(n_queries):
+        ops.append(StreamOp(kind="query", attributes=rng.choice(pool)))
+    rng.shuffle(ops)
+    return base, ops
+
+
 def insert_workload(
     schema: DatabaseSchema,
     fds: FDSet,

@@ -78,6 +78,61 @@ class TestQuery:
         assert "Smith" in out and "313" in out
 
 
+class TestServe:
+    OPS = """
+# mixed stream against the live service
+query T H R
+insert CHR (CS101, Tue-9, 327)
+query T H R
+insert CT (CS101, Jones)
+insert CT (CS101, Smith)
+derivable T=Smith H=Tue-9 R=327
+delete CHR (CS101, Tue-9, 327)
+derivable T=Smith H=Tue-9 R=327
+"""
+
+    def _ops_file(self, tmp_path) -> str:
+        path = tmp_path / "ops.txt"
+        path.write_text(self.OPS)
+        return str(path)
+
+    def test_serve_stream(self, scenario_file, tmp_path, capsys):
+        code = main(
+            ["serve", scenario_file(INDEPENDENT), "--ops", self._ops_file(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 derivable fact(s)" in out
+        assert "2 derivable fact(s)" in out
+        assert "REJECTED" in out  # (CS101, Jones) violates C -> T
+        assert "duplicate" in out  # (CS101, Smith) is already stored
+        assert "derivable T=Smith H=Tue-9 R=327: yes" in out
+        assert "derivable T=Smith H=Tue-9 R=327: no" in out  # after the delete
+        assert "served:" in out
+
+    def test_serve_local_method(self, scenario_file, tmp_path, capsys):
+        code = main(
+            [
+                "serve",
+                scenario_file(INDEPENDENT),
+                "--ops",
+                self._ops_file(tmp_path),
+                "--method",
+                "local",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "REJECTED" in out and "served:" in out
+
+    def test_serve_bad_op_line(self, scenario_file, tmp_path, capsys):
+        path = tmp_path / "ops.txt"
+        path.write_text("frobnicate CT (1, 2)\n")
+        code = main(["serve", scenario_file(INDEPENDENT), "--ops", str(path)])
+        assert code == 2
+        assert "unknown op" in capsys.readouterr().err
+
+
 class TestDemo:
     def test_demo_runs_all_examples(self, capsys):
         assert main(["demo"]) == 0

@@ -63,6 +63,113 @@ class TestLocalMethod:
         assert checker.total_tuples() == 0
 
 
+class TestSetSemantics:
+    """Inserts are idempotent: ``total_tuples()`` must always agree
+    with the set-semantics ``state()`` snapshot (regression: duplicate
+    inserts used to append to the tuple list and bump the FD-index
+    multiplicities, so the counts diverged)."""
+
+    def test_duplicate_insert_is_noop(self, ex2):
+        checker = MaintenanceChecker(ex2.schema, ex2.fds, method="local")
+        assert checker.insert("CT", ("CS101", "Smith")).accepted
+        dup = checker.insert("CT", ("CS101", "Smith"))
+        assert dup.accepted and "duplicate" in dup.reason
+        assert checker.total_tuples() == 1
+        assert checker.total_tuples() == checker.state().total_tuples()
+
+    def test_insert_dup_then_delete_removes_the_tuple(self, ex2):
+        checker = MaintenanceChecker(ex2.schema, ex2.fds, method="local")
+        checker.insert("CT", ("CS101", "Smith"))
+        checker.insert("CT", ("CS101", "Smith"))
+        assert checker.delete("CT", ("CS101", "Smith"))
+        assert checker.total_tuples() == 0
+        assert not checker.contains("CT", ("CS101", "Smith"))
+        # the FD index must not retain a ghost multiplicity: a
+        # conflicting teacher for CS101 is now acceptable
+        assert checker.insert("CT", ("CS101", "Jones")).accepted
+
+    def test_counts_agree_under_chase_method(self, ex1):
+        checker = MaintenanceChecker(ex1.schema, ex1.fds, method="chase")
+        assert checker.insert("CD", ("CS402", "CS")).accepted
+        dup = checker.insert("CD", ("CS402", "CS"))
+        assert dup.accepted and "duplicate" in dup.reason
+        assert checker.total_tuples() == 1 == checker.state().total_tuples()
+
+    def test_contains(self, ex2):
+        checker = MaintenanceChecker(ex2.schema, ex2.fds, method="local")
+        assert not checker.contains("CT", ("CS101", "Smith"))
+        checker.insert("CT", ("CS101", "Smith"))
+        assert checker.contains("CT", ("CS101", "Smith"))
+
+
+class TestAtomicLoad:
+    """``load`` validates into staging and commits all-or-nothing
+    (regression: the local method used to insert tuple-by-tuple and
+    raise mid-way, leaving the checker partially loaded)."""
+
+    def _violating_state(self, ex2):
+        from repro.data.states import DatabaseState
+
+        return DatabaseState(
+            ex2.schema,
+            {"CT": [("CS101", "Smith"), ("CS101", "Jones")]},
+        )
+
+    def test_local_load_violating_state_loads_nothing(self, ex2):
+        checker = MaintenanceChecker(ex2.schema, ex2.fds, method="local")
+        with pytest.raises(InconsistentStateError):
+            checker.load(self._violating_state(ex2))
+        assert checker.total_tuples() == 0
+        # and the indexes were not polluted by the staged half
+        assert checker.insert("CT", ("CS101", "Jones")).accepted
+
+    def test_local_load_on_nonempty_checker_is_atomic(self, ex2):
+        checker = MaintenanceChecker(ex2.schema, ex2.fds, method="local")
+        checker.insert("CHR", ("CS101", "Mon10", "313"))
+        with pytest.raises(InconsistentStateError):
+            checker.load(self._violating_state(ex2))
+        assert checker.total_tuples() == 1
+        assert checker.contains("CHR", ("CS101", "Mon10", "313"))
+
+    def test_local_load_conflict_with_existing_tuple(self, ex2):
+        from repro.data.states import DatabaseState
+
+        checker = MaintenanceChecker(ex2.schema, ex2.fds, method="local")
+        checker.insert("CT", ("CS101", "Smith"))
+        bad = DatabaseState(ex2.schema, {"CT": [("CS101", "Jones")]})
+        with pytest.raises(InconsistentStateError):
+            checker.load(bad)
+        assert checker.total_tuples() == 1
+
+    def test_successful_load_commits_everything(self, ex2):
+        from repro.data.states import DatabaseState
+
+        checker = MaintenanceChecker(ex2.schema, ex2.fds, method="local")
+        state = DatabaseState(
+            ex2.schema,
+            {"CT": [("CS101", "Smith")], "CHR": [("CS101", "Mon10", "313")]},
+        )
+        checker.load(state)
+        assert checker.total_tuples() == 2
+        # loading the same state again is a no-op (set semantics)
+        checker.load(state)
+        assert checker.total_tuples() == 2
+
+    def test_chase_load_validates_combined_state(self, ex1):
+        """Loading on a non-empty chase checker must validate the
+        combination, not the increment alone."""
+        from repro.data.states import DatabaseState
+
+        checker = MaintenanceChecker(ex1.schema, ex1.fds, method="chase")
+        checker.insert("CD", ("CS402", "CS"))
+        checker.insert("CT", ("CS402", "Jones"))
+        # this state is satisfying on its own but poisons the combination
+        bad = DatabaseState(ex1.schema, {"TD": [("Jones", "EE")]})
+        with pytest.raises(InconsistentStateError):
+            checker.load(bad)
+        assert checker.total_tuples() == 2
+
+
 class TestChaseMethod:
     def test_chase_method_on_non_independent_schema(self, ex1):
         checker = MaintenanceChecker(ex1.schema, ex1.fds, method="chase")

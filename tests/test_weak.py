@@ -138,3 +138,44 @@ class TestRepresentativeInstance:
     def test_representative_instance_has_state_rows(self, intro):
         tab = representative_instance(intro.state, intro.fds)
         assert len(tab) == intro.state.total_tuples()
+
+
+class TestTotalProjectionContract:
+    """``total_projection`` returns a *set* of facts: duplicate
+    constant rows in the tableau must collapse to one output tuple —
+    both in the ``RelationInstance`` (which dedupes by construction)
+    and in the row list handed to it (deduped at the source)."""
+
+    def test_duplicate_rows_project_to_set(self):
+        from repro.chase.tableau import ChaseTableau, RowOrigin
+
+        tab = ChaseTableau("A B")
+        sym = tab.symbols
+        for _ in range(3):  # three identical constant rows
+            tab.add_row((sym.constant(1), sym.constant(2)), RowOrigin("seed"))
+        facts = tab.total_projection("A B")
+        assert len(facts) == 1
+        assert len(facts.tuples) == 1  # deduped before construction, too
+
+    def test_merged_rows_collapse(self):
+        # two rows that become equal only after a merge also collapse
+        from repro.chase.tableau import ChaseTableau, RowOrigin
+
+        tab = ChaseTableau("A B")
+        sym = tab.symbols
+        tab.add_row((sym.constant(1), sym.constant(2)), RowOrigin("seed"))
+        tab.add_row((sym.constant(1), sym.fresh_variable()), RowOrigin("seed"))
+        tab.merge(tab.raw_row(0)[1], tab.raw_row(1)[1])
+        facts = tab.total_projection("A B")
+        assert len(facts) == 1
+
+    def test_partial_rows_do_not_leak(self):
+        from repro.chase.tableau import ChaseTableau, RowOrigin
+
+        tab = ChaseTableau("A B")
+        sym = tab.symbols
+        tab.add_row((sym.constant(1), sym.constant(2)), RowOrigin("seed"))
+        tab.add_row((sym.constant(3), sym.fresh_variable()), RowOrigin("seed"))
+        facts = tab.total_projection("A B")
+        assert len(facts) == 1  # the padded row has no total A B values
+        assert len(tab.total_projection("A")) == 2

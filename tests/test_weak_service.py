@@ -1,0 +1,340 @@
+"""The live weak-instance query service against the from-scratch oracle.
+
+:class:`~repro.weak.service.WeakInstanceService` must be observably
+identical to re-deriving every answer from scratch with
+:func:`repro.weak.representative.window` on the current state — after
+any interleaving of inserts (valid, invalid, duplicate), deletes, and
+queries, with both validation methods.  The randomized stream suite
+mirrors the oracle pattern of ``tests/test_chase_indexed.py``.
+"""
+
+import pytest
+
+from repro.chase.engine import IncrementalFDChaser, chase_fds
+from repro.chase.tableau import ChaseTableau
+from repro.data.states import DatabaseState
+from repro.exceptions import InconsistentStateError
+from repro.schema.database import DatabaseSchema
+from repro.weak.representative import derivable, representative_instance, window
+from repro.weak.service import WeakInstanceService
+from repro.workloads.schemas import chain_schema, star_schema
+from repro.workloads.states import mixed_stream_workload, random_satisfying_state
+
+
+def scratch_window(state, fds, attrset):
+    """The rebuild-per-query oracle."""
+    return window(state, fds, attrset)
+
+
+class TestIncrementalFDChaser:
+    def test_first_run_equals_chase_fds(self):
+        schema, F = chain_schema(4)
+        state = random_satisfying_state(schema, F, 20, seed=1)
+        tab_a = ChaseTableau.from_state(state)
+        a = IncrementalFDChaser(tab_a, F).run()
+        tab_b = ChaseTableau.from_state(state)
+        b = chase_fds(tab_b, F)
+        assert a.consistent and b.consistent
+        assert a.fd_merges == b.fd_merges
+        assert tab_a.resolved_rows() == tab_b.resolved_rows()
+
+    def test_appended_row_chases_incrementally(self):
+        from repro.chase.tableau import RowOrigin
+        from repro.deps.fdset import FDSet
+
+        schema = DatabaseSchema.parse("CT(C,T); CHR(C,H,R)")
+        state = DatabaseState(
+            schema,
+            {"CT": [("CS101", "Smith")], "CHR": [("CS101", "Mon", "313")]},
+        )
+        tab = ChaseTableau.from_state(state)
+        chaser = IncrementalFDChaser(tab, FDSet.parse("C -> T"))
+        assert chaser.run().consistent
+        # append one row and re-run: the padded T-variable must be
+        # grounded through the dirty worklist alone
+        scheme = schema["CHR"]
+        t = state["CHR"].coerce_tuple(("CS101", "Tue", "327"))
+        tab.add_padded(scheme.attributes, t, RowOrigin("state", "CHR"))
+        assert chaser.run().consistent
+        facts = tab.total_projection("T H R")
+        values = {tuple(x.value(a) for a in facts.attributes) for x in facts}
+        # natural order of T H R is H, R, T
+        assert ("Tue", "327", "Smith") in values
+        tab.check_index_invariants()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_incremental_equals_from_scratch_after_appends(self, seed):
+        """Split a satisfying state into a base and a stream of appended
+        tuples: every intermediate state is a subset of the full one,
+        hence satisfying, and after the last append the incremental
+        tableau must answer exactly like a from-scratch chase."""
+        from repro.chase.tableau import RowOrigin
+
+        schema, F = chain_schema(5)
+        full = random_satisfying_state(schema, F, 20, seed=seed, domain_size=60)
+        base_tuples = {s.name: list(full[s.name].tuples[::2]) for s in schema}
+        appends = [
+            (s.name, t) for s in schema for t in full[s.name].tuples[1::2]
+        ]
+        tab = ChaseTableau.from_state(DatabaseState(schema, base_tuples))
+        chaser = IncrementalFDChaser(tab, F)
+        assert chaser.run().consistent
+        for name, t in appends:
+            tab.add_padded(schema[name].attributes, t, RowOrigin("state", name))
+            assert chaser.run().consistent
+        fresh = ChaseTableau.from_state(full)
+        assert chase_fds(fresh, F).consistent
+        for scheme in schema:
+            assert tab.total_projection(schema.universe) == fresh.total_projection(
+                schema.universe
+            )
+            assert tab.total_projection(scheme.attributes) == fresh.total_projection(
+                scheme.attributes
+            )
+        tab.check_index_invariants()
+
+    def test_poisoned_tableau_refuses_reuse(self):
+        from repro.deps.fdset import FDSet
+
+        schema = DatabaseSchema.parse("CT(C,T)")
+        state = DatabaseState(schema, {"CT": [("c", "x"), ("c", "y")]})
+        tab = ChaseTableau.from_state(state)
+        chaser = IncrementalFDChaser(tab, FDSet.parse("C -> T"))
+        assert not chaser.run().consistent
+        assert chaser.poisoned
+        with pytest.raises(InconsistentStateError):
+            chaser.run()
+
+
+class TestServiceBasics:
+    def test_one_shot_equivalence(self, intro):
+        service = WeakInstanceService.from_state(intro.state, intro.fds)
+        assert service.window("C T") == scratch_window(intro.state, intro.fds, "C T")
+        assert service.derivable({"T": "Smith", "H": "Mon-10", "R": "313"}) == derivable(
+            intro.state, intro.fds, {"T": "Smith", "H": "Mon-10", "R": "313"}
+        )
+
+    def test_load_rejects_bad_state(self, ex1):
+        service = WeakInstanceService(ex1.schema, ex1.fds, method="chase")
+        with pytest.raises(InconsistentStateError):
+            service.load(ex1.state)
+        assert service.total_tuples() == 0
+
+    def test_insert_then_window_sees_new_fact(self, intro):
+        service = WeakInstanceService.from_state(intro.state, intro.fds)
+        before = service.window("T H R")
+        assert service.insert("CHR", ("CS101", "Tue-9", "327")).accepted
+        after = service.window("T H R")
+        assert len(after) == len(before) + 1
+        assert service.derivable({"T": "Smith", "H": "Tue-9", "R": "327"})
+
+    def test_incremental_insert_does_not_rebuild(self, intro):
+        service = WeakInstanceService.from_state(intro.state, intro.fds)
+        service.window("T H R")
+        rebuilds = service.stats.rebuilds
+        for i in range(5):
+            assert service.insert("CHR", ("CS101", f"H{i}", f"R{i}")).accepted
+            service.window("T H R")
+        assert service.stats.rebuilds == rebuilds
+        assert service.stats.incremental_chases >= 5
+
+    def test_rejected_insert_leaves_answers_unchanged(self, intro):
+        service = WeakInstanceService.from_state(intro.state, intro.fds)
+        before = service.window("C T")
+        outcome = service.insert("CT", ("CS101", "Jones"))
+        assert not outcome.accepted
+        assert service.window("C T") == before
+        assert service.total_tuples() == intro.state.total_tuples()
+
+    def test_delete_retracts_derived_fact(self, intro):
+        service = WeakInstanceService.from_state(intro.state, intro.fds)
+        assert service.derivable({"T": "Smith", "R": "313"})
+        assert service.delete("CT", ("CS101", "Smith"))
+        assert not service.derivable({"T": "Smith", "R": "313"})
+        # and the oracle agrees
+        assert service.window("T H R") == scratch_window(
+            service.state(), intro.fds, "T H R"
+        )
+
+    def test_duplicate_insert_is_noop(self, intro):
+        service = WeakInstanceService.from_state(intro.state, intro.fds)
+        tab = service.representative()
+        rows_before = len(tab)
+        outcome = service.insert("CT", ("CS101", "Smith"))
+        assert outcome.accepted and "duplicate" in outcome.reason
+        assert len(service.representative()) == rows_before
+        assert service.total_tuples() == intro.state.total_tuples()
+
+    def test_window_cache_hits(self, intro):
+        service = WeakInstanceService.from_state(intro.state, intro.fds)
+        a = service.window("T H R")
+        b = service.window("T H R")
+        assert a is b
+        assert service.stats.window_cache_hits == 1
+        # an update invalidates exactly the stale entries
+        service.insert("CHR", ("CS101", "Wed-11", "100"))
+        c = service.window("T H R")
+        assert c is not b and len(c) == len(b) + 1
+
+    def test_incremental_load_validates_combination(self, intro):
+        """Loading onto a non-empty chase service must chase the
+        combined state: an increment that is fine alone but conflicts
+        with stored tuples raises and changes nothing."""
+        service = WeakInstanceService.from_state(intro.state, intro.fds)
+        before = service.window("C T")
+        bad = DatabaseState(intro.schema, {"CT": [("CS101", "Jones")]})
+        with pytest.raises(InconsistentStateError):
+            service.load(bad)
+        assert service.total_tuples() == intro.state.total_tuples()
+        assert service.window("C T") == before
+
+    def test_load_batching_is_irrelevant(self, intro):
+        """One-shot load and split loads of the same tuples must accept
+        identically and serve identical windows."""
+        half_a = DatabaseState(intro.schema, {"CT": intro.state["CT"].tuples})
+        half_b = DatabaseState(intro.schema, {"CHR": intro.state["CHR"].tuples})
+        split = WeakInstanceService(intro.schema, intro.fds, method="chase")
+        split.load(half_a)
+        split.load(half_b)
+        whole = WeakInstanceService.from_state(intro.state, intro.fds)
+        assert split.state() == whole.state()
+        for attrs in ("C T", "T H R", "C S"):
+            assert split.window(attrs) == whole.window(attrs)
+
+    def test_local_method_on_independent_schema(self, ex2):
+        service = WeakInstanceService(ex2.schema, ex2.fds, method="local")
+        assert service.insert("CT", ("CS101", "Smith")).accepted
+        assert service.insert("CHR", ("CS101", "Mon10", "313")).accepted
+        assert not service.insert("CT", ("CS101", "Jones")).accepted
+        assert service.derivable({"T": "Smith", "R": "313"})
+        assert service.window("T H R") == scratch_window(
+            service.state(), ex2.fds, "T H R"
+        )
+
+    def test_batch_apis(self, ex2):
+        service = WeakInstanceService(ex2.schema, ex2.fds, method="local")
+        outcomes = service.insert_many(
+            [
+                ("CT", ("CS101", "Smith")),
+                ("CHR", ("CS101", "Mon10", "313")),
+                ("CT", ("CS101", "Jones")),  # violates C -> T
+                ("CT", ("CS101", "Smith")),  # duplicate
+            ]
+        )
+        assert [o.accepted for o in outcomes] == [True, True, False, True]
+        windows = service.window_many(["C T", "T H R"])
+        assert windows[0] == scratch_window(service.state(), ex2.fds, "C T")
+        assert windows[1] == scratch_window(service.state(), ex2.fds, "T H R")
+        assert service.derivable_many(
+            [{"T": "Smith", "R": "313"}, {"T": "Jones", "R": "313"}]
+        ) == [True, False]
+
+    def test_representative_matches_one_shot(self, intro):
+        service = WeakInstanceService.from_state(intro.state, intro.fds)
+        live = service.representative()
+        scratch = representative_instance(intro.state, intro.fds)
+        assert live.resolved_rows() == scratch.resolved_rows()
+
+
+def _apply_stream(service, base, ops, fds, collect):
+    """Drive one stream through the service, checking every query (and
+    every insert verdict) against the from-scratch oracle."""
+    service.load(base)
+    for op in ops:
+        if op.kind == "insert":
+            before = service.state()
+            outcome = service.insert(op.scheme, op.values)
+            if outcome.accepted:
+                collect["accepted"] += 1
+            else:
+                collect["rejected"] += 1
+                assert service.state() == before, "rejected insert mutated state"
+        elif op.kind == "delete":
+            service.delete(op.scheme, op.values)
+            collect["deleted"] += 1
+        else:
+            got = service.window(op.attributes)
+            want = scratch_window(service.state(), fds, op.attributes)
+            assert got == want, (
+                f"window({op.attributes}) diverged from the from-scratch oracle"
+            )
+            collect["queried"] += 1
+
+
+class TestRandomizedStreams:
+    """The headline oracle suite: mixed insert/delete/query streams."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_chain_stream_local(self, seed):
+        schema, F = chain_schema(4)
+        base, ops = mixed_stream_workload(
+            schema, F, n_base=25, n_inserts=25, n_deletes=6, n_queries=25,
+            seed=seed, domain_size=40,
+        )
+        service = WeakInstanceService(schema, F, method="local")
+        collect = {"accepted": 0, "rejected": 0, "deleted": 0, "queried": 0}
+        _apply_stream(service, base, ops, F, collect)
+        assert collect["queried"] == 25
+        service.representative().check_index_invariants()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_chain_stream_chase(self, seed):
+        schema, F = chain_schema(4)
+        base, ops = mixed_stream_workload(
+            schema, F, n_base=25, n_inserts=25, n_deletes=6, n_queries=25,
+            seed=seed + 100, domain_size=40,
+        )
+        service = WeakInstanceService(schema, F, method="chase")
+        collect = {"accepted": 0, "rejected": 0, "deleted": 0, "queried": 0}
+        _apply_stream(service, base, ops, F, collect)
+        assert collect["queried"] == 25
+        service.representative().check_index_invariants()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_star_stream_local(self, seed):
+        schema, F = star_schema(4)
+        base, ops = mixed_stream_workload(
+            schema, F, n_base=20, n_inserts=20, n_deletes=5, n_queries=20,
+            seed=seed, domain_size=30,
+        )
+        service = WeakInstanceService(schema, F, method="local")
+        collect = {"accepted": 0, "rejected": 0, "deleted": 0, "queried": 0}
+        _apply_stream(service, base, ops, F, collect)
+        assert collect["queried"] == 20
+
+    def test_methods_agree_on_one_stream(self):
+        """Local and chase validation must accept/reject identically on
+        an independent schema (Theorem 3), and serve equal windows."""
+        schema, F = chain_schema(4)
+        base, ops = mixed_stream_workload(
+            schema, F, n_base=20, n_inserts=30, n_deletes=5, n_queries=15,
+            seed=77, domain_size=30,
+        )
+        local = WeakInstanceService(schema, F, method="local")
+        chase = WeakInstanceService(schema, F, method="chase")
+        local.load(base)
+        chase.load(base)
+        for op in ops:
+            if op.kind == "insert":
+                a = local.insert(op.scheme, op.values)
+                b = chase.insert(op.scheme, op.values)
+                assert a.accepted == b.accepted, op
+            elif op.kind == "delete":
+                assert local.delete(op.scheme, op.values) == chase.delete(
+                    op.scheme, op.values
+                )
+            else:
+                assert local.window(op.attributes) == chase.window(op.attributes)
+        assert local.state() == chase.state()
+
+    def test_exercises_both_insert_paths(self):
+        """Sanity: the streams above genuinely hit accepts and rejects."""
+        schema, F = chain_schema(4)
+        base, ops = mixed_stream_workload(
+            schema, F, n_base=25, n_inserts=40, n_deletes=0, n_queries=5,
+            seed=5, domain_size=15, invalid_ratio=0.4,
+        )
+        service = WeakInstanceService(schema, F, method="local")
+        collect = {"accepted": 0, "rejected": 0, "deleted": 0, "queried": 0}
+        _apply_stream(service, base, ops, F, collect)
+        assert collect["accepted"] > 0 and collect["rejected"] > 0
