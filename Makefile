@@ -5,16 +5,18 @@ PYTHON    ?= python
 PYTHONPATH := $(CURDIR)/src
 export PYTHONPATH
 
-.PHONY: help test bench bench-weak bench-weak-tiny docs clean
+.PHONY: help test bench bench-weak bench-weak-tiny bench-weak-deletes bench-weak-deletes-tiny docs clean
 
 help:
 	@echo "targets:"
-	@echo "  test            - tier-1 test suite (pytest -x -q over tests/)"
-	@echo "  bench           - all benchmarks; regenerates BENCH_chase.json, BENCH_weak.json and benchmarks/results.txt"
-	@echo "  bench-weak      - weak-instance query service vs rebuild-per-query; regenerates BENCH_weak.json"
-	@echo "  bench-weak-tiny - the same benchmark at smoke scale (CI: equivalence only, no artifact)"
-	@echo "  docs            - render the API reference with pydoc into docs/api/"
-	@echo "  clean           - remove caches and generated docs"
+	@echo "  test                    - tier-1 test suite (pytest -x -q over tests/)"
+	@echo "  bench                   - all benchmarks; regenerates BENCH_chase.json, BENCH_weak.json and benchmarks/results.txt"
+	@echo "  bench-weak              - weak-instance query service vs rebuild-per-query; regenerates BENCH_weak.json"
+	@echo "  bench-weak-tiny         - the same benchmark at smoke scale (CI: equivalence only, no artifact)"
+	@echo "  bench-weak-deletes      - provenance-scoped deletes vs invalidate-and-rebuild; regenerates BENCH_weak.json"
+	@echo "  bench-weak-deletes-tiny - the delete benchmark at smoke scale (CI: equivalence only, no artifact)"
+	@echo "  docs                    - render the API reference with pydoc into docs/api/"
+	@echo "  clean                   - remove caches and generated docs"
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +31,12 @@ bench-weak:
 
 bench-weak-tiny:
 	REPRO_BENCH_WEAK_TINY=1 $(PYTHON) -m pytest benchmarks/bench_weak_queries.py -q
+
+bench-weak-deletes:
+	$(PYTHON) -m pytest benchmarks/bench_weak_deletes.py -q
+
+bench-weak-deletes-tiny:
+	REPRO_BENCH_WEAK_DELETES_TINY=1 $(PYTHON) -m pytest benchmarks/bench_weak_deletes.py -q
 
 docs:
 	rm -rf docs/api

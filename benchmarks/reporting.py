@@ -33,8 +33,8 @@ _NOTES = {
         "benchmarks/bench_scaling.py)"
     ),
     "BENCH_weak.json": (
-        "regenerate with: make bench-weak (or pytest "
-        "benchmarks/bench_weak_queries.py)"
+        "regenerate with: make bench-weak + make bench-weak-deletes (or "
+        "pytest benchmarks/bench_weak_queries.py benchmarks/bench_weak_deletes.py)"
     ),
 }
 

@@ -27,12 +27,20 @@ from repro.chase.satisfaction import (
     single_relation_state,
     weak_instance,
 )
-from repro.chase.tableau import ChaseTableau, RowOrigin, SymbolTable
+from repro.chase.tableau import (
+    ChaseTableau,
+    MergeEvent,
+    RetractionImpact,
+    RowOrigin,
+    SymbolTable,
+)
 
 __all__ = [
     "ChaseTableau",
     "SymbolTable",
     "RowOrigin",
+    "MergeEvent",
+    "RetractionImpact",
     "ChaseResult",
     "ChaseStep",
     "Contradiction",

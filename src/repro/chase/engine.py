@@ -139,11 +139,16 @@ class _FDRuleIndex:
     For each FD the partition maps the resolved key of a row's
     left-hand side — a single class root for one-attribute lhs, a
     tuple of roots otherwise — to the *leader* row all same-key rows
-    merge their rhs symbols into.  A bucket entry, once written, never
-    goes stale: a key is looked up only while every root in it is
-    alive, and while those roots are alive the leader's symbols remain
-    in exactly those classes (union-find classes never shrink), so the
-    leader's key cannot have drifted.  Dead keys merely occupy memory.
+    merge their rhs symbols into.  While the tableau only grows, a
+    bucket entry never goes stale: a key is looked up only while every
+    root in it is alive, and while those roots are alive the leader's
+    symbols remain in exactly those classes (union-find classes never
+    shrink), so the leader's key cannot have drifted.  Row retraction
+    breaks that premise — dissolving a class revives its original
+    symbols as fresh roots — so :meth:`process_dirty` additionally
+    validates the leader on every bucket read and sweeps stale entries
+    aside (cheap: one resolve per lhs attribute).  Dead keys merely
+    occupy memory.
 
     Single-attribute FDs do not even keep private buckets on the fast
     path: the tableau's per-attribute value index already *is* the
@@ -202,8 +207,11 @@ class _FDRuleIndex:
         lead_row = tableau.raw_row(leader)
         row = tableau.raw_row(i)
         f = self.fds[k]
+        lhs_idx = self._lhs_idx[k]
         for attr, j in self._rhs_cols[k]:
-            merged, conflict = tableau.merge(lead_row[j], row[j])
+            merged, conflict = tableau.merge(
+                lead_row[j], row[j], leader, i, j, lhs_idx, f
+            )
             if conflict is not None:
                 result.consistent = False
                 result.contradiction = Contradiction(
@@ -225,9 +233,12 @@ class _FDRuleIndex:
     # -- the initial full pass -------------------------------------------------
 
     def process_all(self, result: ChaseResult, record_steps: bool = False) -> None:
-        """Seed the partitions with every current row (one full pass)."""
+        """Seed the partitions with every current *live* row (one full
+        pass; retracted rows must never become leaders or merge
+        partners, or a fresh chase would resurrect their groundings)."""
         tableau = self.tableau
         find = tableau.symbols.find
+        is_retracted = tableau.is_retracted
         for k in range(len(self.fds)):
             if not self._rhs_cols[k]:
                 continue
@@ -251,6 +262,8 @@ class _FDRuleIndex:
                 continue
             lhs_idx = self._lhs_idx[k]
             for i in range(len(tableau)):
+                if is_retracted(i):
+                    continue
                 row = tableau.raw_row(i)
                 key = tuple(find(row[j]) for j in lhs_idx)
                 leader = buckets.get(key)
@@ -269,13 +282,26 @@ class _FDRuleIndex:
         record_steps: bool = False,
     ) -> None:
         """Re-examine only the dirty rows, and only under the FDs whose
-        lhs mentions a changed column."""
+        lhs mentions a changed column.
+
+        Bucket entries are validated on read: a leader must still be a
+        live row holding the looked-up key.  Before retraction existed
+        this was a tautology (classes never shrank, so roots were never
+        recycled), but a dissolution revives old roots as new singleton
+        classes — a stale leader under a revived key must be swept
+        aside, and every row that can legitimately hold the revived key
+        is in the dirty worklist, so replacing the entry loses nothing.
+        """
         tableau = self.tableau
         find = tableau.symbols.find
+        raw_row = tableau.raw_row
+        is_retracted = tableau.is_retracted
         fds_by_col = self._fds_by_col
         n_fds = len(self.fds)
         empty: PyTuple[int, ...] = ()
         for i, cols in dirty.items():
+            if is_retracted(i):
+                continue
             if cols is None:
                 affected: Iterable[int] = range(n_fds)
             elif len(cols) == 1:
@@ -307,15 +333,25 @@ class _FDRuleIndex:
                     if members is None or len(members) < 2:
                         continue
                     leader = buckets.get(root)
-                    if leader == i:
-                        continue
-                    if leader is None:
-                        # First touch of this class under this FD: the
-                        # initial pass only seeds classes that already
-                        # had ≥2 rows, so the bucket may hold a clean
-                        # row this one has never been compared against.
-                        # Sweep the whole (snapshotted) class once,
-                        # then lead it.
+                    if leader is not None and leader != i and (
+                        is_retracted(leader)
+                        or find(raw_row(leader)[single]) != root
+                    ):
+                        leader = None  # stale entry from a dissolved class
+                    if leader is None or leader == i:
+                        # First touch of this class under this FD, a
+                        # stale leader just swept aside, or a dirty row
+                        # re-acquiring a root it led before a
+                        # dissolution (its self-entry says nothing
+                        # about the rebuilt class): the bucket may hold
+                        # rows this one has never been compared
+                        # against.  Sweep the whole (snapshotted) class
+                        # once, then lead it.  While the tableau only
+                        # grows, a dirty row never re-finds itself as
+                        # leader — a row is dirty in this column only
+                        # when its class was absorbed, which changes
+                        # its root — so the self-entry sweep costs
+                        # nothing outside retraction.
                         buckets[root] = i
                         for m in sorted(members):
                             if m == i:
@@ -326,8 +362,14 @@ class _FDRuleIndex:
                     if not self._merge_pair(k, leader, i, result, record_steps):
                         return
                     continue
-                key = tuple(find(row[j]) for j in self._lhs_idx[k])
+                lhs_idx = self._lhs_idx[k]
+                key = tuple(find(row[j]) for j in lhs_idx)
                 leader = buckets.get(key)
+                if leader is not None and leader != i and (
+                    is_retracted(leader)
+                    or tuple(find(raw_row(leader)[j]) for j in lhs_idx) != key
+                ):
+                    leader = None  # stale entry from a dissolved class
                 if leader is None:
                     buckets[key] = i
                     continue
@@ -398,12 +440,24 @@ class IncrementalFDChaser:
       rows appended via :meth:`~repro.chase.tableau.ChaseTableau.add_row`
       / ``add_padded`` or touched by merges since the previous call —
       so chasing one inserted tuple against an already-chased tableau
-      costs the cascade it actually triggers, not a rescan.
+      costs the cascade it actually triggers, not a rescan;
+    * :meth:`rechase_scoped` is the **delete-side** counterpart:
+      retract one row (undoing exactly the unions that depended on it,
+      via the tableau's merge log) and re-derive its footprint through
+      the same dirty-row fixpoint — cost proportional to the affected
+      set, not the tableau.
 
     The soundness argument is the engine's usual pair of invariants
-    (bucket leaders never go stale; any row whose key changed is
-    dirty): they hold across calls because the index and the tableau
-    share one union-find whose classes never shrink.
+    (bucket leaders are valid when read; any row whose key changed is
+    dirty): appends preserve them because the index and the tableau
+    share one union-find whose classes never shrink, and retraction
+    preserves them because every row a dissolved class touched is
+    re-seeded as dirty and stale bucket entries are swept on read
+    (see :class:`_FDRuleIndex`).  The driver enables the tableau's
+    merge log at construction, so a tableau chased here from birth is
+    always retractable; pass ``log_merges=False`` to skip the log (and
+    its per-union cost) when the tableau will never serve a retraction
+    — :meth:`rechase_scoped` then reports the log incomplete.
 
     A contradiction **poisons** the tableau: merges up to the point of
     failure have already been applied, so the pair can no longer serve
@@ -419,10 +473,13 @@ class IncrementalFDChaser:
         tableau: ChaseTableau,
         fd_list: Iterable[FD],
         max_passes: int = DEFAULT_MAX_PASSES,
+        log_merges: bool = True,
     ):
         self.tableau = tableau
         self.fds = tuple(fd_list)
         self.max_passes = max_passes
+        if log_merges:
+            tableau.enable_merge_log()
         self._index = _FDRuleIndex(tableau, self.fds)
         self._seeded = False
         self._poisoned = False
@@ -455,6 +512,41 @@ class IncrementalFDChaser:
         if not result.consistent:
             self._poisoned = True
         return result
+
+    def rechase_scoped(
+        self,
+        row: int,
+        impact=None,
+        record_steps: bool = False,
+    ) -> ChaseResult:
+        """Retract one tableau row and re-derive only its footprint.
+
+        :meth:`~repro.chase.tableau.ChaseTableau.retract_row` dissolves
+        the classes whose unions depended on the row and re-seeds the
+        affected rows into the dirty worklist; this then drives the
+        ordinary incremental fixpoint, so untouched partitions, value
+        indexes, and occurrence entries stay live.  Pass a precomputed
+        :class:`~repro.chase.tableau.RetractionImpact` to avoid
+        recomputing it (the service sizes its rebuild fallback off the
+        impact first).
+
+        Retracting a tuple of a satisfying state leaves it satisfying
+        and the rechase re-derives only unions the remaining rows
+        justify, so a consistent tableau stays consistent — a
+        contradiction here indicates the tableau was corrupted and is
+        reported (and poisons the driver) exactly like :meth:`run`.
+        """
+        if self._poisoned:
+            raise InconsistentStateError(
+                "tableau was poisoned by an earlier contradiction; "
+                "rebuild it from the state before retracting"
+            )
+        if not self._seeded:
+            raise InconsistentStateError(
+                "rechase_scoped needs a chased tableau: call run() first"
+            )
+        self.tableau.retract_row(row, impact)
+        return self.run(record_steps=record_steps)
 
 
 def explain_contradiction(result: ChaseResult) -> str:
@@ -496,11 +588,21 @@ class _ProjectionCache:
             self._proj = {}
             self._existing = None
 
+    def _live_resolved(self) -> List[PyTuple[int, ...]]:
+        """Resolved rows minus retracted slots (retracted rows must not
+        feed the JD-rule's joins or its duplicate check)."""
+        tableau = self.tableau
+        resolved = tableau.resolved_rows()
+        if tableau.live_row_count() == len(resolved):
+            return resolved
+        is_retracted = tableau.is_retracted
+        return [row for i, row in enumerate(resolved) if not is_retracted(i)]
+
     def existing_rows(self) -> Set[PyTuple[int, ...]]:
         """The set of resolved full rows (JD-rule duplicate check)."""
         self._sync()
         if self._existing is None:
-            self._existing = set(self.tableau.resolved_rows())
+            self._existing = set(self._live_resolved())
         return self._existing
 
     def projection(self, attrs: PyTuple[str, ...]) -> Set[PyTuple[int, ...]]:
@@ -510,7 +612,7 @@ class _ProjectionCache:
         if cached is None:
             idx = [self.tableau.column_index(a) for a in attrs]
             cached = {
-                tuple(row[j] for j in idx) for row in self.tableau.resolved_rows()
+                tuple(row[j] for j in idx) for row in self._live_resolved()
             }
             self._proj[attrs] = cached
         return cached

@@ -19,15 +19,38 @@ the incremental chase engine (:mod:`repro.chase.engine`) is built on:
   (:meth:`value_index`): for a column, the partition of rows by their
   current symbol class — the FD-rule's row-pair lookup for
   single-attribute left-hand sides;
-* a **version stamp** (:attr:`version`) bumped on every row addition
-  and merge, keying memoized derived data such as
-  :meth:`resolved_rows` and the engine's projection caches.
+* a **version stamp** (:attr:`version`) bumped on every row addition,
+  merge, and retraction, keying memoized derived data such as
+  :meth:`resolved_rows` and the engine's projection caches;
+* an opt-in **merge log** (:meth:`enable_merge_log`): one
+  :class:`MergeEvent` per successful union, recording which row pair
+  under which FD justified it, indexed by participating row and by
+  (current) left-hand-side class — the provenance that
+  :meth:`retraction_impact` walks to scope a delete.
+
+Row **retraction** (:meth:`retract_row`) is the delete-side
+counterpart of the incremental chase: instead of discarding a chased
+tableau because one source tuple went away, the tableau computes the
+retracted row's *footprint* — the symbol classes whose unions depend
+(transitively) on merges that row participated in — dissolves exactly
+those classes back to their original interned symbols, and re-seeds
+the dirty worklist with the rows they touched.  Driving the ordinary
+FD fixpoint afterwards (``IncrementalFDChaser.rechase_scoped``)
+re-derives every union still justified by the surviving rows, so the
+tableau ends observationally equivalent to a from-scratch chase of the
+state minus the tuple while untouched partitions, value indexes, and
+occurrence-index entries stay live.
 
 All indexes are maintained through :meth:`ChaseTableau.merge`; calling
 ``tableau.symbols.merge`` directly still works but bypasses index
 maintenance, so only do that on tableaux you will not chase afterwards
 (the naive reference engine in :mod:`repro.chase.reference` does this
-deliberately, to preserve the un-indexed baseline).
+deliberately, to preserve the un-indexed baseline).  Retraction
+additionally requires every merge to have flowed through
+:meth:`ChaseTableau.merge` *with provenance* while the log was enabled
+— any unlogged merge (or any non-``"state"`` row, whose existence the
+log cannot justify) marks the log incomplete and
+:meth:`retraction_impact` reports the whole tableau as affected.
 
 The tableau is the shared substrate of every chase in the library:
 satisfaction testing (Section 2), FD implication under ``F ∪ {*D}``
@@ -37,7 +60,7 @@ weak-instance materialization.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
 
 from repro.data.relations import RelationInstance
@@ -61,12 +84,16 @@ class SymbolTable:
     merging a constant with a variable promotes the class to constant.
     """
 
-    __slots__ = ("_uf", "_const", "_by_value", "find")
+    __slots__ = ("_uf", "_const", "_by_value", "_interned", "find")
 
     def __init__(self) -> None:
         self._uf = IntUnionFind()
         self._const: Dict[int, Any] = {}
         self._by_value: Dict[Any, int] = {}
+        # symbol -> value at intern time; never mutated, so class
+        # dissolution can restore a symbol's constant-ness after the
+        # root-keyed _const entry has been merged away
+        self._interned: Dict[int, Any] = {}
         # bound method, so hot loops resolve symbols without an extra
         # attribute hop (`find = tableau.symbols.find` is pervasive)
         self.find = self._uf.find
@@ -74,23 +101,48 @@ class SymbolTable:
     def fresh_variable(self) -> int:
         return self._uf.add_next()
 
-    def constant(self, value: Any) -> int:
-        """The unique symbol for a constant value (interned)."""
+    def constant(self, value: Any, namespace: Any = None) -> int:
+        """The unique symbol for a constant value (interned).
+
+        ``namespace`` partitions the intern table: the tableau interns
+        per *column*, so the same value in two columns gets two
+        symbols.  Nothing in the chase ever compares symbols across
+        columns (FD agreement, value indexes, and join keys are all
+        per-column; queries compare resolved *values*), and keeping the
+        columns apart keeps each symbol class — and therefore each
+        retraction footprint — within one column's derivation family
+        instead of bridging unrelated rows that merely reuse a value.
+        """
         if is_null(value):
             raise InstanceError(
                 "labelled nulls cannot enter a tableau as constants; "
                 "use fresh variables instead"
             )
+        key = (namespace, value)
         try:
-            return self._by_value[value]
+            return self._by_value[key]
         except KeyError:
             pass
         except TypeError:
             raise InstanceError(f"unhashable constant {value!r}") from None
         sym = self.fresh_variable()
         self._const[sym] = value
-        self._by_value[value] = sym
+        self._by_value[key] = sym
+        self._interned[sym] = value
         return sym
+
+    def is_interned(self, sym: int) -> bool:
+        """Was the symbol created as a constant (as opposed to a
+        variable whose class later acquired one)?"""
+        return sym in self._interned
+
+    def interned_symbol(self, value: Any, namespace: Any = None) -> Optional[int]:
+        """The symbol :meth:`constant` interned for the value, or
+        ``None`` — a lookup that never interns."""
+        try:
+            return self._by_value.get((namespace, value))
+        except TypeError:
+            return None
 
     def value_of(self, sym: int) -> Any:
         """The constant value of the symbol's class, or ``_CONST_SENTINEL``."""
@@ -145,6 +197,28 @@ class SymbolTable:
             return Null(root)
         return val
 
+    def dissolve(self, root: int, members: Iterable[int]) -> None:
+        """Break the class rooted at ``root`` back into singletons.
+
+        ``members`` must enumerate **every** symbol of the class (the
+        tableau derives them from the occurrence index, which is why
+        retraction only supports symbols that live in rows).  Interned
+        members get their constant-ness back — dissolution splits a
+        class into the symbols it was built from, and an interned
+        symbol *is* its value.
+        """
+        self._const.pop(root, _CONST_SENTINEL)
+        self._uf.reset_singletons(members)
+        self._uf.reset_singletons((root,))
+        interned = self._interned
+        for s in members:
+            value = interned.get(s, _CONST_SENTINEL)
+            if value is not _CONST_SENTINEL:
+                self._const[s] = value
+        value = interned.get(root, _CONST_SENTINEL)
+        if value is not _CONST_SENTINEL:
+            self._const[root] = value
+
 
 @dataclass(frozen=True)
 class RowOrigin:
@@ -153,6 +227,49 @@ class RowOrigin:
     kind: str  # "state", "seed", "jd"
     scheme: Optional[str] = None
     detail: str = ""
+
+
+@dataclass(frozen=True)
+class MergeEvent:
+    """One logged FD-rule union: which row pair, agreeing on which
+    left-hand-side columns, equated which two symbols (in ``col``).
+
+    ``sym_a``/``sym_b`` are the symbols as merged (not resolved); after
+    the union they resolve to one root, which identifies the class the
+    event contributed to.  ``fd`` is kept for introspection only — the
+    taint computation needs just the rows and ``lhs_cols``.
+    """
+
+    row_a: int
+    row_b: int
+    col: int
+    sym_a: int
+    sym_b: int
+    lhs_cols: PyTuple[int, ...]
+    fd: Optional[Any] = None
+
+
+@dataclass
+class RetractionImpact:
+    """The footprint of retracting one row (see :meth:`ChaseTableau.retraction_impact`).
+
+    ``complete=False`` means the merge log cannot scope this tableau
+    (logging disabled, an unlogged/unprovenanced merge, or derived
+    rows); callers must treat the whole tableau as affected — the
+    weak-instance service falls back to a rebuild in that case, and
+    :meth:`ChaseTableau.retract_row` refuses to run.
+    """
+
+    row: int
+    complete: bool
+    tainted_roots: Set[int] = field(default_factory=set)
+    tainted_events: Set[int] = field(default_factory=set)
+    affected_rows: Set[int] = field(default_factory=set)
+    changed_cols: Set[int] = field(default_factory=set)
+    #: the row resolved to *values* before retraction (constants, or
+    #: labelled nulls for variable positions) — the window
+    #: revalidation's record of what the deleted row contributed
+    resolved_values: PyTuple[Any, ...] = ()
 
 
 class ChaseTableau:
@@ -172,6 +289,16 @@ class ChaseTableau:
         "_shared",
         "_merge_count",
         "_resolved_cache",
+        "_retracted",
+        "_log_enabled",
+        "_log_gap",
+        "_derived_rows",
+        "_merge_log",
+        "_events_by_row",
+        "_events_by_root",
+        "_events_by_union",
+        "_next_event_id",
+        "_events_stale",
     )
 
     def __init__(self, universe: AttrsLike):
@@ -195,6 +322,35 @@ class ChaseTableau:
         self._shared: Dict[int, Set[int]] = {}
         self._merge_count = 0
         self._resolved_cache: Optional[PyTuple[PyTuple[int, int], List]] = None
+        # retracted row slots: excluded from projections, the value
+        # indexes, and the engine; kept in _rows/_occ so positions stay
+        # stable and class dissolution can enumerate every symbol.
+        self._retracted: Set[int] = set()
+        # merge log (opt-in, see enable_merge_log): event id -> entry
+        # tuple (row_a, row_b, col, sym_a, sym_b, lhs_cols, fd), in
+        # firing order, plus the two access paths the taint walk needs
+        # — by participating row and by (current) lhs class root.  The
+        # root-keyed lists ride along with the occurrence buckets:
+        # merging two classes concatenates their event lists.  Pruned
+        # events leave stale ids behind in the row/root lists; readers
+        # filter against _merge_log membership.
+        self._log_enabled = False
+        self._log_gap = False
+        self._derived_rows = 0
+        self._merge_log: Dict[int, PyTuple] = {}
+        self._events_by_row: Dict[int, List[int]] = {}
+        self._events_by_root: Dict[int, List[int]] = {}
+        # events keyed by the class their *union* lives in (as opposed
+        # to _events_by_root, keyed by lhs dependency): dissolving a
+        # class prunes exactly this list, so the log always holds one
+        # event per live union — no duplicate accumulation across
+        # delete/re-insert cycles
+        self._events_by_union: Dict[int, List[int]] = {}
+        self._next_event_id = 0
+        # pruned-event ids linger in _events_by_root lists under roots
+        # the retraction never visited; this counts them so the index
+        # can be swept when the stale mass rivals the live log
+        self._events_stale = 0
 
     # -- construction ---------------------------------------------------------
 
@@ -220,7 +376,7 @@ class ChaseTableau:
         row = []
         for a in self._cols:
             if a in attrset:
-                row.append(self.symbols.constant(t.value(a)))
+                row.append(self.symbols.constant(t.value(a), a))
             else:
                 row.append(self.symbols.fresh_variable())
         return self.add_row(tuple(row), origin)
@@ -229,6 +385,10 @@ class ChaseTableau:
         ncols = len(self._cols)
         if len(syms) != ncols:
             raise InstanceError("row arity does not match the universe")
+        if origin is None or origin.kind != "state":
+            # seed/jd rows exist for reasons the merge log cannot see,
+            # so retraction cannot scope a tableau containing them
+            self._derived_rows += 1
         i = len(self._rows)
         self._rows.append(syms)
         self._origins.append(origin)
@@ -264,7 +424,16 @@ class ChaseTableau:
 
     # -- merging (index-maintaining) ------------------------------------------
 
-    def merge(self, a: int, b: int) -> PyTuple[bool, Optional[PyTuple[Any, Any]]]:
+    def merge(
+        self,
+        a: int,
+        b: int,
+        row_a: int = -1,
+        row_b: int = -1,
+        col: int = -1,
+        lhs_cols: PyTuple[int, ...] = (),
+        fd: Optional[Any] = None,
+    ) -> PyTuple[bool, Optional[PyTuple[Any, Any]]]:
         """Union two symbol classes, keeping every index current.
 
         The rows holding a member of the absorbed class are marked
@@ -272,11 +441,72 @@ class ChaseTableau:
         value indexes are rebucketed under the surviving root (whole
         absorbed buckets move at once — never row by row).  Returns
         ``(changed, conflict)`` exactly like :meth:`SymbolTable.merge`.
+
+        When the merge log is enabled (:meth:`enable_merge_log`), pass
+        the justifying provenance — the row pair that agreed on
+        ``lhs_cols`` and forced the union in ``col`` — so the union can
+        later be scoped by :meth:`retraction_impact`.  A provenance-less
+        merge while the log is enabled marks the log incomplete and
+        disables scoped retraction for good.
         """
         changed, conflict, survivor, absorbed = self.symbols.merge_roots(a, b)
         if not changed:
             return False, conflict
         self._merge_count += 1
+        if self._log_enabled:
+            if row_a < 0:
+                self._log_gap = True
+            else:
+                eid = self._next_event_id
+                self._next_event_id = eid + 1
+                # plain tuple, not a MergeEvent: this runs once per
+                # union and dataclass construction is measurably hot;
+                # merge_log() wraps entries for the public API
+                self._merge_log[eid] = (row_a, row_b, col, a, b, lhs_cols, fd)
+                by_row = self._events_by_row
+                for r in (row_a, row_b):
+                    lst = by_row.get(r)
+                    if lst is None:
+                        by_row[r] = [eid]
+                    else:
+                        lst.append(eid)
+                # The rows agree on lhs_cols by construction, so one
+                # registration per column covers both rows.  Columns
+                # where the two rows hold the *same raw symbol* are
+                # skipped: that agreement is identity (a shared
+                # interned constant), owes nothing to the class's
+                # unions, and can never be broken by a retraction —
+                # registering it would drag every event of the shared
+                # class into unrelated rows' taint footprints.
+                by_root = self._events_by_root
+                lhs_a = self._rows[row_a]
+                lhs_b = self._rows[row_b]
+                find = self.symbols.find
+                for c in lhs_cols:
+                    if lhs_a[c] == lhs_b[c]:
+                        continue
+                    root = find(lhs_a[c])
+                    lst = by_root.get(root)
+                    if lst is None:
+                        by_root[root] = [eid]
+                    else:
+                        lst.append(eid)
+                by_union = self._events_by_union
+                lst = by_union.get(survivor)
+                if lst is None:
+                    by_union[survivor] = [eid]
+                else:
+                    lst.append(eid)
+            # the absorbed class's dependants (and its unions' events)
+            # now belong to the survivor
+            for index in (self._events_by_root, self._events_by_union):
+                moved_events = index.pop(absorbed, None)
+                if moved_events:
+                    existing = index.get(survivor)
+                    if existing is None:
+                        index[survivor] = moved_events
+                    else:
+                        existing.extend(moved_events)
         moved = self._occ.pop(absorbed, None)
         if moved:
             occ = self._occ
@@ -343,6 +573,254 @@ class ChaseTableau:
     def dirty_count(self) -> int:
         return len(self._dirty)
 
+    # -- merge log & retraction --------------------------------------------------
+
+    def enable_merge_log(self) -> None:
+        """Start recording merge provenance (scoped retraction needs it).
+
+        Must be called before any merge; enabling after merges have
+        already happened leaves a permanent gap and the log stays
+        incomplete.  :class:`~repro.chase.engine.IncrementalFDChaser`
+        enables the log on construction, so every service tableau is
+        retractable from the start.
+        """
+        if self._merge_count:
+            self._log_gap = True
+        self._log_enabled = True
+
+    @property
+    def merge_log_complete(self) -> bool:
+        """Can :meth:`retraction_impact` scope this tableau?  Requires
+        logging enabled before the first merge, provenance on every
+        merge since, and no seed/JD rows."""
+        return self._log_enabled and not self._log_gap and not self._derived_rows
+
+    def merge_log(self) -> List[MergeEvent]:
+        """The live merge events in firing order (pruned events gone)."""
+        return [MergeEvent(*entry) for entry in self._merge_log.values()]
+
+    def is_retracted(self, i: int) -> bool:
+        return i in self._retracted
+
+    def live_row_count(self) -> int:
+        """Rows that still contribute to projections (total minus
+        retracted)."""
+        return len(self._rows) - len(self._retracted)
+
+    def retraction_impact(self, i: int) -> RetractionImpact:
+        """The footprint of retracting row ``i`` — computed, not applied.
+
+        Walks the merge log outward from the row's own merge events:
+        an event is *tainted* when the row participated in it or when
+        the class its left-hand-side agreement lives in is tainted
+        (the union that justified the agreement is being undone), and
+        a tainted event taints the class its union built.  Comparing
+        against **current** roots over-approximates the true derivation
+        (classes only grow between retractions, so any class a tainted
+        merge fed into is reached) — sound, and exactly the DRed
+        delete-and-rederive over-estimate.  Cost is proportional to
+        the tainted footprint, not the tableau.
+        """
+        if i in self._retracted:
+            raise InstanceError(f"row {i} is already retracted")
+        resolve = self.symbols.resolve_value
+        resolved_values = tuple(resolve(s) for s in self._rows[i])
+        if not self.merge_log_complete:
+            impact = RetractionImpact(row=i, complete=False)
+            impact.resolved_values = resolved_values
+            impact.affected_rows = {
+                r for r in range(len(self._rows))
+                if r != i and r not in self._retracted
+            }
+            impact.changed_cols = set(range(len(self._cols)))
+            return impact
+        find = self.symbols.find
+        log = self._merge_log
+        tainted_roots: Set[int] = set()
+        tainted_events: Set[int] = set()
+        seeds = self._events_by_row.get(i)
+        worklist: List[int] = []
+        if seeds:
+            # compact the stale ids of previously pruned events away
+            live = [eid for eid in seeds if eid in log]
+            self._events_by_row[i] = live
+            worklist.extend(live)
+        while worklist:
+            eid = worklist.pop()
+            if eid in tainted_events:
+                continue
+            tainted_events.add(eid)
+            root = find(log[eid][3])  # entry[3] = sym_a
+            if root in tainted_roots:
+                continue
+            tainted_roots.add(root)
+            dependants = self._events_by_root.get(root)
+            if dependants:
+                worklist.extend(e for e in dependants if e in log)
+        # Affected rows: every live holder of a tainted class.  Rows
+        # that only touch the class through its interned constant keep
+        # their resolution (identity survives dissolution), but they
+        # still must be re-seeded: an undone union can pair a constant
+        # holder with the *retracted* row's variable, and under a
+        # multi-attribute lhs the bucket path has no class sweep to
+        # re-link the constant holder through — only its own dirty
+        # processing re-derives the union.  Changed columns are
+        # tighter: only variable positions can change resolution, so
+        # only they can invalidate a cached window.
+        affected_rows: Set[int] = set()
+        changed_cols: Set[int] = set()
+        ncols = len(self._cols)
+        retracted = self._retracted
+        rows = self._rows
+        is_interned = self.symbols.is_interned
+        for root in tainted_roots:
+            for pos in self._occ.get(root, ()):
+                r, c = divmod(pos, ncols)
+                if r == i or r in retracted:
+                    continue
+                affected_rows.add(r)
+                if not is_interned(rows[r][c]):
+                    changed_cols.add(c)
+        return RetractionImpact(
+            row=i,
+            complete=True,
+            tainted_roots=tainted_roots,
+            tainted_events=tainted_events,
+            affected_rows=affected_rows,
+            changed_cols=changed_cols,
+            resolved_values=resolved_values,
+        )
+
+    def retract_row(self, i: int, impact: Optional[RetractionImpact] = None) -> RetractionImpact:
+        """Remove row ``i`` and undo exactly its merge footprint.
+
+        Every tainted class is dissolved back to its original interned
+        symbols, the occurrence and value indexes are rebucketed for
+        just those classes, the tainted merge events are pruned from
+        the log, and the affected rows are seeded into the dirty
+        worklist (all columns — the unions being undone may need
+        re-deriving under FDs whose *right*-hand side mentions the
+        dissolved column, which the changed-column filter would skip).
+        The caller must then drive the FD fixpoint
+        (:meth:`~repro.chase.engine.IncrementalFDChaser.rechase_scoped`)
+        to re-derive the unions still justified by the surviving rows.
+        """
+        if impact is None:
+            impact = self.retraction_impact(i)
+        if not impact.complete:
+            raise InstanceError(
+                "cannot scope the retraction: the merge log is incomplete "
+                "(enable_merge_log before the first merge, provenance on "
+                "every merge, state rows only) — rebuild the tableau instead"
+            )
+        find = self.symbols.find
+        log = self._merge_log
+        rows = self._rows
+        ncols = len(self._cols)
+        occ = self._occ
+        attr_index = self._attr_index
+        shared = self._shared
+        retracted = self._retracted
+        # 1. prune the undone derivation (uses pre-dissolution roots).
+        # Every event whose *union* lives in a dissolved class goes —
+        # not just the tainted ones: an untainted event co-dissolved
+        # with its class gets re-derived and re-logged by the rechase,
+        # and leaving the old entry behind would duplicate it on every
+        # delete/re-insert cycle (an unbounded log on a bounded state).
+        pruned_rows: Set[int] = set()
+        pruned = 0
+        for root in impact.tainted_roots:
+            for eid in self._events_by_union.pop(root, ()):
+                entry = log.pop(eid, None)
+                if entry is not None:
+                    pruned += 1
+                    pruned_rows.add(entry[0])
+                    pruned_rows.add(entry[1])
+        for eid in impact.tainted_events:
+            entry = log.pop(eid, None)
+            if entry is not None:
+                pruned += 1
+                pruned_rows.add(entry[0])
+                pruned_rows.add(entry[1])
+        self._events_by_row.pop(i, None)
+        pruned_rows.discard(i)
+        # compact the pruned ids out of the row-keyed lists right away:
+        # rows that are never retracted would otherwise accumulate
+        # stale ids across delete/re-insert cycles forever
+        by_row = self._events_by_row
+        for r in pruned_rows:
+            lst = by_row.get(r)
+            if lst is not None:
+                live = [eid for eid in lst if eid in log]
+                if live:
+                    by_row[r] = live
+                else:
+                    del by_row[r]
+        # the lhs-dependency lists can hold pruned ids under roots this
+        # retraction never visited; sweep them (amortized) once the
+        # stale mass rivals the live log, so long delete streams on a
+        # bounded state keep a bounded index
+        self._events_stale += pruned
+        if self._events_stale > max(64, len(log)):
+            by_root = self._events_by_root
+            for root in list(by_root):
+                live = [eid for eid in by_root[root] if eid in log]
+                if live:
+                    by_root[root] = live
+                else:
+                    del by_root[root]
+            self._events_stale = 0
+        # 2. dissolve each tainted class and rebucket its footprint
+        for root in impact.tainted_roots:
+            positions = occ.pop(root, None) or []
+            members = {rows[pos // ncols][pos % ncols] for pos in positions}
+            self.symbols.dissolve(root, members)
+            self._events_by_root.pop(root, None)
+            col_buckets: Dict[int, Dict[int, Set[int]]] = {}
+            touched_cols: Set[int] = set()
+            for pos in positions:
+                r, c = divmod(pos, ncols)
+                s = rows[r][c]  # now its own singleton root
+                bucket = occ.get(s)
+                if bucket is None:
+                    occ[s] = [pos]
+                else:
+                    bucket.append(pos)
+                if c in attr_index:
+                    touched_cols.add(c)
+                    if r != i and r not in retracted:
+                        col_buckets.setdefault(c, {}).setdefault(s, set()).add(r)
+            for c in touched_cols:
+                col_index = attr_index[c]
+                col_index.pop(root, None)
+                col_shared = shared[c]
+                col_shared.discard(root)
+                for s, members_rows in col_buckets.get(c, {}).items():
+                    col_index[s] = members_rows
+                    if len(members_rows) >= 2:
+                        col_shared.add(s)
+        # 3. drop the retracted row from the untainted value-index buckets
+        row_i = rows[i]
+        for c, col_index in attr_index.items():
+            root = find(row_i[c])
+            members_rows = col_index.get(root)
+            if members_rows is not None and i in members_rows:
+                members_rows.discard(i)
+                if not members_rows:
+                    del col_index[root]
+                    shared[c].discard(root)
+                elif len(members_rows) < 2:
+                    shared[c].discard(root)
+        # 4. mark retracted, reseed the worklist, stamp a new version
+        retracted.add(i)
+        dirty = self._dirty
+        dirty.pop(i, None)
+        for r in impact.affected_rows:
+            dirty[r] = None
+        self._merge_count += 1
+        self._resolved_cache = None
+        return impact
+
     # -- access ------------------------------------------------------------------
 
     @property
@@ -405,7 +883,9 @@ class ChaseTableau:
 
     def materialize_value_indexes(self, attr_list: Iterable[str]) -> None:
         """Build the value indexes for several columns in one row scan
-        (the FD-rule index wants one per distinct lhs attribute)."""
+        (the FD-rule index wants one per distinct lhs attribute).
+        Retracted rows are excluded — the value indexes partition the
+        *live* rows only."""
         targets = [
             (c, {})
             for c in {self._colidx[a] for a in attr_list}
@@ -414,7 +894,10 @@ class ChaseTableau:
         if not targets:
             return
         find = self.symbols.find
+        retracted = self._retracted
         for i, row in enumerate(self._rows):
+            if i in retracted:
+                continue
             for c, col_index in targets:
                 root = find(row[c])
                 members = col_index.get(root)
@@ -437,9 +920,52 @@ class ChaseTableau:
             self.materialize_value_indexes([attr])
         return self._shared[c]
 
+    def live_row_matching(
+        self, cols: Sequence[int], roots: Sequence[int]
+    ) -> Optional[int]:
+        """A live row whose resolved symbols at ``cols`` are exactly
+        ``roots``, or ``None``.
+
+        The window-cache revalidation of the weak-instance service uses
+        this after a scoped retraction: the retracted row's projection
+        survives in a cached window iff some live row still produces
+        the same facts.  Cost is one scan of the first root's
+        occurrence bucket (a class, not the tableau).
+
+        Empty ``cols`` means no constraint: every live row matches (the
+        empty projection is ``{()}`` exactly while a live row exists).
+        """
+        if not cols:
+            retracted = self._retracted
+            for r in range(len(self._rows)):
+                if r not in retracted:
+                    return r
+            return None
+        c0 = cols[0]
+        find = self.symbols.find
+        rows = self._rows
+        ncols = len(self._cols)
+        retracted = self._retracted
+        rest = list(zip(cols[1:], roots[1:]))
+        for pos in self._occ.get(roots[0], ()):
+            r, c = divmod(pos, ncols)
+            if c != c0 or r in retracted:
+                continue
+            row = rows[r]
+            if all(find(row[ck]) == rk for ck, rk in rest):
+                return r
+        return None
+
     def check_index_invariants(self) -> None:
         """Verify every index against a from-scratch recomputation
-        (test hook; O(rows × columns))."""
+        (test hook; O(rows × columns)).
+
+        The occurrence index covers *every* row ever added (retracted
+        rows included — dissolution needs their symbols); the value
+        indexes cover live rows only.  When the merge log is in use,
+        every surviving event must still be justified: both rows live,
+        the union applied, and the left-hand-side agreement intact.
+        """
         find = self.symbols.find
         ncols = len(self._cols)
         expected_occ: Dict[int, Set[int]] = {}
@@ -448,9 +974,12 @@ class ChaseTableau:
                 expected_occ.setdefault(find(sym), set()).add(i * ncols + c)
         actual = {root: set(ps) for root, ps in self._occ.items() if ps}
         assert actual == expected_occ, "occurrence index out of sync"
+        retracted = self._retracted
         for c, col_index in self._attr_index.items():
             expected: Dict[int, Set[int]] = {}
             for i, row in enumerate(self._rows):
+                if i in retracted:
+                    continue
                 expected.setdefault(find(row[c]), set()).add(i)
             assert col_index == expected, f"value index for column {c} out of sync"
             expected_shared = {
@@ -459,6 +988,19 @@ class ChaseTableau:
             assert self._shared[c] == expected_shared, (
                 f"shared-class set for column {c} out of sync"
             )
+        for eid, entry in self._merge_log.items():
+            row_a, row_b, _, sym_a, sym_b, lhs_cols, _ = entry
+            assert row_a not in retracted and row_b not in retracted, (
+                f"merge event {eid} references a retracted row"
+            )
+            assert find(sym_a) == find(sym_b), (
+                f"merge event {eid} survives but its union was undone"
+            )
+            ra, rb = self._rows[row_a], self._rows[row_b]
+            for c in lhs_cols:
+                assert find(ra[c]) == find(rb[c]), (
+                    f"merge event {eid} survives but its lhs agreement broke"
+                )
 
     # -- extraction -----------------------------------------------------------------
 
@@ -466,8 +1008,11 @@ class ChaseTableau:
         """Materialize as a relation over ``U`` (variables → labelled
         nulls) — the weak instance when the chase succeeded."""
         resolve = self.symbols.resolve_value
+        retracted = self._retracted
         rows = []
-        for row in self._rows:
+        for i, row in enumerate(self._rows):
+            if i in retracted:
+                continue
             rows.append(tuple(resolve(s) for s in row))
         return RelationInstance(self.universe, rows)
 
@@ -484,10 +1029,13 @@ class ChaseTableau:
         target = AttributeSet(attrset)
         idxs = [self._colidx[a] for a in target]
         resolve = self.symbols.resolve_value
+        retracted = self._retracted
         rows = []
         seen: Set[PyTuple[Any, ...]] = set()
-        for row in self._rows:
-            vals = tuple(resolve(row[i]) for i in idxs)
+        for i, row in enumerate(self._rows):
+            if i in retracted:
+                continue
+            vals = tuple(resolve(row[i2]) for i2 in idxs)
             if vals not in seen and all(not is_null(v) for v in vals):
                 seen.add(vals)
                 rows.append(vals)
@@ -497,8 +1045,15 @@ class ChaseTableau:
         resolve = self.symbols.resolve_value
         header = " | ".join(f"{c:>8}" for c in self._cols)
         lines = [header, "-" * len(header)]
-        for i, row in enumerate(self._rows[:max_rows]):
+        shown = 0
+        for i, row in enumerate(self._rows):
+            if i in self._retracted:
+                continue
+            if shown >= max_rows:
+                break
+            shown += 1
             lines.append(" | ".join(f"{str(resolve(s)):>8}" for s in row))
-        if len(self._rows) > max_rows:
-            lines.append(f"… ({len(self._rows)} rows)")
+        live = self.live_row_count()
+        if live > max_rows:
+            lines.append(f"… ({live} rows)")
         return "\n".join(lines)

@@ -16,6 +16,12 @@ or stdin), one op per line::
     delete CT (CS102, Jones)
     query T H R
     derivable T=Smith H=Mon-10 R=313
+    stats
+
+``stats`` prints the service's operation counters (rebuilds, scoped
+delete rechases, cache hits/misses, affected-set sizes), so the
+incremental claims are observable mid-stream; a one-line summary is
+printed at the end of every run regardless.
 
 Scenario files use the DSL of :mod:`repro.dsl`::
 
@@ -85,6 +91,10 @@ def _serve_one(service: WeakInstanceService, line: str) -> str:
     line to print."""
     parts = line.split(None, 1)
     op, rest = parts[0].lower(), parts[1] if len(parts) > 1 else ""
+    if op == "stats":
+        counters = service.stats.as_dict()
+        lines = [f"  {name} = {value}" for name, value in counters.items()]
+        return "\n".join(["stats:"] + lines)
     if op in ("insert", "delete"):
         scheme, _, spec = rest.partition(" ")
         if not scheme or not spec.strip():
@@ -119,7 +129,7 @@ def _serve_one(service: WeakInstanceService, line: str) -> str:
         if not fact:
             raise ParseError(f"derivable needs at least one Attr=value: {line!r}")
         return f"derivable {rest}: {'yes' if service.derivable(fact) else 'no'}"
-    raise ParseError(f"unknown op {op!r} (insert/delete/query/derivable)")
+    raise ParseError(f"unknown op {op!r} (insert/delete/query/derivable/stats)")
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -142,7 +152,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"({stats.window_cache_hits} cached), "
         f"{stats.inserts_accepted} inserts accepted "
         f"({stats.duplicate_inserts} duplicate), "
-        f"{stats.inserts_rejected} rejected, {stats.deletes} deletes, "
+        f"{stats.inserts_rejected} rejected, {stats.deletes} deletes "
+        f"({stats.scoped_rechases} scoped, {stats.delete_fallbacks} fallbacks), "
         f"{stats.incremental_chases} incremental chases, "
         f"{stats.rebuilds} rebuilds"
     )

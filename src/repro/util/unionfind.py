@@ -117,5 +117,20 @@ class IntUnionFind:
         size[ra] += size[rb]
         return ra
 
+    def reset_singletons(self, items: Iterable[int]) -> None:
+        """Detach each item into its own singleton set.
+
+        This is the primitive behind chase-tableau class dissolution
+        (:meth:`repro.chase.tableau.ChaseTableau.retract_row`): the
+        caller must pass **every** member of each set it means to break
+        up, otherwise items left out keep pointing at a parent that is
+        no longer their representative.
+        """
+        parent = self._parent
+        size = self._size
+        for item in items:
+            parent[item] = item
+            size[item] = 1
+
     def __len__(self) -> int:
         return len(self._parent)

@@ -14,15 +14,33 @@ keeps the chased representative instance **live** across updates:
   indexes.  Cost per insert is the cascade the tuple actually
   triggers, not a rescan of the state.
 * **Deletes** are always safe for satisfaction (any weak instance for
-  ``p`` is one for ``p`` minus a tuple) but can retract derived facts,
-  so they invalidate the live tableau; the next query rebuilds it from
-  the checker's current state.  Deletions are therefore the one
-  operation that is not incremental — the paper gives no locality
-  result for them.
+  ``p`` is one for ``p`` minus a tuple) but can retract derived facts.
+  The paper gives no locality result for them, so the first service
+  simply invalidated the live tableau and paid a from-scratch rebuild
+  on the next query.  Deletes are now *provenance-scoped*: the
+  tableau's merge log knows exactly which unions the deleted row's
+  merges fed (Gupta–Mumick-style delete-and-rederive), so the service
+  retracts the one row, dissolves only the tainted symbol classes, and
+  re-runs the incremental fixpoint over just the affected rows
+  (:meth:`~repro.chase.engine.IncrementalFDChaser.rechase_scoped`).
+  Cost per delete is the footprint the row actually had.  When the
+  affected set exceeds ``delete_rebuild_fraction`` of the live rows —
+  an adversarial delete whose footprint approaches the tableau — the
+  service falls back to the old invalidate-and-rebuild path, so the
+  worst case never exceeds one rebuild.  ``scoped_deletes=False``
+  restores the old behaviour wholesale — and skips the merge log
+  entirely, so a service that will never scope a delete (the delete
+  benchmark's baseline, the one-shot helpers in
+  :mod:`repro.weak.representative`) pays nothing for the machinery.
 * **Queries** (:meth:`window`, :meth:`derivable`) read the live
-  tableau's total projection through a per-``AttributeSet`` cache
-  keyed by the tableau's version stamp, so repeated queries between
-  updates are O(1).
+  tableau's total projection through a per-``AttributeSet`` cache.
+  Every entry belongs to the current tableau version: any version bump
+  prunes the superseded entries (no dead-version accumulation over
+  long streams), and the cache is additionally LRU-bounded by
+  ``window_cache_limit``.  A scoped delete invalidates **selectively**:
+  a cached window survives when none of its attributes touch a
+  dissolved class's columns and the retracted row's projection is
+  either non-total on it or still produced by a surviving row.
 
 Validation semantics follow :func:`repro.weak.representative.window`:
 consistency means *a weak instance for the FDs exists*, decided by the
@@ -64,6 +82,7 @@ from repro.core.independence import IndependenceReport
 from repro.core.maintenance import InsertOutcome, MaintenanceChecker, Method
 from repro.data.relations import RelationInstance, RowLike
 from repro.data.states import DatabaseState
+from repro.data.values import is_null
 from repro.deps.fd import FD
 from repro.deps.fdset import FDSet, as_fdset
 from repro.exceptions import InconsistentStateError
@@ -73,7 +92,8 @@ from repro.schema.database import DatabaseSchema
 
 @dataclass
 class ServiceStats:
-    """Operation counters (benchmark and test introspection)."""
+    """Operation counters (benchmark, test, and ops introspection —
+    the CLI ``serve`` REPL prints these via its ``stats`` command)."""
 
     inserts_accepted: int = 0
     inserts_rejected: int = 0
@@ -83,9 +103,32 @@ class ServiceStats:
     incremental_chases: int = 0
     window_queries: int = 0
     window_cache_hits: int = 0
+    #: deletes served by retract + scoped rechase (no rebuild)
+    scoped_rechases: int = 0
+    #: deletes whose affected set exceeded the fallback fraction (the
+    #: live tableau was invalidated; the next query rebuilds)
+    delete_fallbacks: int = 0
+    #: affected-set sizes across scoped deletes (observability for the
+    #: fallback heuristic)
+    affected_rows_total: int = 0
+    affected_rows_max: int = 0
+    #: window-cache entries kept alive across scoped deletes by the
+    #: selective invalidation check
+    windows_retained: int = 0
+    #: entries evicted by the LRU bound (not by invalidation)
+    window_cache_evictions: int = 0
+    #: invalidations triggered because retracted row slots outgrew the
+    #: live rows (the next query rebuilds a compact tableau)
+    compaction_rebuilds: int = 0
+
+    @property
+    def window_cache_misses(self) -> int:
+        return self.window_queries - self.window_cache_hits
 
     def as_dict(self) -> Dict[str, int]:
-        return dict(self.__dict__)
+        d = dict(self.__dict__)
+        d["window_cache_misses"] = self.window_cache_misses
+        return d
 
 
 class WeakInstanceService:
@@ -99,24 +142,41 @@ class WeakInstanceService:
     state (the randomized equivalence suite pins this).
     """
 
+    #: default ceiling on cached windows (LRU eviction beyond it)
+    DEFAULT_WINDOW_CACHE_LIMIT = 1024
+    #: default rebuild-fallback threshold: a delete whose affected set
+    #: exceeds this fraction of the live rows invalidates instead of
+    #: rechasing, bounding the worst case at one rebuild
+    DEFAULT_DELETE_REBUILD_FRACTION = 0.5
+
     def __init__(
         self,
         schema: DatabaseSchema,
         fds: Union[FDSet, Iterable[FD], str],
         method: Method = "chase",
         report: Optional[IndependenceReport] = None,
+        scoped_deletes: bool = True,
+        delete_rebuild_fraction: float = DEFAULT_DELETE_REBUILD_FRACTION,
+        window_cache_limit: int = DEFAULT_WINDOW_CACHE_LIMIT,
     ):
         self.schema = schema
         self.fds = as_fdset(fds)
         self.checker = MaintenanceChecker(schema, self.fds, method=method, report=report)
+        self.scoped_deletes = scoped_deletes
+        self.delete_rebuild_fraction = delete_rebuild_fraction
+        self.window_cache_limit = window_cache_limit
         self._fd_tuple: PyTuple[FD, ...] = tuple(self.fds)
         self._tableau: Optional[ChaseTableau] = None
         self._chaser: Optional[IncrementalFDChaser] = None
         self._stale = True
-        # AttributeSet -> (tableau version at computation, result)
-        self._window_cache: Dict[
-            AttributeSet, PyTuple[PyTuple[int, int], RelationInstance]
-        ] = {}
+        # (scheme name, tuple) -> live tableau row, so a delete can
+        # name the row to retract; rebuilt with the tableau
+        self._row_of: Dict[PyTuple[str, object], int] = {}
+        # windows of the *current* tableau version only (the single
+        # version invariant is what keeps the cache bounded over long
+        # streams); insertion order doubles as LRU order
+        self._window_cache: Dict[AttributeSet, RelationInstance] = {}
+        self._cache_version: Optional[PyTuple[int, int]] = None
         self.stats = ServiceStats()
 
     @classmethod
@@ -126,9 +186,12 @@ class WeakInstanceService:
         fds: Union[FDSet, Iterable[FD], str],
         method: Method = "chase",
         report: Optional[IndependenceReport] = None,
+        **options,
     ) -> "WeakInstanceService":
-        """Build a service over the state's schema and load the state."""
-        service = cls(state.schema, fds, method=method, report=report)
+        """Build a service over the state's schema and load the state
+        (``options`` pass through to the constructor: ``scoped_deletes``,
+        ``delete_rebuild_fraction``, ``window_cache_limit``)."""
+        service = cls(state.schema, fds, method=method, report=report, **options)
         service.load(state)
         return service
 
@@ -153,21 +216,20 @@ class WeakInstanceService:
             self._invalidate()
             return
         if self.checker.total_tuples() == 0:
-            tableau = ChaseTableau.from_state(state)
+            tableau, row_of = self._tableau_from(state)
         else:
-            tableau = ChaseTableau.from_state(self.checker.state())
-            seen = set()
+            tableau, row_of = self._tableau_from(self.checker.state())
             for scheme, relation in state:
                 for t in relation:
-                    if (scheme.name, t) in seen or self.checker.contains(
-                        scheme.name, t
-                    ):
+                    key = (scheme.name, t)
+                    if key in row_of or self.checker.contains(scheme.name, t):
                         continue
-                    seen.add((scheme.name, t))
-                    tableau.add_padded(
+                    row_of[key] = tableau.add_padded(
                         scheme.attributes, t, RowOrigin("state", scheme.name)
                     )
-        chaser = IncrementalFDChaser(tableau, self._fd_tuple)
+        chaser = IncrementalFDChaser(
+            tableau, self._fd_tuple, log_merges=self.scoped_deletes
+        )
         result = chaser.run()
         if not result.consistent:
             # the candidate tableau is discarded; the previous live
@@ -176,37 +238,74 @@ class WeakInstanceService:
                 f"state is not satisfying: {result.contradiction}"
             )
         self.checker.load(state, assume_valid=True)
-        self._adopt(tableau, chaser)
+        self._adopt(tableau, chaser, row_of)
 
     # -- live tableau management -----------------------------------------------
 
-    def _adopt(self, tableau: ChaseTableau, chaser: IncrementalFDChaser) -> None:
+    def _tableau_from(
+        self, state: DatabaseState
+    ) -> PyTuple[ChaseTableau, Dict[PyTuple[str, object], int]]:
+        """``I(p)`` plus the (scheme, tuple) → row locator deletes use.
+
+        Duplicate tuples within a relation collapse to one row (set
+        semantics, like the checker), so retracting the locator's row
+        really removes the tuple's entire contribution.
+        """
+        tableau = ChaseTableau(self.schema.universe)
+        row_of: Dict[PyTuple[str, object], int] = {}
+        for scheme, relation in state:
+            for t in relation:
+                key = (scheme.name, t)
+                if key in row_of:
+                    continue
+                row_of[key] = tableau.add_padded(
+                    scheme.attributes, t, RowOrigin("state", scheme.name)
+                )
+        return tableau, row_of
+
+    def _adopt(
+        self,
+        tableau: ChaseTableau,
+        chaser: IncrementalFDChaser,
+        row_of: Dict[PyTuple[str, object], int],
+    ) -> None:
         self._tableau = tableau
         self._chaser = chaser
+        self._row_of = row_of
         self._stale = False
         # never reuse windows across tableaux: a rebuilt tableau can
         # coincidentally reproduce an old version stamp
         self._window_cache.clear()
+        self._cache_version = tableau.version
 
     def _invalidate(self) -> None:
         self._tableau = None
         self._chaser = None
+        self._row_of = {}
         self._stale = True
         self._window_cache.clear()
+        self._cache_version = None
 
     def _ensure_live(self) -> ChaseTableau:
         """The chased live tableau, rebuilding from the checker's state
         when an update invalidated it."""
         if not self._stale and self._tableau is not None:
             return self._tableau
-        tableau = ChaseTableau.from_state(self.checker.state())
-        chaser = IncrementalFDChaser(tableau, self._fd_tuple)
+        tableau, row_of = self._tableau_from(self.checker.state())
+        chaser = IncrementalFDChaser(
+            tableau, self._fd_tuple, log_merges=self.scoped_deletes
+        )
         result = chaser.run()
-        if not result.consistent:  # pragma: no cover - checker-validated state
+        if not result.consistent:
+            # unreachable through the public API (the checker validates
+            # every mutation), but the poisoned-state contract matters:
+            # a checker that hands back a violating state must surface
+            # the contradiction, not serve wrong windows (pinned by a
+            # checker-stub test)
             raise InconsistentStateError(
                 f"checker state stopped satisfying the FDs: {result.contradiction}"
             )
-        self._adopt(tableau, chaser)
+        self._adopt(tableau, chaser, row_of)
         self.stats.rebuilds += 1
         return tableau
 
@@ -305,35 +404,150 @@ class WeakInstanceService:
         if self._stale or self._tableau is None:
             return
         scheme = self.schema[scheme_name]
-        self._tableau.add_padded(
+        self._row_of[(scheme_name, t)] = self._tableau.add_padded(
             scheme.attributes, t, RowOrigin("state", scheme.name)
         )
 
     def delete(self, scheme_name: str, row: RowLike) -> bool:
-        """Delete a tuple; returns whether it existed.  Satisfaction
-        survives any deletion, but derived facts may not, so the live
-        tableau is invalidated and rebuilt on the next query."""
-        existed = self.checker.delete(scheme_name, row)
-        if existed:
-            self.stats.deletes += 1
+        """Delete a tuple; returns whether it existed.
+
+        Satisfaction survives any deletion, but derived facts may not.
+        Instead of invalidating the live tableau wholesale, the delete
+        retracts the tuple's row and re-derives only its merge
+        footprint (:meth:`~repro.chase.engine.IncrementalFDChaser.rechase_scoped`),
+        keeping the tableau — and every untouched window-cache entry —
+        live.  Falls back to invalidate-and-rebuild when the affected
+        set exceeds ``delete_rebuild_fraction`` of the live rows, when
+        the merge log cannot scope the tableau, or when
+        ``scoped_deletes=False``.
+        """
+        t = self.checker.coerce_tuple(scheme_name, row)
+        existed = self.checker.delete(scheme_name, t)
+        if not existed:
+            return False
+        self.stats.deletes += 1
+        if self._stale or self._tableau is None:
+            return True  # nothing live to maintain; next query rebuilds
+        if not self.scoped_deletes:
             self._invalidate()
-        return existed
+            return True
+        idx = self._row_of.get((scheme_name, t))
+        if idx is None:  # locator out of sync: be safe, rebuild
+            self._invalidate()
+            return True
+        tableau = self._tableau
+        impact = tableau.retraction_impact(idx)
+        threshold = self.delete_rebuild_fraction * tableau.live_row_count()
+        if not impact.complete or len(impact.affected_rows) > threshold:
+            self.stats.delete_fallbacks += 1
+            self._invalidate()
+            return True
+        pre_version = tableau.version
+        del self._row_of[(scheme_name, t)]
+        assert self._chaser is not None
+        result = self._chaser.rechase_scoped(idx, impact)
+        if not result.consistent:  # pragma: no cover - deletes are safe
+            # a deletion cannot make a satisfying state unsatisfying;
+            # reaching this means the tableau was corrupted — recover
+            # by rebuilding from the (already committed) checker state
+            self._invalidate()
+            return True
+        self.stats.scoped_rechases += 1
+        n_affected = len(impact.affected_rows)
+        self.stats.affected_rows_total += n_affected
+        self.stats.affected_rows_max = max(self.stats.affected_rows_max, n_affected)
+        # retracted slots are never reused, so a long delete stream
+        # accretes dead rows (and linear scans like total_projection
+        # pay for them); once they outgrow the live rows, trade one
+        # lazy rebuild for a compact tableau
+        live = tableau.live_row_count()
+        if len(tableau) - live > max(64, live):
+            self.stats.compaction_rebuilds += 1
+            self._invalidate()
+            return True
+        self._revalidate_windows(impact, pre_version)
+        return True
+
+    def _revalidate_windows(self, impact, pre_version: PyTuple[int, int]) -> None:
+        """Selective window-cache invalidation after a scoped delete.
+
+        A cached window survives iff (a) it was current immediately
+        before the delete, (b) none of its attributes lie in a column a
+        dissolved class touched (so every surviving row's projection is
+        unchanged), and (c) the retracted row contributes nothing the
+        survivors don't — it was not total on the window, or some live
+        row resolves to the same constants.  Survivors are re-stamped
+        to the post-delete version; everything else is dropped and
+        recomputed lazily.
+        """
+        tableau = self._tableau
+        assert tableau is not None
+        survivors: Dict[AttributeSet, RelationInstance] = {}
+        if self._cache_version == pre_version:
+            changed_attrs = {tableau.columns[c] for c in impact.changed_cols}
+            symbols = tableau.symbols
+            find = symbols.find
+            values = impact.resolved_values
+            for target, facts in self._window_cache.items():
+                if any(a in changed_attrs for a in target):
+                    continue
+                cols = [tableau.column_index(a) for a in target]
+                vals = [values[c] for c in cols]
+                if all(not is_null(v) for v in vals):
+                    # the retracted row answered this window: keep the
+                    # entry only if a surviving row still produces the
+                    # same fact (per-column interning makes that one
+                    # occurrence-bucket scan)
+                    syms = [
+                        symbols.interned_symbol(v, a)
+                        for a, v in zip(target, vals)
+                    ]
+                    if any(s is None for s in syms):  # pragma: no cover
+                        continue  # defensive: value untraceable, drop
+                    roots = [find(s) for s in syms]
+                    if tableau.live_row_matching(cols, roots) is None:
+                        continue
+                survivors[target] = facts
+        self.stats.windows_retained += len(survivors)
+        self._window_cache = survivors
+        self._cache_version = tableau.version
 
     # -- queries ------------------------------------------------------------------
 
     def window(self, attrset: AttrsLike) -> RelationInstance:
         """The derivable ``X``-facts of the *current* state: the
-        ``X``-total projection of the live representative instance."""
+        ``X``-total projection of the live representative instance.
+
+        Cached per ``AttributeSet``.  The whole cache belongs to one
+        tableau version: the first query after any update prunes every
+        superseded entry (scoped deletes re-stamp the entries they
+        prove untouched, so those survive), which keeps a long
+        insert+query stream from accumulating dead versions.  An LRU
+        bound (``window_cache_limit``) caps the footprint even at a
+        single version.
+        """
         target = AttributeSet(attrset)
         self.stats.window_queries += 1
         tableau = self._ensure_live()
         version = tableau.version
-        cached = self._window_cache.get(target)
-        if cached is not None and cached[0] == version:
-            self.stats.window_cache_hits += 1
-            return cached[1]
+        cache = self._window_cache
+        if version != self._cache_version:
+            # an update superseded every cached window: prune wholesale
+            cache.clear()
+            self._cache_version = version
+        else:
+            facts = cache.get(target)
+            if facts is not None:
+                self.stats.window_cache_hits += 1
+                # refresh LRU position (dict preserves insertion order)
+                del cache[target]
+                cache[target] = facts
+                return facts
         facts = tableau.total_projection(target)
-        self._window_cache[target] = (version, facts)
+        cache[target] = facts
+        if len(cache) > self.window_cache_limit:
+            cache.pop(next(iter(cache)))
+            self.stats.window_cache_evictions += 1
         return facts
 
     def derivable(self, fact: Mapping[str, object]) -> bool:
@@ -404,7 +618,9 @@ class WeakInstanceService:
         return not self._stale
 
     def __repr__(self) -> str:
-        rows = len(self._tableau) if self._tableau is not None else "∅"
+        rows = (
+            self._tableau.live_row_count() if self._tableau is not None else "∅"
+        )
         return (
             f"WeakInstanceService<method={self.method}, "
             f"tuples={self.total_tuples()}, tableau_rows={rows}, "

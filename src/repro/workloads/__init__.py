@@ -26,6 +26,7 @@ from repro.workloads.states import (
     StreamOp,
     cascade_chain_workload,
     default_query_pool,
+    delete_heavy_stream_workload,
     insert_workload,
     mixed_stream_workload,
     random_satisfying_state,
@@ -53,6 +54,7 @@ __all__ = [
     "StreamOp",
     "insert_workload",
     "mixed_stream_workload",
+    "delete_heavy_stream_workload",
     "default_query_pool",
     "cascade_chain_workload",
     "random_satisfying_state",

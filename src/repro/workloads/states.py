@@ -248,6 +248,75 @@ def mixed_stream_workload(
     return base, ops
 
 
+def delete_heavy_stream_workload(
+    schema: DatabaseSchema,
+    fds: FDSet,
+    n_base: int = 100,
+    n_deletes: int = 20,
+    n_queries: int = 40,
+    n_inserts: int = 0,
+    seed: int = 0,
+    domain_size: int = 1000,
+    query_pool: Optional[Sequence[PyTuple[str, ...]]] = None,
+) -> PyTuple[DatabaseState, List[StreamOp]]:
+    """A delete-dominated stream: the workload that used to force the
+    weak-instance service into rebuild-per-delete.
+
+    Unlike :func:`mixed_stream_workload`'s seeded shuffle, deletes are
+    spread **evenly** through the query stream (each delete is followed
+    by queries before the next lands), so a service that invalidates on
+    delete pays one full rebuild per delete — the worst case the
+    provenance-scoped delete path is benchmarked against — and the
+    rebuild count of the baseline is deterministic rather than an
+    artifact of shuffle adjacency.  Deletes pick distinct stored base
+    tuples; optional inserts (all valid) are interleaved by the same
+    round-robin.
+    """
+    rng = random.Random(seed)
+    base = random_satisfying_state(
+        schema, fds, n_base, seed=seed, domain_size=domain_size
+    )
+    stored = [
+        (scheme.name, {a: t.value(a) for a in scheme.attributes})
+        for scheme, relation in base
+        for t in relation
+    ]
+    deletes: List[StreamOp] = []
+    for _ in range(min(n_deletes, len(stored))):
+        name, values = stored.pop(rng.randrange(len(stored)))
+        deletes.append(StreamOp(kind="delete", scheme=name, values=values))
+    updates: List[StreamOp] = list(deletes)
+    for op in insert_workload(
+        schema, fds, n_ops=n_inserts, seed=seed + 1,
+        domain_size=domain_size, invalid_ratio=0.0,
+    ):
+        updates.append(
+            StreamOp(
+                kind="insert", scheme=op.scheme, values=op.values,
+                intended_valid=op.intended_valid,
+            )
+        )
+    rng.shuffle(updates)
+    pool = list(query_pool) if query_pool is not None else default_query_pool(schema)
+    queries = [
+        StreamOp(kind="query", attributes=rng.choice(pool))
+        for _ in range(n_queries)
+    ]
+    # round-robin: distribute the updates evenly through the queries
+    ops: List[StreamOp] = []
+    if updates:
+        stride = max(1, len(queries) // len(updates))
+        qi = 0
+        for op in updates:
+            ops.append(op)
+            ops.extend(queries[qi : qi + stride])
+            qi += stride
+        ops.extend(queries[qi:])
+    else:
+        ops = queries
+    return base, ops
+
+
 def insert_workload(
     schema: DatabaseSchema,
     fds: FDSet,

@@ -89,6 +89,7 @@ insert CT (CS101, Smith)
 derivable T=Smith H=Tue-9 R=327
 delete CHR (CS101, Tue-9, 327)
 derivable T=Smith H=Tue-9 R=327
+stats
 """
 
     def _ops_file(self, tmp_path) -> str:
@@ -109,6 +110,17 @@ derivable T=Smith H=Tue-9 R=327
         assert "derivable T=Smith H=Tue-9 R=327: yes" in out
         assert "derivable T=Smith H=Tue-9 R=327: no" in out  # after the delete
         assert "served:" in out
+        # the stats op surfaces the ServiceStats counters mid-stream
+        # (on this 3-live-row toy state the delete's footprint exceeds
+        # the rebuild-fallback fraction, so it deterministically falls
+        # back — exactly what the counters should make visible)
+        assert "stats:" in out
+        assert "scoped_rechases = 0" in out
+        assert "delete_fallbacks = 1" in out
+        assert "window_cache_hits" in out
+        assert "affected_rows_max" in out
+        # and the closing summary names the delete path taken
+        assert "1 deletes (0 scoped, 1 fallbacks)" in out
 
     def test_serve_local_method(self, scenario_file, tmp_path, capsys):
         code = main(

@@ -1,0 +1,352 @@
+"""Provenance-scoped retraction: the merge log, affected sets, and
+``rechase_scoped`` against the from-scratch oracle.
+
+The contract: after retracting any state row from a chased tableau and
+driving the scoped rechase, the tableau is observationally equivalent
+(total projections over the universe and every scheme) to a
+from-scratch chase of the state minus that tuple — while the
+retraction touches only the affected footprint.  The randomized suites
+mirror the oracle pattern of ``tests/test_chase_indexed.py``.
+"""
+
+import random
+
+import pytest
+
+from repro.chase.engine import IncrementalFDChaser, chase_fds
+from repro.chase.tableau import ChaseTableau, RowOrigin
+from repro.data.states import DatabaseState
+from repro.deps.fdset import FDSet
+from repro.exceptions import InstanceError
+from repro.schema.database import DatabaseSchema
+from repro.workloads.schemas import chain_schema, star_schema
+from repro.workloads.states import random_satisfying_state
+
+
+def chased_with_locator(state, fds):
+    """A chased tableau plus (scheme, tuple) → row, like the service's."""
+    tab = ChaseTableau(state.schema.universe)
+    rows = []
+    for scheme, relation in state:
+        for t in relation:
+            idx = tab.add_padded(
+                scheme.attributes, t, RowOrigin("state", scheme.name)
+            )
+            rows.append((scheme.name, t, idx))
+    chaser = IncrementalFDChaser(tab, fds)
+    assert chaser.run().consistent
+    return tab, chaser, rows
+
+
+def assert_matches_scratch(tab, schema, fds, remaining):
+    reduced = DatabaseState(schema, {k: list(v) for k, v in remaining.items()})
+    fresh = ChaseTableau.from_state(reduced)
+    assert chase_fds(fresh, fds).consistent
+    assert tab.total_projection(schema.universe) == fresh.total_projection(
+        schema.universe
+    )
+    for scheme in schema:
+        assert tab.total_projection(scheme.attributes) == fresh.total_projection(
+            scheme.attributes
+        )
+
+
+class TestMergeLog:
+    def test_chaser_enables_and_completes_the_log(self, intro):
+        tab, chaser, _ = chased_with_locator(intro.state, intro.fds)
+        assert tab.merge_log_complete
+        events = tab.merge_log()
+        assert events, "the intro example chases at least one merge"
+        find = tab.symbols.find
+        for ev in events:
+            # every event is a live, justified union
+            assert find(ev.sym_a) == find(ev.sym_b)
+            ra, rb = tab.raw_row(ev.row_a), tab.raw_row(ev.row_b)
+            for c in ev.lhs_cols:
+                assert find(ra[c]) == find(rb[c])
+            assert ev.fd is not None
+
+    def test_unprovenanced_merge_marks_log_incomplete(self):
+        tab = ChaseTableau("A B")
+        sym = tab.symbols
+        tab.add_row((sym.constant(1), sym.fresh_variable()), RowOrigin("state", "R"))
+        tab.add_row((sym.constant(2), sym.fresh_variable()), RowOrigin("state", "R"))
+        tab.enable_merge_log()
+        tab.merge(tab.raw_row(0)[1], tab.raw_row(1)[1])  # no provenance
+        assert not tab.merge_log_complete
+        impact = tab.retraction_impact(0)
+        assert not impact.complete
+        assert impact.affected_rows == {1}
+        with pytest.raises(InstanceError):
+            tab.retract_row(0, impact)
+
+    def test_log_enabled_after_merges_stays_incomplete(self):
+        schema = DatabaseSchema.parse("RAB(A,B); RAC(A,C)")
+        state = DatabaseState(schema, {"RAB": [(1, 2)], "RAC": [(1, 3)]})
+        tab = ChaseTableau.from_state(state)
+        result = chase_fds(tab, FDSet.parse("A -> C"))
+        assert result.consistent and result.fd_merges > 0
+        # chase_fds logs nothing; enabling now cannot recover history
+        tab.enable_merge_log()
+        assert not tab.merge_log_complete
+
+    def test_derived_rows_disable_scoping(self):
+        tab = ChaseTableau("A B")
+        sym = tab.symbols
+        tab.add_row((sym.constant(1), sym.fresh_variable()), RowOrigin("state", "R"))
+        tab.add_row((sym.constant(1), sym.fresh_variable()), RowOrigin("seed"))
+        tab.enable_merge_log()
+        assert not tab.merge_log_complete
+
+
+class TestRetractionImpact:
+    def test_merge_free_row_has_empty_footprint(self):
+        schema = DatabaseSchema.parse("R1(A,B); R2(C,D)")
+        state = DatabaseState(schema, {"R1": [(1, 2)], "R2": [(3, 4)]})
+        tab, chaser, rows = chased_with_locator(state, FDSet.parse("A -> B"))
+        idx = rows[0][2]
+        impact = tab.retraction_impact(idx)
+        assert impact.complete
+        assert impact.affected_rows == set()
+        assert impact.tainted_roots == set()
+        assert impact.changed_cols == set()
+
+    def test_footprint_covers_grounded_siblings(self, intro):
+        # deleting the CT tuple retracts the grounding of CHR's padded
+        # T-variables: those rows are exactly the affected set
+        tab, chaser, rows = chased_with_locator(intro.state, intro.fds)
+        (idx,) = [i for name, t, i in rows if name == "CT"]
+        impact = tab.retraction_impact(idx)
+        assert impact.complete
+        chr_rows = {i for name, t, i in rows if name == "CHR"}
+        assert impact.affected_rows
+        assert impact.affected_rows <= chr_rows
+        t_col = tab.column_index("T")
+        assert t_col in impact.changed_cols
+
+    def test_scoped_footprint_is_local_on_disjoint_clusters(self):
+        """Two value-disjoint clusters: deleting in one must not taint
+        the other (the per-column interning + identity-registration
+        precision this PR's delete path rides on)."""
+        schema, F = chain_schema(4)
+        tuples = {
+            f"R{i}": [(100 + i, 100 + i + 1), (200 + i, 200 + i + 1)]
+            for i in range(1, 5)
+        }
+        state = DatabaseState(schema, tuples)
+        tab, chaser, rows = chased_with_locator(state, F)
+        (idx,) = [
+            i for name, t, i in rows
+            if name == "R1" and t.value("A1") == 101
+        ]
+        impact = tab.retraction_impact(idx)
+        cluster_200 = {
+            i for name, t, i in rows
+            if min(t.value(a) for a in state.schema[name].attributes) >= 200
+        }
+        assert impact.complete
+        assert not (impact.affected_rows & cluster_200), (
+            "taint leaked into a value-disjoint cluster"
+        )
+
+    def test_retracted_row_rejects_second_retraction(self):
+        schema = DatabaseSchema.parse("R(A,B)")
+        state = DatabaseState(schema, {"R": [(1, 2), (3, 4)]})
+        tab, chaser, _ = chased_with_locator(state, FDSet.parse("A -> B"))
+        assert chaser.rechase_scoped(0).consistent
+        with pytest.raises(InstanceError):
+            tab.retraction_impact(0)
+        with pytest.raises(InstanceError):
+            tab.retract_row(0)
+
+
+class TestRechaseScoped:
+    def test_requires_a_seeded_chaser(self):
+        schema = DatabaseSchema.parse("R(A,B)")
+        state = DatabaseState(schema, {"R": [(1, 2)]})
+        tab = ChaseTableau.from_state(state)
+        chaser = IncrementalFDChaser(tab, FDSet.parse("A -> B"))
+        from repro.exceptions import InconsistentStateError
+
+        with pytest.raises(InconsistentStateError):
+            chaser.rechase_scoped(0)
+
+    def test_delete_retracts_derived_fact(self, intro):
+        tab, chaser, rows = chased_with_locator(intro.state, intro.fds)
+        facts = tab.total_projection("T H R")
+        assert len(facts) == 1  # Smith's room is derivable
+        (idx,) = [i for name, t, i in rows if name == "CT"]
+        assert chaser.rechase_scoped(idx).consistent
+        assert len(tab.total_projection("T H R")) == 0
+        tab.check_index_invariants()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_chain_retractions_match_scratch(self, seed):
+        schema, F = chain_schema(5)
+        state = random_satisfying_state(schema, F, 25, seed=seed, domain_size=30)
+        tab, chaser, rows = chased_with_locator(state, F)
+        rng = random.Random(seed)
+        order = rows[:]
+        rng.shuffle(order)
+        remaining = {s.name: list(state[s.name].tuples) for s in schema}
+        for name, t, idx in order[:12]:
+            remaining[name].remove(t)
+            impact = tab.retraction_impact(idx)
+            assert impact.complete
+            assert chaser.rechase_scoped(idx, impact).consistent
+            tab.check_index_invariants()
+            assert_matches_scratch(tab, schema, F, remaining)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_randomized_star_retractions_match_scratch(self, seed):
+        schema, F = star_schema(4)
+        state = random_satisfying_state(schema, F, 20, seed=seed, domain_size=25)
+        tab, chaser, rows = chased_with_locator(state, F)
+        rng = random.Random(seed)
+        order = rows[:]
+        rng.shuffle(order)
+        remaining = {s.name: list(state[s.name].tuples) for s in schema}
+        for name, t, idx in order[:10]:
+            remaining[name].remove(t)
+            assert chaser.rechase_scoped(idx).consistent
+            tab.check_index_invariants()
+            assert_matches_scratch(tab, schema, F, remaining)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_multiattribute_lhs_retractions_match_scratch(self, seed):
+        """`C H -> R` has a two-column lhs: exercises the multi-key
+        bucket validation path."""
+        schema = DatabaseSchema.parse("CT(C,T); CS(C,S); CHR(C,H,R)")
+        F = FDSet.parse("C -> T; C H -> R")
+        state = random_satisfying_state(schema, F, 30, seed=seed, domain_size=8)
+        tab, chaser, rows = chased_with_locator(state, F)
+        rng = random.Random(seed)
+        order = rows[:]
+        rng.shuffle(order)
+        remaining = {s.name: list(state[s.name].tuples) for s in schema}
+        for name, t, idx in order[:15]:
+            remaining[name].remove(t)
+            assert chaser.rechase_scoped(idx).consistent
+            tab.check_index_invariants()
+            assert_matches_scratch(tab, schema, F, remaining)
+
+    def test_deleted_multiattr_leader_relinks_constant_holder(self):
+        """Regression: under a multi-attribute lhs, the bucket path has
+        no class sweep, so a surviving row whose only tainted-class
+        symbol is an interned constant must still be re-seeded dirty —
+        otherwise its union with the other survivors is never
+        re-derived after the bucket leader itself is retracted."""
+        schema = DatabaseSchema.parse("R1(A,B); R3(A,B,D); R2(A,B,C)")
+        F = FDSet.parse("A B -> C")
+        state = DatabaseState(
+            schema,
+            {"R1": [("a", "b")], "R3": [("a", "b", "d")], "R2": [("a", "b", "k")]},
+        )
+        tab, chaser, rows = chased_with_locator(state, F)
+        (idx,) = [i for name, t, i in rows if name == "R1"]
+        impact = tab.retraction_impact(idx)
+        assert chaser.rechase_scoped(idx, impact).consistent
+        tab.check_index_invariants()
+        facts = tab.total_projection("A D C")
+        assert len(facts) == 1, "R3's C must re-ground to R2's constant"
+        assert_matches_scratch(
+            tab, schema, F,
+            {"R1": [], "R3": state["R3"].tuples, "R2": state["R2"].tuples},
+        )
+
+    def test_retract_everything_leaves_empty_projections(self):
+        schema, F = chain_schema(3)
+        state = random_satisfying_state(schema, F, 8, seed=5, domain_size=12)
+        tab, chaser, rows = chased_with_locator(state, F)
+        for name, t, idx in rows:
+            assert chaser.rechase_scoped(idx).consistent
+        assert tab.live_row_count() == 0
+        assert len(tab.total_projection(schema.universe)) == 0
+        tab.check_index_invariants()
+
+    def test_fresh_chase_over_retracted_tableau_stays_retracted(self):
+        """Regression: re-chasing a tableau that served a retraction
+        (fresh chaser or chase_fds, both public API) must not resurrect
+        the deleted tuple's groundings via the seeding pass."""
+        schema = DatabaseSchema.parse("R1(A,B,C); R2(A,B,D)")
+        F = FDSet.parse("A B -> C")
+        state = DatabaseState(
+            schema, {"R1": [("a", "b", "c1")], "R2": [("a", "b", "d")]}
+        )
+        tab, chaser, rows = chased_with_locator(state, F)
+        (idx,) = [i for name, t, i in rows if name == "R1"]
+        assert chaser.rechase_scoped(idx).consistent
+        assert len(tab.total_projection("A D C")) == 0
+        fresh_chaser = IncrementalFDChaser(tab, F)
+        assert fresh_chaser.run().consistent
+        assert len(tab.total_projection("A D C")) == 0, (
+            "fresh seeding pass resurrected the retracted row's grounding"
+        )
+        assert chase_fds(tab, F).consistent
+        assert len(tab.total_projection("A D C")) == 0
+        tab.check_index_invariants()
+
+    def test_lazy_value_index_excludes_retracted_rows(self):
+        """Regression: a value index materialized *after* a retraction
+        must cover live rows only (the invariant every eagerly
+        maintained index already obeys)."""
+        schema = DatabaseSchema.parse("R1(A,B); R2(A,C)")
+        F = FDSet.parse("A -> B")
+        state = DatabaseState(schema, {"R1": [(1, 2)], "R2": [(1, 3)]})
+        tab, chaser, rows = chased_with_locator(state, F)
+        assert chaser.rechase_scoped(rows[0][2]).consistent
+        index = tab.value_index("C")  # C was never an FD lhs: built now
+        assert all(rows[0][2] not in members for members in index.values())
+        tab.check_index_invariants()
+
+    def test_merge_log_stays_bounded_across_delete_reinsert_cycles(self):
+        """Regression: deleting and re-inserting the same tuple must
+        not grow the merge log — re-derived unions replace their
+        dissolved events instead of piling up next to them."""
+        schema, F = chain_schema(3)
+        state = random_satisfying_state(schema, F, 10, seed=2, domain_size=50)
+        tab, chaser, rows = chased_with_locator(state, F)
+        name, t, idx = rows[3]
+        baseline = None
+        for _ in range(12):
+            assert chaser.rechase_scoped(idx).consistent
+            idx = tab.add_padded(
+                schema[name].attributes, t, RowOrigin("state", name)
+            )
+            assert chaser.run().consistent
+            size = len(tab.merge_log())
+            if baseline is None:
+                baseline = size
+            assert size <= baseline, (
+                f"merge log grew across cycles: {baseline} -> {size}"
+            )
+        tab.check_index_invariants()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_interleaved_appends_and_retractions(self, seed):
+        """Inserts and deletes through one persistent chaser — the
+        service's actual lifecycle — stay equivalent to scratch."""
+        schema, F = chain_schema(4)
+        full = random_satisfying_state(schema, F, 24, seed=seed, domain_size=40)
+        # hold back every third tuple to re-append later
+        held = []
+        base_tuples = {}
+        for s in schema:
+            ts = list(full[s.name].tuples)
+            base_tuples[s.name] = ts[: 2 * len(ts) // 3]
+            held.extend((s.name, t) for t in ts[2 * len(ts) // 3 :])
+        base = DatabaseState(schema, {k: list(v) for k, v in base_tuples.items()})
+        tab, chaser, rows = chased_with_locator(base, F)
+        remaining = {k: list(v) for k, v in base_tuples.items()}
+        rng = random.Random(seed)
+        rng.shuffle(rows)
+        for k, (name, t, idx) in enumerate(rows[:10]):
+            remaining[name].remove(t)
+            assert chaser.rechase_scoped(idx).consistent
+            if held:
+                nm, tt = held.pop()
+                remaining[nm].append(tt)
+                tab.add_padded(schema[nm].attributes, tt, RowOrigin("state", nm))
+                assert chaser.run().consistent
+            tab.check_index_invariants()
+            assert_matches_scratch(tab, schema, F, remaining)

@@ -18,7 +18,11 @@ from repro.schema.database import DatabaseSchema
 from repro.weak.representative import derivable, representative_instance, window
 from repro.weak.service import WeakInstanceService
 from repro.workloads.schemas import chain_schema, star_schema
-from repro.workloads.states import mixed_stream_workload, random_satisfying_state
+from repro.workloads.states import (
+    delete_heavy_stream_workload,
+    mixed_stream_workload,
+    random_satisfying_state,
+)
 
 
 def scratch_window(state, fds, attrset):
@@ -338,3 +342,258 @@ class TestRandomizedStreams:
         collect = {"accepted": 0, "rejected": 0, "deleted": 0, "queried": 0}
         _apply_stream(service, base, ops, F, collect)
         assert collect["accepted"] > 0 and collect["rejected"] > 0
+
+
+def _assert_equiv_after_delete(service, fds, attrsets):
+    """Observational equivalence against the from-scratch oracle:
+    windows, derivability of every oracle fact, and the total
+    projection over the universe."""
+    state = service.state()
+    universe = service.schema.universe
+    got_universe = service.window(universe)
+    want_universe = scratch_window(state, fds, universe)
+    assert got_universe == want_universe, "total projection diverged after delete"
+    for attrs in attrsets:
+        got = service.window(attrs)
+        want = scratch_window(state, fds, attrs)
+        assert got == want, f"window({attrs}) diverged after delete"
+        for t in want:
+            fact = {a: t.value(a) for a in want.attributes}
+            assert service.derivable(fact), f"oracle fact {fact} not derivable"
+
+
+class TestScopedDeletes:
+    """Delete-heavy streams: the scoped-rechase tableau must stay
+    observationally equivalent to a from-scratch chase after every
+    delete — and must genuinely not rebuild."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_chain_delete_stream_matches_scratch(self, seed):
+        schema, F = chain_schema(4)
+        base, ops = delete_heavy_stream_workload(
+            schema, F, n_base=20, n_deletes=12, n_queries=12,
+            seed=seed, domain_size=200,
+        )
+        service = WeakInstanceService(schema, F, method="local")
+        service.load(base)
+        probes = [schema.universe.names[:3], schema.schemes[0].attributes.names]
+        for op in ops:
+            if op.kind == "delete":
+                assert service.delete(op.scheme, op.values)
+                _assert_equiv_after_delete(service, F, probes)
+            elif op.kind == "query":
+                got = service.window(op.attributes)
+                assert got == scratch_window(service.state(), F, op.attributes)
+        service.representative().check_index_invariants()
+        assert service.stats.scoped_rechases > 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_star_delete_stream_matches_scratch_chase_method(self, seed):
+        schema, F = star_schema(4)
+        base, ops = delete_heavy_stream_workload(
+            schema, F, n_base=15, n_deletes=10, n_queries=10,
+            seed=seed + 50, domain_size=150,
+        )
+        service = WeakInstanceService(schema, F, method="chase")
+        service.load(base)
+        probes = [schema.universe.names[:2]]
+        for op in ops:
+            if op.kind == "delete":
+                assert service.delete(op.scheme, op.values)
+                _assert_equiv_after_delete(service, F, probes)
+            elif op.kind == "query":
+                assert service.window(op.attributes) == scratch_window(
+                    service.state(), F, op.attributes
+                )
+        service.representative().check_index_invariants()
+
+    def test_scoped_delete_does_not_rebuild(self):
+        schema, F = chain_schema(5)
+        base = random_satisfying_state(schema, F, 30, seed=9, domain_size=2000)
+        service = WeakInstanceService.from_state(base, F)
+        service.window(schema.universe)
+        rebuilds_before = service.stats.rebuilds
+        deleted = 0
+        for scheme, relation in base:
+            for t in list(relation)[:2]:
+                if service.delete(scheme.name, t):
+                    deleted += 1
+                service.window(schema.universe)
+        assert deleted > 0
+        assert service.stats.rebuilds == rebuilds_before, (
+            "scoped deletes must not trigger rebuilds"
+        )
+        assert service.stats.scoped_rechases == deleted
+        assert service.stats.delete_fallbacks == 0
+        assert service.stats.affected_rows_max >= 0
+
+    def test_scoped_deletes_false_restores_rebuild_path(self):
+        schema, F = chain_schema(4)
+        base = random_satisfying_state(schema, F, 15, seed=3, domain_size=500)
+        service = WeakInstanceService.from_state(base, F, scoped_deletes=False)
+        service.window(schema.universe)
+        t = next(iter(base[schema.schemes[0].name]))
+        assert service.delete(schema.schemes[0].name, t)
+        assert not service.live, "non-scoped delete must invalidate"
+        service.window(schema.universe)
+        assert service.stats.rebuilds == 1
+        assert service.stats.scoped_rechases == 0
+
+    def test_adversarial_fraction_forces_fallback(self):
+        """delete_rebuild_fraction=0 makes any delete with a non-empty
+        footprint fall back — the quadratic-delete guard."""
+        schema, F = chain_schema(4)
+        base = random_satisfying_state(schema, F, 15, seed=4, domain_size=500)
+        service = WeakInstanceService.from_state(
+            base, F, delete_rebuild_fraction=0.0
+        )
+        service.window(schema.universe)
+        fell_back = 0
+        for scheme, relation in base:
+            for t in list(relation)[:1]:
+                service.delete(scheme.name, t)
+                if not service.live:
+                    fell_back += 1
+                service.window(schema.universe)
+        assert fell_back > 0
+        assert service.stats.delete_fallbacks == fell_back
+        # and answers are still right (oracle)
+        assert service.window("A1 A2") == scratch_window(
+            service.state(), F, "A1 A2"
+        )
+
+    def test_long_delete_stream_compacts_dead_slots(self):
+        """Regression: retracted slots must not accrete without bound —
+        once they outgrow the live rows the service trades one rebuild
+        for a compact tableau (answers stay oracle-identical)."""
+        schema, F = chain_schema(3)
+        base = random_satisfying_state(schema, F, 8, seed=13, domain_size=400)
+        service = WeakInstanceService.from_state(base, F)
+        scheme = schema.schemes[1]
+        t = next(iter(base[scheme.name]))
+        for _ in range(150):
+            assert service.delete(scheme.name, t)
+            assert service.insert(scheme.name, t).accepted
+        assert service.stats.compaction_rebuilds > 0
+        tab = service.representative()
+        assert len(tab) <= tab.live_row_count() + 65 + 1
+        assert service.window(schema.universe) == scratch_window(
+            service.state(), F, schema.universe
+        )
+
+    def test_delete_on_stale_tableau_defers_to_rebuild(self):
+        schema, F = chain_schema(3)
+        base = random_satisfying_state(schema, F, 10, seed=6, domain_size=100)
+        service = WeakInstanceService(schema, F, method="local")
+        service.load(base)  # local load defers the chase: tableau stale
+        t = next(iter(base[schema.schemes[0].name]))
+        assert service.delete(schema.schemes[0].name, t)
+        assert service.stats.scoped_rechases == 0
+        assert service.window("A1 A2") == scratch_window(
+            service.state(), F, "A1 A2"
+        )
+
+
+class TestWindowCacheLifecycle:
+    def test_superseded_versions_are_pruned(self, intro):
+        """A long insert+query stream must not accumulate dead cache
+        entries: the cache only ever holds current-version windows."""
+        service = WeakInstanceService.from_state(intro.state, intro.fds)
+        targets = ["C T", "T H R", "C S", "C H R"]
+        for i in range(6):
+            for a in targets:
+                service.window(a)
+            service.insert("CHR", ("CS101", f"H{i}", f"R{i}"))
+        for a in targets[:2]:
+            service.window(a)
+        # dead versions pruned: at most one version's worth of entries
+        assert len(service._window_cache) <= len(targets)
+
+    def test_lru_bound_evicts_oldest(self, intro):
+        service = WeakInstanceService.from_state(
+            intro.state, intro.fds, window_cache_limit=2
+        )
+        service.window("C T")
+        service.window("C S")
+        service.window("T H R")  # evicts "C T"
+        assert service.stats.window_cache_evictions == 1
+        assert len(service._window_cache) == 2
+        service.window("C T")  # recompute, evicting again
+        assert service.stats.window_cache_evictions == 2
+
+    def test_scoped_delete_retains_unaffected_windows(self):
+        """A delete whose footprint is disjoint from a cached window
+        keeps the entry alive (selective invalidation), and retained
+        answers still match the oracle."""
+        schema, F = chain_schema(4)
+        tuples = {
+            f"R{i}": [(100 + i, 100 + i + 1), (200 + i, 200 + i + 1)]
+            for i in range(1, 5)
+        }
+        base = DatabaseState(schema, tuples)
+        service = WeakInstanceService.from_state(base, F)
+        warm = service.window("A1 A2")
+        dropped = service.window("A4 A5")
+        hits_before = service.stats.window_cache_hits
+        # deleting R4's 200-chain tuple only retracts A5 groundings
+        # (the chain FDs point forward), and the row was never total on
+        # A1 A2 — that window must survive; A4 A5 must not
+        assert service.delete("R4", (204, 205))
+        assert service.stats.scoped_rechases == 1
+        assert service.stats.windows_retained >= 1
+        again = service.window("A1 A2")
+        assert service.stats.window_cache_hits == hits_before + 1
+        assert again is warm
+        assert again == scratch_window(service.state(), F, "A1 A2")
+        refreshed = service.window("A4 A5")
+        assert refreshed is not dropped
+        assert refreshed == scratch_window(service.state(), F, "A4 A5")
+
+    def test_empty_attrset_window_survives_scoped_delete(self):
+        """Regression: a cached empty-attrset window must not crash the
+        next scoped delete (it is {()} exactly while a row exists)."""
+        schema, F = chain_schema(3)
+        base = random_satisfying_state(schema, F, 8, seed=11, domain_size=300)
+        service = WeakInstanceService.from_state(base, F)
+        empty = service.window(())
+        assert len(empty) == 1  # the empty projection of a non-empty state
+        scheme = schema.schemes[0]
+        t = next(iter(base[scheme.name]))
+        assert service.delete(scheme.name, t)  # must not raise
+        assert service.window(()) == scratch_window(service.state(), F, ())
+
+    def test_scoped_delete_drops_windows_the_row_answered(self):
+        schema, F = chain_schema(3)
+        tuples = {f"R{i}": [(10 + i, 10 + i + 1)] for i in range(1, 4)}
+        base = DatabaseState(schema, tuples)
+        service = WeakInstanceService.from_state(base, F)
+        before = service.window("A1 A2")
+        assert len(before) == 1
+        assert service.delete("R1", (11, 12))
+        after = service.window("A1 A2")
+        assert len(after) == 0
+        assert after == scratch_window(service.state(), F, "A1 A2")
+
+
+class TestEnsureLiveContract:
+    def test_poisoned_checker_state_raises(self, intro):
+        """The `_ensure_live` InconsistentStateError branch: a checker
+        stub that hands back a violating state must surface the
+        contradiction instead of serving wrong windows."""
+        service = WeakInstanceService.from_state(intro.state, intro.fds)
+        bad_state = DatabaseState(
+            intro.schema,
+            {"CT": [("CS101", "Smith"), ("CS101", "Jones")]},
+        )
+
+        class BadChecker:
+            """Stub exposing just what _ensure_live consumes."""
+
+            def state(self):
+                return bad_state
+
+        service.checker = BadChecker()
+        service._stale = True  # force the rebuild path
+        with pytest.raises(InconsistentStateError) as exc:
+            service.window("C T")
+        assert "stopped satisfying" in str(exc.value)
