@@ -5,7 +5,7 @@ PYTHON    ?= python
 PYTHONPATH := $(CURDIR)/src
 export PYTHONPATH
 
-.PHONY: help test bench bench-weak bench-weak-tiny bench-weak-deletes bench-weak-deletes-tiny docs clean
+.PHONY: help test bench bench-weak bench-weak-tiny bench-weak-deletes bench-weak-deletes-tiny bench-weak-local bench-weak-local-tiny docs clean
 
 help:
 	@echo "targets:"
@@ -15,6 +15,8 @@ help:
 	@echo "  bench-weak-tiny         - the same benchmark at smoke scale (CI: equivalence only, no artifact)"
 	@echo "  bench-weak-deletes      - provenance-scoped deletes vs invalidate-and-rebuild; regenerates BENCH_weak.json"
 	@echo "  bench-weak-deletes-tiny - the delete benchmark at smoke scale (CI: equivalence only, no artifact)"
+	@echo "  bench-weak-local        - sharded local path vs global chase-method service; regenerates BENCH_weak.json"
+	@echo "  bench-weak-local-tiny   - the sharded benchmark at smoke scale (CI: equivalence only, no artifact)"
 	@echo "  docs                    - render the API reference with pydoc into docs/api/"
 	@echo "  clean                   - remove caches and generated docs"
 
@@ -38,6 +40,12 @@ bench-weak-deletes:
 bench-weak-deletes-tiny:
 	REPRO_BENCH_WEAK_DELETES_TINY=1 $(PYTHON) -m pytest benchmarks/bench_weak_deletes.py -q
 
+bench-weak-local:
+	$(PYTHON) -m pytest benchmarks/bench_weak_local.py -q
+
+bench-weak-local-tiny:
+	REPRO_BENCH_WEAK_LOCAL_TINY=1 $(PYTHON) -m pytest benchmarks/bench_weak_local.py -q
+
 docs:
 	rm -rf docs/api
 	mkdir -p docs/api
@@ -47,7 +55,7 @@ docs:
 		repro.chase.satisfaction repro.core repro.core.embedding repro.core.loop \
 		repro.core.independence repro.core.maintenance repro.core.counterexamples \
 		repro.weak repro.weak.representative repro.weak.service \
-		repro.workloads >/dev/null
+		repro.weak.sharded repro.workloads >/dev/null
 	@echo "API reference written to docs/api/ (open docs/api/repro.html)"
 
 clean:

@@ -33,8 +33,9 @@ _NOTES = {
         "benchmarks/bench_scaling.py)"
     ),
     "BENCH_weak.json": (
-        "regenerate with: make bench-weak + make bench-weak-deletes (or "
-        "pytest benchmarks/bench_weak_queries.py benchmarks/bench_weak_deletes.py)"
+        "regenerate with: make bench-weak + make bench-weak-deletes + "
+        "make bench-weak-local (or pytest benchmarks/bench_weak_queries.py "
+        "benchmarks/bench_weak_deletes.py benchmarks/bench_weak_local.py)"
     ),
 }
 

@@ -133,6 +133,21 @@ class _Budget:
             )
 
 
+@dataclass(frozen=True)
+class _RuleMetadata:
+    """The static, tableau-independent part of a :class:`_FDRuleIndex`
+    — a pure function of (universe column order, FD sequence).  Kept
+    *instead of* a whole driver when a service wants cheap rebuilds:
+    retaining a dead driver would pin its entire superseded tableau
+    (rows, buckets, value indexes) in memory."""
+
+    columns: PyTuple[str, ...]
+    lhs_idx: PyTuple[PyTuple[int, ...], ...]
+    rhs_cols: PyTuple[PyTuple[PyTuple[str, int], ...], ...]
+    single_col: PyTuple[Optional[int], ...]
+    fds_by_col: Dict[int, List[int]]
+
+
 class _FDRuleIndex:
     """Persistent per-FD partition of the rows by resolved lhs key.
 
@@ -159,29 +174,62 @@ class _FDRuleIndex:
     __slots__ = ("tableau", "fds", "_lhs_idx", "_rhs_cols", "_single_col",
                  "_buckets", "_fds_by_col", "_value_index", "_shared")
 
-    def __init__(self, tableau: ChaseTableau, fds: Sequence[FD]):
+    def __init__(
+        self,
+        tableau: ChaseTableau,
+        fds: Sequence[FD],
+        template: Optional[_RuleMetadata] = None,
+    ):
         self.tableau = tableau
         self.fds = fds
-        self._lhs_idx: List[PyTuple[int, ...]] = []
-        self._rhs_cols: List[PyTuple[PyTuple[str, int], ...]] = []
-        self._single_col: List[Optional[int]] = []
-        self._buckets: List[Dict[Any, int]] = []
-        self._fds_by_col: Dict[int, List[int]] = {}
         self._value_index: Dict[int, Dict[int, Set[int]]] = {}
-        single_attrs: List[str] = []
-        for k, f in enumerate(fds):
-            lhs_idx = tuple(tableau.column_index(a) for a in f.lhs)
-            rhs_cols = tuple((a, tableau.column_index(a)) for a in f.effective_rhs)
-            self._lhs_idx.append(lhs_idx)
-            self._rhs_cols.append(rhs_cols)
-            single = lhs_idx[0] if len(lhs_idx) == 1 and rhs_cols else None
-            self._single_col.append(single)
-            self._buckets.append({})
-            if rhs_cols:
-                for c in lhs_idx:
-                    self._fds_by_col.setdefault(c, []).append(k)
-                if single is not None:
-                    single_attrs.append(tableau.columns[single])
+        if template is not None:
+            # A rebuilt tableau over the same universe (services rebuild
+            # shard/composer tableaus from state many times): the per-FD
+            # column metadata is a function of (universe, fds) only, so
+            # share it and reset just the per-tableau buckets.
+            if template.columns != tableau.columns:
+                raise ValueError(
+                    "rule-index template is over a different universe"
+                )
+            if len(template.lhs_idx) != len(fds):
+                raise ValueError(
+                    "rule-index template was derived from a different FD list"
+                )
+            self._lhs_idx = list(template.lhs_idx)
+            self._rhs_cols = list(template.rhs_cols)
+            self._single_col = list(template.single_col)
+            # copy: the template is shared across driver generations,
+            # so no index may alias its (mutable) dict-of-lists
+            self._fds_by_col = {
+                c: list(ks) for c, ks in template.fds_by_col.items()
+            }
+            self._buckets = [{} for _ in fds]
+            single_attrs = [
+                tableau.columns[c] for c in self._single_col if c is not None
+            ]
+        else:
+            self._lhs_idx = []
+            self._rhs_cols = []
+            self._single_col = []
+            self._buckets = []
+            self._fds_by_col = {}
+            single_attrs = []
+            for k, f in enumerate(fds):
+                lhs_idx = tuple(tableau.column_index(a) for a in f.lhs)
+                rhs_cols = tuple(
+                    (a, tableau.column_index(a)) for a in f.effective_rhs
+                )
+                self._lhs_idx.append(lhs_idx)
+                self._rhs_cols.append(rhs_cols)
+                single = lhs_idx[0] if len(lhs_idx) == 1 and rhs_cols else None
+                self._single_col.append(single)
+                self._buckets.append({})
+                if rhs_cols:
+                    for c in lhs_idx:
+                        self._fds_by_col.setdefault(c, []).append(k)
+                    if single is not None:
+                        single_attrs.append(tableau.columns[single])
         # materialize (and from then on share) the tableau's
         # per-attribute partitions, all in one row scan
         self._shared: Dict[int, Set[int]] = {}
@@ -190,6 +238,18 @@ class _FDRuleIndex:
             c = tableau.column_index(attr)
             self._value_index[c] = tableau.value_index(attr)
             self._shared[c] = tableau.shared_classes(attr)
+
+    def metadata(self) -> _RuleMetadata:
+        """The static template for building an index over a rebuilt
+        tableau of the same universe (safe to retain: holds no tableau
+        references)."""
+        return _RuleMetadata(
+            columns=self.tableau.columns,
+            lhs_idx=tuple(self._lhs_idx),
+            rhs_cols=tuple(self._rhs_cols),
+            single_col=tuple(self._single_col),
+            fds_by_col={c: list(ks) for c, ks in self._fds_by_col.items()},
+        )
 
     # -- merging helpers -------------------------------------------------------
 
@@ -466,7 +526,8 @@ class IncrementalFDChaser:
     fresh driver) from the underlying state instead.
     """
 
-    __slots__ = ("tableau", "fds", "max_passes", "_index", "_seeded", "_poisoned")
+    __slots__ = ("tableau", "fds", "max_passes", "_index", "_seeded",
+                 "_poisoned", "_log_merges")
 
     def __init__(
         self,
@@ -474,15 +535,41 @@ class IncrementalFDChaser:
         fd_list: Iterable[FD],
         max_passes: int = DEFAULT_MAX_PASSES,
         log_merges: bool = True,
+        _template: Optional[_RuleMetadata] = None,
     ):
         self.tableau = tableau
         self.fds = tuple(fd_list)
         self.max_passes = max_passes
+        self._log_merges = log_merges
         if log_merges:
             tableau.enable_merge_log()
-        self._index = _FDRuleIndex(tableau, self.fds)
+        self._index = _FDRuleIndex(tableau, self.fds, template=_template)
         self._seeded = False
         self._poisoned = False
+
+    def metadata(self) -> _RuleMetadata:
+        """The static per-FD column metadata, detached from the tableau
+        — what a service should retain across invalidations to make
+        later rebuilds cheap (retaining the driver itself would pin the
+        dead tableau)."""
+        return self._index.metadata()
+
+    def rebound(self, tableau: ChaseTableau) -> "IncrementalFDChaser":
+        """A fresh driver for a rebuilt tableau over the same universe.
+
+        Reuses this driver's per-FD column metadata (the static part of
+        its rule index) instead of re-deriving it per FD — the cheap
+        path for services that rebuild shard or composer tableaus from
+        their backing state.  The new driver is unseeded and unpoisoned
+        regardless of this one's history.
+        """
+        return IncrementalFDChaser(
+            tableau,
+            self.fds,
+            max_passes=self.max_passes,
+            log_merges=self._log_merges,
+            _template=self._index.metadata(),
+        )
 
     @property
     def poisoned(self) -> bool:

@@ -8,9 +8,14 @@ Usage::
     python -m repro serve <scenario-file> --ops <ops-file>
     python -m repro demo                        # the paper's examples
 
-``serve`` keeps a live :class:`~repro.weak.service.WeakInstanceService`
-over the scenario's state and runs an operation script (from ``--ops``
-or stdin), one op per line::
+``serve`` keeps a live weak-instance service over the scenario's state
+and runs an operation script (from ``--ops`` or stdin), one op per
+line.  ``--method chase`` (the default) serves any schema through one
+global :class:`~repro.weak.service.WeakInstanceService`;
+``--method local`` requires an independent schema — validated up front,
+with the Lemma 3 / Theorem 4 counterexample report printed on refusal —
+and serves through the per-scheme
+:class:`~repro.weak.sharded.ShardedWeakInstanceService`::
 
     insert CHR (CS101, Tue-9, 313)
     delete CT (CS102, Jones)
@@ -46,6 +51,7 @@ from repro.exceptions import ParseError, ReproError
 from repro.report import banner
 from repro.weak.representative import window
 from repro.weak.service import WeakInstanceService
+from repro.weak.sharded import ShardedServiceStats, ShardedWeakInstanceService
 from repro.workloads.paper import ALL_EXAMPLES
 
 
@@ -86,7 +92,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_one(service: WeakInstanceService, line: str) -> str:
+def _serve_one(
+    service: "WeakInstanceService | ShardedWeakInstanceService", line: str
+) -> str:
     """Execute one ops-script line against the service; returns the
     line to print."""
     parts = line.split(None, 1)
@@ -134,7 +142,27 @@ def _serve_one(service: WeakInstanceService, line: str) -> str:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     scenario = _load(args.scenario)
-    service = WeakInstanceService(scenario.schema, scenario.fds, method=args.method)
+    if args.method == "local":
+        # Validate independence up front — before any op applies — so a
+        # non-independent schema exits with the full analysis report
+        # (the Lemma 3 / Theorem 4 counterexample) instead of a raw
+        # error surfacing mid-stream from a partially served script.
+        report = analyze(scenario.schema, scenario.fds)
+        if not report.independent:
+            print(
+                "serve --method local requires an independent schema "
+                "(Theorem 3); nothing was served.  Analysis:",
+                file=sys.stderr,
+            )
+            print(report.summary(), file=sys.stderr)
+            return 1
+        service = ShardedWeakInstanceService(
+            scenario.schema, scenario.fds, report=report
+        )
+    else:
+        service = WeakInstanceService(
+            scenario.schema, scenario.fds, method=args.method
+        )
     if scenario.state is not None:
         service.load(scenario.state)
     if args.ops:
@@ -147,7 +175,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             continue
         print(_serve_one(service, line))
     stats = service.stats
-    print(
+    summary = (
         f"served: {stats.window_queries} queries "
         f"({stats.window_cache_hits} cached), "
         f"{stats.inserts_accepted} inserts accepted "
@@ -157,6 +185,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{stats.incremental_chases} incremental chases, "
         f"{stats.rebuilds} rebuilds"
     )
+    if isinstance(stats, ShardedServiceStats):
+        summary += (
+            f"; sharded: {stats.shard_windows} shard-local windows, "
+            f"{stats.global_windows} composed, "
+            f"{stats.composer_syncs} syncs "
+            f"({stats.composer_synced_ops} ops replayed)"
+        )
+    print(summary)
     return 0
 
 
@@ -213,8 +249,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--method",
         choices=("local", "chase"),
         default="chase",
-        help="insert validation: 'local' needs an independent schema "
-        "(Theorem 3, O(1) per insert); 'chase' works for any schema "
+        help="'local' serves through the independence-aware sharded "
+        "service (Theorem 3: O(1) per insert, updates confined to one "
+        "per-scheme shard; requires an independent schema — validated "
+        "up front with a counterexample report); 'chase' keeps one "
+        "global incrementally-chased tableau and works for any schema "
         "(default)",
     )
     p.set_defaults(func=_cmd_serve)

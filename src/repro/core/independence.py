@@ -32,7 +32,7 @@ from repro.core.counterexamples import (
     theorem4_counterexample,
     verify_counterexample,
 )
-from repro.core.embedding import EmbeddingReport, embedding_report
+from repro.core.embedding import EmbeddedFD, EmbeddingReport, embedding_report
 from repro.core.loop import FDAssignment, LoopRejection, SchemeRunResult, run_all
 from repro.deps.fd import FD
 from repro.deps.fdset import FDSet
@@ -71,6 +71,39 @@ class IndependenceReport:
                 "maintenance covers exist only for independent schemas"
             )
         return self.cover_assignment[scheme_name]
+
+    def maintenance_covers(self) -> Dict[str, FDSet]:
+        """All per-scheme maintenance covers ``{Ri → Hi}`` in schema
+        order — what a sharded maintenance layer consumes (one embedded
+        cover per shard, Theorem 3)."""
+        return {
+            name: self.maintenance_cover(name) for name in self.schema.names
+        }
+
+    def scheme_restriction(self, scheme_name: str) -> "IndependenceReport":
+        """The report for the single-scheme subschema ``{Ri}`` with FDs
+        ``Hi`` — independent by construction (a one-scheme schema embeds
+        its own FDs and admits no cross-scheme derivation), so it is
+        directly consumable by per-shard maintenance machinery
+        (``MaintenanceChecker(..., method="local", report=...)``)
+        without re-running the analysis per shard.
+        """
+        cover = self.maintenance_cover(scheme_name)
+        sub_schema = DatabaseSchema([self.schema[scheme_name]])
+        embedding = EmbeddingReport(
+            schema=sub_schema,
+            fds=cover,
+            with_jd=True,
+            cover_embedding=True,
+            embedded_cover=[EmbeddedFD(fd=f, scheme=scheme_name) for f in cover],
+        )
+        return IndependenceReport(
+            schema=sub_schema,
+            fds=cover,
+            independent=True,
+            embedding=embedding,
+            cover_assignment={scheme_name: cover},
+        )
 
     def summary(self) -> str:
         lines = [

@@ -35,10 +35,17 @@ from repro.data.states import DatabaseState
 from repro.data.tuples import Tuple
 from repro.deps.fd import FD
 from repro.deps.fdset import FDSet, as_fdset
-from repro.exceptions import InconsistentStateError, NotIndependentError
+from repro.exceptions import InconsistentStateError, InstanceError, NotIndependentError
 from repro.schema.database import DatabaseSchema
 
 Method = Literal["local", "chase"]
+
+#: Debug flag: when True, :meth:`_FDIndex.remove` raises on a tuple
+#: that was never inserted instead of silently tolerating it.  The
+#: callers all guard removal behind a presence check, so a strict
+#: failure always indicates a multiset-accounting bug — enable it in
+#: tests (and soak runs) to surface such bugs instead of masking them.
+STRICT_INDEX_ACCOUNTING = False
 
 
 @dataclass(frozen=True)
@@ -60,15 +67,20 @@ class _FDIndex:
 
     Maps lhs-value keys to (rhs-values, multiplicity).  Lookup and
     maintenance are O(1) per operation.
+
+    ``strict`` (default: the module flag
+    :data:`STRICT_INDEX_ACCOUNTING`) makes :meth:`remove` raise on a
+    tuple the index never stored instead of tolerating it silently.
     """
 
-    __slots__ = ("fd", "_lhs", "_rhs", "_map")
+    __slots__ = ("fd", "_lhs", "_rhs", "_map", "_strict")
 
-    def __init__(self, fd: FD):
+    def __init__(self, fd: FD, strict: Optional[bool] = None):
         self.fd = fd
         self._lhs = fd.lhs.names
         self._rhs = fd.effective_rhs.names
         self._map: Dict[PyTuple[Any, ...], Dict[PyTuple[Any, ...], int]] = {}
+        self._strict = STRICT_INDEX_ACCOUNTING if strict is None else strict
 
     def _key(self, t: Tuple) -> PyTuple[Any, ...]:
         return tuple(t.value(a) for a in self._lhs)
@@ -78,7 +90,7 @@ class _FDIndex:
 
     def clone(self) -> "_FDIndex":
         """An independent copy (staging area for atomic loads)."""
-        other = _FDIndex(self.fd)
+        other = _FDIndex(self.fd, strict=self._strict)
         other._map = {key: dict(entry) for key, entry in self._map.items()}
         return other
 
@@ -86,8 +98,10 @@ class _FDIndex:
         entry = self._map.get(self._key(t))
         if not entry:
             return False
-        val = self._val(t)
-        return any(existing != val for existing in entry)
+        # A consistent index holds exactly one distinct rhs per key
+        # (conflicts() rejected every insert that would have added a
+        # second), so one comparison decides.
+        return next(iter(entry)) != self._val(t)
 
     def add(self, t: Tuple) -> None:
         entry = self._map.setdefault(self._key(t), {})
@@ -97,14 +111,19 @@ class _FDIndex:
     def remove(self, t: Tuple) -> None:
         key = self._key(t)
         entry = self._map.get(key)
-        if not entry:
-            return
         val = self._val(t)
-        count = entry.get(val, 0)
+        if not entry or val not in entry:
+            if self._strict:
+                raise InstanceError(
+                    f"index accounting bug: removing {t} from the index on "
+                    f"{self.fd}, which never stored it"
+                )
+            return
+        count = entry[val]
         if count <= 1:
-            entry.pop(val, None)
+            del entry[val]
             if not entry:
-                self._map.pop(key, None)
+                del self._map[key]
         else:
             entry[val] = count - 1
 

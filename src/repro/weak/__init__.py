@@ -12,7 +12,8 @@ from repro.weak.consistency import (
 )
 from repro.weak.equivalence import information_contains, information_equivalent
 from repro.weak.representative import derivable, representative_instance, window
-from repro.weak.service import ServiceStats, WeakInstanceService
+from repro.weak.service import LiveTableau, ServiceStats, WeakInstanceService
+from repro.weak.sharded import ShardedServiceStats, ShardedWeakInstanceService
 
 __all__ = [
     "information_contains",
@@ -28,4 +29,7 @@ __all__ = [
     "derivable",
     "WeakInstanceService",
     "ServiceStats",
+    "LiveTableau",
+    "ShardedWeakInstanceService",
+    "ShardedServiceStats",
 ]

@@ -42,6 +42,17 @@ keeps the chased representative instance **live** across updates:
   dissolved class's columns and the retracted row's projection is
   either non-total on it or still produced by a surviving row.
 
+All of that tableau lifecycle — build, incremental drive, scoped
+retraction, window caching — lives in :class:`LiveTableau`, the seam
+between "the backing state changed" and "serve a window".
+:class:`WeakInstanceService` wires one global :class:`LiveTableau` to
+one global :class:`~repro.core.maintenance.MaintenanceChecker`; the
+independence-aware sharded service
+(:class:`repro.weak.sharded.ShardedWeakInstanceService`) reuses the
+same seam per scheme (one tiny :class:`LiveTableau` per shard, chased
+under the scheme's maintenance cover ``Hi``) and once more for its
+lazily-synced global composer.
+
 Validation semantics follow :func:`repro.weak.representative.window`:
 consistency means *a weak instance for the FDs exists*, decided by the
 FD-only chase — which coincides with full ``F ∪ {*D}`` satisfaction
@@ -64,8 +75,9 @@ over a whole stream of operations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import (
+    Callable,
     Dict,
     Iterable,
     List,
@@ -76,7 +88,7 @@ from typing import (
     Union,
 )
 
-from repro.chase.engine import IncrementalFDChaser
+from repro.chase.engine import ChaseResult, IncrementalFDChaser
 from repro.chase.tableau import ChaseTableau, RowOrigin
 from repro.core.independence import IndependenceReport
 from repro.core.maintenance import InsertOutcome, MaintenanceChecker, Method
@@ -126,20 +138,41 @@ class ServiceStats:
         return self.window_queries - self.window_cache_hits
 
     def as_dict(self) -> Dict[str, int]:
-        d = dict(self.__dict__)
+        """Every counter, keyed by field name.
+
+        Enumerates the *dataclass fields* (not a hand-maintained list,
+        and not ``__dict__``, which would silently drop slotted or
+        class-level-overridden fields), so counters added by this class
+        or any subclass — the sharded service's stats extend these —
+        can never be missing from the CLI ``stats`` op.
+        """
+        d = {f.name: getattr(self, f.name) for f in fields(self)}
         d["window_cache_misses"] = self.window_cache_misses
         return d
 
 
-class WeakInstanceService:
-    """Keeps the chased representative instance live across updates.
+class LiveTableau:
+    """One live chased tableau with window caching and scoped deletes.
 
-    See the module docstring for the design.  Construct over a schema
-    and FDs, :meth:`load` a base state, then interleave
-    :meth:`insert`/:meth:`delete` with :meth:`window`/:meth:`derivable`
-    freely — every answer is identical to re-deriving from scratch
-    with :func:`repro.weak.representative.window` on the current
-    state (the randomized equivalence suite pins this).
+    The reusable seam between a validated backing state and served
+    windows: owns the :class:`~repro.chase.tableau.ChaseTableau`, its
+    persistent :class:`~repro.chase.engine.IncrementalFDChaser`, the
+    ``(scheme, tuple) → row`` locators deletes use, and the
+    version-disciplined window cache.  The backing state itself is
+    abstracted as ``state_source`` (called on rebuild), so the same
+    machinery serves
+
+    * :class:`WeakInstanceService` — one instance over the global
+      checker state,
+    * each shard of the sharded service — a single-scheme schema chased
+      under the scheme's maintenance cover ``Hi``, and
+    * the sharded service's global composer — rebuilt or journal-fed
+      from the union of the shards.
+
+    ``stats`` is shared with the owner: this class bumps the
+    tableau-lifecycle counters (``rebuilds``, ``incremental_chases``,
+    cache and scoped-delete counters); the owner bumps the operation
+    counters (``inserts_*``, ``deletes``, ``window_queries``).
     """
 
     #: default ceiling on cached windows (LRU eviction beyond it)
@@ -152,22 +185,27 @@ class WeakInstanceService:
     def __init__(
         self,
         schema: DatabaseSchema,
-        fds: Union[FDSet, Iterable[FD], str],
-        method: Method = "chase",
-        report: Optional[IndependenceReport] = None,
+        fds: Iterable[FD],
+        state_source: Callable[[], DatabaseState],
+        stats: ServiceStats,
         scoped_deletes: bool = True,
         delete_rebuild_fraction: float = DEFAULT_DELETE_REBUILD_FRACTION,
         window_cache_limit: int = DEFAULT_WINDOW_CACHE_LIMIT,
     ):
         self.schema = schema
-        self.fds = as_fdset(fds)
-        self.checker = MaintenanceChecker(schema, self.fds, method=method, report=report)
+        self._fd_tuple: PyTuple[FD, ...] = tuple(fds)
+        self._state_source = state_source
+        self.stats = stats
         self.scoped_deletes = scoped_deletes
         self.delete_rebuild_fraction = delete_rebuild_fraction
         self.window_cache_limit = window_cache_limit
-        self._fd_tuple: PyTuple[FD, ...] = tuple(self.fds)
         self._tableau: Optional[ChaseTableau] = None
         self._chaser: Optional[IncrementalFDChaser] = None
+        #: the last adopted driver's *static* per-FD column metadata,
+        #: kept across invalidations so rebuilds skip re-deriving it —
+        #: deliberately not the driver itself, which would pin the
+        #: whole superseded tableau in memory
+        self._chaser_template = None
         self._stale = True
         # (scheme name, tuple) -> live tableau row, so a delete can
         # name the row to retract; rebuilt with the tableau
@@ -177,72 +215,29 @@ class WeakInstanceService:
         # streams); insertion order doubles as LRU order
         self._window_cache: Dict[AttributeSet, RelationInstance] = {}
         self._cache_version: Optional[PyTuple[int, int]] = None
-        self.stats = ServiceStats()
-
-    @classmethod
-    def from_state(
-        cls,
-        state: DatabaseState,
-        fds: Union[FDSet, Iterable[FD], str],
-        method: Method = "chase",
-        report: Optional[IndependenceReport] = None,
-        **options,
-    ) -> "WeakInstanceService":
-        """Build a service over the state's schema and load the state
-        (``options`` pass through to the constructor: ``scoped_deletes``,
-        ``delete_rebuild_fraction``, ``window_cache_limit``)."""
-        service = cls(state.schema, fds, method=method, report=report, **options)
-        service.load(state)
-        return service
 
     @property
-    def method(self) -> Method:
-        return self.checker.method
+    def live(self) -> bool:
+        """Is the chased tableau current (no rebuild pending)?"""
+        return not self._stale
 
-    # -- loading ---------------------------------------------------------------
+    def row_count(self) -> Optional[int]:
+        """Live rows of the current tableau (None while stale)."""
+        return self._tableau.live_row_count() if self._tableau is not None else None
 
-    def load(self, state: DatabaseState) -> None:
-        """Load a base state (atomic: a violating state changes nothing).
+    # -- building ---------------------------------------------------------------
 
-        With ``method="chase"`` the validating chase *is* the next live
-        tableau, so loading costs exactly one chase of the combined
-        state — on an empty service, the same as one from-scratch
-        query.  Loading onto a non-empty service validates the
-        *combination* of the stored and incoming tuples, through the
-        same FD-only chase as every other entry point.
-        """
-        if self.method != "chase":
-            self.checker.load(state)
-            self._invalidate()
-            return
-        if self.checker.total_tuples() == 0:
-            tableau, row_of = self._tableau_from(state)
-        else:
-            tableau, row_of = self._tableau_from(self.checker.state())
-            for scheme, relation in state:
-                for t in relation:
-                    key = (scheme.name, t)
-                    if key in row_of or self.checker.contains(scheme.name, t):
-                        continue
-                    row_of[key] = tableau.add_padded(
-                        scheme.attributes, t, RowOrigin("state", scheme.name)
-                    )
-        chaser = IncrementalFDChaser(
-            tableau, self._fd_tuple, log_merges=self.scoped_deletes
+    def new_chaser(self, tableau: ChaseTableau) -> IncrementalFDChaser:
+        """A driver for a candidate tableau, rebinding the previous
+        driver's per-FD metadata when one exists."""
+        return IncrementalFDChaser(
+            tableau,
+            self._fd_tuple,
+            log_merges=self.scoped_deletes,
+            _template=self._chaser_template,
         )
-        result = chaser.run()
-        if not result.consistent:
-            # the candidate tableau is discarded; the previous live
-            # tableau (if any) and the checker are untouched
-            raise InconsistentStateError(
-                f"state is not satisfying: {result.contradiction}"
-            )
-        self.checker.load(state, assume_valid=True)
-        self._adopt(tableau, chaser, row_of)
 
-    # -- live tableau management -----------------------------------------------
-
-    def _tableau_from(
+    def tableau_from(
         self, state: DatabaseState
     ) -> PyTuple[ChaseTableau, Dict[PyTuple[str, object], int]]:
         """``I(p)`` plus the (scheme, tuple) → row locator deletes use.
@@ -263,7 +258,7 @@ class WeakInstanceService:
                 )
         return tableau, row_of
 
-    def _adopt(
+    def adopt(
         self,
         tableau: ChaseTableau,
         chaser: IncrementalFDChaser,
@@ -271,6 +266,7 @@ class WeakInstanceService:
     ) -> None:
         self._tableau = tableau
         self._chaser = chaser
+        self._chaser_template = chaser.metadata()
         self._row_of = row_of
         self._stale = False
         # never reuse windows across tableaux: a rebuilt tableau can
@@ -278,7 +274,7 @@ class WeakInstanceService:
         self._window_cache.clear()
         self._cache_version = tableau.version
 
-    def _invalidate(self) -> None:
+    def invalidate(self) -> None:
         self._tableau = None
         self._chaser = None
         self._row_of = {}
@@ -286,121 +282,34 @@ class WeakInstanceService:
         self._window_cache.clear()
         self._cache_version = None
 
-    def _ensure_live(self) -> ChaseTableau:
-        """The chased live tableau, rebuilding from the checker's state
+    def ensure(self) -> ChaseTableau:
+        """The chased live tableau, rebuilding from ``state_source``
         when an update invalidated it."""
         if not self._stale and self._tableau is not None:
             return self._tableau
-        tableau, row_of = self._tableau_from(self.checker.state())
-        chaser = IncrementalFDChaser(
-            tableau, self._fd_tuple, log_merges=self.scoped_deletes
-        )
+        tableau, row_of = self.tableau_from(self._state_source())
+        chaser = self.new_chaser(tableau)
         result = chaser.run()
         if not result.consistent:
-            # unreachable through the public API (the checker validates
+            # unreachable through the public APIs (the owners validate
             # every mutation), but the poisoned-state contract matters:
-            # a checker that hands back a violating state must surface
-            # the contradiction, not serve wrong windows (pinned by a
-            # checker-stub test)
+            # a state source that hands back a violating state must
+            # surface the contradiction, not serve wrong windows
+            # (pinned by a checker-stub test)
             raise InconsistentStateError(
                 f"checker state stopped satisfying the FDs: {result.contradiction}"
             )
-        self._adopt(tableau, chaser, row_of)
+        self.adopt(tableau, chaser, row_of)
         self.stats.rebuilds += 1
         return tableau
 
-    def _chase_appended(self) -> bool:
-        """Drive the fixpoint over rows appended since the last drive.
+    # -- incremental updates ----------------------------------------------------
 
-        Returns False (and invalidates the poisoned tableau) on a
-        contradiction.
-        """
-        assert self._chaser is not None
-        self.stats.incremental_chases += 1
-        result = self._chaser.run()
-        if not result.consistent:
-            self._invalidate()
-            return False
-        return True
-
-    # -- updates -----------------------------------------------------------------
-
-    def insert(self, scheme_name: str, row: RowLike) -> InsertOutcome:
-        """Validate, commit, and incrementally chase one insertion."""
-        if self.method != "local":
-            return self._insert_via_chase(scheme_name, row)
-        outcome = self._insert_no_chase(scheme_name, row)
-        if outcome.accepted and not outcome.reason and not self._stale:
-            if not self._chase_appended():  # pragma: no cover - defensive
-                # The checker accepted, so the FD-chase cannot contradict
-                # (a weak instance exists); recover anyway by undoing the
-                # commit and reporting the rejection.
-                self.checker.delete(scheme_name, outcome.tuple)
-                self.stats.inserts_accepted -= 1
-                self.stats.inserts_rejected += 1
-                return InsertOutcome(
-                    accepted=False,
-                    scheme=scheme_name,
-                    tuple=outcome.tuple,
-                    method=self.method,
-                    reason="incremental chase contradicted the checker's verdict",
-                )
-        return outcome
-
-    def _insert_no_chase(self, scheme_name: str, row: RowLike) -> InsertOutcome:
-        """Local-method path: validate via the checker's O(1) index
-        check, commit, and append the accepted row to the live tableau
-        *without* driving the fixpoint (the caller batches that)."""
-        assert self.method == "local"
-        outcome = self.checker.insert(scheme_name, row)
-        if not outcome.accepted:
-            self.stats.inserts_rejected += 1
-            return outcome
-        self.stats.inserts_accepted += 1
-        if outcome.reason:  # duplicate: nothing new to chase
-            self.stats.duplicate_inserts += 1
-            return outcome
-        self._append_row(scheme_name, outcome.tuple)
-        return outcome
-
-    def _insert_via_chase(self, scheme_name: str, row: RowLike) -> InsertOutcome:
-        """Chase-method insert: the incremental chase is the validator,
-        so acceptance costs the triggered cascade instead of the full
-        re-chase ``MaintenanceChecker.check_insert`` would run."""
-        t = self.checker.coerce_tuple(scheme_name, row)
-        if self.checker.contains(scheme_name, t):
-            self.stats.inserts_accepted += 1
-            self.stats.duplicate_inserts += 1
-            return InsertOutcome(
-                accepted=True,
-                scheme=scheme_name,
-                tuple=t,
-                method="chase",
-                reason="duplicate tuple: state unchanged (set semantics)",
-            )
-        self._ensure_live()
-        self._append_row(scheme_name, t)
-        assert self._chaser is not None
-        self.stats.incremental_chases += 1
-        result = self._chaser.run()
-        if not result.consistent:
-            # the appended row poisoned the tableau; drop it (the tuple
-            # was never committed to the checker) and rebuild lazily
-            self._invalidate()
-            self.stats.inserts_rejected += 1
-            return InsertOutcome(
-                accepted=False,
-                scheme=scheme_name,
-                tuple=t,
-                method="chase",
-                violated_fd=result.contradiction.fd if result.contradiction else None,
-                reason=str(result.contradiction),
-            )
-        self.checker.apply_insert(scheme_name, t)
-        self.stats.inserts_accepted += 1
-        return InsertOutcome(accepted=True, scheme=scheme_name, tuple=t, method="chase")
-
-    def _append_row(self, scheme_name: str, t) -> None:
+    def append(self, scheme_name: str, t) -> None:
+        """Add a validated tuple's row to the live tableau (no fixpoint
+        drive — callers batch that via :meth:`drive`).  A no-op while
+        stale: the next :meth:`ensure` rebuild picks the tuple up from
+        the state source."""
         if self._stale or self._tableau is None:
             return
         scheme = self.schema[scheme_name]
@@ -408,40 +317,47 @@ class WeakInstanceService:
             scheme.attributes, t, RowOrigin("state", scheme.name)
         )
 
-    def delete(self, scheme_name: str, row: RowLike) -> bool:
-        """Delete a tuple; returns whether it existed.
+    def run_chaser(self) -> ChaseResult:
+        """Drive the fixpoint over rows appended since the last drive.
 
-        Satisfaction survives any deletion, but derived facts may not.
-        Instead of invalidating the live tableau wholesale, the delete
-        retracts the tuple's row and re-derives only its merge
-        footprint (:meth:`~repro.chase.engine.IncrementalFDChaser.rechase_scoped`),
-        keeping the tableau — and every untouched window-cache entry —
-        live.  Falls back to invalidate-and-rebuild when the affected
-        set exceeds ``delete_rebuild_fraction`` of the live rows, when
-        the merge log cannot scope the tableau, or when
+        On a contradiction the poisoned tableau is invalidated before
+        the result is returned.
+        """
+        assert self._chaser is not None
+        self.stats.incremental_chases += 1
+        result = self._chaser.run()
+        if not result.consistent:
+            self.invalidate()
+        return result
+
+    def drive(self) -> bool:
+        """Boolean convenience around :meth:`run_chaser`."""
+        return self.run_chaser().consistent
+
+    def retract(self, scheme_name: str, t) -> None:
+        """Maintain the live tableau after the backing state deleted a
+        tuple: retract the row and re-derive only its merge footprint,
+        falling back to invalidate-and-rebuild when the affected set
+        exceeds ``delete_rebuild_fraction`` of the live rows, when the
+        merge log cannot scope the tableau, or when
         ``scoped_deletes=False``.
         """
-        t = self.checker.coerce_tuple(scheme_name, row)
-        existed = self.checker.delete(scheme_name, t)
-        if not existed:
-            return False
-        self.stats.deletes += 1
         if self._stale or self._tableau is None:
-            return True  # nothing live to maintain; next query rebuilds
+            return  # nothing live to maintain; next query rebuilds
         if not self.scoped_deletes:
-            self._invalidate()
-            return True
+            self.invalidate()
+            return
         idx = self._row_of.get((scheme_name, t))
         if idx is None:  # locator out of sync: be safe, rebuild
-            self._invalidate()
-            return True
+            self.invalidate()
+            return
         tableau = self._tableau
         impact = tableau.retraction_impact(idx)
         threshold = self.delete_rebuild_fraction * tableau.live_row_count()
         if not impact.complete or len(impact.affected_rows) > threshold:
             self.stats.delete_fallbacks += 1
-            self._invalidate()
-            return True
+            self.invalidate()
+            return
         pre_version = tableau.version
         del self._row_of[(scheme_name, t)]
         assert self._chaser is not None
@@ -449,9 +365,9 @@ class WeakInstanceService:
         if not result.consistent:  # pragma: no cover - deletes are safe
             # a deletion cannot make a satisfying state unsatisfying;
             # reaching this means the tableau was corrupted — recover
-            # by rebuilding from the (already committed) checker state
-            self._invalidate()
-            return True
+            # by rebuilding from the (already committed) backing state
+            self.invalidate()
+            return
         self.stats.scoped_rechases += 1
         n_affected = len(impact.affected_rows)
         self.stats.affected_rows_total += n_affected
@@ -463,10 +379,9 @@ class WeakInstanceService:
         live = tableau.live_row_count()
         if len(tableau) - live > max(64, live):
             self.stats.compaction_rebuilds += 1
-            self._invalidate()
-            return True
+            self.invalidate()
+            return
         self._revalidate_windows(impact, pre_version)
-        return True
 
     def _revalidate_windows(self, impact, pre_version: PyTuple[int, int]) -> None:
         """Selective window-cache invalidation after a scoped delete.
@@ -512,6 +427,310 @@ class WeakInstanceService:
         self._window_cache = survivors
         self._cache_version = tableau.version
 
+    # -- queries ----------------------------------------------------------------
+
+    def window(
+        self, target: AttributeSet, count_hits: bool = True
+    ) -> RelationInstance:
+        """The ``target``-total projection of the live tableau, through
+        the version-disciplined LRU cache (see the class docstring).
+        Owners bump ``stats.window_queries``; this bumps the hit and
+        eviction counters.  ``count_hits=False`` suppresses the hit
+        counter for *internal* consultations that are not themselves a
+        served query (the sharded merge path reads several shards per
+        query — counting each would let hits exceed queries).
+        """
+        tableau = self.ensure()
+        version = tableau.version
+        cache = self._window_cache
+        if version != self._cache_version:
+            # an update superseded every cached window: prune wholesale
+            cache.clear()
+            self._cache_version = version
+        else:
+            facts = cache.get(target)
+            if facts is not None:
+                if count_hits:
+                    self.stats.window_cache_hits += 1
+                # refresh LRU position (dict preserves insertion order)
+                del cache[target]
+                cache[target] = facts
+                return facts
+        facts = tableau.total_projection(target)
+        cache[target] = facts
+        if len(cache) > self.window_cache_limit:
+            cache.pop(next(iter(cache)))
+            self.stats.window_cache_evictions += 1
+        return facts
+
+
+class WindowQueryAPI:
+    """Derived query entry points shared by every service exposing
+    :meth:`window` — one implementation, so the global and sharded
+    services can never diverge on fact coercion or comparison."""
+
+    def derivable(self, fact: Mapping[str, object]) -> bool:
+        """Is the fact (attribute → value mapping) derivable from the
+        current state under the dependencies?"""
+        target = AttributeSet(list(fact))
+        facts = self.window(target)
+        wanted = tuple(fact[a] for a in target)
+        return any(tuple(t.value(a) for a in target) == wanted for t in facts)
+
+    def window_many(
+        self, attrsets: Iterable[AttrsLike]
+    ) -> List[RelationInstance]:
+        """Answer several window queries against one live service."""
+        return [self.window(a) for a in attrsets]
+
+    def derivable_many(
+        self, facts: Sequence[Mapping[str, object]]
+    ) -> List[bool]:
+        """Batch :meth:`derivable`; facts over the same attributes
+        share one window lookup (and the cache)."""
+        return [self.derivable(fact) for fact in facts]
+
+
+class WeakInstanceService(WindowQueryAPI):
+    """Keeps the chased representative instance live across updates.
+
+    See the module docstring for the design.  Construct over a schema
+    and FDs, :meth:`load` a base state, then interleave
+    :meth:`insert`/:meth:`delete` with :meth:`window`/:meth:`derivable`
+    freely — every answer is identical to re-deriving from scratch
+    with :func:`repro.weak.representative.window` on the current
+    state (the randomized equivalence suite pins this).
+    """
+
+    #: default ceiling on cached windows (LRU eviction beyond it)
+    DEFAULT_WINDOW_CACHE_LIMIT = LiveTableau.DEFAULT_WINDOW_CACHE_LIMIT
+    #: default rebuild-fallback threshold: a delete whose affected set
+    #: exceeds this fraction of the live rows invalidates instead of
+    #: rechasing, bounding the worst case at one rebuild
+    DEFAULT_DELETE_REBUILD_FRACTION = LiveTableau.DEFAULT_DELETE_REBUILD_FRACTION
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        fds: Union[FDSet, Iterable[FD], str],
+        method: Method = "chase",
+        report: Optional[IndependenceReport] = None,
+        scoped_deletes: bool = True,
+        delete_rebuild_fraction: float = DEFAULT_DELETE_REBUILD_FRACTION,
+        window_cache_limit: int = DEFAULT_WINDOW_CACHE_LIMIT,
+    ):
+        self.schema = schema
+        self.fds = as_fdset(fds)
+        self.checker = MaintenanceChecker(schema, self.fds, method=method, report=report)
+        self.stats = ServiceStats()
+        self._live = LiveTableau(
+            schema,
+            self.fds,
+            lambda: self.checker.state(),
+            self.stats,
+            scoped_deletes=scoped_deletes,
+            delete_rebuild_fraction=delete_rebuild_fraction,
+            window_cache_limit=window_cache_limit,
+        )
+
+    @classmethod
+    def from_state(
+        cls,
+        state: DatabaseState,
+        fds: Union[FDSet, Iterable[FD], str],
+        method: Method = "chase",
+        report: Optional[IndependenceReport] = None,
+        **options,
+    ) -> "WeakInstanceService":
+        """Build a service over the state's schema and load the state
+        (``options`` pass through to the constructor: ``scoped_deletes``,
+        ``delete_rebuild_fraction``, ``window_cache_limit``)."""
+        service = cls(state.schema, fds, method=method, report=report, **options)
+        service.load(state)
+        return service
+
+    @property
+    def method(self) -> Method:
+        return self.checker.method
+
+    # the tuning knobs stay writable on a live service (they were plain
+    # attributes before the LiveTableau extraction); writes forward to
+    # the seam, which is what actually consults them
+    @property
+    def scoped_deletes(self) -> bool:
+        return self._live.scoped_deletes
+
+    @scoped_deletes.setter
+    def scoped_deletes(self, value: bool) -> None:
+        self._live.scoped_deletes = value
+
+    @property
+    def delete_rebuild_fraction(self) -> float:
+        return self._live.delete_rebuild_fraction
+
+    @delete_rebuild_fraction.setter
+    def delete_rebuild_fraction(self, value: float) -> None:
+        self._live.delete_rebuild_fraction = value
+
+    @property
+    def window_cache_limit(self) -> int:
+        return self._live.window_cache_limit
+
+    @window_cache_limit.setter
+    def window_cache_limit(self, value: int) -> None:
+        self._live.window_cache_limit = value
+
+    # -- compatibility views into the live-tableau seam --------------------------
+
+    @property
+    def _stale(self) -> bool:
+        return not self._live.live
+
+    @_stale.setter
+    def _stale(self, value: bool) -> None:
+        if value:
+            self._live.invalidate()
+        else:  # pragma: no cover - only invalidation is forced externally
+            self._live._stale = False
+
+    @property
+    def _window_cache(self) -> Dict[AttributeSet, RelationInstance]:
+        return self._live._window_cache
+
+    # -- loading ---------------------------------------------------------------
+
+    def load(self, state: DatabaseState) -> None:
+        """Load a base state (atomic: a violating state changes nothing).
+
+        With ``method="chase"`` the validating chase *is* the next live
+        tableau, so loading costs exactly one chase of the combined
+        state — on an empty service, the same as one from-scratch
+        query.  Loading onto a non-empty service validates the
+        *combination* of the stored and incoming tuples, through the
+        same FD-only chase as every other entry point.
+        """
+        if self.method != "chase":
+            self.checker.load(state)
+            self._live.invalidate()
+            return
+        if self.checker.total_tuples() == 0:
+            tableau, row_of = self._live.tableau_from(state)
+        else:
+            tableau, row_of = self._live.tableau_from(self.checker.state())
+            for scheme, relation in state:
+                for t in relation:
+                    key = (scheme.name, t)
+                    if key in row_of or self.checker.contains(scheme.name, t):
+                        continue
+                    row_of[key] = tableau.add_padded(
+                        scheme.attributes, t, RowOrigin("state", scheme.name)
+                    )
+        chaser = self._live.new_chaser(tableau)
+        result = chaser.run()
+        if not result.consistent:
+            # the candidate tableau is discarded; the previous live
+            # tableau (if any) and the checker are untouched
+            raise InconsistentStateError(
+                f"state is not satisfying: {result.contradiction}"
+            )
+        self.checker.load(state, assume_valid=True)
+        self._live.adopt(tableau, chaser, row_of)
+
+    # -- updates -----------------------------------------------------------------
+
+    def insert(self, scheme_name: str, row: RowLike) -> InsertOutcome:
+        """Validate, commit, and incrementally chase one insertion."""
+        if self.method != "local":
+            return self._insert_via_chase(scheme_name, row)
+        outcome = self._insert_no_chase(scheme_name, row)
+        if outcome.accepted and not outcome.reason and self._live.live:
+            if not self._live.drive():  # pragma: no cover - defensive
+                # The checker accepted, so the FD-chase cannot contradict
+                # (a weak instance exists); recover anyway by undoing the
+                # commit and reporting the rejection.
+                self.checker.delete(scheme_name, outcome.tuple)
+                self.stats.inserts_accepted -= 1
+                self.stats.inserts_rejected += 1
+                return InsertOutcome(
+                    accepted=False,
+                    scheme=scheme_name,
+                    tuple=outcome.tuple,
+                    method=self.method,
+                    reason="incremental chase contradicted the checker's verdict",
+                )
+        return outcome
+
+    def _insert_no_chase(self, scheme_name: str, row: RowLike) -> InsertOutcome:
+        """Local-method path: validate via the checker's O(1) index
+        check, commit, and append the accepted row to the live tableau
+        *without* driving the fixpoint (the caller batches that)."""
+        assert self.method == "local"
+        outcome = self.checker.insert(scheme_name, row)
+        if not outcome.accepted:
+            self.stats.inserts_rejected += 1
+            return outcome
+        self.stats.inserts_accepted += 1
+        if outcome.reason:  # duplicate: nothing new to chase
+            self.stats.duplicate_inserts += 1
+            return outcome
+        self._live.append(scheme_name, outcome.tuple)
+        return outcome
+
+    def _insert_via_chase(self, scheme_name: str, row: RowLike) -> InsertOutcome:
+        """Chase-method insert: the incremental chase is the validator,
+        so acceptance costs the triggered cascade instead of the full
+        re-chase ``MaintenanceChecker.check_insert`` would run."""
+        t = self.checker.coerce_tuple(scheme_name, row)
+        if self.checker.contains(scheme_name, t):
+            self.stats.inserts_accepted += 1
+            self.stats.duplicate_inserts += 1
+            return InsertOutcome(
+                accepted=True,
+                scheme=scheme_name,
+                tuple=t,
+                method="chase",
+                reason="duplicate tuple: state unchanged (set semantics)",
+            )
+        self._live.ensure()
+        self._live.append(scheme_name, t)
+        result = self._live.run_chaser()
+        if not result.consistent:
+            # the appended row poisoned the tableau; run_chaser dropped
+            # it (the tuple was never committed to the checker) and the
+            # next query rebuilds lazily
+            self.stats.inserts_rejected += 1
+            return InsertOutcome(
+                accepted=False,
+                scheme=scheme_name,
+                tuple=t,
+                method="chase",
+                violated_fd=result.contradiction.fd if result.contradiction else None,
+                reason=str(result.contradiction),
+            )
+        self.checker.apply_insert(scheme_name, t)
+        self.stats.inserts_accepted += 1
+        return InsertOutcome(accepted=True, scheme=scheme_name, tuple=t, method="chase")
+
+    def delete(self, scheme_name: str, row: RowLike) -> bool:
+        """Delete a tuple; returns whether it existed.
+
+        Satisfaction survives any deletion, but derived facts may not.
+        Instead of invalidating the live tableau wholesale, the delete
+        retracts the tuple's row and re-derives only its merge
+        footprint (:meth:`LiveTableau.retract`), keeping the tableau —
+        and every untouched window-cache entry — live.  Falls back to
+        invalidate-and-rebuild when the affected set exceeds
+        ``delete_rebuild_fraction`` of the live rows, when the merge
+        log cannot scope the tableau, or when ``scoped_deletes=False``.
+        """
+        t = self.checker.coerce_tuple(scheme_name, row)
+        existed = self.checker.delete(scheme_name, t)
+        if not existed:
+            return False
+        self.stats.deletes += 1
+        self._live.retract(scheme_name, t)
+        return True
+
     # -- queries ------------------------------------------------------------------
 
     def window(self, attrset: AttrsLike) -> RelationInstance:
@@ -528,40 +747,12 @@ class WeakInstanceService:
         """
         target = AttributeSet(attrset)
         self.stats.window_queries += 1
-        tableau = self._ensure_live()
-        version = tableau.version
-        cache = self._window_cache
-        if version != self._cache_version:
-            # an update superseded every cached window: prune wholesale
-            cache.clear()
-            self._cache_version = version
-        else:
-            facts = cache.get(target)
-            if facts is not None:
-                self.stats.window_cache_hits += 1
-                # refresh LRU position (dict preserves insertion order)
-                del cache[target]
-                cache[target] = facts
-                return facts
-        facts = tableau.total_projection(target)
-        cache[target] = facts
-        if len(cache) > self.window_cache_limit:
-            cache.pop(next(iter(cache)))
-            self.stats.window_cache_evictions += 1
-        return facts
-
-    def derivable(self, fact: Mapping[str, object]) -> bool:
-        """Is the fact (attribute → value mapping) derivable from the
-        current state under the dependencies?"""
-        target = AttributeSet(list(fact))
-        facts = self.window(target)
-        wanted = tuple(fact[a] for a in target)
-        return any(tuple(t.value(a) for a in target) == wanted for t in facts)
+        return self._live.window(target)
 
     def representative(self) -> ChaseTableau:
         """The live chased tableau ``I(p)`` (read-only: mutate it and
         the service's answers are undefined)."""
-        return self._ensure_live()
+        return self._live.ensure()
 
     # -- batch APIs ----------------------------------------------------------------
 
@@ -584,24 +775,11 @@ class WeakInstanceService:
         for scheme_name, row in ops:
             outcome = self._insert_no_chase(scheme_name, row)
             outcomes.append(outcome)
-            if outcome.accepted and not outcome.reason and not self._stale:
+            if outcome.accepted and not outcome.reason and self._live.live:
                 appended = True
         if appended:
-            self._chase_appended()
+            self._live.drive()
         return outcomes
-
-    def window_many(
-        self, attrsets: Iterable[AttrsLike]
-    ) -> List[RelationInstance]:
-        """Answer several window queries against one live tableau."""
-        return [self.window(a) for a in attrsets]
-
-    def derivable_many(
-        self, facts: Sequence[Mapping[str, object]]
-    ) -> List[bool]:
-        """Batch :meth:`derivable`; facts over the same attributes
-        share one window lookup (and the cache)."""
-        return [self.derivable(fact) for fact in facts]
 
     # -- introspection ----------------------------------------------------------------
 
@@ -615,14 +793,13 @@ class WeakInstanceService:
     @property
     def live(self) -> bool:
         """Is the chased tableau current (no rebuild pending)?"""
-        return not self._stale
+        return self._live.live
 
     def __repr__(self) -> str:
-        rows = (
-            self._tableau.live_row_count() if self._tableau is not None else "∅"
-        )
+        rows = self._live.row_count()
         return (
             f"WeakInstanceService<method={self.method}, "
-            f"tuples={self.total_tuples()}, tableau_rows={rows}, "
+            f"tuples={self.total_tuples()}, "
+            f"tableau_rows={'∅' if rows is None else rows}, "
             f"live={self.live}>"
         )

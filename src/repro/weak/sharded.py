@@ -1,0 +1,629 @@
+"""Independence-aware sharded weak-instance maintenance.
+
+The paper's central payoff (Theorems 2–3) is that an *independent*
+schema makes constraint enforcement **local**: every relation's
+implied constraints ``Σi`` are covered by its own embedded FDs ``Hi``,
+so a single-relation update is checkable against that relation alone.
+:class:`ShardedWeakInstanceService` turns the theorem into the serving
+architecture:
+
+* **One shard per relation scheme.**  Each :class:`_SchemeShard` owns
+  an ``_FDIndex``-backed local checker (a
+  :class:`~repro.core.maintenance.MaintenanceChecker` over the
+  single-scheme restriction, O(1) per insert per cover FD) and its own
+  per-scheme :class:`~repro.weak.service.LiveTableau` chased only
+  under the scheme's maintenance cover ``Hi``.  An insert or delete
+  touches exactly one shard: no global chase, no global merge log, and
+  no cache invalidation outside the shard.
+* **A window planner.**  A query over attributes ``X`` is answered
+  from the shards alone when that is provably equivalent to the global
+  chase: every scheme that *could* contribute an ``X``-total row — a
+  row of ``rj`` only ever becomes total on attributes inside
+  ``cl_F(Rj)`` — must contain ``X`` outright, in which case its rows'
+  ``X``-projections are fixed constants and the global window is
+  exactly the deduplicated union of the direct shards' projections.
+  (The guard is necessary: in ``AB(A,B); CA(C,A); CB(C,B)`` with
+  ``C→A, C→B`` — an independent schema — the window over ``AB``
+  contains facts joined *through* ``C``, so ``X ⊆ Ri`` alone does not
+  license a local answer.)
+* **A lazily-synced global composer.**  Everything else goes through a
+  global :class:`~repro.weak.service.LiveTableau` over the full
+  schema, built lazily and kept current by replaying the shards'
+  operation journals (appends chase incrementally, deletes retract
+  provenance-scoped) — one batched fixpoint per sync instead of one
+  per insert.  Because every shard validated its own updates,
+  Theorem 3 guarantees the composed state is satisfying: the composer
+  never validates, it only derives.
+
+Non-independent schemas are rejected at construction with the
+analysis report (Lemma 3 / Theorem 4 counterexample) attached — use
+:class:`~repro.weak.service.WeakInstanceService` with
+``method="chase"`` for those.
+
+Observationally the service is identical to
+``WeakInstanceService(method="chase")`` and to rebuilding from scratch
+per query (the randomized oracle suite in
+``tests/test_weak_sharded.py`` pins all three against each other); the
+difference is the cost model: updates are O(local) and scheme-local
+windows never pay for other shards' traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple as PyTuple,
+    Union,
+)
+
+from repro.chase.tableau import ChaseTableau
+from repro.core.independence import IndependenceReport, analyze
+from repro.core.maintenance import InsertOutcome, MaintenanceChecker
+from repro.data.relations import RelationInstance, RowLike
+from repro.data.states import DatabaseState
+from repro.data.tuples import Tuple
+from repro.deps.fd import FD
+from repro.deps.fdset import FDSet, as_fdset
+from repro.exceptions import (
+    InconsistentStateError,
+    NotIndependentError,
+    SchemaError,
+)
+from repro.schema.attributes import AttributeSet, AttrsLike
+from repro.schema.database import DatabaseSchema
+from repro.schema.relation import RelationScheme
+from repro.weak.service import LiveTableau, ServiceStats, WindowQueryAPI
+
+
+@dataclass
+class ShardedServiceStats(ServiceStats):
+    """Counters of :class:`ShardedWeakInstanceService`, extending the
+    base service's (``as_dict`` enumerates dataclass fields, so these
+    flow into the CLI ``stats`` op automatically).  The inherited
+    tableau-lifecycle counters aggregate over every live tableau the
+    service holds — all shards plus the composer."""
+
+    #: windows answered from shard projections alone (planner fast path)
+    shard_windows: int = 0
+    #: windows composed through the global tableau
+    global_windows: int = 0
+    #: composer catch-ups that replayed at least one journaled op
+    composer_syncs: int = 0
+    #: journaled ops replayed into the composer across all syncs
+    composer_synced_ops: int = 0
+    #: journals that outgrew their bound (the next sync rebuilds the
+    #: composer from state instead of replaying)
+    journal_overflows: int = 0
+
+
+@dataclass(frozen=True)
+class WindowPlan:
+    """The planner's (memoized) decision for one attribute target."""
+
+    #: answerable from the direct shards alone
+    local: bool
+    #: schemes whose attribute sets contain the target
+    direct: PyTuple[str, ...]
+
+
+class _SchemeShard:
+    """One relation scheme's maintenance unit.
+
+    Wraps the single-scheme restriction of the independence report: a
+    local ``MaintenanceChecker`` (``_FDIndex`` per cover FD) plus a
+    per-scheme :class:`LiveTableau` chased under ``Hi``.  Mutations
+    bump :attr:`version` and append to the journal the global composer
+    replays; beyond :data:`JOURNAL_LIMIT` pending entries the journal
+    collapses into a "composer must rebuild" flag, so an endless
+    update stream that never asks a global question holds O(1) memory
+    here.
+    """
+
+    #: journal entries kept before collapsing into a full-resync flag
+    JOURNAL_LIMIT = 32768
+
+    __slots__ = (
+        "scheme",
+        "name",
+        "cover",
+        "checker",
+        "live",
+        "stats",
+        "version",
+        "_journal",
+        "_needs_resync",
+    )
+
+    def __init__(
+        self,
+        scheme: RelationScheme,
+        restriction: IndependenceReport,
+        stats: ShardedServiceStats,
+        scoped_deletes: bool,
+        delete_rebuild_fraction: float,
+        window_cache_limit: int,
+    ):
+        self.scheme = scheme
+        self.name = scheme.name
+        self.cover: FDSet = restriction.fds
+        self.checker = MaintenanceChecker(
+            restriction.schema, self.cover, method="local", report=restriction
+        )
+        self.stats = stats
+        self.live = LiveTableau(
+            restriction.schema,
+            self.cover,
+            lambda: self.checker.state(),
+            stats,
+            scoped_deletes=scoped_deletes,
+            delete_rebuild_fraction=delete_rebuild_fraction,
+            window_cache_limit=window_cache_limit,
+        )
+        self.version = 0
+        self._journal: List[PyTuple[str, Tuple]] = []
+        # starts True: the composer starts stale, so journaling before
+        # its first build would only retain tuples a drain discards —
+        # _sync_composer re-arms journaling once the composer is live
+        self._needs_resync = True
+
+    # -- journal ---------------------------------------------------------------
+
+    def _journal_op(self, op: str, t: Tuple) -> None:
+        if self._needs_resync:
+            # the composer will rebuild from state anyway (stale,
+            # freshly loaded, or overflowed): journaling would retain
+            # tuples only for a drain to discard
+            return
+        self._journal.append((op, t))
+        if len(self._journal) > self.JOURNAL_LIMIT:
+            self._needs_resync = True
+            self._journal.clear()
+            self.stats.journal_overflows += 1
+
+    def drain_journal(self) -> Optional[List[PyTuple[str, Tuple]]]:
+        """Ops since the last drain, or ``None`` when replay is no
+        longer possible (overflow or load) and the composer must
+        rebuild from state."""
+        if self._needs_resync:
+            self._needs_resync = False
+            self._journal.clear()
+            return None
+        ops, self._journal = self._journal, []
+        return ops
+
+    # -- mutations -------------------------------------------------------------
+
+    def insert(self, row: RowLike, drive: bool = True) -> InsertOutcome:
+        """Validate against the shard's ``Hi`` indexes and commit —
+        the Theorem 3 O(1) maintenance check.  ``drive=False`` defers
+        the shard fixpoint so a batch caller can run it once for many
+        appended rows (:meth:`drive_pending`)."""
+        outcome = self.checker.insert(self.name, row)
+        if not outcome.accepted:
+            self.stats.inserts_rejected += 1
+            return outcome
+        self.stats.inserts_accepted += 1
+        if outcome.reason:  # duplicate: nothing changed
+            self.stats.duplicate_inserts += 1
+            return outcome
+        self.version += 1
+        self._journal_op("+", outcome.tuple)
+        if self.live.live:
+            self.live.append(self.name, outcome.tuple)
+            if drive:
+                self.live.drive()
+        return outcome
+
+    def drive_pending(self) -> None:
+        """Run the shard fixpoint over rows appended with
+        ``drive=False`` (no-op while the shard tableau is stale)."""
+        if self.live.live:
+            self.live.drive()
+
+    def delete(self, row: RowLike) -> bool:
+        t = self.checker.coerce_tuple(self.name, row)
+        if not self.checker.delete(self.name, t):
+            return False
+        self.stats.deletes += 1
+        self.version += 1
+        self._journal_op("-", t)
+        self.live.retract(self.name, t)
+        return True
+
+    def load_fresh(self, fresh: Sequence[Tuple]) -> None:
+        """Atomically load pre-deduplicated, not-yet-present tuples
+        (the shard checker validates them against its indexes)."""
+        if not fresh:
+            return
+        self.checker.load(
+            DatabaseState(self.checker.schema, {self.name: list(fresh)})
+        )
+        self.version += 1
+        self.live.invalidate()
+        # bulk loads skip the journal: the composer rebuilds instead
+        self._needs_resync = True
+        self._journal.clear()
+
+    def rollback_fresh(self, fresh: Sequence[Tuple]) -> None:
+        """Undo a committed :meth:`load_fresh` (multi-shard load
+        atomicity: a later shard's rejection unwinds earlier shards).
+        Deletions are always safe, so this cannot fail."""
+        for t in fresh:
+            self.checker.delete(self.name, t)
+        self.version += 1
+        self.live.invalidate()
+
+    # -- reads -----------------------------------------------------------------
+
+    def window(
+        self, target: AttributeSet, count_hits: bool = True
+    ) -> RelationInstance:
+        return self.live.window(target, count_hits=count_hits)
+
+    def relation(self) -> RelationInstance:
+        return self.checker.state()[self.name]
+
+    def total_tuples(self) -> int:
+        return self.checker.total_tuples()
+
+
+class ShardedWeakInstanceService(WindowQueryAPI):
+    """A weak-instance query service sharded by relation scheme.
+
+    Shares the :class:`~repro.weak.service.WeakInstanceService`
+    interface (``load`` / ``insert`` / ``delete`` / ``window`` /
+    ``derivable`` / batch variants / ``state`` / ``stats``) and its
+    answers, but confines every update to the inserted or deleted
+    tuple's own shard (see the module docstring).  Requires an
+    independent schema; pass a precomputed ``report`` to skip
+    re-analysis (the CLI analyzes once for its up-front diagnostic and
+    hands the report down).
+    """
+
+    DEFAULT_WINDOW_CACHE_LIMIT = LiveTableau.DEFAULT_WINDOW_CACHE_LIMIT
+    DEFAULT_DELETE_REBUILD_FRACTION = LiveTableau.DEFAULT_DELETE_REBUILD_FRACTION
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        fds: Union[FDSet, Iterable[FD], str],
+        report: Optional[IndependenceReport] = None,
+        scoped_deletes: bool = True,
+        delete_rebuild_fraction: float = DEFAULT_DELETE_REBUILD_FRACTION,
+        window_cache_limit: int = DEFAULT_WINDOW_CACHE_LIMIT,
+    ):
+        self.schema = schema
+        self.fds = as_fdset(fds)
+        if report is None:
+            # build_counterexample stays on: on rejection the raised
+            # error carries the Lemma 3 / Theorem 4 witness state, and
+            # on acceptance no witness is constructed anyway
+            report = analyze(schema, self.fds)
+        if not report.independent:
+            err = NotIndependentError(
+                "sharded maintenance requires an independent schema "
+                "(Theorem 3 locality does not hold); analysis:\n"
+                + report.summary()
+            )
+            err.report = report
+            raise err
+        self.report = report
+        self.stats = ShardedServiceStats()
+        self._window_cache_limit = window_cache_limit
+        self._shards: Dict[str, _SchemeShard] = {}
+        for scheme in schema:
+            self._shards[scheme.name] = _SchemeShard(
+                scheme,
+                report.scheme_restriction(scheme.name),
+                self.stats,
+                scoped_deletes,
+                delete_rebuild_fraction,
+                window_cache_limit,
+            )
+        self._composer = LiveTableau(
+            schema,
+            self.fds,
+            self.state,
+            self.stats,
+            scoped_deletes=scoped_deletes,
+            delete_rebuild_fraction=delete_rebuild_fraction,
+            window_cache_limit=window_cache_limit,
+        )
+        #: cl_F(Ri) per scheme — the planner's reachability bound
+        self._closures: Dict[str, AttributeSet] = {
+            s.name: self.fds.closure(s.attributes) for s in schema
+        }
+        self._plans: Dict[AttributeSet, WindowPlan] = {}
+        # merged multi-shard windows, keyed by target with the shard
+        # version vector they were computed at
+        self._merged_cache: Dict[
+            AttributeSet, PyTuple[PyTuple[int, ...], RelationInstance]
+        ] = {}
+
+    @classmethod
+    def from_state(
+        cls,
+        state: DatabaseState,
+        fds: Union[FDSet, Iterable[FD], str],
+        report: Optional[IndependenceReport] = None,
+        **options,
+    ) -> "ShardedWeakInstanceService":
+        service = cls(state.schema, fds, report=report, **options)
+        service.load(state)
+        return service
+
+    @property
+    def method(self) -> str:
+        """Insert validation is always the Theorem 3 local check."""
+        return "local"
+
+    # like the base service, the tuning knobs stay writable on a live
+    # service; writes forward to every seam that consults them (each
+    # shard's LiveTableau plus the composer), so assignment is never a
+    # silent no-op for callers migrating between the two services
+    @property
+    def scoped_deletes(self) -> bool:
+        return self._composer.scoped_deletes
+
+    @scoped_deletes.setter
+    def scoped_deletes(self, value: bool) -> None:
+        for shard in self._shards.values():
+            shard.live.scoped_deletes = value
+        self._composer.scoped_deletes = value
+
+    @property
+    def delete_rebuild_fraction(self) -> float:
+        return self._composer.delete_rebuild_fraction
+
+    @delete_rebuild_fraction.setter
+    def delete_rebuild_fraction(self, value: float) -> None:
+        for shard in self._shards.values():
+            shard.live.delete_rebuild_fraction = value
+        self._composer.delete_rebuild_fraction = value
+
+    @property
+    def window_cache_limit(self) -> int:
+        return self._window_cache_limit
+
+    @window_cache_limit.setter
+    def window_cache_limit(self, value: int) -> None:
+        self._window_cache_limit = value
+        for shard in self._shards.values():
+            shard.live.window_cache_limit = value
+        self._composer.window_cache_limit = value
+
+    def maintenance_cover(self, scheme_name: str) -> FDSet:
+        """The embedded cover ``Hi`` the scheme's shard enforces."""
+        return self._shards[scheme_name].cover
+
+    def _shard(self, scheme_name: str) -> _SchemeShard:
+        shard = self._shards.get(scheme_name)
+        if shard is None:
+            # raise the schema's own unknown-scheme error
+            self.schema[scheme_name]
+            raise SchemaError(f"no shard for scheme {scheme_name!r}")
+        return shard
+
+    # -- loading ---------------------------------------------------------------
+
+    def load(self, state: DatabaseState) -> None:
+        """Load a base state shard by shard (atomic across shards: a
+        rejected relation unwinds the already-committed ones, so a
+        violating state changes nothing)."""
+        per_fresh: Dict[str, List[Tuple]] = {}
+        for scheme, relation in state:
+            shard = self._shard(scheme.name)
+            seen: set = set()
+            fresh: List[Tuple] = []
+            for t in relation:
+                if t in seen or shard.checker.contains(scheme.name, t):
+                    continue
+                seen.add(t)
+                fresh.append(t)
+            per_fresh[scheme.name] = fresh
+        committed: List[str] = []
+        try:
+            for name, fresh in per_fresh.items():
+                self._shards[name].load_fresh(fresh)
+                committed.append(name)
+        except InconsistentStateError:
+            for name in committed:
+                self._shards[name].rollback_fresh(per_fresh[name])
+            raise
+        self._composer.invalidate()
+        # with the composer stale, journaling is pure waste until the
+        # next sync re-arms it (drain resets the flag)
+        for shard in self._shards.values():
+            shard._needs_resync = True
+            shard._journal.clear()
+
+    # -- updates ---------------------------------------------------------------
+
+    def insert(self, scheme_name: str, row: RowLike) -> InsertOutcome:
+        """Validate and commit one insertion against its own shard —
+        no other shard, and not the global tableau, is touched."""
+        return self._shard(scheme_name).insert(row)
+
+    def delete(self, scheme_name: str, row: RowLike) -> bool:
+        """Delete a tuple from its shard; returns whether it existed."""
+        return self._shard(scheme_name).delete(row)
+
+    def insert_many(
+        self, ops: Iterable[PyTuple[str, RowLike]]
+    ) -> List[InsertOutcome]:
+        """Insert a batch, driving each touched shard's fixpoint once
+        instead of once per insert (validation is per-tuple O(1)
+        either way)."""
+        outcomes: List[InsertOutcome] = []
+        touched: Dict[str, _SchemeShard] = {}
+        for scheme_name, row in ops:
+            shard = self._shard(scheme_name)
+            outcome = shard.insert(row, drive=False)
+            outcomes.append(outcome)
+            if outcome.accepted and not outcome.reason:
+                touched[scheme_name] = shard
+        for shard in touched.values():
+            shard.drive_pending()
+        return outcomes
+
+    # -- the window planner ----------------------------------------------------
+
+    def _plan(self, target: AttributeSet) -> WindowPlan:
+        plan = self._plans.get(target)
+        if plan is not None:
+            return plan
+        if not target <= self.schema.universe:
+            raise SchemaError(
+                f"window attributes {target - self.schema.universe} are "
+                f"outside the universe {self.schema.universe}"
+            )
+        direct = tuple(
+            s.name for s in self.schema if target <= s.attributes
+        )
+        if direct:
+            direct_set = set(direct)
+            # sound iff no scheme can *derive* an X-total row it does
+            # not store outright: a row of rj only ever grounds
+            # attributes inside cl_F(Rj)
+            local = all(
+                s.name in direct_set or not target <= self._closures[s.name]
+                for s in self.schema
+            )
+        else:
+            local = False
+        plan = WindowPlan(local=local, direct=direct)
+        self._plans[target] = plan
+        if len(self._plans) > self.window_cache_limit:
+            # FIFO bound (no LRU refresh on hit): plans are pure
+            # functions of the schema and cheap to recompute, so
+            # evicting a hot one costs one closure-subset pass
+            self._plans.pop(next(iter(self._plans)))
+        return plan
+
+    # -- the global composer ---------------------------------------------------
+
+    def _sync_composer(self) -> None:
+        """Bring the global tableau up to date with the shards by
+        replaying their journals (or by scheduling a rebuild when a
+        journal collapsed or the composer was never built)."""
+        composer = self._composer
+        if not composer.live:
+            # nothing to replay into: drain (and discard) so the
+            # rebuild from state() does not see the ops twice
+            for shard in self._shards.values():
+                shard.drain_journal()
+            return
+        pending: List[PyTuple[str, List[PyTuple[str, Tuple]]]] = []
+        rebuild = False
+        for shard in self._shards.values():
+            ops = shard.drain_journal()
+            if ops is None:
+                rebuild = True
+            elif ops:
+                pending.append((shard.name, ops))
+        if rebuild:
+            # the caller's window()/representative() call rebuilds the
+            # composer (ensure) immediately after this returns, so the
+            # journals drain_journal just re-armed are genuinely useful
+            # for the next sync — do not disarm them here
+            composer.invalidate()
+            return
+        if not pending:
+            return
+        self.stats.composer_syncs += 1
+        appended = False
+        for name, ops in pending:
+            self.stats.composer_synced_ops += len(ops)
+            for op, t in ops:
+                if op == "+":
+                    composer.append(name, t)
+                    appended = True
+                else:
+                    composer.retract(name, t)
+        if appended and composer.live:
+            if not composer.drive():  # pragma: no cover - Theorem 3
+                # every replayed insert was locally validated, so the
+                # composed state is satisfying and the chase cannot
+                # contradict; reaching this means an engine bug
+                raise InconsistentStateError(
+                    "composer chase contradicted locally-validated shards"
+                )
+
+    # -- queries ---------------------------------------------------------------
+
+    def window(self, attrset: AttrsLike) -> RelationInstance:
+        """The derivable ``X``-facts of the current state — from the
+        direct shards alone when the planner proves that equivalent,
+        otherwise from the journal-synced global composer."""
+        target = AttributeSet(attrset)
+        self.stats.window_queries += 1
+        plan = self._plan(target)
+        if not plan.local:
+            self.stats.global_windows += 1
+            self._sync_composer()
+            return self._composer.window(target)
+        self.stats.shard_windows += 1
+        if len(plan.direct) == 1:
+            return self._shards[plan.direct[0]].window(target)
+        versions = tuple(self._shards[n].version for n in plan.direct)
+        cached = self._merged_cache.get(target)
+        if cached is not None and cached[0] == versions:
+            self.stats.window_cache_hits += 1
+            # refresh LRU position, like LiveTableau's cache (insertion
+            # order doubles as LRU order)
+            del self._merged_cache[target]
+            self._merged_cache[target] = cached
+            return cached[1]
+        seen: Dict[PyTuple[object, ...], Tuple] = {}
+        for name in plan.direct:
+            # internal consultation, not a served query: shard-cache
+            # hits here must not count (one query would score several)
+            for t in self._shards[name].window(target, count_hits=False):
+                seen.setdefault(tuple(t.value(a) for a in target), t)
+        merged = RelationInstance(target, list(seen.values()))
+        self._merged_cache[target] = (versions, merged)
+        if len(self._merged_cache) > self.window_cache_limit:
+            self._merged_cache.pop(next(iter(self._merged_cache)))
+            self.stats.window_cache_evictions += 1
+        return merged
+
+    def representative(self) -> ChaseTableau:
+        """The globally chased tableau ``I(p)`` (journal-synced first;
+        read-only, like the base service's)."""
+        self._sync_composer()
+        return self._composer.ensure()
+
+    # -- introspection ----------------------------------------------------------
+
+    def state(self) -> DatabaseState:
+        """Immutable snapshot of the union of the shard states."""
+        return DatabaseState(
+            self.schema,
+            {
+                name: list(shard.relation().tuples)
+                for name, shard in self._shards.items()
+            },
+        )
+
+    def total_tuples(self) -> int:
+        return sum(shard.total_tuples() for shard in self._shards.values())
+
+    @property
+    def live(self) -> bool:
+        """Is the *global* tableau current?  (Shards maintain their own
+        tableaus; this mirrors the base service's notion.)"""
+        return self._composer.live
+
+    def shard_names(self) -> PyTuple[str, ...]:
+        return tuple(self._shards)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedWeakInstanceService<shards={len(self._shards)}, "
+            f"tuples={self.total_tuples()}, composer_live={self.live}>"
+        )

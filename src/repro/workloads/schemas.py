@@ -44,6 +44,31 @@ def star_schema(n: int) -> PyTuple[DatabaseSchema, FDSet]:
     return DatabaseSchema(schemes), fds
 
 
+def disjoint_star_schema(
+    n: int, satellites: int = 2
+) -> PyTuple[DatabaseSchema, FDSet]:
+    """``Ri(Ki, Ai_a, …)`` with ``Ki → Ai_x`` — pairwise-disjoint
+    schemes, each its own little star.
+
+    Independent, and the *fully shardable* regime (the multi-tenant
+    shape): no attribute or FD crosses schemes, so every
+    scheme-embedded window is answerable from its own relation and a
+    sharded maintenance layer confines all traffic to one shard.  This
+    is the headline workload of ``benchmarks/bench_weak_local.py``.
+    """
+    letters = "abcdefghij"
+    if satellites > len(letters):
+        raise ValueError(f"at most {len(letters)} satellites supported")
+    schemes: List[RelationScheme] = []
+    fd_list: List[FD] = []
+    for i in range(1, n + 1):
+        attrs = [f"K{i}"] + [f"A{i}{letters[j]}" for j in range(satellites)]
+        schemes.append(RelationScheme(f"R{i}", attrs))
+        for j in range(satellites):
+            fd_list.append(FD((f"K{i}",), (f"A{i}{letters[j]}",)))
+    return DatabaseSchema(schemes), FDSet(fd_list)
+
+
 def triangle_schema(n: int) -> PyTuple[DatabaseSchema, FDSet]:
     """A chain ``A1 → … → An+1`` plus the shortcut scheme
     ``S(A1, An+1)`` carrying ``A1 → An+1``.

@@ -317,6 +317,97 @@ def delete_heavy_stream_workload(
     return base, ops
 
 
+def embedded_query_pool(schema: DatabaseSchema) -> List[PyTuple[str, ...]]:
+    """Scheme-embedded query targets: every scheme's full attribute set
+    plus a two-attribute sub-window of each — the scheme-local traffic
+    the paper's independence argument (and the sharded service's
+    planner fast path) is about.  Contrast :func:`default_query_pool`,
+    whose sliding windows deliberately straddle scheme boundaries."""
+    pool: List[PyTuple[str, ...]] = []
+    for scheme in schema:
+        names = scheme.attributes.names
+        pool.append(names)
+        if len(names) > 2:
+            pool.append(names[:2])
+    return pool
+
+
+def insert_heavy_stream_workload(
+    schema: DatabaseSchema,
+    fds: FDSet,
+    n_base: int = 100,
+    n_inserts: int = 400,
+    n_queries: int = 20,
+    n_deletes: int = 0,
+    seed: int = 0,
+    domain_size: int = 1000,
+    invalid_ratio: float = 0.1,
+    query_pool: Optional[Sequence[PyTuple[str, ...]]] = None,
+) -> PyTuple[DatabaseState, List[StreamOp]]:
+    """An insert-dominated stream with sparse, evenly spread queries —
+    the heavy-write regime sharded local maintenance is built for.
+
+    Inserts mix valid and corrupted tuples exactly like
+    :func:`insert_workload`; optional deletes pick stored base tuples
+    and are shuffled among the inserts.  Queries default to the
+    *scheme-embedded* pool (:func:`embedded_query_pool`) and are
+    distributed round-robin through the updates, so every query faces
+    the batch of updates that landed since the previous one — the
+    update/query interleaving a write-heavy service actually serves,
+    and deterministic rather than a shuffle artifact.
+    """
+    rng = random.Random(seed)
+    base = random_satisfying_state(
+        schema, fds, n_base, seed=seed, domain_size=domain_size
+    )
+    updates: List[StreamOp] = []
+    for op in insert_workload(
+        schema,
+        fds,
+        n_ops=n_inserts,
+        seed=seed + 1,
+        domain_size=domain_size,
+        invalid_ratio=invalid_ratio,
+    ):
+        updates.append(
+            StreamOp(
+                kind="insert",
+                scheme=op.scheme,
+                values=op.values,
+                intended_valid=op.intended_valid,
+            )
+        )
+    stored = [
+        (scheme.name, {a: t.value(a) for a in scheme.attributes})
+        for scheme, relation in base
+        for t in relation
+    ]
+    for _ in range(min(n_deletes, len(stored))):
+        name, values = stored.pop(rng.randrange(len(stored)))
+        updates.append(StreamOp(kind="delete", scheme=name, values=values))
+    rng.shuffle(updates)
+    pool = (
+        list(query_pool) if query_pool is not None else embedded_query_pool(schema)
+    )
+    queries = [
+        StreamOp(kind="query", attributes=rng.choice(pool))
+        for _ in range(n_queries)
+    ]
+    # round-robin: a query after every stride of updates
+    ops: List[StreamOp] = []
+    if queries:
+        stride = max(1, len(updates) // len(queries))
+        ui = 0
+        for q in queries:
+            ops.extend(updates[ui : ui + stride])
+            ui += stride
+            ops.append(q)
+        ops.extend(updates[ui:])
+    else:
+        ops = updates
+    return base, ops
+
+
 def insert_workload(
     schema: DatabaseSchema,
     fds: FDSet,

@@ -150,3 +150,51 @@ class TestDemo:
         assert main(["demo"]) == 0
         out = capsys.readouterr().out
         assert "Example 1" in out and "Example 3" in out
+
+
+class TestServeLocalValidation:
+    """serve --method local validates independence *before* any op
+    applies and exits with the analysis diagnostic."""
+
+    def test_dependent_schema_exits_before_ops(self, scenario_file, tmp_path, capsys):
+        path = tmp_path / "ops.txt"
+        path.write_text("insert CD (X, Y)\nquery C D\n")
+        code = main(
+            [
+                "serve",
+                scenario_file(DEPENDENT),
+                "--ops",
+                str(path),
+                "--method",
+                "local",
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        # the diagnostic is the full analysis report, on stderr
+        assert "independent: False" in captured.err
+        assert "nothing was served" in captured.err
+        # no op output, no summary: the stream never started
+        assert "insert" not in captured.out
+        assert "served:" not in captured.out
+
+    def test_local_method_summary_names_shard_counters(
+        self, scenario_file, tmp_path, capsys
+    ):
+        path = tmp_path / "ops.txt"
+        path.write_text("query C T\ninsert CT (CS102, Lee)\nstats\n")
+        code = main(
+            [
+                "serve",
+                scenario_file(INDEPENDENT),
+                "--ops",
+                str(path),
+                "--method",
+                "local",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded:" in out and "shard-local windows" in out
+        # the stats op surfaces the sharded counters (as_dict fields)
+        assert "shard_windows" in out and "composer_syncs" in out

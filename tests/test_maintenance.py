@@ -5,6 +5,7 @@ import pytest
 from repro.chase.satisfaction import is_globally_satisfying
 from repro.core.maintenance import MaintenanceChecker
 from repro.data.states import DatabaseState
+from repro.data.tuples import Tuple
 from repro.exceptions import InconsistentStateError, NotIndependentError
 from repro.workloads.schemas import chain_schema
 from repro.workloads.states import insert_workload, random_satisfying_state
@@ -233,3 +234,132 @@ class TestAgainstChaseOracle:
             accepted += outcome.accepted
             rejected += not outcome.accepted
         assert accepted > 0  # the workload exercises both paths
+
+
+class TestFDIndexAccounting:
+    """Property tests of the per-FD hash index: add/remove/conflicts
+    round-trips against a reference multiset, and the strict
+    debug-flag contract (a remove of a never-inserted tuple is an
+    accounting bug, not a no-op)."""
+
+    @staticmethod
+    def _index_and_scheme():
+        from repro.core.maintenance import _FDIndex
+        from repro.deps.fd import FD
+        from repro.schema.relation import RelationScheme
+
+        def make(values):
+            return Tuple(("A", "B", "C"), values)
+
+        return _FDIndex(FD(("A",), ("B",))), make
+
+    @staticmethod
+    def _reference_conflicts(stored, t):
+        """Ground truth: any stored tuple with the same lhs key but a
+        different rhs value (the pre-shortcut full-scan semantics)."""
+        return any(
+            s.value("A") == t.value("A") and s.value("B") != t.value("B")
+            for s in stored
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_round_trips_match_reference(self, seed):
+        import random
+
+        index, make = self._index_and_scheme()
+        rng = random.Random(seed)
+        stored = []  # reference multiset (list: duplicates count)
+        for _ in range(300):
+            t = make((rng.randrange(6), rng.randrange(4), rng.randrange(3)))
+            roll = rng.random()
+            if roll < 0.5:
+                # keep the index consistent, like every caller: only
+                # conflict-free tuples are added
+                if not index.conflicts(t):
+                    assert not self._reference_conflicts(stored, t)
+                    index.add(t)
+                    stored.append(t)
+                else:
+                    assert self._reference_conflicts(stored, t)
+            elif roll < 0.8 and stored:
+                victim = stored.pop(rng.randrange(len(stored)))
+                index.remove(victim)
+            else:
+                assert index.conflicts(t) == self._reference_conflicts(
+                    stored, t
+                ), f"conflicts() diverged on {t}"
+        # drain completely: an emptied index conflicts with nothing
+        for t in list(stored):
+            index.remove(t)
+        stored.clear()
+        probe = make((0, 1, 2))
+        assert not index.conflicts(probe)
+        assert not index._map  # no empty-entry residue
+
+    def test_duplicate_multiplicity_survives_one_removal(self):
+        index, make = self._index_and_scheme()
+        t = make((1, 2, 3))
+        index.add(t)
+        index.add(t)
+        index.remove(t)
+        # still present once: a conflicting tuple is still refused
+        bad = make((1, 9, 3))
+        assert index.conflicts(bad)
+        index.remove(t)
+        assert not index.conflicts(bad)
+
+    def test_strict_flag_raises_on_phantom_remove(self):
+        from repro.core.maintenance import _FDIndex
+        from repro.deps.fd import FD
+        from repro.exceptions import InstanceError
+
+        index = _FDIndex(FD(("A",), ("B",)), strict=True)
+        t = Tuple(("A", "B"), (1, 2))
+        with pytest.raises(InstanceError):
+            index.remove(t)  # never inserted
+        index.add(t)
+        index.remove(t)  # fine: accounted
+        with pytest.raises(InstanceError):
+            index.remove(t)  # double remove
+        # same key, different rhs: also never stored
+        index.add(t)
+        with pytest.raises(InstanceError):
+            index.remove(Tuple(("A", "B"), (1, 9)))
+
+    def test_module_flag_sets_the_default(self, monkeypatch):
+        import repro.core.maintenance as maintenance
+        from repro.core.maintenance import _FDIndex
+        from repro.deps.fd import FD
+        from repro.exceptions import InstanceError
+
+        monkeypatch.setattr(maintenance, "STRICT_INDEX_ACCOUNTING", True)
+        index = _FDIndex(FD(("A",), ("B",)))
+        with pytest.raises(InstanceError):
+            index.remove(Tuple(("A", "B"), (1, 2)))
+        # and clones inherit strictness
+        with pytest.raises(InstanceError):
+            index.clone().remove(Tuple(("A", "B"), (3, 4)))
+
+    def test_checker_stream_is_strict_clean(self, monkeypatch):
+        """The checker's insert/delete discipline never trips strict
+        accounting — the flag exists to catch regressions in it."""
+        import random
+
+        import repro.core.maintenance as maintenance
+
+        monkeypatch.setattr(maintenance, "STRICT_INDEX_ACCOUNTING", True)
+        schema, F = chain_schema(3)
+        checker = MaintenanceChecker(schema, F, method="local")
+        checker.load(random_satisfying_state(schema, F, 10, seed=2))
+        rng = random.Random(0)
+        stored = [
+            (s.name, t) for s, rel in checker.state() for t in rel
+        ]
+        for op in insert_workload(schema, F, n_ops=30, seed=4):
+            outcome = checker.insert(op.scheme, op.values)
+            if outcome.accepted and not outcome.reason:
+                stored.append((op.scheme, outcome.tuple))
+            if stored and rng.random() < 0.4:
+                name, t = stored.pop(rng.randrange(len(stored)))
+                assert checker.delete(name, t)
+                checker.delete(name, t)  # absent: guarded, still safe
