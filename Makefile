@@ -5,18 +5,27 @@ PYTHON    ?= python
 PYTHONPATH := $(CURDIR)/src
 export PYTHONPATH
 
-.PHONY: help test bench bench-weak bench-weak-tiny bench-weak-deletes bench-weak-deletes-tiny bench-weak-local bench-weak-local-tiny docs clean
+# Benchmark wall-clock ratios are only meaningful when exactly one
+# measurement runs at a time: `make -jN` interleaving two bench suites
+# corrupts every committed BENCH_*.json number.  Nothing in this
+# Makefile benefits from parallel make, so pin the whole file serial.
+.NOTPARALLEL:
+
+.PHONY: help test bench bench-all bench-chase-bulk-tiny bench-weak bench-weak-tiny bench-weak-deletes bench-weak-deletes-tiny bench-weak-local bench-weak-local-tiny profile-chase docs clean
 
 help:
 	@echo "targets:"
 	@echo "  test                    - tier-1 test suite (pytest -x -q over tests/)"
 	@echo "  bench                   - all benchmarks; regenerates BENCH_chase.json, BENCH_weak.json and benchmarks/results.txt"
+	@echo "  bench-all               - every bench suite, strictly one after another (single recipe, immune to -j)"
+	@echo "  bench-chase-bulk-tiny   - bulk-kernel vs indexed engine at smoke scale (CI gate: >=2x)"
 	@echo "  bench-weak              - weak-instance query service vs rebuild-per-query; regenerates BENCH_weak.json"
 	@echo "  bench-weak-tiny         - the same benchmark at smoke scale (CI: equivalence only, no artifact)"
 	@echo "  bench-weak-deletes      - provenance-scoped deletes vs invalidate-and-rebuild; regenerates BENCH_weak.json"
 	@echo "  bench-weak-deletes-tiny - the delete benchmark at smoke scale (CI: equivalence only, no artifact)"
 	@echo "  bench-weak-local        - sharded local path vs global chase-method service; regenerates BENCH_weak.json"
 	@echo "  bench-weak-local-tiny   - the sharded benchmark at smoke scale (CI: equivalence only, no artifact)"
+	@echo "  profile-chase           - cProfile top-20 of the bulk kernel and indexed engine on the cascade workload (local tooling, no artifact)"
 	@echo "  docs                    - render the API reference with pydoc into docs/api/"
 	@echo "  clean                   - remove caches and generated docs"
 
@@ -27,6 +36,38 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_chase.py benchmarks/bench_scaling.py -q
 	$(PYTHON) -m pytest $(filter-out benchmarks/bench_chase.py benchmarks/bench_scaling.py,$(wildcard benchmarks/bench_*.py)) -q
+
+# Strictly serial sweep of every bench suite: one recipe, one suite at
+# a time, so even `make -jN bench-all` cannot interleave measurements
+# (committed BENCH_*.json ratios assume an otherwise idle machine).
+bench-all:
+	$(PYTHON) -m pytest benchmarks/bench_chase.py benchmarks/bench_scaling.py -q && \
+	$(PYTHON) -m pytest benchmarks/bench_weak_queries.py -q && \
+	$(PYTHON) -m pytest benchmarks/bench_weak_deletes.py -q && \
+	$(PYTHON) -m pytest benchmarks/bench_weak_local.py -q && \
+	$(PYTHON) -m pytest $(filter-out benchmarks/bench_chase.py benchmarks/bench_scaling.py benchmarks/bench_weak_queries.py benchmarks/bench_weak_deletes.py benchmarks/bench_weak_local.py,$(wildcard benchmarks/bench_*.py)) -q
+
+bench-chase-bulk-tiny:
+	REPRO_BENCH_CHASE_TINY=1 $(PYTHON) -m pytest benchmarks/bench_chase.py::test_bulk_vs_indexed_large -q
+
+# cProfile top-20 (cumulative) over the cascade workload, bulk kernel
+# then indexed engine — local tooling for kernel work, committed nowhere.
+profile-chase:
+	$(PYTHON) -c "\
+	import cProfile, pstats, io, time; \
+	from repro.chase.bulk import chase_fds_bulk; \
+	from repro.chase.engine import chase_fds; \
+	from repro.chase.tableau import ChaseTableau; \
+	from repro.workloads.states import cascade_chain_workload; \
+	schema, F, state = cascade_chain_workload(50, 201); fds = tuple(F); \
+	tab = ChaseTableau.from_state(state); \
+	p = cProfile.Profile(); p.enable(); chase_fds_bulk(tab, fds); p.disable(); \
+	print('== bulk kernel (50x201 cascade) =='); \
+	pstats.Stats(p).sort_stats('cumulative').print_stats(20); \
+	tab2 = ChaseTableau.from_state(state, columnar=False); \
+	p2 = cProfile.Profile(); p2.enable(); chase_fds(tab2, fds, bulk=False); p2.disable(); \
+	print('== indexed engine (same workload) =='); \
+	pstats.Stats(p2).sort_stats('cumulative').print_stats(20)"
 
 bench-weak:
 	$(PYTHON) -m pytest benchmarks/bench_weak_queries.py -q
@@ -51,7 +92,8 @@ docs:
 	mkdir -p docs/api
 	cd docs/api && $(PYTHON) -m pydoc -w repro \
 		repro.schema repro.data repro.deps repro.deps.closure repro.deps.fdset \
-		repro.chase repro.chase.tableau repro.chase.engine repro.chase.reference \
+		repro.chase repro.chase.tableau repro.chase.engine repro.chase.bulk \
+		repro.chase.reference \
 		repro.chase.satisfaction repro.core repro.core.embedding repro.core.loop \
 		repro.core.independence repro.core.maintenance repro.core.counterexamples \
 		repro.weak repro.weak.representative repro.weak.service \

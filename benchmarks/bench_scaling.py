@@ -6,10 +6,11 @@ log–log slope (empirical polynomial degree).  The paper's testbed does
 not exist; the *shape* claim is what must hold: the fitted exponent is
 a small constant, nowhere near exponential growth.
 
-``test_incremental_chase_scaling`` adds the large-workload curve for
-the indexed chase engine (cascade workloads up to ≥50 schemes / ≥10k
-tableau rows) and records it in ``BENCH_chase.json`` next to the
-speedup headline from ``bench_chase.py``.
+``test_incremental_chase_scaling`` adds the large-workload curves for
+the indexed chase engine and the column-major bulk kernel (cascade
+workloads up to ≥50 schemes / ≥10k tableau rows) and records them in
+``BENCH_chase.json`` next to the speedup headlines from
+``bench_chase.py``.
 """
 
 import time
@@ -17,6 +18,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.chase.bulk import chase_fds_bulk
 from repro.chase.engine import chase_fds
 from repro.chase.tableau import ChaseTableau
 from repro.core.independence import analyze
@@ -87,16 +89,27 @@ def test_incremental_chase_scaling():
     curve lands in ``BENCH_chase.json`` so regressions in the
     incremental engine are visible across PRs.
     """
-    table = TextTable(["schemes", "tableau rows", "fd merges", "indexed (s)"])
+    table = TextTable(
+        ["schemes", "tableau rows", "fd merges", "indexed (s)", "bulk (s)"]
+    )
     points = []
     for n_schemes, n_chains in CASCADE_POINTS:
         schema, F, state = cascade_chain_workload(n_schemes, n_chains)
-        tab = ChaseTableau.from_state(state)
+        tab = ChaseTableau.from_state(state, columnar=False)
         t0 = time.perf_counter()
-        result = chase_fds(tab, F)
+        result = chase_fds(tab, F, bulk=False)
         elapsed = time.perf_counter() - t0
         assert result.consistent
-        table.add_row(n_schemes, len(tab), result.fd_merges, round(elapsed, 3))
+        tab_bulk = ChaseTableau.from_state(state)
+        t0 = time.perf_counter()
+        bulk_result = chase_fds_bulk(tab_bulk, tuple(F))
+        bulk_elapsed = time.perf_counter() - t0
+        assert bulk_result.consistent
+        assert bulk_result.fd_merges == result.fd_merges
+        table.add_row(
+            n_schemes, len(tab), result.fd_merges,
+            round(elapsed, 3), round(bulk_elapsed, 3),
+        )
         points.append(
             {
                 "schemes": n_schemes,
@@ -104,6 +117,7 @@ def test_incremental_chase_scaling():
                 "fd_merges": result.fd_merges,
                 # coarse rounding: committed artifact, keep re-run noise out
                 "indexed_seconds": round(elapsed, 2),
+                "bulk_seconds": round(bulk_elapsed, 2),
             }
         )
     assert points[-1]["tableau_rows"] >= 10_000

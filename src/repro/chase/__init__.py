@@ -6,6 +6,7 @@ engine (:mod:`repro.chase.reference`) it is validated and benchmarked
 against.
 """
 
+from repro.chase.bulk import BULK_MIN_ROWS, BulkFDChaser, chase_fds_bulk
 from repro.chase.engine import (
     ChaseResult,
     ChaseStep,
@@ -28,6 +29,7 @@ from repro.chase.satisfaction import (
     weak_instance,
 )
 from repro.chase.tableau import (
+    BulkIngest,
     ChaseTableau,
     MergeEvent,
     RetractionImpact,
@@ -36,6 +38,10 @@ from repro.chase.tableau import (
 )
 
 __all__ = [
+    "BULK_MIN_ROWS",
+    "BulkFDChaser",
+    "BulkIngest",
+    "chase_fds_bulk",
     "ChaseTableau",
     "SymbolTable",
     "RowOrigin",

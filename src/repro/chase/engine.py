@@ -26,6 +26,14 @@ any per-FD state.  The JD-rule keeps per-component projections in a
 version-keyed cache (:class:`_ProjectionCache`) and is skipped
 entirely when the tableau has not changed since its last application.
 
+From-scratch chases of fresh columnar tableaux are not driven here at
+all: ``chase_fds``/``chase`` route them to the column-major bulk
+kernel (:mod:`repro.chase.bulk`) above its size cutoff, and this
+engine adopts the kernel's output mid-flight through the handoff seam
+(:class:`IncrementalFDChaser` with ``_handoff=``, buckets pre-seeded)
+— the incremental machinery then serves exactly what it is built for:
+the per-operation deltas of a live tableau.
+
 The engine records a structured trace and enforces a step/row budget so
 pathological cyclic cases fail loudly (:class:`ChaseBudgetExceeded`)
 instead of hanging.
@@ -179,10 +187,13 @@ class _FDRuleIndex:
         tableau: ChaseTableau,
         fds: Sequence[FD],
         template: Optional[_RuleMetadata] = None,
+        buckets: Optional[List[Dict]] = None,
     ):
         self.tableau = tableau
         self.fds = fds
         self._value_index: Dict[int, Dict[int, Set[int]]] = {}
+        if buckets is not None and len(buckets) != len(fds):
+            raise ValueError("seeded buckets do not match the FD list")
         if template is not None:
             # A rebuilt tableau over the same universe (services rebuild
             # shard/composer tableaus from state many times): the per-FD
@@ -204,7 +215,7 @@ class _FDRuleIndex:
             self._fds_by_col = {
                 c: list(ks) for c, ks in template.fds_by_col.items()
             }
-            self._buckets = [{} for _ in fds]
+            self._buckets = buckets if buckets is not None else [{} for _ in fds]
             single_attrs = [
                 tableau.columns[c] for c in self._single_col if c is not None
             ]
@@ -212,7 +223,9 @@ class _FDRuleIndex:
             self._lhs_idx = []
             self._rhs_cols = []
             self._single_col = []
-            self._buckets = []
+            self._buckets = (
+                list(buckets) if buckets is not None else [{} for _ in fds]
+            )
             self._fds_by_col = {}
             single_attrs = []
             for k, f in enumerate(fds):
@@ -224,7 +237,6 @@ class _FDRuleIndex:
                 self._rhs_cols.append(rhs_cols)
                 single = lhs_idx[0] if len(lhs_idx) == 1 and rhs_cols else None
                 self._single_col.append(single)
-                self._buckets.append({})
                 if rhs_cols:
                     for c in lhs_idx:
                         self._fds_by_col.setdefault(c, []).append(k)
@@ -464,18 +476,52 @@ def _run_fd_fixpoint(
             return
 
 
+def _bulk_module(tableau: ChaseTableau, bulk: Optional[bool]):
+    """Resolve the ``bulk`` routing argument: the bulk module when the
+    from-scratch kernel should run, else ``None``.  ``None`` (auto)
+    requires structural eligibility *and* the size cutoff; ``True``
+    forces the kernel (it raises on ineligible tableaux); ``False``
+    pins the row-at-a-time path.  Imported lazily — the bulk module
+    imports this one."""
+    if bulk is False:
+        return None
+    from repro.chase import bulk as bulk_module
+
+    if bulk is None and not bulk_module.bulk_eligible(tableau):
+        return None
+    return bulk_module
+
+
 def chase_fds(
     tableau: ChaseTableau,
     fd_list: Iterable[FD],
     max_passes: int = DEFAULT_MAX_PASSES,
     record_steps: bool = False,
+    bulk: Optional[bool] = None,
 ) -> ChaseResult:
     """Chase with the FD-rule only, to fixpoint (Honeyman's test).
+
+    Fresh columnar tableaux above :data:`repro.chase.bulk.
+    BULK_MIN_ROWS` rows are routed through the column-major bulk
+    kernel (``bulk=None``, the auto default); pass ``bulk=False`` to
+    pin the row-at-a-time engine (benchmark baselines) or ``bulk=True``
+    to force the kernel regardless of size.  Both paths produce
+    observationally identical tableaux.
 
     ``record_steps=True`` logs every merge so contradictions can be
     explained (:func:`explain_contradiction`).
     """
     fds = tuple(fd_list)
+    bulk_module = _bulk_module(tableau, bulk)
+    if bulk_module is not None:
+        # a caller that enabled the merge log expects every merge
+        # provenanced; the kernel batch-records on its behalf
+        return bulk_module.chase_fds_bulk(
+            tableau,
+            fds,
+            log_merges=tableau.merge_log_enabled,
+            record_steps=record_steps,
+        )
     result = ChaseResult(tableau=tableau, consistent=True)
     budget = _Budget(DEFAULT_MAX_ROWS, max_passes)
     chaser = _FDRuleIndex(tableau, fds)
@@ -536,6 +582,7 @@ class IncrementalFDChaser:
         max_passes: int = DEFAULT_MAX_PASSES,
         log_merges: bool = True,
         _template: Optional[_RuleMetadata] = None,
+        _handoff=None,
     ):
         self.tableau = tableau
         self.fds = tuple(fd_list)
@@ -543,8 +590,25 @@ class IncrementalFDChaser:
         self._log_merges = log_merges
         if log_merges:
             tableau.enable_merge_log()
-        self._index = _FDRuleIndex(tableau, self.fds, template=_template)
-        self._seeded = False
+        buckets = None
+        seeded = False
+        if _handoff is not None:
+            # adopt a tableau the bulk kernel already chased: seed the
+            # per-FD partitions from the kernel's buckets and skip the
+            # full seeding pass — the tableau is at fixpoint, so the
+            # first run() only has to drain rows appended since.  The
+            # kernel must have run over this very tableau and FD list
+            # (the bucket shapes are positional).
+            if _handoff.tableau is not tableau:
+                raise ValueError("bulk handoff is for a different tableau")
+            if _handoff.fds != self.fds:
+                raise ValueError("bulk handoff was chased under different FDs")
+            buckets = _handoff.handoff_buckets()
+            seeded = True
+        self._index = _FDRuleIndex(
+            tableau, self.fds, template=_template, buckets=buckets
+        )
+        self._seeded = seeded
         self._poisoned = False
 
     def metadata(self) -> _RuleMetadata:
@@ -693,13 +757,31 @@ class _ProjectionCache:
         return self._existing
 
     def projection(self, attrs: PyTuple[str, ...]) -> Set[PyTuple[int, ...]]:
-        """Distinct resolved rows projected on the given columns."""
+        """Distinct resolved rows projected on the given columns.
+
+        Resolves only the *requested* columns, straight off the raw
+        rows — a projection over two attributes of a wide universe
+        used to pay for resolving every column of every live row
+        (via ``resolved_rows``) before throwing most of it away.
+        ``existing_rows`` still wants the full-width resolution and
+        keeps the memoized path.
+        """
         self._sync()
         cached = self._proj.get(attrs)
         if cached is None:
-            idx = [self.tableau.column_index(a) for a in attrs]
+            tableau = self.tableau
+            idx = [tableau.column_index(a) for a in attrs]
+            find = tableau.symbols.find
+            raw_row = tableau.raw_row
+            if tableau.live_row_count() == len(tableau):
+                live: Iterable[int] = range(len(tableau))
+            else:
+                is_retracted = tableau.is_retracted
+                live = (
+                    i for i in range(len(tableau)) if not is_retracted(i)
+                )
             cached = {
-                tuple(row[j] for j in idx) for row in self._live_resolved()
+                tuple(find(raw_row(i)[j]) for j in idx) for i in live
             }
             self._proj[attrs] = cached
         return cached
@@ -782,9 +864,15 @@ def chase(
     mvds: Iterable[MVD] = (),
     max_rows: int = DEFAULT_MAX_ROWS,
     max_passes: int = DEFAULT_MAX_PASSES,
+    bulk: Optional[bool] = None,
 ) -> ChaseResult:
     """The full chase: FD-rule to fixpoint, then JD/MVD rules, repeated
     until nothing changes or a contradiction surfaces.
+
+    The *initial* FD fixpoint of an eligible fresh tableau runs on the
+    bulk kernel (same routing as :func:`chase_fds`); the incremental
+    index that drives the post-JD FD fixpoints is then seeded from the
+    kernel's partitions instead of a full re-scan.
 
     Each JD remembers the tableau version it last ran against and is
     skipped while the tableau is unchanged — a fixpoint round over n
@@ -796,13 +884,28 @@ def chase(
         all_jds.append(m.as_jd())
     result = ChaseResult(tableau=tableau, consistent=True)
     budget = _Budget(max_rows, max_passes)
-    chaser = _FDRuleIndex(tableau, fds)
     projections = _ProjectionCache(tableau)
     jd_seen: Dict[int, PyTuple[int, int]] = {}
 
-    _run_fd_fixpoint(tableau, chaser, result, budget, initial=True)
-    if not result.consistent:
-        return result
+    bulk_module = _bulk_module(tableau, bulk)
+    if bulk_module is not None:
+        kernel = bulk_module.BulkFDChaser(
+            tableau, fds, log_merges=tableau.merge_log_enabled
+        )
+        bulk_result = kernel.run()
+        result.fd_merges += bulk_result.fd_merges
+        if not bulk_result.consistent:
+            result.consistent = False
+            result.contradiction = bulk_result.contradiction
+            return result
+        if not all_jds:
+            return result
+        chaser = _FDRuleIndex(tableau, fds, buckets=kernel.handoff_buckets())
+    else:
+        chaser = _FDRuleIndex(tableau, fds)
+        _run_fd_fixpoint(tableau, chaser, result, budget, initial=True)
+        if not result.consistent:
+            return result
 
     while True:
         grew = False

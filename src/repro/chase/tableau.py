@@ -28,6 +28,24 @@ the incremental chase engine (:mod:`repro.chase.engine`) is built on:
   (current) left-hand-side class — the provenance that
   :meth:`retraction_impact` walks to scope a delete.
 
+Two facilities exist specifically for the **column-major bulk chase
+kernel** (:mod:`repro.chase.bulk`):
+
+* :meth:`bulk_ingest` builds a fresh tableau column by column —
+  constants interned and variables allocated in per-column batches,
+  with none of ``add_row``'s per-cell occurrence bookkeeping.  The
+  occurrence index of an ingested (or bulk-chased) tableau is
+  **deferred**: it is rebuilt in one pass the first time something
+  actually reads it (a merge, a retraction, ``live_row_matching``),
+  so from-scratch chases that never do incremental work never pay
+  for it.
+* :meth:`install_bulk_chase` is the kernel's hand-off: it accounts the
+  kernel's merges into :attr:`version`, installs the batch-recorded
+  merge provenance into the log indexes, and invalidates every derived
+  structure the kernel bypassed.  After it returns the tableau is
+  indistinguishable from one chased row-at-a-time (the invariant
+  ``check_index_invariants`` verifies and the bulk oracle suite pins).
+
 Row **retraction** (:meth:`retract_row`) is the delete-side
 counterpart of the incremental chase: instead of discarding a chased
 tableau because one source tuple went away, the tableau computes the
@@ -284,6 +302,9 @@ class ChaseTableau:
         "_rows",
         "_origins",
         "_occ",
+        "_occ_stale",
+        "_all_columnar",
+        "_version_base",
         "_dirty",
         "_attr_index",
         "_shared",
@@ -313,6 +334,23 @@ class ChaseTableau:
         self._origins: List[RowOrigin] = []
         # root -> list of positions (row * ncols + col) held by the class.
         self._occ: Dict[int, List[int]] = {}
+        # bulk paths (ingest, bulk chase) defer occurrence maintenance:
+        # while stale, readers rebuild the index in one pass on demand
+        # and add_row skips its per-cell updates (the rebuild covers
+        # them).  From-scratch chases that never merge incrementally or
+        # retract never pay for the index at all.
+        self._occ_stale = False
+        # every row so far was built through the per-column symbol
+        # discipline (constants interned per column, padding variables
+        # fresh) — the invariant the bulk kernel's "a symbol class
+        # lives in exactly one column" reasoning rests on.  Cleared by
+        # any direct add_row/seed_row with caller-supplied symbols.
+        self._all_columnar = True
+        # version floor carried over from a predecessor tableau (see
+        # offset_version_base): keeps version stamps monotone across
+        # service rebuilds so a version-keyed cache can never mistake
+        # a fresh tableau for the one it replaced
+        self._version_base: PyTuple[int, int] = (0, 0)
         # dirty worklist: row -> set of changed columns, or None = all.
         self._dirty: Dict[int, Optional[Set[int]]] = {}
         # lazily materialized per-column value index: col -> root -> rows.
@@ -355,21 +393,53 @@ class ChaseTableau:
     # -- construction ---------------------------------------------------------
 
     @classmethod
-    def from_state(cls, state: DatabaseState) -> "ChaseTableau":
-        """``I(p)``: pad every stored tuple to ``U`` with fresh variables."""
+    def from_state(cls, state: DatabaseState, columnar: bool = True) -> "ChaseTableau":
+        """``I(p)``: pad every stored tuple to ``U`` with fresh variables.
+
+        ``columnar=True`` (the default) builds through
+        :meth:`bulk_ingest`: column-major interning, symbol ids
+        allocated column by column, no per-cell occurrence bookkeeping
+        — the layout the bulk chase kernel's column sweeps want, and
+        observationally identical to a row-at-a-time construction.
+        ``columnar=False`` restores the row-at-a-time build whose
+        row-contiguous symbol allocation the *incremental* engine's
+        access pattern prefers — each engine is measurably faster on
+        its matching layout, so benchmark baselines pin this explicitly.
+        """
         tab = cls(state.schema.universe)
-        for scheme, relation in state:
-            for t in relation:
-                tab.add_padded(scheme.attributes, t, RowOrigin("state", scheme.name))
+        if columnar:
+            ingest = tab.bulk_ingest()
+            for scheme, relation in state:
+                origin = RowOrigin("state", scheme.name)
+                for t in relation:
+                    ingest.add_padded(scheme.attributes, t, origin)
+            ingest.finish()
+        else:
+            for scheme, relation in state:
+                origin = RowOrigin("state", scheme.name)
+                for t in relation:
+                    tab.add_padded(scheme.attributes, t, origin)
         return tab
 
     @classmethod
     def from_relation(cls, universe: AttrsLike, relation: RelationInstance,
-                      scheme_name: str = "r") -> "ChaseTableau":
+                      scheme_name: str = "r", columnar: bool = True) -> "ChaseTableau":
         tab = cls(universe)
-        for t in relation:
-            tab.add_padded(relation.attributes, t, RowOrigin("state", scheme_name))
+        origin = RowOrigin("state", scheme_name)
+        if columnar:
+            ingest = tab.bulk_ingest()
+            for t in relation:
+                ingest.add_padded(relation.attributes, t, origin)
+            ingest.finish()
+        else:
+            for t in relation:
+                tab.add_padded(relation.attributes, t, origin)
         return tab
+
+    def bulk_ingest(self) -> "BulkIngest":
+        """Column-major batch construction (must be the first thing
+        that ever touches the tableau; see :class:`BulkIngest`)."""
+        return BulkIngest(self)
 
     def add_padded(self, attrset: AttributeSet, t: Tuple, origin: RowOrigin) -> int:
         """Add a tuple over a sub-scheme, padded with fresh variables."""
@@ -379,9 +449,13 @@ class ChaseTableau:
                 row.append(self.symbols.constant(t.value(a), a))
             else:
                 row.append(self.symbols.fresh_variable())
-        return self.add_row(tuple(row), origin)
+        # constants interned per column + fresh padding: the per-column
+        # symbol discipline holds, so bulk eligibility is preserved
+        return self.add_row(tuple(row), origin, _columnar=True)
 
-    def add_row(self, syms: PyTuple[int, ...], origin: RowOrigin) -> int:
+    def add_row(
+        self, syms: PyTuple[int, ...], origin: RowOrigin, _columnar: bool = False
+    ) -> int:
         ncols = len(self._cols)
         if len(syms) != ncols:
             raise InstanceError("row arity does not match the universe")
@@ -389,19 +463,25 @@ class ChaseTableau:
             # seed/jd rows exist for reasons the merge log cannot see,
             # so retraction cannot scope a tableau containing them
             self._derived_rows += 1
+        if not _columnar:
+            # caller-supplied symbols may cross columns, so the bulk
+            # kernel's per-column class reasoning no longer applies
+            self._all_columnar = False
         i = len(self._rows)
         self._rows.append(syms)
         self._origins.append(origin)
         find = self.symbols.find
         base = i * ncols
         occ = self._occ
+        occ_live = not self._occ_stale
         for c, sym in enumerate(syms):
             root = find(sym)
-            bucket = occ.get(root)
-            if bucket is None:
-                occ[root] = [base + c]
-            else:
-                bucket.append(base + c)
+            if occ_live:
+                bucket = occ.get(root)
+                if bucket is None:
+                    occ[root] = [base + c]
+                else:
+                    bucket.append(base + c)
             col_index = self._attr_index.get(c)
             if col_index is not None:
                 members = col_index.get(root)
@@ -449,6 +529,8 @@ class ChaseTableau:
         merge while the log is enabled marks the log incomplete and
         disables scoped retraction for good.
         """
+        if self._occ_stale:
+            self._rebuild_occ()
         changed, conflict, survivor, absorbed = self.symbols.merge_roots(a, b)
         if not changed:
             return False, conflict
@@ -557,6 +639,32 @@ class ChaseTableau:
                         shared.add(survivor)
         return True, None
 
+    # -- deferred occurrence index ---------------------------------------------
+
+    def _rebuild_occ(self) -> None:
+        """One-pass reconstruction of the occurrence index (every row
+        ever added, retracted included — dissolution must be able to
+        enumerate a class's symbols).  The bulk paths defer occurrence
+        maintenance and leave the index stale; the first reader lands
+        here."""
+        occ: Dict[int, List[int]] = {}
+        find = self.symbols.find
+        parent = self.symbols._uf._parent
+        pos = 0
+        for row in self._rows:
+            for s in row:
+                r = parent[s]
+                if parent[r] != r:
+                    r = find(s)
+                bucket = occ.get(r)
+                if bucket is None:
+                    occ[r] = [pos]
+                else:
+                    bucket.append(pos)
+                pos += 1
+        self._occ = occ
+        self._occ_stale = False
+
     # -- dirty worklist ---------------------------------------------------------
 
     def drain_dirty(self) -> Dict[int, Optional[Set[int]]]:
@@ -573,6 +681,98 @@ class ChaseTableau:
     def dirty_count(self) -> int:
         return len(self._dirty)
 
+    # -- bulk chase handoff ------------------------------------------------------
+
+    @property
+    def bulk_eligible(self) -> bool:
+        """Can the column-major bulk kernel chase this tableau?
+
+        Requires a *fresh* columnar tableau: no merges applied yet, no
+        retracted slots, and every row built through the per-column
+        symbol discipline (``add_padded`` / :meth:`bulk_ingest`) — the
+        kernel's delta propagation relies on every symbol class living
+        in exactly one column, which caller-supplied symbols
+        (``seed_row``, direct ``add_row``) can violate.
+        """
+        return (
+            self._merge_count == 0
+            and not self._retracted
+            and self._all_columnar
+        )
+
+    def install_bulk_chase(
+        self, merges: int, events: Optional[List[PyTuple]] = None
+    ) -> None:
+        """Account a finished bulk-kernel run into the tableau.
+
+        The kernel unions through the symbol table directly, so the
+        per-merge index maintenance of :meth:`merge` never ran; this
+        settles the books in one batch: the merge count (and with it
+        :attr:`version`) absorbs the kernel's unions, the occurrence
+        index is marked stale (rebuilt lazily by its next reader), any
+        pre-materialized value indexes are dropped for lazy
+        rematerialization, and the worklist is cleared — a bulk-chased
+        tableau is at fixpoint by construction.
+
+        ``events`` is the kernel's batch-recorded merge provenance
+        (same entry shape as the live log).  Indexing it here, after
+        the run, lands in the same state as logging during the run:
+        the row/union/lhs-class indexes key events by *current* roots,
+        and the taint walk only ever compares against current roots.
+        Omitting ``events`` while the log is enabled marks the log
+        incomplete, exactly like an unprovenanced live merge.
+        """
+        self._merge_count += merges
+        self._resolved_cache = None
+        self._occ_stale = True
+        self._attr_index.clear()
+        self._shared.clear()
+        self._dirty.clear()
+        if not self._log_enabled:
+            return
+        if events is None:
+            if merges:
+                self._log_gap = True
+            return
+        find = self.symbols.find
+        log = self._merge_log
+        by_row = self._events_by_row
+        by_root = self._events_by_root
+        by_union = self._events_by_union
+        rows = self._rows
+        eid = self._next_event_id
+        for entry in events:
+            row_a, row_b, _col, sym_a, _sym_b, lhs_cols, _fd = entry
+            log[eid] = entry
+            for r in (row_a, row_b):
+                lst = by_row.get(r)
+                if lst is None:
+                    by_row[r] = [eid]
+                else:
+                    lst.append(eid)
+            # identity lhs agreements are skipped for the same reason
+            # the live path skips them: a shared raw symbol owes
+            # nothing to any union and can never be broken
+            lhs_a = rows[row_a]
+            lhs_b = rows[row_b]
+            for c in lhs_cols:
+                if lhs_a[c] == lhs_b[c]:
+                    continue
+                root = find(lhs_a[c])
+                lst = by_root.get(root)
+                if lst is None:
+                    by_root[root] = [eid]
+                else:
+                    lst.append(eid)
+            root = find(sym_a)
+            lst = by_union.get(root)
+            if lst is None:
+                by_union[root] = [eid]
+            else:
+                lst.append(eid)
+            eid += 1
+        self._next_event_id = eid
+
     # -- merge log & retraction --------------------------------------------------
 
     def enable_merge_log(self) -> None:
@@ -582,11 +782,21 @@ class ChaseTableau:
         already happened leaves a permanent gap and the log stays
         incomplete.  :class:`~repro.chase.engine.IncrementalFDChaser`
         enables the log on construction, so every service tableau is
-        retractable from the start.
+        retractable from the start.  Re-enabling an already-enabled log
+        is a no-op (the bulk→incremental handoff constructs a driver
+        over a tableau whose log the bulk kernel already populated).
         """
-        if self._merge_count:
+        if self._merge_count and not self._log_enabled:
             self._log_gap = True
         self._log_enabled = True
+
+    @property
+    def merge_log_enabled(self) -> bool:
+        """Is merge provenance being recorded?  (The auto bulk routing
+        consults this: a kernel run over a log-enabled tableau must
+        batch-record events, or the log would gap and scoped retraction
+        would be lost.)"""
+        return self._log_enabled
 
     @property
     def merge_log_complete(self) -> bool:
@@ -623,6 +833,8 @@ class ChaseTableau:
         """
         if i in self._retracted:
             raise InstanceError(f"row {i} is already retracted")
+        if self._occ_stale:
+            self._rebuild_occ()
         resolve = self.symbols.resolve_value
         resolved_values = tuple(resolve(s) for s in self._rows[i])
         if not self.merge_log_complete:
@@ -705,6 +917,8 @@ class ChaseTableau:
         (:meth:`~repro.chase.engine.IncrementalFDChaser.rechase_scoped`)
         to re-derive the unions still justified by the surviving rows.
         """
+        if self._occ_stale:
+            self._rebuild_occ()
         if impact is None:
             impact = self.retraction_impact(i)
         if not impact.complete:
@@ -833,8 +1047,34 @@ class ChaseTableau:
     @property
     def version(self) -> PyTuple[int, int]:
         """``(rows, merges)`` — changes iff the tableau changed.  Used
-        as the key of every memoized derived structure."""
-        return (len(self._rows), self._merge_count)
+        as the key of every memoized derived structure.  Both
+        components carry the base installed by
+        :meth:`offset_version_base`, so a rebuilt tableau's stamps
+        continue strictly after its predecessor's.
+        """
+        base = self._version_base
+        return (len(self._rows) + base[0], self._merge_count + base[1])
+
+    def offset_version_base(self, floor: PyTuple[int, int]) -> None:
+        """Make every future :attr:`version` strictly greater than
+        ``floor`` (a predecessor tableau's last observed version).
+
+        Services rebuild their live tableau from scratch on
+        invalidation; without a carried base the fresh tableau's
+        ``(rows, merges)`` counters restart and can coincidentally
+        reproduce a stamp the superseded tableau already handed to a
+        version-keyed cache — which would let the cache serve a
+        pre-rebuild entry as current.  Call it before the tableau's
+        stamps are given out; only double installation is detected
+        (stamps issued pre-base stay below every post-base stamp, so a
+        late install keeps monotonicity but reshuffles history).
+        """
+        if self._version_base != (0, 0):
+            raise InstanceError("version base already installed")
+        # rows + floor[0] keeps the row component non-decreasing; the
+        # +1 on the merge component makes the very first stamp strictly
+        # greater than the floor even for an empty successor
+        self._version_base = (floor[0], floor[1] + 1)
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -941,6 +1181,8 @@ class ChaseTableau:
                 if r not in retracted:
                     return r
             return None
+        if self._occ_stale:
+            self._rebuild_occ()
         c0 = cols[0]
         find = self.symbols.find
         rows = self._rows
@@ -966,6 +1208,8 @@ class ChaseTableau:
         every surviving event must still be justified: both rows live,
         the union applied, and the left-hand-side agreement intact.
         """
+        if self._occ_stale:
+            self._rebuild_occ()
         find = self.symbols.find
         ncols = len(self._cols)
         expected_occ: Dict[int, Set[int]] = {}
@@ -1057,3 +1301,115 @@ class ChaseTableau:
         if live > max_rows:
             lines.append(f"… ({live} rows)")
         return "\n".join(lines)
+
+
+class BulkIngest:
+    """Column-major batch construction of a fresh :class:`ChaseTableau`.
+
+    ``add_padded`` only buffers values (one list per column);
+    :meth:`finish` materializes everything in per-column passes:
+    constants interned straight into the symbol table's per-column
+    intern map, padding variables allocated inline, and the row tuples
+    produced by one ``zip`` transpose.  None of ``add_row``'s per-cell
+    occurrence bookkeeping runs — the occurrence index is left stale
+    and rebuilt lazily by its first reader — which is what makes cold
+    tableau construction cheap enough for the bulk chase kernel's
+    from-scratch paths.
+
+    The result is observationally identical to the same sequence of
+    ``ChaseTableau.add_padded`` calls: same symbols (up to allocation
+    order), same interning (per column), same dirty worklist, same
+    origins.  Only usable on a pristine tableau, and only once.
+    """
+
+    __slots__ = ("_tableau", "_buffers", "_origins", "_plans", "_done")
+
+    def __init__(self, tableau: ChaseTableau):
+        if len(tableau) or tableau._merge_count:
+            raise InstanceError("bulk ingest requires a pristine tableau")
+        self._tableau = tableau
+        self._buffers: List[List[Any]] = [[] for _ in tableau._cols]
+        self._origins: List[RowOrigin] = []
+        # attrset -> ((column buffer, attr-or-None), ...): which buffer
+        # receives which attribute (None = pad with a fresh variable),
+        # computed once per distinct sub-scheme instead of per tuple
+        self._plans: Dict[AttributeSet, PyTuple] = {}
+        self._done = False
+
+    def __len__(self) -> int:
+        return len(self._origins)
+
+    def add_padded(self, attrset: AttributeSet, t: Tuple, origin: RowOrigin) -> int:
+        """Buffer one tuple over a sub-scheme; returns its future row
+        index.  The same ``origin`` instance may be (and for large
+        loads should be) shared across rows."""
+        plan = self._plans.get(attrset)
+        if plan is None:
+            plan = tuple(
+                (self._buffers[c], a if a in attrset else None)
+                for c, a in enumerate(self._tableau._cols)
+            )
+            self._plans[attrset] = plan
+        i = len(self._origins)
+        self._origins.append(origin)
+        for buf, a in plan:
+            buf.append(t.value(a) if a is not None else _ABSENT)
+        return i
+
+    def finish(self) -> ChaseTableau:
+        """Materialize the buffered rows into the tableau."""
+        if self._done:
+            raise InstanceError("bulk ingest already finished")
+        self._done = True
+        tab = self._tableau
+        if len(tab):
+            raise InstanceError(
+                "rows were added to the tableau behind the ingest's back"
+            )
+        symbols = tab.symbols
+        uf = symbols._uf
+        parent = uf._parent
+        size = uf._size
+        by_value = symbols._by_value
+        const = symbols._const
+        interned = symbols._interned
+        n = len(self._origins)
+        col_syms: List[List[int]] = []
+        for name, buf in zip(tab._cols, self._buffers):
+            out: List[int] = []
+            append = out.append
+            for v in buf:
+                if v is _ABSENT:
+                    s = len(parent)
+                    parent.append(s)
+                    size.append(1)
+                else:
+                    key = (name, v)
+                    try:
+                        s = by_value.get(key, _ABSENT)
+                    except TypeError:
+                        raise InstanceError(
+                            f"unhashable constant {v!r}"
+                        ) from None
+                    if s is _ABSENT:
+                        if is_null(v):
+                            raise InstanceError(
+                                "labelled nulls cannot enter a tableau as "
+                                "constants; use fresh variables instead"
+                            )
+                        s = len(parent)
+                        parent.append(s)
+                        size.append(1)
+                        by_value[key] = s
+                        const[s] = v
+                        interned[s] = v
+                append(s)
+            col_syms.append(out)
+        tab._rows = list(zip(*col_syms)) if n else []
+        tab._origins = self._origins
+        tab._derived_rows += sum(
+            1 for o in self._origins if o is None or o.kind != "state"
+        )
+        tab._dirty = dict.fromkeys(range(n))
+        tab._occ_stale = True
+        return tab

@@ -157,11 +157,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(report.summary(), file=sys.stderr)
             return 1
         service = ShardedWeakInstanceService(
-            scenario.schema, scenario.fds, report=report
+            scenario.schema, scenario.fds, report=report,
+            bulk_loads=args.bulk_load,
         )
     else:
         service = WeakInstanceService(
-            scenario.schema, scenario.fds, method=args.method
+            scenario.schema, scenario.fds, method=args.method,
+            bulk_loads=args.bulk_load,
         )
     if scenario.state is not None:
         service.load(scenario.state)
@@ -255,6 +257,14 @@ def build_parser() -> argparse.ArgumentParser:
         "up front with a counterexample report); 'chase' keeps one "
         "global incrementally-chased tableau and works for any schema "
         "(default)",
+    )
+    p.add_argument(
+        "--bulk-load",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="route cold loads and rebuilds through the column-major "
+        "bulk chase kernel (default: on; --no-bulk-load pins the "
+        "row-at-a-time path)",
     )
     p.set_defaults(func=_cmd_serve)
 

@@ -15,9 +15,13 @@ indexes.
   an analysis whose many attribute closures now run through the shared
   :class:`repro.deps.closure.ClosureIndex`).
 * ``method="chase"`` — the safe general fallback: re-run the weak
-  instance test on the whole modified state via the incremental engine
-  of :mod:`repro.chase.engine` (cost still grows with state size; this
-  is the baseline the evaluation compares against).
+  instance test on the whole modified state (cost still grows with
+  state size; this is the baseline the evaluation compares against).
+  Each re-chase is a from-scratch chase of a fresh tableau, so batch
+  validation rides the column-major bulk kernel
+  (:mod:`repro.chase.bulk`) automatically above its size cutoff —
+  ``satisfies`` builds the tableau columnar and ``chase_fds`` routes
+  it set-at-a-time.
 
 Deletions never invalidate satisfaction (any weak instance for ``p``
 is one for ``p`` minus a tuple), so only insertions are checked.

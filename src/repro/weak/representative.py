@@ -13,10 +13,12 @@ so every query here is polynomial.
 
 The functions below are one-shot: each call builds a throwaway
 :class:`~repro.weak.service.WeakInstanceService` over the state, which
-chases ``I(p)`` exactly once — the same cost as the direct chase they
-used to run.  To answer *many* queries against an evolving state, hold
-on to a service instead of re-calling these (that is precisely the
-rebuild-per-query baseline the service's benchmark beats).
+chases ``I(p)`` exactly once — through the column-major bulk kernel
+(:mod:`repro.chase.bulk`) whenever the state is big enough, like every
+other from-scratch chase.  To answer *many* queries against an
+evolving state, hold on to a service instead of re-calling these (that
+is precisely the rebuild-per-query baseline the service's benchmark
+beats).
 """
 
 from __future__ import annotations

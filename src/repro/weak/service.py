@@ -42,6 +42,16 @@ keeps the chased representative instance **live** across updates:
   dissolved class's columns and the retracted row's projection is
   either non-total on it or still produced by a surviving row.
 
+* **Cold loads and rebuilds** go through the column-major **bulk
+  chase kernel** (:mod:`repro.chase.bulk`) by default
+  (``bulk_loads=True``): the tableau is built by per-column batch
+  ingest and chased set-at-a-time, with the merge log batch-recorded
+  when scoped deletes want one, then handed to the incremental driver
+  with its per-FD partitions pre-seeded.  Every from-scratch path —
+  first query, delete fallback, compaction, a poisoned tableau's
+  recovery — pays the kernel price instead of the row-at-a-time
+  seeding pass (``stats.bulk_loads`` counts them).
+
 All of that tableau lifecycle — build, incremental drive, scoped
 retraction, window caching — lives in :class:`LiveTableau`, the seam
 between "the backing state changed" and "serve a window".
@@ -132,6 +142,11 @@ class ServiceStats:
     #: invalidations triggered because retracted row slots outgrew the
     #: live rows (the next query rebuilds a compact tableau)
     compaction_rebuilds: int = 0
+    #: from-scratch tableau builds that went through the column-major
+    #: bulk chase kernel — explicit ``load()`` calls as well as the
+    #: lazy rebuilds counted by ``rebuilds``, so the two counters are
+    #: not subsets of each other
+    bulk_loads: int = 0
 
     @property
     def window_cache_misses(self) -> int:
@@ -191,6 +206,7 @@ class LiveTableau:
         scoped_deletes: bool = True,
         delete_rebuild_fraction: float = DEFAULT_DELETE_REBUILD_FRACTION,
         window_cache_limit: int = DEFAULT_WINDOW_CACHE_LIMIT,
+        bulk_loads: bool = True,
     ):
         self.schema = schema
         self._fd_tuple: PyTuple[FD, ...] = tuple(fds)
@@ -199,6 +215,7 @@ class LiveTableau:
         self.scoped_deletes = scoped_deletes
         self.delete_rebuild_fraction = delete_rebuild_fraction
         self.window_cache_limit = window_cache_limit
+        self.bulk_loads = bulk_loads
         self._tableau: Optional[ChaseTableau] = None
         self._chaser: Optional[IncrementalFDChaser] = None
         #: the last adopted driver's *static* per-FD column metadata,
@@ -206,6 +223,11 @@ class LiveTableau:
         #: deliberately not the driver itself, which would pin the
         #: whole superseded tableau in memory
         self._chaser_template = None
+        #: the last version stamp any superseded tableau handed out —
+        #: the floor carried into the next rebuild's tableau so stamps
+        #: stay monotone across rebuilds (a version-keyed cache can
+        #: never mistake a fresh tableau's entry for a stale one)
+        self._last_version: Optional[PyTuple[int, int]] = None
         self._stale = True
         # (scheme name, tuple) -> live tableau row, so a delete can
         # name the row to retract; rebuilt with the tableau
@@ -245,18 +267,80 @@ class LiveTableau:
         Duplicate tuples within a relation collapse to one row (set
         semantics, like the checker), so retracting the locator's row
         really removes the tuple's entire contribution.
+
+        With ``bulk_loads`` the rows go through the tableau's
+        column-major ingest (the layout the bulk kernel wants); either
+        way the fresh tableau's version stamps are floored above every
+        stamp a superseded predecessor handed out.
         """
         tableau = ChaseTableau(self.schema.universe)
+        floor = (
+            self._tableau.version if self._tableau is not None
+            else self._last_version
+        )
+        if floor is not None:
+            tableau.offset_version_base(floor)
         row_of: Dict[PyTuple[str, object], int] = {}
-        for scheme, relation in state:
-            for t in relation:
-                key = (scheme.name, t)
-                if key in row_of:
-                    continue
-                row_of[key] = tableau.add_padded(
-                    scheme.attributes, t, RowOrigin("state", scheme.name)
-                )
+        if self.bulk_loads:
+            ingest = tableau.bulk_ingest()
+            for scheme, relation in state:
+                origin = RowOrigin("state", scheme.name)
+                attrs = scheme.attributes
+                name = scheme.name
+                for t in relation:
+                    key = (name, t)
+                    if key in row_of:
+                        continue
+                    row_of[key] = ingest.add_padded(attrs, t, origin)
+            ingest.finish()
+        else:
+            for scheme, relation in state:
+                for t in relation:
+                    key = (scheme.name, t)
+                    if key in row_of:
+                        continue
+                    row_of[key] = tableau.add_padded(
+                        scheme.attributes, t, RowOrigin("state", scheme.name)
+                    )
         return tableau, row_of
+
+    def chase_fresh(
+        self, tableau: ChaseTableau
+    ) -> PyTuple[Optional[IncrementalFDChaser], ChaseResult]:
+        """Chase a freshly built candidate tableau to fixpoint and wrap
+        it in an incremental driver.
+
+        Eligible tableaux run the column-major bulk kernel (merge log
+        batch-recorded iff scoped deletes want one) and the driver is
+        seeded from the kernel's partitions — the cold-load fast path;
+        everything else seeds the driver the row-at-a-time way.  On a
+        contradiction the driver is withheld (``None``): the candidate
+        is poisoned and must be discarded.
+        """
+        if self.bulk_loads:
+            from repro.chase.bulk import BulkFDChaser, bulk_eligible
+
+            if bulk_eligible(tableau):
+                kernel = BulkFDChaser(
+                    tableau, self._fd_tuple, log_merges=self.scoped_deletes
+                )
+                result = kernel.run()
+                if not result.consistent:
+                    return None, result
+                chaser = IncrementalFDChaser(
+                    tableau,
+                    self._fd_tuple,
+                    log_merges=self.scoped_deletes,
+                    _template=self._chaser_template,
+                    _handoff=kernel,
+                )
+                self.stats.bulk_loads += 1
+                return chaser, result
+        chaser = self.new_chaser(tableau)
+        result = chaser.run()
+        if not result.consistent:
+            return None, result
+        return chaser, result
 
     def adopt(
         self,
@@ -275,6 +359,10 @@ class LiveTableau:
         self._cache_version = tableau.version
 
     def invalidate(self) -> None:
+        if self._tableau is not None:
+            # remember the dying tableau's last stamp so the successor
+            # can floor its own stamps above it
+            self._last_version = self._tableau.version
         self._tableau = None
         self._chaser = None
         self._row_of = {}
@@ -284,13 +372,13 @@ class LiveTableau:
 
     def ensure(self) -> ChaseTableau:
         """The chased live tableau, rebuilding from ``state_source``
-        when an update invalidated it."""
+        when an update invalidated it (through the bulk kernel when
+        eligible — see :meth:`chase_fresh`)."""
         if not self._stale and self._tableau is not None:
             return self._tableau
         tableau, row_of = self.tableau_from(self._state_source())
-        chaser = self.new_chaser(tableau)
-        result = chaser.run()
-        if not result.consistent:
+        chaser, result = self.chase_fresh(tableau)
+        if chaser is None:
             # unreachable through the public APIs (the owners validate
             # every mutation), but the poisoned-state contract matters:
             # a state source that hands back a violating state must
@@ -518,6 +606,7 @@ class WeakInstanceService(WindowQueryAPI):
         scoped_deletes: bool = True,
         delete_rebuild_fraction: float = DEFAULT_DELETE_REBUILD_FRACTION,
         window_cache_limit: int = DEFAULT_WINDOW_CACHE_LIMIT,
+        bulk_loads: bool = True,
     ):
         self.schema = schema
         self.fds = as_fdset(fds)
@@ -531,6 +620,7 @@ class WeakInstanceService(WindowQueryAPI):
             scoped_deletes=scoped_deletes,
             delete_rebuild_fraction=delete_rebuild_fraction,
             window_cache_limit=window_cache_limit,
+            bulk_loads=bulk_loads,
         )
 
     @classmethod
@@ -580,6 +670,14 @@ class WeakInstanceService(WindowQueryAPI):
     def window_cache_limit(self, value: int) -> None:
         self._live.window_cache_limit = value
 
+    @property
+    def bulk_loads(self) -> bool:
+        return self._live.bulk_loads
+
+    @bulk_loads.setter
+    def bulk_loads(self, value: bool) -> None:
+        self._live.bulk_loads = value
+
     # -- compatibility views into the live-tableau seam --------------------------
 
     @property
@@ -605,7 +703,10 @@ class WeakInstanceService(WindowQueryAPI):
         With ``method="chase"`` the validating chase *is* the next live
         tableau, so loading costs exactly one chase of the combined
         state — on an empty service, the same as one from-scratch
-        query.  Loading onto a non-empty service validates the
+        query.  The chase itself runs on the column-major bulk kernel
+        whenever eligible (``bulk_loads``, on by default), with the
+        merge log batch-recorded so scoped deletes work on the loaded
+        state.  Loading onto a non-empty service validates the
         *combination* of the stored and incoming tuples, through the
         same FD-only chase as every other entry point.
         """
@@ -625,9 +726,8 @@ class WeakInstanceService(WindowQueryAPI):
                     row_of[key] = tableau.add_padded(
                         scheme.attributes, t, RowOrigin("state", scheme.name)
                     )
-        chaser = self._live.new_chaser(tableau)
-        result = chaser.run()
-        if not result.consistent:
+        chaser, result = self._live.chase_fresh(tableau)
+        if chaser is None:
             # the candidate tableau is discarded; the previous live
             # tableau (if any) and the checker are untouched
             raise InconsistentStateError(

@@ -33,7 +33,11 @@ architecture:
   provenance-scoped) — one batched fixpoint per sync instead of one
   per insert.  Because every shard validated its own updates,
   Theorem 3 guarantees the composed state is satisfying: the composer
-  never validates, it only derives.
+  never validates, it only derives.  When a journal overflows (or the
+  composer was never built), the resync is a from-scratch rebuild of
+  the union state — which runs on the column-major bulk chase kernel
+  (:mod:`repro.chase.bulk`, ``bulk_loads=True`` by default), so even
+  the worst-case resync pays the set-at-a-time price.
 
 Non-independent schemas are rejected at construction with the
 analysis report (Lemma 3 / Theorem 4 counterexample) attached — use
@@ -147,6 +151,7 @@ class _SchemeShard:
         scoped_deletes: bool,
         delete_rebuild_fraction: float,
         window_cache_limit: int,
+        bulk_loads: bool,
     ):
         self.scheme = scheme
         self.name = scheme.name
@@ -163,6 +168,7 @@ class _SchemeShard:
             scoped_deletes=scoped_deletes,
             delete_rebuild_fraction=delete_rebuild_fraction,
             window_cache_limit=window_cache_limit,
+            bulk_loads=bulk_loads,
         )
         self.version = 0
         self._journal: List[PyTuple[str, Tuple]] = []
@@ -296,6 +302,7 @@ class ShardedWeakInstanceService(WindowQueryAPI):
         scoped_deletes: bool = True,
         delete_rebuild_fraction: float = DEFAULT_DELETE_REBUILD_FRACTION,
         window_cache_limit: int = DEFAULT_WINDOW_CACHE_LIMIT,
+        bulk_loads: bool = True,
     ):
         self.schema = schema
         self.fds = as_fdset(fds)
@@ -324,6 +331,7 @@ class ShardedWeakInstanceService(WindowQueryAPI):
                 scoped_deletes,
                 delete_rebuild_fraction,
                 window_cache_limit,
+                bulk_loads,
             )
         self._composer = LiveTableau(
             schema,
@@ -333,6 +341,7 @@ class ShardedWeakInstanceService(WindowQueryAPI):
             scoped_deletes=scoped_deletes,
             delete_rebuild_fraction=delete_rebuild_fraction,
             window_cache_limit=window_cache_limit,
+            bulk_loads=bulk_loads,
         )
         #: cl_F(Ri) per scheme — the planner's reachability bound
         self._closures: Dict[str, AttributeSet] = {
@@ -385,6 +394,16 @@ class ShardedWeakInstanceService(WindowQueryAPI):
         for shard in self._shards.values():
             shard.live.delete_rebuild_fraction = value
         self._composer.delete_rebuild_fraction = value
+
+    @property
+    def bulk_loads(self) -> bool:
+        return self._composer.bulk_loads
+
+    @bulk_loads.setter
+    def bulk_loads(self, value: bool) -> None:
+        for shard in self._shards.values():
+            shard.live.bulk_loads = value
+        self._composer.bulk_loads = value
 
     @property
     def window_cache_limit(self) -> int:

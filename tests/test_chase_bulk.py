@@ -1,0 +1,366 @@
+"""The column-major bulk chase kernel against both other engines.
+
+The bulk kernel (:mod:`repro.chase.bulk`) must be observably identical
+to the incremental engine and to the naive seed reference: same
+verdicts, same merge counts, the same tableaux up to renaming of
+variables — and, crucially, a bulk-chased tableau must be a **drop-in
+substrate for the incremental engine**: appends chase incrementally
+through the handoff-seeded buckets, the batch-recorded merge log is
+complete, and provenance-scoped retraction behaves exactly as if every
+merge had been logged live.  The three-way randomized oracle here pins
+all of it.
+"""
+
+import random
+
+import pytest
+
+from repro.chase.bulk import BULK_MIN_ROWS, BulkFDChaser, chase_fds_bulk
+from repro.chase.engine import IncrementalFDChaser, chase_fds
+from repro.chase.reference import chase_fds_naive
+from repro.chase.tableau import ChaseTableau, RowOrigin
+from repro.data.states import DatabaseState
+from repro.data.values import is_null
+from repro.deps.fdset import FDSet
+from repro.exceptions import InstanceError
+from repro.workloads.paper import ALL_EXAMPLES
+from repro.workloads.schemas import random_schema
+from repro.workloads.states import (
+    cascade_chain_workload,
+    random_satisfying_state,
+)
+
+
+def canonical_rows(tab: ChaseTableau):
+    """Rows with constants spelled out and variables renamed by first
+    occurrence — engine- and build-order-independent equality."""
+    find = tab.symbols.find
+    labels = {}
+    out = []
+    for i in range(len(tab)):
+        if tab.is_retracted(i):
+            out.append(None)
+            continue
+        row = []
+        for s in tab.raw_row(i):
+            v = tab.symbols.resolve_value(s)
+            if is_null(v):
+                row.append(("var", labels.setdefault(find(s), len(labels))))
+            else:
+                row.append(("const", v))
+        out.append(tuple(row))
+    return out
+
+
+def three_way(state, fds):
+    """Chase the state on all three engines; returns the three
+    (result, tableau) pairs as (bulk, incremental, naive)."""
+    tab_b = ChaseTableau.from_state(state)
+    bulk = chase_fds_bulk(tab_b, tuple(fds))
+    tab_i = ChaseTableau.from_state(state, columnar=False)
+    incremental = chase_fds(tab_i, fds, bulk=False)
+    tab_n = ChaseTableau.from_state(state, columnar=False)
+    naive = chase_fds_naive(tab_n, fds)
+    return (bulk, tab_b), (incremental, tab_i), (naive, tab_n)
+
+
+def assert_three_way_equivalent(state, fds):
+    (bulk, tab_b), (incremental, tab_i), (naive, tab_n) = three_way(state, fds)
+    assert bulk.consistent == incremental.consistent == naive.consistent
+    if bulk.consistent:
+        assert bulk.fd_merges == incremental.fd_merges == naive.fd_merges
+        assert canonical_rows(tab_b) == canonical_rows(tab_i) == canonical_rows(tab_n)
+        tab_b.check_index_invariants()
+    return (bulk, tab_b), (incremental, tab_i), (naive, tab_n)
+
+
+class TestPaperExamples:
+    @pytest.mark.parametrize("make", ALL_EXAMPLES, ids=lambda m: m().name)
+    def test_bulk_matches_both_engines(self, make):
+        ex = make()
+        if ex.state is None:
+            pytest.skip("example has no state")
+        assert_three_way_equivalent(ex.state, ex.fds)
+
+
+class TestRandomizedOracle:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_satisfying_states(self, seed):
+        schema, F = random_schema(
+            seed, n_attrs=6, n_schemes=3, n_fds=4, embedded_only=True
+        )
+        state = random_satisfying_state(schema, F, 12, seed=seed)
+        (bulk, _), _, _ = assert_three_way_equivalent(state, F)
+        assert bulk.consistent
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_arbitrary_states(self, seed):
+        """Unconstrained random states: many are inconsistent, so the
+        kernel's contradiction path runs against both references.
+        ``embedded_only=False`` also produces multi-attribute
+        left-hand sides, exercising the kernel's tuple-key path."""
+        schema, F = random_schema(
+            seed, n_attrs=5, n_schemes=3, n_fds=4, embedded_only=False
+        )
+        rng = random.Random(seed)
+        relations = {
+            s.name: [
+                tuple(rng.randrange(3) for _ in s.attributes) for _ in range(4)
+            ]
+            for s in schema
+        }
+        state = DatabaseState(schema, relations)
+        assert_three_way_equivalent(state, F)
+
+    def test_cascade_equivalence(self):
+        schema, F, state = cascade_chain_workload(8, 12)
+        (bulk, _), _, _ = assert_three_way_equivalent(state, F)
+        assert bulk.fd_merges > 0
+
+
+class TestContradictions:
+    def _violating_state(self):
+        """Two rows violating ``A → B`` outright — the contradiction
+        fires on the very first FD application."""
+        from repro.schema.database import DatabaseSchema
+        from repro.schema.relation import RelationScheme
+
+        schema = DatabaseSchema([RelationScheme("R", ("A", "B"))])
+        F = FDSet.parse("A -> B")
+        state = DatabaseState(schema, {"R": [(1, 2), (1, 3)]})
+        return schema, F, state
+
+    def _violating_state_after_merges(self):
+        """A violation the kernel only reaches after a real variable
+        merge (``R1``'s padding C grounds to 7 before row 3's 8
+        collides) — exercises the poisoned-midway path."""
+        from repro.schema.database import DatabaseSchema
+        from repro.schema.relation import RelationScheme
+
+        schema = DatabaseSchema(
+            [RelationScheme("R1", ("A", "B")), RelationScheme("R2", ("B", "C"))]
+        )
+        F = FDSet.parse("B -> C")
+        state = DatabaseState(schema, {"R1": [(1, 2)], "R2": [(2, 7), (2, 8)]})
+        return schema, F, state
+
+    def test_contradiction_reported_and_latched(self):
+        _, F, state = self._violating_state()
+        tab = ChaseTableau.from_state(state)
+        kernel = BulkFDChaser(tab, tuple(F))
+        result = kernel.run()
+        assert not result.consistent
+        assert result.contradiction is not None
+        assert result.contradiction.attribute == "B"
+        assert sorted(result.contradiction.values) == [2, 3]
+        # the kernel is one-shot: it cannot be re-run on the tableau
+        with pytest.raises(InstanceError):
+            kernel.run()
+
+    def test_partial_merges_poison_eligibility(self):
+        _, F, state = self._violating_state_after_merges()
+        tab = ChaseTableau.from_state(state)
+        result = chase_fds_bulk(tab, tuple(F))
+        assert not result.consistent
+        assert result.contradiction.attribute == "C"
+        assert sorted(result.contradiction.values) == [7, 8]
+        assert result.fd_merges > 0  # a union landed before the clash
+        # the partially merged tableau is no longer bulk-eligible
+        assert not tab.bulk_eligible
+
+    def test_contradiction_matches_reference_verdicts(self):
+        for _, F, state in (
+            self._violating_state(),
+            self._violating_state_after_merges(),
+        ):
+            assert_three_way_equivalent(state, F)
+
+    def test_record_steps_carries_the_chain(self):
+        _, F, state = self._violating_state()
+        tab = ChaseTableau.from_state(state)
+        result = chase_fds_bulk(tab, tuple(F), record_steps=True)
+        assert not result.consistent
+        assert result.steps  # the contradicting application is recorded
+        assert result.steps[-1].attribute == "B"
+
+
+class TestEligibilityAndRouting:
+    def test_seed_rows_are_not_eligible(self):
+        tab = ChaseTableau("A B C")
+        sym = tab.symbols
+        tab.seed_row({"A": sym.fresh_variable()}, RowOrigin("seed"))
+        assert not tab.bulk_eligible
+        with pytest.raises(InstanceError):
+            chase_fds_bulk(tab, tuple(FDSet.parse("A -> B")))
+
+    def test_merged_tableaux_are_not_eligible(self):
+        schema, F, state = cascade_chain_workload(3, 3)
+        tab = ChaseTableau.from_state(state)
+        assert tab.bulk_eligible
+        chase_fds(tab, F, bulk=False)
+        assert not tab.bulk_eligible
+
+    def test_auto_routing_matches_forced_paths(self):
+        """chase_fds auto-routes big fresh tableaux through the kernel;
+        the answer must be identical either way."""
+        n_chains = max(4, BULK_MIN_ROWS // 4 + 1)
+        schema, F, state = cascade_chain_workload(5, n_chains)
+        tab_auto = ChaseTableau.from_state(state)
+        assert len(tab_auto) >= BULK_MIN_ROWS
+        auto = chase_fds(tab_auto, F)
+        tab_row = ChaseTableau.from_state(state, columnar=False)
+        row = chase_fds(tab_row, F, bulk=False)
+        assert auto.consistent and row.consistent
+        assert auto.fd_merges == row.fd_merges
+        assert canonical_rows(tab_auto) == canonical_rows(tab_row)
+
+    def test_auto_routing_preserves_a_caller_enabled_merge_log(self):
+        """A caller that enabled the merge log before chase_fds expects
+        every merge provenanced; the auto bulk route must batch-record
+        on its behalf instead of gapping the log."""
+        n_chains = max(4, BULK_MIN_ROWS // 4 + 1)
+        schema, F, state = cascade_chain_workload(5, n_chains)
+        tab = ChaseTableau.from_state(state)
+        tab.enable_merge_log()
+        result = chase_fds(tab, F)  # auto-routes to the kernel
+        assert result.consistent and result.fd_merges > 0
+        assert tab.merge_log_complete
+        assert len(tab.merge_log()) == result.fd_merges
+        tab.check_index_invariants()
+
+    def test_small_tableaux_stay_on_the_row_path_by_default(self):
+        schema, F, state = cascade_chain_workload(3, 3)
+        tab = ChaseTableau.from_state(state)
+        assert len(tab) < BULK_MIN_ROWS
+        # forcing works on any size; auto would have gone row-at-a-time
+        result = chase_fds(tab, F, bulk=True)
+        tab2 = ChaseTableau.from_state(state)
+        result2 = chase_fds(tab2, F, bulk=False)
+        assert result.fd_merges == result2.fd_merges
+        assert canonical_rows(tab) == canonical_rows(tab2)
+
+
+class TestIncrementalHandoff:
+    """A bulk-chased tableau must serve as the incremental engine's
+    substrate: appends, merge log, and scoped retraction."""
+
+    def _chased_pair(self, seed, n_tuples=14, log=True):
+        schema, F = random_schema(
+            seed, n_attrs=6, n_schemes=3, n_fds=4, embedded_only=True
+        )
+        state = random_satisfying_state(schema, F, n_tuples, seed=seed)
+        fds = tuple(F)
+        tab = ChaseTableau.from_state(state)
+        kernel = BulkFDChaser(tab, fds, log_merges=log)
+        result = kernel.run()
+        assert result.consistent
+        chaser = IncrementalFDChaser(
+            tab, fds, log_merges=log, _handoff=kernel
+        )
+        return schema, F, fds, state, tab, chaser
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_merge_log_complete_after_bulk(self, seed):
+        _, _, _, _, tab, _ = self._chased_pair(seed)
+        assert tab.merge_log_complete
+        tab.check_index_invariants()
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_appends_after_bulk_match_scratch(self, seed):
+        """Rows appended after a bulk load chase through the seeded
+        buckets; the result must equal chasing everything from
+        scratch."""
+        schema, F, fds, state, tab, chaser = self._chased_pair(seed)
+        extra = random_satisfying_state(schema, F, 6, seed=seed + 1000)
+        combined_relations = {
+            s.name: list(state[s.name].tuples) + list(extra[s.name].tuples)
+            for s in schema
+        }
+        for scheme, relation in extra:
+            for t in relation:
+                tab.add_padded(
+                    scheme.attributes, t, RowOrigin("state", scheme.name)
+                )
+        result = chaser.run()
+        scratch_state = DatabaseState(schema, combined_relations)
+        tab_scratch = ChaseTableau.from_state(scratch_state, columnar=False)
+        scratch = chase_fds(tab_scratch, F, bulk=False)
+        assert result.consistent == scratch.consistent
+        if result.consistent:
+            for s in schema:
+                assert frozenset(
+                    tab.total_projection(s.attributes).tuples
+                ) == frozenset(tab_scratch.total_projection(s.attributes).tuples)
+            tab.check_index_invariants()
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_retraction_after_bulk_matches_scratch(self, seed):
+        """Scoped deletes on bulk-loaded state: retract rows one at a
+        time and compare every projection against a from-scratch chase
+        of the reduced state."""
+        schema, F, fds, state, tab, chaser = self._chased_pair(seed)
+        remaining = {s.name: list(state[s.name].tuples) for s in schema}
+        rng = random.Random(seed)
+        # retract up to three stored rows (tableau row order = load order)
+        order = []
+        i = 0
+        for scheme, relation in state:
+            for t in relation:
+                order.append((scheme.name, t, i))
+                i += 1
+        rng.shuffle(order)
+        for name, t, row in order[:3]:
+            impact = tab.retraction_impact(row)
+            assert impact.complete, "bulk-recorded log must scope retraction"
+            result = chaser.rechase_scoped(row, impact)
+            assert result.consistent
+            remaining[name].remove(t)
+            reduced = DatabaseState(schema, remaining)
+            tab_scratch = ChaseTableau.from_state(reduced, columnar=False)
+            assert chase_fds(tab_scratch, F, bulk=False).consistent
+            for s in schema:
+                assert frozenset(
+                    tab.total_projection(s.attributes).tuples
+                ) == frozenset(
+                    tab_scratch.total_projection(s.attributes).tuples
+                ), f"projection diverged after retracting {t} from {name}"
+            tab.check_index_invariants()
+
+    def test_handoff_validates_identity(self):
+        schema, F, fds, state, tab, _ = self._chased_pair(0)
+        other = ChaseTableau.from_state(state)
+        kernel = BulkFDChaser(other, fds)
+        kernel.run()
+        with pytest.raises(ValueError):
+            IncrementalFDChaser(tab, fds, _handoff=kernel)
+        kernel2 = BulkFDChaser(ChaseTableau.from_state(state), fds)
+        kernel2.run()
+        with pytest.raises(ValueError):
+            IncrementalFDChaser(kernel2.tableau, fds[:-1], _handoff=kernel2)
+
+
+class TestBulkIngest:
+    def test_ingest_equals_row_at_a_time_build(self):
+        schema, F, state = cascade_chain_workload(4, 6)
+        tab_c = ChaseTableau.from_state(state)
+        tab_r = ChaseTableau.from_state(state, columnar=False)
+        assert len(tab_c) == len(tab_r)
+        assert canonical_rows(tab_c) == canonical_rows(tab_r)
+        assert [tab_c.origin(i).scheme for i in range(len(tab_c))] == [
+            tab_r.origin(i).scheme for i in range(len(tab_r))
+        ]
+        assert tab_c.bulk_eligible and tab_r.bulk_eligible
+        # the deferred occurrence index rebuilds to exactly the eager one
+        tab_c.check_index_invariants()
+
+    def test_ingest_requires_pristine_tableau_and_is_one_shot(self):
+        tab = ChaseTableau("A B")
+        sym = tab.symbols
+        tab.add_row((sym.constant(1), sym.fresh_variable()), RowOrigin("seed"))
+        with pytest.raises(InstanceError):
+            tab.bulk_ingest()
+        tab2 = ChaseTableau("A B")
+        ingest = tab2.bulk_ingest()
+        ingest.finish()
+        with pytest.raises(InstanceError):
+            ingest.finish()

@@ -597,3 +597,69 @@ class TestEnsureLiveContract:
         with pytest.raises(InconsistentStateError) as exc:
             service.window("C T")
         assert "stopped satisfying" in str(exc.value)
+
+
+class TestVersionStampsAcrossRebuilds:
+    """A rebuild constructs a fresh ``ChaseTableau`` whose counters
+    restart; the carried version base must keep the stamps monotone so
+    no version-keyed cache can ever mistake a post-rebuild tableau for
+    the one it replaced."""
+
+    def _service(self):
+        schema, F = chain_schema(4)
+        state = random_satisfying_state(schema, F, 25, seed=7)
+        return WeakInstanceService.from_state(state, F), schema, F
+
+    def test_rebuild_version_strictly_increases(self):
+        service, schema, _ = self._service()
+        tab1 = service.representative()
+        v1 = tab1.version
+        service._stale = True  # invalidate; next query rebuilds
+        tab2 = service.representative()
+        assert tab2 is not tab1
+        assert tab2.version > v1, (
+            "a rebuilt tableau must never reuse or precede a stamp the "
+            "superseded tableau handed out"
+        )
+        # and across a second rebuild, still monotone
+        v2 = tab2.version
+        service._stale = True
+        assert service.representative().version > v2
+
+    def test_rebuilt_tableau_birth_stamp_clears_the_old_one(self):
+        """Even at birth (before any merge) the successor's stamp is
+        strictly greater — the coincidence window the base closes is a
+        fresh tableau reproducing ``(rows, merges)`` of the stamp a
+        cache recorded pre-rebuild."""
+        service, schema, F = self._service()
+        live = service._live
+        tab1 = service.representative()
+        v1 = tab1.version
+        live.invalidate()
+        tab2, _ = live.tableau_from(service.checker.state())
+        assert tab2.version > v1
+
+    def test_post_rebuild_cache_never_serves_stale_entry(self):
+        """End to end: cache a window, rebuild behind the service's
+        back with *different* facts (same shape, so the raw counters
+        collide), and ask again — the answer must be the new state's."""
+        schema, F = chain_schema(3)
+        state_a = random_satisfying_state(schema, F, 20, seed=11)
+        service = WeakInstanceService.from_state(state_a, F)
+        target = schema.schemes[0].attributes.names
+        before = service.window(target)
+        assert service._window_cache  # the entry is cached
+        # swap the backing state wholesale (same tuple count, different
+        # values), then invalidate: the rebuild produces a tableau of
+        # identical shape whose raw counters would collide with v1
+        state_b = random_satisfying_state(schema, F, 20, seed=12)
+        from repro.core.maintenance import MaintenanceChecker
+
+        checker = MaintenanceChecker(schema, F, method="chase")
+        checker.load(state_b, assume_valid=True)
+        service.checker = checker
+        service._stale = True
+        after = service.window(target)
+        assert after == scratch_window(state_b, F, target)
+        if frozenset(before.tuples) != frozenset(after.tuples):
+            assert before != after
