@@ -11,11 +11,12 @@ export PYTHONPATH
 # Makefile benefits from parallel make, so pin the whole file serial.
 .NOTPARALLEL:
 
-.PHONY: help test bench bench-all bench-chase-bulk-tiny bench-weak bench-weak-tiny bench-weak-deletes bench-weak-deletes-tiny bench-weak-local bench-weak-local-tiny profile-chase docs clean
+.PHONY: help test test-fault bench bench-all bench-chase-bulk-tiny bench-weak bench-weak-tiny bench-weak-deletes bench-weak-deletes-tiny bench-weak-local bench-weak-local-tiny bench-serve bench-serve-tiny profile-chase docs clean
 
 help:
 	@echo "targets:"
 	@echo "  test                    - tier-1 test suite (pytest -x -q over tests/)"
+	@echo "  test-fault              - durability suite: WAL/snapshot units, crash-point recovery matrix, server concurrency (includes slow stress tests)"
 	@echo "  bench                   - all benchmarks; regenerates BENCH_chase.json, BENCH_weak.json and benchmarks/results.txt"
 	@echo "  bench-all               - every bench suite, strictly one after another (single recipe, immune to -j)"
 	@echo "  bench-chase-bulk-tiny   - bulk-kernel vs indexed engine at smoke scale (CI gate: >=2x)"
@@ -25,12 +26,21 @@ help:
 	@echo "  bench-weak-deletes-tiny - the delete benchmark at smoke scale (CI: equivalence only, no artifact)"
 	@echo "  bench-weak-local        - sharded local path vs global chase-method service; regenerates BENCH_weak.json"
 	@echo "  bench-weak-local-tiny   - the sharded benchmark at smoke scale (CI: equivalence only, no artifact)"
+	@echo "  bench-serve             - durable concurrent serving: worker-scaling throughput + 100k-row crash recovery; regenerates BENCH_serve.json"
+	@echo "  bench-serve-tiny        - the serving benchmark at smoke scale (CI: equivalence only, no artifact)"
 	@echo "  profile-chase           - cProfile top-20 of the bulk kernel and indexed engine on the cascade workload (local tooling, no artifact)"
 	@echo "  docs                    - render the API reference with pydoc into docs/api/"
 	@echo "  clean                   - remove caches and generated docs"
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The full durability story in one target: WAL/snapshot unit tests,
+# the kill-and-recover matrix over every injected crash point, and the
+# multi-writer server suite — slow stress tests included (the tier-1
+# run skips nothing either; this target just scopes the fault files).
+test-fault:
+	$(PYTHON) -m pytest tests/test_durable.py tests/test_durable_recovery.py tests/test_server_concurrency.py -q
 
 # bench_* files are not collected by the default pytest run, so name them.
 bench:
@@ -87,6 +97,12 @@ bench-weak-local:
 bench-weak-local-tiny:
 	REPRO_BENCH_WEAK_LOCAL_TINY=1 $(PYTHON) -m pytest benchmarks/bench_weak_local.py -q
 
+bench-serve:
+	$(PYTHON) -m pytest benchmarks/bench_serve.py -q
+
+bench-serve-tiny:
+	REPRO_BENCH_SERVE_TINY=1 $(PYTHON) -m pytest benchmarks/bench_serve.py -q
+
 docs:
 	rm -rf docs/api
 	mkdir -p docs/api
@@ -97,7 +113,8 @@ docs:
 		repro.chase.satisfaction repro.core repro.core.embedding repro.core.loop \
 		repro.core.independence repro.core.maintenance repro.core.counterexamples \
 		repro.weak repro.weak.representative repro.weak.service \
-		repro.weak.sharded repro.workloads >/dev/null
+		repro.weak.sharded repro.weak.durable repro.weak.server \
+		repro.workloads >/dev/null
 	@echo "API reference written to docs/api/ (open docs/api/repro.html)"
 
 clean:

@@ -26,6 +26,7 @@ RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
 _ROOT = pathlib.Path(__file__).parent.parent
 BENCH_JSON_PATH = _ROOT / "BENCH_chase.json"
 BENCH_WEAK_JSON_PATH = _ROOT / "BENCH_weak.json"
+BENCH_SERVE_JSON_PATH = _ROOT / "BENCH_serve.json"
 
 _NOTES = {
     "BENCH_chase.json": (
@@ -36,6 +37,10 @@ _NOTES = {
         "regenerate with: make bench-weak + make bench-weak-deletes + "
         "make bench-weak-local (or pytest benchmarks/bench_weak_queries.py "
         "benchmarks/bench_weak_deletes.py benchmarks/bench_weak_local.py)"
+    ),
+    "BENCH_serve.json": (
+        "regenerate with: make bench-serve (or pytest "
+        "benchmarks/bench_serve.py)"
     ),
 }
 

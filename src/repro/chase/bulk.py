@@ -62,7 +62,7 @@ from collections import deque
 from typing import Dict, List, Optional, Sequence, Set, Tuple as PyTuple
 
 from repro.chase.engine import ChaseResult, ChaseStep, Contradiction
-from repro.chase.tableau import ChaseTableau, _CONST_SENTINEL
+from repro.chase.tableau import ChaseTableau, RowOrigin, _CONST_SENTINEL
 from repro.deps.fd import FD
 from repro.exceptions import InstanceError
 
@@ -79,6 +79,38 @@ def bulk_eligible(tableau: ChaseTableau) -> bool:
     the bulk kernel?  Structural eligibility (fresh + columnar) plus
     the size cutoff."""
     return tableau.bulk_eligible and len(tableau) >= BULK_MIN_ROWS
+
+
+def ingest_state(schema, state, tableau: Optional[ChaseTableau] = None):
+    """Column-major bulk ingest of a whole database state into a fresh
+    tableau — the cold-load path shared by service rebuilds and the
+    durable layer's snapshot recovery.
+
+    Duplicate tuples within a relation collapse to one row (set
+    semantics, matching the maintenance checker), and the returned
+    ``(scheme name, tuple) → row`` locator names each tuple's single
+    row, which is what provenance-scoped deletes retract.  The rows go
+    through :meth:`~repro.chase.tableau.ChaseTableau.bulk_ingest`, so
+    the resulting tableau is in the column-major layout the bulk
+    kernel wants (``bulk_eligible`` until something chases or retracts
+    it).  Pass a pre-built ``tableau`` to keep caller-applied settings
+    such as a version-stamp floor; it must be empty.
+    """
+    if tableau is None:
+        tableau = ChaseTableau(schema.universe)
+    row_of: Dict[PyTuple[str, object], int] = {}
+    ingest = tableau.bulk_ingest()
+    for scheme, relation in state:
+        origin = RowOrigin("state", scheme.name)
+        attrs = scheme.attributes
+        name = scheme.name
+        for t in relation:
+            key = (name, t)
+            if key in row_of:
+                continue
+            row_of[key] = ingest.add_padded(attrs, t, origin)
+    ingest.finish()
+    return tableau, row_of
 
 
 class BulkFDChaser:

@@ -21,12 +21,21 @@ and serves through the per-scheme
     delete CT (CS102, Jones)
     query T H R
     derivable T=Smith H=Mon-10 R=313
+    snapshot
     stats
 
 ``stats`` prints the service's operation counters (rebuilds, scoped
 delete rechases, cache hits/misses, affected-set sizes), so the
 incremental claims are observable mid-stream; a one-line summary is
-printed at the end of every run regardless.
+printed at the end of every run regardless.  A line that fails
+mid-stream flushes everything already served, reports the offending
+line number on stderr, and exits nonzero.
+
+``--durable DIR`` (with ``--method local``) persists the state in
+``DIR`` — per-shard write-ahead logs with group commit, periodic
+snapshots (``--snapshot-interval``), and recovery on reopen; the
+``snapshot`` op forces one.  ``--workers N`` serves through the
+concurrent front end of :mod:`repro.weak.server`.
 
 Scenario files use the DSL of :mod:`repro.dsl`::
 
@@ -49,7 +58,9 @@ from repro.core.independence import analyze
 from repro.dsl import Scenario, parse_scenario, parse_tuples, parse_value
 from repro.exceptions import ParseError, ReproError
 from repro.report import banner
+from repro.weak.durable import DurableShardedService
 from repro.weak.representative import window
+from repro.weak.server import WeakInstanceServer
 from repro.weak.service import WeakInstanceService
 from repro.weak.sharded import ShardedServiceStats, ShardedWeakInstanceService
 from repro.workloads.paper import ALL_EXAMPLES
@@ -100,9 +111,19 @@ def _serve_one(
     parts = line.split(None, 1)
     op, rest = parts[0].lower(), parts[1] if len(parts) > 1 else ""
     if op == "stats":
-        counters = service.stats.as_dict()
+        if isinstance(service, WeakInstanceServer):
+            counters = service.stats_dict()
+        else:
+            counters = service.stats.as_dict()
         lines = [f"  {name} = {value}" for name, value in counters.items()]
         return "\n".join(["stats:"] + lines)
+    if op == "snapshot":
+        if not hasattr(service, "snapshot"):
+            raise ParseError(
+                "snapshot requires a durable service (serve --durable DIR)"
+            )
+        service.snapshot()
+        return "snapshot: written"
     if op in ("insert", "delete"):
         scheme, _, spec = rest.partition(" ")
         if not scheme or not spec.strip():
@@ -142,6 +163,14 @@ def _serve_one(
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     scenario = _load(args.scenario)
+    if args.durable and args.method != "local":
+        print(
+            "serve --durable requires --method local (the WAL is "
+            "per-shard; Theorem 3 is what licenses independent "
+            "per-scheme logs)",
+            file=sys.stderr,
+        )
+        return 2
     if args.method == "local":
         # Validate independence up front — before any op applies — so a
         # non-independent schema exits with the full analysis report
@@ -156,26 +185,74 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
             print(report.summary(), file=sys.stderr)
             return 1
-        service = ShardedWeakInstanceService(
-            scenario.schema, scenario.fds, report=report,
-            bulk_loads=args.bulk_load,
-        )
+        if args.durable:
+            service = DurableShardedService(
+                scenario.schema, scenario.fds, args.durable,
+                report=report,
+                snapshot_interval=args.snapshot_interval,
+                auto_commit=args.workers == 0,
+                bulk_loads=args.bulk_load,
+            )
+        else:
+            service = ShardedWeakInstanceService(
+                scenario.schema, scenario.fds, report=report,
+                bulk_loads=args.bulk_load,
+            )
     else:
         service = WeakInstanceService(
             scenario.schema, scenario.fds, method=args.method,
             bulk_loads=args.bulk_load,
         )
-    if scenario.state is not None:
+    recovered = args.durable and service.stats.recoveries > 0
+    if recovered:
+        # an existing durable directory wins over the scenario's state
+        # section: the server's state is the recovered one
+        print(
+            f"recovered {service.total_tuples()} tuple(s) from "
+            f"{args.durable} ({service.stats.snapshot_loads} snapshot(s), "
+            f"{service.stats.wal_records_replayed} WAL record(s) replayed)"
+        )
+    elif scenario.state is not None:
         service.load(scenario.state)
     if args.ops:
         lines = pathlib.Path(args.ops).read_text().splitlines()
     else:
         lines = sys.stdin.read().splitlines()
-    for raw in lines:
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        print(_serve_one(service, line))
+    server = None
+    if args.workers > 0:
+        if not isinstance(
+            service, (ShardedWeakInstanceService, DurableShardedService)
+        ):
+            print(
+                "serve --workers requires --method local (the router "
+                "serializes writes per shard)",
+                file=sys.stderr,
+            )
+            return 2
+        server = WeakInstanceServer(service, workers=args.workers).start()
+    target = server if server is not None else service
+    exit_code = 0
+    try:
+        for lineno, raw in enumerate(lines, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                print(_serve_one(target, line))
+            except ReproError as exc:
+                # flush everything already served, report the offending
+                # line, and exit nonzero — a partially served script
+                # must not look like a clean run
+                sys.stdout.flush()
+                source = args.ops if args.ops else "<stdin>"
+                print(f"error at {source}:{lineno}: {exc}", file=sys.stderr)
+                exit_code = 1
+                break
+    finally:
+        if server is not None:
+            server.stop()
+        if args.durable:
+            service.close()
     stats = service.stats
     summary = (
         f"served: {stats.window_queries} queries "
@@ -194,8 +271,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{stats.composer_syncs} syncs "
             f"({stats.composer_synced_ops} ops replayed)"
         )
+    if args.durable:
+        summary += (
+            f"; durable: {stats.wal_records_appended} WAL records "
+            f"({stats.wal_commits} commits, {stats.wal_fsyncs} fsyncs), "
+            f"{stats.snapshots_written} snapshots written"
+        )
     print(summary)
-    return 0
+    sys.stdout.flush()
+    return exit_code
 
 
 def _cmd_demo(_args: argparse.Namespace) -> int:
@@ -265,6 +349,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="route cold loads and rebuilds through the column-major "
         "bulk chase kernel (default: on; --no-bulk-load pins the "
         "row-at-a-time path)",
+    )
+    p.add_argument(
+        "--durable",
+        metavar="DIR",
+        help="keep the state in DIR across runs: per-shard write-ahead "
+        "logs with group commit plus periodic snapshots; an existing "
+        "DIR is recovered (snapshot load + WAL replay) and wins over "
+        "the scenario's state section (requires --method local)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve through the concurrent front end with N worker "
+        "threads (writes route per shard, inserts batch into group "
+        "commits; requires --method local; default: 0 = in-process, "
+        "no threads)",
+    )
+    p.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=DurableShardedService.DEFAULT_SNAPSHOT_INTERVAL,
+        metavar="K",
+        help="with --durable: snapshot a shard after K WAL records "
+        f"(default: {DurableShardedService.DEFAULT_SNAPSHOT_INTERVAL})",
     )
     p.set_defaults(func=_cmd_serve)
 

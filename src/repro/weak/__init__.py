@@ -1,6 +1,8 @@
 """Weak-instance machinery: consistency, reduction, query answering —
-one-shot (:mod:`repro.weak.representative`) and served live across
-updates (:mod:`repro.weak.service`)."""
+one-shot (:mod:`repro.weak.representative`), served live across
+updates (:mod:`repro.weak.service`), durable on disk
+(:mod:`repro.weak.durable`), and multi-client
+(:mod:`repro.weak.server`)."""
 
 from repro.weak.consistency import (
     SemijoinStep,
@@ -10,8 +12,14 @@ from repro.weak.consistency import (
     is_pairwise_consistent,
     semijoin,
 )
+from repro.weak.durable import (
+    DurableServiceStats,
+    DurableShardedService,
+    DurableUnavailableError,
+)
 from repro.weak.equivalence import information_contains, information_equivalent
 from repro.weak.representative import derivable, representative_instance, window
+from repro.weak.server import ServerStoppedError, WeakInstanceServer
 from repro.weak.service import LiveTableau, ServiceStats, WeakInstanceService
 from repro.weak.sharded import ShardedServiceStats, ShardedWeakInstanceService
 
@@ -32,4 +40,9 @@ __all__ = [
     "LiveTableau",
     "ShardedWeakInstanceService",
     "ShardedServiceStats",
+    "DurableShardedService",
+    "DurableServiceStats",
+    "DurableUnavailableError",
+    "WeakInstanceServer",
+    "ServerStoppedError",
 ]

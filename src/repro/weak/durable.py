@@ -1,0 +1,810 @@
+"""Per-shard write-ahead logging and snapshots for the sharded service.
+
+Everything the services of :mod:`repro.weak.service` and
+:mod:`repro.weak.sharded` serve lives in process memory: a restart
+loses the state, which blocks the ROADMAP's long-lived-server goal.
+:class:`DurableShardedService` wraps
+:class:`~repro.weak.sharded.ShardedWeakInstanceService` with a
+durability layer built on the same independence argument as the
+sharding itself (Theorem 3): because every scheme's updates are
+validated and applied against that scheme alone, each shard can own an
+**independent write-ahead log** — there is no cross-shard transaction
+whose atomicity a global log would have to protect.  Concretely:
+
+* **WAL.**  Every accepted, non-duplicate insert or delete appends one
+  CRC-framed record (``[u32 length][u32 crc32][JSON payload]``) to its
+  scheme's append-only ``wal.log``.  Records are *staged* in memory
+  and written by **group commit**: one :meth:`~DurableShardedService.
+  commit` drains every shard's staged records, writes them, and issues
+  one ``fsync`` per dirty WAL — so ``N`` concurrent writers share
+  fsyncs instead of paying one each.  An operation is durable exactly
+  when the commit covering its ticket has completed
+  (:meth:`~DurableShardedService.wait_durable`).  Because the logs are
+  per shard and the shards independent, there is also no *global*
+  commit order to protect: :meth:`~DurableShardedService.
+  commit_shards` commits any subset of shards in the calling thread,
+  serialized per WAL by that WAL's own I/O lock — concurrent callers
+  owning disjoint shards overlap their fsyncs (which release the
+  GIL), which is where the multi-worker front end's throughput
+  scaling comes from.
+* **Snapshots.**  Periodically (every ``snapshot_interval`` WAL
+  records per shard, or on demand) a shard's full relation is written
+  to ``snapshot.json`` — tmp file, ``fsync``, atomic rename, directory
+  ``fsync`` — and the WAL is truncated.  The snapshot is taken with
+  the shard's pending records committed first (under the shard lock),
+  so every operation a snapshot reflects is also on disk; records a
+  crash loses are therefore always a *suffix* of the shard's history,
+  which is what makes replay-over-snapshot idempotent (set-semantics
+  inserts and deletes: the last surviving operation on a tuple decides
+  its membership, replayed or not).
+* **Recovery.**  Opening an existing directory reads each shard's
+  snapshot, replays the WAL tail (stopping at a torn or corrupt frame
+  and truncating it), and loads the reconstructed state into the
+  sharded service in one atomic :meth:`~repro.weak.sharded.
+  ShardedWeakInstanceService.load` — pure set arithmetic plus index
+  builds, **no chase**: the shard tableaux and the global composer are
+  rebuilt lazily through the column-major bulk kernel
+  (:func:`repro.chase.bulk.ingest_state`) when first queried.  The
+  recovered state is always, per shard, the state after some prefix of
+  that shard's operation history — at least every acknowledged
+  (fsynced) operation, at most every applied one.  Cross-shard, the
+  prefixes are independent; Theorem 3 is exactly the license for that
+  (any combination of per-shard satisfying states is satisfying).
+
+**Fault injection.**  Every durability-critical boundary calls the
+optional ``fault_hook`` with a crash-point name (:data:`CRASH_POINTS`)
+before proceeding.  A hook that raises simulates the process dying at
+that boundary: the instance latches ``crashed`` (further operations
+raise :class:`DurableUnavailableError`) and the test harness re-opens
+the directory with a fresh instance, exactly like a restart after
+``kill -9``.  The ``commit.partial`` point additionally models a torn
+machine-crash write: it fires after only a prefix of a WAL's staged
+bytes has reached the file.
+
+**Threading.**  Mutations and snapshots are safe under concurrent use:
+each scheme has a reentrant shard lock (:meth:`shard_lock`) guarding
+apply+stage order, staging and commit hand off through dedicated
+internal locks, and :meth:`wait_durable` lets callers block for group
+commit without holding any lock.  Reads (``window`` etc.) are *not*
+internally locked — single-threaded callers need nothing, and the
+multi-client front end (:mod:`repro.weak.server`) provides the read
+locking discipline.  Values must be JSON-serializable scalars (the
+DSL's strings and integers are); anything else is rejected before the
+operation applies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import struct
+import threading
+from contextlib import ExitStack
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple as PyTuple,
+    Union,
+)
+from zlib import crc32
+
+from repro.core.independence import IndependenceReport
+from repro.core.maintenance import InsertOutcome
+from repro.data.states import DatabaseState
+from repro.deps.fd import FD
+from repro.deps.fdset import FDSet
+from repro.exceptions import ReproError
+from repro.weak.service import WindowQueryAPI
+from repro.weak.sharded import ShardedServiceStats, ShardedWeakInstanceService
+
+#: Crash-point names, in the order a mutation's life passes them.  The
+#: fault-injection harness (``tests/harness``) enumerates these; the
+#: hook fires *before* the step the name describes completes, except
+#: where the name says otherwise.
+CRASH_POINTS = (
+    "commit.begin",        # staged records chosen, nothing written yet
+    "commit.partial",      # half of one WAL's staged bytes written (torn write)
+    "commit.pre-fsync",    # all bytes written and flushed, no fsync yet
+    "commit.post-fsync",   # every dirty WAL fsynced, tickets not yet released
+    "snapshot.begin",      # shard state captured, nothing written yet
+    "snapshot.tmp-written",  # tmp snapshot written + fsynced, not yet renamed
+    "snapshot.installed",  # renamed over snapshot.json, WAL not yet truncated
+    "snapshot.done",       # WAL truncated; snapshot cycle complete
+)
+
+#: ``fault_hook`` signature: called with a :data:`CRASH_POINTS` name;
+#: raising simulates a crash at that boundary.
+FaultHook = Callable[[str], None]
+
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+
+MANIFEST_NAME = "MANIFEST.json"
+WAL_NAME = "wal.log"
+SNAPSHOT_NAME = "snapshot.json"
+_SNAPSHOT_TMP = "snapshot.json.tmp"
+_FORMAT = 1
+
+
+class DurableUnavailableError(ReproError):
+    """The durable service crashed (a fault hook fired or an I/O error
+    escaped a commit/snapshot) and must be re-opened from disk."""
+
+
+@dataclass
+class DurableServiceStats(ShardedServiceStats):
+    """Sharded-service counters extended with the durability layer's.
+
+    ``as_dict`` enumerates dataclass fields, so these flow into the
+    CLI ``stats`` op and benchmark assertions automatically — tests
+    wait on counters, not on sleeps.
+    """
+
+    #: WAL records staged (accepted, non-duplicate mutations)
+    wal_records_appended: int = 0
+    #: group commits that wrote at least one record
+    wal_commits: int = 0
+    #: fsync() calls issued on WAL files (one per dirty WAL per commit)
+    wal_fsyncs: int = 0
+    #: bytes written to WAL files
+    wal_bytes_written: int = 0
+    #: WAL records re-applied while recovering (the journal replays)
+    wal_records_replayed: int = 0
+    #: per-shard snapshots written
+    snapshots_written: int = 0
+    #: shards whose recovery started from a snapshot file
+    snapshot_loads: int = 0
+    #: service opens that recovered existing on-disk state
+    recoveries: int = 0
+
+
+def _encode_record(op: str, values: Sequence[object]) -> bytes:
+    """One framed WAL record.  Raises :class:`ReproError` (before any
+    state mutates — callers encode first) on non-JSON values."""
+    try:
+        payload = json.dumps(
+            [op, list(values)], separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ReproError(
+            f"durable serving requires JSON-serializable tuple values: {exc}"
+        ) from None
+    return _FRAME.pack(len(payload), crc32(payload)) + payload
+
+
+def _decode_records(data: bytes) -> PyTuple[List[PyTuple[str, PyTuple[object, ...]]], int]:
+    """Parse framed records; returns ``(ops, good_offset)`` where
+    ``good_offset`` is the byte length of the intact prefix.  A torn
+    tail (short frame, short payload, or CRC mismatch) ends the parse
+    — everything before it is trusted, everything after discarded."""
+    ops: List[PyTuple[str, PyTuple[object, ...]]] = []
+    offset = 0
+    header = _FRAME.size
+    total = len(data)
+    while offset + header <= total:
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + header
+        end = start + length
+        if end > total:
+            break  # torn write: payload never fully landed
+        payload = data[start:end]
+        if crc32(payload) != crc:
+            break  # corrupt frame: stop at the last good record
+        try:
+            op, values = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):  # pragma: no cover - crc guards
+            break
+        ops.append((op, tuple(values)))
+        offset = end
+    return ops, offset
+
+
+class _ShardWal:
+    """One scheme's append-only WAL file plus its staged-record buffer.
+
+    Staging and draining are coordinated by the owning service's
+    locks; this class only knows about bytes and files.  The file
+    handle is opened in append mode once and kept; truncation (after a
+    snapshot) goes through :func:`os.truncate`, which co-operates with
+    ``O_APPEND`` writes.
+    """
+
+    __slots__ = (
+        "path",
+        "_file",
+        "pending",
+        "pending_records",
+        "records_since_snapshot",
+        "io_lock",
+    )
+
+    def __init__(self, path: pathlib.Path):
+        self.path = path
+        self._file = None
+        self.pending: List[bytes] = []
+        self.pending_records = 0
+        self.records_since_snapshot = 0
+        # serializes drain+write+fsync (and truncate) on THIS file;
+        # commits of different shards deliberately do not share a lock
+        self.io_lock = threading.Lock()
+
+    def _handle(self):
+        if self._file is None:
+            # unbuffered: one write() syscall per drained blob, and no
+            # Python-side buffer sitting between a commit and its fsync
+            self._file = open(self.path, "ab", buffering=0)
+        return self._file
+
+    def stage(self, record: bytes) -> None:
+        self.pending.append(record)
+        self.pending_records += 1
+        self.records_since_snapshot += 1
+
+    def take_pending(self) -> PyTuple[bytes, int]:
+        """Drain the staged buffer (records join the next write in
+        stage order — the per-shard WAL order is the apply order)."""
+        if not self.pending:
+            return b"", 0
+        blob = b"".join(self.pending)
+        count = self.pending_records
+        self.pending = []
+        self.pending_records = 0
+        return blob, count
+
+    def write(self, blob: bytes, fault: Optional[FaultHook]) -> None:
+        """Append a drained blob, exercising the torn-write crash
+        point halfway through when a hook is installed."""
+        handle = self._handle()
+        if fault is not None and len(blob) > 1:
+            half = len(blob) // 2
+            handle.write(blob[:half])
+            handle.flush()
+            fault("commit.partial")
+            handle.write(blob[half:])
+        else:
+            handle.write(blob)
+        handle.flush()
+
+    def fsync(self) -> None:
+        os.fsync(self._handle().fileno())
+
+    def truncate(self) -> None:
+        # _handle() also creates the file when no record was ever
+        # appended (a snapshot of an unlogged shard must still leave
+        # an empty WAL behind for the next open)
+        handle = self._handle()
+        handle.flush()
+        os.truncate(self.path, 0)
+        self.records_since_snapshot = 0
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class DurableShardedService(WindowQueryAPI):
+    """A :class:`~repro.weak.sharded.ShardedWeakInstanceService` whose
+    state survives restarts: per-shard WAL + snapshots (module
+    docstring has the protocol).
+
+    Construct over a directory: an empty or missing directory
+    initializes fresh files; an existing one **recovers** — snapshot
+    plus WAL-tail replay per shard, then one atomic load, no chase.
+    ``auto_commit=True`` (the default, for single-threaded and script
+    use) makes every mutation durable before it returns; the
+    multi-client server passes ``auto_commit=False`` and drives
+    :meth:`commit` itself from its group-commit thread.
+    """
+
+    DEFAULT_SNAPSHOT_INTERVAL = 4096
+
+    def __init__(
+        self,
+        schema,
+        fds: Union[FDSet, Iterable[FD], str],
+        root: Union[str, os.PathLike],
+        report: Optional[IndependenceReport] = None,
+        snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL,
+        auto_commit: bool = True,
+        fault_hook: Optional[FaultHook] = None,
+        **service_options,
+    ):
+        self.root = pathlib.Path(root)
+        self.snapshot_interval = snapshot_interval
+        self.auto_commit = auto_commit
+        self.fault_hook = fault_hook
+        self.stats = DurableServiceStats()
+        self._inner = ShardedWeakInstanceService(
+            schema, fds, report=report, stats=self.stats, **service_options
+        )
+        self.schema = self._inner.schema
+        self.fds = self._inner.fds
+        self.report = self._inner.report
+        self._crashed = False
+        # lock order (outer to inner): shard lock -> _io_lock -> _stage_lock;
+        # _commit_cond shares _stage_lock's mutex domain via its own lock
+        self._locks: Dict[str, threading.RLock] = {
+            name: threading.RLock() for name in self._inner.shard_names()
+        }
+        self._io_lock = threading.RLock()
+        self._stage_lock = threading.Lock()
+        self._commit_cond = threading.Condition()
+        self._staged_gen = 0
+        self._committed_gen = -1
+        self._wals: Dict[str, _ShardWal] = {}
+        self._dirty: List[str] = []
+        existing = (self.root / MANIFEST_NAME).exists()
+        self._init_layout(existing)
+        if existing:
+            self._recover()
+
+    # -- layout and recovery ----------------------------------------------------
+
+    def _shard_dir(self, name: str) -> pathlib.Path:
+        return self.root / "shards" / name
+
+    def wal_path(self, name: str) -> pathlib.Path:
+        return self._shard_dir(name) / WAL_NAME
+
+    def snapshot_path(self, name: str) -> pathlib.Path:
+        return self._shard_dir(name) / SNAPSHOT_NAME
+
+    def _init_layout(self, existing: bool) -> None:
+        names = sorted(self._inner.shard_names())
+        if existing:
+            manifest = json.loads((self.root / MANIFEST_NAME).read_text())
+            if manifest.get("format") != _FORMAT:
+                raise ReproError(
+                    f"unsupported durable format {manifest.get('format')!r} "
+                    f"in {self.root}"
+                )
+            if sorted(manifest.get("schemes", [])) != names:
+                raise ReproError(
+                    f"durable directory {self.root} was written for schemes "
+                    f"{manifest.get('schemes')}, not {names}"
+                )
+        else:
+            self.root.mkdir(parents=True, exist_ok=True)
+            for name in names:
+                self._shard_dir(name).mkdir(parents=True, exist_ok=True)
+            tmp = self.root / (MANIFEST_NAME + ".tmp")
+            tmp.write_text(
+                json.dumps({"format": _FORMAT, "schemes": names}, indent=2)
+            )
+            os.replace(tmp, self.root / MANIFEST_NAME)
+        for name in names:
+            self._wals[name] = _ShardWal(self.wal_path(name))
+
+    def _recover(self) -> None:
+        """Snapshot + WAL-tail replay per shard, then one atomic load.
+
+        Replay is pure set arithmetic on value tuples; the single
+        :meth:`~repro.weak.sharded.ShardedWeakInstanceService.load`
+        that follows builds the shard indexes, and every tableau is
+        rebuilt lazily by the bulk kernel when first queried — the
+        recovery path never chases.
+        """
+        relations: Dict[str, List[Dict[str, object]]] = {}
+        replayed = 0
+        snapshot_loads = 0
+        for name, wal in self._wals.items():
+            # WAL and snapshot values are in canonical attribute order
+            # (Tuple.values), NOT declared column order — rebuild rows
+            # as attribute-keyed mappings so the load cannot permute
+            attr_names = self._inner._shard(name).scheme.attributes.names
+            tmp = self._shard_dir(name) / _SNAPSHOT_TMP
+            if tmp.exists():  # crash before the snapshot rename: discard
+                tmp.unlink()
+            rows: Dict[PyTuple[object, ...], None] = {}
+            snap_path = self.snapshot_path(name)
+            if snap_path.exists():
+                snap = json.loads(snap_path.read_text())
+                for values in snap["tuples"]:
+                    rows[tuple(values)] = None
+                snapshot_loads += 1
+            if wal.path.exists():
+                ops, good = _decode_records(wal.path.read_bytes())
+                if good < wal.path.stat().st_size:
+                    # torn or corrupt tail: drop it before appending
+                    # anything after it would hide later records
+                    os.truncate(wal.path, good)
+                for op, values in ops:
+                    if op == "+":
+                        rows[values] = None
+                    else:
+                        rows.pop(values, None)
+                replayed += len(ops)
+                wal.records_since_snapshot = len(ops)
+            relations[name] = [
+                dict(zip(attr_names, values)) for values in rows
+            ]
+        self.stats.recoveries += 1
+        self.stats.snapshot_loads += snapshot_loads
+        self.stats.wal_records_replayed += replayed
+        if any(relations.values()):
+            self._inner.load(DatabaseState(self.schema, relations))
+
+    # -- crash discipline --------------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def _ensure_open(self) -> None:
+        if self._crashed:
+            raise DurableUnavailableError(
+                "durable service crashed; re-open the directory with a "
+                "fresh DurableShardedService"
+            )
+
+    def _fault(self, point: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(point)
+
+    def _latch_crash(self) -> None:
+        self._crashed = True
+        with self._commit_cond:
+            self._commit_cond.notify_all()
+
+    # -- staging and group commit ------------------------------------------------
+
+    def shard_lock(self, name: str) -> threading.RLock:
+        """The lock serializing writes (and snapshot reads) of one
+        shard — the front end's per-shard write discipline."""
+        return self._locks[name]
+
+    def _stage(self, name: str, record: bytes) -> int:
+        """Buffer one encoded record for the next group commit;
+        returns the commit ticket that will cover it.  Caller holds
+        the shard lock, so per-shard WAL order is apply order."""
+        with self._stage_lock:
+            wal = self._wals[name]
+            if not wal.pending:
+                self._dirty.append(name)
+            wal.stage(record)
+            self.stats.wal_records_appended += 1
+            return self._staged_gen
+
+    def _commit_wal(self, wal: _ShardWal) -> PyTuple[int, int]:
+        """Drain, write, and fsync one WAL as a single critical
+        section under its I/O lock; returns ``(bytes, records)``.
+
+        The drain happens *inside* the lock, so the invariant every
+        committer relies on holds: whoever acquires the lock and finds
+        the buffer empty knows the previous holder already fsynced —
+        an empty buffer under the lock means "durable", never
+        "drained but still in flight"."""
+        with wal.io_lock:
+            with self._stage_lock:
+                blob, count = wal.take_pending()
+            if not blob:
+                return 0, 0
+            self._fault("commit.begin")
+            wal.write(blob, self.fault_hook)
+            self._fault("commit.pre-fsync")
+            wal.fsync()
+            self.stats.wal_fsyncs += 1
+            self._fault("commit.post-fsync")
+        return len(blob), count
+
+    def commit(self) -> Optional[int]:
+        """Global group commit: write and fsync every staged record,
+        then release the covered tickets.  Returns the committed
+        generation (``None`` when nothing was staged).  Serialized
+        against other global commits and snapshots by the global I/O
+        lock, and against per-shard :meth:`commit_shards` calls by
+        each WAL's own I/O lock — a WAL drained by a concurrent
+        per-shard commit is re-visited here only to synchronize on its
+        lock (empty drain), which is exactly what makes the returned
+        generation mean *durable* rather than merely *drained*.
+        Staging continues concurrently and lands in the next
+        generation.
+        """
+        self._ensure_open()
+        try:
+            with self._io_lock:
+                with self._stage_lock:
+                    dirty = [self._wals[name] for name in self._dirty]
+                    self._dirty = []
+                    gen = self._staged_gen
+                    if dirty:
+                        self._staged_gen += 1
+                if not dirty:
+                    return None
+                written = 0
+                records = 0
+                for wal in dirty:
+                    wrote, count = self._commit_wal(wal)
+                    written += wrote
+                    records += count
+                if records:
+                    self.stats.wal_commits += 1
+                    self.stats.wal_bytes_written += written
+        except BaseException:
+            self._latch_crash()
+            raise
+        with self._commit_cond:
+            self._committed_gen = gen
+            self._commit_cond.notify_all()
+        return gen
+
+    def commit_shards(self, names: Iterable[str]) -> None:
+        """Per-shard synchronous commit: drain, write, and fsync the
+        named shards' staged records in the *calling* thread.  When it
+        returns, every record staged on these shards before the call
+        is durable (written by this call, or by whichever concurrent
+        committer beat it to the WAL's I/O lock).
+
+        This is the independence argument applied to the log itself:
+        Theorem 3 says no cross-shard invariant constrains the
+        interleaving, so shards need no global commit order and no
+        shared committer — workers of the front end commit the shards
+        they own concurrently, overlapping their fsyncs."""
+        self._ensure_open()
+        written = 0
+        records = 0
+        try:
+            for name in sorted(set(names)):
+                wrote, count = self._commit_wal(self._wals[name])
+                written += wrote
+                records += count
+        except BaseException:
+            self._latch_crash()
+            raise
+        if records:
+            self.stats.wal_commits += 1
+            self.stats.wal_bytes_written += written
+
+    def wait_durable(self, ticket: int, timeout: Optional[float] = None) -> bool:
+        """Block until the group commit covering ``ticket`` has fsynced
+        (returns ``True``), the service crashes
+        (:class:`DurableUnavailableError`), or the timeout elapses
+        (returns ``False``).  Callers must not hold shard locks —
+        waiting is what lets other writers fill the next batch."""
+        with self._commit_cond:
+            while self._committed_gen < ticket and not self._crashed:
+                if not self._commit_cond.wait(timeout):
+                    return False
+        if self._committed_gen < ticket:
+            raise DurableUnavailableError(
+                "durable service crashed before the commit completed"
+            )
+        return True
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot(self, name: Optional[str] = None) -> None:
+        """Write a snapshot of one shard (or all) and truncate its WAL.
+
+        Takes the shard lock, commits the shard's still-staged records
+        first (so the snapshot never reflects an operation the WAL
+        lacks — the suffix-loss invariant recovery relies on), then
+        writes tmp → fsync → rename → directory fsync → truncate.
+        """
+        self._ensure_open()
+        names = [name] if name is not None else sorted(self._wals)
+        for shard_name in names:
+            with self._locks[shard_name]:
+                self.commit()
+                try:
+                    self._snapshot_locked(shard_name)
+                except BaseException:
+                    self._latch_crash()
+                    raise
+
+    def _snapshot_locked(self, name: str) -> None:
+        shard = self._inner._shard(name)
+        rows = [list(t.values) for t in shard.relation()]
+        self._fault("snapshot.begin")
+        payload = json.dumps(
+            {
+                "format": _FORMAT,
+                "scheme": name,
+                "attributes": shard.scheme.attributes.names,
+                "tuples": rows,
+            },
+            separators=(",", ":"),
+        )
+        with self._io_lock:
+            directory = self._shard_dir(name)
+            tmp = directory / _SNAPSHOT_TMP
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._fault("snapshot.tmp-written")
+            os.replace(tmp, directory / SNAPSHOT_NAME)
+            dir_fd = os.open(directory, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+            self._fault("snapshot.installed")
+            wal = self._wals[name]
+            with wal.io_lock:  # no commit may write between snapshot and cut
+                wal.truncate()
+            self.stats.snapshots_written += 1
+            self._fault("snapshot.done")
+
+    def maybe_snapshot(self, names: Optional[Iterable[str]] = None) -> None:
+        """Snapshot every shard (or just ``names``) whose WAL has
+        outgrown ``snapshot_interval`` records since its last
+        snapshot."""
+        for name in (self._wals if names is None else set(names)):
+            if self._wals[name].records_since_snapshot >= self.snapshot_interval:
+                self.snapshot(name)
+
+    # -- mutations ---------------------------------------------------------------
+
+    def apply_insert(
+        self, scheme_name: str, row
+    ) -> PyTuple[InsertOutcome, Optional[int]]:
+        """Validate, apply, and stage one insert; returns the outcome
+        plus the commit ticket (``None`` for rejected or duplicate
+        inserts, which stage nothing).  The durability building block
+        the front end batches; direct callers want :meth:`insert`."""
+        self._ensure_open()
+        shard = self._inner._shard(scheme_name)
+        with self._locks[scheme_name]:
+            # encode from the coerced tuple *before* applying, so a
+            # non-serializable value rejects cleanly instead of
+            # leaving an applied-but-unloggable operation behind
+            t = shard.checker.coerce_tuple(scheme_name, row)
+            record = _encode_record("+", t.values)
+            # pass the coerced tuple through: Tuple rows skip the inner
+            # service's re-coercion, which matters on the hot path
+            outcome = self._inner.insert(scheme_name, t)
+            ticket = None
+            if outcome.accepted and not outcome.reason:
+                ticket = self._stage(scheme_name, record)
+        return outcome, ticket
+
+    def apply_delete(
+        self, scheme_name: str, row
+    ) -> PyTuple[bool, Optional[int]]:
+        """Apply and stage one delete; ticket is ``None`` when the
+        tuple was absent (nothing to log)."""
+        self._ensure_open()
+        shard = self._inner._shard(scheme_name)
+        with self._locks[scheme_name]:
+            t = shard.checker.coerce_tuple(scheme_name, row)
+            record = _encode_record("-", t.values)
+            existed = self._inner.delete(scheme_name, t)
+            ticket = self._stage(scheme_name, record) if existed else None
+        return existed, ticket
+
+    def _finish(self, ticket: Optional[int]) -> None:
+        if ticket is None:
+            return
+        if self.auto_commit:
+            self.commit()
+            self.maybe_snapshot()
+        else:
+            self.wait_durable(ticket)
+
+    def insert(self, scheme_name: str, row) -> InsertOutcome:
+        """Insert, durable before returning (see ``auto_commit``)."""
+        outcome, ticket = self.apply_insert(scheme_name, row)
+        self._finish(ticket)
+        return outcome
+
+    def delete(self, scheme_name: str, row) -> bool:
+        """Delete, durable before returning (see ``auto_commit``)."""
+        existed, ticket = self.apply_delete(scheme_name, row)
+        self._finish(ticket)
+        return existed
+
+    def apply_insert_many(
+        self, ops: Iterable[PyTuple[str, object]]
+    ) -> PyTuple[List[InsertOutcome], Optional[int]]:
+        """Batch insert: one fixpoint drive per touched shard (the
+        inner service's batching), every accepted row staged under one
+        ticket — the amortization the front end's group-commit loop
+        rides.  Returns the outcomes plus the covering ticket
+        (``None`` when nothing fresh was accepted)."""
+        self._ensure_open()
+        ops = [(name, row) for name, row in ops]
+        ticket: Optional[int] = None
+        with ExitStack() as stack:
+            for name in sorted({name for name, _ in ops}):
+                stack.enter_context(self._locks[name])
+            coerced = [
+                (name, self._inner._shard(name).checker.coerce_tuple(name, row))
+                for name, row in ops
+            ]
+            records = [_encode_record("+", t.values) for _, t in coerced]
+            outcomes = self._inner.insert_many(coerced)
+            for (name, _), record, outcome in zip(coerced, records, outcomes):
+                if outcome.accepted and not outcome.reason:
+                    ticket = self._stage(name, record)
+        return outcomes, ticket
+
+    def insert_many(self, ops: Iterable[PyTuple[str, object]]) -> List[InsertOutcome]:
+        """Batch insert, durable before returning (see ``auto_commit``)."""
+        outcomes, ticket = self.apply_insert_many(ops)
+        self._finish(ticket)
+        return outcomes
+
+    def load(self, state: DatabaseState) -> None:
+        """Durable bulk load: apply atomically, then snapshot every
+        shard — bulk ingests skip the WAL entirely (one snapshot is
+        cheaper and the load is already atomic on disk once every
+        shard's snapshot is installed)."""
+        self._ensure_open()
+        with ExitStack() as stack:
+            for name in sorted(self._locks):
+                stack.enter_context(self._locks[name])
+            self._inner.load(state)
+            for name in sorted(self._wals):
+                self.commit()
+                try:
+                    self._snapshot_locked(name)
+                except BaseException:
+                    self._latch_crash()
+                    raise
+
+    # -- reads and delegation ----------------------------------------------------
+
+    def window(self, attrset):
+        self._ensure_open()
+        return self._inner.window(attrset)
+
+    def representative(self):
+        self._ensure_open()
+        return self._inner.representative()
+
+    def state(self) -> DatabaseState:
+        return self._inner.state()
+
+    def total_tuples(self) -> int:
+        return self._inner.total_tuples()
+
+    def shard_names(self) -> PyTuple[str, ...]:
+        return self._inner.shard_names()
+
+    def maintenance_cover(self, scheme_name: str):
+        return self._inner.maintenance_cover(scheme_name)
+
+    @property
+    def method(self) -> str:
+        return self._inner.method
+
+    @property
+    def live(self) -> bool:
+        return self._inner.live
+
+    @property
+    def inner(self) -> ShardedWeakInstanceService:
+        """The wrapped in-memory service (reads bypass the durability
+        layer anyway; exposed for the front end and tests)."""
+        return self._inner
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Commit anything staged and close the WAL files (idempotent;
+        a crashed instance just closes its files)."""
+        if not self._crashed:
+            self.commit()
+        for wal in self._wals.values():
+            wal.close()
+
+    def __enter__(self) -> "DurableShardedService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DurableShardedService<root={str(self.root)!r}, "
+            f"tuples={self.total_tuples()}, "
+            f"staged={sum(w.pending_records for w in self._wals.values())}, "
+            f"crashed={self._crashed}>"
+        )

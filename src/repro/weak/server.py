@@ -1,0 +1,351 @@
+"""A multi-client front end over the sharded weak-instance services.
+
+:class:`WeakInstanceServer` turns the single-threaded
+:class:`~repro.weak.sharded.ShardedWeakInstanceService` (or its
+durable wrapper, :class:`~repro.weak.durable.DurableShardedService`)
+into a concurrent request processor, leaning on the same Theorem 3
+independence the sharding does:
+
+* **Per-shard write serialization by routing.**  Writes are enqueued
+  onto one of ``workers`` queues chosen by the target scheme (stable
+  hash of the shard name), so every operation on a scheme is applied
+  by exactly one worker thread, in submission order — per-shard
+  histories are serialized *by construction*, no lock convoy.  Cross-
+  shard ordering is intentionally unspecified: Theorem 3 makes the
+  shards independent, so there is no cross-scheme invariant an
+  interleaving could break.
+* **Group-commit batching, committed per shard.**  A worker drains its
+  queue opportunistically (up to ``batch_limit`` requests), applies
+  contiguous insert runs through :meth:`~repro.weak.durable.
+  DurableShardedService.apply_insert_many` — one fixpoint drive per
+  touched shard — and then commits the batch's shards itself via
+  :meth:`~repro.weak.durable.DurableShardedService.commit_shards`:
+  one WAL write + ``fsync`` per dirty shard, in the worker's own
+  thread.  Because each worker owns its shards outright (the routing)
+  and independent shards need no global commit order (Theorem 3),
+  workers' fsyncs run concurrently — and ``fsync`` releases the GIL,
+  so that overlap, not CPU parallelism, is where multi-worker
+  throughput comes from under CPython.
+* **Snapshot-consistent reads keyed by version stamps.**  Reads run in
+  the *calling* thread (they never queue behind writes) under the
+  planner's locking discipline: a scheme-local window takes only that
+  shard's lock; a composer window takes the global read lock plus
+  every shard lock in sorted order.  Each shard's monotone ``version``
+  stamp is the read token — a window computed under the locks is a
+  function of one version vector, never a torn mix
+  (:meth:`shard_versions` exposes the stamps for the stress tests).
+  A client that saw its insert acknowledged is guaranteed to see it in
+  a later read: the write is applied before the future resolves.
+
+The server works over a plain in-memory sharded service (writes are
+applied under shard locks, no tickets) or a durable one (writes are
+staged to the WAL and acknowledged only after their group commit
+fsyncs).  If the durable layer crashes — for real or through a fault
+hook — every in-flight and subsequent write fails with
+:class:`~repro.weak.durable.DurableUnavailableError`; reads keep
+serving the in-memory state, mirroring a read-only degraded mode.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+from repro.core.maintenance import InsertOutcome
+from repro.data.relations import RelationInstance, RowLike
+from repro.exceptions import ReproError, SchemaError
+from repro.schema.attributes import AttributeSet, AttrsLike
+from repro.weak.durable import DurableShardedService
+from repro.weak.service import WindowQueryAPI
+from repro.weak.sharded import ShardedWeakInstanceService
+
+
+class ServerStoppedError(ReproError):
+    """The request was submitted to a server that is not running."""
+
+
+@dataclass
+class _WriteRequest:
+    kind: str  # "insert" | "delete"
+    scheme: str
+    row: RowLike
+    future: Future = field(default_factory=Future)
+    result: object = None  # applied outcome, held until durable
+
+
+_STOP = object()
+
+
+class WeakInstanceServer(WindowQueryAPI):
+    """Thread-pool request front end (module docstring has the design).
+
+    Use as a context manager or call :meth:`start`/:meth:`stop`.
+    Client-facing entry points are thread-safe: :meth:`insert` /
+    :meth:`delete` (synchronous: durable-acknowledged before they
+    return, when the service is durable), their ``submit_*`` variants
+    (return a :class:`~concurrent.futures.Future`), and the
+    :class:`~repro.weak.service.WindowQueryAPI` read surface.
+    """
+
+    #: max requests one worker drains into a single apply+commit batch
+    DEFAULT_BATCH_LIMIT = 64
+
+    def __init__(
+        self,
+        service: Union[DurableShardedService, ShardedWeakInstanceService],
+        workers: int = 4,
+        batch_limit: int = DEFAULT_BATCH_LIMIT,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.service = service
+        self.workers = workers
+        self.batch_limit = batch_limit
+        self.durable = isinstance(service, DurableShardedService)
+        self._inner: ShardedWeakInstanceService = (
+            service.inner if self.durable else service
+        )
+        names = sorted(self._inner.shard_names())
+        #: scheme -> worker index; the stable routing that serializes
+        #: each shard's writes through exactly one worker
+        self._route = {name: i % workers for i, name in enumerate(names)}
+        if self.durable:
+            self._locks = {name: service.shard_lock(name) for name in names}
+        else:
+            self._locks = {name: threading.RLock() for name in names}
+        self._plan_lock = threading.Lock()
+        self._global_lock = threading.RLock()
+        # SimpleQueue: C-implemented, so the per-request enqueue/drain
+        # cost stays small next to the fsync the batch will pay
+        self._queues: List[queue.SimpleQueue] = [
+            queue.SimpleQueue() for _ in range(workers)
+        ]
+        self._threads: List[threading.Thread] = []
+        self._running = False
+        # monotonically increasing counters; written by one thread or
+        # guarded by the GIL — approximate under contention, like the
+        # service's own op counters
+        self.requests_accepted = 0
+        self.write_batches = 0
+        self.batched_writes = 0
+        self.reads_served = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "WeakInstanceServer":
+        if self._running:
+            return self
+        self._running = True
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, args=(i,), name=f"weak-worker-{i}",
+                daemon=True,
+            )
+            for i in range(self.workers)
+        ]
+        for t in self._threads:
+            t.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain every queue and stop the workers.  Pending writes are
+        completed (and made durable) first."""
+        if not self._running:
+            return
+        self._running = False
+        for q in self._queues:
+            q.put(_STOP)
+        for t in self._threads:
+            t.join()
+        self._threads = []
+        if self.durable and not self.service.crashed:
+            self.service.commit()  # belt and braces: nothing should be staged
+
+    def __enter__(self) -> "WeakInstanceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- client write surface ----------------------------------------------------
+
+    def _submit(self, kind: str, scheme_name: str, row: RowLike) -> Future:
+        if not self._running:
+            raise ServerStoppedError("server is not running")
+        worker = self._route.get(scheme_name)
+        if worker is None:
+            raise SchemaError(f"no relation named {scheme_name!r} in this schema")
+        request = _WriteRequest(kind, scheme_name, row)
+        self.requests_accepted += 1
+        self._queues[worker].put(request)
+        return request.future
+
+    def submit_insert(self, scheme_name: str, row: RowLike) -> Future:
+        """Enqueue an insert; the future resolves to its
+        :class:`~repro.core.maintenance.InsertOutcome` once applied
+        (and fsynced, on a durable service)."""
+        return self._submit("insert", scheme_name, row)
+
+    def submit_delete(self, scheme_name: str, row: RowLike) -> Future:
+        """Enqueue a delete; the future resolves to whether the tuple
+        existed."""
+        return self._submit("delete", scheme_name, row)
+
+    def insert(self, scheme_name: str, row: RowLike) -> InsertOutcome:
+        return self.submit_insert(scheme_name, row).result()
+
+    def delete(self, scheme_name: str, row: RowLike) -> bool:
+        return self.submit_delete(scheme_name, row).result()
+
+    # -- worker machinery --------------------------------------------------------
+
+    def _worker_loop(self, index: int) -> None:
+        q = self._queues[index]
+        while True:
+            first = q.get()
+            if first is _STOP:
+                return
+            batch = [first]
+            while len(batch) < self.batch_limit:
+                try:
+                    nxt = q.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    q.put(_STOP)  # reconsume after this batch completes
+                    break
+                batch.append(nxt)
+            self._process_batch(batch)
+
+    def _process_batch(self, batch: List[_WriteRequest]) -> None:
+        """Apply a drained batch in order: contiguous insert runs go
+        through the batched apply (one drive per shard), deletes apply
+        singly.  On a durable service the worker then commits the
+        batch's shards itself (one fsync per dirty shard, overlapping
+        other workers' commits) — success futures resolve only after
+        that commit, so an acknowledged write is a durable write."""
+        svc = self.service
+        staged = False
+        resolved: List[_WriteRequest] = []  # applied, awaiting durability
+        index = 0
+        n = len(batch)
+        self.write_batches += 1
+        self.batched_writes += n
+        while index < n:
+            request = batch[index]
+            if request.kind == "insert":
+                end = index
+                while end < n and batch[end].kind == "insert":
+                    end += 1
+                run = batch[index:end]
+                try:
+                    if self.durable:
+                        outcomes, ticket = svc.apply_insert_many(
+                            [(r.scheme, r.row) for r in run]
+                        )
+                        staged = staged or ticket is not None
+                    else:
+                        with ExitStack() as stack:
+                            for name in sorted({r.scheme for r in run}):
+                                stack.enter_context(self._locks[name])
+                            outcomes = svc.insert_many(
+                                [(r.scheme, r.row) for r in run]
+                            )
+                    for r, outcome in zip(run, outcomes):
+                        r.result = outcome
+                        resolved.append(r)
+                except BaseException as exc:  # noqa: BLE001 - relayed to clients
+                    for r in run:
+                        r.future.set_exception(exc)
+                index = end
+            else:
+                try:
+                    if self.durable:
+                        existed, ticket = svc.apply_delete(
+                            request.scheme, request.row
+                        )
+                        staged = staged or ticket is not None
+                    else:
+                        with self._locks[request.scheme]:
+                            existed = svc.delete(request.scheme, request.row)
+                    request.result = existed
+                    resolved.append(request)
+                except BaseException as exc:  # noqa: BLE001
+                    request.future.set_exception(exc)
+                index += 1
+        if self.durable and staged:
+            names = {r.scheme for r in resolved}
+            try:
+                svc.commit_shards(names)
+                svc.maybe_snapshot(names)
+            except BaseException as exc:  # noqa: BLE001 - crash: nothing acked
+                for r in resolved:
+                    r.future.set_exception(exc)
+                return
+        for r in resolved:
+            r.future.set_result(r.result)
+
+    # -- read surface ------------------------------------------------------------
+
+    def window(self, attrset: AttrsLike) -> RelationInstance:
+        """A window query under the planner's locking discipline (see
+        module docstring); safe against concurrent writers."""
+        target = AttributeSet(attrset)
+        self.reads_served += 1
+        with self._plan_lock:
+            plan = self._inner._plan(target)
+        if plan.local:
+            with ExitStack() as stack:
+                for name in sorted(plan.direct):
+                    stack.enter_context(self._locks[name])
+                return self._inner.window(target)
+        with self._global_lock:
+            with ExitStack() as stack:
+                for name in sorted(self._locks):
+                    stack.enter_context(self._locks[name])
+                return self._inner.window(target)
+
+    def state(self):
+        """A consistent cross-shard snapshot of the stored state."""
+        with self._global_lock:
+            with ExitStack() as stack:
+                for name in sorted(self._locks):
+                    stack.enter_context(self._locks[name])
+                return self._inner.state()
+
+    def snapshot(self) -> None:
+        """Force a snapshot of every shard (durable services only);
+        safe while the workers run — the snapshot path takes each
+        shard's lock and commits its pending records first."""
+        if not self.durable:
+            raise ReproError("snapshot requires a durable service")
+        self.service.snapshot()
+
+    def shard_versions(self) -> Dict[str, int]:
+        """The monotone per-shard version stamps — the read tokens the
+        stress tests use to assert no torn reads."""
+        return {
+            name: self._inner._shard(name).version for name in self._locks
+        }
+
+    def stats_dict(self) -> Dict[str, object]:
+        """Service counters plus the server's own request counters."""
+        stats = dict(self.service.stats.as_dict())
+        stats.update(
+            server_requests_accepted=self.requests_accepted,
+            server_write_batches=self.write_batches,
+            server_batched_writes=self.batched_writes,
+            server_reads_served=self.reads_served,
+            server_workers=self.workers,
+        )
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"WeakInstanceServer<workers={self.workers}, "
+            f"durable={self.durable}, running={self._running}>"
+        )

@@ -280,28 +280,19 @@ class LiveTableau:
         )
         if floor is not None:
             tableau.offset_version_base(floor)
-        row_of: Dict[PyTuple[str, object], int] = {}
         if self.bulk_loads:
-            ingest = tableau.bulk_ingest()
-            for scheme, relation in state:
-                origin = RowOrigin("state", scheme.name)
-                attrs = scheme.attributes
-                name = scheme.name
-                for t in relation:
-                    key = (name, t)
-                    if key in row_of:
-                        continue
-                    row_of[key] = ingest.add_padded(attrs, t, origin)
-            ingest.finish()
-        else:
-            for scheme, relation in state:
-                for t in relation:
-                    key = (scheme.name, t)
-                    if key in row_of:
-                        continue
-                    row_of[key] = tableau.add_padded(
-                        scheme.attributes, t, RowOrigin("state", scheme.name)
-                    )
+            from repro.chase.bulk import ingest_state
+
+            return ingest_state(self.schema, state, tableau)
+        row_of: Dict[PyTuple[str, object], int] = {}
+        for scheme, relation in state:
+            for t in relation:
+                key = (scheme.name, t)
+                if key in row_of:
+                    continue
+                row_of[key] = tableau.add_padded(
+                    scheme.attributes, t, RowOrigin("state", scheme.name)
+                )
         return tableau, row_of
 
     def chase_fresh(

@@ -303,6 +303,7 @@ class ShardedWeakInstanceService(WindowQueryAPI):
         delete_rebuild_fraction: float = DEFAULT_DELETE_REBUILD_FRACTION,
         window_cache_limit: int = DEFAULT_WINDOW_CACHE_LIMIT,
         bulk_loads: bool = True,
+        stats: Optional[ShardedServiceStats] = None,
     ):
         self.schema = schema
         self.fds = as_fdset(fds)
@@ -320,7 +321,11 @@ class ShardedWeakInstanceService(WindowQueryAPI):
             err.report = report
             raise err
         self.report = report
-        self.stats = ShardedServiceStats()
+        # a caller-supplied stats object lets wrappers substitute an
+        # extended dataclass (the durable layer's WAL counters live in
+        # a ShardedServiceStats subclass) while every shard and the
+        # composer still share the one instance
+        self.stats = ShardedServiceStats() if stats is None else stats
         self._window_cache_limit = window_cache_limit
         self._shards: Dict[str, _SchemeShard] = {}
         for scheme in schema:
@@ -520,8 +525,14 @@ class ShardedWeakInstanceService(WindowQueryAPI):
         if len(self._plans) > self.window_cache_limit:
             # FIFO bound (no LRU refresh on hit): plans are pure
             # functions of the schema and cheap to recompute, so
-            # evicting a hot one costs one closure-subset pass
-            self._plans.pop(next(iter(self._plans)))
+            # evicting a hot one costs one closure-subset pass.  The
+            # eviction tolerates a concurrent evictor (the server's
+            # shard-parallel readers may plan at once; losing the race
+            # just means the bound is enforced by the other thread).
+            try:
+                self._plans.pop(next(iter(self._plans)), None)
+            except (StopIteration, RuntimeError):
+                pass
         return plan
 
     # -- the global composer ---------------------------------------------------

@@ -1,8 +1,19 @@
-"""Shared fixtures: the paper's examples and a few schema families."""
+"""Shared fixtures: the paper's examples and a few schema families.
+
+Also registers the ``slow`` marker: long-running stress tests carry
+``@pytest.mark.slow`` and a quick pass deselects them with
+``-m "not slow"`` (``make test-fast``)."""
 
 from __future__ import annotations
 
 import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running stress tests (deselect with -m \"not slow\")",
+    )
 
 from repro.workloads.paper import (
     example1,

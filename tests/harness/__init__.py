@@ -1,0 +1,37 @@
+"""Crash/fault-injection test harness for the durable serving stack.
+
+:mod:`tests.harness.faults` — deterministic crash-point injection
+(:class:`~tests.harness.faults.FaultInjector`) and crash-site
+enumeration (:class:`~tests.harness.faults.FaultTrace`).
+
+:mod:`tests.harness.drivers` — the kill-and-recover driver (run a
+stream into a durable service until an injected crash, reopen, assert
+per-shard prefix consistency and observational equivalence against a
+from-scratch chase oracle) and the multi-writer stress driver
+(single-writer-per-scheme histories, prefix-consistent reads, WAL
+order equal to submission order).
+"""
+
+from tests.harness.faults import FaultInjector, FaultTrace, InjectedCrash
+from tests.harness.drivers import (
+    StressReport,
+    assert_observationally_equivalent,
+    assert_prefix_consistent,
+    oracle_prefix_states,
+    reopen,
+    run_stream_until_crash,
+    run_multi_writer_stress,
+)
+
+__all__ = [
+    "InjectedCrash",
+    "FaultInjector",
+    "FaultTrace",
+    "run_stream_until_crash",
+    "reopen",
+    "oracle_prefix_states",
+    "assert_prefix_consistent",
+    "assert_observationally_equivalent",
+    "run_multi_writer_stress",
+    "StressReport",
+]

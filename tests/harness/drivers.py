@@ -1,0 +1,284 @@
+"""Kill-and-recover and multi-writer stress drivers.
+
+The recovery contract these drivers check, per shard (Theorem 3 makes
+the shards independent, so per shard is the whole story):
+
+* **Prefix consistency.**  The recovered relation equals the stored
+  relation after some *prefix* of that shard's event history (empty →
+  base load → each mutating op in order), and that prefix covers at
+  least every event whose caller saw it complete (an acknowledged
+  write is durable; an unacknowledged one may or may not be — both are
+  legal, torn mixes are not).
+* **Observational equivalence.**  The recovered service answers every
+  window query exactly like a from-scratch chase
+  (:class:`~repro.weak.service.WeakInstanceService` with
+  ``method="chase"``) over the recovered state — recovery must not
+  damage derivability, only (legally) truncate unacknowledged history.
+
+The stress driver runs one writer per scheme (submission order = the
+shard's history — the routing serializes it) plus concurrent readers,
+asserting every read returns some prefix state of the single-writer
+history (no torn reads) and version stamps never regress.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.data.states import DatabaseState
+from repro.weak.durable import DurableShardedService, _decode_records
+from repro.weak.server import WeakInstanceServer
+from repro.weak.service import WeakInstanceService
+from repro.weak.sharded import ShardedWeakInstanceService
+
+from tests.harness.faults import InjectedCrash
+
+Row = Tuple[object, ...]
+#: event index -1 = empty (before the base load), 0 = base loaded,
+#: i >= 1 = after ops[i-1]
+Event = int
+
+
+def _shard_sets(state: DatabaseState) -> Dict[str, FrozenSet[Row]]:
+    return {
+        scheme.name: frozenset(tuple(t.values) for t in relation)
+        for scheme, relation in state
+    }
+
+
+def run_stream_until_crash(
+    schema,
+    fds,
+    root,
+    base: Optional[DatabaseState],
+    ops: Sequence,
+    fault_hook,
+    **service_options,
+):
+    """Drive a durable service (fresh over ``root``) through base load
+    + a :class:`~repro.workloads.states.StreamOp` stream until an
+    :class:`~tests.harness.faults.InjectedCrash` fires (or the stream
+    ends).  Returns ``(acked_events, crashed)`` where ``acked_events``
+    is the set of event indices that completed before the crash."""
+    service = DurableShardedService(
+        schema, fds, root, fault_hook=fault_hook, **service_options
+    )
+    acked: List[Event] = []
+    crashed = False
+    try:
+        if base is not None:
+            service.load(base)
+        acked.append(0)
+        for index, op in enumerate(ops):
+            if op.kind == "insert":
+                service.insert(op.scheme, op.values)
+            elif op.kind == "delete":
+                service.delete(op.scheme, op.values)
+            else:
+                service.window(op.attributes)
+            acked.append(index + 1)
+    except InjectedCrash:
+        crashed = True
+    finally:
+        service.close()
+    return acked, crashed
+
+
+def reopen(schema, fds, root, **service_options) -> DurableShardedService:
+    """A fresh instance over the same directory — the restart."""
+    return DurableShardedService(schema, fds, root, **service_options)
+
+
+def oracle_prefix_states(
+    schema, fds, base: Optional[DatabaseState], ops: Sequence
+) -> Dict[str, List[Tuple[Event, FrozenSet[Row]]]]:
+    """Replay the stream on a fresh in-memory sharded oracle,
+    recording every shard's stored relation after every event — the
+    universe of states a crash may legally recover to."""
+    oracle = ShardedWeakInstanceService(schema, fds)
+    states: Dict[str, List[Tuple[Event, FrozenSet[Row]]]] = {
+        name: [(-1, frozenset())] for name in oracle.shard_names()
+    }
+    if base is not None:
+        oracle.load(base)
+    for name, rows in _shard_sets(oracle.state()).items():
+        states[name].append((0, rows))
+    for index, op in enumerate(ops):
+        if op.kind == "insert":
+            oracle.insert(op.scheme, op.values)
+        elif op.kind == "delete":
+            oracle.delete(op.scheme, op.values)
+        else:
+            continue
+        relation = oracle.state()[op.scheme]
+        states[op.scheme].append(
+            (index + 1, frozenset(tuple(t.values) for t in relation))
+        )
+    return states
+
+
+def assert_prefix_consistent(
+    recovered: DurableShardedService,
+    prefix_states: Dict[str, List[Tuple[Event, FrozenSet[Row]]]],
+    acked_events: Sequence[Event],
+    ops: Sequence,
+) -> None:
+    """Every shard of the recovered service must hold a prefix state
+    at least as long as its last acknowledged event."""
+    acked = set(acked_events)
+    recovered_sets = _shard_sets(recovered.state())
+    for name, history in prefix_states.items():
+        boundary = max(
+            (
+                event
+                for event, _ in history
+                if event in acked
+            ),
+            default=-1,
+        )
+        legal = {rows for event, rows in history if event >= boundary}
+        assert recovered_sets[name] in legal, (
+            f"shard {name}: recovered relation is not a prefix state at "
+            f"or beyond the acknowledged boundary (event {boundary}); "
+            f"got {sorted(recovered_sets[name])}"
+        )
+
+
+def assert_observationally_equivalent(
+    recovered, schema, fds, query_pool: Sequence[Tuple[str, ...]]
+) -> None:
+    """The recovered service must answer exactly like a from-scratch
+    chase over the state it recovered to."""
+    scratch = WeakInstanceService(schema, fds, method="chase")
+    state = recovered.state()
+    if not state.is_empty():
+        scratch.load(state)
+    for attrs in query_pool:
+        got = {
+            tuple(t.value(a) for a in attrs)
+            for t in recovered.window(attrs)
+        }
+        want = {
+            tuple(t.value(a) for a in attrs)
+            for t in scratch.window(attrs)
+        }
+        assert got == want, (
+            f"window {attrs}: recovered service disagrees with the "
+            f"from-scratch chase oracle: {got ^ want}"
+        )
+
+
+def wal_ops(service: DurableShardedService, scheme_name: str):
+    """The decoded ``(op, values)`` sequence currently in one shard's
+    WAL — the on-disk history the ordering assertions read."""
+    path = service.wal_path(scheme_name)
+    if not path.exists():
+        return []
+    ops, _ = _decode_records(path.read_bytes())
+    return ops
+
+
+# -- multi-writer stress --------------------------------------------------------
+
+
+@dataclass
+class StressReport:
+    reads_checked: int = 0
+    writes_acked: int = 0
+    errors: List[str] = field(default_factory=list)
+
+
+def run_multi_writer_stress(
+    server: WeakInstanceServer,
+    plan: Dict[str, List[Tuple[str, Row]]],
+    columns: Dict[str, Tuple[str, ...]],
+    readers: int = 2,
+) -> StressReport:
+    """One writer thread per scheme (disjoint writers — the Theorem 3
+    regime) pipelining its ops in order, plus reader threads checking
+    two invariants on every read: the observed relation is a *prefix
+    state* of that scheme's single-writer history (no torn reads), and
+    the shard's version stamp never regresses.  Returns a report; the
+    caller asserts ``report.errors == []`` and the final states."""
+    prefix_sets: Dict[str, set] = {}
+    for name, ops in plan.items():
+        rows: set = set()
+        prefixes = {frozenset(rows)}
+        for kind, row in ops:
+            if kind == "insert":
+                rows.add(row)
+            else:
+                rows.discard(row)
+            prefixes.add(frozenset(rows))
+        prefix_sets[name] = prefixes
+    report = StressReport()
+    stop = threading.Event()
+    lock = threading.Lock()
+
+    def writer(name: str) -> None:
+        try:
+            futures = []
+            for kind, row in plan[name]:
+                if kind == "insert":
+                    futures.append(server.submit_insert(name, row))
+                else:
+                    futures.append(server.submit_delete(name, row))
+            for future in futures:
+                future.result(timeout=60)
+                with lock:
+                    report.writes_acked += 1
+        except Exception as exc:  # noqa: BLE001 - surfaced via the report
+            with lock:
+                report.errors.append(f"writer {name}: {exc!r}")
+
+    def reader(index: int) -> None:
+        names = sorted(plan)
+        last_versions: Dict[str, int] = {}
+        turn = index  # start readers on different shards
+        try:
+            while not stop.is_set():
+                name = names[turn % len(names)]
+                turn += 1
+                before = server.shard_versions()[name]
+                observed = frozenset(
+                    tuple(t.value(c) for c in columns[name])
+                    for t in server.window(columns[name])
+                )
+                after = server.shard_versions()[name]
+                with lock:
+                    report.reads_checked += 1
+                    if observed not in prefix_sets[name]:
+                        report.errors.append(
+                            f"reader {index}: torn read on {name}: "
+                            f"{sorted(observed)} is no prefix state"
+                        )
+                    if after < before or before < last_versions.get(name, 0):
+                        report.errors.append(
+                            f"reader {index}: version stamp regressed on "
+                            f"{name}: {before} -> {after}"
+                        )
+                last_versions[name] = after
+        except Exception as exc:  # noqa: BLE001
+            with lock:
+                report.errors.append(f"reader {index}: {exc!r}")
+
+    writer_threads = [
+        threading.Thread(target=writer, args=(name,), name=f"stress-writer-{name}")
+        for name in sorted(plan)
+    ]
+    reader_threads = [
+        threading.Thread(target=reader, args=(i,), name=f"stress-reader-{i}")
+        for i in range(readers)
+    ]
+    for t in reader_threads:
+        t.start()
+    for t in writer_threads:
+        t.start()
+    for t in writer_threads:
+        t.join()
+    stop.set()
+    for t in reader_threads:
+        t.join()
+    return report

@@ -1,0 +1,78 @@
+"""Deterministic crash-point injection.
+
+The durable layer calls its ``fault_hook`` with a crash-point name
+(:data:`repro.weak.durable.CRASH_POINTS`) at every durability-critical
+boundary.  The two hooks here make that deterministic test machinery:
+
+* :class:`FaultTrace` records every point a workload passes, so a test
+  can *enumerate* the crash sites of a concrete run — no guessing
+  which boundaries a stream exercises.
+* :class:`FaultInjector` raises :class:`InjectedCrash` at exactly the
+  *n*-th occurrence of one point.  Replaying the same workload with
+  the same injector crashes at the same instruction every time.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+
+class InjectedCrash(Exception):
+    """The simulated process death.  Deliberately NOT a ReproError:
+    the durable layer must latch a crash for *any* escaping exception,
+    not only its own error family."""
+
+    def __init__(self, point: str, occurrence: int):
+        super().__init__(f"injected crash at {point} (occurrence {occurrence})")
+        self.point = point
+        self.occurrence = occurrence
+
+
+class FaultTrace:
+    """A recording hook: never raises, remembers every point passed."""
+
+    def __init__(self) -> None:
+        self.events: List[str] = []
+
+    def __call__(self, point: str) -> None:
+        self.events.append(point)
+
+    def counts(self) -> Dict[str, int]:
+        return dict(Counter(self.events))
+
+    def crash_sites(self, per_point: int = 3) -> List[Tuple[str, int]]:
+        """``(point, occurrence)`` pairs covering every recorded point:
+        the first, middle, and last occurrence of each (up to
+        ``per_point`` sites), so a suite crashes early, mid-stream, and
+        at the final boundary without replaying every single hit."""
+        sites: List[Tuple[str, int]] = []
+        for point, n in sorted(self.counts().items()):
+            picks = sorted({1, (n + 1) // 2, n})[:per_point]
+            sites.extend((point, k) for k in picks)
+        return sites
+
+
+class FaultInjector:
+    """Raise :class:`InjectedCrash` at the ``occurrence``-th time
+    ``point`` is passed (1-based); count every point either way."""
+
+    def __init__(self, point: str, occurrence: int = 1):
+        self.point = point
+        self.occurrence = occurrence
+        self.seen = 0
+        self.fired = False
+
+    def __call__(self, point: str) -> None:
+        if point != self.point:
+            return
+        self.seen += 1
+        if self.seen == self.occurrence and not self.fired:
+            self.fired = True
+            raise InjectedCrash(point, self.occurrence)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector<{self.point}#{self.occurrence}, "
+            f"{'fired' if self.fired else 'armed'}>"
+        )

@@ -141,8 +141,114 @@ stats
         path = tmp_path / "ops.txt"
         path.write_text("frobnicate CT (1, 2)\n")
         code = main(["serve", scenario_file(INDEPENDENT), "--ops", str(path)])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "unknown op" in captured.err
+        assert f"{path}:1:" in captured.err  # names the offending line
+        assert "served:" in captured.out  # the summary still prints
+
+    def test_serve_error_mid_stream_flushes_partial_output(
+        self, scenario_file, tmp_path, capsys
+    ):
+        """An op that raises mid-stream must not swallow the answers
+        already produced: output so far is flushed, the bad line is
+        named on stderr, later ops do not run, and the exit is 1."""
+        path = tmp_path / "ops.txt"
+        path.write_text(
+            "query T H R\n"
+            "insert CHR (CS101, Tue-9)\n"  # arity mismatch: CHR has 3 columns
+            "query T H R\n"
+        )
+        code = main(["serve", scenario_file(INDEPENDENT), "--ops", str(path)])
+        assert code == 1
+        captured = capsys.readouterr()
+        # the first query's answer survived the failure...
+        assert captured.out.count("derivable fact(s)") == 1
+        assert "served:" in captured.out
+        # ...the bad line is identified, and the third op never ran
+        assert f"{path}:2:" in captured.err
+
+
+class TestServeDurable:
+    """serve --durable: WAL-backed persistence across CLI invocations."""
+
+    def _ops(self, tmp_path, text, name="ops.txt"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    def test_state_survives_across_invocations(
+        self, scenario_file, tmp_path, capsys
+    ):
+        scenario = scenario_file(INDEPENDENT)
+        store = str(tmp_path / "store")
+        first = self._ops(
+            tmp_path,
+            "insert CHR (CS101, Tue-9, 327)\ninsert CT (CS102, Lee)\n",
+        )
+        code = main(
+            ["serve", scenario, "--ops", first, "--method", "local",
+             "--durable", store]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "durable:" in out and "WAL records" in out
+        # second invocation recovers the durable directory — and the
+        # recovered state wins over the scenario's state section
+        second = self._ops(tmp_path, "query C T\nstats\n", "ops2.txt")
+        code = main(
+            ["serve", scenario, "--ops", second, "--method", "local",
+             "--durable", store]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"recovered 4 tuple(s) from {store}" in out
+        assert "T=Lee" in out  # the first run's insert is back
+        assert "wal_records_replayed" in out  # stats op shows WAL counters
+
+    def test_snapshot_op(self, scenario_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        ops = self._ops(
+            tmp_path, "insert CHR (CS101, Tue-9, 327)\nsnapshot\n"
+        )
+        code = main(
+            ["serve", scenario_file(INDEPENDENT), "--ops", ops,
+             "--method", "local", "--durable", str(store)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "snapshot: written" in out
+        assert (store / "shards" / "CHR" / "snapshot.json").exists()
+
+    def test_snapshot_op_requires_durable(self, scenario_file, tmp_path, capsys):
+        ops = self._ops(tmp_path, "snapshot\n")
+        code = main(["serve", scenario_file(INDEPENDENT), "--ops", ops])
+        assert code == 1
+        assert "requires a durable service" in capsys.readouterr().err
+
+    def test_durable_requires_local_method(self, scenario_file, tmp_path, capsys):
+        ops = self._ops(tmp_path, "query T H R\n")
+        code = main(
+            ["serve", scenario_file(INDEPENDENT), "--ops", ops,
+             "--durable", str(tmp_path / "store"), "--method", "chase"]
+        )
         assert code == 2
-        assert "unknown op" in capsys.readouterr().err
+        assert "--method local" in capsys.readouterr().err
+
+    def test_workers_serve_the_stream(self, scenario_file, tmp_path, capsys):
+        ops = self._ops(
+            tmp_path,
+            "insert CHR (CS101, Tue-9, 327)\nquery T H R\nstats\n",
+        )
+        code = main(
+            ["serve", scenario_file(INDEPENDENT), "--ops", ops,
+             "--method", "local", "--durable", str(tmp_path / "store"),
+             "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 derivable fact(s)" in out
+        assert "server_workers = 2" in out  # stats op routes via the server
 
 
 class TestDemo:

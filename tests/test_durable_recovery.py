@@ -1,0 +1,159 @@
+"""Kill-and-recover at every injected crash point.
+
+The property (per shard — Theorem 3 makes that the whole story): for
+*any* crash point and *any* occurrence of it along a mixed
+insert/delete/window stream, the recovered service holds the state of
+some **prefix** of that shard's history, the prefix covers every
+acknowledged operation, and the recovered service is observationally
+equivalent to a from-scratch chase over the recovered state.
+
+The crash sites are enumerated, not guessed: a tracing run
+(:class:`tests.harness.faults.FaultTrace`) records every
+durability-critical boundary the workload actually passes — WAL commit
+begin / torn write / pre-fsync / post-fsync, snapshot begin /
+tmp-written / installed / done — and the suite replays the workload
+with a deterministic :class:`~tests.harness.faults.FaultInjector` at
+the first, middle, and last occurrence of each.
+"""
+
+import pytest
+
+from repro.weak.durable import CRASH_POINTS
+from repro.workloads.schemas import disjoint_star_schema
+from repro.workloads.states import embedded_query_pool, mixed_stream_workload
+
+from tests.harness.drivers import (
+    assert_observationally_equivalent,
+    assert_prefix_consistent,
+    oracle_prefix_states,
+    reopen,
+    run_stream_until_crash,
+)
+from tests.harness.faults import FaultInjector, FaultTrace
+
+#: snapshot every few records so the stream crosses snapshot
+#: boundaries mid-run, not only commit boundaries
+SNAPSHOT_INTERVAL = 5
+
+SCHEMA, FDS = disjoint_star_schema(3)
+QUERY_POOL = embedded_query_pool(SCHEMA)
+BASE, OPS = mixed_stream_workload(
+    SCHEMA,
+    FDS,
+    n_base=12,
+    n_inserts=30,
+    n_deletes=8,
+    n_queries=6,
+    seed=5,
+    domain_size=60,
+    invalid_ratio=0.2,
+    query_pool=QUERY_POOL,
+)
+PREFIX_STATES = oracle_prefix_states(SCHEMA, FDS, BASE, OPS)
+
+
+def _trace_sites():
+    """One tracing run of the full workload enumerates the crash
+    sites the parametrized tests replay."""
+    trace = FaultTrace()
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as scratch:
+        acked, crashed = run_stream_until_crash(
+            SCHEMA, FDS, f"{scratch}/d", BASE, OPS, trace,
+            snapshot_interval=SNAPSHOT_INTERVAL,
+        )
+    assert not crashed and len(acked) == len(OPS) + 1
+    return trace
+
+
+_TRACE = _trace_sites()
+CRASH_SITES = _TRACE.crash_sites(per_point=3)
+
+
+def test_workload_exercises_every_crash_point():
+    """The acceptance criterion's named boundaries (WAL append /
+    pre-fsync / post-fsync / mid-snapshot) must all be on the menu —
+    a crash suite that never reaches a boundary proves nothing."""
+    assert set(_TRACE.counts()) == set(CRASH_POINTS)
+
+
+@pytest.mark.parametrize(
+    "point,occurrence",
+    CRASH_SITES,
+    ids=[f"{p}#{k}" for p, k in CRASH_SITES],
+)
+def test_kill_and_recover(tmp_path, point, occurrence):
+    injector = FaultInjector(point, occurrence)
+    acked, crashed = run_stream_until_crash(
+        SCHEMA, FDS, tmp_path / "d", BASE, OPS, injector,
+        snapshot_interval=SNAPSHOT_INTERVAL,
+    )
+    assert crashed, f"injector never fired at {point}#{occurrence}"
+    recovered = reopen(SCHEMA, FDS, tmp_path / "d")
+    try:
+        assert recovered.stats.recoveries == 1
+        assert_prefix_consistent(recovered, PREFIX_STATES, acked, OPS)
+        assert_observationally_equivalent(recovered, SCHEMA, FDS, QUERY_POOL)
+    finally:
+        recovered.close()
+
+
+def test_recover_then_continue_serving(tmp_path):
+    """Recovery is not an endpoint: the reopened service keeps
+    serving, and a second crash-free restart replays what the
+    continued stream appended."""
+    injector = FaultInjector("commit.post-fsync", 10)
+    acked, crashed = run_stream_until_crash(
+        SCHEMA, FDS, tmp_path / "d", BASE, OPS, injector,
+        snapshot_interval=SNAPSHOT_INTERVAL,
+    )
+    assert crashed
+    recovered = reopen(SCHEMA, FDS, tmp_path / "d")
+    resumed = 0
+    for op in OPS[max(acked):]:
+        if op.kind == "insert":
+            recovered.insert(op.scheme, op.values)
+            resumed += 1
+        elif op.kind == "delete":
+            recovered.delete(op.scheme, op.values)
+            resumed += 1
+    assert resumed > 0
+    final = {
+        scheme.name: frozenset(tuple(t.values) for t in relation)
+        for scheme, relation in recovered.state()
+    }
+    recovered.close()
+    back = reopen(SCHEMA, FDS, tmp_path / "d")
+    try:
+        after = {
+            scheme.name: frozenset(tuple(t.values) for t in relation)
+            for scheme, relation in back.state()
+        }
+        assert after == final
+        assert_observationally_equivalent(back, SCHEMA, FDS, QUERY_POOL)
+    finally:
+        back.close()
+
+
+def test_no_crash_roundtrip_matches_oracle(tmp_path):
+    """The crash-free baseline: the full stream, closed cleanly,
+    recovers to exactly the oracle's final state."""
+    acked, crashed = run_stream_until_crash(
+        SCHEMA, FDS, tmp_path / "d", BASE, OPS, None,
+        snapshot_interval=SNAPSHOT_INTERVAL,
+    )
+    assert not crashed
+    back = reopen(SCHEMA, FDS, tmp_path / "d")
+    try:
+        finals = {
+            name: history[-1][1] for name, history in PREFIX_STATES.items()
+        }
+        got = {
+            scheme.name: frozenset(tuple(t.values) for t in relation)
+            for scheme, relation in back.state()
+        }
+        assert got == finals
+        assert_observationally_equivalent(back, SCHEMA, FDS, QUERY_POOL)
+    finally:
+        back.close()

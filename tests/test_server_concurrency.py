@@ -1,0 +1,250 @@
+"""The multi-client front end: correctness under concurrency.
+
+Fast tests pin the server's contracts single-threadedly and with small
+thread counts (equivalence to the direct service, read-your-writes,
+durable acknowledgement ordering, crash propagation, per-shard WAL
+order).  The ``slow``-marked stress test runs the full multi-writer /
+multi-reader regime from :mod:`tests.harness.drivers`: one writer per
+scheme (Theorem 3's disjoint-writer regime), concurrent readers
+asserting prefix-consistent (torn-free) reads and monotone version
+stamps, then a restart proving the acknowledged history survived.
+"""
+
+import pytest
+
+from repro.weak.durable import DurableShardedService, DurableUnavailableError
+from repro.weak.server import ServerStoppedError, WeakInstanceServer
+from repro.weak.sharded import ShardedWeakInstanceService
+from repro.workloads.schemas import disjoint_star_schema
+from repro.workloads.states import mixed_stream_workload
+
+from tests.harness.drivers import run_multi_writer_stress, wal_ops
+from tests.harness.faults import FaultInjector, InjectedCrash
+
+
+def make_plan(schema, n_ops):
+    """One op list per scheme: fresh inserts with a sentinel-row
+    toggle every tenth op, so every op changes state (and therefore
+    logs exactly one WAL record, making order observable)."""
+    plan = {}
+    columns = {}
+    for scheme in schema:
+        name = scheme.name
+        columns[name] = scheme.columns
+        width = len(scheme.columns)
+        sentinel = tuple(f"{name}-s{j}" for j in range(width))
+        ops = [("insert", sentinel)]
+        for k in range(n_ops):
+            ops.append(
+                ("insert", tuple(f"{name}-r{k}-{j}" for j in range(width)))
+            )
+            if k % 10 == 9:
+                ops.append(("delete", sentinel))
+                ops.append(("insert", sentinel))
+        plan[name] = ops
+    return plan, columns
+
+
+def expected_final(plan):
+    final = {}
+    for name, ops in plan.items():
+        rows = set()
+        for kind, row in ops:
+            rows.add(row) if kind == "insert" else rows.discard(row)
+        final[name] = frozenset(rows)
+    return final
+
+
+def served_state(server, columns=None):
+    """Rows per shard; with ``columns`` given, values are extracted in
+    declared-column order (matching the rows in a plan) rather than the
+    canonical sorted-attribute order of ``Tuple.values``."""
+    return {
+        scheme.name: frozenset(
+            tuple(t.value(c) for c in columns[scheme.name])
+            if columns
+            else tuple(t.values)
+            for t in relation
+        )
+        for scheme, relation in server.state()
+    }
+
+
+class TestServerEquivalence:
+    def test_matches_direct_service(self):
+        """A stream served through the worker pool answers exactly
+        like the same stream applied directly."""
+        schema, fds = disjoint_star_schema(3)
+        base, ops = mixed_stream_workload(
+            schema, fds, n_base=10, n_inserts=25, n_deletes=6,
+            n_queries=8, seed=11, domain_size=50,
+        )
+        direct = ShardedWeakInstanceService(schema, fds)
+        direct.load(base)
+        served = ShardedWeakInstanceService(schema, fds)
+        served.load(base)
+        with WeakInstanceServer(served, workers=3) as server:
+            for op in ops:
+                if op.kind == "insert":
+                    a = server.insert(op.scheme, op.values)
+                    b = direct.insert(op.scheme, op.values)
+                    assert (a.accepted, a.reason) == (b.accepted, b.reason)
+                elif op.kind == "delete":
+                    assert server.delete(op.scheme, op.values) == direct.delete(
+                        op.scheme, op.values
+                    )
+                else:
+                    got = {
+                        tuple(t.value(x) for x in op.attributes)
+                        for t in server.window(op.attributes)
+                    }
+                    want = {
+                        tuple(t.value(x) for x in op.attributes)
+                        for t in direct.window(op.attributes)
+                    }
+                    assert got == want
+            assert served_state(server) == {
+                scheme.name: frozenset(tuple(t.values) for t in relation)
+                for scheme, relation in direct.state()
+            }
+
+    def test_submit_after_stop_raises(self):
+        schema, fds = disjoint_star_schema(2)
+        server = WeakInstanceServer(ShardedWeakInstanceService(schema, fds))
+        with pytest.raises(ServerStoppedError):
+            server.insert("R1", ("k", "a", "b"))
+
+
+class TestDurableServing:
+    def test_acked_writes_survive_restart(self, tmp_path):
+        schema, fds = disjoint_star_schema(2)
+        service = DurableShardedService(
+            schema, fds, tmp_path / "d", auto_commit=False
+        )
+        with WeakInstanceServer(service, workers=2) as server:
+            for k in range(30):
+                out = server.insert("R1", (f"k{k}", f"a{k}", f"b{k}"))
+                assert out.accepted
+            assert server.delete("R1", ("k0", "a0", "b0"))
+            final = served_state(server)
+        service.close()
+        with DurableShardedService(schema, fds, tmp_path / "d") as back:
+            recovered = {
+                scheme.name: frozenset(tuple(t.values) for t in relation)
+                for scheme, relation in back.state()
+            }
+            assert recovered == final
+            assert len(recovered["R1"]) == 29
+
+    def test_pipelined_submits_keep_shard_wal_in_order(self, tmp_path):
+        """Per-shard write ordering: many futures submitted without
+        waiting must hit the WAL in submission order (the routing
+        serializes each scheme through one worker)."""
+        schema, fds = disjoint_star_schema(2)
+        plan, _ = make_plan(schema, 40)
+        service = DurableShardedService(
+            schema, fds, tmp_path / "d", auto_commit=False
+        )
+        with WeakInstanceServer(service, workers=2, batch_limit=7) as server:
+            futures = []
+            for name, ops in plan.items():
+                for kind, row in ops:
+                    submit = (
+                        server.submit_insert
+                        if kind == "insert"
+                        else server.submit_delete
+                    )
+                    futures.append(submit(name, row))
+            for future in futures:
+                future.result(timeout=60)
+            for name, ops in plan.items():
+                expected = [
+                    (
+                        "+" if kind == "insert" else "-",
+                        service.inner._shard(name)
+                        .checker.coerce_tuple(name, row)
+                        .values,
+                    )
+                    for kind, row in ops
+                ]
+                assert wal_ops(service, name) == expected
+        service.close()
+
+    def test_crash_fails_inflight_and_later_writes(self, tmp_path):
+        schema, fds = disjoint_star_schema(2)
+        service = DurableShardedService(
+            schema, fds, tmp_path / "d", auto_commit=False,
+            fault_hook=FaultInjector("commit.pre-fsync", 4),
+        )
+        failures = 0
+        acked = []
+        with WeakInstanceServer(service, workers=2) as server:
+            for k in range(12):
+                try:
+                    server.insert("R1", (f"k{k}", f"a{k}", f"b{k}"))
+                    acked.append(k)
+                except (InjectedCrash, DurableUnavailableError):
+                    failures += 1
+            assert service.crashed
+            assert failures > 0
+            # reads keep serving the in-memory state (degraded mode)
+            assert len(server.window(("K1", "A1a", "A1b"))) >= len(acked)
+        service.close()
+        # every acknowledged write survived the crash
+        with DurableShardedService(schema, fds, tmp_path / "d") as back:
+            rows = {tuple(t.values) for t in back.state()["R1"]}
+            for k in acked:
+                assert any(f"k{k}" in row for row in rows)
+
+
+class TestMultiWriterStress:
+    def test_stress_smoke(self):
+        """The fast lane of the stress driver: plain service, small
+        plan — runs in every suite invocation."""
+        schema, fds = disjoint_star_schema(2)
+        plan, columns = make_plan(schema, 25)
+        service = ShardedWeakInstanceService(schema, fds)
+        with WeakInstanceServer(service, workers=2) as server:
+            report = run_multi_writer_stress(server, plan, columns, readers=1)
+            assert report.errors == []
+            assert report.reads_checked > 0
+            assert served_state(server, columns) == expected_final(plan)
+
+    @pytest.mark.slow
+    def test_stress_durable_multi_writer_multi_reader(self, tmp_path):
+        """The full regime: N disjoint writers + M readers over a
+        durable server — no torn reads, monotone version stamps,
+        per-shard WAL order equal to submission order, and the final
+        state surviving a restart."""
+        schema, fds = disjoint_star_schema(4)
+        plan, columns = make_plan(schema, 120)
+        service = DurableShardedService(
+            schema, fds, tmp_path / "d", auto_commit=False
+        )
+        with WeakInstanceServer(service, workers=4, batch_limit=16) as server:
+            report = run_multi_writer_stress(server, plan, columns, readers=3)
+            assert report.errors == []
+            assert report.writes_acked == sum(len(ops) for ops in plan.values())
+            assert report.reads_checked > 0
+            assert served_state(server, columns) == expected_final(plan)
+            for name, ops in plan.items():
+                expected = [
+                    (
+                        "+" if kind == "insert" else "-",
+                        service.inner._shard(name)
+                        .checker.coerce_tuple(name, row)
+                        .values,
+                    )
+                    for kind, row in ops
+                ]
+                assert wal_ops(service, name) == expected
+        service.close()
+        with DurableShardedService(schema, fds, tmp_path / "d") as back:
+            recovered = {
+                scheme.name: frozenset(
+                    tuple(t.value(c) for c in columns[scheme.name])
+                    for t in relation
+                )
+                for scheme, relation in back.state()
+            }
+            assert recovered == expected_final(plan)
