@@ -11,7 +11,7 @@ export PYTHONPATH
 # Makefile benefits from parallel make, so pin the whole file serial.
 .NOTPARALLEL:
 
-.PHONY: help test test-fault bench bench-all bench-chase-bulk-tiny bench-weak bench-weak-tiny bench-weak-deletes bench-weak-deletes-tiny bench-weak-local bench-weak-local-tiny bench-serve bench-serve-tiny profile-chase docs clean
+.PHONY: help test test-fault bench bench-all bench-chase-bulk-tiny bench-weak bench-weak-tiny bench-weak-deletes bench-weak-deletes-tiny bench-weak-local bench-weak-local-tiny bench-query bench-query-tiny bench-serve bench-serve-tiny profile-chase docs clean
 
 help:
 	@echo "targets:"
@@ -26,6 +26,8 @@ help:
 	@echo "  bench-weak-deletes-tiny - the delete benchmark at smoke scale (CI: equivalence only, no artifact)"
 	@echo "  bench-weak-local        - sharded local path vs global chase-method service; regenerates BENCH_weak.json"
 	@echo "  bench-weak-local-tiny   - the sharded benchmark at smoke scale (CI: equivalence only, no artifact)"
+	@echo "  bench-query             - shard-routed query engine vs always-compose baseline (gate: >=5x); regenerates BENCH_weak.json"
+	@echo "  bench-query-tiny        - the query-layer benchmark at smoke scale (CI: equivalence only, no artifact)"
 	@echo "  bench-serve             - durable concurrent serving: worker-scaling throughput + 100k-row crash recovery; regenerates BENCH_serve.json"
 	@echo "  bench-serve-tiny        - the serving benchmark at smoke scale (CI: equivalence only, no artifact)"
 	@echo "  profile-chase           - cProfile top-20 of the bulk kernel and indexed engine on the cascade workload (local tooling, no artifact)"
@@ -55,7 +57,8 @@ bench-all:
 	$(PYTHON) -m pytest benchmarks/bench_weak_queries.py -q && \
 	$(PYTHON) -m pytest benchmarks/bench_weak_deletes.py -q && \
 	$(PYTHON) -m pytest benchmarks/bench_weak_local.py -q && \
-	$(PYTHON) -m pytest $(filter-out benchmarks/bench_chase.py benchmarks/bench_scaling.py benchmarks/bench_weak_queries.py benchmarks/bench_weak_deletes.py benchmarks/bench_weak_local.py,$(wildcard benchmarks/bench_*.py)) -q
+	$(PYTHON) -m pytest benchmarks/bench_query.py -q && \
+	$(PYTHON) -m pytest $(filter-out benchmarks/bench_chase.py benchmarks/bench_scaling.py benchmarks/bench_weak_queries.py benchmarks/bench_weak_deletes.py benchmarks/bench_weak_local.py benchmarks/bench_query.py,$(wildcard benchmarks/bench_*.py)) -q
 
 bench-chase-bulk-tiny:
 	REPRO_BENCH_CHASE_TINY=1 $(PYTHON) -m pytest benchmarks/bench_chase.py::test_bulk_vs_indexed_large -q
@@ -97,6 +100,12 @@ bench-weak-local:
 bench-weak-local-tiny:
 	REPRO_BENCH_WEAK_LOCAL_TINY=1 $(PYTHON) -m pytest benchmarks/bench_weak_local.py -q
 
+bench-query:
+	$(PYTHON) -m pytest benchmarks/bench_query.py -q
+
+bench-query-tiny:
+	REPRO_BENCH_QUERY_TINY=1 $(PYTHON) -m pytest benchmarks/bench_query.py -q
+
 bench-serve:
 	$(PYTHON) -m pytest benchmarks/bench_serve.py -q
 
@@ -114,6 +123,8 @@ docs:
 		repro.core.independence repro.core.maintenance repro.core.counterexamples \
 		repro.weak repro.weak.representative repro.weak.service \
 		repro.weak.sharded repro.weak.durable repro.weak.server \
+		repro.query repro.query.ast repro.query.parser \
+		repro.query.planner repro.query.engine \
 		repro.workloads >/dev/null
 	@echo "API reference written to docs/api/ (open docs/api/repro.html)"
 

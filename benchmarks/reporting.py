@@ -35,8 +35,9 @@ _NOTES = {
     ),
     "BENCH_weak.json": (
         "regenerate with: make bench-weak + make bench-weak-deletes + "
-        "make bench-weak-local (or pytest benchmarks/bench_weak_queries.py "
-        "benchmarks/bench_weak_deletes.py benchmarks/bench_weak_local.py)"
+        "make bench-weak-local + make bench-query (or pytest "
+        "benchmarks/bench_weak_queries.py benchmarks/bench_weak_deletes.py "
+        "benchmarks/bench_weak_local.py benchmarks/bench_query.py)"
     ),
     "BENCH_serve.json": (
         "regenerate with: make bench-serve (or pytest "

@@ -64,3 +64,32 @@ reduced = full_reduce(state)
 removed = state.total_tuples() - reduced.total_tuples()
 print(f"   {removed} dangling tuple(s); globally consistent: "
       f"{reduced.is_join_consistent()}")
+print()
+
+# -- the relational query layer ---------------------------------------------
+#
+# The same windows compose into relational queries: scans are windows,
+# selections push equality filters into the tableau's value indexes,
+# and the sharded service routes scheme-embedded scans to the scheme's
+# own shard (the composer is only consulted when the closure guard
+# says a window genuinely needs cross-scheme derivation).
+
+from repro.weak.sharded import ShardedWeakInstanceService
+
+service = ShardedWeakInstanceService.from_state(state, fds)
+
+print("Filtered scheme-local query (pushed into the CHR shard's indexes):")
+for t in service.query("select(C=CS101, [C H R])"):
+    print(f"   {t.value('C')} {t.value('H'):<7} room {t.value('R')}")
+print()
+
+print("Cross-scheme join (who sits with whom — built from two windows):")
+rows = service.query("join([S C], select(T=Smith, [C T]))")
+for t in sorted(rows, key=str):
+    print(f"   {t.value('S'):<6} takes {t.value('C')} from {t.value('T')}")
+print()
+
+print("explain() shows routing, pushed filters, and cache behaviour:")
+report = service.explain("select(C=CS101, [C H R])")
+for line in report.render().splitlines():
+    print("   " + line)

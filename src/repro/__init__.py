@@ -55,6 +55,7 @@ from repro.exceptions import (
     InstanceError,
     NotIndependentError,
     ParseError,
+    QueryError,
     ReproError,
     SchemaError,
 )
@@ -67,6 +68,7 @@ from repro.schema import (
     is_acyclic,
     join_tree,
 )
+from repro.query import QueryEngine, QueryExplain, parse_query, scan
 from repro.weak import (
     WeakInstanceService,
     full_reduce,
@@ -111,6 +113,11 @@ __all__ = [
     "window",
     "full_reduce",
     "WeakInstanceService",
+    # relational queries
+    "scan",
+    "parse_query",
+    "QueryEngine",
+    "QueryExplain",
     # the paper's core
     "analyze",
     "is_independent",
@@ -132,5 +139,6 @@ __all__ = [
     "InconsistentStateError",
     "ChaseBudgetExceeded",
     "NotIndependentError",
+    "QueryError",
     "__version__",
 ]

@@ -1285,6 +1285,62 @@ class ChaseTableau:
                 rows.append(vals)
         return RelationInstance(target, rows)
 
+    def total_projection_matching(
+        self,
+        attrset: AttrsLike,
+        bindings: Sequence[PyTuple[str, Any]],
+    ) -> RelationInstance:
+        """:meth:`total_projection` restricted to rows whose bound
+        attributes resolve to the given constants — answered from the
+        per-attribute value indexes instead of a full row scan.
+
+        Each ``(attr, value)`` binding becomes one bucket lookup:
+        constants are interned per column namespace and FD merges only
+        ever equate symbols within a column, so a value the column's
+        intern table has never seen cannot appear in any row — the
+        answer is empty without touching a row.  Otherwise the buckets
+        intersect to the candidate set, which is then projected like
+        :meth:`total_projection` (dedupe + all-constants check).
+        """
+        target = AttributeSet(attrset)
+        if not bindings:
+            return self.total_projection(target)
+        symbols = self.symbols
+        find = symbols.find
+        candidates: Optional[Set[int]] = None
+        for attr, value in bindings:
+            sym = symbols.interned_symbol(value, attr)
+            if sym is None:
+                return RelationInstance(target)
+            bucket = self.value_index(attr).get(find(sym))
+            if not bucket:
+                return RelationInstance(target)
+            candidates = (
+                set(bucket) if candidates is None else candidates & bucket
+            )
+            if not candidates:
+                return RelationInstance(target)
+        idxs = [self._colidx[a] for a in target]
+        bound = [(self._colidx[a], v) for a, v in bindings]
+        resolve = symbols.resolve_value
+        retracted = self._retracted
+        rows = []
+        seen: Set[PyTuple[Any, ...]] = set()
+        assert candidates is not None
+        for i in sorted(candidates):
+            if i in retracted:
+                continue
+            row = self._rows[i]
+            # re-check the bound columns against the index verdict (a
+            # stale bucket must narrow, never widen, the answer)
+            if any(resolve(row[c]) != v for c, v in bound):
+                continue
+            vals = tuple(resolve(row[i2]) for i2 in idxs)
+            if vals not in seen and all(not is_null(v) for v in vals):
+                seen.add(vals)
+                rows.append(vals)
+        return RelationInstance(target, rows)
+
     def pretty(self, max_rows: int = 30) -> str:
         resolve = self.symbols.resolve_value
         header = " | ".join(f"{c:>8}" for c in self._cols)

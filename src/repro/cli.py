@@ -5,6 +5,7 @@ Usage::
     python -m repro analyze <scenario-file>     # independence analysis
     python -m repro check <scenario-file>       # does the state satisfy Σ?
     python -m repro query <scenario-file> -a "T H R"
+    python -m repro query <scenario-file> -q "select(C=CS101, [C H R])"
     python -m repro serve <scenario-file> --ops <ops-file>
     python -m repro demo                        # the paper's examples
 
@@ -20,9 +21,20 @@ and serves through the per-scheme
     insert CHR (CS101, Tue-9, 313)
     delete CT (CS102, Jones)
     query T H R
+    query select(C=CS101, [C H R])
+    explain project(T S, join([C T], [C S]))
     derivable T=Smith H=Mon-10 R=313
     snapshot
     stats
+
+``query`` takes either plain attributes (the ``[X]``-window) or a
+relational expression in the compact form of
+:mod:`repro.query.parser` (``select(...)``, ``project(...)``,
+``join(...)``, ``[attrs]``); result rows print in canonical attribute
+order, sorted and tab-separated, with the count on the summary line.
+``explain`` runs an expression and prints the planner's routing
+(per-shard vs composer, pushed filters, cache traffic) instead of the
+rows.
 
 ``stats`` prints the service's operation counters (rebuilds, scoped
 delete rechases, cache hits/misses, affected-set sizes), so the
@@ -57,6 +69,7 @@ from repro.chase.satisfaction import satisfies
 from repro.core.independence import analyze
 from repro.dsl import Scenario, parse_scenario, parse_tuples, parse_value
 from repro.exceptions import ParseError, ReproError
+from repro.query.naive import evaluate_naive
 from repro.report import banner
 from repro.weak.durable import DurableShardedService
 from repro.weak.representative import window
@@ -91,14 +104,37 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1
 
 
+def _render_rows(facts) -> "list[str]":
+    """Result rows in canonical attribute order: one line per fact,
+    values tab-separated in the relation's (naturally sorted)
+    attribute order, lines sorted for determinism."""
+    return sorted(
+        "  " + "\t".join(str(t.value(a)) for a in facts.attributes)
+        for t in facts
+    )
+
+
+#: prefixes that mark a ``query`` operand as a relational expression
+#: rather than a plain attribute list
+_QUERY_EXPR_PREFIXES = ("[", "select(", "project(", "join(")
+
+
+def _is_query_expression(text: str) -> bool:
+    compact = text.replace(" ", "").lower()
+    return compact.startswith(_QUERY_EXPR_PREFIXES)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     scenario = _load(args.scenario)
     if scenario.state is None:
         print("scenario has no state section", file=sys.stderr)
         return 2
-    facts = window(scenario.state, scenario.fds, args.attributes)
-    for t in facts:
-        print("  " + " | ".join(f"{a}={t.value(a)}" for a in facts.attributes))
+    if args.query is not None:
+        facts = evaluate_naive(args.query, scenario.state, scenario.fds)
+    else:
+        facts = window(scenario.state, scenario.fds, args.attributes)
+    for line in _render_rows(facts):
+        print(line)
     print(f"({len(facts)} derivable fact(s) over {facts.attributes})")
     return 0
 
@@ -140,14 +176,20 @@ def _serve_one(
         return f"insert {scheme} {rows[0]}: {verdict}{suffix}"
     if op == "query":
         if not rest.strip():
-            raise ParseError(f"query needs attributes: {line!r}")
-        facts = service.window(rest)
-        lines = [
-            "  " + " | ".join(f"{a}={t.value(a)}" for a in facts.attributes)
-            for t in facts
-        ]
+            raise ParseError(f"query needs attributes or an expression: {line!r}")
+        if _is_query_expression(rest):
+            facts = service.query(rest)
+        else:
+            facts = service.window(rest)
+        lines = _render_rows(facts)
         lines.append(f"query {rest}: {len(facts)} derivable fact(s)")
         return "\n".join(lines)
+    if op == "explain":
+        if not rest.strip():
+            raise ParseError(f"explain needs a query expression: {line!r}")
+        expr = rest if _is_query_expression(rest) else f"[{rest}]"
+        report = service.explain(expr)
+        return "\n".join("  " + l for l in report.render().splitlines())
     if op == "derivable":
         fact = {}
         for token in rest.split():
@@ -158,7 +200,9 @@ def _serve_one(
         if not fact:
             raise ParseError(f"derivable needs at least one Attr=value: {line!r}")
         return f"derivable {rest}: {'yes' if service.derivable(fact) else 'no'}"
-    raise ParseError(f"unknown op {op!r} (insert/delete/query/derivable/stats)")
+    raise ParseError(
+        f"unknown op {op!r} (insert/delete/query/explain/derivable/stats)"
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -264,6 +308,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{stats.incremental_chases} incremental chases, "
         f"{stats.rebuilds} rebuilds"
     )
+    if stats.queries:
+        summary += (
+            f"; query layer: {stats.queries} relational queries "
+            f"({stats.query_result_cache_hits} result-cache hits, "
+            f"{stats.query_pushed_scans} pushed scans)"
+        )
     if isinstance(stats, ShardedServiceStats):
         summary += (
             f"; sharded: {stats.shard_windows} shard-local windows, "
@@ -316,9 +366,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("scenario")
     p.set_defaults(func=_cmd_check)
 
-    p = sub.add_parser("query", help="derivable facts over given attributes")
+    p = sub.add_parser(
+        "query",
+        help="derivable facts over given attributes, or a relational "
+        "query expression",
+    )
     p.add_argument("scenario")
-    p.add_argument("-a", "--attributes", required=True, help='e.g. "T H R"')
+    g = p.add_mutually_exclusive_group(required=True)
+    g.add_argument("-a", "--attributes", help='window attributes, e.g. "T H R"')
+    g.add_argument(
+        "-q",
+        "--query",
+        help="a relational expression, e.g. "
+        "'project(T S, select(C=CS101, join([C T], [C S])))'",
+    )
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser(

@@ -45,3 +45,9 @@ class ChaseBudgetExceeded(ReproError, RuntimeError):
 
 class NotIndependentError(ReproError):
     """Raised by convenience APIs that require an independent schema."""
+
+
+class QueryError(ReproError, ValueError):
+    """A relational query is malformed: unparsable text, a projection
+    outside its input's attributes, a predicate over attributes the
+    subquery does not produce, or a scan outside the universe."""

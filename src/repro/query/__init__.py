@@ -1,0 +1,56 @@
+"""Relational queries over weak-instance windows.
+
+The public surface:
+
+* build queries fluently — ``scan("C H R").select(C="CS101").project("H R")``
+  — or parse the compact text form — ``parse_query("project(H R,
+  select(C=CS101, [C H R]))")``;
+* hand either to any service's ``query()`` / ``explain()``
+  (:class:`repro.weak.service.WindowQueryAPI`), or drive a
+  :class:`~repro.query.engine.QueryEngine` directly;
+* :func:`~repro.query.naive.evaluate_naive` is the from-scratch
+  oracle used by the tests.
+
+See ``docs/architecture.md`` §11 for the pipeline
+(AST → normalize → route → execute → cache).
+"""
+
+from repro.query.ast import (
+    Comparison,
+    Conjunction,
+    Join,
+    Project,
+    Query,
+    Scan,
+    Select,
+    cmp,
+    eq,
+    make_predicate,
+    scan,
+)
+from repro.query.engine import QueryEngine, QueryExplain
+from repro.query.naive import evaluate_naive
+from repro.query.parser import parse_query
+from repro.query.planner import LeafPlan, PhysicalPlan, normalize, validate
+
+__all__ = [
+    "Comparison",
+    "Conjunction",
+    "Join",
+    "LeafPlan",
+    "PhysicalPlan",
+    "Project",
+    "Query",
+    "QueryEngine",
+    "QueryExplain",
+    "Scan",
+    "Select",
+    "cmp",
+    "eq",
+    "evaluate_naive",
+    "make_predicate",
+    "normalize",
+    "parse_query",
+    "scan",
+    "validate",
+]

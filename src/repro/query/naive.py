@@ -1,0 +1,36 @@
+"""The from-scratch oracle the routing tests compare against.
+
+``evaluate_naive`` answers a query with no planner, no shards, no
+caches, and no incremental state: every scan leaf re-chases the given
+state from scratch (:func:`repro.weak.representative.window`) and the
+operators above it run as plain relational algebra on
+:class:`~repro.data.relations.RelationInstance`.  Slow and obviously
+correct — exactly what an oracle should be.
+"""
+
+from __future__ import annotations
+
+from repro.data.relations import RelationInstance
+from repro.query.ast import Join, Project, Query, Scan, Select
+from repro.query.parser import parse_query
+
+
+def evaluate_naive(query, state, fds) -> RelationInstance:
+    """Evaluate ``query`` (text or AST) over ``state`` under ``fds`` by
+    re-chasing from scratch at every leaf."""
+    from repro.weak.representative import window
+
+    q = parse_query(query)
+
+    def walk(node: Query) -> RelationInstance:
+        if isinstance(node, Scan):
+            return window(state, fds, node.attrs)
+        if isinstance(node, Select):
+            return walk(node.child).select(node.pred.matches)
+        if isinstance(node, Project):
+            return walk(node.child).project(node.attrs)
+        if isinstance(node, Join):
+            return walk(node.left).natural_join(walk(node.right))
+        raise TypeError(f"not a query node: {node!r}")
+
+    return walk(q)

@@ -1,0 +1,230 @@
+"""The compact text form of relational queries.
+
+Grammar (whitespace-insensitive between tokens)::
+
+    expr  := '[' attrs ']'
+           | 'select'  '(' pred ',' expr ')'
+           | 'project' '(' attrs ',' expr ')'
+           | 'join'    '(' expr ',' expr ')'
+    pred  := cmp ('&' cmp)*
+    cmp   := NAME OP value          OP ∈ {=, !=, <, <=, >, >=}
+    attrs := NAME (NAME | ',' NAME)*
+    value := bare token | '…'-quoted string
+
+Bare value tokens follow the scenario DSL (:func:`repro.dsl.parse_value`):
+all-digit tokens become ints, everything else stays a string.  Single
+quotes protect values containing spaces, commas, parentheses, or a
+leading digit that must stay a string (``''`` escapes a quote).  The
+keywords are case-insensitive; attribute names are not.
+
+``parse_query`` is the single entry point; every malformed input
+raises :class:`~repro.exceptions.QueryError` naming the offending
+position.  ``Query.render()`` output always parses back to an equal
+tree (pinned by the round-trip tests).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple as PyTuple, Union
+
+from repro.dsl import parse_value
+from repro.exceptions import QueryError
+from repro.query.ast import (
+    Comparison,
+    Join,
+    Project,
+    Query,
+    Scan,
+    Select,
+    make_predicate,
+)
+from repro.schema.attributes import AttributeSet
+
+#: characters that end a bare token
+_DELIMS = set("()[],&=<>!")
+
+_KEYWORDS = ("select", "project", "join")
+
+
+def _tokenize(text: str) -> List[PyTuple[int, str, str]]:
+    """``(position, kind, text)`` tokens; kind is ``punct``, ``op``,
+    ``atom``, or ``quoted``."""
+    out: List[PyTuple[int, str, str]] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            buf: List[str] = []
+            while True:
+                if j >= n:
+                    raise QueryError(f"unterminated quote at position {i}")
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # '' escapes '
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            out.append((i, "quoted", "".join(buf)))
+            i = j + 1
+            continue
+        if ch in "([,])&":
+            out.append((i, "punct", ch))
+            i += 1
+            continue
+        if ch in "=<>!":
+            if text[i : i + 2] in ("!=", "<=", ">="):
+                out.append((i, "op", text[i : i + 2]))
+                i += 2
+            elif ch == "!":
+                raise QueryError(f"stray '!' at position {i} (did you mean '!='?)")
+            else:
+                out.append((i, "op", ch))
+                i += 1
+            continue
+        j = i
+        while j < n and not text[j].isspace() and text[j] not in _DELIMS and text[j] != "'":
+            j += 1
+        out.append((i, "atom", text[i:j]))
+        i = j
+    return out
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    def _peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self, what: str):
+        tok = self._peek()
+        if tok is None:
+            raise QueryError(f"unexpected end of query (expected {what})")
+        self.pos += 1
+        return tok
+
+    def _expect(self, literal: str) -> None:
+        tok = self._next(f"{literal!r}")
+        if not (tok[1] in ("punct", "op") and tok[2] == literal):
+            raise QueryError(
+                f"expected {literal!r} at position {tok[0]}, got {tok[2]!r}"
+            )
+
+    # -- grammar ----------------------------------------------------------------
+
+    def expr(self) -> Query:
+        tok = self._next("a query")
+        if tok[1] == "punct" and tok[2] == "[":
+            return self._scan()
+        if tok[1] == "atom":
+            word = tok[2].lower()
+            if word in _KEYWORDS:
+                self._expect("(")
+                if word == "select":
+                    pred = self._predicate()
+                    self._expect(",")
+                    child = self.expr()
+                    self._expect(")")
+                    return Select(child, pred)
+                if word == "project":
+                    attrs = self._attrs(stop={","})
+                    self._expect(",")
+                    child = self.expr()
+                    self._expect(")")
+                    return Project(child, attrs)
+                left = self.expr()
+                self._expect(",")
+                right = self.expr()
+                self._expect(")")
+                return Join(left, right)
+        raise QueryError(
+            f"expected '[attrs]', select(…), project(…), or join(…) at "
+            f"position {tok[0]}, got {tok[2]!r}"
+        )
+
+    def _scan(self) -> Scan:
+        attrs = self._attrs(stop={"]"})
+        self._expect("]")
+        return Scan(attrs)
+
+    def _attrs(self, stop) -> AttributeSet:
+        names: List[str] = []
+        while True:
+            tok = self._peek()
+            if tok is None:
+                raise QueryError("unexpected end of query in an attribute list")
+            if tok[1] == "punct" and tok[2] in stop:
+                break
+            if tok[1] == "punct" and tok[2] == ",":
+                self.pos += 1
+                continue
+            if tok[1] != "atom":
+                raise QueryError(
+                    f"expected an attribute name at position {tok[0]}, "
+                    f"got {tok[2]!r}"
+                )
+            names.append(tok[2])
+            self.pos += 1
+        if not names:
+            raise QueryError("empty attribute list")
+        return AttributeSet(names)
+
+    def _predicate(self):
+        parts = [self._comparison()]
+        while True:
+            tok = self._peek()
+            if tok is not None and tok[1] == "punct" and tok[2] == "&":
+                self.pos += 1
+                parts.append(self._comparison())
+            else:
+                break
+        return make_predicate(parts)
+
+    def _comparison(self) -> Comparison:
+        attr = self._next("an attribute name")
+        if attr[1] != "atom":
+            raise QueryError(
+                f"expected an attribute name at position {attr[0]}, "
+                f"got {attr[2]!r}"
+            )
+        op = self._next("a comparison operator")
+        if op[1] != "op":
+            raise QueryError(
+                f"expected a comparison operator after {attr[2]!r} at "
+                f"position {op[0]}, got {op[2]!r}"
+            )
+        val = self._next("a value")
+        if val[1] == "quoted":
+            value = val[2]
+        elif val[1] == "atom":
+            value = parse_value(val[2])
+        else:
+            raise QueryError(
+                f"expected a value at position {val[0]}, got {val[2]!r}"
+            )
+        return Comparison(attr[2], op[2], value)
+
+
+def parse_query(text: Union[str, Query]) -> Query:
+    """Parse the compact text form into an AST (a :class:`Query` passes
+    through unchanged, so every entry point can accept either)."""
+    if isinstance(text, Query):
+        return text
+    parser = _Parser(text)
+    q = parser.expr()
+    trailing = parser._peek()
+    if trailing is not None:
+        raise QueryError(
+            f"trailing input at position {trailing[0]}: {trailing[2]!r}"
+        )
+    return q

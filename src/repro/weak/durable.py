@@ -755,6 +755,16 @@ class DurableShardedService(WindowQueryAPI):
         self._ensure_open()
         return self._inner.window(attrset)
 
+    def query(self, query):
+        """Relational query against the inner sharded service (its
+        engine, its routing, its version-stamped result cache)."""
+        self._ensure_open()
+        return self._inner.query(query)
+
+    def explain(self, query):
+        self._ensure_open()
+        return self._inner.explain(query)
+
     def representative(self):
         self._ensure_open()
         return self._inner.representative()

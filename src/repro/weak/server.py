@@ -309,6 +309,41 @@ class WeakInstanceServer(WindowQueryAPI):
                     stack.enter_context(self._locks[name])
                 return self._inner.window(target)
 
+    def query(self, query):
+        """A relational query under the same locking discipline as
+        :meth:`window`, generalized to every scan leaf in the tree: if
+        the planner routes all leaves to shards, only the union of
+        their direct shards is locked; one composer leaf escalates to
+        the global read lock plus every shard lock.  Execution (and
+        the engine's caches) belong to the wrapped service."""
+        return self._locked_query(query, explain=False)
+
+    def explain(self, query):
+        """The inner service's :meth:`~repro.weak.service.
+        WindowQueryAPI.explain`, run under the same locks as
+        :meth:`query`."""
+        return self._locked_query(query, explain=True)
+
+    def _locked_query(self, query, explain: bool):
+        from repro.query.parser import parse_query
+
+        q = parse_query(query)
+        self.reads_served += 1
+        targets = {s.attrs for s in q.scans()}
+        with self._plan_lock:
+            plans = [self._inner._plan(t) for t in targets]
+        run = self.service.explain if explain else self.service.query
+        if plans and all(p.local for p in plans):
+            with ExitStack() as stack:
+                for name in sorted({n for p in plans for n in p.direct}):
+                    stack.enter_context(self._locks[name])
+                return run(q)
+        with self._global_lock:
+            with ExitStack() as stack:
+                for name in sorted(self._locks):
+                    stack.enter_context(self._locks[name])
+                return run(q)
+
     def state(self):
         """A consistent cross-shard snapshot of the stored state."""
         with self._global_lock:

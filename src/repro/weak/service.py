@@ -147,6 +147,15 @@ class ServiceStats:
     #: lazy rebuilds counted by ``rebuilds``, so the two counters are
     #: not subsets of each other
     bulk_loads: int = 0
+    #: relational queries served (:meth:`WindowQueryAPI.query`)
+    queries: int = 0
+    #: queries whose normalized AST already had a physical plan
+    query_plan_cache_hits: int = 0
+    #: queries answered from the version-stamped result cache
+    query_result_cache_hits: int = 0
+    #: leaf scans whose equality filters were pushed into the
+    #: tableau's per-attribute value indexes
+    query_pushed_scans: int = 0
 
     @property
     def window_cache_misses(self) -> int:
@@ -542,6 +551,21 @@ class LiveTableau:
             self.stats.window_cache_evictions += 1
         return facts
 
+    def filtered_window(
+        self, target: AttributeSet, bindings: Sequence[PyTuple[str, object]]
+    ) -> RelationInstance:
+        """The window with equality filters pushed into the tableau's
+        per-attribute value indexes
+        (:meth:`~repro.chase.tableau.ChaseTableau.total_projection_matching`).
+        An unfiltered call falls through to the cached :meth:`window`;
+        filtered results are not cached here — the query engine's
+        version-stamped result cache owns that layer.
+        """
+        if not bindings:
+            return self.window(target, count_hits=False)
+        tableau = self.ensure()
+        return tableau.total_projection_matching(target, bindings)
+
 
 class WindowQueryAPI:
     """Derived query entry points shared by every service exposing
@@ -568,6 +592,39 @@ class WindowQueryAPI:
         """Batch :meth:`derivable`; facts over the same attributes
         share one window lookup (and the cache)."""
         return [self.derivable(fact) for fact in facts]
+
+    # -- relational queries -----------------------------------------------------
+    #
+    # One QueryEngine per service, created on first use (services stay
+    # importable without the query package loaded).  The engine drives
+    # the service back through three duck-typed hooks — _query_route /
+    # _query_stamps / _query_scan — which each concrete service
+    # implements over its own tableau topology.
+
+    def _query_engine(self):
+        engine = getattr(self, "_engine", None)
+        if engine is None:
+            from repro.query.engine import QueryEngine
+
+            engine = QueryEngine(self)
+            self._engine = engine
+        return engine
+
+    def query(self, query) -> RelationInstance:
+        """Evaluate a relational query (compact text form or a
+        :class:`repro.query.ast.Query`) against the current state:
+        scans are ``[X]``-windows, the operators above them run as
+        planned by :mod:`repro.query.planner`, and results are served
+        from the version-stamped cache when no participating shard
+        changed.  Returns a :class:`RelationInstance`."""
+        return self._query_engine().run(query)
+
+    def explain(self, query):
+        """Like :meth:`query`, but returns the
+        :class:`repro.query.engine.QueryExplain` — routing per leaf
+        (shards vs composer), pushed filters, participants' version
+        stamps, and cache traffic — with the result attached."""
+        return self._query_engine().explain(query)
 
 
 class WeakInstanceService(WindowQueryAPI):
@@ -603,6 +660,10 @@ class WeakInstanceService(WindowQueryAPI):
         self.fds = as_fdset(fds)
         self.checker = MaintenanceChecker(schema, self.fds, method=method, report=report)
         self.stats = ServiceStats()
+        #: monotone state-change stamp: the single "participant" the
+        #: query engine's result cache keys on for this unsharded
+        #: service (the sharded service keys on per-shard versions)
+        self._mutations = 0
         self._live = LiveTableau(
             schema,
             self.fds,
@@ -704,6 +765,7 @@ class WeakInstanceService(WindowQueryAPI):
         if self.method != "chase":
             self.checker.load(state)
             self._live.invalidate()
+            self._mutations += 1
             return
         if self.checker.total_tuples() == 0:
             tableau, row_of = self._live.tableau_from(state)
@@ -726,6 +788,7 @@ class WeakInstanceService(WindowQueryAPI):
             )
         self.checker.load(state, assume_valid=True)
         self._live.adopt(tableau, chaser, row_of)
+        self._mutations += 1
 
     # -- updates -----------------------------------------------------------------
 
@@ -764,6 +827,7 @@ class WeakInstanceService(WindowQueryAPI):
         if outcome.reason:  # duplicate: nothing new to chase
             self.stats.duplicate_inserts += 1
             return outcome
+        self._mutations += 1
         self._live.append(scheme_name, outcome.tuple)
         return outcome
 
@@ -800,6 +864,7 @@ class WeakInstanceService(WindowQueryAPI):
             )
         self.checker.apply_insert(scheme_name, t)
         self.stats.inserts_accepted += 1
+        self._mutations += 1
         return InsertOutcome(accepted=True, scheme=scheme_name, tuple=t, method="chase")
 
     def delete(self, scheme_name: str, row: RowLike) -> bool:
@@ -819,6 +884,7 @@ class WeakInstanceService(WindowQueryAPI):
         if not existed:
             return False
         self.stats.deletes += 1
+        self._mutations += 1
         self._live.retract(scheme_name, t)
         return True
 
@@ -844,6 +910,27 @@ class WeakInstanceService(WindowQueryAPI):
         """The live chased tableau ``I(p)`` (read-only: mutate it and
         the service's answers are undefined)."""
         return self._live.ensure()
+
+    # -- query-engine hooks ------------------------------------------------------
+
+    def _query_route(
+        self, target: AttributeSet, always_compose: bool = False
+    ) -> PyTuple[str, PyTuple[str, ...]]:
+        """Every scan reads the one global tableau; the pseudo-shard
+        name ``"*"`` is the single result-cache participant."""
+        return ("tableau", ("*",))
+
+    def _query_stamps(self, names: Sequence[str]) -> PyTuple[int, ...]:
+        return tuple(self._mutations for _ in names)
+
+    def _query_scan(
+        self,
+        target: AttributeSet,
+        bindings: Sequence[PyTuple[str, object]],
+        route: str,
+        shards: Sequence[str],
+    ) -> RelationInstance:
+        return self._live.filtered_window(target, bindings)
 
     # -- batch APIs ----------------------------------------------------------------
 

@@ -103,6 +103,10 @@ class ShardedServiceStats(ServiceStats):
     #: journals that outgrew their bound (the next sync rebuilds the
     #: composer from state instead of replaying)
     journal_overflows: int = 0
+    #: query leaf scans answered from direct shards (planner fast path)
+    query_shard_scans: int = 0
+    #: query leaf scans that had to sync and read the global composer
+    query_composer_scans: int = 0
 
 
 @dataclass(frozen=True)
@@ -627,6 +631,55 @@ class ShardedWeakInstanceService(WindowQueryAPI):
         read-only, like the base service's)."""
         self._sync_composer()
         return self._composer.ensure()
+
+    # -- query-engine hooks ------------------------------------------------------
+
+    def _query_route(
+        self, target: AttributeSet, always_compose: bool = False
+    ) -> PyTuple[str, PyTuple[str, ...]]:
+        """Routing for one scan target: the PR 4 closure guard
+        (:meth:`_plan`) decides whether the ``[target]``-window is
+        answerable from the direct shards alone; otherwise — or under
+        ``always_compose``, the benchmark baseline — the leaf reads
+        the journal-synced global composer and the result's validity
+        depends on *every* shard."""
+        if not always_compose:
+            plan = self._plan(target)
+            if plan.local:
+                return ("shards", plan.direct)
+        else:
+            # surface the same universe check _plan would have run
+            if not target <= self.schema.universe:
+                raise SchemaError(
+                    f"window attributes {target - self.schema.universe} are "
+                    f"outside the universe {self.schema.universe}"
+                )
+        return ("composer", tuple(self._shards))
+
+    def _query_stamps(self, names: Sequence[str]) -> PyTuple[int, ...]:
+        return tuple(self._shards[n].version for n in names)
+
+    def _query_scan(
+        self,
+        target: AttributeSet,
+        bindings: Sequence[PyTuple[str, object]],
+        route: str,
+        shards: Sequence[str],
+    ) -> RelationInstance:
+        if route == "composer":
+            self.stats.query_composer_scans += 1
+            self._sync_composer()
+            return self._composer.filtered_window(target, bindings)
+        self.stats.query_shard_scans += 1
+        if len(shards) == 1:
+            return self._shards[shards[0]].live.filtered_window(target, bindings)
+        # several schemes store the target outright: dedup-union of the
+        # shard projections, exactly like the window() merge path
+        seen: Dict[PyTuple[object, ...], Tuple] = {}
+        for name in shards:
+            for t in self._shards[name].live.filtered_window(target, bindings):
+                seen.setdefault(tuple(t.value(a) for a in target), t)
+        return RelationInstance(target, list(seen.values()))
 
     # -- introspection ----------------------------------------------------------
 

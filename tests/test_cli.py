@@ -203,7 +203,7 @@ class TestServeDurable:
         assert code == 0
         out = capsys.readouterr().out
         assert f"recovered 4 tuple(s) from {store}" in out
-        assert "T=Lee" in out  # the first run's insert is back
+        assert "CS102\tLee" in out  # the first run's insert is back
         assert "wal_records_replayed" in out  # stats op shows WAL counters
 
     def test_snapshot_op(self, scenario_file, tmp_path, capsys):
