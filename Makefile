@@ -16,7 +16,7 @@ export PYTHONPATH
 help:
 	@echo "targets:"
 	@echo "  test                    - tier-1 test suite (pytest -x -q over tests/)"
-	@echo "  test-fault              - durability suite: WAL/snapshot units, crash-point recovery matrix, server concurrency (includes slow stress tests)"
+	@echo "  test-fault              - durability suite: WAL/snapshot units, crash-point recovery matrix, I/O-fault isolation (quarantine/repair), server concurrency (includes slow stress tests)"
 	@echo "  bench                   - all benchmarks; regenerates BENCH_chase.json, BENCH_weak.json and benchmarks/results.txt"
 	@echo "  bench-all               - every bench suite, strictly one after another (single recipe, immune to -j)"
 	@echo "  bench-chase-bulk-tiny   - bulk-kernel vs indexed engine at smoke scale (CI gate: >=2x)"
@@ -42,7 +42,7 @@ test:
 # multi-writer server suite — slow stress tests included (the tier-1
 # run skips nothing either; this target just scopes the fault files).
 test-fault:
-	$(PYTHON) -m pytest tests/test_durable.py tests/test_durable_recovery.py tests/test_server_concurrency.py -q
+	$(PYTHON) -m pytest tests/test_durable.py tests/test_durable_recovery.py tests/test_fault_isolation.py tests/test_server_concurrency.py -q
 
 # bench_* files are not collected by the default pytest run, so name them.
 bench:

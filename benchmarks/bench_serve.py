@@ -32,19 +32,33 @@ a short replay (asserted via the stats counters: 16 snapshot loads,
 exactly the tail replayed), not through re-validating history, and
 must beat a from-scratch chase over the same state by a wide margin.
 
+**Degraded mode** (``#degraded_serving``): the same client workload
+with one shard quarantined first (persistent injected EIO on its WAL,
+then a triggering write) — healthy-shard throughput with a sick shard
+in the store, recorded next to the all-healthy baseline over the same
+client set.  Quarantine gates a sick shard's writes before any I/O, so
+a dead shard must cost the healthy ones essentially nothing; the gate
+asserts the degraded run keeps at least half the healthy rate.
+
 Tiny mode (``REPRO_BENCH_SERVE_TINY=1``, the CI smoke step) shrinks
-both workloads and asserts only the equivalences, not the ratios.
+both workloads and asserts only the equivalences, not the ratios —
+except the degraded-vs-healthy pair, which it still records (flagged
+``"tiny": true``) so the fault-injection CI leg tracks degraded-mode
+serving on every run.
 """
 
 import os
 import threading
 import time
 
-from repro.weak.durable import DurableShardedService
+from repro.exceptions import ShardQuarantinedError
+from repro.weak.durable import SHARD_QUARANTINED, DurableShardedService
 from repro.weak.server import WeakInstanceServer
 from repro.weak.service import WeakInstanceService
 from repro.workloads.schemas import disjoint_star_schema
 from repro.workloads.states import random_satisfying_state
+
+from tests.harness.faults import FaultyIO
 
 from benchmarks.reporting import BENCH_SERVE_JSON_PATH, emit, emit_bench_json
 
@@ -99,16 +113,36 @@ def _client(server, scheme, columns, n_ops, latencies, errors):
         errors.append(f"{scheme}: {exc!r}")
 
 
-def _run_serving(workers, root):
+def _run_serving(workers, root, skip=(), quarantine=None):
+    """Drive the client workload; ``skip`` names schemes that get no
+    client, ``quarantine`` names one shard to poison (persistent EIO on
+    its WAL fsync) and knock out with a triggering write before the
+    clients start — its scheme gets no client either, so a degraded run
+    and a ``skip``-matched healthy run do identical useful work."""
     schema, fds = disjoint_star_schema(N_SCHEMES)
-    service = DurableShardedService(schema, fds, root, auto_commit=False)
+    options = {"auto_commit": False}
+    if quarantine is not None:
+        io = FaultyIO()
+        io.fail("wal.fsync", match=quarantine, times=None)
+        options.update(io=io, io_backoff=0.0)
+    service = DurableShardedService(schema, fds, root, **options)
     latencies, errors = [], []
     threads = []
+    idle = set(skip) | ({quarantine} if quarantine else set())
     with WeakInstanceServer(
         service, workers=workers, batch_limit=BATCH_LIMIT
     ) as server:
+        if quarantine is not None:
+            width = len(schema[quarantine].columns)
+            try:
+                server.insert(quarantine, tuple(f"sick-{j}" for j in range(width)))
+            except ShardQuarantinedError:
+                pass
+            assert service.shard_status(quarantine) == SHARD_QUARANTINED
         t0 = time.perf_counter()
         for scheme in schema:
+            if scheme.name in idle:
+                continue
             thread = threading.Thread(
                 target=_client,
                 args=(server, scheme.name, scheme.columns, OPS_PER_CLIENT,
@@ -120,12 +154,17 @@ def _run_serving(workers, root):
             thread.join()
         elapsed = time.perf_counter() - t0
         assert errors == [], errors
+        if quarantine is not None:
+            # still sick, still typed, still isolated
+            assert server.health()["shards"][quarantine] == SHARD_QUARANTINED
         final = {
             s.name: frozenset(tuple(t.values) for t in relation)
             for s, relation in server.state()
+            if s.name not in idle
         }
     stats = service.stats
-    assert stats.wal_records_appended == len(latencies)
+    if quarantine is None:
+        assert stats.wal_records_appended == len(latencies)
     service.close()
     latencies.sort()
     p99 = latencies[int(0.99 * (len(latencies) - 1))]
@@ -224,6 +263,46 @@ def test_throughput_scales_with_workers(tmp_path):
             "what worker parallelism can realize; the recorded "
             "fs_fsync_scaling_4_threads is this host's measured "
             "ceiling)",
+        },
+        path=BENCH_SERVE_JSON_PATH,
+    )
+
+
+def test_degraded_mode_keeps_healthy_throughput(tmp_path):
+    """One quarantined shard must not tax the healthy ones: same
+    clients, same ops, one sick shard in the store — recorded next to
+    the matched all-healthy baseline."""
+    sick = "R1"
+    healthy, final_h = _run_serving(4, tmp_path / "healthy", skip={sick})
+    degraded, final_d = _run_serving(4, tmp_path / "degraded", quarantine=sick)
+    assert final_d == final_h, "quarantine changed a healthy shard's state"
+    assert degraded["ops"] == healthy["ops"]
+    ratio = degraded["ops_per_sec"] / healthy["ops_per_sec"]
+    emit(
+        f"serve-degraded: clients={N_SCHEMES - 1} (of {N_SCHEMES}, "
+        f"{sick} quarantined) | healthy: {healthy['ops_per_sec']}/s | "
+        f"degraded: {degraded['ops_per_sec']}/s | ratio={ratio:.2f}x"
+    )
+    if not TINY:
+        assert ratio >= 0.5, (
+            f"a quarantined shard must not halve healthy-shard "
+            f"throughput, got {ratio:.2f}x"
+        )
+    emit_bench_json(
+        "degraded_serving",
+        {
+            "tiny": TINY,
+            "schemes": N_SCHEMES,
+            "quarantined_shard": sick,
+            "clients": N_SCHEMES - 1,
+            "ops_per_client": OPS_PER_CLIENT,
+            "batch_limit": BATCH_LIMIT,
+            "healthy": healthy,
+            "degraded": degraded,
+            "throughput_ratio": round(ratio, 2),
+            "acceptance": "identical healthy-shard state and op count "
+            "with one shard quarantined; degraded throughput >= 0.5x "
+            "the matched healthy baseline (gated in full mode only)",
         },
         path=BENCH_SERVE_JSON_PATH,
     )

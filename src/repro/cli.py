@@ -7,6 +7,7 @@ Usage::
     python -m repro query <scenario-file> -a "T H R"
     python -m repro query <scenario-file> -q "select(C=CS101, [C H R])"
     python -m repro serve <scenario-file> --ops <ops-file>
+    python -m repro verify-store <dir>          # offline durable-store scrub
     python -m repro demo                        # the paper's examples
 
 ``serve`` keeps a live weak-instance service over the scenario's state
@@ -25,6 +26,8 @@ and serves through the per-scheme
     explain project(T S, join([C T], [C S]))
     derivable T=Smith H=Mon-10 R=313
     snapshot
+    health
+    repair CHR
     stats
 
 ``query`` takes either plain attributes (the ``[X]``-window) or a
@@ -47,7 +50,19 @@ line number on stderr, and exits nonzero.
 ``DIR`` — per-shard write-ahead logs with group commit, periodic
 snapshots (``--snapshot-interval``), and recovery on reopen; the
 ``snapshot`` op forces one.  ``--workers N`` serves through the
-concurrent front end of :mod:`repro.weak.server`.
+concurrent front end of :mod:`repro.weak.server`; ``--max-queue``
+bounds each worker's queue (overflowing submits are shed with a typed
+error instead of growing memory).  The ``health`` op prints per-shard
+status (serving / degraded / quarantined) and, under ``--workers``,
+queue depths; ``repair <scheme>`` rebuilds one quarantined shard
+online from its newest good snapshot generation plus WAL replay.
+
+``verify-store DIR`` scrubs a durable directory offline — every
+snapshot generation's structure and CRC, every WAL frame — and exits
+nonzero when it finds anything worse than a torn tail (the expected
+residue of a crash).  Run it before reopening a store that survived a
+disk incident; ``repair`` is the online counterpart for a single
+quarantined shard.
 
 Scenario files use the DSL of :mod:`repro.dsl`::
 
@@ -71,7 +86,7 @@ from repro.dsl import Scenario, parse_scenario, parse_tuples, parse_value
 from repro.exceptions import ParseError, ReproError
 from repro.query.naive import evaluate_naive
 from repro.report import banner
-from repro.weak.durable import DurableShardedService
+from repro.weak.durable import DurableShardedService, verify_store
 from repro.weak.representative import window
 from repro.weak.server import WeakInstanceServer
 from repro.weak.service import WeakInstanceService
@@ -160,6 +175,34 @@ def _serve_one(
             )
         service.snapshot()
         return "snapshot: written"
+    if op == "health":
+        report = service.health()
+        lines = [f"health: {report['status']}"]
+        for name in sorted(report.get("shards", {})):
+            status = report["shards"][name]
+            detail = report.get("errors", {}).get(name, "")
+            lines.append(f"  {name} = {status}" + (f" — {detail}" if detail else ""))
+        depths = report.get("queue_depths")
+        if depths is not None:
+            lines.append(
+                f"  queues = {depths} (max {report.get('max_queue', 0) or 'unbounded'}, "
+                f"{report.get('requests_shed', 0)} shed)"
+            )
+        return "\n".join(lines)
+    if op == "repair":
+        if not hasattr(service, "repair"):
+            raise ParseError(
+                "repair requires a durable service (serve --durable DIR)"
+            )
+        if not rest.strip():
+            raise ParseError(f"repair needs a scheme name: {line!r}")
+        report = service.repair(rest.strip())
+        return (
+            f"repair {report['shard']}: {report['previous_status']} -> serving, "
+            f"{report['rows']} row(s) from generation {report['generation']}, "
+            f"{report['wal_records_replayed']} WAL record(s) replayed, "
+            f"{report['staged_records_dropped']} unacknowledged staged record(s) dropped"
+        )
     if op in ("insert", "delete"):
         scheme, _, spec = rest.partition(" ")
         if not scheme or not spec.strip():
@@ -201,7 +244,8 @@ def _serve_one(
             raise ParseError(f"derivable needs at least one Attr=value: {line!r}")
         return f"derivable {rest}: {'yes' if service.derivable(fact) else 'no'}"
     raise ParseError(
-        f"unknown op {op!r} (insert/delete/query/explain/derivable/stats)"
+        f"unknown op {op!r} "
+        "(insert/delete/query/explain/derivable/snapshot/health/repair/stats)"
     )
 
 
@@ -230,13 +274,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(report.summary(), file=sys.stderr)
             return 1
         if args.durable:
-            service = DurableShardedService(
-                scenario.schema, scenario.fds, args.durable,
-                report=report,
-                snapshot_interval=args.snapshot_interval,
-                auto_commit=args.workers == 0,
-                bulk_loads=args.bulk_load,
-            )
+            try:
+                service = DurableShardedService(
+                    scenario.schema, scenario.fds, args.durable,
+                    report=report,
+                    snapshot_interval=args.snapshot_interval,
+                    auto_commit=args.workers == 0,
+                    bulk_loads=args.bulk_load,
+                )
+            except (ReproError, OSError) as exc:
+                # a corrupt or unreadable store at open time is an
+                # operator problem, not a traceback: one typed line,
+                # exit 1 (same convention as mid-stream op errors)
+                print(
+                    f"error: cannot open durable store {args.durable}: "
+                    f"{type(exc).__name__}: {exc}",
+                    file=sys.stderr,
+                )
+                return 1
         else:
             service = ShardedWeakInstanceService(
                 scenario.schema, scenario.fds, report=report,
@@ -273,7 +328,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        server = WeakInstanceServer(service, workers=args.workers).start()
+        server = WeakInstanceServer(
+            service, workers=args.workers, max_queue=args.max_queue
+        ).start()
     target = server if server is not None else service
     exit_code = 0
     try:
@@ -330,6 +387,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(summary)
     sys.stdout.flush()
     return exit_code
+
+
+def _cmd_verify_store(args: argparse.Namespace) -> int:
+    report = verify_store(args.root)
+    print(f"store {report['root']}: {'OK' if report['ok'] else 'CORRUPT'}")
+    for finding in report["findings"]:
+        print(f"  {finding}")
+    for name in sorted(report["shards"]):
+        entry = report["shards"][name]
+        snaps = ", ".join(
+            f"gen {s['generation']}: "
+            + (f"{s['tuples']} tuple(s)" if s["ok"] else "CORRUPT")
+            for s in entry["snapshots"]
+        ) or "no snapshot"
+        line = f"  {name}: {snaps}; WAL {entry['wal_records']} record(s)"
+        if entry.get("wal_torn_tail_bytes"):
+            line += f", torn tail ({entry['wal_torn_tail_bytes']} byte(s))"
+        print(line)
+        for finding in entry["findings"]:
+            print(f"    {finding}")
+    return 0 if report["ok"] else 1
 
 
 def _cmd_demo(_args: argparse.Namespace) -> int:
@@ -437,7 +515,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --durable: snapshot a shard after K WAL records "
         f"(default: {DurableShardedService.DEFAULT_SNAPSHOT_INTERVAL})",
     )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --workers: bound each worker's queue at N pending "
+        "writes; submits against a full queue are shed with a typed "
+        "ServiceOverloadedError instead of growing memory (default: "
+        "0 = unbounded)",
+    )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "verify-store",
+        help="scrub a durable store directory offline: every snapshot "
+        "generation's CRC and structure, every WAL frame; exits 1 on "
+        "anything worse than a torn tail",
+    )
+    p.add_argument("root", help="the --durable directory to scrub")
+    p.set_defaults(func=_cmd_verify_store)
 
     p = sub.add_parser("demo", help="run the paper's examples")
     p.set_defaults(func=_cmd_demo)

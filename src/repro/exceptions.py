@@ -51,3 +51,25 @@ class QueryError(ReproError, ValueError):
     """A relational query is malformed: unparsable text, a projection
     outside its input's attributes, a predicate over attributes the
     subquery does not produce, or a scan outside the universe."""
+
+
+class ShardQuarantinedError(ReproError):
+    """One shard of a durable service is out of service — quarantined
+    after a persistent I/O failure, degraded read-only (ENOSPC), or
+    mid-repair.  The error names the shard and its status so callers
+    (and the server front end) can keep serving every other shard:
+    Theorem 3 makes the shards independent failure domains, so a sick
+    shard never implies a sick service."""
+
+    def __init__(self, shard: str, status: str = "quarantined", reason: str = ""):
+        detail = f" ({reason})" if reason else ""
+        super().__init__(f"shard {shard!r} is {status}{detail}")
+        self.shard = shard
+        self.status = status
+        self.reason = reason
+
+
+class ServiceOverloadedError(ReproError):
+    """The server shed this request: the target worker's bounded queue
+    stayed full past the submit timeout.  The request was NOT applied;
+    retrying later (or against a less loaded shard) is safe."""

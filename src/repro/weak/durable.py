@@ -59,7 +59,45 @@ raise :class:`DurableUnavailableError`) and the test harness re-opens
 the directory with a fresh instance, exactly like a restart after
 ``kill -9``.  The ``commit.partial`` point additionally models a torn
 machine-crash write: it fires after only a prefix of a WAL's staged
-bytes has reached the file.
+bytes has reached the file.  Below the crash points sits an
+**injectable I/O layer** (:class:`StoreIO`): every WAL and snapshot
+file operation goes through one substitutable object, so the harness
+(``tests/harness/faults.FaultyIO``) can return ``EIO``/``ENOSPC``,
+tear writes, or flip bits on reads deterministically.
+
+**Fault isolation.**  Theorem 3 makes the shards independent failure
+domains, and the durability layer honors that end to end.  An
+:class:`OSError` escaping a shard's WAL or snapshot path is retried
+with bounded exponential backoff (``io_retries`` / ``io_backoff``);
+a persistent failure confines the damage to that shard:
+
+* ``ENOSPC`` **degrades** the shard to read-only — reads keep serving
+  the in-memory state, writes raise
+  :class:`~repro.exceptions.ShardQuarantinedError`, and every write
+  attempt *probes* for recovery (space freed → the backlog flushes and
+  the shard returns to serving on its own).
+* Any other persistent I/O error **quarantines** the shard: writes
+  *and* reads that need it raise the typed error, while the window
+  planner keeps answering every query whose plan does not involve the
+  sick shard (the closure guard decides).  The shard's un-fsynced
+  records stay staged in memory for the repair path.
+* :meth:`DurableShardedService.repair` heals online: newest good
+  snapshot generation (the install keeps the last
+  ``snapshot_generations`` files as a rename chain) + WAL-tail replay
+  + a fresh bulk-loaded shard, then un-quarantine.  The offline
+  counterpart is :func:`verify_store` (the ``repro verify-store``
+  scrubber), which walks every CRC and snapshot generation without
+  opening the service.
+
+Non-``OSError`` exceptions keep the old whole-service crash latch:
+they mean the *process* state is suspect, not one shard's disk.
+
+**WAL corruption accounting.**  Replay distinguishes a torn *tail*
+(expected after a crash: quietly truncated) from mid-file corruption
+with valid frames stranded after it (unexpected: counted in
+``wal_corrupt_frames`` / ``wal_truncated_bytes``, logged, and
+surfaced by ``verify-store``) — good records are never dropped
+silently.
 
 **Threading.**  Mutations and snapshots are safe under concurrent use:
 each scheme has a reentrant shard lock (:meth:`shard_lock`) guarding
@@ -75,13 +113,16 @@ operation applies.
 
 from __future__ import annotations
 
+import errno as _errno
 import json
+import logging
 import os
 import pathlib
 import struct
 import threading
+import time
 from contextlib import ExitStack
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     Callable,
     Dict,
@@ -99,9 +140,11 @@ from repro.core.maintenance import InsertOutcome
 from repro.data.states import DatabaseState
 from repro.deps.fd import FD
 from repro.deps.fdset import FDSet
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ShardQuarantinedError
 from repro.weak.service import WindowQueryAPI
 from repro.weak.sharded import ShardedServiceStats, ShardedWeakInstanceService
+
+_log = logging.getLogger(__name__)
 
 #: Crash-point names, in the order a mutation's life passes them.  The
 #: fault-injection harness (``tests/harness``) enumerates these; the
@@ -130,10 +173,62 @@ SNAPSHOT_NAME = "snapshot.json"
 _SNAPSHOT_TMP = "snapshot.json.tmp"
 _FORMAT = 1
 
+#: frames larger than this never come out of :func:`_encode_record`;
+#: the resync scanner uses it to reject garbage "headers" cheaply
+_MAX_FRAME_PAYLOAD = 1 << 24
+
+#: per-shard health states (the ``health()`` surface)
+SHARD_SERVING = "serving"
+SHARD_DEGRADED = "degraded"        # read-only: ENOSPC, probing for recovery
+SHARD_QUARANTINED = "quarantined"  # persistent I/O failure: reads+writes refused
+SHARD_REPAIRING = "repairing"      # repair() is rebuilding it from disk
+
+
+class StoreIO:
+    """Every filesystem operation the durability layer performs, as one
+    substitutable object.
+
+    The default implementation is the real thing; the fault-injection
+    harness (``tests/harness/faults.FaultyIO``) subclasses it to raise
+    ``EIO``/``ENOSPC`` at scripted occurrences, tear writes, and flip
+    bits on reads — which is what makes the quarantine/retry/repair
+    machinery deterministically testable.  Only :class:`OSError` may
+    be raised from these methods (that is the contract the per-shard
+    fault handling keys on).
+    """
+
+    def wal_write(self, handle, blob: bytes, path: pathlib.Path) -> None:
+        handle.write(blob)
+
+    def wal_fsync(self, handle, path: pathlib.Path) -> None:
+        os.fsync(handle.fileno())
+
+    def truncate(self, path: pathlib.Path, size: int) -> None:
+        os.truncate(path, size)
+
+    def read_bytes(self, path: pathlib.Path) -> bytes:
+        return path.read_bytes()
+
+    def snapshot_write(self, path: pathlib.Path, payload: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def replace(self, src: pathlib.Path, dst: pathlib.Path) -> None:
+        os.replace(src, dst)
+
+    def dir_fsync(self, directory: pathlib.Path) -> None:
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
 
 class DurableUnavailableError(ReproError):
-    """The durable service crashed (a fault hook fired or an I/O error
-    escaped a commit/snapshot) and must be re-opened from disk."""
+    """The durable service crashed (a fault hook fired or a non-I/O
+    error escaped a commit/snapshot) and must be re-opened from disk."""
 
 
 @dataclass
@@ -161,6 +256,24 @@ class DurableServiceStats(ShardedServiceStats):
     snapshot_loads: int = 0
     #: service opens that recovered existing on-disk state
     recoveries: int = 0
+    #: transient I/O errors absorbed by the bounded-backoff retry loop
+    io_retries: int = 0
+    #: shards quarantined by a persistent (non-ENOSPC) I/O failure
+    shards_quarantined: int = 0
+    #: shards degraded to read-only by persistent ENOSPC
+    shards_degraded: int = 0
+    #: shards healed — by :meth:`DurableShardedService.repair` or by a
+    #: successful degraded-mode recovery probe
+    shards_recovered: int = 0
+    #: WAL corruption events: a bad region *followed by valid frames*
+    #: (a torn tail — the expected crash residue — does not count)
+    wal_corrupt_frames: int = 0
+    #: bytes dropped from WALs by mid-file corruption (bad region plus
+    #: the stranded records after it; torn tails do not count)
+    wal_truncated_bytes: int = 0
+    #: recoveries that fell back past a bad snapshot to an older
+    #: generation (acknowledged records may have rolled back — logged)
+    snapshot_fallbacks: int = 0
 
 
 def _encode_record(op: str, values: Sequence[object]) -> bytes:
@@ -204,6 +317,130 @@ def _decode_records(data: bytes) -> PyTuple[List[PyTuple[str, PyTuple[object, ..
     return ops, offset
 
 
+def _frame_at(data: bytes, offset: int) -> Optional[PyTuple[int, PyTuple[str, PyTuple[object, ...]]]]:
+    """Decode the frame starting exactly at ``offset``; returns
+    ``(next_offset, (op, values))`` or ``None`` if no valid frame
+    starts there."""
+    header = _FRAME.size
+    if offset + header > len(data):
+        return None
+    length, crc = _FRAME.unpack_from(data, offset)
+    if length > _MAX_FRAME_PAYLOAD:
+        return None
+    start = offset + header
+    end = start + length
+    if end > len(data):
+        return None
+    payload = data[start:end]
+    if crc32(payload) != crc:
+        return None
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if (
+        not isinstance(record, list)
+        or len(record) != 2
+        or record[0] not in ("+", "-")
+        or not isinstance(record[1], list)
+    ):
+        return None
+    return end, (record[0], tuple(record[1]))
+
+
+@dataclass
+class WalScan:
+    """What a forward scan of one WAL file found.
+
+    ``ops``/``good_offset`` are the trusted prefix — exactly what
+    replay applies (replaying records *past* a gap would reorder the
+    shard's history, so stranded records are reported, never applied).
+    ``corrupt`` distinguishes the two failure shapes: a torn tail
+    (``False`` — the expected residue of a crash mid-append, truncated
+    quietly) versus mid-file corruption with valid frames after it
+    (``True`` — unexpected, counted and surfaced).
+    """
+
+    ops: List[PyTuple[str, PyTuple[object, ...]]] = field(default_factory=list)
+    #: byte length of the intact prefix
+    good_offset: int = 0
+    #: bytes in the file beyond the intact prefix (0 for a clean WAL)
+    tail_bytes: int = 0
+    #: True iff valid frames exist after a bad region (mid-file corruption)
+    corrupt: bool = False
+    #: distinct bad regions the resync scan crossed
+    corrupt_regions: int = 0
+    #: valid frames stranded after the first bad region (reported, not replayed)
+    stranded_records: int = 0
+
+
+def _scan_records(data: bytes) -> WalScan:
+    """Parse one WAL image: the trusted prefix plus a forward resync
+    scan past any bad region, so a torn tail and mid-file corruption
+    are told apart (module docstring: *WAL corruption accounting*)."""
+    ops, good = _decode_records(data)
+    scan = WalScan(ops=ops, good_offset=good, tail_bytes=len(data) - good)
+    offset = good + 1
+    total = len(data)
+    while offset < total:
+        hit = _frame_at(data, offset)
+        if hit is None:
+            offset += 1
+            continue
+        # a valid frame after a bad region: mid-file corruption
+        scan.corrupt = True
+        scan.corrupt_regions += 1
+        while hit is not None:
+            offset = hit[0]
+            scan.stranded_records += 1
+            hit = _frame_at(data, offset)
+        offset += 1
+    return scan
+
+
+def _snapshot_payload(name: str, attributes: Sequence[str], rows: List[list]) -> str:
+    """Serialize one shard snapshot.  The ``crc`` covers the tuples
+    serialization, so a bit-flip anywhere in the data is detected by
+    recovery/``verify-store`` and the generation chain falls back."""
+    tuples_json = json.dumps(rows, separators=(",", ":"))
+    return (
+        '{"format":%d,"scheme":%s,"attributes":%s,"crc":%d,"tuples":%s}'
+        % (
+            _FORMAT,
+            json.dumps(name),
+            json.dumps(list(attributes)),
+            crc32(tuples_json.encode("utf-8")),
+            tuples_json,
+        )
+    )
+
+
+def _parse_snapshot(data: bytes, name: str) -> dict:
+    """Parse and validate one snapshot image; raises
+    :class:`ReproError` on any structural or CRC mismatch.  Snapshots
+    written before the ``crc`` field are accepted without the check."""
+    try:
+        snap = json.loads(data.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ReproError(f"unparsable snapshot: {exc}") from None
+    if not isinstance(snap, dict) or snap.get("format") != _FORMAT:
+        raise ReproError(f"unsupported snapshot format {snap.get('format')!r}"
+                         if isinstance(snap, dict) else "snapshot is not an object")
+    if snap.get("scheme") != name:
+        raise ReproError(
+            f"snapshot is for scheme {snap.get('scheme')!r}, not {name!r}"
+        )
+    tuples = snap.get("tuples")
+    if not isinstance(tuples, list) or not all(isinstance(r, list) for r in tuples):
+        raise ReproError("snapshot tuples are malformed")
+    crc = snap.get("crc")
+    if crc is not None:
+        tuples_json = json.dumps(tuples, separators=(",", ":"))
+        if crc32(tuples_json.encode("utf-8")) != crc:
+            raise ReproError("snapshot CRC mismatch (bit rot or torn write)")
+    return snap
+
+
 class _ShardWal:
     """One scheme's append-only WAL file plus its staged-record buffer.
 
@@ -216,6 +453,7 @@ class _ShardWal:
 
     __slots__ = (
         "path",
+        "io",
         "_file",
         "pending",
         "pending_records",
@@ -223,8 +461,9 @@ class _ShardWal:
         "io_lock",
     )
 
-    def __init__(self, path: pathlib.Path):
+    def __init__(self, path: pathlib.Path, io: StoreIO):
         self.path = path
+        self.io = io
         self._file = None
         self.pending: List[bytes] = []
         self.pending_records = 0
@@ -256,22 +495,49 @@ class _ShardWal:
         self.pending_records = 0
         return blob, count
 
+    def restage_front(self, blob: bytes, count: int) -> None:
+        """Put a drained-but-unwritten blob back at the *front* of the
+        buffer (a failed commit must not reorder the shard's history
+        behind records staged while it was failing)."""
+        self.pending.insert(0, blob)
+        self.pending_records += count
+
+    def size(self) -> int:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
     def write(self, blob: bytes, fault: Optional[FaultHook]) -> None:
         """Append a drained blob, exercising the torn-write crash
         point halfway through when a hook is installed."""
         handle = self._handle()
         if fault is not None and len(blob) > 1:
             half = len(blob) // 2
-            handle.write(blob[:half])
+            self.io.wal_write(handle, blob[:half], self.path)
             handle.flush()
             fault("commit.partial")
-            handle.write(blob[half:])
+            self.io.wal_write(handle, blob[half:], self.path)
         else:
-            handle.write(blob)
+            self.io.wal_write(handle, blob, self.path)
         handle.flush()
 
     def fsync(self) -> None:
-        os.fsync(self._handle().fileno())
+        self.io.wal_fsync(self._handle(), self.path)
+
+    def rollback_to(self, size: int) -> None:
+        """Best-effort cut back to ``size`` bytes — removes any
+        partial append a failed commit left, so a retry (or a later
+        probe) re-appends the full blob instead of stacking a corrupt
+        half-frame under it."""
+        try:
+            self._handle().flush()
+            if self.size() > size:
+                self.io.truncate(self.path, size)
+        except OSError:
+            # the disk is already misbehaving; recovery's torn-frame
+            # handling deals with whatever landed
+            pass
 
     def truncate(self) -> None:
         # _handle() also creates the file when no record was ever
@@ -279,7 +545,7 @@ class _ShardWal:
         # an empty WAL behind for the next open)
         handle = self._handle()
         handle.flush()
-        os.truncate(self.path, 0)
+        self.io.truncate(self.path, 0)
         self.records_since_snapshot = 0
 
     def close(self) -> None:
@@ -303,6 +569,13 @@ class DurableShardedService(WindowQueryAPI):
     """
 
     DEFAULT_SNAPSHOT_INTERVAL = 4096
+    #: snapshot files kept per shard (the newest plus K-1 predecessors
+    #: in a rename chain) — the rollback depth of ``repair``
+    DEFAULT_SNAPSHOT_GENERATIONS = 3
+    #: transient-I/O-error retries before a shard degrades/quarantines
+    DEFAULT_IO_RETRIES = 2
+    #: first retry backoff in seconds (doubles per attempt)
+    DEFAULT_IO_BACKOFF = 0.005
 
     def __init__(
         self,
@@ -313,12 +586,20 @@ class DurableShardedService(WindowQueryAPI):
         snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL,
         auto_commit: bool = True,
         fault_hook: Optional[FaultHook] = None,
+        io: Optional[StoreIO] = None,
+        snapshot_generations: int = DEFAULT_SNAPSHOT_GENERATIONS,
+        io_retries: int = DEFAULT_IO_RETRIES,
+        io_backoff: float = DEFAULT_IO_BACKOFF,
         **service_options,
     ):
         self.root = pathlib.Path(root)
         self.snapshot_interval = snapshot_interval
         self.auto_commit = auto_commit
         self.fault_hook = fault_hook
+        self.io = io if io is not None else StoreIO()
+        self.snapshot_generations = max(1, snapshot_generations)
+        self.io_retries = io_retries
+        self.io_backoff = io_backoff
         self.stats = DurableServiceStats()
         self._inner = ShardedWeakInstanceService(
             schema, fds, report=report, stats=self.stats, **service_options
@@ -339,6 +620,10 @@ class DurableShardedService(WindowQueryAPI):
         self._committed_gen = -1
         self._wals: Dict[str, _ShardWal] = {}
         self._dirty: List[str] = []
+        self._shard_status: Dict[str, str] = {
+            name: SHARD_SERVING for name in self._inner.shard_names()
+        }
+        self._shard_errors: Dict[str, str] = {}
         existing = (self.root / MANIFEST_NAME).exists()
         self._init_layout(existing)
         if existing:
@@ -352,13 +637,26 @@ class DurableShardedService(WindowQueryAPI):
     def wal_path(self, name: str) -> pathlib.Path:
         return self._shard_dir(name) / WAL_NAME
 
-    def snapshot_path(self, name: str) -> pathlib.Path:
-        return self._shard_dir(name) / SNAPSHOT_NAME
+    def snapshot_path(self, name: str, generation: int = 0) -> pathlib.Path:
+        """Generation 0 is the newest snapshot (``snapshot.json``);
+        ``k > 0`` is the k-th predecessor in the rename chain."""
+        base = self._shard_dir(name) / SNAPSHOT_NAME
+        if generation == 0:
+            return base
+        return base.with_name(f"{SNAPSHOT_NAME}.{generation}")
 
     def _init_layout(self, existing: bool) -> None:
         names = sorted(self._inner.shard_names())
         if existing:
-            manifest = json.loads((self.root / MANIFEST_NAME).read_text())
+            manifest_path = self.root / MANIFEST_NAME
+            try:
+                manifest = json.loads(manifest_path.read_text())
+            except ValueError as exc:
+                raise ReproError(
+                    f"corrupt durable manifest {manifest_path}: {exc}; "
+                    f"run `repro verify-store {self.root}` to inspect "
+                    f"the store"
+                ) from None
             if manifest.get("format") != _FORMAT:
                 raise ReproError(
                     f"unsupported durable format {manifest.get('format')!r} "
@@ -379,7 +677,56 @@ class DurableShardedService(WindowQueryAPI):
             )
             os.replace(tmp, self.root / MANIFEST_NAME)
         for name in names:
-            self._wals[name] = _ShardWal(self.wal_path(name))
+            self._wals[name] = _ShardWal(self.wal_path(name), self.io)
+
+    def _load_snapshot_rows(
+        self, name: str
+    ) -> PyTuple[Optional[Dict[PyTuple[object, ...], None]], Optional[int], int]:
+        """Walk the shard's snapshot generations newest-first and
+        return ``(rows, generation, bad_generations)`` — ``rows`` from
+        the newest generation that parses and passes its CRC, or
+        ``(None, None, bad)`` when no generation is readable (no
+        snapshot at all, or every one corrupt)."""
+        bad = 0
+        for generation in range(self.snapshot_generations):
+            path = self.snapshot_path(name, generation)
+            if not path.exists():
+                continue
+            try:
+                snap = _parse_snapshot(self.io.read_bytes(path), name)
+            except (OSError, ReproError) as exc:
+                bad += 1
+                _log.warning("bad snapshot %s (generation %d): %s", path, generation, exc)
+                continue
+            rows: Dict[PyTuple[object, ...], None] = {}
+            for values in snap["tuples"]:
+                rows[tuple(values)] = None
+            return rows, generation, bad
+        return None, None, bad
+
+    def _read_wal(self, name: str, wal: _ShardWal) -> WalScan:
+        """Scan the shard's WAL, count mid-file corruption (module
+        docstring: *WAL corruption accounting*), and cut the file back
+        to its intact prefix."""
+        if not wal.path.exists():
+            return WalScan()
+        scan = _scan_records(self.io.read_bytes(wal.path))
+        if scan.corrupt:
+            self.stats.wal_corrupt_frames += scan.corrupt_regions
+            self.stats.wal_truncated_bytes += scan.tail_bytes
+            _log.warning(
+                "WAL %s: mid-file corruption — %d bad region(s), %d intact "
+                "record(s) stranded after it, %d byte(s) dropped (replay "
+                "keeps the intact prefix; `repro verify-store` shows the "
+                "damage)",
+                wal.path, scan.corrupt_regions, scan.stranded_records,
+                scan.tail_bytes,
+            )
+        if scan.tail_bytes:
+            # torn or corrupt tail: drop it before appending — anything
+            # written after it would hide later records
+            self.io.truncate(wal.path, scan.good_offset)
+        return scan
 
     def _recover(self) -> None:
         """Snapshot + WAL-tail replay per shard, then one atomic load.
@@ -388,7 +735,11 @@ class DurableShardedService(WindowQueryAPI):
         :meth:`~repro.weak.sharded.ShardedWeakInstanceService.load`
         that follows builds the shard indexes, and every tableau is
         rebuilt lazily by the bulk kernel when first queried — the
-        recovery path never chases.
+        recovery path never chases.  A shard whose newest snapshot is
+        corrupt falls back to the next good generation (logged and
+        counted — acknowledged records may roll back, which beats the
+        alternative of not opening at all); a shard with *no* good
+        generation but corrupt ones opens quarantined for ``repair``.
         """
         relations: Dict[str, List[Dict[str, object]]] = {}
         replayed = 0
@@ -401,26 +752,38 @@ class DurableShardedService(WindowQueryAPI):
             tmp = self._shard_dir(name) / _SNAPSHOT_TMP
             if tmp.exists():  # crash before the snapshot rename: discard
                 tmp.unlink()
-            rows: Dict[PyTuple[object, ...], None] = {}
-            snap_path = self.snapshot_path(name)
-            if snap_path.exists():
-                snap = json.loads(snap_path.read_text())
-                for values in snap["tuples"]:
-                    rows[tuple(values)] = None
+            rows, generation, bad = self._load_snapshot_rows(name)
+            if rows is None and bad:
+                # every generation corrupt: open the shard quarantined
+                # (the healthy shards keep serving; repair can retry
+                # once the operator restores a snapshot file)
+                self._set_status(
+                    name,
+                    SHARD_QUARANTINED,
+                    f"no readable snapshot generation ({bad} corrupt)",
+                )
+                relations[name] = []
+                continue
+            if rows is None:
+                rows = {}
+            else:
                 snapshot_loads += 1
-            if wal.path.exists():
-                ops, good = _decode_records(wal.path.read_bytes())
-                if good < wal.path.stat().st_size:
-                    # torn or corrupt tail: drop it before appending
-                    # anything after it would hide later records
-                    os.truncate(wal.path, good)
-                for op, values in ops:
-                    if op == "+":
-                        rows[values] = None
-                    else:
-                        rows.pop(values, None)
-                replayed += len(ops)
-                wal.records_since_snapshot = len(ops)
+                if generation > 0:
+                    self.stats.snapshot_fallbacks += 1
+                    _log.warning(
+                        "shard %s: snapshot generation 0 unreadable; "
+                        "recovered from generation %d (acknowledged "
+                        "records after that snapshot are lost)",
+                        name, generation,
+                    )
+            scan = self._read_wal(name, wal)
+            for op, values in scan.ops:
+                if op == "+":
+                    rows[values] = None
+                else:
+                    rows.pop(values, None)
+            replayed += len(scan.ops)
+            wal.records_since_snapshot = len(scan.ops)
             relations[name] = [
                 dict(zip(attr_names, values)) for values in rows
             ]
@@ -430,7 +793,7 @@ class DurableShardedService(WindowQueryAPI):
         if any(relations.values()):
             self._inner.load(DatabaseState(self.schema, relations))
 
-    # -- crash discipline --------------------------------------------------------
+    # -- crash discipline and per-shard health -----------------------------------
 
     @property
     def crashed(self) -> bool:
@@ -452,6 +815,107 @@ class DurableShardedService(WindowQueryAPI):
         with self._commit_cond:
             self._commit_cond.notify_all()
 
+    def shard_status(self, name: str) -> str:
+        """One shard's health state (:data:`SHARD_SERVING` /
+        :data:`SHARD_DEGRADED` / :data:`SHARD_QUARANTINED` /
+        :data:`SHARD_REPAIRING`)."""
+        self._inner._shard(name)  # unknown-scheme error, same as reads
+        return self._shard_status[name]
+
+    def health(self) -> Dict[str, object]:
+        """The per-shard status surface: overall status (``serving``
+        iff every shard serves and the service has not crashed) plus
+        each shard's state and last error."""
+        shards = dict(self._shard_status)
+        if self._crashed:
+            status = "crashed"
+        elif all(s == SHARD_SERVING for s in shards.values()):
+            status = "serving"
+        else:
+            status = "degraded"
+        return {
+            "status": status,
+            "shards": shards,
+            "errors": dict(self._shard_errors),
+        }
+
+    def _set_status(self, name: str, status: str, reason: str = "") -> None:
+        previous = self._shard_status[name]
+        self._shard_status[name] = status
+        if reason:
+            self._shard_errors[name] = reason
+        elif status == SHARD_SERVING:
+            self._shard_errors.pop(name, None)
+        if status != previous:
+            if status == SHARD_QUARANTINED:
+                self.stats.shards_quarantined += 1
+            elif status == SHARD_DEGRADED:
+                self.stats.shards_degraded += 1
+            elif status == SHARD_SERVING and previous in (
+                SHARD_DEGRADED, SHARD_QUARANTINED, SHARD_REPAIRING
+            ):
+                self.stats.shards_recovered += 1
+        # reads must route around quarantined/repairing shards (the
+        # planner's closure guard decides which plans survive); a
+        # degraded shard is read-only but still readable
+        self._inner.set_unavailable(
+            {
+                n: s
+                for n, s in self._shard_status.items()
+                if s in (SHARD_QUARANTINED, SHARD_REPAIRING)
+            }
+        )
+
+    def _shard_fault(self, name: str, exc: OSError) -> ShardQuarantinedError:
+        """Record a persistent I/O failure on one shard: ENOSPC
+        degrades to read-only (recovery probes may heal it), anything
+        else quarantines (``repair`` heals it).  Returns the typed
+        error for the caller to raise — the rest of the service keeps
+        serving."""
+        if getattr(exc, "errno", None) == _errno.ENOSPC:
+            status = SHARD_DEGRADED
+        else:
+            status = SHARD_QUARANTINED
+        reason = f"{type(exc).__name__}: {exc}"
+        self._set_status(name, status, reason)
+        _log.warning("shard %s %s after persistent I/O failure: %s",
+                     name, status, reason)
+        return ShardQuarantinedError(name, status, reason)
+
+    def _check_writable(self, name: str) -> None:
+        """Gate one shard's write path on its health.  A degraded
+        (read-only) shard gets a recovery probe first — if the disk
+        took the backlog, the shard returns to serving and the write
+        proceeds."""
+        status = self._shard_status[name]
+        if status == SHARD_SERVING:
+            return
+        if status == SHARD_DEGRADED and self.probe(name):
+            return
+        raise ShardQuarantinedError(
+            name, self._shard_status[name], self._shard_errors.get(name, "")
+        )
+
+    def probe(self, name: str) -> bool:
+        """Recovery probe for a degraded shard: try to flush its
+        restaged WAL backlog (with the usual retry budget).  Success
+        returns the shard to serving; failure leaves it degraded (or
+        quarantines it, if the error stopped being ENOSPC)."""
+        if self._shard_status[name] == SHARD_SERVING:
+            return True
+        if self._shard_status[name] != SHARD_DEGRADED:
+            return False
+        with self._locks[name]:
+            if self._shard_status[name] != SHARD_DEGRADED:
+                return self._shard_status[name] == SHARD_SERVING
+            try:
+                self._commit_wal(name, self._wals[name])
+            except ShardQuarantinedError:
+                return False
+            self._set_status(name, SHARD_SERVING)
+            _log.info("shard %s recovered by probe (backlog flushed)", name)
+            return True
+
     # -- staging and group commit ------------------------------------------------
 
     def shard_lock(self, name: str) -> threading.RLock:
@@ -471,7 +935,17 @@ class DurableShardedService(WindowQueryAPI):
             self.stats.wal_records_appended += 1
             return self._staged_gen
 
-    def _commit_wal(self, wal: _ShardWal) -> PyTuple[int, int]:
+    def _restage(self, name: str, wal: _ShardWal, blob: bytes, count: int) -> None:
+        """Return a drained-but-undurable blob to the front of the
+        buffer and re-mark the shard dirty, so a probe, repair, or the
+        next commit attempt sees it (nothing acknowledged is ever
+        dropped from memory while the shard is sick)."""
+        with self._stage_lock:
+            wal.restage_front(blob, count)
+            if name not in self._dirty:
+                self._dirty.append(name)
+
+    def _commit_wal(self, name: str, wal: _ShardWal) -> PyTuple[int, int]:
         """Drain, write, and fsync one WAL as a single critical
         section under its I/O lock; returns ``(bytes, records)``.
 
@@ -479,16 +953,42 @@ class DurableShardedService(WindowQueryAPI):
         committer relies on holds: whoever acquires the lock and finds
         the buffer empty knows the previous holder already fsynced —
         an empty buffer under the lock means "durable", never
-        "drained but still in flight"."""
+        "drained but still in flight".
+
+        An :class:`OSError` from the disk is retried with bounded
+        exponential backoff, each attempt first cutting the file back
+        to its pre-attempt length (a half-written blob must not stack
+        under its own retry).  A persistent failure restages the blob,
+        degrades or quarantines the shard (:meth:`_shard_fault`), and
+        raises :class:`~repro.exceptions.ShardQuarantinedError` — it
+        never latches the whole service."""
         with wal.io_lock:
             with self._stage_lock:
                 blob, count = wal.take_pending()
             if not blob:
                 return 0, 0
             self._fault("commit.begin")
-            wal.write(blob, self.fault_hook)
-            self._fault("commit.pre-fsync")
-            wal.fsync()
+            attempt = 0
+            while True:
+                start = wal.size()
+                try:
+                    wal.write(blob, self.fault_hook)
+                    self._fault("commit.pre-fsync")
+                    wal.fsync()
+                    break
+                except OSError as exc:
+                    wal.rollback_to(start)
+                    if attempt >= self.io_retries:
+                        self._restage(name, wal, blob, count)
+                        raise self._shard_fault(name, exc) from exc
+                    self.stats.io_retries += 1
+                    time.sleep(self.io_backoff * (2 ** attempt))
+                    attempt += 1
+            if attempt:
+                # the disk answered again: a degraded shard that just
+                # flushed its backlog through here is healthy
+                _log.info("shard %s WAL commit succeeded after %d retr%s",
+                          name, attempt, "y" if attempt == 1 else "ies")
             self.stats.wal_fsyncs += 1
             self._fault("commit.post-fsync")
         return len(blob), count
@@ -507,10 +1007,11 @@ class DurableShardedService(WindowQueryAPI):
         generation.
         """
         self._ensure_open()
+        failure: Optional[ShardQuarantinedError] = None
         try:
             with self._io_lock:
                 with self._stage_lock:
-                    dirty = [self._wals[name] for name in self._dirty]
+                    dirty = [(name, self._wals[name]) for name in self._dirty]
                     self._dirty = []
                     gen = self._staged_gen
                     if dirty:
@@ -519,8 +1020,15 @@ class DurableShardedService(WindowQueryAPI):
                     return None
                 written = 0
                 records = 0
-                for wal in dirty:
-                    wrote, count = self._commit_wal(wal)
+                for name, wal in dirty:
+                    try:
+                        wrote, count = self._commit_wal(name, wal)
+                    except ShardQuarantinedError as exc:
+                        # that shard's records are restaged; every other
+                        # dirty shard still commits — the failure domain
+                        # is the shard, not the commit
+                        failure = failure if failure is not None else exc
+                        continue
                     written += wrote
                     records += count
                 if records:
@@ -532,6 +1040,12 @@ class DurableShardedService(WindowQueryAPI):
         with self._commit_cond:
             self._committed_gen = gen
             self._commit_cond.notify_all()
+        if failure is not None:
+            # raised only after the healthy shards' records are durable
+            # and their waiters released; callers on the sick shard must
+            # treat their operation as not-durable (quarantine supersedes
+            # the ticket: the server acks per shard, never through this)
+            raise failure
         return gen
 
     def commit_shards(self, names: Iterable[str]) -> None:
@@ -549,17 +1063,23 @@ class DurableShardedService(WindowQueryAPI):
         self._ensure_open()
         written = 0
         records = 0
-        try:
-            for name in sorted(set(names)):
-                wrote, count = self._commit_wal(self._wals[name])
-                written += wrote
-                records += count
-        except BaseException:
-            self._latch_crash()
-            raise
+        failure: Optional[ShardQuarantinedError] = None
+        for name in sorted(set(names)):
+            try:
+                wrote, count = self._commit_wal(name, self._wals[name])
+            except ShardQuarantinedError as exc:
+                failure = failure if failure is not None else exc
+                continue
+            except BaseException:
+                self._latch_crash()
+                raise
+            written += wrote
+            records += count
         if records:
             self.stats.wal_commits += 1
             self.stats.wal_bytes_written += written
+        if failure is not None:
+            raise failure
 
     def wait_durable(self, ticket: int, timeout: Optional[float] = None) -> bool:
         """Block until the group commit covering ``ticket`` has fsynced
@@ -591,9 +1111,17 @@ class DurableShardedService(WindowQueryAPI):
         names = [name] if name is not None else sorted(self._wals)
         for shard_name in names:
             with self._locks[shard_name]:
-                self.commit()
+                self._check_writable(shard_name)
+                # this shard's staged records must hit the WAL before
+                # the snapshot reflects them (the suffix-loss
+                # invariant); other shards' backlogs are their own
+                # problem — per-shard commit keeps the failure domains
+                # separate
+                self.commit_shards([shard_name])
                 try:
                     self._snapshot_locked(shard_name)
+                except OSError as exc:
+                    raise self._shard_fault(shard_name, exc) from exc
                 except BaseException:
                     self._latch_crash()
                     raise
@@ -602,29 +1130,25 @@ class DurableShardedService(WindowQueryAPI):
         shard = self._inner._shard(name)
         rows = [list(t.values) for t in shard.relation()]
         self._fault("snapshot.begin")
-        payload = json.dumps(
-            {
-                "format": _FORMAT,
-                "scheme": name,
-                "attributes": shard.scheme.attributes.names,
-                "tuples": rows,
-            },
-            separators=(",", ":"),
-        )
+        payload = _snapshot_payload(name, shard.scheme.attributes.names, rows)
         with self._io_lock:
             directory = self._shard_dir(name)
             tmp = directory / _SNAPSHOT_TMP
-            with open(tmp, "w", encoding="utf-8") as handle:
-                handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
+            self.io.snapshot_write(tmp, payload)
             self._fault("snapshot.tmp-written")
-            os.replace(tmp, directory / SNAPSHOT_NAME)
-            dir_fd = os.open(directory, os.O_RDONLY)
-            try:
-                os.fsync(dir_fd)
-            finally:
-                os.close(dir_fd)
+            # rename chain: the newest snapshot is installed over
+            # generation 0 only after the older generations shift up,
+            # so the last K snapshots stay on disk for repair to fall
+            # back through.  A crash mid-rotation is safe: recovery
+            # walks the chain newest-first and a shifted-but-not-yet-
+            # replaced slot just means two adjacent generations briefly
+            # hold the same content.
+            for generation in range(self.snapshot_generations - 1, 0, -1):
+                older = self.snapshot_path(name, generation - 1)
+                if older.exists():
+                    self.io.replace(older, self.snapshot_path(name, generation))
+            self.io.replace(tmp, directory / SNAPSHOT_NAME)
+            self.io.dir_fsync(directory)
             self._fault("snapshot.installed")
             wal = self._wals[name]
             with wal.io_lock:  # no commit may write between snapshot and cut
@@ -635,8 +1159,11 @@ class DurableShardedService(WindowQueryAPI):
     def maybe_snapshot(self, names: Optional[Iterable[str]] = None) -> None:
         """Snapshot every shard (or just ``names``) whose WAL has
         outgrown ``snapshot_interval`` records since its last
-        snapshot."""
+        snapshot.  Non-serving shards are skipped — their snapshot
+        happens when a probe or ``repair`` heals them."""
         for name in (self._wals if names is None else set(names)):
+            if self._shard_status[name] != SHARD_SERVING:
+                continue
             if self._wals[name].records_since_snapshot >= self.snapshot_interval:
                 self.snapshot(name)
 
@@ -650,6 +1177,7 @@ class DurableShardedService(WindowQueryAPI):
         inserts, which stage nothing).  The durability building block
         the front end batches; direct callers want :meth:`insert`."""
         self._ensure_open()
+        self._check_writable(scheme_name)
         shard = self._inner._shard(scheme_name)
         with self._locks[scheme_name]:
             # encode from the coerced tuple *before* applying, so a
@@ -671,6 +1199,7 @@ class DurableShardedService(WindowQueryAPI):
         """Apply and stage one delete; ticket is ``None`` when the
         tuple was absent (nothing to log)."""
         self._ensure_open()
+        self._check_writable(scheme_name)
         shard = self._inner._shard(scheme_name)
         with self._locks[scheme_name]:
             t = shard.checker.coerce_tuple(scheme_name, row)
@@ -679,25 +1208,34 @@ class DurableShardedService(WindowQueryAPI):
             ticket = self._stage(scheme_name, record) if existed else None
         return existed, ticket
 
-    def _finish(self, ticket: Optional[int]) -> None:
+    def _finish(
+        self, ticket: Optional[int], scheme_name: Optional[str] = None
+    ) -> None:
         if ticket is None:
             return
         if self.auto_commit:
-            self.commit()
-            self.maybe_snapshot()
+            if scheme_name is None:
+                self.commit()
+                self.maybe_snapshot()
+            else:
+                # single-shard op: commit only its own WAL, so another
+                # shard's quarantined backlog (restaged, still dirty)
+                # can never fail this shard's acknowledgment
+                self.commit_shards([scheme_name])
+                self.maybe_snapshot([scheme_name])
         else:
             self.wait_durable(ticket)
 
     def insert(self, scheme_name: str, row) -> InsertOutcome:
         """Insert, durable before returning (see ``auto_commit``)."""
         outcome, ticket = self.apply_insert(scheme_name, row)
-        self._finish(ticket)
+        self._finish(ticket, scheme_name)
         return outcome
 
     def delete(self, scheme_name: str, row) -> bool:
         """Delete, durable before returning (see ``auto_commit``)."""
         existed, ticket = self.apply_delete(scheme_name, row)
-        self._finish(ticket)
+        self._finish(ticket, scheme_name)
         return existed
 
     def apply_insert_many(
@@ -711,6 +1249,11 @@ class DurableShardedService(WindowQueryAPI):
         self._ensure_open()
         ops = [(name, row) for name, row in ops]
         ticket: Optional[int] = None
+        # gate every touched shard before anything applies: a batch
+        # containing a quarantined shard fails whole and clean, so the
+        # front end can retry it minus the sick shard's operations
+        for name in sorted({name for name, _ in ops}):
+            self._check_writable(name)
         with ExitStack() as stack:
             for name in sorted({name for name, _ in ops}):
                 stack.enter_context(self._locks[name])
@@ -748,6 +1291,101 @@ class DurableShardedService(WindowQueryAPI):
                 except BaseException:
                     self._latch_crash()
                     raise
+
+    # -- self-healing ------------------------------------------------------------
+
+    def repair(self, name: str) -> Dict[str, object]:
+        """Heal one shard online: roll back to the newest good
+        snapshot generation, replay the WAL's intact tail, bulk-load
+        the result into a fresh shard (re-validated and re-chased
+        lazily through the bulk kernel), write a clean snapshot, and
+        return the shard to serving.  Every other shard keeps serving
+        throughout — repair holds only this shard's lock.
+
+        Returns a report dict (generation used, rows recovered, WAL
+        records replayed, corruption counters).  Raises
+        :class:`~repro.exceptions.ShardQuarantinedError` if the disk
+        still refuses the clean snapshot (the shard stays quarantined)
+        and :class:`ReproError` if no snapshot generation is readable
+        but corrupt ones exist."""
+        self._ensure_open()
+        self._inner._shard(name)  # unknown-scheme error first
+        with self._locks[name]:
+            previous = self._shard_status[name]
+            self._set_status(name, SHARD_REPAIRING,
+                             self._shard_errors.get(name, ""))
+            try:
+                wal = self._wals[name]
+                with wal.io_lock:
+                    with self._stage_lock:
+                        # in-memory backlog is unacknowledged by
+                        # definition (an acked record is fsynced):
+                        # dropping it is the legal suffix loss
+                        _, dropped = wal.take_pending()
+                        if name in self._dirty:
+                            self._dirty.remove(name)
+                    rows, generation, bad = self._load_snapshot_rows(name)
+                    if rows is None and bad:
+                        raise ReproError(
+                            f"shard {name!r}: no readable snapshot "
+                            f"generation ({bad} corrupt); restore one from "
+                            f"backup, then repair again"
+                        )
+                    if rows is None:
+                        rows = {}
+                    elif generation > 0:
+                        self.stats.snapshot_fallbacks += 1
+                        _log.warning(
+                            "repair %s: rolled back to snapshot generation "
+                            "%d (acknowledged records after it are lost)",
+                            name, generation,
+                        )
+                    scan = self._read_wal(name, wal)
+                    for op, values in scan.ops:
+                        if op == "+":
+                            rows[values] = None
+                        else:
+                            rows.pop(values, None)
+                    self.stats.wal_records_replayed += len(scan.ops)
+                    wal.records_since_snapshot = len(scan.ops)
+                    attr_names = self._inner._shard(name).scheme.attributes.names
+                    # fresh shard build: re-validates the recovered rows
+                    # against the scheme's embedded cover and leaves the
+                    # tableau for the bulk kernel's lazy re-chase
+                    self._inner.reload_shard(
+                        name,
+                        [dict(zip(attr_names, values)) for values in rows],
+                    )
+                # a clean snapshot collapses the repaired state into
+                # generation 0 and truncates the WAL — the next open
+                # recovers the healed state directly
+                self._snapshot_locked(name)
+            except OSError as exc:
+                raise self._shard_fault(name, exc) from exc
+            except BaseException:
+                # validation failure (corrupt rows violating the cover)
+                # or anything unexpected: stay quarantined, report why
+                self._set_status(
+                    name, SHARD_QUARANTINED,
+                    self._shard_errors.get(name, "repair failed"),
+                )
+                raise
+            self._set_status(name, SHARD_SERVING)
+            _log.info(
+                "shard %s repaired: generation=%s rows=%d replayed=%d "
+                "dropped_staged=%d (was %s)",
+                name, generation, len(rows), len(scan.ops), dropped, previous,
+            )
+            return {
+                "shard": name,
+                "previous_status": previous,
+                "generation": generation,
+                "rows": len(rows),
+                "wal_records_replayed": len(scan.ops),
+                "staged_records_dropped": dropped,
+                "wal_corrupt_regions": scan.corrupt_regions,
+                "wal_stranded_records": scan.stranded_records,
+            }
 
     # -- reads and delegation ----------------------------------------------------
 
@@ -799,9 +1437,13 @@ class DurableShardedService(WindowQueryAPI):
 
     def close(self) -> None:
         """Commit anything staged and close the WAL files (idempotent;
-        a crashed instance just closes its files)."""
+        a crashed instance just closes its files, and a sick shard's
+        backlog stays on its disk problem — best-effort flush)."""
         if not self._crashed:
-            self.commit()
+            try:
+                self.commit()
+            except ShardQuarantinedError:
+                pass  # healthy shards committed; the sick one cannot
         for wal in self._wals.values():
             wal.close()
 
@@ -818,3 +1460,99 @@ class DurableShardedService(WindowQueryAPI):
             f"staged={sum(w.pending_records for w in self._wals.values())}, "
             f"crashed={self._crashed}>"
         )
+
+
+# -- offline scrubbing ------------------------------------------------------------
+
+
+def verify_store(root: Union[str, os.PathLike]) -> Dict[str, object]:
+    """Walk a durable directory offline — CRCs of every WAL frame,
+    every snapshot generation's structure and CRC, stray tmp files —
+    without opening a service (no schema needed, no locks taken, no
+    bytes modified).  The ``repro verify-store`` command prints this.
+
+    Returns a report dict: ``ok`` is ``True`` iff nothing worse than a
+    torn WAL tail (the expected residue of a crash) was found; each
+    shard entry lists its findings.  Raises :class:`ReproError` when
+    the directory is not a durable store at all."""
+    root = pathlib.Path(root)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise ReproError(f"{root} is not a durable store (no {MANIFEST_NAME})")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, ValueError) as exc:
+        return {
+            "root": str(root),
+            "ok": False,
+            "findings": [f"corrupt manifest: {exc}"],
+            "shards": {},
+        }
+    findings: List[str] = []
+    if manifest.get("format") != _FORMAT:
+        findings.append(f"unsupported format {manifest.get('format')!r}")
+    shards: Dict[str, Dict[str, object]] = {}
+    ok = not findings
+    for name in sorted(manifest.get("schemes", [])):
+        directory = root / "shards" / name
+        entry: Dict[str, object] = {
+            "snapshots": [],
+            "wal_records": 0,
+            "findings": [],
+        }
+        shard_findings: List[str] = entry["findings"]
+        if not directory.is_dir():
+            shard_findings.append("shard directory missing")
+        else:
+            if (directory / _SNAPSHOT_TMP).exists():
+                entry["stray_tmp"] = True
+            generation = 0
+            while True:
+                path = (
+                    directory / SNAPSHOT_NAME
+                    if generation == 0
+                    else directory / f"{SNAPSHOT_NAME}.{generation}"
+                )
+                if not path.exists():
+                    if generation == 0:
+                        generation += 1
+                        continue  # gen 0 may be mid-rotation; keep walking
+                    break
+                try:
+                    snap = _parse_snapshot(path.read_bytes(), name)
+                    entry["snapshots"].append(
+                        {"generation": generation, "ok": True,
+                         "tuples": len(snap["tuples"])}
+                    )
+                except (OSError, ReproError) as exc:
+                    entry["snapshots"].append(
+                        {"generation": generation, "ok": False, "error": str(exc)}
+                    )
+                    shard_findings.append(
+                        f"snapshot generation {generation}: {exc}"
+                    )
+                generation += 1
+            wal_path = directory / WAL_NAME
+            if wal_path.exists():
+                try:
+                    scan = _scan_records(wal_path.read_bytes())
+                except OSError as exc:
+                    shard_findings.append(f"WAL unreadable: {exc}")
+                else:
+                    entry["wal_records"] = len(scan.ops)
+                    if scan.corrupt:
+                        entry["wal_corrupt_regions"] = scan.corrupt_regions
+                        entry["wal_stranded_records"] = scan.stranded_records
+                        shard_findings.append(
+                            f"WAL mid-file corruption: {scan.corrupt_regions} "
+                            f"bad region(s), {scan.stranded_records} intact "
+                            f"record(s) stranded, {scan.tail_bytes} byte(s) "
+                            f"beyond the trusted prefix"
+                        )
+                    elif scan.tail_bytes:
+                        # expected crash residue: reported, not a failure
+                        entry["wal_torn_tail_bytes"] = scan.tail_bytes
+        if shard_findings:
+            ok = False
+        shards[name] = entry
+    return {"root": str(root), "ok": ok, "findings": findings, "shards": shards}

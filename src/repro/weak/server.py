@@ -44,6 +44,24 @@ fsyncs).  If the durable layer crashes — for real or through a fault
 hook — every in-flight and subsequent write fails with
 :class:`~repro.weak.durable.DurableUnavailableError`; reads keep
 serving the in-memory state, mirroring a read-only degraded mode.
+
+Two further failure-domain behaviors ride on the same routing:
+
+* **Backpressure.**  ``max_queue`` bounds each worker's queue; when a
+  worker falls behind (slow disk, quarantined shard backlog) a submit
+  that cannot enqueue within ``submit_timeout`` seconds is *shed* with
+  :class:`~repro.exceptions.ServiceOverloadedError` — the request was
+  never applied, so the client can safely retry — instead of growing
+  an unbounded queue until memory does the shedding.  ``max_queue=0``
+  (the default) keeps the old unbounded ``SimpleQueue`` behavior.
+* **Quarantine isolation.**  A durable shard that was quarantined (or
+  degraded read-only) fails only its *own* requests with
+  :class:`~repro.exceptions.ShardQuarantinedError`: the batched insert
+  path gates every touched shard before applying anything, so the
+  worker strips the sick shard's ops from the run and retries the
+  rest, and group commit acknowledges per shard — one sick shard
+  never blocks another shard's writes, reads, or durability.
+  :meth:`health` surfaces the per-shard status plus queue depths.
 """
 
 from __future__ import annotations
@@ -53,11 +71,16 @@ import threading
 from concurrent.futures import Future
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.core.maintenance import InsertOutcome
 from repro.data.relations import RelationInstance, RowLike
-from repro.exceptions import ReproError, SchemaError
+from repro.exceptions import (
+    ReproError,
+    SchemaError,
+    ServiceOverloadedError,
+    ShardQuarantinedError,
+)
 from repro.schema.attributes import AttributeSet, AttrsLike
 from repro.weak.durable import DurableShardedService
 from repro.weak.service import WindowQueryAPI
@@ -99,12 +122,23 @@ class WeakInstanceServer(WindowQueryAPI):
         service: Union[DurableShardedService, ShardedWeakInstanceService],
         workers: int = 4,
         batch_limit: int = DEFAULT_BATCH_LIMIT,
+        max_queue: int = 0,
+        submit_timeout: Optional[float] = None,
     ):
+        """``max_queue`` > 0 bounds each worker's queue at that many
+        pending requests; a submit against a full queue waits up to
+        ``submit_timeout`` seconds (``None``: fail immediately) and is
+        then shed with :class:`ServiceOverloadedError`.  ``max_queue=0``
+        keeps the queues unbounded and ``submit_timeout`` unused."""
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0 (0: unbounded)")
         self.service = service
         self.workers = workers
         self.batch_limit = batch_limit
+        self.max_queue = max_queue
+        self.submit_timeout = submit_timeout
         self.durable = isinstance(service, DurableShardedService)
         self._inner: ShardedWeakInstanceService = (
             service.inner if self.durable else service
@@ -119,10 +153,13 @@ class WeakInstanceServer(WindowQueryAPI):
             self._locks = {name: threading.RLock() for name in names}
         self._plan_lock = threading.Lock()
         self._global_lock = threading.RLock()
-        # SimpleQueue: C-implemented, so the per-request enqueue/drain
-        # cost stays small next to the fsync the batch will pay
-        self._queues: List[queue.SimpleQueue] = [
-            queue.SimpleQueue() for _ in range(workers)
+        # unbounded: SimpleQueue (C-implemented, so the per-request
+        # enqueue/drain cost stays small next to the fsync the batch
+        # will pay); bounded: queue.Queue, whose maxsize is what makes
+        # load shedding possible at all
+        self._queues: List[Union[queue.SimpleQueue, queue.Queue]] = [
+            queue.Queue(maxsize=max_queue) if max_queue else queue.SimpleQueue()
+            for _ in range(workers)
         ]
         self._threads: List[threading.Thread] = []
         self._running = False
@@ -130,6 +167,7 @@ class WeakInstanceServer(WindowQueryAPI):
         # guarded by the GIL — approximate under contention, like the
         # service's own op counters
         self.requests_accepted = 0
+        self.requests_shed = 0
         self.write_batches = 0
         self.batched_writes = 0
         self.reads_served = 0
@@ -163,7 +201,12 @@ class WeakInstanceServer(WindowQueryAPI):
             t.join()
         self._threads = []
         if self.durable and not self.service.crashed:
-            self.service.commit()  # belt and braces: nothing should be staged
+            try:
+                self.service.commit()  # belt and braces: nothing staged
+            except ShardQuarantinedError:
+                # a sick shard's backlog stays staged on its disk
+                # problem; shutdown must not fail because of it
+                pass
 
     def __enter__(self) -> "WeakInstanceServer":
         return self.start()
@@ -180,8 +223,24 @@ class WeakInstanceServer(WindowQueryAPI):
         if worker is None:
             raise SchemaError(f"no relation named {scheme_name!r} in this schema")
         request = _WriteRequest(kind, scheme_name, row)
+        if self.max_queue:
+            try:
+                if self.submit_timeout is None:
+                    self._queues[worker].put_nowait(request)
+                else:
+                    self._queues[worker].put(
+                        request, timeout=self.submit_timeout
+                    )
+            except queue.Full:
+                self.requests_shed += 1
+                raise ServiceOverloadedError(
+                    f"worker {worker} queue full "
+                    f"({self.max_queue} pending writes); request for "
+                    f"{scheme_name!r} shed, not applied — safe to retry"
+                ) from None
+        else:
+            self._queues[worker].put(request)
         self.requests_accepted += 1
-        self._queues[worker].put(request)
         return request.future
 
     def submit_insert(self, scheme_name: str, row: RowLike) -> Future:
@@ -210,16 +269,54 @@ class WeakInstanceServer(WindowQueryAPI):
             if first is _STOP:
                 return
             batch = [first]
+            stop_after = False
             while len(batch) < self.batch_limit:
                 try:
                     nxt = q.get_nowait()
                 except queue.Empty:
                     break
                 if nxt is _STOP:
-                    q.put(_STOP)  # reconsume after this batch completes
+                    # _STOP is enqueued only after _running flipped
+                    # False, so it is this queue's last item: finish
+                    # the drained batch, then exit.  (Re-putting it
+                    # could deadlock against a full bounded queue.)
+                    stop_after = True
                     break
                 batch.append(nxt)
             self._process_batch(batch)
+            if stop_after:
+                return
+
+    def _apply_insert_run(
+        self, run: List[_WriteRequest], resolved: List[_WriteRequest]
+    ) -> bool:
+        """Apply one contiguous insert run on a durable service,
+        stripping quarantined shards' ops and retrying the rest —
+        ``apply_insert_many`` gates every touched shard *before*
+        applying anything, so a :class:`ShardQuarantinedError` means
+        the run was not applied at all and the healthy remainder can
+        go again.  Returns whether anything was staged."""
+        svc = self.service
+        remaining = run
+        while remaining:
+            try:
+                outcomes, ticket = svc.apply_insert_many(
+                    [(r.scheme, r.row) for r in remaining]
+                )
+            except ShardQuarantinedError as exc:
+                rest = [r for r in remaining if r.scheme != exc.shard]
+                if len(rest) == len(remaining):
+                    raise  # not this run's shard: relay to every future
+                for r in remaining:
+                    if r.scheme == exc.shard:
+                        r.future.set_exception(exc)
+                remaining = rest
+            else:
+                for r, outcome in zip(remaining, outcomes):
+                    r.result = outcome
+                    resolved.append(r)
+                return ticket is not None
+        return False
 
     def _process_batch(self, batch: List[_WriteRequest]) -> None:
         """Apply a drained batch in order: contiguous insert runs go
@@ -227,7 +324,10 @@ class WeakInstanceServer(WindowQueryAPI):
         singly.  On a durable service the worker then commits the
         batch's shards itself (one fsync per dirty shard, overlapping
         other workers' commits) — success futures resolve only after
-        that commit, so an acknowledged write is a durable write."""
+        that commit, so an acknowledged write is a durable write.  The
+        commit acknowledges *per shard*: a shard whose commit fails
+        (quarantine) fails only its own futures, and the rest of the
+        batch stays durably acknowledged."""
         svc = self.service
         staged = False
         resolved: List[_WriteRequest] = []  # applied, awaiting durability
@@ -244,10 +344,7 @@ class WeakInstanceServer(WindowQueryAPI):
                 run = batch[index:end]
                 try:
                     if self.durable:
-                        outcomes, ticket = svc.apply_insert_many(
-                            [(r.scheme, r.row) for r in run]
-                        )
-                        staged = staged or ticket is not None
+                        staged = self._apply_insert_run(run, resolved) or staged
                     else:
                         with ExitStack() as stack:
                             for name in sorted({r.scheme for r in run}):
@@ -255,12 +352,13 @@ class WeakInstanceServer(WindowQueryAPI):
                             outcomes = svc.insert_many(
                                 [(r.scheme, r.row) for r in run]
                             )
-                    for r, outcome in zip(run, outcomes):
-                        r.result = outcome
-                        resolved.append(r)
+                        for r, outcome in zip(run, outcomes):
+                            r.result = outcome
+                            resolved.append(r)
                 except BaseException as exc:  # noqa: BLE001 - relayed to clients
                     for r in run:
-                        r.future.set_exception(exc)
+                        if not r.future.done():
+                            r.future.set_exception(exc)
                 index = end
             else:
                 try:
@@ -278,14 +376,23 @@ class WeakInstanceServer(WindowQueryAPI):
                     request.future.set_exception(exc)
                 index += 1
         if self.durable and staged:
-            names = {r.scheme for r in resolved}
-            try:
-                svc.commit_shards(names)
-                svc.maybe_snapshot(names)
-            except BaseException as exc:  # noqa: BLE001 - crash: nothing acked
-                for r in resolved:
-                    r.future.set_exception(exc)
-                return
+            by_shard: Dict[str, List[_WriteRequest]] = {}
+            for r in resolved:
+                by_shard.setdefault(r.scheme, []).append(r)
+            for name in sorted(by_shard):
+                try:
+                    svc.commit_shards([name])
+                    svc.maybe_snapshot([name])
+                except BaseException as exc:  # noqa: BLE001 - this shard's
+                    # records are not durable: fail its futures only (a
+                    # crash latch fails the remaining shards' commits
+                    # the same way on their own iterations)
+                    for r in by_shard[name]:
+                        r.future.set_exception(exc)
+                    continue
+                for r in by_shard[name]:
+                    r.future.set_result(r.result)
+            return
         for r in resolved:
             r.future.set_result(r.result)
 
@@ -360,6 +467,30 @@ class WeakInstanceServer(WindowQueryAPI):
             raise ReproError("snapshot requires a durable service")
         self.service.snapshot()
 
+    def health(self) -> Dict[str, object]:
+        """The wrapped service's health report (overall status,
+        per-shard status, last error per sick shard) plus the server's
+        own load picture: queue depths, the bound, and how many
+        requests have been shed."""
+        report = dict(self.service.health())
+        report.update(
+            running=self._running,
+            workers=self.workers,
+            max_queue=self.max_queue,
+            queue_depths=[q.qsize() for q in self._queues],
+            requests_shed=self.requests_shed,
+        )
+        return report
+
+    def repair(self, scheme_name: str) -> Dict[str, object]:
+        """Repair one shard online (durable services only): delegates
+        to :meth:`~repro.weak.durable.DurableShardedService.repair`,
+        which takes the shard's own locks — the workers keep serving
+        every other shard while it runs."""
+        if not self.durable:
+            raise ReproError("repair requires a durable service")
+        return self.service.repair(scheme_name)
+
     def shard_versions(self) -> Dict[str, int]:
         """The monotone per-shard version stamps — the read tokens the
         stress tests use to assert no torn reads."""
@@ -372,6 +503,7 @@ class WeakInstanceServer(WindowQueryAPI):
         stats = dict(self.service.stats.as_dict())
         stats.update(
             server_requests_accepted=self.requests_accepted,
+            server_requests_shed=self.requests_shed,
             server_write_batches=self.write_batches,
             server_batched_writes=self.batched_writes,
             server_reads_served=self.reads_served,

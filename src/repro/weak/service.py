@@ -593,6 +593,13 @@ class WindowQueryAPI:
         share one window lookup (and the cache)."""
         return [self.derivable(fact) for fact in facts]
 
+    def health(self) -> Dict[str, object]:
+        """Uniform health surface: in-memory services are always
+        serving with no per-shard state; the durable service and the
+        server override this with real per-shard status, error detail,
+        and queue depths."""
+        return {"status": "serving", "shards": {}, "errors": {}}
+
     # -- relational queries -----------------------------------------------------
     #
     # One QueryEngine per service, created on first use (services stay

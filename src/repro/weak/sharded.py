@@ -77,6 +77,7 @@ from repro.exceptions import (
     InconsistentStateError,
     NotIndependentError,
     SchemaError,
+    ShardQuarantinedError,
 )
 from repro.schema.attributes import AttributeSet, AttrsLike
 from repro.schema.database import DatabaseSchema
@@ -362,6 +363,11 @@ class ShardedWeakInstanceService(WindowQueryAPI):
         self._merged_cache: Dict[
             AttributeSet, PyTuple[PyTuple[int, ...], RelationInstance]
         ] = {}
+        # shards a durable wrapper has taken out of service (name →
+        # status string): reads that would consult one raise instead of
+        # serving possibly-stale rows.  Plans stay cached — they are
+        # pure functions of the schema; availability is checked per read.
+        self._unavailable: Dict[str, str] = {}
 
     @classmethod
     def from_state(
@@ -437,6 +443,34 @@ class ShardedWeakInstanceService(WindowQueryAPI):
             raise SchemaError(f"no shard for scheme {scheme_name!r}")
         return shard
 
+    # -- availability ------------------------------------------------------------
+
+    def set_unavailable(self, statuses: Dict[str, str]) -> None:
+        """Mark shards out of service for reads (name → status string,
+        e.g. ``"quarantined"``).  The durable layer pushes its
+        quarantine set here so the planner can route around sick
+        shards: local window plans whose direct set avoids every
+        unavailable shard keep serving, everything that would consult
+        one (directly or through the global composer, whose answers
+        join facts across *all* shards) raises
+        :class:`ShardQuarantinedError` instead of returning silently
+        stale rows.  Pass ``{}`` to restore full availability."""
+        for name in statuses:
+            self._shard(name)  # unknown-scheme check
+        self._unavailable = dict(statuses)
+
+    def unavailable_shards(self) -> Dict[str, str]:
+        """The current out-of-service map (copy)."""
+        return dict(self._unavailable)
+
+    def _check_available(self, names: Iterable[str]) -> None:
+        if not self._unavailable:
+            return
+        for name in names:
+            status = self._unavailable.get(name)
+            if status is not None:
+                raise ShardQuarantinedError(name, status)
+
     # -- loading ---------------------------------------------------------------
 
     def load(self, state: DatabaseState) -> None:
@@ -469,6 +503,33 @@ class ShardedWeakInstanceService(WindowQueryAPI):
         for shard in self._shards.values():
             shard._needs_resync = True
             shard._journal.clear()
+
+    def reload_shard(self, scheme_name: str, rows: Iterable[RowLike]) -> None:
+        """Replace one shard's state wholesale with ``rows`` — the
+        durable layer's repair path.  A *fresh* shard is built (fresh
+        ``_FDIndex`` maintenance checker, fresh per-scheme tableau) and
+        the rows re-validated through its checker, so whatever
+        in-memory state the old shard accumulated before it was
+        quarantined cannot leak into the repaired one.  The version
+        counter continues from the old shard's so stamped query plans
+        and merged-window caches see the change."""
+        old = self._shard(scheme_name)
+        fresh = _SchemeShard(
+            old.scheme,
+            self.report.scheme_restriction(scheme_name),
+            self.stats,
+            self.scoped_deletes,
+            self.delete_rebuild_fraction,
+            self.window_cache_limit,
+            self.bulk_loads,
+        )
+        fresh.checker.load(
+            DatabaseState(fresh.checker.schema, {scheme_name: list(rows)})
+        )
+        fresh.version = old.version + 1
+        self._shards[scheme_name] = fresh
+        self._composer.invalidate()
+        self._merged_cache.clear()
 
     # -- updates ---------------------------------------------------------------
 
@@ -598,9 +659,16 @@ class ShardedWeakInstanceService(WindowQueryAPI):
         self.stats.window_queries += 1
         plan = self._plan(target)
         if not plan.local:
+            # a composed answer joins facts through every shard, so any
+            # unavailable shard poisons it
+            self._check_available(self._unavailable)
             self.stats.global_windows += 1
             self._sync_composer()
             return self._composer.window(target)
+        # local plan: only the direct shards matter — the closure guard
+        # proved no other shard can contribute, so quarantines elsewhere
+        # do not block this window
+        self._check_available(plan.direct)
         self.stats.shard_windows += 1
         if len(plan.direct) == 1:
             return self._shards[plan.direct[0]].window(target)
@@ -628,7 +696,11 @@ class ShardedWeakInstanceService(WindowQueryAPI):
 
     def representative(self) -> ChaseTableau:
         """The globally chased tableau ``I(p)`` (journal-synced first;
-        read-only, like the base service's)."""
+        read-only, like the base service's).  Raises
+        :class:`ShardQuarantinedError` while any shard is out of
+        service — the global tableau is only meaningful over all of
+        them."""
+        self._check_available(self._unavailable)
         self._sync_composer()
         return self._composer.ensure()
 
@@ -646,6 +718,7 @@ class ShardedWeakInstanceService(WindowQueryAPI):
         if not always_compose:
             plan = self._plan(target)
             if plan.local:
+                self._check_available(plan.direct)
                 return ("shards", plan.direct)
         else:
             # surface the same universe check _plan would have run
@@ -654,6 +727,8 @@ class ShardedWeakInstanceService(WindowQueryAPI):
                     f"window attributes {target - self.schema.universe} are "
                     f"outside the universe {self.schema.universe}"
                 )
+        # composer answers depend on every shard
+        self._check_available(self._unavailable)
         return ("composer", tuple(self._shards))
 
     def _query_stamps(self, names: Sequence[str]) -> PyTuple[int, ...]:

@@ -83,7 +83,7 @@ def test_workload_exercises_every_crash_point():
     CRASH_SITES,
     ids=[f"{p}#{k}" for p, k in CRASH_SITES],
 )
-def test_kill_and_recover(tmp_path, point, occurrence):
+def test_crash_kill_and_recover(tmp_path, point, occurrence):
     injector = FaultInjector(point, occurrence)
     acked, crashed = run_stream_until_crash(
         SCHEMA, FDS, tmp_path / "d", BASE, OPS, injector,
@@ -99,7 +99,7 @@ def test_kill_and_recover(tmp_path, point, occurrence):
         recovered.close()
 
 
-def test_recover_then_continue_serving(tmp_path):
+def test_crash_recover_then_continue_serving(tmp_path):
     """Recovery is not an endpoint: the reopened service keeps
     serving, and a second crash-free restart replays what the
     continued stream appended."""

@@ -197,6 +197,54 @@ class TestDurableServing:
                 assert any(f"k{k}" in row for row in rows)
 
 
+class TestStopAndDurabilityTimeouts:
+    def test_stop_completes_inflight_writes(self, tmp_path):
+        """``stop()`` is a drain, not an abort: every write already
+        submitted when it is called still resolves, and the accepted
+        ones are durable — acknowledged work is never dropped on the
+        floor by shutdown."""
+        schema, fds = disjoint_star_schema(2)
+        service = DurableShardedService(
+            schema, fds, tmp_path / "d", auto_commit=False
+        )
+        server = WeakInstanceServer(service, workers=2)
+        server.start()
+        futures = [
+            server.submit_insert(name, (f"k{k}", f"a{k}", f"b{k}"))
+            for k in range(40)
+            for name in ("R1", "R2")
+        ]
+        # no waiting: stop() races the workers mid-batch
+        server.stop()
+        for future in futures:
+            assert future.done(), "stop() returned with an in-flight write"
+            assert future.result(timeout=0).accepted
+        with pytest.raises(ServerStoppedError):
+            server.insert("R1", ("kx", "ax", "bx"))
+        service.close()
+        with DurableShardedService(schema, fds, tmp_path / "d") as back:
+            recovered = {
+                scheme.name: len(relation) for scheme, relation in back.state()
+            }
+            assert recovered == {"R1": 40, "R2": 40}
+
+    def test_wait_durable_timeout_expires_then_succeeds(self, tmp_path):
+        """``wait_durable`` with a timeout returns ``False`` while the
+        covering group commit is still pending, without acknowledging
+        anything — and ``True`` once the commit lands."""
+        schema, fds = disjoint_star_schema(2)
+        with DurableShardedService(
+            schema, fds, tmp_path / "d", auto_commit=False
+        ) as service:
+            outcome, ticket = service.apply_insert("R1", ("k0", "a0", "b0"))
+            assert outcome.accepted and ticket is not None
+            assert service.wait_durable(ticket, timeout=0.05) is False
+            service.commit()
+            assert service.wait_durable(ticket, timeout=0.05) is True
+            # an already-covered ticket never blocks
+            assert service.wait_durable(ticket) is True
+
+
 class TestMultiWriterStress:
     def test_stress_smoke(self):
         """The fast lane of the stress driver: plain service, small
