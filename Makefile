@@ -11,12 +11,13 @@ export PYTHONPATH
 # Makefile benefits from parallel make, so pin the whole file serial.
 .NOTPARALLEL:
 
-.PHONY: help test test-fault bench bench-all bench-chase-bulk-tiny bench-weak bench-weak-tiny bench-weak-deletes bench-weak-deletes-tiny bench-weak-local bench-weak-local-tiny bench-query bench-query-tiny bench-serve bench-serve-tiny profile-chase docs clean
+.PHONY: help test test-fault test-evolution bench bench-all bench-chase-bulk-tiny bench-weak bench-weak-tiny bench-weak-deletes bench-weak-deletes-tiny bench-weak-local bench-weak-local-tiny bench-query bench-query-tiny bench-serve bench-serve-tiny bench-evolution bench-evolution-tiny profile-chase docs clean
 
 help:
 	@echo "targets:"
 	@echo "  test                    - tier-1 test suite (pytest -x -q over tests/)"
 	@echo "  test-fault              - durability suite: WAL/snapshot units, crash-point recovery matrix, I/O-fault isolation (quarantine/repair), server concurrency (includes slow stress tests)"
+	@echo "  test-evolution          - schema-evolution suite: op catalog, incremental re-check vs full analysis, online migration oracles, migration crash-point recovery matrix"
 	@echo "  bench                   - all benchmarks; regenerates BENCH_chase.json, BENCH_weak.json and benchmarks/results.txt"
 	@echo "  bench-all               - every bench suite, strictly one after another (single recipe, immune to -j)"
 	@echo "  bench-chase-bulk-tiny   - bulk-kernel vs indexed engine at smoke scale (CI gate: >=2x)"
@@ -30,6 +31,8 @@ help:
 	@echo "  bench-query-tiny        - the query-layer benchmark at smoke scale (CI: equivalence only, no artifact)"
 	@echo "  bench-serve             - durable concurrent serving: worker-scaling throughput + 100k-row crash recovery; regenerates BENCH_serve.json"
 	@echo "  bench-serve-tiny        - the serving benchmark at smoke scale (CI: equivalence only, no artifact)"
+	@echo "  bench-evolution         - online incremental migration vs restart-the-world (gate: >=5x); regenerates BENCH_weak.json"
+	@echo "  bench-evolution-tiny    - the evolution benchmark at smoke scale (CI: equivalence only, no artifact)"
 	@echo "  profile-chase           - cProfile top-20 of the bulk kernel and indexed engine on the cascade workload (local tooling, no artifact)"
 	@echo "  docs                    - render the API reference with pydoc into docs/api/"
 	@echo "  clean                   - remove caches and generated docs"
@@ -43,6 +46,13 @@ test:
 # run skips nothing either; this target just scopes the fault files).
 test-fault:
 	$(PYTHON) -m pytest tests/test_durable.py tests/test_durable_recovery.py tests/test_fault_isolation.py tests/test_server_concurrency.py -q
+
+# The whole evolution story in one target: op parsing/application units,
+# incremental-vs-full independence agreement, online-migration oracle
+# matrix (every op equals a from-scratch rebuild), and the durable
+# kill-and-recover matrix over every evolve.* crash point.
+test-evolution:
+	$(PYTHON) -m pytest tests/test_evolution.py tests/test_evolution_recovery.py -q
 
 # bench_* files are not collected by the default pytest run, so name them.
 bench:
@@ -111,6 +121,12 @@ bench-serve:
 
 bench-serve-tiny:
 	REPRO_BENCH_SERVE_TINY=1 $(PYTHON) -m pytest benchmarks/bench_serve.py -q
+
+bench-evolution:
+	$(PYTHON) -m pytest benchmarks/bench_evolution.py -q
+
+bench-evolution-tiny:
+	REPRO_BENCH_EVOLUTION_TINY=1 $(PYTHON) -m pytest benchmarks/bench_evolution.py -q
 
 docs:
 	rm -rf docs/api

@@ -1,0 +1,204 @@
+"""Headline schema-evolution benchmark: online incremental migration
+vs restarting the world (ISSUE 9's tentpole).
+
+A 16-scheme *disjoint-star* schema holds a ~10k-tuple satisfying base
+state and undergoes a pair of single-scheme evolutions (add an
+attribute to ``R1``, then drop it again).
+
+* The **online path** (:meth:`ShardedWeakInstanceService.evolve`)
+  re-checks independence incrementally — only the schemes whose
+  closure the op can reach — and rebuilds only the affected shard;
+  the other 15 shards keep serving untouched.
+* The **restart-the-world baseline** is what operators do without it:
+  apply the op to the catalog offline, re-run the full independence
+  analysis from scratch (``analyze_cache_clear`` keeps the memo from
+  hiding that cost), and reload the entire migrated state into a
+  fresh service.
+
+Both paths must land on identical shard contents.  The speedup is
+recorded in ``BENCH_weak.json#evolution`` (acceptance: ≥ 5×).
+
+Tiny mode (``REPRO_BENCH_EVOLUTION_TINY=1``, the CI smoke step)
+shrinks the workload and asserts only the equivalence.
+"""
+
+import os
+import time
+
+from repro.core.independence import analyze_cache_clear
+from repro.data.states import DatabaseState
+from repro.schema.evolution import parse_evolution_op
+from repro.weak.sharded import ShardedWeakInstanceService
+from repro.workloads.schemas import disjoint_star_schema
+from repro.workloads.states import insert_heavy_stream_workload
+
+from benchmarks.reporting import BENCH_WEAK_JSON_PATH, emit, emit_bench_json
+
+TINY = os.environ.get("REPRO_BENCH_EVOLUTION_TINY") == "1"
+
+if TINY:
+    N_SCHEMES, N_BASE = 5, 60
+else:
+    N_SCHEMES, N_BASE = 16, 700
+
+OPS = ("add-attr R1 X9 = tba", "drop-attr R1 X9")
+
+
+def _capture(service):
+    """Every shard's rows as attribute-keyed dicts — the exported dump
+    a from-scratch rebuild would start from."""
+    state = service.state()
+    return {
+        scheme.name: [
+            dict(zip(scheme.attributes.names, t.values))
+            for t in state[scheme.name]
+        ]
+        for scheme in service.schema
+    }
+
+
+def _restart_the_world(schema, fds, dump, op):
+    """The offline migration: evolved catalog, full re-analysis, full
+    reload.  Returns the fresh service, its catalog, and the wall
+    time."""
+    t0 = time.perf_counter()
+    new_schema, new_fds = op.apply(schema, fds)
+    migrated = dict(dump)
+    migrated.update(op.migrate_relations(schema, {
+        name: dump[name] for name in op.structural_schemes(schema)
+    }))
+    for name in op.structural_schemes(schema):
+        if name not in {s.name for s in new_schema}:
+            migrated.pop(name, None)
+    relations = {
+        # DatabaseState reads positional rows in declaration order
+        # (scheme.columns), not canonical attribute order
+        scheme.name: [
+            tuple(row[a] for a in scheme.columns)
+            for row in migrated.get(scheme.name, [])
+        ]
+        for scheme in new_schema
+    }
+    analyze_cache_clear()  # a restart has no warm analysis memo
+    service = ShardedWeakInstanceService(new_schema, new_fds)
+    service.load(DatabaseState(new_schema, relations))
+    return service, new_schema, new_fds, time.perf_counter() - t0
+
+
+def _shard_sets(service):
+    state = service.state()
+    return {
+        scheme.name: frozenset(
+            tuple(sorted(t.as_dict().items())) for t in state[scheme.name]
+        )
+        for scheme in service.schema
+    }
+
+
+def test_incremental_evolution_vs_restart():
+    schema, fds = disjoint_star_schema(N_SCHEMES, satellites=2)
+    base, _ = insert_heavy_stream_workload(
+        schema, fds, n_base=N_BASE, n_inserts=0, n_queries=0,
+        seed=42, domain_size=10**9,
+    )
+    if not TINY:
+        assert base.total_tuples() >= 10_000
+
+    online = ShardedWeakInstanceService(schema, fds)
+    online.load(base)
+
+    # online path: both ops, timed together
+    t0 = time.perf_counter()
+    results = [online.evolve(parse_evolution_op(text)) for text in OPS]
+    t_online = time.perf_counter() - t0
+
+    # only R1's verdict was re-derived, only R1's shard rebuilt
+    for result in results:
+        assert set(result.rechecked) == {"R1"}
+        assert set(result.rebuilt) == {"R1"}
+        assert len(result.kept) == N_SCHEMES - 1
+    assert online.schema_version == len(OPS)
+    assert online.stats.independence_recheck_schemes == len(OPS)
+
+    # restart-the-world baseline: same two ops, each a fresh analysis
+    # + full reload of the migrated dump
+    cur_schema, cur_fds = schema, fds
+    dump = _capture(online)  # final state equals the base: add then drop
+    baseline = None
+    t_restart = 0.0
+    for text in OPS:
+        op = parse_evolution_op(text)
+        baseline, cur_schema, cur_fds, seconds = _restart_the_world(
+            cur_schema, cur_fds, dump, op
+        )
+        dump = _capture(baseline)
+        t_restart += seconds
+
+    assert _shard_sets(online) == _shard_sets(baseline), (
+        "online migration diverged from the from-scratch rebuild"
+    )
+
+    speedup = t_restart / t_online if t_online else float("inf")
+    emit(
+        f"evolution: schemes={N_SCHEMES} rows={base.total_tuples()} "
+        f"ops={len(OPS)} online={t_online:.3f}s "
+        f"restart={t_restart:.2f}s speedup={speedup:.0f}x "
+        f"(rechecked=1/{N_SCHEMES} per op, rebuilt=1/{N_SCHEMES})"
+    )
+
+    if TINY:
+        return
+    emit_bench_json(
+        "evolution",
+        {
+            "workload": (
+                "disjoint_star_schema(16) ~10k rows; "
+                "add-attr R1 + drop-attr R1"
+            ),
+            "base_tuples": base.total_tuples(),
+            "ops": len(OPS),
+            "schemes_rechecked_per_op": 1,
+            "shards_rebuilt_per_op": 1,
+            "shards_kept_per_op": N_SCHEMES - 1,
+            # coarse rounding on purpose: this file is committed, and
+            # millisecond noise should not dirty it on every re-run
+            "online_seconds": round(t_online, 2),
+            "restart_seconds": round(t_restart, 1),
+            "speedup": round(speedup),
+        },
+        path=BENCH_WEAK_JSON_PATH,
+    )
+    assert speedup >= 5.0, (
+        f"online evolution only {speedup:.1f}x over restart-the-world "
+        f"(online={t_online:.3f}s restart={t_restart:.2f}s)"
+    )
+
+
+def test_unaffected_shards_keep_serving_through_migration():
+    """Mid-migration availability: while ``R1`` migrates, a reader on
+    ``R2`` gets answers (the zero-downtime contract), and a
+    mid-migration write to the migrating scheme is replayed onto the
+    new epoch."""
+    schema, fds = disjoint_star_schema(4, satellites=2)
+    base, _ = insert_heavy_stream_workload(
+        schema, fds, n_base=40, n_inserts=0, n_queries=0,
+        seed=7, domain_size=10**9,
+    )
+    svc = ShardedWeakInstanceService(schema, fds)
+    svc.load(base)
+    r2 = schema["R2"].attributes
+    served = []
+
+    def during(service):
+        served.append(frozenset(service.window(r2).tuples))
+        out = service.insert("R1", (10**9 + 7, 1, 2))
+        assert out.accepted
+
+    result = svc.evolve(parse_evolution_op("add-attr R1 X = tba"), during=during)
+    assert served and served[0] == frozenset(svc.window(r2).tuples)
+    assert result.journal_replays >= 1
+    migrated = {
+        tuple(t.value(a) for a in ("K1", "X"))
+        for t in svc.state()["R1"]
+    }
+    assert (10**9 + 7, "tba") in migrated

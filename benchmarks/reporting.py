@@ -35,9 +35,10 @@ _NOTES = {
     ),
     "BENCH_weak.json": (
         "regenerate with: make bench-weak + make bench-weak-deletes + "
-        "make bench-weak-local + make bench-query (or pytest "
-        "benchmarks/bench_weak_queries.py benchmarks/bench_weak_deletes.py "
-        "benchmarks/bench_weak_local.py benchmarks/bench_query.py)"
+        "make bench-weak-local + make bench-query + make bench-evolution "
+        "(or pytest benchmarks/bench_weak_queries.py "
+        "benchmarks/bench_weak_deletes.py benchmarks/bench_weak_local.py "
+        "benchmarks/bench_query.py benchmarks/bench_evolution.py)"
     ),
     "BENCH_serve.json": (
         "regenerate with: make bench-serve (or pytest "

@@ -7,6 +7,7 @@ Usage::
     python -m repro query <scenario-file> -a "T H R"
     python -m repro query <scenario-file> -q "select(C=CS101, [C H R])"
     python -m repro serve <scenario-file> --ops <ops-file>
+    python -m repro evolve <scenario-file> -q "split CHR -> CH(C,H) + CR(C,R)"
     python -m repro verify-store <dir>          # offline durable-store scrub
     python -m repro demo                        # the paper's examples
 
@@ -29,6 +30,18 @@ and serves through the per-scheme
     health
     repair CHR
     stats
+    schema
+    evolve add-attr CHR X = TBA
+
+``schema`` prints the active epoch (plus any pinned older epochs),
+each shard's scheme and maintenance cover, and the migration status;
+``evolve <op>`` applies a schema-evolution operation online (see
+:mod:`repro.schema.evolution` for the op syntax) — only the affected
+shards rebuild, the rest keep serving, and a rejected evolution
+prints the counterexample report and leaves the old epoch serving.
+The standalone ``evolve`` subcommand applies a semicolon-separated
+batch (``-q``) against a scenario or a ``--durable`` store and exits
+nonzero at the first rejection.
 
 ``query`` takes either plain attributes (the ``[X]``-window) or a
 relational expression in the compact form of
@@ -83,9 +96,10 @@ from typing import Optional, Sequence
 from repro.chase.satisfaction import satisfies
 from repro.core.independence import analyze
 from repro.dsl import Scenario, parse_scenario, parse_tuples, parse_value
-from repro.exceptions import ParseError, ReproError
+from repro.exceptions import EvolutionRejectedError, ParseError, ReproError
 from repro.query.naive import evaluate_naive
 from repro.report import banner
+from repro.schema.evolution import parse_evolution_op
 from repro.weak.durable import DurableShardedService, verify_store
 from repro.weak.representative import window
 from repro.weak.server import WeakInstanceServer
@@ -233,6 +247,50 @@ def _serve_one(
         expr = rest if _is_query_expression(rest) else f"[{rest}]"
         report = service.explain(expr)
         return "\n".join("  " + l for l in report.render().splitlines())
+    if op == "schema":
+        if not hasattr(service, "migration_status"):
+            raise ParseError(
+                "schema requires --method local (the per-shard catalog)"
+            )
+        svc = service.service if isinstance(service, WeakInstanceServer) else service
+        status = service.migration_status()
+        retained = status.get("retained_epochs") or []
+        header = f"schema: epoch {status['epoch']}"
+        if retained:
+            header += " (pinned: " + ", ".join(str(e) for e in retained) + ")"
+        lines = [header]
+        for scheme in svc.schema:
+            cover = svc.maintenance_cover(scheme.name)
+            fds = "; ".join(str(f) for f in cover) if len(cover) else "(no embedded FDs)"
+            lines.append(
+                f"  {scheme.name}({','.join(scheme.attributes.names)}): {fds}"
+            )
+        migrating = status.get("migrating") or {}
+        lines.append(
+            "  migration: "
+            + (", ".join(sorted(migrating)) if migrating else "none in flight")
+        )
+        return "\n".join(lines)
+    if op == "evolve":
+        if not hasattr(service, "evolve"):
+            raise ParseError(
+                "evolve requires --method local (migration is per-shard)"
+            )
+        if not rest.strip():
+            raise ParseError(
+                f"evolve needs an operation, e.g. "
+                f"'evolve split CHR -> CH(C,H) + CR(C,R)': {line!r}"
+            )
+        evo = parse_evolution_op(rest)
+        try:
+            result = service.evolve(evo)
+        except EvolutionRejectedError as exc:
+            # a refused evolution is an *answer*, not a stream error:
+            # the old epoch is untouched and the service keeps serving,
+            # so print the refusal (its message carries the analysis
+            # report, counterexample included) and carry on
+            return f"evolve {rest}: REJECTED — {exc}"
+        return f"evolve {rest}: {result.summary()}"
     if op == "derivable":
         fact = {}
         for token in rest.split():
@@ -245,7 +303,8 @@ def _serve_one(
         return f"derivable {rest}: {'yes' if service.derivable(fact) else 'no'}"
     raise ParseError(
         f"unknown op {op!r} "
-        "(insert/delete/query/explain/derivable/snapshot/health/repair/stats)"
+        "(insert/delete/query/explain/derivable/evolve/schema/"
+        "snapshot/health/repair/stats)"
     )
 
 
@@ -389,6 +448,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    scenario = _load(args.scenario)
+    report = analyze(scenario.schema, scenario.fds)
+    if not report.independent:
+        print(
+            "evolve requires an independent starting schema (Theorem 3); "
+            "nothing was applied.  Analysis:",
+            file=sys.stderr,
+        )
+        print(report.summary(), file=sys.stderr)
+        return 1
+    if args.durable:
+        try:
+            service = DurableShardedService(
+                scenario.schema, scenario.fds, args.durable, report=report
+            )
+        except (ReproError, OSError) as exc:
+            print(
+                f"error: cannot open durable store {args.durable}: "
+                f"{type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        if service.stats.recoveries == 0 and scenario.state is not None:
+            service.load(scenario.state)
+    else:
+        service = ShardedWeakInstanceService(
+            scenario.schema, scenario.fds, report=report
+        )
+        if scenario.state is not None:
+            service.load(scenario.state)
+    specs = [s.strip() for s in args.query.split(";") if s.strip()]
+    if not specs:
+        print("evolve -q needs at least one operation", file=sys.stderr)
+        return 2
+    try:
+        for spec in specs:
+            op = parse_evolution_op(spec)
+            try:
+                result = service.evolve(op)
+            except EvolutionRejectedError as exc:
+                # first refusal stops the batch: later ops were written
+                # against a catalog that never came to exist
+                print(f"evolve {spec}: REJECTED — {exc}")
+                return 1
+            print(f"evolve {spec}: {result.summary()}")
+    finally:
+        if args.durable:
+            service.close()
+    return 0
+
+
 def _cmd_verify_store(args: argparse.Namespace) -> int:
     report = verify_store(args.root)
     print(f"store {report['root']}: {'OK' if report['ok'] else 'CORRUPT'}")
@@ -526,6 +637,29 @@ def build_parser() -> argparse.ArgumentParser:
         "0 = unbounded)",
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "evolve",
+        help="apply schema-evolution operations to a scenario (or a "
+        "durable store) in batch: exits 0 when every op is accepted, "
+        "1 at the first rejection (with the counterexample report)",
+    )
+    p.add_argument("scenario")
+    p.add_argument(
+        "-q",
+        "--query",
+        required=True,
+        metavar="OPS",
+        help="semicolon-separated evolution ops, e.g. "
+        "'add-attr CHR X; split CHR -> CH(C,H) + CR(C,R)'",
+    )
+    p.add_argument(
+        "--durable",
+        metavar="DIR",
+        help="apply against the durable store in DIR (recovered first; "
+        "the migration is logged and survives reopen)",
+    )
+    p.set_defaults(func=_cmd_evolve)
 
     p = sub.add_parser(
         "verify-store",

@@ -167,6 +167,111 @@ def embedding_report(
     return report
 
 
+def incremental_embedding_report(
+    previous: EmbeddingReport,
+    new_schema: DatabaseSchema,
+    new_fds: Iterable[FD],
+    changed_attrs: AttrsLike,
+    engine: Engine = "auto",
+) -> Optional[EmbeddingReport]:
+    """Condition (1) after a schema/FD edit, re-testing only the edit's
+    connected component.
+
+    Partition the combined old+new universe into components: attributes
+    are connected when they co-occur in a scheme (old or new catalog)
+    or in an FD (old or new set).  Implication under ``F ∪ {*D}`` never
+    crosses components — with every FD's lhs nonempty, a join over
+    attribute-disjoint scheme groups is their cross product, so no FD
+    between components is implied and the Lemma 5 loop's ``Z`` stays
+    inside the component it started in.  The components untouched by
+    the edit therefore keep their old per-FD outcomes verbatim; only
+    the *dirty* components (those containing a changed attribute, a
+    reshaped scheme, or an added/removed FD) are re-tested, on their
+    own sub-schema.
+
+    Returns ``None`` when reuse is unsound (the previous test failed,
+    or an empty-lhs FD breaks the component argument) — the caller
+    falls back to the full :func:`embedding_report`.
+    """
+    fdset = FDSet(new_fds).nontrivial()
+    if not previous.cover_embedding:
+        return None
+    old_schema, old_fds = previous.schema, previous.fds
+    if any(not f.lhs for f in fdset) or any(not f.lhs for f in old_fds):
+        return None
+
+    parent: Dict[str, str] = {}
+
+    def find(a: str) -> str:
+        root = a
+        while parent[root] != root:
+            root = parent[root]
+        while parent[a] != root:
+            parent[a], a = root, parent[a]
+        return root
+
+    def union(names: Iterable[str]) -> None:
+        names = list(names)
+        for a in names:
+            parent.setdefault(a, a)
+        for a in names[1:]:
+            parent[find(a)] = find(names[0])
+
+    for schema in (old_schema, new_schema):
+        for s in schema:
+            union(s.attributes.names)
+    for group in (old_fds, fdset):
+        for f in group:
+            union(f.attributes.names)
+
+    # the edit's footprint: its own attributes, every reshaped /
+    # added / removed scheme, every added / removed FD
+    seed = set(AttributeSet(changed_attrs).names)
+    old_schemes = {s.name: s.attributes for s in old_schema}
+    new_schemes = {s.name: s.attributes for s in new_schema}
+    for name in set(old_schemes) | set(new_schemes):
+        if old_schemes.get(name) != new_schemes.get(name):
+            for attrs in (old_schemes.get(name), new_schemes.get(name)):
+                if attrs is not None:
+                    seed |= set(attrs.names)
+    for f in set(old_fds) ^ set(fdset):
+        seed |= set(f.attributes.names)
+    for a in seed:
+        parent.setdefault(a, a)
+    dirty_roots = {find(a) for a in seed}
+
+    def dirty(attrs: AttributeSet) -> bool:
+        return any(find(a) in dirty_roots for a in attrs.names)
+
+    dirty_schemes = [s for s in new_schema if dirty(s.attributes)]
+    clean_names = {s.name for s in new_schema} - {s.name for s in dirty_schemes}
+    dirty_fds = FDSet(f for f in fdset if dirty(f.attributes))
+    if len(dirty_fds) and not dirty_schemes:
+        return None  # cannot happen (every attribute lives in a scheme)
+
+    report = EmbeddingReport(
+        schema=new_schema,
+        fds=fdset,
+        with_jd=previous.with_jd,
+        cover_embedding=True,
+    )
+    cover = [e for e in previous.embedded_cover if e.scheme in clean_names]
+    if dirty_schemes:
+        sub = embedding_report(
+            DatabaseSchema(dirty_schemes),
+            dirty_fds,
+            with_jd=previous.with_jd,
+            engine=engine,
+        )
+        if not sub.cover_embedding:
+            report.cover_embedding = False
+            report.failures = sub.failures
+            return report
+        cover = cover + sub.embedded_cover
+    report.embedded_cover = cover
+    return report
+
+
 def embeds_cover(
     schema: DatabaseSchema,
     fds: Iterable[FD],

@@ -163,6 +163,37 @@ def implies(fd_list: Iterable[FD], candidate: FD) -> bool:
     return candidate.rhs <= closure(candidate.lhs, fd_list)
 
 
+def reachable_schemes(
+    fd_list: Iterable[FD],
+    schemes: Iterable[Tuple[str, AttrsLike]],
+    changed: AttrsLike,
+) -> List[str]:
+    """Scheme names a change can *reach*: those whose closure
+    ``cl_F(Ri)`` intersects ``changed``.
+
+    This is the frontier of an incremental independence re-check
+    (:func:`repro.core.independence.reanalyze`): the Loop's verdict for
+    ``Rl`` is a function of ``Rl``'s closure and the FDs reachable from
+    it, so a schema/FD edit whose touched attributes lie outside
+    ``cl_F(Rl)`` cannot change the verdict for ``Rl``.  Passing an
+    :class:`FDSet` reuses its cached :class:`ClosureIndex` (and its
+    memoized closures); any other FD iterable builds a throwaway index.
+    """
+    changed_set = AttributeSet(changed)
+    if not changed_set:
+        return []
+    index = (
+        fd_list.closure_index()
+        if hasattr(fd_list, "closure_index")
+        else ClosureIndex(fd_list)
+    )
+    return [
+        name
+        for name, attrs in schemes
+        if index.closure(attrs) & changed_set
+    ]
+
+
 def restriction_closure(
     start: AttrsLike, fd_list: Iterable[FD], scheme_attrs: AttrsLike
 ) -> AttributeSet:

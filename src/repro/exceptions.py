@@ -69,6 +69,21 @@ class ShardQuarantinedError(ReproError):
         self.reason = reason
 
 
+class EvolutionRejectedError(NotIndependentError):
+    """A schema-evolution request was refused and the old epoch left
+    fully intact.  Two refusal families share this error: the evolved
+    catalog is **not independent** (``report`` carries the full
+    :class:`~repro.core.independence.IndependenceReport`, counterexample
+    included), or the evolved constraints are **refuted by the stored
+    data** (an ``add-fd`` whose new maintenance cover some existing
+    shard's rows violate — ``reason`` names the shard)."""
+
+    def __init__(self, message: str, report=None, reason: str = ""):
+        super().__init__(message)
+        self.report = report
+        self.reason = reason
+
+
 class ServiceOverloadedError(ReproError):
     """The server shed this request: the target worker's bounded queue
     stayed full past the submit timeout.  The request was NOT applied;

@@ -9,8 +9,8 @@ The two caches have different keys and different lifetimes:
 
 * The **plan cache** is keyed by the *normalized* AST.  Routing depends
   only on the schema (the closure guard is a static property of the
-  scheme closures), so a plan never goes stale — the cache is a plain
-  LRU.
+  scheme closures), so within one schema epoch a plan never goes
+  stale — the cache is a plain LRU.
 * The **result cache** is keyed by the normalized AST *plus* the
   version stamps of the plan's participating shards at execution time.
   A repeat query is answered from cache iff every participating shard
@@ -20,6 +20,15 @@ The two caches have different keys and different lifetimes:
   *participating* shards, a scoped delete that bumps an unrelated
   shard's version leaves the cached result valid — the retention
   direction the PR 3 window-cache revalidation policy established.
+
+Both caches additionally carry the service's **schema epoch**
+(``schema_version``, bumped by every applied evolution): a cached plan
+or result is honored only when its epoch matches the service's current
+one, so entries computed against a retired schema can never route to a
+renamed shard or serve a pre-migration answer — the
+``(schema_version, shard stamps)`` key the online-evolution protocol
+requires.  Services without an epoch (the unsharded one) report 0
+forever and behave exactly as before.
 
 The engine talks to services through three duck-typed hooks:
 
@@ -116,12 +125,19 @@ class QueryEngine:
     ):
         self.service = service
         self.always_compose = bool(always_compose)
-        self._plan_cache: "OrderedDict[Query, PhysicalPlan]" = OrderedDict()
-        self._result_cache: "OrderedDict[Query, PyTuple[PyTuple[int, ...], RelationInstance]]" = (
+        # values carry the schema epoch they were computed under:
+        # (epoch, plan) / (epoch, stamps, result)
+        self._plan_cache: "OrderedDict[Query, PyTuple[int, PhysicalPlan]]" = (
+            OrderedDict()
+        )
+        self._result_cache: "OrderedDict[Query, PyTuple[int, PyTuple[int, ...], RelationInstance]]" = (
             OrderedDict()
         )
         self._plan_cache_size = int(plan_cache_size)
         self._result_cache_size = int(result_cache_size)
+
+    def _epoch(self) -> int:
+        return getattr(self.service, "schema_version", 0)
 
     # -- caches -----------------------------------------------------------------
 
@@ -146,16 +162,18 @@ class QueryEngine:
 
     # -- pipeline ---------------------------------------------------------------
 
-    def _plan_for(self, q: Query) -> PyTuple[PhysicalPlan, bool]:
+    def _plan_for(self, q: Query, epoch: int) -> PyTuple[PhysicalPlan, bool]:
         norm = normalize(q)
         cached = self._cached(self._plan_cache, norm, self._plan_cache_size)
-        if cached is not None:
-            return cached, True
+        if cached is not None and cached[0] == epoch:
+            return cached[1], True
         physical = build_plan(
             norm,
             lambda target: self.service._query_route(target, self.always_compose),
         )
-        self._store(self._plan_cache, norm, physical, self._plan_cache_size)
+        self._store(
+            self._plan_cache, norm, (epoch, physical), self._plan_cache_size
+        )
         return physical, False
 
     def _execute(self, node) -> RelationInstance:
@@ -180,7 +198,8 @@ class QueryEngine:
         validate(q, self.service.schema.universe)
         stats = self.service.stats
         stats.queries += 1
-        physical, plan_hit = self._plan_for(q)
+        epoch = self._epoch()
+        physical, plan_hit = self._plan_for(q, epoch)
         if plan_hit:
             stats.query_plan_cache_hits += 1
         stats.query_pushed_scans += sum(
@@ -190,10 +209,12 @@ class QueryEngine:
         cached = self._cached(
             self._result_cache, physical.normalized, self._result_cache_size
         )
-        result_hit = cached is not None and cached[0] == stamps
+        result_hit = (
+            cached is not None and cached[0] == epoch and cached[1] == stamps
+        )
         if result_hit:
             stats.query_result_cache_hits += 1
-            result = cached[1]
+            result = cached[2]
         else:
             result = self._execute(physical.root)
             # a leaf execution may have advanced a stamp (first composer
@@ -203,7 +224,7 @@ class QueryEngine:
             self._store(
                 self._result_cache,
                 physical.normalized,
-                (stamps, result),
+                (epoch, stamps, result),
                 self._result_cache_size,
             )
         if not explain:

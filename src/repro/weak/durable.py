@@ -99,6 +99,25 @@ with valid frames stranded after it (unexpected: counted in
 surfaced by ``verify-store``) — good records are never dropped
 silently.
 
+**Schema evolution.**  :meth:`DurableShardedService.evolve` makes the
+online migration protocol of :meth:`~repro.weak.sharded.
+ShardedWeakInstanceService.evolve` durable.  The commit point is a
+root-level **schema WAL** (``schema.log``, same CRC framing as the
+shard WALs) plus an atomic manifest rewrite: the evolution record —
+epoch, the serialized op, the old and new catalogs — is appended and
+fsynced first, then ``MANIFEST.json`` is replaced (tmp + rename) to
+name the new epoch.  A crash *before* the manifest replace recovers
+the old epoch untouched; a crash *after* it recovers the new epoch,
+**rolling forward** any shard whose on-disk snapshot predates the
+manifest's epoch by re-applying the logged op's deterministic
+``migrate_relations`` transform to the retired source shards (their
+directories are retained until every migrated shard's epoch-stamped
+snapshot is durable — only then are dropped schemes' directories
+removed).  Snapshots carry the epoch they were taken under; reopening
+an evolved store rebuilds the service from the manifest's catalog, so
+the constructor's (original) schema only has to match what the store
+was *created* with.
+
 **Threading.**  Mutations and snapshots are safe under concurrent use:
 each scheme has a reentrant shard lock (:meth:`shard_lock`) guarding
 apply+stage order, staging and commit hand off through dedicated
@@ -118,6 +137,7 @@ import json
 import logging
 import os
 import pathlib
+import shutil
 import struct
 import threading
 import time
@@ -140,9 +160,21 @@ from repro.core.maintenance import InsertOutcome
 from repro.data.states import DatabaseState
 from repro.deps.fd import FD
 from repro.deps.fdset import FDSet
-from repro.exceptions import ReproError, ShardQuarantinedError
+from repro.exceptions import (
+    EvolutionRejectedError,
+    ReproError,
+    ShardQuarantinedError,
+)
+from repro.schema.attributes import AttributeSet
+from repro.schema.database import DatabaseSchema
+from repro.schema.evolution import EvolutionOp, evolution_op_from_json
+from repro.schema.relation import RelationScheme
 from repro.weak.service import WindowQueryAPI
-from repro.weak.sharded import ShardedServiceStats, ShardedWeakInstanceService
+from repro.weak.sharded import (
+    EvolutionResult,
+    ShardedServiceStats,
+    ShardedWeakInstanceService,
+)
 
 _log = logging.getLogger(__name__)
 
@@ -159,7 +191,21 @@ CRASH_POINTS = (
     "snapshot.tmp-written",  # tmp snapshot written + fsynced, not yet renamed
     "snapshot.installed",  # renamed over snapshot.json, WAL not yet truncated
     "snapshot.done",       # WAL truncated; snapshot cycle complete
+    # -- schema evolution (the migration crash matrix) ------------------
+    "evolve.begin",        # evolution requested, nothing changed yet
+    "evolve.mid-rebuild",  # a replacement shard is being built
+    "evolve.journal-replay",  # mid-migration journal about to replay
+    "evolve.pre-wal",      # schema.log record encoded, not yet written
+    "evolve.post-wal",     # schema.log fsynced, manifest not yet replaced
+    "evolve.manifest",     # manifest replaced (commit point crossed), no
+                           #   new-epoch snapshot installed yet → recovery
+                           #   must roll the migrated shards forward
+    "evolve.done",         # manifest committed, migrated snapshots installed
 )
+
+#: crash points exercised by the evolution crash matrix (a subset of
+#: :data:`CRASH_POINTS`; ``tests/harness`` parametrizes over these)
+MIGRATION_CRASH_POINTS = tuple(p for p in CRASH_POINTS if p.startswith("evolve."))
 
 #: ``fault_hook`` signature: called with a :data:`CRASH_POINTS` name;
 #: raising simulates a crash at that boundary.
@@ -168,6 +214,7 @@ FaultHook = Callable[[str], None]
 _FRAME = struct.Struct("<II")  # payload length, crc32(payload)
 
 MANIFEST_NAME = "MANIFEST.json"
+SCHEMA_LOG_NAME = "schema.log"
 WAL_NAME = "wal.log"
 SNAPSHOT_NAME = "snapshot.json"
 _SNAPSHOT_TMP = "snapshot.json.tmp"
@@ -274,6 +321,11 @@ class DurableServiceStats(ShardedServiceStats):
     #: recoveries that fell back past a bad snapshot to an older
     #: generation (acknowledged records may have rolled back — logged)
     snapshot_fallbacks: int = 0
+    #: schema-evolution records committed to ``schema.log``
+    evolutions_logged: int = 0
+    #: shards rolled forward at recovery (their snapshot predated the
+    #: manifest epoch: the logged op's migration was re-applied)
+    evolution_rollforwards: int = 0
 
 
 def _encode_record(op: str, values: Sequence[object]) -> bytes:
@@ -398,20 +450,55 @@ def _scan_records(data: bytes) -> WalScan:
     return scan
 
 
-def _snapshot_payload(name: str, attributes: Sequence[str], rows: List[list]) -> str:
+def _snapshot_payload(
+    name: str, attributes: Sequence[str], rows: List[list], epoch: int = 0
+) -> str:
     """Serialize one shard snapshot.  The ``crc`` covers the tuples
     serialization, so a bit-flip anywhere in the data is detected by
-    recovery/``verify-store`` and the generation chain falls back."""
+    recovery/``verify-store`` and the generation chain falls back.
+    ``epoch`` stamps the schema version the rows belong to — recovery
+    rolls a shard forward when its snapshot predates the manifest's
+    epoch (pre-epoch snapshots parse as epoch 0)."""
     tuples_json = json.dumps(rows, separators=(",", ":"))
     return (
-        '{"format":%d,"scheme":%s,"attributes":%s,"crc":%d,"tuples":%s}'
+        '{"format":%d,"scheme":%s,"epoch":%d,"attributes":%s,"crc":%d,"tuples":%s}'
         % (
             _FORMAT,
             json.dumps(name),
+            epoch,
             json.dumps(list(attributes)),
             crc32(tuples_json.encode("utf-8")),
             tuples_json,
         )
+    )
+
+
+def _schema_to_json(schema: DatabaseSchema) -> List[list]:
+    """The catalog as JSON: ``[[name, [attr, ...]], ...]`` — what the
+    manifest and every ``schema.log`` record embed."""
+    return [[s.name, list(s.attributes.names)] for s in schema]
+
+
+def _schema_from_json(data: object) -> DatabaseSchema:
+    if not isinstance(data, list):
+        raise ReproError(f"malformed schema serialization: {data!r}")
+    return DatabaseSchema(
+        [RelationScheme(name, AttributeSet(attrs)) for name, attrs in data]
+    )
+
+
+def _fds_to_json(fds: FDSet) -> List[list]:
+    """FDs as JSON: ``[[[lhs...], [rhs...]], ...]`` (structural — the
+    display form concatenates attribute names, which does not
+    round-trip through the parser)."""
+    return [[list(f.lhs.names), list(f.rhs.names)] for f in fds]
+
+
+def _fds_from_json(data: object) -> FDSet:
+    if not isinstance(data, list):
+        raise ReproError(f"malformed FD serialization: {data!r}")
+    return FDSet(
+        FD(AttributeSet(lhs), AttributeSet(rhs)) for lhs, rhs in data
     )
 
 
@@ -601,6 +688,10 @@ class DurableShardedService(WindowQueryAPI):
         self.io_retries = io_retries
         self.io_backoff = io_backoff
         self.stats = DurableServiceStats()
+        # retained for evolved-store reopens: the manifest's catalog
+        # wins over the constructor's, and the rebuilt inner service
+        # must keep the caller's tuning options
+        self._service_options = dict(service_options)
         self._inner = ShardedWeakInstanceService(
             schema, fds, report=report, stats=self.stats, **service_options
         )
@@ -624,6 +715,10 @@ class DurableShardedService(WindowQueryAPI):
             name: SHARD_SERVING for name in self._inner.shard_names()
         }
         self._shard_errors: Dict[str, str] = {}
+        #: the manifest's schema epoch (0 for never-evolved stores)
+        self._manifest_epoch = 0
+        #: the newest ``schema.log`` record, for recovery roll-forward
+        self._pending_evolution: Optional[Dict[str, object]] = None
         existing = (self.root / MANIFEST_NAME).exists()
         self._init_layout(existing)
         if existing:
@@ -645,6 +740,52 @@ class DurableShardedService(WindowQueryAPI):
             return base
         return base.with_name(f"{SNAPSHOT_NAME}.{generation}")
 
+    def schema_log_path(self) -> pathlib.Path:
+        return self.root / SCHEMA_LOG_NAME
+
+    def _write_manifest(
+        self, schema: DatabaseSchema, fds: FDSet, epoch: int
+    ) -> None:
+        """Rewrite the manifest atomically (tmp + rename).  For an
+        evolution this replace IS the commit point: before it the store
+        recovers the old epoch, after it the new one."""
+        names = sorted(s.name for s in schema)
+        tmp = self.root / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(
+            json.dumps(
+                {
+                    "format": _FORMAT,
+                    "schemes": names,
+                    "epoch": epoch,
+                    "schema": _schema_to_json(schema),
+                    "fds": _fds_to_json(fds),
+                },
+                indent=2,
+            )
+        )
+        self.io.replace(tmp, self.root / MANIFEST_NAME)
+
+    def _read_schema_log(self) -> List[Dict[str, object]]:
+        """Parse ``schema.log``: one dict per committed evolution, in
+        apply order.  A torn tail (crash mid-append) ends the parse —
+        a record not fully on disk was never committed (the manifest
+        replace happens strictly after the log fsync)."""
+        path = self.schema_log_path()
+        if not path.exists():
+            return []
+        ops, _good = _decode_records(self.io.read_bytes(path))
+        records: List[Dict[str, object]] = []
+        for op, values in ops:
+            if op != "schema" or not values:
+                continue  # pragma: no cover - foreign record, skip
+            try:
+                record = json.loads(values[0])
+            except (TypeError, ValueError):  # pragma: no cover - crc guards
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
     def _init_layout(self, existing: bool) -> None:
         names = sorted(self._inner.shard_names())
         if existing:
@@ -662,7 +803,47 @@ class DurableShardedService(WindowQueryAPI):
                     f"unsupported durable format {manifest.get('format')!r} "
                     f"in {self.root}"
                 )
-            if sorted(manifest.get("schemes", [])) != names:
+            epoch = int(manifest.get("epoch", 0))
+            self._manifest_epoch = epoch
+            if epoch > 0 and manifest.get("schema"):
+                # the store evolved past the catalog it was created
+                # with: the manifest's schema + FDs are authoritative,
+                # and the inner service is rebuilt over them (the
+                # constructor's schema only names the original epoch)
+                schema = _schema_from_json(manifest["schema"])
+                fds = _fds_from_json(manifest.get("fds", []))
+                if schema != self.schema or fds != self.fds:
+                    self._inner = ShardedWeakInstanceService(
+                        schema, fds, stats=self.stats, **self._service_options
+                    )
+                    self.schema = self._inner.schema
+                    self.fds = self._inner.fds
+                    self.report = self._inner.report
+                    self._locks = {
+                        name: threading.RLock()
+                        for name in self._inner.shard_names()
+                    }
+                    self._shard_status = {
+                        name: SHARD_SERVING
+                        for name in self._inner.shard_names()
+                    }
+                    self._shard_errors = {}
+                self._inner.schema_version = epoch
+                names = sorted(self._inner.shard_names())
+                if sorted(manifest.get("schemes", [])) != names:
+                    raise ReproError(
+                        f"durable manifest {manifest_path} is inconsistent: "
+                        f"schemes {manifest.get('schemes')} vs catalog "
+                        f"{names}"
+                    )
+                for name in names:
+                    # a migrated-in scheme's directory may not exist yet
+                    # (crash between manifest commit and finalize)
+                    self._shard_dir(name).mkdir(parents=True, exist_ok=True)
+                records = self._read_schema_log()
+                if records:
+                    self._pending_evolution = records[-1]
+            elif sorted(manifest.get("schemes", [])) != names:
                 raise ReproError(
                     f"durable directory {self.root} was written for schemes "
                     f"{manifest.get('schemes')}, not {names}"
@@ -671,22 +852,22 @@ class DurableShardedService(WindowQueryAPI):
             self.root.mkdir(parents=True, exist_ok=True)
             for name in names:
                 self._shard_dir(name).mkdir(parents=True, exist_ok=True)
-            tmp = self.root / (MANIFEST_NAME + ".tmp")
-            tmp.write_text(
-                json.dumps({"format": _FORMAT, "schemes": names}, indent=2)
-            )
-            os.replace(tmp, self.root / MANIFEST_NAME)
+            self._write_manifest(self.schema, self.fds, 0)
         for name in names:
             self._wals[name] = _ShardWal(self.wal_path(name), self.io)
 
     def _load_snapshot_rows(
         self, name: str
-    ) -> PyTuple[Optional[Dict[PyTuple[object, ...], None]], Optional[int], int]:
+    ) -> PyTuple[
+        Optional[Dict[PyTuple[object, ...], None]], Optional[int], int, int
+    ]:
         """Walk the shard's snapshot generations newest-first and
-        return ``(rows, generation, bad_generations)`` — ``rows`` from
-        the newest generation that parses and passes its CRC, or
-        ``(None, None, bad)`` when no generation is readable (no
-        snapshot at all, or every one corrupt)."""
+        return ``(rows, generation, bad_generations, epoch)`` —
+        ``rows`` from the newest generation that parses and passes its
+        CRC, or ``(None, None, bad, 0)`` when no generation is
+        readable (no snapshot at all, or every one corrupt).
+        ``epoch`` is the schema version the snapshot was taken under
+        (0 for pre-evolution snapshot files)."""
         bad = 0
         for generation in range(self.snapshot_generations):
             path = self.snapshot_path(name, generation)
@@ -701,8 +882,8 @@ class DurableShardedService(WindowQueryAPI):
             rows: Dict[PyTuple[object, ...], None] = {}
             for values in snap["tuples"]:
                 rows[tuple(values)] = None
-            return rows, generation, bad
-        return None, None, bad
+            return rows, generation, bad, int(snap.get("epoch", 0))
+        return None, None, bad, 0
 
     def _read_wal(self, name: str, wal: _ShardWal) -> WalScan:
         """Scan the shard's WAL, count mid-file corruption (module
@@ -728,6 +909,87 @@ class DurableShardedService(WindowQueryAPI):
             self.io.truncate(wal.path, scan.good_offset)
         return scan
 
+    def _dir_rows(self, name: str) -> Dict[PyTuple[object, ...], None]:
+        """One shard directory's recovered value-tuples (newest good
+        snapshot generation + WAL-tail replay) — also works for a
+        *retired* directory no longer in the manifest (the
+        roll-forward source capture)."""
+        rows, _generation, _bad, _epoch = self._load_snapshot_rows(name)
+        if rows is None:
+            rows = {}
+        wal = self._wals.get(name)
+        throwaway = wal is None
+        if throwaway:
+            wal = _ShardWal(self.wal_path(name), self.io)
+        try:
+            scan = self._read_wal(name, wal)
+        finally:
+            if throwaway:
+                wal.close()
+        for op, values in scan.ops:
+            if op == "+":
+                rows[values] = None
+            else:
+                rows.pop(values, None)
+        return rows
+
+    def _snapshot_epoch(self, name: str) -> Optional[int]:
+        """The epoch of the shard's newest readable snapshot, or
+        ``None`` when no generation is readable."""
+        _rows, generation, _bad, epoch = self._load_snapshot_rows(name)
+        return None if generation is None else epoch
+
+    def _roll_forward(
+        self, record: Dict[str, object]
+    ) -> Dict[str, List[Dict[str, object]]]:
+        """Re-apply the last committed evolution's migration to every
+        shard whose on-disk snapshot predates the manifest epoch.
+
+        The crash window this covers is between the manifest replace
+        (the commit point) and the finalize step that snapshots every
+        migrated shard: the retired source directories are still on
+        disk (finalize removes them only after the migrated snapshots
+        are durable), so the deterministic ``migrate_relations``
+        transform re-derives exactly the rows the crashed process had
+        built.  Returns ``{scheme: attribute-keyed rows}`` for the
+        rolled-forward shards only."""
+        try:
+            op = evolution_op_from_json(record["op"])
+            old_schema = _schema_from_json(record["old_schema"])
+        except (KeyError, ReproError) as exc:  # pragma: no cover - defensive
+            _log.warning("unusable schema.log record (%s); skipping "
+                         "roll-forward", exc)
+            return {}
+        sources = list(op.structural_schemes(old_schema))
+        if not sources:
+            return {}  # cover-only op (add-fd/drop-fd): rows unchanged
+        targets = sorted(
+            op.migrate_relations(old_schema, {s: [] for s in sources})
+        )
+        behind = []
+        for name in targets:
+            if name not in self._wals:
+                continue  # pragma: no cover - defensive
+            epoch = self._snapshot_epoch(name)
+            if epoch is None or epoch < self._manifest_epoch:
+                behind.append(name)
+        if not behind:
+            return {}
+        capture: Dict[str, List[Dict[str, object]]] = {}
+        for src in sources:
+            attrs = old_schema[src].attributes.names
+            capture[src] = [
+                dict(zip(attrs, values)) for values in self._dir_rows(src)
+            ]
+        migrated = op.migrate_relations(old_schema, capture)
+        self.stats.evolution_rollforwards += len(behind)
+        _log.warning(
+            "recovery roll-forward to epoch %d: shard(s) %s re-migrated "
+            "from the retired sources (%s)",
+            self._manifest_epoch, ", ".join(behind), op.describe(),
+        )
+        return {name: migrated.get(name, []) for name in behind}
+
     def _recover(self) -> None:
         """Snapshot + WAL-tail replay per shard, then one atomic load.
 
@@ -740,10 +1002,21 @@ class DurableShardedService(WindowQueryAPI):
         counted — acknowledged records may roll back, which beats the
         alternative of not opening at all); a shard with *no* good
         generation but corrupt ones opens quarantined for ``repair``.
+
+        On an evolved store, shards whose snapshot predates the
+        manifest epoch are **rolled forward** first
+        (:meth:`_roll_forward`), then snapshotted at the new epoch and
+        the retired source directories removed — the finalize the
+        crashed evolution never completed.
         """
         relations: Dict[str, List[Dict[str, object]]] = {}
         replayed = 0
         snapshot_loads = 0
+        rolled: Dict[str, List[Dict[str, object]]] = {}
+        if self._pending_evolution is not None and (
+            int(self._pending_evolution.get("epoch", 0)) == self._manifest_epoch
+        ):
+            rolled = self._roll_forward(self._pending_evolution)
         for name, wal in self._wals.items():
             # WAL and snapshot values are in canonical attribute order
             # (Tuple.values), NOT declared column order — rebuild rows
@@ -752,7 +1025,10 @@ class DurableShardedService(WindowQueryAPI):
             tmp = self._shard_dir(name) / _SNAPSHOT_TMP
             if tmp.exists():  # crash before the snapshot rename: discard
                 tmp.unlink()
-            rows, generation, bad = self._load_snapshot_rows(name)
+            if name in rolled:
+                relations[name] = rolled[name]
+                continue
+            rows, generation, bad, _epoch = self._load_snapshot_rows(name)
             if rows is None and bad:
                 # every generation corrupt: open the shard quarantined
                 # (the healthy shards keep serving; repair can retry
@@ -792,6 +1068,17 @@ class DurableShardedService(WindowQueryAPI):
         self.stats.wal_records_replayed += replayed
         if any(relations.values()):
             self._inner.load(DatabaseState(self.schema, relations))
+        # finalize an interrupted evolution: epoch-stamped snapshots for
+        # the rolled-forward shards first, retired directories last (the
+        # same write order the crashed evolve was following)
+        for name in sorted(rolled):
+            self._snapshot_locked(name)
+        if self._manifest_epoch > 0:
+            shards_root = self.root / "shards"
+            if shards_root.is_dir():
+                for child in sorted(shards_root.iterdir()):
+                    if child.is_dir() and child.name not in self._wals:
+                        shutil.rmtree(child, ignore_errors=True)
 
     # -- crash discipline and per-shard health -----------------------------------
 
@@ -825,7 +1112,8 @@ class DurableShardedService(WindowQueryAPI):
     def health(self) -> Dict[str, object]:
         """The per-shard status surface: overall status (``serving``
         iff every shard serves and the service has not crashed) plus
-        each shard's state and last error."""
+        each shard's state, last error, the schema epoch, and any
+        in-flight migration."""
         shards = dict(self._shard_status)
         if self._crashed:
             status = "crashed"
@@ -837,6 +1125,8 @@ class DurableShardedService(WindowQueryAPI):
             "status": status,
             "shards": shards,
             "errors": dict(self._shard_errors),
+            "epoch": self._inner.schema_version,
+            "migration": self._inner.migration_status(),
         }
 
     def _set_status(self, name: str, status: str, reason: str = "") -> None:
@@ -887,7 +1177,11 @@ class DurableShardedService(WindowQueryAPI):
         (read-only) shard gets a recovery probe first — if the disk
         took the backlog, the shard returns to serving and the write
         proceeds."""
-        status = self._shard_status[name]
+        status = self._shard_status.get(name)
+        if status is None:
+            # unknown (or evolved-away) scheme: raise the canonical
+            # unknown-scheme error, same as the read path
+            self._inner._shard(name)
         if status == SHARD_SERVING:
             return
         if status == SHARD_DEGRADED and self.probe(name):
@@ -1011,7 +1305,14 @@ class DurableShardedService(WindowQueryAPI):
         try:
             with self._io_lock:
                 with self._stage_lock:
-                    dirty = [(name, self._wals[name]) for name in self._dirty]
+                    # a name may have been retired by a concurrent
+                    # evolution's finalize — its records are already
+                    # superseded by the migrated epoch-stamped snapshot
+                    dirty = [
+                        (name, self._wals[name])
+                        for name in self._dirty
+                        if name in self._wals
+                    ]
                     self._dirty = []
                     gen = self._staged_gen
                     if dirty:
@@ -1065,8 +1366,14 @@ class DurableShardedService(WindowQueryAPI):
         records = 0
         failure: Optional[ShardQuarantinedError] = None
         for name in sorted(set(names)):
+            wal = self._wals.get(name)
+            if wal is None:
+                # retired by an evolution's finalize: the shard's data
+                # (mid-migration journal included) is durable in the
+                # new epoch's snapshot, so there is nothing to commit
+                continue
             try:
-                wrote, count = self._commit_wal(name, self._wals[name])
+                wrote, count = self._commit_wal(name, wal)
             except ShardQuarantinedError as exc:
                 failure = failure if failure is not None else exc
                 continue
@@ -1130,7 +1437,12 @@ class DurableShardedService(WindowQueryAPI):
         shard = self._inner._shard(name)
         rows = [list(t.values) for t in shard.relation()]
         self._fault("snapshot.begin")
-        payload = _snapshot_payload(name, shard.scheme.attributes.names, rows)
+        payload = _snapshot_payload(
+            name,
+            shard.scheme.attributes.names,
+            rows,
+            self._inner.schema_version,
+        )
         with self._io_lock:
             directory = self._shard_dir(name)
             tmp = directory / _SNAPSHOT_TMP
@@ -1292,6 +1604,145 @@ class DurableShardedService(WindowQueryAPI):
                     self._latch_crash()
                     raise
 
+    # -- schema evolution --------------------------------------------------------
+
+    @property
+    def schema_version(self) -> int:
+        """The current schema epoch (0 until the first evolution)."""
+        return self._inner.schema_version
+
+    def migration_status(self) -> Dict[str, object]:
+        return self._inner.migration_status()
+
+    def evolve(self, op: EvolutionOp, during=None) -> EvolutionResult:
+        """Apply one schema evolution, durably, with zero downtime for
+        unaffected shards (module docstring: *Schema evolution*).
+
+        The inner service runs the online migration protocol; this
+        layer contributes the commit point (``schema.log`` append +
+        fsync, then the atomic manifest replace) through the
+        ``pre_commit`` seam — it fires after the re-check, rebuild, and
+        journal replay all succeeded, so nothing reaches disk for a
+        rejected evolution — and the finalize step afterwards:
+        epoch-stamped snapshots for every rebuilt shard, WAL/lock/
+        status bookkeeping for added and dropped schemes, retired
+        directories removed last.  A crash anywhere in between is
+        recovered by :meth:`_recover`'s roll-forward.
+
+        Raises :class:`~repro.exceptions.EvolutionRejectedError` (old
+        epoch fully intact, still serving) on a refused evolution, and
+        :class:`~repro.exceptions.ShardQuarantinedError` when any shard
+        is not serving — migration needs every failure domain healthy.
+        """
+        self._ensure_open()
+        for name in sorted(self._shard_status):
+            if self._shard_status[name] != SHARD_SERVING:
+                raise ShardQuarantinedError(
+                    name,
+                    self._shard_status[name],
+                    self._shard_errors.get(name, ""),
+                )
+        # flush the staged backlog first: the migration captures shard
+        # state, and everything acknowledged must be on disk before the
+        # old epoch's WALs stop being authoritative
+        self.commit()
+
+        def pre_commit(new_schema, new_fds, _new_report) -> None:
+            epoch = self._inner.schema_version + 1
+            payload = {
+                "epoch": epoch,
+                "op": op.to_json(),
+                "old_schema": _schema_to_json(self.schema),
+                "schema": _schema_to_json(new_schema),
+                "fds": _fds_to_json(new_fds),
+            }
+            record = _encode_record(
+                "schema", [json.dumps(payload, separators=(",", ":"))]
+            )
+            self._fault("evolve.pre-wal")
+            path = self.schema_log_path()
+            with open(path, "ab", buffering=0) as handle:
+                self.io.wal_write(handle, record, path)
+                self.io.wal_fsync(handle, path)
+            self.stats.evolutions_logged += 1
+            self._fault("evolve.post-wal")
+            # the commit point: after this replace, recovery rolls
+            # forward to the new epoch; before it, the old epoch wins
+            self._write_manifest(new_schema, new_fds, epoch)
+            self.io.dir_fsync(self.root)
+            self._fault("evolve.manifest")
+
+        # the mid-migration window's writes must go through THIS layer:
+        # handing the caller the inner service would acknowledge writes
+        # that never reach a WAL — durable for the journal replay, lost
+        # on the next restart
+        durable_during = None
+        if during is not None:
+            caller_during = during
+
+            def durable_during(_inner_service) -> None:
+                caller_during(self)
+
+        try:
+            result = self._inner.evolve(
+                op,
+                during=durable_during,
+                hook=self._fault,
+                pre_commit=pre_commit,
+            )
+        except EvolutionRejectedError:
+            raise  # clean refusal: nothing written, old epoch serving
+        except BaseException:
+            # an injected crash, an I/O failure in the commit point, or
+            # anything unexpected mid-migration: the global catalog is
+            # suspect, so the whole-service crash latch applies (reopen
+            # recovers whichever epoch the manifest names)
+            self._latch_crash()
+            raise
+        self.schema = self._inner.schema
+        self.fds = self._inner.fds
+        self.report = self._inner.report
+        self._manifest_epoch = self._inner.schema_version
+        try:
+            self._finalize_evolution(result)
+        except BaseException:
+            self._latch_crash()
+            raise
+        return result
+
+    def _finalize_evolution(self, result: EvolutionResult) -> None:
+        """Post-commit disk reshaping, in crash-safe order: create new
+        shard directories and WALs, snapshot every rebuilt shard at the
+        new epoch (truncating its old-epoch WAL), and only then remove
+        retired directories — so recovery always still has the sources
+        it would need to re-derive an unsnapshotted migrated shard."""
+        old_names = set(self._wals)
+        new_names = set(self._inner.shard_names())
+        for name in sorted(new_names - old_names):
+            self._shard_dir(name).mkdir(parents=True, exist_ok=True)
+            self._wals[name] = _ShardWal(self.wal_path(name), self.io)
+            self._locks[name] = threading.RLock()
+            self._shard_status[name] = SHARD_SERVING
+        for name in result.rebuilt:
+            with self._locks[name]:
+                # flush any mid-migration staged records (old-epoch
+                # values; the epoch-stamped snapshot below supersedes
+                # them and truncates the WAL)
+                self.commit_shards([name])
+                self._snapshot_locked(name)
+        for name in sorted(old_names - new_names):
+            wal = self._wals.pop(name)
+            with self._stage_lock:
+                wal.take_pending()
+                if name in self._dirty:
+                    self._dirty.remove(name)
+            wal.close()
+            self._locks.pop(name, None)
+            self._shard_status.pop(name, None)
+            self._shard_errors.pop(name, None)
+            shutil.rmtree(self._shard_dir(name), ignore_errors=True)
+        self._fault("evolve.done")
+
     # -- self-healing ------------------------------------------------------------
 
     def repair(self, name: str) -> Dict[str, object]:
@@ -1324,7 +1775,7 @@ class DurableShardedService(WindowQueryAPI):
                         _, dropped = wal.take_pending()
                         if name in self._dirty:
                             self._dirty.remove(name)
-                    rows, generation, bad = self._load_snapshot_rows(name)
+                    rows, generation, bad, _epoch = self._load_snapshot_rows(name)
                     if rows is None and bad:
                         raise ReproError(
                             f"shard {name!r}: no readable snapshot "
@@ -1389,15 +1840,17 @@ class DurableShardedService(WindowQueryAPI):
 
     # -- reads and delegation ----------------------------------------------------
 
-    def window(self, attrset):
+    def window(self, attrset, version: Optional[int] = None):
         self._ensure_open()
-        return self._inner.window(attrset)
+        return self._inner.window(attrset, version=version)
 
-    def query(self, query):
+    def query(self, query, version: Optional[int] = None):
         """Relational query against the inner sharded service (its
-        engine, its routing, its version-stamped result cache)."""
+        engine, its routing, its epoch- and version-stamped caches).
+        ``version`` pins a retained schema epoch (in-memory only: a
+        reopened store retains no retired epochs)."""
         self._ensure_open()
-        return self._inner.query(query)
+        return self._inner.query(query, version=version)
 
     def explain(self, query):
         self._ensure_open()
@@ -1491,6 +1944,51 @@ def verify_store(root: Union[str, os.PathLike]) -> Dict[str, object]:
     findings: List[str] = []
     if manifest.get("format") != _FORMAT:
         findings.append(f"unsupported format {manifest.get('format')!r}")
+    epoch = int(manifest.get("epoch", 0))
+    schema_log: Dict[str, object] = {"records": 0}
+    pending_rollforward: set = set()
+    log_path = root / SCHEMA_LOG_NAME
+    if log_path.exists():
+        try:
+            ops, good = _decode_records(log_path.read_bytes())
+        except OSError as exc:
+            findings.append(f"schema.log unreadable: {exc}")
+        else:
+            records = [o for o in ops if o[0] == "schema"]
+            schema_log["records"] = len(records)
+            tail = log_path.stat().st_size - good
+            if tail:
+                schema_log["torn_tail_bytes"] = tail
+            if records:
+                try:
+                    last = json.loads(records[-1][1][0])
+                    last_epoch = int(last.get("epoch", 0))
+                except (TypeError, ValueError, IndexError):
+                    findings.append("schema.log: unparsable last record")
+                    last_epoch = None
+                if last_epoch is not None and last_epoch < epoch:
+                    findings.append(
+                        f"schema.log ends at epoch {last_epoch} but the "
+                        f"manifest names epoch {epoch}"
+                    )
+                if last_epoch is not None and last_epoch == epoch:
+                    # a crash between the manifest replace and the
+                    # finalize step leaves migrated-in schemes without
+                    # directories yet; recovery rolls them forward, so
+                    # a missing dir for exactly those schemes is
+                    # expected crash residue, not damage
+                    try:
+                        new_names = {s[0] for s in last.get("schema", [])}
+                        old_names = {
+                            s[0] for s in last.get("old_schema", [])
+                        }
+                        pending_rollforward = new_names - old_names
+                    except (TypeError, IndexError):
+                        pending_rollforward = set()
+    elif epoch > 0:
+        findings.append(
+            f"manifest names epoch {epoch} but there is no {SCHEMA_LOG_NAME}"
+        )
     shards: Dict[str, Dict[str, object]] = {}
     ok = not findings
     for name in sorted(manifest.get("schemes", [])):
@@ -1502,7 +2000,10 @@ def verify_store(root: Union[str, os.PathLike]) -> Dict[str, object]:
         }
         shard_findings: List[str] = entry["findings"]
         if not directory.is_dir():
-            shard_findings.append("shard directory missing")
+            if name in pending_rollforward:
+                entry["pending_rollforward"] = True
+            else:
+                shard_findings.append("shard directory missing")
         else:
             if (directory / _SNAPSHOT_TMP).exists():
                 entry["stray_tmp"] = True
@@ -1555,4 +2056,11 @@ def verify_store(root: Union[str, os.PathLike]) -> Dict[str, object]:
         if shard_findings:
             ok = False
         shards[name] = entry
-    return {"root": str(root), "ok": ok, "findings": findings, "shards": shards}
+    return {
+        "root": str(root),
+        "ok": ok,
+        "findings": findings,
+        "epoch": epoch,
+        "schema_log": schema_log,
+        "shards": shards,
+    }

@@ -482,6 +482,61 @@ class WeakInstanceServer(WindowQueryAPI):
         )
         return report
 
+    # -- schema evolution --------------------------------------------------------
+
+    @property
+    def schema_version(self) -> int:
+        """The wrapped service's current schema epoch."""
+        return self.service.schema_version
+
+    def migration_status(self) -> Dict[str, object]:
+        """The wrapped service's migration state (epoch, retained
+        pinned epochs, whether a migration is in flight)."""
+        return self.service.migration_status()
+
+    def evolve(self, op, during=None):
+        """Apply a schema-evolution op to the live server.
+
+        The wrapped service does the heavy lifting (incremental
+        re-check, scoped rebuild, mid-migration journal); the server's
+        job is the *swap window*: after the optional ``during``
+        callback runs (mid-migration writes — they land in the
+        journal), the calling thread takes the global read lock plus
+        every shard lock, so no worker batch or reader is mid-flight
+        while the journal replays and the catalog swaps (and, on a
+        durable service, while the new epoch's snapshots are
+        finalized — the shard locks are reentrant, so the finalize's
+        own per-shard locking nests cleanly).  Once the service call
+        returns, the routing table and lock map are rebuilt for the
+        new shard set and the locks release — unaffected shards were
+        only ever blocked for the replay-and-swap instant, not the
+        rebuild.
+
+        Raises :class:`~repro.exceptions.EvolutionRejectedError` (old
+        epoch untouched, still serving) exactly like the service."""
+        with ExitStack() as stack:
+
+            def quiesce(service) -> None:
+                if during is not None:
+                    during(service)
+                stack.enter_context(self._global_lock)
+                for name in sorted(self._locks):
+                    stack.enter_context(self._locks[name])
+
+            result = self.service.evolve(op, during=quiesce)
+            names = sorted(self._inner.shard_names())
+            self._route = {name: i % self.workers for i, name in enumerate(names)}
+            if self.durable:
+                self._locks = {
+                    name: self.service.shard_lock(name) for name in names
+                }
+            else:
+                self._locks = {
+                    name: self._locks.get(name) or threading.RLock()
+                    for name in names
+                }
+        return result
+
     def repair(self, scheme_name: str) -> Dict[str, object]:
         """Repair one shard online (durable services only): delegates
         to :meth:`~repro.weak.durable.DurableShardedService.repair`,

@@ -56,6 +56,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import (
+    Callable,
     Dict,
     Iterable,
     List,
@@ -66,7 +67,7 @@ from typing import (
 )
 
 from repro.chase.tableau import ChaseTableau
-from repro.core.independence import IndependenceReport, analyze
+from repro.core.independence import IndependenceReport, analyze, reanalyze
 from repro.core.maintenance import InsertOutcome, MaintenanceChecker
 from repro.data.relations import RelationInstance, RowLike
 from repro.data.states import DatabaseState
@@ -74,6 +75,7 @@ from repro.data.tuples import Tuple
 from repro.deps.fd import FD
 from repro.deps.fdset import FDSet, as_fdset
 from repro.exceptions import (
+    EvolutionRejectedError,
     InconsistentStateError,
     NotIndependentError,
     SchemaError,
@@ -81,6 +83,7 @@ from repro.exceptions import (
 )
 from repro.schema.attributes import AttributeSet, AttrsLike
 from repro.schema.database import DatabaseSchema
+from repro.schema.evolution import EvolutionOp
 from repro.schema.relation import RelationScheme
 from repro.weak.service import LiveTableau, ServiceStats, WindowQueryAPI
 
@@ -108,6 +111,20 @@ class ShardedServiceStats(ServiceStats):
     query_shard_scans: int = 0
     #: query leaf scans that had to sync and read the global composer
     query_composer_scans: int = 0
+    #: schema evolutions applied (each bumps the schema epoch)
+    evolutions_applied: int = 0
+    #: schema evolutions refused (independence broken or data refuted)
+    evolutions_rejected: int = 0
+    #: Loop verdicts re-derived by incremental re-checks
+    independence_recheck_schemes: int = 0
+    #: Loop verdicts reused unchanged by incremental re-checks
+    independence_reused_schemes: int = 0
+    #: shards rebuilt by migrations (structural or cover change)
+    migration_shards_rebuilt: int = 0
+    #: shards a migration left serving untouched
+    migration_shards_kept: int = 0
+    #: mid-migration ops replayed from migration journals onto fresh shards
+    migration_journal_replays: int = 0
 
 
 @dataclass(frozen=True)
@@ -118,6 +135,50 @@ class WindowPlan:
     local: bool
     #: schemes whose attribute sets contain the target
     direct: PyTuple[str, ...]
+
+
+@dataclass(frozen=True)
+class EvolutionResult:
+    """What one applied evolution did, layer by layer."""
+
+    op: str
+    epoch_from: int
+    epoch_to: int
+    #: schemes whose Loop verdict the incremental re-check re-derived
+    rechecked: PyTuple[str, ...]
+    #: schemes whose verdict was reused unchanged
+    reused: PyTuple[str, ...]
+    #: shards rebuilt (new-epoch names)
+    rebuilt: PyTuple[str, ...]
+    #: shards that kept serving untouched (new-epoch names)
+    kept: PyTuple[str, ...]
+    #: mid-migration ops replayed from migration journals
+    journal_replays: int
+
+    def summary(self) -> str:
+        return (
+            f"epoch {self.epoch_from} -> {self.epoch_to}: {self.op}; "
+            f"rechecked {len(self.rechecked)} scheme(s) "
+            f"({', '.join(self.rechecked) or 'none'}), reused "
+            f"{len(self.reused)}; rebuilt {len(self.rebuilt)} shard(s) "
+            f"({', '.join(self.rebuilt) or 'none'}), kept {len(self.kept)}; "
+            f"replayed {self.journal_replays} mid-migration op(s)"
+        )
+
+
+@dataclass(frozen=True)
+class _EpochView:
+    """A retired schema epoch, kept for version-pinned reads.
+
+    ``frozen`` holds the final rows of every old scheme whose live
+    shard no longer matches it (dropped, renamed, re-attributed);
+    schemes untouched by the migration are read from the live shards
+    at query time, so post-evolution writes to them stay visible
+    through the old version — the co-existing-versions contract."""
+
+    schema: DatabaseSchema
+    fds: FDSet
+    frozen: Dict[str, List[Tuple]]
 
 
 class _SchemeShard:
@@ -368,6 +429,18 @@ class ShardedWeakInstanceService(WindowQueryAPI):
         # serving possibly-stale rows.  Plans stay cached — they are
         # pure functions of the schema; availability is checked per read.
         self._unavailable: Dict[str, str] = {}
+        #: the schema epoch — bumped by every applied evolution; query
+        #: caches key on it so old-epoch results never serve the new one
+        self.schema_version = 0
+        #: retired epochs kept for version-pinned reads (bounded FIFO)
+        self._epochs: Dict[int, _EpochView] = {}
+        self.epoch_retention = 2
+        # mid-migration write tap: scheme name → ops accepted on the
+        # old shard while its replacement is being built (None: no
+        # migration in flight)
+        self._migration_tap: Optional[Dict[str, List[PyTuple[str, Tuple]]]] = None
+        #: migration state for health(): shard name → phase string
+        self._migrating: Dict[str, str] = {}
 
     @classmethod
     def from_state(
@@ -463,6 +536,27 @@ class ShardedWeakInstanceService(WindowQueryAPI):
         """The current out-of-service map (copy)."""
         return dict(self._unavailable)
 
+    def health(self) -> Dict[str, object]:
+        """The in-memory sharded health surface: per-shard status (as
+        pushed by :meth:`set_unavailable`), the schema epoch, and any
+        in-flight migration."""
+        shards = {
+            name: self._unavailable.get(name, "serving")
+            for name in self._shards
+        }
+        status = (
+            "serving"
+            if all(s == "serving" for s in shards.values())
+            else "degraded"
+        )
+        return {
+            "status": status,
+            "shards": shards,
+            "errors": {},
+            "epoch": self.schema_version,
+            "migration": self.migration_status(),
+        }
+
     def _check_available(self, names: Iterable[str]) -> None:
         if not self._unavailable:
             return
@@ -531,16 +625,392 @@ class ShardedWeakInstanceService(WindowQueryAPI):
         self._composer.invalidate()
         self._merged_cache.clear()
 
+    # -- schema evolution --------------------------------------------------------
+
+    def _build_fresh_shard(
+        self,
+        scheme: RelationScheme,
+        report: IndependenceReport,
+        rows: Iterable[RowLike],
+        op: EvolutionOp,
+    ) -> _SchemeShard:
+        """A fresh shard of the *new* epoch, its rows validated through
+        a fresh checker — re-validation is what turns an ``add-fd`` into
+        a decidable request: the data either satisfies the grown cover
+        or refutes the evolution."""
+        shard = _SchemeShard(
+            scheme,
+            report.scheme_restriction(scheme.name),
+            self.stats,
+            self.scoped_deletes,
+            self.delete_rebuild_fraction,
+            self.window_cache_limit,
+            self.bulk_loads,
+        )
+        rows = list(rows)
+        try:
+            if rows:
+                shard.checker.load(
+                    DatabaseState(shard.checker.schema, {scheme.name: rows})
+                )
+        except InconsistentStateError as exc:
+            self.stats.evolutions_rejected += 1
+            raise EvolutionRejectedError(
+                f"evolution rejected ({op.describe()}): stored rows of "
+                f"{scheme.name!r} violate the evolved constraints ({exc}); "
+                "old epoch left intact",
+                reason=scheme.name,
+            ) from exc
+        return shard
+
+    def _capture_rows(self, scheme_name: str) -> List[Dict[str, object]]:
+        attrs = self._shards[scheme_name].scheme.attributes.names
+        return [
+            {a: t.value(a) for a in attrs}
+            for t in self._shards[scheme_name].relation()
+        ]
+
+    def evolve(
+        self,
+        op: EvolutionOp,
+        during: Optional[Callable[["ShardedWeakInstanceService"], None]] = None,
+        hook: Optional[Callable[[str], None]] = None,
+        pre_commit: Optional[
+            Callable[[DatabaseSchema, FDSet, IndependenceReport], None]
+        ] = None,
+    ) -> EvolutionResult:
+        """Apply one schema-evolution op with zero downtime.
+
+        Protocol (every mutation before the final swap lands only on
+        *fresh* objects, so any failure — rejection, injected crash,
+        ``pre_commit`` error — leaves the old epoch fully serving):
+
+        1. **Re-check** — :func:`~repro.core.independence.reanalyze`
+           re-derives the Loop verdict only for closure-reachable
+           schemes; a non-independent result raises
+           :class:`EvolutionRejectedError` with the counterexample
+           report attached.
+        2. **Scoped rebuild** — only shards that are structurally
+           redefined, newly produced, or whose maintenance cover
+           changed are rebuilt (through the bulk chase kernel); every
+           other shard is *kept*, untouched and serving throughout.
+        3. **Migration journal** — writes accepted while a replacement
+           is mid-build land on the still-serving old shard and in a
+           per-shard migration journal (``during`` fires here: it is
+           the seam tests and the server use to interleave traffic);
+           the journal then replays onto the fresh shard, re-validated
+           under the new cover.  A mid-migration delete on a
+           *transformed* source falls back to re-capturing the
+           transform (a projection's support count is not tracked).
+        4. **Commit** — ``pre_commit`` (the durable layer's schema-WAL
+           + manifest write) runs last before the in-memory swap; then
+           the epoch bumps, planner/merged/query caches reset, the
+           composer rebuilds over the new schema, and the retired
+           epoch's changed relations are frozen for version-pinned
+           reads.
+
+        ``hook`` receives ``evolve.begin`` / ``evolve.mid-rebuild`` /
+        ``evolve.journal-replay`` (the durable layer threads its crash
+        points through it).
+        """
+
+        def fire(point: str) -> None:
+            if hook is not None:
+                hook(point)
+
+        fire("evolve.begin")
+        new_schema, new_fds_raw = op.apply(self.schema, self.fds)
+        new_fds = as_fdset(new_fds_raw)
+        delta = reanalyze(
+            self.report,
+            new_schema,
+            new_fds,
+            op.changed_attributes(self.schema, self.fds),
+            op.structural_schemes(self.schema),
+        )
+        self.stats.independence_recheck_schemes += len(delta.rechecked)
+        self.stats.independence_reused_schemes += len(delta.reused)
+        if not delta.independent:
+            self.stats.evolutions_rejected += 1
+            raise EvolutionRejectedError(
+                f"evolution rejected ({op.describe()}): evolved schema is "
+                "not independent; old epoch left intact\n"
+                + delta.report.summary(),
+                report=delta.report,
+            )
+        new_report = delta.report
+        new_covers = new_report.cover_assignment or {}
+        old_covers = self.report.cover_assignment or {}
+
+        sources = tuple(op.structural_schemes(self.schema))
+        old_names = set(self._shards)
+        rebuild: List[str] = []
+        kept: List[str] = []
+        for name in new_schema.names:
+            if (
+                name not in old_names
+                or name in sources
+                or old_covers.get(name) != new_covers.get(name)
+            ):
+                rebuild.append(name)
+            else:
+                kept.append(name)
+
+        # arm the migration journal before capturing, so a concurrent
+        # write between capture and replay is never lost (replay is
+        # idempotent for the overlap: duplicate inserts dedup, absent
+        # deletes no-op)
+        tap: Dict[str, List[PyTuple[str, Tuple]]] = {
+            name: []
+            for name in set(sources) | (set(rebuild) & old_names)
+        }
+        self._migration_tap = tap
+        try:
+            capture = {src: self._capture_rows(src) for src in sources}
+            migrated = op.migrate_relations(self.schema, capture)
+
+            fresh: Dict[str, _SchemeShard] = {}
+            for name in rebuild:
+                self._migrating[name] = "rebuilding"
+                fire("evolve.mid-rebuild")
+                rows: Iterable[RowLike]
+                if name in migrated:
+                    rows = migrated[name]
+                else:
+                    # cover-only change: same scheme, rows re-validated
+                    rows = list(self._shards[name].relation().tuples)
+                fresh[name] = self._build_fresh_shard(
+                    new_schema[name], new_report, rows, op
+                )
+                self._migrating[name] = "built"
+
+            if during is not None:
+                during(self)
+
+            fire("evolve.journal-replay")
+            replays = 0
+            if any(o == "-" for src in sources for o, _ in tap[src]):
+                # a transformed source lost a row mid-migration:
+                # projections/joins have no per-row support counts, so
+                # re-capture the transform wholesale (rare path)
+                capture = {src: self._capture_rows(src) for src in sources}
+                migrated = op.migrate_relations(self.schema, capture)
+                for name, rows in migrated.items():
+                    self._migrating[name] = "rebuilding"
+                    fresh[name] = self._build_fresh_shard(
+                        new_schema[name], new_report, rows, op
+                    )
+                    self._migrating[name] = "built"
+            else:
+                for src in sources:
+                    src_attrs = self.schema[src].attributes.names
+                    for o, t in tap[src]:
+                        row = {a: t.value(a) for a in src_attrs}
+                        for name, rows in op.migrate_relations(
+                            self.schema, {src: [row]}
+                        ).items():
+                            target_shard = fresh.get(name)
+                            if target_shard is None:
+                                continue
+                            self._migrating[name] = "replaying"
+                            for r in rows:
+                                replays += 1
+                                outcome = target_shard.insert(r)
+                                if not outcome.accepted:
+                                    self.stats.evolutions_rejected += 1
+                                    raise EvolutionRejectedError(
+                                        f"evolution rejected "
+                                        f"({op.describe()}): mid-migration "
+                                        f"write on {src!r} violates the "
+                                        f"evolved constraints of {name!r} "
+                                        f"({outcome.reason}); old epoch "
+                                        "left intact",
+                                        reason=name,
+                                    )
+            for name in set(rebuild) & old_names:
+                if name in sources:
+                    continue
+                # same-scheme rebuild: the journal replays verbatim
+                target_shard = fresh[name]
+                for o, t in tap[name]:
+                    replays += 1
+                    self._migrating[name] = "replaying"
+                    if o == "+":
+                        outcome = target_shard.insert(t)
+                        if not outcome.accepted:
+                            self.stats.evolutions_rejected += 1
+                            raise EvolutionRejectedError(
+                                f"evolution rejected ({op.describe()}): "
+                                f"mid-migration write on {name!r} violates "
+                                f"the evolved constraints "
+                                f"({outcome.reason}); old epoch left intact",
+                                reason=name,
+                            )
+                    else:
+                        target_shard.delete(t)
+
+            if pre_commit is not None:
+                pre_commit(new_schema, new_fds, new_report)
+
+            # -- the swap: from here on the new epoch is authoritative
+            old_schema, old_fds = self.schema, self.fds
+            old_shards = self._shards
+            scoped = self.scoped_deletes
+            fraction = self.delete_rebuild_fraction
+            bulk = self.bulk_loads
+            new_shards: Dict[str, _SchemeShard] = {}
+            for scheme in new_schema:
+                name = scheme.name
+                if name in fresh:
+                    shard = fresh[name]
+                    base = old_shards.get(name)
+                    shard.version = base.version + 1 if base is not None else 1
+                    new_shards[name] = shard
+                else:
+                    new_shards[name] = old_shards[name]
+            frozen: Dict[str, List[Tuple]] = {}
+            for name, shard in old_shards.items():
+                survivor = new_shards.get(name)
+                if (
+                    survivor is not None
+                    and survivor.scheme.attributes == shard.scheme.attributes
+                ):
+                    # same name and attributes: the live shard keeps
+                    # serving this relation through the old version too
+                    continue
+                frozen[name] = list(shard.relation().tuples)
+            self._epochs[self.schema_version] = _EpochView(
+                old_schema, old_fds, frozen
+            )
+            while len(self._epochs) > self.epoch_retention:
+                self._epochs.pop(next(iter(self._epochs)))
+
+            self._shards = new_shards
+            self.schema = new_schema
+            self.fds = new_fds
+            self.report = new_report
+            self.schema_version += 1
+            self._closures = {
+                s.name: new_fds.closure(s.attributes) for s in new_schema
+            }
+            self._plans.clear()
+            self._merged_cache.clear()
+            self._composer = LiveTableau(
+                new_schema,
+                new_fds,
+                self.state,
+                self.stats,
+                scoped_deletes=scoped,
+                delete_rebuild_fraction=fraction,
+                window_cache_limit=self.window_cache_limit,
+                bulk_loads=bulk,
+            )
+            for shard in new_shards.values():
+                shard._needs_resync = True
+                shard._journal.clear()
+            self.stats.evolutions_applied += 1
+            self.stats.migration_shards_rebuilt += len(fresh)
+            self.stats.migration_shards_kept += len(kept)
+            self.stats.migration_journal_replays += replays
+            return EvolutionResult(
+                op=op.describe(),
+                epoch_from=self.schema_version - 1,
+                epoch_to=self.schema_version,
+                rechecked=delta.rechecked,
+                reused=delta.reused,
+                rebuilt=tuple(sorted(fresh)),
+                kept=tuple(kept),
+                journal_replays=replays,
+            )
+        finally:
+            self._migration_tap = None
+            self._migrating = {}
+
+    def migration_status(self) -> Dict[str, object]:
+        """Live migration state for ``health()``/the CLI ``schema`` op:
+        the current epoch, the retained pinnable epochs, and any shard
+        currently mid-migration with its phase."""
+        return {
+            "epoch": self.schema_version,
+            "retained_epochs": sorted(self._epochs),
+            "migrating": dict(self._migrating),
+        }
+
+    # -- version-pinned reads ----------------------------------------------------
+
+    def _epoch_view(self, version: int) -> _EpochView:
+        view = self._epochs.get(version)
+        if view is None:
+            raise SchemaError(
+                f"unknown schema version {version} (current "
+                f"{self.schema_version}, retained {sorted(self._epochs)})"
+            )
+        return view
+
+    def _epoch_state(self, version: int) -> DatabaseState:
+        """The pinned epoch's state: frozen rows for relations a later
+        migration changed (earliest freeze at or after the pinned
+        version — the relation's content when it stopped being live),
+        live shard rows for relations still compatible — so writes to
+        untouched schemes stay visible through old versions."""
+        view = self._epochs[version]
+        rows: Dict[str, List[Tuple]] = {}
+        for scheme in view.schema:
+            name = scheme.name
+            found: Optional[List[Tuple]] = None
+            for v in sorted(self._epochs):
+                if v < version:
+                    continue
+                frozen = self._epochs[v].frozen.get(name)
+                if frozen is not None and (
+                    v == version
+                    or self._epochs[v].schema[name].attributes
+                    == scheme.attributes
+                ):
+                    found = frozen
+                    break
+            if found is None:
+                live = self._shards.get(name)
+                if (
+                    live is not None
+                    and live.scheme.attributes == scheme.attributes
+                ):
+                    found = list(live.relation().tuples)
+            if found is None:  # pragma: no cover - defensive
+                raise SchemaError(
+                    f"schema version {version} is no longer fully "
+                    f"retained (relation {name!r} was migrated away)"
+                )
+            rows[name] = list(found)
+        return DatabaseState(view.schema, rows)
+
     # -- updates ---------------------------------------------------------------
+
+    def _tap_op(self, scheme_name: str, op: str, t: Tuple) -> None:
+        """Record one committed op in the migration journal while the
+        scheme's replacement shard is mid-build (writes keep landing on
+        the still-serving old shard; the journal replays them onto the
+        fresh one before the epoch swap)."""
+        tap = self._migration_tap
+        if tap is not None and scheme_name in tap:
+            tap[scheme_name].append((op, t))
 
     def insert(self, scheme_name: str, row: RowLike) -> InsertOutcome:
         """Validate and commit one insertion against its own shard —
         no other shard, and not the global tableau, is touched."""
-        return self._shard(scheme_name).insert(row)
+        outcome = self._shard(scheme_name).insert(row)
+        if outcome.accepted and not outcome.reason:
+            self._tap_op(scheme_name, "+", outcome.tuple)
+        return outcome
 
     def delete(self, scheme_name: str, row: RowLike) -> bool:
         """Delete a tuple from its shard; returns whether it existed."""
-        return self._shard(scheme_name).delete(row)
+        shard = self._shard(scheme_name)
+        t = shard.checker.coerce_tuple(scheme_name, row)
+        if not shard.delete(t):
+            return False
+        self._tap_op(scheme_name, "-", t)
+        return True
 
     def insert_many(
         self, ops: Iterable[PyTuple[str, RowLike]]
@@ -555,6 +1025,7 @@ class ShardedWeakInstanceService(WindowQueryAPI):
             outcome = shard.insert(row, drive=False)
             outcomes.append(outcome)
             if outcome.accepted and not outcome.reason:
+                self._tap_op(scheme_name, "+", outcome.tuple)
                 touched[scheme_name] = shard
         for shard in touched.values():
             shard.drive_pending()
@@ -651,10 +1122,31 @@ class ShardedWeakInstanceService(WindowQueryAPI):
 
     # -- queries ---------------------------------------------------------------
 
-    def window(self, attrset: AttrsLike) -> RelationInstance:
+    def window(
+        self, attrset: AttrsLike, version: Optional[int] = None
+    ) -> RelationInstance:
         """The derivable ``X``-facts of the current state — from the
         direct shards alone when the planner proves that equivalent,
-        otherwise from the journal-synced global composer."""
+        otherwise from the journal-synced global composer.
+
+        ``version`` pins the answer to a retained schema epoch: the
+        window is derived one-shot from that epoch's state under its
+        own FDs (correct, not cached — pinned reads are the transition
+        escape hatch, not the fast path)."""
+        if version is not None and version != self.schema_version:
+            view = self._epoch_view(version)
+            target = AttributeSet(attrset)
+            if not target <= view.schema.universe:
+                raise SchemaError(
+                    f"window attributes {target - view.schema.universe} are "
+                    f"outside version {version}'s universe "
+                    f"{view.schema.universe}"
+                )
+            self._check_available(self._unavailable)
+            self.stats.window_queries += 1
+            from repro.weak.representative import window as one_shot_window
+
+            return one_shot_window(self._epoch_state(version), view.fds, target)
         target = AttributeSet(attrset)
         self.stats.window_queries += 1
         plan = self._plan(target)
@@ -755,6 +1247,20 @@ class ShardedWeakInstanceService(WindowQueryAPI):
             for t in self._shards[name].live.filtered_window(target, bindings):
                 seen.setdefault(tuple(t.value(a) for a in target), t)
         return RelationInstance(target, list(seen.values()))
+
+    def query(self, query, version: Optional[int] = None) -> RelationInstance:
+        """Evaluate a relational query (see
+        :meth:`~repro.weak.service.WindowQueryAPI.query`); ``version``
+        pins evaluation to a retained epoch's state and FDs via the
+        naive from-scratch evaluator (pinned reads bypass every cache
+        by construction)."""
+        if version is not None and version != self.schema_version:
+            view = self._epoch_view(version)
+            self._check_available(self._unavailable)
+            from repro.query.naive import evaluate_naive
+
+            return evaluate_naive(query, self._epoch_state(version), view.fds)
+        return self._query_engine().run(query)
 
     # -- introspection ----------------------------------------------------------
 

@@ -170,6 +170,90 @@ def assert_observationally_equivalent(
         )
 
 
+# -- schema-evolution kill-and-recover ------------------------------------------
+
+
+def run_evolution_until_crash(
+    schema,
+    fds,
+    root,
+    base: Optional[DatabaseState],
+    op,
+    fault_hook,
+    during=None,
+    **service_options,
+):
+    """Drive a fresh durable service through base load + one schema
+    evolution until an :class:`~tests.harness.faults.InjectedCrash`
+    fires (or the migration completes).  Returns ``(completed,
+    crashed)`` — ``completed`` means the evolve call returned, i.e.
+    the new epoch was acknowledged."""
+    service = DurableShardedService(
+        schema, fds, root, fault_hook=fault_hook, **service_options
+    )
+    completed = False
+    crashed = False
+    try:
+        if base is not None:
+            service.load(base)
+        service.evolve(op, during=during)
+        completed = True
+    except InjectedCrash:
+        crashed = True
+    finally:
+        service.close()
+    return completed, crashed
+
+
+def evolution_oracle(schema, fds, base: Optional[DatabaseState], op):
+    """The two legal post-recovery states, as per-shard row sets:
+    ``(old_sets, new_sets)`` — the untouched old epoch, and a
+    from-scratch in-memory migration of the same base (the migration
+    is deterministic, so this is *the* epoch-1 state)."""
+    old = ShardedWeakInstanceService(schema, fds)
+    if base is not None:
+        old.load(base)
+    old_sets = _shard_sets(old.state())
+    new = ShardedWeakInstanceService(schema, fds)
+    if base is not None:
+        new.load(base)
+    new.evolve(op)
+    new_sets = _shard_sets(new.state())
+    return old_sets, new_sets
+
+
+def assert_evolution_recovered(
+    recovered: DurableShardedService,
+    old_sets: Dict[str, FrozenSet[Row]],
+    new_sets: Dict[str, FrozenSet[Row]],
+    query_pool: Sequence[Tuple[str, ...]] = (),
+) -> None:
+    """A crash-interrupted migration must recover *atomically*: the
+    store sits at exactly one of the two legal epochs — the old
+    catalog with the old data, or the new catalog with exactly the
+    rows a from-scratch migration produces — never a mix of shard
+    sets from both.  With a ``query_pool``, the recovered service
+    must also answer like a from-scratch chase over its own state
+    (whichever epoch that is)."""
+    sets = _shard_sets(recovered.state())
+    epoch = recovered.schema_version
+    want = new_sets if epoch > 0 else old_sets
+    label = f"epoch {epoch}"
+    assert set(recovered.shard_names()) == set(want), (
+        f"{label}: recovered shard set {sorted(recovered.shard_names())} "
+        f"does not match that epoch's catalog {sorted(want)}"
+    )
+    assert sets == want, (
+        f"{label}: recovered rows disagree with the from-scratch "
+        f"oracle for that epoch: "
+        f"{ {n: sorted(sets[n] ^ want[n]) for n in want if sets[n] != want[n]} }"
+    )
+    if query_pool:
+        assert_observationally_equivalent(
+            recovered, recovered.schema, recovered.fds, query_pool
+        )
+
+
 def wal_ops(service: DurableShardedService, scheme_name: str):
     """The decoded ``(op, values)`` sequence currently in one shard's
     WAL — the on-disk history the ordering assertions read."""

@@ -19,6 +19,11 @@ The durable layer has two seams this harness plugs into:
   simulates the *disk* misbehaving under a live process — the
   quarantine/degrade/repair machinery only exists because of the
   second kind, so this is what makes it deterministically testable.
+
+:data:`~repro.weak.durable.CRASH_POINTS` and its ``evolve.*`` subset
+:data:`~repro.weak.durable.MIGRATION_CRASH_POINTS` (the migration
+crash matrix) are re-exported here so test suites can parametrize
+over them without importing the durable module directly.
 """
 
 from __future__ import annotations
@@ -28,7 +33,11 @@ import pathlib
 from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
-from repro.weak.durable import StoreIO
+from repro.weak.durable import (  # noqa: F401 - re-exported for parametrize
+    CRASH_POINTS,
+    MIGRATION_CRASH_POINTS,
+    StoreIO,
+)
 
 
 class InjectedCrash(Exception):

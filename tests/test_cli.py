@@ -251,6 +251,133 @@ class TestServeDurable:
         assert "server_workers = 2" in out  # stats op routes via the server
 
 
+class TestServeEvolution:
+    """serve ops ``schema`` and ``evolve`` — the online migration
+    surface of the stream protocol."""
+
+    def _ops(self, tmp_path, text):
+        path = tmp_path / "ops.txt"
+        path.write_text(text)
+        return str(path)
+
+    def test_schema_op_prints_the_catalog(self, scenario_file, tmp_path, capsys):
+        ops = self._ops(tmp_path, "schema\n")
+        code = main(
+            ["serve", scenario_file(INDEPENDENT), "--ops", ops,
+             "--method", "local"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schema: epoch 0" in out
+        assert "CHR(C,H,R)" in out
+        assert "migration: none in flight" in out
+
+    def test_evolve_op_migrates_online(self, scenario_file, tmp_path, capsys):
+        ops = self._ops(
+            tmp_path,
+            "evolve split CHR -> CH(C,H) + CR(C,R)\n"
+            "schema\n"
+            "insert CH (CS102, Wed-2)\n"
+            "query C H\n",
+        )
+        code = main(
+            ["serve", scenario_file(INDEPENDENT), "--ops", ops,
+             "--method", "local"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epoch 0 -> 1" in out
+        assert "schema: epoch 1 (pinned: 0)" in out
+        assert "CH(C,H)" in out and "CR(C,R)" in out
+        # the post-migration insert lands on the new shard and serves
+        assert "Wed-2" in out
+
+    def test_rejected_evolve_keeps_serving(self, scenario_file, tmp_path, capsys):
+        ops = self._ops(
+            tmp_path,
+            "evolve add-fd S,H -> R\n"
+            "query T H R\n",
+        )
+        code = main(
+            ["serve", scenario_file(INDEPENDENT), "--ops", ops,
+             "--method", "local"]
+        )
+        assert code == 0  # a refusal is an answer, not a stream error
+        out = capsys.readouterr().out
+        assert "REJECTED" in out
+        assert "derivable fact(s)" in out  # the stream continued
+        assert "served:" in out
+
+    def test_evolve_requires_local_method(self, scenario_file, tmp_path, capsys):
+        ops = self._ops(tmp_path, "evolve add-attr CHR X\n")
+        code = main(["serve", scenario_file(INDEPENDENT), "--ops", ops])
+        assert code == 1
+        assert "requires --method local" in capsys.readouterr().err
+
+    def test_schema_requires_local_method(self, scenario_file, tmp_path, capsys):
+        ops = self._ops(tmp_path, "schema\n")
+        code = main(["serve", scenario_file(INDEPENDENT), "--ops", ops])
+        assert code == 1
+        assert "requires --method local" in capsys.readouterr().err
+
+
+class TestEvolveCommand:
+    """The standalone ``evolve`` subcommand."""
+
+    def test_applies_one_op(self, scenario_file, capsys):
+        code = main(
+            ["evolve", scenario_file(INDEPENDENT), "-q", "add-attr CHR X = TBA"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "evolve add-attr CHR X = TBA: epoch 0 -> 1" in out
+
+    def test_batch_ops_chain_epochs(self, scenario_file, capsys):
+        code = main(
+            ["evolve", scenario_file(INDEPENDENT), "-q",
+             "split CHR -> CH(C,H) + CR(C,R); add-attr CH X"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epoch 0 -> 1" in out
+        assert "epoch 1 -> 2" in out
+
+    def test_rejection_exits_one(self, scenario_file, capsys):
+        code = main(
+            ["evolve", scenario_file(INDEPENDENT), "-q", "add-fd S,H -> R"]
+        )
+        assert code == 1
+        assert "REJECTED" in capsys.readouterr().out
+
+    def test_dependent_schema_refused_up_front(self, scenario_file, capsys):
+        code = main(
+            ["evolve", scenario_file(DEPENDENT), "-q", "add-attr CD X"]
+        )
+        assert code == 1
+        assert "independent starting schema" in capsys.readouterr().err
+
+    def test_durable_evolution_persists(self, scenario_file, tmp_path, capsys):
+        scenario = scenario_file(INDEPENDENT)
+        store = str(tmp_path / "store")
+        code = main(
+            ["evolve", scenario, "-q", "split CHR -> CH(C,H) + CR(C,R)",
+             "--durable", store]
+        )
+        assert code == 0
+        capsys.readouterr()
+        # a later serve over the same store reopens at the new epoch
+        ops = tmp_path / "ops.txt"
+        ops.write_text("schema\n")
+        code = main(
+            ["serve", scenario, "--ops", str(ops), "--method", "local",
+             "--durable", store]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schema: epoch 1" in out
+        assert "CH(C,H)" in out and "CR(C,R)" in out
+
+
 class TestDemo:
     def test_demo_runs_all_examples(self, capsys):
         assert main(["demo"]) == 0

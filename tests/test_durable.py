@@ -194,6 +194,7 @@ class TestCrashLatch:
             assert shard_rows(back, "R1") == []
 
     def test_every_point_reachable(self, chain2, tmp_path):
+        from repro.schema.evolution import parse_evolution_op
         from tests.harness.faults import FaultTrace
 
         schema, fds = chain2
@@ -203,6 +204,7 @@ class TestCrashLatch:
         ) as svc:
             svc.insert("R1", ("a1", "b1"))
             svc.snapshot("R1")
+            svc.evolve(parse_evolution_op("add-attr R1 X"))
         assert set(trace.counts()) == set(CRASH_POINTS)
 
 
