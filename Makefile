@@ -11,13 +11,14 @@ export PYTHONPATH
 # Makefile benefits from parallel make, so pin the whole file serial.
 .NOTPARALLEL:
 
-.PHONY: help test test-fault test-evolution bench bench-all bench-chase-bulk-tiny bench-weak bench-weak-tiny bench-weak-deletes bench-weak-deletes-tiny bench-weak-local bench-weak-local-tiny bench-query bench-query-tiny bench-serve bench-serve-tiny bench-evolution bench-evolution-tiny profile-chase docs clean
+.PHONY: help test test-fault test-evolution test-replication bench bench-all bench-chase-bulk-tiny bench-weak bench-weak-tiny bench-weak-deletes bench-weak-deletes-tiny bench-weak-local bench-weak-local-tiny bench-query bench-query-tiny bench-serve bench-serve-tiny bench-replication bench-replication-tiny bench-evolution bench-evolution-tiny profile-chase docs clean
 
 help:
 	@echo "targets:"
 	@echo "  test                    - tier-1 test suite (pytest -x -q over tests/)"
 	@echo "  test-fault              - durability suite: WAL/snapshot units, crash-point recovery matrix, I/O-fault isolation (quarantine/repair), server concurrency (includes slow stress tests)"
 	@echo "  test-evolution          - schema-evolution suite: op catalog, incremental re-check vs full analysis, online migration oracles, migration crash-point recovery matrix"
+	@echo "  test-replication        - replication suite: WAL shipping/anti-entropy units, exactly-once sessions, kill-and-failover matrix under concurrent load"
 	@echo "  bench                   - all benchmarks; regenerates BENCH_chase.json, BENCH_weak.json and benchmarks/results.txt"
 	@echo "  bench-all               - every bench suite, strictly one after another (single recipe, immune to -j)"
 	@echo "  bench-chase-bulk-tiny   - bulk-kernel vs indexed engine at smoke scale (CI gate: >=2x)"
@@ -31,6 +32,8 @@ help:
 	@echo "  bench-query-tiny        - the query-layer benchmark at smoke scale (CI: equivalence only, no artifact)"
 	@echo "  bench-serve             - durable concurrent serving: worker-scaling throughput + 100k-row crash recovery; regenerates BENCH_serve.json"
 	@echo "  bench-serve-tiny        - the serving benchmark at smoke scale (CI: equivalence only, no artifact)"
+	@echo "  bench-replication       - sync-ship commit overhead (gate: <=2x) + failover-to-first-ack latency (gate: <1s); regenerates BENCH_serve.json"
+	@echo "  bench-replication-tiny  - the replication benchmark at smoke scale (CI: invariants only, no artifact)"
 	@echo "  bench-evolution         - online incremental migration vs restart-the-world (gate: >=5x); regenerates BENCH_weak.json"
 	@echo "  bench-evolution-tiny    - the evolution benchmark at smoke scale (CI: equivalence only, no artifact)"
 	@echo "  profile-chase           - cProfile top-20 of the bulk kernel and indexed engine on the cascade workload (local tooling, no artifact)"
@@ -53,6 +56,12 @@ test-fault:
 # kill-and-recover matrix over every evolve.* crash point.
 test-evolution:
 	$(PYTHON) -m pytest tests/test_evolution.py tests/test_evolution_recovery.py -q
+
+# The replication story in one target: shipping/anti-entropy/session
+# units (property test for replay idempotence included) plus the
+# kill-and-failover matrix under concurrent server load.
+test-replication:
+	$(PYTHON) -m pytest tests/test_replication.py tests/test_replication_recovery.py -q
 
 # bench_* files are not collected by the default pytest run, so name them.
 bench:
@@ -122,6 +131,12 @@ bench-serve:
 bench-serve-tiny:
 	REPRO_BENCH_SERVE_TINY=1 $(PYTHON) -m pytest benchmarks/bench_serve.py -q
 
+bench-replication:
+	$(PYTHON) -m pytest benchmarks/bench_replication.py -q
+
+bench-replication-tiny:
+	REPRO_BENCH_REPLICATION_TINY=1 $(PYTHON) -m pytest benchmarks/bench_replication.py -q
+
 bench-evolution:
 	$(PYTHON) -m pytest benchmarks/bench_evolution.py -q
 
@@ -139,6 +154,7 @@ docs:
 		repro.core.independence repro.core.maintenance repro.core.counterexamples \
 		repro.weak repro.weak.representative repro.weak.service \
 		repro.weak.sharded repro.weak.durable repro.weak.server \
+		repro.weak.replication \
 		repro.query repro.query.ast repro.query.parser \
 		repro.query.planner repro.query.engine \
 		repro.workloads >/dev/null

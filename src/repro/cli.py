@@ -29,6 +29,8 @@ and serves through the per-scheme
     snapshot
     health
     repair CHR
+    failover CHR
+    rejoin CHR
     stats
     schema
     evolve add-attr CHR X = TBA
@@ -70,12 +72,22 @@ status (serving / degraded / quarantined) and, under ``--workers``,
 queue depths; ``repair <scheme>`` rebuilds one quarantined shard
 online from its newest good snapshot generation plus WAL replay.
 
+``--replicas N`` (with ``--durable``) ships every shard's WAL to N
+replica stores (sibling directories by default, ``--replica-root`` to
+place them); a persistently quarantined shard fails over to its
+most-caught-up replica automatically, the ``failover``/``rejoin`` ops
+drive the lifecycle by hand, and ``health`` shows the current primary
+plus per-replica lag.  ``--async-ship`` trades the on-every-replica
+ack guarantee for commit latency.
+
 ``verify-store DIR`` scrubs a durable directory offline — every
 snapshot generation's structure and CRC, every WAL frame — and exits
 nonzero when it finds anything worse than a torn tail (the expected
 residue of a crash).  Run it before reopening a store that survived a
 disk incident; ``repair`` is the online counterpart for a single
-quarantined shard.
+quarantined shard.  ``--replica DIR`` (repeatable) scrubs replica
+stores alongside and cross-checks their frame CRCs against the
+primary's: behind is information, divergence is a failure.
 
 Scenario files use the DSL of :mod:`repro.dsl`::
 
@@ -101,6 +113,7 @@ from repro.query.naive import evaluate_naive
 from repro.report import banner
 from repro.schema.evolution import parse_evolution_op
 from repro.weak.durable import DurableShardedService, verify_store
+from repro.weak.replication import ReplicatedShardedService
 from repro.weak.representative import window
 from repro.weak.server import WeakInstanceServer
 from repro.weak.service import WeakInstanceService
@@ -192,10 +205,28 @@ def _serve_one(
     if op == "health":
         report = service.health()
         lines = [f"health: {report['status']}"]
+        replication = report.get("replication", {}).get("shards", {})
         for name in sorted(report.get("shards", {})):
             status = report["shards"][name]
             detail = report.get("errors", {}).get(name, "")
-            lines.append(f"  {name} = {status}" + (f" — {detail}" if detail else ""))
+            line = f"  {name} = {status}"
+            primary = report.get("primaries", {}).get(name)
+            if primary and primary != "primary":
+                line += f" (primary: {primary})"
+            lines.append(line + (f" — {detail}" if detail else ""))
+            for label in sorted(replication.get(name, {}).get("replicas", {})):
+                lag = replication[name]["replicas"][label]
+                since = lag.get("seconds_since_ack")
+                lines.append(
+                    f"    replica {label}: {lag['lag_frames']} frame(s) "
+                    "behind"
+                    + (
+                        f", last ack {since:.3f}s ago"
+                        if since is not None
+                        else ", never acked"
+                    )
+                    + (f" — {lag['error']}" if lag.get("error") else "")
+                )
         depths = report.get("queue_depths")
         if depths is not None:
             lines.append(
@@ -216,6 +247,32 @@ def _serve_one(
             f"{report['rows']} row(s) from generation {report['generation']}, "
             f"{report['wal_records_replayed']} WAL record(s) replayed, "
             f"{report['staged_records_dropped']} unacknowledged staged record(s) dropped"
+        )
+    if op in ("failover", "rejoin"):
+        svc = service.service if isinstance(service, WeakInstanceServer) else service
+        if not hasattr(svc, op):
+            raise ParseError(
+                f"{op} requires a replicated service (serve --durable DIR "
+                "--replicas N)"
+            )
+        tokens = rest.split()
+        if not tokens:
+            raise ParseError(f"{op} needs a scheme name: {line!r}")
+        scheme = tokens[0]
+        if op == "failover":
+            result = svc.failover(scheme, tokens[1] if len(tokens) > 1 else None)
+            return (
+                f"failover {result['shard']}: promoted {result['promoted']} "
+                f"(demoted {result['demoted']}, replication epoch "
+                f"{result['replication_epoch']}, "
+                f"{result['wal_records_replayed']} WAL record(s) replayed)"
+            )
+        result = svc.rejoin(scheme, tokens[1] if len(tokens) > 1 else None)
+        after = result["chain_after"]
+        return (
+            f"rejoin {result['shard']}: {result['label']} caught up "
+            f"({after['rows']} snapshot row(s), {after['frames']} WAL "
+            f"frame(s))"
         )
     if op in ("insert", "delete"):
         scheme, _, spec = rest.partition(" ")
@@ -304,7 +361,7 @@ def _serve_one(
     raise ParseError(
         f"unknown op {op!r} "
         "(insert/delete/query/explain/derivable/evolve/schema/"
-        "snapshot/health/repair/stats)"
+        "snapshot/health/repair/failover/rejoin/stats)"
     )
 
 
@@ -315,6 +372,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "serve --durable requires --method local (the WAL is "
             "per-shard; Theorem 3 is what licenses independent "
             "per-scheme logs)",
+            file=sys.stderr,
+        )
+        return 2
+    if (args.replicas or args.replica_root) and not args.durable:
+        print(
+            "serve --replicas/--replica-root requires --durable DIR "
+            "(replication ships the per-shard WAL)",
             file=sys.stderr,
         )
         return 2
@@ -333,14 +397,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(report.summary(), file=sys.stderr)
             return 1
         if args.durable:
-            try:
-                service = DurableShardedService(
-                    scenario.schema, scenario.fds, args.durable,
-                    report=report,
-                    snapshot_interval=args.snapshot_interval,
-                    auto_commit=args.workers == 0,
-                    bulk_loads=args.bulk_load,
+            replica_roots = list(getattr(args, "replica_root", None) or [])
+            count = getattr(args, "replicas", 0)
+            if count and not replica_roots:
+                # default replica layout: sibling directories of the
+                # primary store, one per replica
+                replica_roots = [
+                    f"{args.durable}-replica{k + 1}" for k in range(count)
+                ]
+            elif count and len(replica_roots) != count:
+                print(
+                    f"serve --replicas {count} got "
+                    f"{len(replica_roots)} --replica-root flag(s); they "
+                    "must agree (or drop --replica-root for the default "
+                    "sibling-directory layout)",
+                    file=sys.stderr,
                 )
+                return 2
+            try:
+                if replica_roots:
+                    service = ReplicatedShardedService(
+                        scenario.schema, scenario.fds, args.durable,
+                        replicas=replica_roots,
+                        sync_ship=not args.async_ship,
+                        report=report,
+                        snapshot_interval=args.snapshot_interval,
+                        auto_commit=args.workers == 0,
+                        bulk_loads=args.bulk_load,
+                    )
+                else:
+                    service = DurableShardedService(
+                        scenario.schema, scenario.fds, args.durable,
+                        report=report,
+                        snapshot_interval=args.snapshot_interval,
+                        auto_commit=args.workers == 0,
+                        bulk_loads=args.bulk_load,
+                    )
             except (ReproError, OSError) as exc:
                 # a corrupt or unreadable store at open time is an
                 # operator problem, not a traceback: one typed line,
@@ -501,7 +593,7 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify_store(args: argparse.Namespace) -> int:
-    report = verify_store(args.root)
+    report = verify_store(args.root, replicas=args.replica or ())
     print(f"store {report['root']}: {'OK' if report['ok'] else 'CORRUPT'}")
     for finding in report["findings"]:
         print(f"  {finding}")
@@ -518,6 +610,26 @@ def _cmd_verify_store(args: argparse.Namespace) -> int:
         print(line)
         for finding in entry["findings"]:
             print(f"    {finding}")
+    for root in sorted(report.get("replicas", {})):
+        rep = report["replicas"][root]
+        verdict = "OK" if not rep["findings"] else "DIVERGENT"
+        print(f"replica {root}: {verdict}")
+        for name in sorted(rep["shards"]):
+            rentry = rep["shards"][name]
+            if rentry.get("missing"):
+                print(f"  {name}: missing (all-behind)")
+                continue
+            line = f"  {name}: WAL {rentry['wal_records']} record(s)"
+            if rentry.get("lag_frames"):
+                line += f", {rentry['lag_frames']} frame(s) behind"
+            if rentry.get("stale_frames"):
+                line += (
+                    f", {rentry['stale_frames']} frame(s) past the "
+                    "primary's truncation"
+                )
+            print(line)
+            for finding in rentry["findings"]:
+                print(f"    {finding}")
     return 0 if report["ok"] else 1
 
 
@@ -636,6 +748,32 @@ def build_parser() -> argparse.ArgumentParser:
         "ServiceOverloadedError instead of growing memory (default: "
         "0 = unbounded)",
     )
+    p.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --durable: ship every shard's WAL to N replica "
+        "stores (default layout: sibling directories DIR-replica1..N; "
+        "override with --replica-root); a persistently quarantined "
+        "shard fails over to its most-caught-up replica automatically",
+    )
+    p.add_argument(
+        "--replica-root",
+        action="append",
+        metavar="DIR",
+        help="explicit replica store directory (repeatable; overrides "
+        "the default sibling layout — with --replicas N, give exactly "
+        "N of these)",
+    )
+    p.add_argument(
+        "--async-ship",
+        action="store_true",
+        help="ship WAL frames from a background thread instead of "
+        "inside the committing fsync (weaker guarantee: an ack means "
+        "primary-durable, replicas trail by the queue; default: "
+        "synchronous — acked means on every reachable replica too)",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -668,6 +806,15 @@ def build_parser() -> argparse.ArgumentParser:
         "anything worse than a torn tail",
     )
     p.add_argument("root", help="the --durable directory to scrub")
+    p.add_argument(
+        "--replica",
+        action="append",
+        metavar="DIR",
+        help="replica store directory to scrub alongside the primary "
+        "(repeatable): each replica chain is CRC-verified and its WAL "
+        "frame CRCs cross-checked against the primary's — a replica "
+        "that is merely behind is reported, divergence exits 1",
+    )
     p.set_defaults(func=_cmd_verify_store)
 
     p = sub.add_parser("demo", help="run the paper's examples")

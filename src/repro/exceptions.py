@@ -88,3 +88,42 @@ class ServiceOverloadedError(ReproError):
     """The server shed this request: the target worker's bounded queue
     stayed full past the submit timeout.  The request was NOT applied;
     retrying later (or against a less loaded shard) is safe."""
+
+
+class ReplicationError(ReproError):
+    """A per-shard replication operation failed — shipping hit an
+    unrecoverable divergence, or a failover/rejoin request cannot be
+    honored (see the message).  Replica *I/O* failures never surface
+    as this: a sick replica is recorded as behind and caught up by
+    anti-entropy; only requests that cannot proceed at all raise."""
+
+
+class NoPromotableReplicaError(ReplicationError):
+    """Failover was requested (or auto-triggered by a quarantine) for
+    a shard with no replica holding any usable chain — the shard stays
+    quarantined and the original error stands."""
+
+    def __init__(self, shard: str, detail: str = ""):
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"shard {shard!r} has no promotable replica{suffix}"
+        )
+        self.shard = shard
+
+
+class SessionSequenceError(ReproError):
+    """A sessioned write arrived with a sequence number *behind* the
+    session's recorded high-water mark.  Duplicates of the most recent
+    operation are deduplicated (the original outcome is returned);
+    anything older means the client's session state is corrupt, and
+    re-answering it could only lie."""
+
+    def __init__(self, session_id: str, seq: int, last_seq: int):
+        super().__init__(
+            f"session {session_id!r}: sequence {seq} is behind the "
+            f"recorded high-water mark {last_seq} (only the latest "
+            f"operation is retryable)"
+        )
+        self.session_id = session_id
+        self.seq = seq
+        self.last_seq = last_seq

@@ -137,6 +137,7 @@ import json
 import logging
 import os
 import pathlib
+import random
 import shutil
 import struct
 import threading
@@ -163,6 +164,7 @@ from repro.deps.fdset import FDSet
 from repro.exceptions import (
     EvolutionRejectedError,
     ReproError,
+    SessionSequenceError,
     ShardQuarantinedError,
 )
 from repro.schema.attributes import AttributeSet
@@ -326,14 +328,28 @@ class DurableServiceStats(ShardedServiceStats):
     #: shards rolled forward at recovery (their snapshot predated the
     #: manifest epoch: the logged op's migration was re-applied)
     evolution_rollforwards: int = 0
+    #: duplicate sessioned submissions answered from the dedup table
+    #: instead of re-applied (the exactly-once hits)
+    session_dedup_hits: int = 0
+    #: live entries across every shard's session table
+    session_records: int = 0
 
 
-def _encode_record(op: str, values: Sequence[object]) -> bytes:
+def _encode_record(
+    op: str, values: Sequence[object], meta: Optional[dict] = None
+) -> bytes:
     """One framed WAL record.  Raises :class:`ReproError` (before any
-    state mutates — callers encode first) on non-JSON values."""
+    state mutates — callers encode first) on non-JSON values.
+
+    ``meta`` rides as an optional third JSON element — today the
+    exactly-once session stamp ``{"sid": ..., "seq": ...}``.  Frames
+    without it are byte-identical to the pre-session format, so old
+    stores replay unchanged and new frames replay on old readers that
+    ignore the extra element."""
+    body = [op, list(values)] if meta is None else [op, list(values), meta]
     try:
         payload = json.dumps(
-            [op, list(values)], separators=(",", ":"), allow_nan=False
+            body, separators=(",", ":"), allow_nan=False
         ).encode("utf-8")
     except (TypeError, ValueError) as exc:
         raise ReproError(
@@ -342,12 +358,18 @@ def _encode_record(op: str, values: Sequence[object]) -> bytes:
     return _FRAME.pack(len(payload), crc32(payload)) + payload
 
 
-def _decode_records(data: bytes) -> PyTuple[List[PyTuple[str, PyTuple[object, ...]]], int]:
-    """Parse framed records; returns ``(ops, good_offset)`` where
-    ``good_offset`` is the byte length of the intact prefix.  A torn
-    tail (short frame, short payload, or CRC mismatch) ends the parse
-    — everything before it is trusted, everything after discarded."""
-    ops: List[PyTuple[str, PyTuple[object, ...]]] = []
+def _decode_frames(
+    data: bytes,
+) -> PyTuple[
+    List[PyTuple[str, PyTuple[object, ...], Optional[dict]]], int
+]:
+    """Parse framed records with their metadata; returns
+    ``(frames, good_offset)`` where each frame is ``(op, values,
+    meta-or-None)`` and ``good_offset`` is the byte length of the
+    intact prefix.  A torn tail (short frame, short payload, or CRC
+    mismatch) ends the parse — everything before it is trusted,
+    everything after discarded."""
+    frames: List[PyTuple[str, PyTuple[object, ...], Optional[dict]]] = []
     offset = 0
     header = _FRAME.size
     total = len(data)
@@ -361,18 +383,32 @@ def _decode_records(data: bytes) -> PyTuple[List[PyTuple[str, PyTuple[object, ..
         if crc32(payload) != crc:
             break  # corrupt frame: stop at the last good record
         try:
-            op, values = json.loads(payload.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError):  # pragma: no cover - crc guards
-            break
-        ops.append((op, tuple(values)))
+            record = json.loads(payload.decode("utf-8"))
+            op, values = record[0], record[1]
+        except (ValueError, UnicodeDecodeError, IndexError, KeyError, TypeError):
+            break  # pragma: no cover - crc guards
+        meta = record[2] if len(record) > 2 and isinstance(record[2], dict) else None
+        frames.append((op, tuple(values), meta))
         offset = end
-    return ops, offset
+    return frames, offset
 
 
-def _frame_at(data: bytes, offset: int) -> Optional[PyTuple[int, PyTuple[str, PyTuple[object, ...]]]]:
+def _decode_records(data: bytes) -> PyTuple[List[PyTuple[str, PyTuple[object, ...]]], int]:
+    """Parse framed records; returns ``(ops, good_offset)`` — the
+    metadata-free view of :func:`_decode_frames` (session stamps
+    dropped), which is all replay-to-rows and the schema log need."""
+    frames, offset = _decode_frames(data)
+    return [(op, values) for op, values, _meta in frames], offset
+
+
+def _frame_at(
+    data: bytes, offset: int
+) -> Optional[
+    PyTuple[int, PyTuple[str, PyTuple[object, ...], Optional[dict]]]
+]:
     """Decode the frame starting exactly at ``offset``; returns
-    ``(next_offset, (op, values))`` or ``None`` if no valid frame
-    starts there."""
+    ``(next_offset, (op, values, meta))`` or ``None`` if no valid
+    frame starts there."""
     header = _FRAME.size
     if offset + header > len(data):
         return None
@@ -392,12 +428,14 @@ def _frame_at(data: bytes, offset: int) -> Optional[PyTuple[int, PyTuple[str, Py
         return None
     if (
         not isinstance(record, list)
-        or len(record) != 2
+        or len(record) not in (2, 3)
         or record[0] not in ("+", "-")
         or not isinstance(record[1], list)
+        or (len(record) == 3 and not isinstance(record[2], dict))
     ):
         return None
-    return end, (record[0], tuple(record[1]))
+    meta = record[2] if len(record) == 3 else None
+    return end, (record[0], tuple(record[1]), meta)
 
 
 @dataclass
@@ -413,7 +451,9 @@ class WalScan:
     (``True`` — unexpected, counted and surfaced).
     """
 
-    ops: List[PyTuple[str, PyTuple[object, ...]]] = field(default_factory=list)
+    ops: List[PyTuple[str, PyTuple[object, ...], Optional[dict]]] = field(
+        default_factory=list
+    )
     #: byte length of the intact prefix
     good_offset: int = 0
     #: bytes in the file beyond the intact prefix (0 for a clean WAL)
@@ -430,7 +470,7 @@ def _scan_records(data: bytes) -> WalScan:
     """Parse one WAL image: the trusted prefix plus a forward resync
     scan past any bad region, so a torn tail and mid-file corruption
     are told apart (module docstring: *WAL corruption accounting*)."""
-    ops, good = _decode_records(data)
+    ops, good = _decode_frames(data)
     scan = WalScan(ops=ops, good_offset=good, tail_bytes=len(data) - good)
     offset = good + 1
     total = len(data)
@@ -451,21 +491,35 @@ def _scan_records(data: bytes) -> WalScan:
 
 
 def _snapshot_payload(
-    name: str, attributes: Sequence[str], rows: List[list], epoch: int = 0
+    name: str,
+    attributes: Sequence[str],
+    rows: List[list],
+    epoch: int = 0,
+    sessions: Optional[Dict[str, list]] = None,
 ) -> str:
     """Serialize one shard snapshot.  The ``crc`` covers the tuples
     serialization, so a bit-flip anywhere in the data is detected by
     recovery/``verify-store`` and the generation chain falls back.
     ``epoch`` stamps the schema version the rows belong to — recovery
     rolls a shard forward when its snapshot predates the manifest's
-    epoch (pre-epoch snapshots parse as epoch 0)."""
+    epoch (pre-epoch snapshots parse as epoch 0).  ``sessions`` is the
+    shard's exactly-once table (``{sid: [seq, op-or-null]}``): the WAL
+    truncation that follows a snapshot discards the session-stamped
+    frames, so the high-water marks must ride in the snapshot or a
+    restart would forget them and re-apply a retried duplicate."""
     tuples_json = json.dumps(rows, separators=(",", ":"))
+    sessions_part = ""
+    if sessions:
+        sessions_part = '"sessions":%s,' % json.dumps(
+            sessions, separators=(",", ":"), sort_keys=True
+        )
     return (
-        '{"format":%d,"scheme":%s,"epoch":%d,"attributes":%s,"crc":%d,"tuples":%s}'
+        '{"format":%d,"scheme":%s,"epoch":%d,%s"attributes":%s,"crc":%d,"tuples":%s}'
         % (
             _FORMAT,
             json.dumps(name),
             epoch,
+            sessions_part,
             json.dumps(list(attributes)),
             crc32(tuples_json.encode("utf-8")),
             tuples_json,
@@ -525,7 +579,64 @@ def _parse_snapshot(data: bytes, name: str) -> dict:
         tuples_json = json.dumps(tuples, separators=(",", ":"))
         if crc32(tuples_json.encode("utf-8")) != crc:
             raise ReproError("snapshot CRC mismatch (bit rot or torn write)")
+    sessions = snap.get("sessions")
+    if sessions is not None and not isinstance(sessions, dict):
+        raise ReproError("snapshot session table is malformed")
     return snap
+
+
+def _sessions_from_snapshot(raw: object) -> Dict[str, dict]:
+    """Rebuild a shard's session table from its snapshot field
+    (``{sid: [seq, op-or-null]}``).  ``op`` is the original effectful
+    operation's kind — enough to reconstruct the outcome a duplicate
+    must be answered with; ``null`` marks a session whose last
+    operation changed nothing (safe to re-execute, so no outcome needs
+    to survive)."""
+    table: Dict[str, dict] = {}
+    if not isinstance(raw, dict):
+        return table
+    for sid, entry in raw.items():
+        try:
+            seq = int(entry[0])
+            kind = entry[1]
+        except (TypeError, ValueError, IndexError):
+            continue  # pragma: no cover - snapshot CRC guards
+        if kind not in ("+", "-", None):
+            continue  # pragma: no cover - defensive
+        table[str(sid)] = {
+            "seq": seq, "kind": kind, "result": None, "ticket": None
+        }
+    return table
+
+
+def _replay_session_frame(
+    table: Dict[str, dict], op: str, meta: Optional[dict]
+) -> None:
+    """Fold one WAL frame's session stamp into a rebuilding table.
+    Frames land in WAL order, so the last stamp per session wins;
+    ``>=`` (not ``>``) because a re-executed same-seq operation (the
+    original changed nothing) legitimately re-logs its sequence."""
+    if not meta:
+        return
+    sid = meta.get("sid")
+    seq = meta.get("seq")
+    if sid is None or not isinstance(seq, int):
+        return  # pragma: no cover - defensive
+    entry = table.get(str(sid))
+    if entry is None or seq >= entry["seq"]:
+        table[str(sid)] = {
+            "seq": seq, "kind": op, "result": None, "ticket": None
+        }
+
+
+def _sessions_to_snapshot(table: Dict[str, dict]) -> Dict[str, list]:
+    """The persistent image of a session table: every high-water mark
+    survives; a session whose recorded operation was effectful keeps
+    its kind so a post-restart duplicate gets a truthful answer."""
+    return {
+        sid: [entry["seq"], entry.get("kind")]
+        for sid, entry in table.items()
+    }
 
 
 class _ShardWal:
@@ -663,6 +774,11 @@ class DurableShardedService(WindowQueryAPI):
     DEFAULT_IO_RETRIES = 2
     #: first retry backoff in seconds (doubles per attempt)
     DEFAULT_IO_BACKOFF = 0.005
+    #: retry jitter as a fraction of each backoff step: the sleep is
+    #: ``backoff * 2**attempt * (1 + jitter * U[0,1))`` — without it,
+    #: shards that failed together retry together and stampede a
+    #: recovering disk in lockstep
+    DEFAULT_IO_JITTER = 0.5
 
     def __init__(
         self,
@@ -677,6 +793,8 @@ class DurableShardedService(WindowQueryAPI):
         snapshot_generations: int = DEFAULT_SNAPSHOT_GENERATIONS,
         io_retries: int = DEFAULT_IO_RETRIES,
         io_backoff: float = DEFAULT_IO_BACKOFF,
+        io_jitter: float = DEFAULT_IO_JITTER,
+        rng: Optional[random.Random] = None,
         **service_options,
     ):
         self.root = pathlib.Path(root)
@@ -687,7 +805,11 @@ class DurableShardedService(WindowQueryAPI):
         self.snapshot_generations = max(1, snapshot_generations)
         self.io_retries = io_retries
         self.io_backoff = io_backoff
-        self.stats = DurableServiceStats()
+        self.io_jitter = io_jitter
+        # injectable so the fault-matrix tests stay reproducible: pass
+        # a seeded random.Random (or io_jitter=0) to pin the schedule
+        self._rng = rng if rng is not None else random.Random()
+        self.stats = self._make_stats()
         # retained for evolved-store reopens: the manifest's catalog
         # wins over the constructor's, and the rebuilt inner service
         # must keep the caller's tuning options
@@ -711,6 +833,19 @@ class DurableShardedService(WindowQueryAPI):
         self._committed_gen = -1
         self._wals: Dict[str, _ShardWal] = {}
         self._dirty: List[str] = []
+        # per-shard overrides installed by failover: a promoted shard's
+        # files live in the replica's directory and go through the
+        # replica's StoreIO; everything else stays on the root store
+        self._shard_dirs: Dict[str, pathlib.Path] = {}
+        self._shard_ios: Dict[str, StoreIO] = {}
+        # shards that opened quarantined with no readable state at all
+        # (every snapshot generation corrupt): in-memory rows are NOT
+        # authoritative for these — failover must rebuild from a replica
+        self._void_shards: set = set()
+        # exactly-once session tables, one per shard (Theorem 3 again:
+        # a session is pinned to the shard its writes route to, so the
+        # dedup state replicates and fails over with that shard's chain)
+        self._sessions: Dict[str, Dict[str, dict]] = {}
         self._shard_status: Dict[str, str] = {
             name: SHARD_SERVING for name in self._inner.shard_names()
         }
@@ -724,10 +859,23 @@ class DurableShardedService(WindowQueryAPI):
         if existing:
             self._recover()
 
+    def _make_stats(self) -> DurableServiceStats:
+        """Stats-object factory — the replicated subclass substitutes
+        its extended dataclass before the inner service binds it."""
+        return DurableServiceStats()
+
     # -- layout and recovery ----------------------------------------------------
 
     def _shard_dir(self, name: str) -> pathlib.Path:
+        override = self._shard_dirs.get(name)
+        if override is not None:
+            return override
         return self.root / "shards" / name
+
+    def _io_for(self, name: str) -> StoreIO:
+        """The store backing one shard's files — the root store unless
+        a failover re-pointed the shard at a promoted replica."""
+        return self._shard_ios.get(name, self.io)
 
     def wal_path(self, name: str) -> pathlib.Path:
         return self._shard_dir(name) / WAL_NAME
@@ -854,27 +1002,32 @@ class DurableShardedService(WindowQueryAPI):
                 self._shard_dir(name).mkdir(parents=True, exist_ok=True)
             self._write_manifest(self.schema, self.fds, 0)
         for name in names:
-            self._wals[name] = _ShardWal(self.wal_path(name), self.io)
+            self._wals[name] = _ShardWal(self.wal_path(name), self._io_for(name))
 
     def _load_snapshot_rows(
         self, name: str
     ) -> PyTuple[
-        Optional[Dict[PyTuple[object, ...], None]], Optional[int], int, int
+        Optional[Dict[PyTuple[object, ...], None]],
+        Optional[int],
+        int,
+        int,
+        Dict[str, dict],
     ]:
         """Walk the shard's snapshot generations newest-first and
-        return ``(rows, generation, bad_generations, epoch)`` —
-        ``rows`` from the newest generation that parses and passes its
-        CRC, or ``(None, None, bad, 0)`` when no generation is
+        return ``(rows, generation, bad_generations, epoch, sessions)``
+        — ``rows`` from the newest generation that parses and passes
+        its CRC, or ``(None, None, bad, 0, {})`` when no generation is
         readable (no snapshot at all, or every one corrupt).
         ``epoch`` is the schema version the snapshot was taken under
-        (0 for pre-evolution snapshot files)."""
+        (0 for pre-evolution snapshot files); ``sessions`` the
+        exactly-once table the snapshot carried."""
         bad = 0
         for generation in range(self.snapshot_generations):
             path = self.snapshot_path(name, generation)
             if not path.exists():
                 continue
             try:
-                snap = _parse_snapshot(self.io.read_bytes(path), name)
+                snap = _parse_snapshot(self._io_for(name).read_bytes(path), name)
             except (OSError, ReproError) as exc:
                 bad += 1
                 _log.warning("bad snapshot %s (generation %d): %s", path, generation, exc)
@@ -882,8 +1035,9 @@ class DurableShardedService(WindowQueryAPI):
             rows: Dict[PyTuple[object, ...], None] = {}
             for values in snap["tuples"]:
                 rows[tuple(values)] = None
-            return rows, generation, bad, int(snap.get("epoch", 0))
-        return None, None, bad, 0
+            sessions = _sessions_from_snapshot(snap.get("sessions"))
+            return rows, generation, bad, int(snap.get("epoch", 0)), sessions
+        return None, None, bad, 0, {}
 
     def _read_wal(self, name: str, wal: _ShardWal) -> WalScan:
         """Scan the shard's WAL, count mid-file corruption (module
@@ -891,7 +1045,7 @@ class DurableShardedService(WindowQueryAPI):
         to its intact prefix."""
         if not wal.path.exists():
             return WalScan()
-        scan = _scan_records(self.io.read_bytes(wal.path))
+        scan = _scan_records(wal.io.read_bytes(wal.path))
         if scan.corrupt:
             self.stats.wal_corrupt_frames += scan.corrupt_regions
             self.stats.wal_truncated_bytes += scan.tail_bytes
@@ -906,7 +1060,7 @@ class DurableShardedService(WindowQueryAPI):
         if scan.tail_bytes:
             # torn or corrupt tail: drop it before appending — anything
             # written after it would hide later records
-            self.io.truncate(wal.path, scan.good_offset)
+            wal.io.truncate(wal.path, scan.good_offset)
         return scan
 
     def _dir_rows(self, name: str) -> Dict[PyTuple[object, ...], None]:
@@ -914,19 +1068,19 @@ class DurableShardedService(WindowQueryAPI):
         snapshot generation + WAL-tail replay) — also works for a
         *retired* directory no longer in the manifest (the
         roll-forward source capture)."""
-        rows, _generation, _bad, _epoch = self._load_snapshot_rows(name)
+        rows, _generation, _bad, _epoch, _sessions = self._load_snapshot_rows(name)
         if rows is None:
             rows = {}
         wal = self._wals.get(name)
         throwaway = wal is None
         if throwaway:
-            wal = _ShardWal(self.wal_path(name), self.io)
+            wal = _ShardWal(self.wal_path(name), self._io_for(name))
         try:
             scan = self._read_wal(name, wal)
         finally:
             if throwaway:
                 wal.close()
-        for op, values in scan.ops:
+        for op, values, _meta in scan.ops:
             if op == "+":
                 rows[values] = None
             else:
@@ -936,7 +1090,7 @@ class DurableShardedService(WindowQueryAPI):
     def _snapshot_epoch(self, name: str) -> Optional[int]:
         """The epoch of the shard's newest readable snapshot, or
         ``None`` when no generation is readable."""
-        _rows, generation, _bad, epoch = self._load_snapshot_rows(name)
+        _rows, generation, _bad, epoch, _sessions = self._load_snapshot_rows(name)
         return None if generation is None else epoch
 
     def _roll_forward(
@@ -1028,16 +1182,20 @@ class DurableShardedService(WindowQueryAPI):
             if name in rolled:
                 relations[name] = rolled[name]
                 continue
-            rows, generation, bad, _epoch = self._load_snapshot_rows(name)
+            rows, generation, bad, _epoch, sessions = self._load_snapshot_rows(name)
             if rows is None and bad:
                 # every generation corrupt: open the shard quarantined
                 # (the healthy shards keep serving; repair can retry
-                # once the operator restores a snapshot file)
+                # once the operator restores a snapshot file — or a
+                # failover can rebuild from a replica's chain, which is
+                # why the shard is remembered as void: its in-memory
+                # rows are empty, not authoritative)
                 self._set_status(
                     name,
                     SHARD_QUARANTINED,
                     f"no readable snapshot generation ({bad} corrupt)",
                 )
+                self._void_shards.add(name)
                 relations[name] = []
                 continue
             if rows is None:
@@ -1053,11 +1211,15 @@ class DurableShardedService(WindowQueryAPI):
                         name, generation,
                     )
             scan = self._read_wal(name, wal)
-            for op, values in scan.ops:
+            for op, values, meta in scan.ops:
                 if op == "+":
                     rows[values] = None
                 else:
                     rows.pop(values, None)
+                _replay_session_frame(sessions, op, meta)
+            if sessions:
+                self._sessions[name] = sessions
+                self.stats.session_records += len(sessions)
             replayed += len(scan.ops)
             wal.records_since_snapshot = len(scan.ops)
             relations[name] = [
@@ -1125,6 +1287,9 @@ class DurableShardedService(WindowQueryAPI):
             "status": status,
             "shards": shards,
             "errors": dict(self._shard_errors),
+            "primaries": {
+                name: self._inner.primary_of(name) for name in shards
+            },
             "epoch": self._inner.schema_version,
             "migration": self._inner.migration_status(),
         }
@@ -1239,6 +1404,18 @@ class DurableShardedService(WindowQueryAPI):
             if name not in self._dirty:
                 self._dirty.append(name)
 
+    def _ship(self, name: str, blob: bytes, base_offset: int, count: int) -> None:
+        """Replication seam: called after one WAL's blob is fsynced,
+        still under that WAL's I/O lock.  The base class has no
+        replicas — :class:`repro.weak.replication.
+        ReplicatedShardedService` overrides this to ship the frames."""
+
+    def _on_snapshot(self, name: str, payload: str) -> None:
+        """Replication seam: called after a shard's snapshot install
+        truncated its WAL (under the WAL's I/O lock) — replicas must
+        install the same snapshot to stay aligned with the primary's
+        now-empty WAL."""
+
     def _commit_wal(self, name: str, wal: _ShardWal) -> PyTuple[int, int]:
         """Drain, write, and fsync one WAL as a single critical
         section under its I/O lock; returns ``(bytes, records)``.
@@ -1276,7 +1453,14 @@ class DurableShardedService(WindowQueryAPI):
                         self._restage(name, wal, blob, count)
                         raise self._shard_fault(name, exc) from exc
                     self.stats.io_retries += 1
-                    time.sleep(self.io_backoff * (2 ** attempt))
+                    # jittered exponential backoff: shards that failed
+                    # together must not retry in lockstep against the
+                    # same recovering disk (satellite of PR 10)
+                    time.sleep(
+                        self.io_backoff
+                        * (2 ** attempt)
+                        * (1.0 + self.io_jitter * self._rng.random())
+                    )
                     attempt += 1
             if attempt:
                 # the disk answered again: a degraded shard that just
@@ -1284,6 +1468,10 @@ class DurableShardedService(WindowQueryAPI):
                 _log.info("shard %s WAL commit succeeded after %d retr%s",
                           name, attempt, "y" if attempt == 1 else "ies")
             self.stats.wal_fsyncs += 1
+            # ship while still holding the WAL's I/O lock: frames reach
+            # every replica in exactly WAL order, and (sync mode) before
+            # the covering tickets release — acked ⟹ durable-on-quorum
+            self._ship(name, blob, start, count)
             self._fault("commit.post-fsync")
         return len(blob), count
 
@@ -1437,16 +1625,19 @@ class DurableShardedService(WindowQueryAPI):
         shard = self._inner._shard(name)
         rows = [list(t.values) for t in shard.relation()]
         self._fault("snapshot.begin")
+        sessions = self._sessions.get(name)
         payload = _snapshot_payload(
             name,
             shard.scheme.attributes.names,
             rows,
             self._inner.schema_version,
+            sessions=_sessions_to_snapshot(sessions) if sessions else None,
         )
+        io = self._io_for(name)
         with self._io_lock:
             directory = self._shard_dir(name)
             tmp = directory / _SNAPSHOT_TMP
-            self.io.snapshot_write(tmp, payload)
+            io.snapshot_write(tmp, payload)
             self._fault("snapshot.tmp-written")
             # rename chain: the newest snapshot is installed over
             # generation 0 only after the older generations shift up,
@@ -1458,13 +1649,18 @@ class DurableShardedService(WindowQueryAPI):
             for generation in range(self.snapshot_generations - 1, 0, -1):
                 older = self.snapshot_path(name, generation - 1)
                 if older.exists():
-                    self.io.replace(older, self.snapshot_path(name, generation))
-            self.io.replace(tmp, directory / SNAPSHOT_NAME)
-            self.io.dir_fsync(directory)
+                    io.replace(older, self.snapshot_path(name, generation))
+            io.replace(tmp, directory / SNAPSHOT_NAME)
+            io.dir_fsync(directory)
             self._fault("snapshot.installed")
             wal = self._wals[name]
             with wal.io_lock:  # no commit may write between snapshot and cut
                 wal.truncate()
+                # replicas must see the same install+truncate, or their
+                # chains diverge at the next shipped frame (base offset
+                # restarts at zero); still under the WAL's I/O lock so
+                # no frame can interleave between truncate and ship
+                self._on_snapshot(name, payload)
             self.stats.snapshots_written += 1
             self._fault("snapshot.done")
 
@@ -1481,43 +1677,140 @@ class DurableShardedService(WindowQueryAPI):
 
     # -- mutations ---------------------------------------------------------------
 
+    def _session_meta(
+        self, session: Optional[PyTuple[str, int]]
+    ) -> Optional[dict]:
+        if session is None:
+            return None
+        sid, seq = session
+        return {"sid": str(sid), "seq": int(seq)}
+
+    def _session_hit(
+        self, name: str, kind: str, session: PyTuple[str, int]
+    ):
+        """Exactly-once gate, under the shard lock.  Returns the
+        original ``(outcome, ticket)`` for a duplicate of the
+        session's recorded operation, ``None`` for a fresh sequence —
+        and ``None`` for a same-seq retry whose original changed
+        nothing (re-executing a no-op is the identity, and after a
+        failover it may be the retry that actually applies the write).
+        Raises :class:`~repro.exceptions.SessionSequenceError` when the
+        sequence is behind the high-water mark."""
+        sid, seq = str(session[0]), int(session[1])
+        entry = self._sessions.get(name, {}).get(sid)
+        if entry is None or seq > entry["seq"]:
+            return None
+        if seq < entry["seq"]:
+            raise SessionSequenceError(sid, seq, entry["seq"])
+        recorded_kind = entry.get("kind")
+        if recorded_kind is not None and recorded_kind != kind:
+            raise SessionSequenceError(sid, seq, entry["seq"])
+        if entry.get("result") is not None:
+            self.stats.session_dedup_hits += 1
+            return entry["result"], entry.get("ticket")
+        if recorded_kind is not None:
+            # recovered from disk: the stamp proves the original applied
+            # and is durable, but the live outcome object died with the
+            # old process — reconstruct the only answer it can have had
+            self.stats.session_dedup_hits += 1
+            if kind == "+":
+                shard = self._inner._shard(name)
+                t = None
+                result: object = InsertOutcome(
+                    accepted=True,
+                    scheme=name,
+                    tuple=t,
+                    method=self._inner.method,
+                )
+            else:
+                result = True
+            return result, entry.get("ticket")
+        return None
+
+    def _session_record(
+        self,
+        name: str,
+        session: Optional[PyTuple[str, int]],
+        kind: Optional[str],
+        result: object,
+        ticket: Optional[int],
+    ) -> None:
+        """Record a sessioned operation's outcome (shard lock held).
+        ``kind`` is the staged frame's op for an effectful operation,
+        ``None`` when nothing was logged (rejected insert, duplicate
+        insert, absent delete) — those need no durable stamp because
+        re-executing them cannot change state."""
+        if session is None:
+            return
+        sid, seq = str(session[0]), int(session[1])
+        table = self._sessions.setdefault(name, {})
+        if sid not in table:
+            self.stats.session_records += 1
+        table[sid] = {
+            "seq": seq, "kind": kind, "result": result, "ticket": ticket
+        }
+
     def apply_insert(
-        self, scheme_name: str, row
+        self, scheme_name: str, row, session: Optional[PyTuple[str, int]] = None
     ) -> PyTuple[InsertOutcome, Optional[int]]:
         """Validate, apply, and stage one insert; returns the outcome
         plus the commit ticket (``None`` for rejected or duplicate
         inserts, which stage nothing).  The durability building block
-        the front end batches; direct callers want :meth:`insert`."""
+        the front end batches; direct callers want :meth:`insert`.
+
+        ``session`` is an exactly-once stamp ``(session_id, seq)``: a
+        duplicate of the session's recorded operation returns the
+        original outcome without re-applying, the stamp rides in the
+        WAL frame (and snapshot), so the guarantee survives restarts
+        and failovers."""
         self._ensure_open()
         self._check_writable(scheme_name)
         shard = self._inner._shard(scheme_name)
         with self._locks[scheme_name]:
+            if session is not None:
+                hit = self._session_hit(scheme_name, "+", session)
+                if hit is not None:
+                    return hit
             # encode from the coerced tuple *before* applying, so a
             # non-serializable value rejects cleanly instead of
             # leaving an applied-but-unloggable operation behind
             t = shard.checker.coerce_tuple(scheme_name, row)
-            record = _encode_record("+", t.values)
+            record = _encode_record("+", t.values, self._session_meta(session))
             # pass the coerced tuple through: Tuple rows skip the inner
             # service's re-coercion, which matters on the hot path
             outcome = self._inner.insert(scheme_name, t)
             ticket = None
-            if outcome.accepted and not outcome.reason:
+            effectful = outcome.accepted and not outcome.reason
+            if effectful:
                 ticket = self._stage(scheme_name, record)
+            self._session_record(
+                scheme_name, session, "+" if effectful else None,
+                outcome, ticket,
+            )
         return outcome, ticket
 
     def apply_delete(
-        self, scheme_name: str, row
+        self, scheme_name: str, row, session: Optional[PyTuple[str, int]] = None
     ) -> PyTuple[bool, Optional[int]]:
         """Apply and stage one delete; ticket is ``None`` when the
-        tuple was absent (nothing to log)."""
+        tuple was absent (nothing to log).  ``session`` as in
+        :meth:`apply_insert`."""
         self._ensure_open()
         self._check_writable(scheme_name)
         shard = self._inner._shard(scheme_name)
         with self._locks[scheme_name]:
+            if session is not None:
+                hit = self._session_hit(scheme_name, "-", session)
+                if hit is not None:
+                    return hit
             t = shard.checker.coerce_tuple(scheme_name, row)
-            record = _encode_record("-", t.values)
+            record = _encode_record("-", t.values, self._session_meta(session))
             existed = self._inner.delete(scheme_name, t)
             ticket = self._stage(scheme_name, record) if existed else None
+            self._session_record(
+                scheme_name, session, "-" if existed else None,
+                existed, ticket,
+            )
         return existed, ticket
 
     def _finish(
@@ -1538,15 +1831,19 @@ class DurableShardedService(WindowQueryAPI):
         else:
             self.wait_durable(ticket)
 
-    def insert(self, scheme_name: str, row) -> InsertOutcome:
+    def insert(
+        self, scheme_name: str, row, session: Optional[PyTuple[str, int]] = None
+    ) -> InsertOutcome:
         """Insert, durable before returning (see ``auto_commit``)."""
-        outcome, ticket = self.apply_insert(scheme_name, row)
+        outcome, ticket = self.apply_insert(scheme_name, row, session=session)
         self._finish(ticket, scheme_name)
         return outcome
 
-    def delete(self, scheme_name: str, row) -> bool:
+    def delete(
+        self, scheme_name: str, row, session: Optional[PyTuple[str, int]] = None
+    ) -> bool:
         """Delete, durable before returning (see ``auto_commit``)."""
-        existed, ticket = self.apply_delete(scheme_name, row)
+        existed, ticket = self.apply_delete(scheme_name, row, session=session)
         self._finish(ticket, scheme_name)
         return existed
 
@@ -1720,7 +2017,7 @@ class DurableShardedService(WindowQueryAPI):
         new_names = set(self._inner.shard_names())
         for name in sorted(new_names - old_names):
             self._shard_dir(name).mkdir(parents=True, exist_ok=True)
-            self._wals[name] = _ShardWal(self.wal_path(name), self.io)
+            self._wals[name] = _ShardWal(self.wal_path(name), self._io_for(name))
             self._locks[name] = threading.RLock()
             self._shard_status[name] = SHARD_SERVING
         for name in result.rebuilt:
@@ -1775,7 +2072,9 @@ class DurableShardedService(WindowQueryAPI):
                         _, dropped = wal.take_pending()
                         if name in self._dirty:
                             self._dirty.remove(name)
-                    rows, generation, bad, _epoch = self._load_snapshot_rows(name)
+                    rows, generation, bad, _epoch, sessions = (
+                        self._load_snapshot_rows(name)
+                    )
                     if rows is None and bad:
                         raise ReproError(
                             f"shard {name!r}: no readable snapshot "
@@ -1792,11 +2091,14 @@ class DurableShardedService(WindowQueryAPI):
                             name, generation,
                         )
                     scan = self._read_wal(name, wal)
-                    for op, values in scan.ops:
+                    for op, values, meta in scan.ops:
                         if op == "+":
                             rows[values] = None
                         else:
                             rows.pop(values, None)
+                        _replay_session_frame(sessions, op, meta)
+                    if sessions:
+                        self._sessions[name] = sessions
                     self.stats.wal_records_replayed += len(scan.ops)
                     wal.records_since_snapshot = len(scan.ops)
                     attr_names = self._inner._shard(name).scheme.attributes.names
@@ -1822,6 +2124,7 @@ class DurableShardedService(WindowQueryAPI):
                 )
                 raise
             self._set_status(name, SHARD_SERVING)
+            self._void_shards.discard(name)
             _log.info(
                 "shard %s repaired: generation=%s rows=%d replayed=%d "
                 "dropped_staged=%d (was %s)",
@@ -1918,11 +2221,42 @@ class DurableShardedService(WindowQueryAPI):
 # -- offline scrubbing ------------------------------------------------------------
 
 
-def verify_store(root: Union[str, os.PathLike]) -> Dict[str, object]:
+def _wal_frame_crcs(data: bytes) -> List[int]:
+    """The CRC sequence of a WAL image's intact prefix — the identity
+    the replica cross-check compares (two chains agree exactly when
+    one CRC sequence is a prefix of the other)."""
+    crcs: List[int] = []
+    offset = 0
+    header = _FRAME.size
+    total = len(data)
+    while offset + header <= total:
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + header
+        end = start + length
+        if end > total or crc32(data[start:end]) != crc:
+            break
+        crcs.append(crc)
+        offset = end
+    return crcs
+
+
+def verify_store(
+    root: Union[str, os.PathLike],
+    replicas: Sequence[Union[str, os.PathLike]] = (),
+) -> Dict[str, object]:
     """Walk a durable directory offline — CRCs of every WAL frame,
     every snapshot generation's structure and CRC, stray tmp files —
     without opening a service (no schema needed, no locks taken, no
     bytes modified).  The ``repro verify-store`` command prints this.
+
+    ``replicas`` are replica store roots (the ``--replica`` flags):
+    each replica's chains are scrubbed the same way, and every
+    replica WAL's frame-CRC sequence is cross-checked against the
+    primary's.  A replica that holds a *prefix* of the primary's
+    frames (or the reverse, after a primary snapshot-truncation the
+    replica has not installed yet) is merely behind — reported, not a
+    failure; **divergence** (neither sequence a prefix of the other)
+    is a finding.
 
     Returns a report dict: ``ok`` is ``True`` iff nothing worse than a
     torn WAL tail (the expected residue of a crash) was found; each
@@ -2056,7 +2390,71 @@ def verify_store(root: Union[str, os.PathLike]) -> Dict[str, object]:
         if shard_findings:
             ok = False
         shards[name] = entry
-    return {
+    replica_reports: Dict[str, Dict[str, object]] = {}
+    for replica_root in replicas:
+        replica_root = pathlib.Path(replica_root)
+        rep: Dict[str, object] = {"shards": {}, "findings": []}
+        rep_findings: List[str] = rep["findings"]
+        for name in sorted(manifest.get("schemes", [])):
+            directory = replica_root / "shards" / name
+            rentry: Dict[str, object] = {"wal_records": 0, "findings": []}
+            rentry_findings: List[str] = rentry["findings"]
+            if not directory.is_dir():
+                # a replica that never received this shard is merely
+                # all-behind, not damaged
+                rentry["missing"] = True
+                rep["shards"][name] = rentry
+                continue
+            snap_path = directory / SNAPSHOT_NAME
+            if snap_path.exists():
+                try:
+                    _parse_snapshot(snap_path.read_bytes(), name)
+                    rentry["snapshot_ok"] = True
+                except (OSError, ReproError) as exc:
+                    rentry["snapshot_ok"] = False
+                    rentry_findings.append(f"snapshot: {exc}")
+            wal_path = directory / WAL_NAME
+            replica_crcs: List[int] = []
+            if wal_path.exists():
+                try:
+                    data = wal_path.read_bytes()
+                except OSError as exc:
+                    rentry_findings.append(f"WAL unreadable: {exc}")
+                    data = b""
+                scan = _scan_records(data)
+                rentry["wal_records"] = len(scan.ops)
+                if scan.corrupt:
+                    rentry_findings.append(
+                        f"WAL mid-file corruption: {scan.corrupt_regions} "
+                        f"bad region(s), {scan.stranded_records} record(s) "
+                        f"stranded"
+                    )
+                replica_crcs = _wal_frame_crcs(data)
+            primary_wal = root / "shards" / name / WAL_NAME
+            primary_crcs: List[int] = []
+            if primary_wal.exists():
+                try:
+                    primary_crcs = _wal_frame_crcs(primary_wal.read_bytes())
+                except OSError:  # pragma: no cover - already reported above
+                    primary_crcs = []
+            shorter = min(len(replica_crcs), len(primary_crcs))
+            if replica_crcs[:shorter] != primary_crcs[:shorter]:
+                rentry_findings.append(
+                    "WAL frame CRCs diverge from the primary's (neither "
+                    "chain is a prefix of the other)"
+                )
+            elif len(replica_crcs) < len(primary_crcs):
+                rentry["lag_frames"] = len(primary_crcs) - len(replica_crcs)
+            elif len(replica_crcs) > len(primary_crcs):
+                # primary truncated by a snapshot the replica has not
+                # installed yet: stale, anti-entropy rejoin fixes it
+                rentry["stale_frames"] = len(replica_crcs) - len(primary_crcs)
+            rep["shards"][name] = rentry
+            if rentry_findings:
+                rep_findings.append(f"shard {name}: damaged or divergent")
+                ok = False
+        replica_reports[str(replica_root)] = rep
+    report: Dict[str, object] = {
         "root": str(root),
         "ok": ok,
         "findings": findings,
@@ -2064,3 +2462,6 @@ def verify_store(root: Union[str, os.PathLike]) -> Dict[str, object]:
         "schema_log": schema_log,
         "shards": shards,
     }
+    if replica_reports:
+        report["replicas"] = replica_reports
+    return report

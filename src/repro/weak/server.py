@@ -96,6 +96,9 @@ class _WriteRequest:
     kind: str  # "insert" | "delete"
     scheme: str
     row: RowLike
+    #: exactly-once stamp ``(session_id, seq)`` or ``None``; stamped
+    #: writes apply singly so the dedup check runs under the shard lock
+    session: Optional[tuple] = None
     future: Future = field(default_factory=Future)
     result: object = None  # applied outcome, held until durable
 
@@ -216,13 +219,27 @@ class WeakInstanceServer(WindowQueryAPI):
 
     # -- client write surface ----------------------------------------------------
 
-    def _submit(self, kind: str, scheme_name: str, row: RowLike) -> Future:
+    def _submit(
+        self,
+        kind: str,
+        scheme_name: str,
+        row: RowLike,
+        session: Optional[tuple] = None,
+    ) -> Future:
         if not self._running:
             raise ServerStoppedError("server is not running")
         worker = self._route.get(scheme_name)
         if worker is None:
             raise SchemaError(f"no relation named {scheme_name!r} in this schema")
-        request = _WriteRequest(kind, scheme_name, row)
+        if session is not None:
+            if not self.durable:
+                raise ReproError(
+                    "exactly-once sessions require a durable service (the "
+                    "stamp lives in the WAL frame)"
+                )
+            sid, seq = session
+            session = (str(sid), int(seq))
+        request = _WriteRequest(kind, scheme_name, row, session)
         if self.max_queue:
             try:
                 if self.submit_timeout is None:
@@ -243,22 +260,46 @@ class WeakInstanceServer(WindowQueryAPI):
         self.requests_accepted += 1
         return request.future
 
-    def submit_insert(self, scheme_name: str, row: RowLike) -> Future:
+    def submit_insert(
+        self,
+        scheme_name: str,
+        row: RowLike,
+        session: Optional[tuple] = None,
+    ) -> Future:
         """Enqueue an insert; the future resolves to its
         :class:`~repro.core.maintenance.InsertOutcome` once applied
-        (and fsynced, on a durable service)."""
-        return self._submit("insert", scheme_name, row)
+        (and fsynced, on a durable service).  ``session`` is an
+        exactly-once idempotency stamp ``(session_id, seq)``: a
+        duplicate submission of the stamped write (a retry after a
+        lost ack) resolves to the original outcome instead of
+        re-applying — durable services only."""
+        return self._submit("insert", scheme_name, row, session)
 
-    def submit_delete(self, scheme_name: str, row: RowLike) -> Future:
+    def submit_delete(
+        self,
+        scheme_name: str,
+        row: RowLike,
+        session: Optional[tuple] = None,
+    ) -> Future:
         """Enqueue a delete; the future resolves to whether the tuple
-        existed."""
-        return self._submit("delete", scheme_name, row)
+        existed.  ``session`` as in :meth:`submit_insert`."""
+        return self._submit("delete", scheme_name, row, session)
 
-    def insert(self, scheme_name: str, row: RowLike) -> InsertOutcome:
-        return self.submit_insert(scheme_name, row).result()
+    def insert(
+        self,
+        scheme_name: str,
+        row: RowLike,
+        session: Optional[tuple] = None,
+    ) -> InsertOutcome:
+        return self.submit_insert(scheme_name, row, session).result()
 
-    def delete(self, scheme_name: str, row: RowLike) -> bool:
-        return self.submit_delete(scheme_name, row).result()
+    def delete(
+        self,
+        scheme_name: str,
+        row: RowLike,
+        session: Optional[tuple] = None,
+    ) -> bool:
+        return self.submit_delete(scheme_name, row, session).result()
 
     # -- worker machinery --------------------------------------------------------
 
@@ -337,9 +378,13 @@ class WeakInstanceServer(WindowQueryAPI):
         self.batched_writes += n
         while index < n:
             request = batch[index]
-            if request.kind == "insert":
+            if request.kind == "insert" and request.session is None:
                 end = index
-                while end < n and batch[end].kind == "insert":
+                while (
+                    end < n
+                    and batch[end].kind == "insert"
+                    and batch[end].session is None
+                ):
                     end += 1
                 run = batch[index:end]
                 try:
@@ -361,16 +406,28 @@ class WeakInstanceServer(WindowQueryAPI):
                             r.future.set_exception(exc)
                 index = end
             else:
+                # deletes and session-stamped inserts apply singly:
+                # the exactly-once dedup check must run under the
+                # shard lock with the stamp attached to its own frame
                 try:
                     if self.durable:
-                        existed, ticket = svc.apply_delete(
-                            request.scheme, request.row
-                        )
+                        if request.kind == "insert":
+                            outcome, ticket = svc.apply_insert(
+                                request.scheme,
+                                request.row,
+                                session=request.session,
+                            )
+                        else:
+                            outcome, ticket = svc.apply_delete(
+                                request.scheme,
+                                request.row,
+                                session=request.session,
+                            )
                         staged = staged or ticket is not None
                     else:
                         with self._locks[request.scheme]:
-                            existed = svc.delete(request.scheme, request.row)
-                    request.result = existed
+                            outcome = svc.delete(request.scheme, request.row)
+                    request.result = outcome
                     resolved.append(request)
                 except BaseException as exc:  # noqa: BLE001
                     request.future.set_exception(exc)

@@ -429,6 +429,11 @@ class ShardedWeakInstanceService(WindowQueryAPI):
         # serving possibly-stale rows.  Plans stay cached — they are
         # pure functions of the schema; availability is checked per read.
         self._unavailable: Dict[str, str] = {}
+        # which physical store serves each shard (label, default
+        # "primary"): pure bookkeeping for the replication layer's
+        # failover — routing itself never inspects it, because Theorem 3
+        # shards are location-transparent
+        self._primaries: Dict[str, str] = {}
         #: the schema epoch — bumped by every applied evolution; query
         #: caches key on it so old-epoch results never serve the new one
         self.schema_version = 0
@@ -536,6 +541,20 @@ class ShardedWeakInstanceService(WindowQueryAPI):
         """The current out-of-service map (copy)."""
         return dict(self._unavailable)
 
+    def set_primary(self, scheme_name: str, label: str) -> None:
+        """Record which physical store now serves a shard — the
+        replication layer's failover calls this after promoting a
+        replica, so ``health()`` (and operators) can see the shard
+        moved.  Unknown schemes raise, like every routing surface."""
+        self._shard(scheme_name)
+        self._primaries[scheme_name] = label
+
+    def primary_of(self, scheme_name: str) -> str:
+        """The label of the store serving a shard (``"primary"`` until
+        a failover re-points it)."""
+        self._shard(scheme_name)
+        return self._primaries.get(scheme_name, "primary")
+
     def health(self) -> Dict[str, object]:
         """The in-memory sharded health surface: per-shard status (as
         pushed by :meth:`set_unavailable`), the schema epoch, and any
@@ -553,6 +572,10 @@ class ShardedWeakInstanceService(WindowQueryAPI):
             "status": status,
             "shards": shards,
             "errors": {},
+            "primaries": {
+                name: self._primaries.get(name, "primary")
+                for name in self._shards
+            },
             "epoch": self.schema_version,
             "migration": self.migration_status(),
         }

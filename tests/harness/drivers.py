@@ -29,6 +29,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.data.states import DatabaseState
 from repro.weak.durable import DurableShardedService, _decode_records
+from repro.weak.replication import ReplicatedShardedService
 from repro.weak.server import WeakInstanceServer
 from repro.weak.service import WeakInstanceService
 from repro.weak.sharded import ShardedWeakInstanceService
@@ -89,6 +90,56 @@ def run_stream_until_crash(
 def reopen(schema, fds, root, **service_options) -> DurableShardedService:
     """A fresh instance over the same directory — the restart."""
     return DurableShardedService(schema, fds, root, **service_options)
+
+
+def run_replicated_stream_until_crash(
+    schema,
+    fds,
+    root,
+    replicas,
+    base: Optional[DatabaseState],
+    ops: Sequence,
+    fault_hook=None,
+    **service_options,
+):
+    """:func:`run_stream_until_crash` over a replicated service —
+    ``replicas`` as :class:`~repro.weak.replication.
+    ReplicatedShardedService` takes them (paths or prebuilt
+    ``ReplicaStore`` objects with their own ``FaultyIO``)."""
+    service = ReplicatedShardedService(
+        schema, fds, root, replicas=replicas, fault_hook=fault_hook,
+        **service_options,
+    )
+    acked: List[Event] = []
+    crashed = False
+    try:
+        if base is not None:
+            service.load(base)
+        acked.append(0)
+        for index, op in enumerate(ops):
+            if op.kind == "insert":
+                service.insert(op.scheme, op.values)
+            elif op.kind == "delete":
+                service.delete(op.scheme, op.values)
+            else:
+                service.window(op.attributes)
+            acked.append(index + 1)
+    except InjectedCrash:
+        crashed = True
+    finally:
+        service.close()
+    return acked, crashed
+
+
+def reopen_replicated(
+    schema, fds, root, replicas, **service_options
+) -> ReplicatedShardedService:
+    """The replicated restart: recover the primary directory with the
+    same replica set attached (a void shard fails over at open when a
+    replica holds a readable chain)."""
+    return ReplicatedShardedService(
+        schema, fds, root, replicas=replicas, **service_options
+    )
 
 
 def oracle_prefix_states(

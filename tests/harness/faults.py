@@ -38,6 +38,9 @@ from repro.weak.durable import (  # noqa: F401 - re-exported for parametrize
     MIGRATION_CRASH_POINTS,
     StoreIO,
 )
+from repro.weak.replication import (  # noqa: F401 - re-exported for parametrize
+    REPLICATION_CRASH_POINTS,
+)
 
 
 class InjectedCrash(Exception):
@@ -158,6 +161,16 @@ class FaultyIO(StoreIO):
             {"match": match, "offset": offset, "bit": bit,
              "occurrence": occurrence, "seen": 0}
         )
+
+    def kill(self, match: str = "", err: int = errno.EIO) -> None:
+        """Kill a store: every subsequent operation on a matching path
+        fails persistently — the dead-primary scenario the failover
+        matrix injects.  :meth:`clear` resurrects it."""
+        for op in (
+            "wal.write", "wal.fsync", "truncate", "read",
+            "snapshot.write", "replace", "dir.fsync",
+        ):
+            self.fail(op, err, match=match, occurrence=1, times=None)
 
     def clear(self) -> None:
         """Heal the disk: drop every armed rule and flip."""
